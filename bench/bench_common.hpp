@@ -1,0 +1,89 @@
+#pragma once
+
+// Shared plumbing for the per-table/per-figure bench harnesses.
+//
+// Every harness runs against the same cached experiment workspace: the first
+// binary to run trains the 60-model WGAN grid (~7 minutes on one core) and
+// caches it under .cache/vehigan/<model-config-hash>/; all others load it.
+// Set VEHIGAN_BENCH_SCALE=quick to run the whole suite at smoke-test scale.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "experiments/table_printer.hpp"
+#include "experiments/workspace.hpp"
+#include "metrics/roc.hpp"
+#include "util/rng.hpp"
+
+namespace vehigan::bench {
+
+inline experiments::ExperimentConfig bench_config() {
+  const char* scale = std::getenv("VEHIGAN_BENCH_SCALE");
+  if (scale != nullptr && std::string(scale) == "quick") {
+    return experiments::ExperimentConfig::quick();
+  }
+  return experiments::ExperimentConfig::standard();
+}
+
+/// Per-member scores of one window set, precomputed so that ensemble sweeps
+/// over (m, k) reuse forward passes instead of re-running the critics.
+/// scores[member][window].
+struct ScoreMatrix {
+  std::vector<std::vector<float>> scores;
+
+  /// Ensemble score of window `w` over an explicit member subset.
+  [[nodiscard]] float ensemble(const std::vector<std::size_t>& members, std::size_t w) const {
+    double sum = 0.0;
+    for (std::size_t m : members) sum += scores[m][w];
+    return static_cast<float>(sum / static_cast<double>(members.size()));
+  }
+
+  [[nodiscard]] std::size_t windows() const { return scores.empty() ? 0 : scores[0].size(); }
+};
+
+/// Scores `windows` with the top `m` detectors of the bundle (rank order).
+inline ScoreMatrix score_matrix(const mbds::VehiGanBundle& bundle, std::size_t m,
+                                const features::WindowSet& windows) {
+  ScoreMatrix matrix;
+  matrix.scores.reserve(m);
+  for (std::size_t rank = 0; rank < m; ++rank) {
+    matrix.scores.push_back(bundle.top(rank)->score_all(windows));
+  }
+  return matrix;
+}
+
+/// VEHIGAN_m^k scores with a fresh random k-subset per window, from
+/// precomputed member scores (paper Sec. III-A2 semantics).
+inline std::vector<float> ensemble_scores(const ScoreMatrix& matrix, std::size_t m,
+                                          std::size_t k, util::Rng& rng) {
+  std::vector<float> out(matrix.windows());
+  for (std::size_t w = 0; w < out.size(); ++w) {
+    const auto members = rng.sample_without_replacement(m, k);
+    double sum = 0.0;
+    for (std::size_t member : members) sum += matrix.scores[member][w];
+    out[w] = static_cast<float>(sum / static_cast<double>(k));
+  }
+  return out;
+}
+
+/// Fraction of windows whose random-k ensemble score exceeds the mean
+/// threshold of the drawn members (the Fig. 7 FPR measurement).
+inline double ensemble_flag_rate(const mbds::VehiGanBundle& bundle, const ScoreMatrix& matrix,
+                                 std::size_t m, std::size_t k, util::Rng& rng) {
+  if (matrix.windows() == 0) return 0.0;
+  std::size_t flagged = 0;
+  for (std::size_t w = 0; w < matrix.windows(); ++w) {
+    const auto members = rng.sample_without_replacement(m, k);
+    double score = 0.0;
+    double tau = 0.0;
+    for (std::size_t member : members) {
+      score += matrix.scores[member][w];
+      tau += bundle.top(member)->threshold();
+    }
+    if (score / static_cast<double>(k) > tau / static_cast<double>(k)) ++flagged;
+  }
+  return static_cast<double>(flagged) / static_cast<double>(matrix.windows());
+}
+
+}  // namespace vehigan::bench

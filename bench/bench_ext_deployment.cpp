@@ -1,0 +1,166 @@
+// Extension experiment — deployment realism: online VEHIGAN detection at an
+// RSU behind a lossy broadcast channel and under pseudonym rotation.
+//
+// The paper evaluates on complete, per-vehicle message logs; a deployed RSU
+// sees neither: packets are lost with distance/congestion, and senders
+// rotate pseudonyms, truncating per-sender history. This harness replays a
+// live mixed scenario through the net::Channel and scms::PseudonymRotation
+// substrates and reports, per (congestion loss, rotation period):
+//   * attacker recall: fraction of attackers reported at least once,
+//   * median time to first report,
+//   * honest vehicles reported (false accusations).
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "mbds/online.hpp"
+#include "net/channel.hpp"
+#include "scms/pseudonym.hpp"
+#include "vasp/dataset_builder.hpp"
+
+using namespace vehigan;
+
+namespace {
+
+struct DeploymentResult {
+  double attacker_recall = 0.0;
+  double median_latency_s = -1.0;
+  std::size_t honest_reported = 0;
+  std::size_t messages_received = 0;
+};
+
+struct AirMessage {
+  const sim::Bsm* transmitted;
+  double true_x, true_y;
+};
+
+DeploymentResult run_deployment(const experiments::Workspace& workspace_const,
+                                experiments::Workspace& workspace,
+                                const sim::BsmDataset& benign_fleet,
+                                const vasp::MisbehaviorDataset& scenario,
+                                double congestion_loss, double rotation_period,
+                                std::uint64_t seed) {
+  (void)workspace_const;
+  // Ground truth: which true vehicle is malicious.
+  std::map<std::uint32_t, bool> truth;
+  for (const auto& labeled : scenario.traces) {
+    truth[labeled.trace.vehicle_id] = labeled.malicious;
+  }
+
+  // Optional pseudonym rotation on the transmitted stream.
+  sim::BsmDataset transmitted;
+  for (const auto& labeled : scenario.traces) transmitted.traces.push_back(labeled.trace);
+  std::map<std::uint32_t, std::uint32_t> ownership;
+  if (rotation_period > 0.0) {
+    scms::PseudonymRotation rotation(rotation_period, seed ^ 0xABCD);
+    transmitted = rotation.apply(transmitted, ownership);
+  } else {
+    for (const auto& labeled : scenario.traces) {
+      ownership[labeled.trace.vehicle_id] = labeled.trace.vehicle_id;
+    }
+  }
+
+  // Pair every transmitted message with the sender's *true* position (the
+  // channel cares about physics, not claimed coordinates). Rotation splits
+  // traces but preserves global message order per vehicle, so we walk the
+  // benign fleet in lockstep via per-vehicle counters.
+  std::map<std::uint32_t, const sim::VehicleTrace*> benign_by_id;
+  for (const auto& trace : benign_fleet.traces) benign_by_id[trace.vehicle_id] = &trace;
+  std::map<std::uint32_t, std::size_t> cursor;
+  std::multimap<double, AirMessage> air;
+  for (const auto& trace : transmitted.traces) {
+    const std::uint32_t owner = ownership.at(trace.vehicle_id);
+    const sim::VehicleTrace* true_trace = benign_by_id.at(owner);
+    for (const auto& message : trace.messages) {
+      const std::size_t i = cursor[owner]++;
+      air.emplace(message.time,
+                  AirMessage{&message, true_trace->messages[i].x, true_trace->messages[i].y});
+    }
+  }
+
+  // RSU in the middle of the grid.
+  net::ChannelConfig channel_cfg;
+  channel_cfg.p_congestion_loss = congestion_loss;
+  net::Channel channel(channel_cfg, seed);
+  const double rsu_x = 480.0, rsu_y = 480.0;
+
+  auto ensemble =
+      std::shared_ptr<mbds::VehiGan>(workspace.bundle().make_ensemble(10, 5, seed));
+  mbds::OnlineMbds monitor(1, ensemble, workspace.data().scaler, /*cooldown=*/1.0);
+
+  std::map<std::uint32_t, double> first_report;  // true vehicle -> time
+  DeploymentResult result;
+  for (const auto& [time, msg] : air) {
+    if (!channel.received(msg.true_x, msg.true_y, rsu_x, rsu_y)) continue;
+    ++result.messages_received;
+    const auto report = monitor.ingest(*msg.transmitted);
+    if (report) {
+      const std::uint32_t owner = ownership.at(report->suspect_id);
+      if (!first_report.contains(owner)) first_report[owner] = time;
+    }
+  }
+
+  std::size_t attackers = 0, caught = 0;
+  std::vector<double> latencies;
+  for (const auto& [vehicle, malicious] : truth) {
+    if (malicious) {
+      ++attackers;
+      if (first_report.contains(vehicle)) {
+        ++caught;
+        latencies.push_back(first_report.at(vehicle));
+      }
+    } else if (first_report.contains(vehicle)) {
+      ++result.honest_reported;
+    }
+  }
+  result.attacker_recall =
+      attackers == 0 ? 0.0 : static_cast<double>(caught) / static_cast<double>(attackers);
+  if (!latencies.empty()) {
+    result.median_latency_s = util::percentile(latencies, 50.0);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  experiments::Workspace workspace(bench::bench_config());
+  (void)workspace.bundle();  // train/load before timing anything
+
+  // A live scenario on fresh traffic: coupled heading&yaw-rate attackers.
+  sim::TrafficSimConfig traffic = workspace.config().test_sim;
+  traffic.duration_s = 60.0;
+  traffic.seed = 31337;
+  const sim::BsmDataset fleet = sim::TrafficSimulator(traffic).run();
+  vasp::ScenarioOptions scenario_opts;
+  const auto scenario =
+      vasp::build_scenario(fleet, vasp::attack_by_name("RandomHeadingYawRate"), scenario_opts);
+
+  std::cout << "=== Extension: RSU deployment under packet loss & pseudonym rotation ===\n"
+            << "fleet: " << fleet.traces.size() << " vehicles (" << scenario.malicious_count()
+            << " attackers), RSU at grid center, range "
+            << net::ChannelConfig{}.max_range_m << " m\n\n";
+
+  experiments::TablePrinter table({"congestion loss", "pseudonym period", "received msgs",
+                                   "attacker recall", "median latency [s]",
+                                   "honest reported"});
+  for (double loss : {0.0, 0.2, 0.4}) {
+    for (double period : {-1.0, 20.0, 5.0}) {
+      const DeploymentResult r = run_deployment(workspace, workspace, fleet, scenario, loss,
+                                                period, 4242);
+      table.add_row({experiments::TablePrinter::format(loss, 1),
+                     period <= 0 ? "none" : experiments::TablePrinter::format(period, 0) + " s",
+                     std::to_string(r.messages_received),
+                     experiments::TablePrinter::format(r.attacker_recall, 2),
+                     r.median_latency_s < 0 ? "-" :
+                         experiments::TablePrinter::format(r.median_latency_s, 1),
+                     std::to_string(r.honest_reported)});
+    }
+  }
+  table.print();
+  std::cout << "\n(expected: recall degrades gracefully with loss; faster pseudonym\n"
+               " rotation delays detection by truncating per-sender windows, but the\n"
+               " persistent attacker is still caught within a few rotation epochs.)\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Extension experiment — full event-driven co-simulation under increasing
+// channel congestion. Unlike bench_ext_deployment (trace replay through a
+// reception filter), this harness runs the discrete-event kernel: jittered
+// 10 Hz transmissions, frame-level collisions, certificate verification, and
+// CRL enforcement all interact. Reported per congestion level: medium
+// statistics, RSU acceptance, detection outcome.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "simnet/scenario.hpp"
+
+using namespace vehigan;
+
+int main() {
+  experiments::Workspace workspace(bench::bench_config());
+  auto ensemble = std::shared_ptr<mbds::VehiGan>(
+      workspace.bundle().make_ensemble(std::min<std::size_t>(10, 60), 5, 53));
+
+  sim::TrafficSimConfig traffic = workspace.config().test_sim;
+  traffic.duration_s = 45.0;
+  traffic.seed = 5151;
+  const sim::BsmDataset fleet = sim::TrafficSimulator(traffic).run();
+
+  std::cout << "=== Extension: event-driven V2X co-simulation (collisions + SCMS + VEHIGAN) "
+               "===\n"
+            << "fleet " << fleet.traces.size() << " vehicles, 45 s, attack "
+            << vasp::attack_by_index(30).name << ", 25% attackers\n\n";
+
+  experiments::TablePrinter table({"congestion", "sent", "delivered", "collision kills",
+                                   "RSU accepted", "post-CRL drops", "MBRs", "recall",
+                                   "honest revoked"});
+  for (double congestion : {0.0, 0.2, 0.4}) {
+    simnet::ScenarioConfig scenario;
+    scenario.channel.p_congestion_loss = congestion;
+    const simnet::ScenarioResult r =
+        simnet::run_scenario(fleet, scenario, ensemble, workspace.data().scaler);
+    table.add_row({experiments::TablePrinter::format(congestion, 1),
+                   std::to_string(r.medium.frames_sent), std::to_string(r.medium.deliveries),
+                   std::to_string(r.medium.collisions), std::to_string(r.rsu.accepted),
+                   std::to_string(r.rsu.rejected_revoked), std::to_string(r.rsu.reports),
+                   experiments::TablePrinter::format(r.attacker_recall(), 2),
+                   std::to_string(r.honest_revoked())});
+  }
+  table.print();
+  std::cout << "\n(recall should degrade gracefully with congestion while honest\n"
+               " revocations stay at zero; post-CRL drops show enforcement closing\n"
+               " the loop inside the same simulation.)\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Extension/ablation — Lipschitz regularization of the critic: weight
+// clipping (Arjovsky WGAN, this repo's default) vs gradient penalty
+// (Gulrajani WGAN-GP, which the paper cites as the popular variant).
+//
+// Trains a small matched pool under each regime on the same data/seeds and
+// compares training cost and detection quality, quantifying the DESIGN.md
+// trade-off that justified defaulting to clipping on a single CPU core.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "mbds/pipeline.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace vehigan;
+
+namespace {
+
+struct PoolResult {
+  double train_seconds = 0.0;
+  double best_avg_auroc = 0.0;
+  double mean_avg_auroc = 0.0;
+};
+
+PoolResult evaluate_pool(gan::Regularization reg, gan::GeneratorArch arch,
+                         const experiments::ExperimentData& data,
+                         const experiments::ExperimentConfig& config) {
+  gan::TrainOptions opts = config.train_opts;
+  opts.reg = reg;
+  opts.generator_arch = arch;
+  const gan::WganTrainer trainer(opts);
+
+  util::Stopwatch sw;
+  std::vector<mbds::WganDetector> detectors;
+  int id = 0;
+  for (std::size_t z : {8UL, 32UL, 64UL}) {
+    for (int layers : {6, 7}) {
+      gan::WganConfig cfg;
+      cfg.id = id++;
+      cfg.z_dim = z;
+      cfg.layers = layers;
+      cfg.train_epochs = 6;
+      detectors.emplace_back(trainer.train(cfg, data.train_windows));
+    }
+  }
+  PoolResult result;
+  result.train_seconds = sw.elapsed_seconds();
+
+  double best = 0.0, sum = 0.0;
+  for (auto& detector : detectors) {
+    const auto raw = detector.score_all(data.train_windows);
+    detector.calibrate(raw);
+    const auto benign = detector.score_all(data.test_benign);
+    double avg = 0.0;
+    for (const auto& attack : data.test_attacks) {
+      avg += metrics::auroc(benign, detector.score_all(attack.malicious));
+    }
+    avg /= static_cast<double>(data.test_attacks.size());
+    best = std::max(best, avg);
+    sum += avg;
+  }
+  result.best_avg_auroc = best;
+  result.mean_avg_auroc = sum / static_cast<double>(detectors.size());
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  experiments::ExperimentConfig config = bench::bench_config();
+  const experiments::ExperimentData data = build_experiment_data(config);
+
+  std::cout << "=== Ablation: critic regularization & generator architecture "
+               "(6-model pools, same seeds) ===\n\n";
+  const PoolResult clip = evaluate_pool(gan::Regularization::kWeightClipping,
+                                        gan::GeneratorArch::kUpsampleConv, data, config);
+  const PoolResult gp = evaluate_pool(gan::Regularization::kGradientPenalty,
+                                      gan::GeneratorArch::kUpsampleConv, data, config);
+  const PoolResult deconv = evaluate_pool(gan::Regularization::kWeightClipping,
+                                          gan::GeneratorArch::kTransposedConv, data, config);
+
+  experiments::TablePrinter table(
+      {"variant", "train time [s]", "best model avg AUROC", "pool mean avg AUROC"});
+  table.add_row({"clip + upsample G (default)",
+                 experiments::TablePrinter::format(clip.train_seconds, 1),
+                 experiments::TablePrinter::format(clip.best_avg_auroc, 3),
+                 experiments::TablePrinter::format(clip.mean_avg_auroc, 3)});
+  table.add_row({"gradient penalty + upsample G",
+                 experiments::TablePrinter::format(gp.train_seconds, 1),
+                 experiments::TablePrinter::format(gp.best_avg_auroc, 3),
+                 experiments::TablePrinter::format(gp.mean_avg_auroc, 3)});
+  table.add_row({"clip + transposed-conv G",
+                 experiments::TablePrinter::format(deconv.train_seconds, 1),
+                 experiments::TablePrinter::format(deconv.best_avg_auroc, 3),
+                 experiments::TablePrinter::format(deconv.mean_avg_auroc, 3)});
+  table.print();
+  std::cout << "\n(the GP pass costs ~2x per step — three extra critic passes via the\n"
+               " finite-difference double-backprop; detection quality decides the default.)\n";
+  return 0;
+}

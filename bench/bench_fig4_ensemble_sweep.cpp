@@ -1,0 +1,96 @@
+// Fig. 4 — average AUROC of VEHIGAN_m^k over the candidate-pool size m and
+// the deployed-subset size k. The paper's findings to reproduce:
+//   * AUROC grows with m and plateaus around m >= 5,
+//   * k does not need to equal m: k > m/2 already gives elevated scores.
+//
+// Also runs the DESIGN.md ablation: ADS-ranked candidates vs randomly picked
+// candidates, isolating the value of the pre-evaluation step (Sec. III-E).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace vehigan;
+
+namespace {
+
+/// Average test AUROC of VEHIGAN_m^k given precomputed member score
+/// matrices for benign and every attack.
+double sweep_auroc(const bench::ScoreMatrix& benign,
+                   const std::vector<bench::ScoreMatrix>& attacks, std::size_t m,
+                   std::size_t k, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::vector<float> benign_scores = bench::ensemble_scores(benign, m, k, rng);
+  double sum = 0.0;
+  for (const auto& attack : attacks) {
+    const std::vector<float> attack_scores = bench::ensemble_scores(attack, m, k, rng);
+    sum += metrics::auroc(benign_scores, attack_scores);
+  }
+  return sum / static_cast<double>(attacks.size());
+}
+
+}  // namespace
+
+int main() {
+  experiments::Workspace workspace(bench::bench_config());
+  const auto& data = workspace.data();
+  const auto& bundle = workspace.bundle();
+  const std::size_t max_m = std::min<std::size_t>(10, bundle.detectors().size());
+
+  std::cout << "=== Fig. 4: average AUROC of VehiGAN_m^k ===\n\n";
+
+  // Member scores once, reused by every (m, k) cell.
+  const bench::ScoreMatrix benign = bench::score_matrix(bundle, max_m, data.test_benign);
+  std::vector<bench::ScoreMatrix> attacks;
+  attacks.reserve(data.test_attacks.size());
+  for (const auto& attack : data.test_attacks) {
+    attacks.push_back(bench::score_matrix(bundle, max_m, attack.malicious));
+  }
+
+  std::vector<std::string> headers = {"m \\ k"};
+  for (std::size_t k = 1; k <= max_m; ++k) headers.push_back("k=" + std::to_string(k));
+  experiments::TablePrinter table(std::move(headers));
+  double plateau_small_m = 0.0;  // best AUROC with m < 5
+  double plateau_large_m = 0.0;  // best AUROC with m >= 5
+  for (std::size_t m = 1; m <= max_m; ++m) {
+    std::vector<std::string> row = {"m=" + std::to_string(m)};
+    for (std::size_t k = 1; k <= max_m; ++k) {
+      if (k > m) {
+        row.emplace_back("-");
+        continue;
+      }
+      const double score = sweep_auroc(benign, attacks, m, k, 1000 + m * 16 + k);
+      row.push_back(experiments::TablePrinter::format(score, 3));
+      if (m < 5) plateau_small_m = std::max(plateau_small_m, score);
+      else plateau_large_m = std::max(plateau_large_m, score);
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::cout << "\nbest avg AUROC with m<5: "
+            << experiments::TablePrinter::format(plateau_small_m, 3)
+            << ", with m>=5: " << experiments::TablePrinter::format(plateau_large_m, 3)
+            << " (expected: gains plateau around m >= 5, k > m/2 suffices)\n";
+
+  // ---- Ablation: ADS selection vs random candidate pools -----------------
+  std::cout << "\n--- ablation: ADS-ranked vs random candidate pool (m=5, k=5) ---\n";
+  const std::size_t pool = bundle.detectors().size();
+  bench::ScoreMatrix random_benign;
+  std::vector<bench::ScoreMatrix> random_attacks(data.test_attacks.size());
+  util::Rng pick(99);
+  const auto random_members = pick.sample_without_replacement(pool, 5);
+  for (std::size_t member : random_members) {
+    random_benign.scores.push_back(bundle.detectors()[member]->score_all(data.test_benign));
+    for (std::size_t a = 0; a < data.test_attacks.size(); ++a) {
+      random_attacks[a].scores.push_back(
+          bundle.detectors()[member]->score_all(data.test_attacks[a].malicious));
+    }
+  }
+  const double ads_score = sweep_auroc(benign, attacks, 5, 5, 7);
+  const double random_score = sweep_auroc(random_benign, random_attacks, 5, 5, 7);
+  std::cout << "  ADS top-5 ensemble:    " << experiments::TablePrinter::format(ads_score, 3)
+            << "\n  random-5 ensemble:     "
+            << experiments::TablePrinter::format(random_score, 3)
+            << "\n  (pre-evaluation should clearly beat random selection)\n";
+  return 0;
+}

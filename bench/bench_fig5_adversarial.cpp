@@ -1,0 +1,125 @@
+// Fig. 5 — adversarial robustness of single-WGAN VEHIGAN_1^1:
+//   (a) white-box AFP: FPR of the top-10 models vs epsilon, against a
+//       magnitude-matched random-noise baseline,
+//   (b) AFN: FNR of the top-10 models vs epsilon (intrinsic robustness),
+//   (c) black-box transfer: AFP samples crafted on the best model, replayed
+//       against the other nine.
+//
+// Expected shape: (a) FPR explodes with epsilon while noise stays low;
+// (b) FNR barely moves; (c) transfer behaves like noise, not like (a).
+
+#include <iostream>
+
+#include "adv/fgsm.hpp"
+#include "adv/robustness.hpp"
+#include "bench_common.hpp"
+
+using namespace vehigan;
+
+namespace {
+// The paper sweeps eps in [0, 0.02]. This repo's critics are smaller and
+// smoother (weight-clipped, trained at reduced scale), so the same FPR
+// transition happens at ~5x the paper's epsilon; the sweep covers both
+// ranges and EXPERIMENTS.md records the rescaling.
+constexpr float kEpsilons[] = {0.0F, 0.01F, 0.02F, 0.05F, 0.1F};
+}
+
+int main() {
+  experiments::Workspace workspace(bench::bench_config());
+  const auto& data = workspace.data();
+  const auto& bundle = workspace.bundle();
+  const std::size_t top = std::min<std::size_t>(10, bundle.detectors().size());
+
+  // A manageable benign sample (every window needs one backward pass per
+  // model per subplot).
+  const features::WindowSet benign = data.test_benign.subsample(4);
+  util::Rng noise_rng(5);
+
+  std::cout << "=== Fig. 5a: white-box AFP attack vs random noise (top-" << top
+            << " models) ===\n\n";
+  {
+    experiments::TablePrinter table({"eps", "FPR(FGSM) mean", "FPR(FGSM) min-max",
+                                     "FPR(noise) mean"});
+    for (float eps : kEpsilons) {
+      double sum_adv = 0.0, lo = 1.0, hi = 0.0, sum_noise = 0.0;
+      for (std::size_t r = 0; r < top; ++r) {
+        auto& model = *bundle.top(r);
+        const auto adv_set =
+            adv::craft_adversarial(model, benign, eps, adv::AttackGoal::kFalsePositive);
+        const double fpr = adv::flag_rate(model, adv_set);
+        sum_adv += fpr;
+        lo = std::min(lo, fpr);
+        hi = std::max(hi, fpr);
+        const auto noisy = adv::craft_noise(benign, eps, noise_rng);
+        sum_noise += adv::flag_rate(model, noisy);
+      }
+      table.add_row({experiments::TablePrinter::format(eps, 3),
+                     experiments::TablePrinter::format(sum_adv / top, 2),
+                     experiments::TablePrinter::format(lo, 2) + "-" +
+                         experiments::TablePrinter::format(hi, 2),
+                     experiments::TablePrinter::format(sum_noise / top, 2)});
+    }
+    table.print();
+  }
+
+  std::cout << "\n=== Fig. 5b: AFN attack on misbehavior windows (top-" << top
+            << " models) ===\n\n";
+  {
+    // Pool a sample of windows across attacks that the models detect, then
+    // try to make them evade.
+    features::WindowSet attacks;
+    attacks.window = benign.window;
+    attacks.width = benign.width;
+    for (const auto& scenario : data.test_attacks) {
+      attacks.extend(scenario.malicious.subsample(35));
+    }
+    experiments::TablePrinter table({"eps", "FNR mean", "FNR min-max"});
+    for (float eps : kEpsilons) {
+      double sum = 0.0, lo = 1.0, hi = 0.0;
+      for (std::size_t r = 0; r < top; ++r) {
+        auto& model = *bundle.top(r);
+        const auto adv_set =
+            adv::craft_adversarial(model, attacks, eps, adv::AttackGoal::kFalseNegative);
+        const double fnr = adv::miss_rate(model, adv_set);
+        sum += fnr;
+        lo = std::min(lo, fnr);
+        hi = std::max(hi, fnr);
+      }
+      table.add_row({experiments::TablePrinter::format(eps, 3),
+                     experiments::TablePrinter::format(sum / top, 2),
+                     experiments::TablePrinter::format(lo, 2) + "-" +
+                         experiments::TablePrinter::format(hi, 2)});
+    }
+    table.print();
+    std::cout << "(expected: FNR stays near its eps=0 level — AFN perturbations push\n"
+                 " samples off the benign manifold instead of onto it, Sec. V-B1)\n";
+  }
+
+  std::cout << "\n=== Fig. 5c: black-box AFP transfer from the best model ===\n\n";
+  {
+    auto& surrogate = *bundle.top(0);
+    experiments::TablePrinter table({"eps", "FPR white-box (source)",
+                                     "FPR black-box mean", "FPR black-box min-max"});
+    for (float eps : kEpsilons) {
+      const auto adv_set =
+          adv::craft_adversarial(surrogate, benign, eps, adv::AttackGoal::kFalsePositive);
+      const double white = adv::flag_rate(surrogate, adv_set);
+      double sum = 0.0, lo = 1.0, hi = 0.0;
+      for (std::size_t r = 1; r < top; ++r) {
+        const double fpr = adv::flag_rate(*bundle.top(r), adv_set);
+        sum += fpr;
+        lo = std::min(lo, fpr);
+        hi = std::max(hi, fpr);
+      }
+      table.add_row({experiments::TablePrinter::format(eps, 3),
+                     experiments::TablePrinter::format(white, 2),
+                     experiments::TablePrinter::format(sum / (top - 1), 2),
+                     experiments::TablePrinter::format(lo, 2) + "-" +
+                         experiments::TablePrinter::format(hi, 2)});
+    }
+    table.print();
+    std::cout << "(expected: black-box response ~ noise level -> adversarial samples do\n"
+                 " not transfer across independently trained critics, Sec. V-B1)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Fig. 7 — adversarial robustness of the ensemble VEHIGAN_m^k:
+//   (a) gray-box single-model AFP: samples crafted on the best model, FPR of
+//       VEHIGAN_m^k for every m and k (the compromised model is in the
+//       ensemble),
+//   (b) white-box multi-model AFP: the attacker back-propagates through all
+//       m deployed critics and attacks their ensembled score.
+//
+// Expected shape (paper Sec. V-B2): single-model FPR of 80-100 % collapses
+// to < 5 % once m >= 5 and k >= 2 (gray-box) / k >= 5 (multi-model) — the
+// ~92 % FPR improvement headline.
+
+#include <iostream>
+
+#include "adv/fgsm.hpp"
+#include "adv/robustness.hpp"
+#include "bench_common.hpp"
+
+using namespace vehigan;
+
+namespace {
+
+// The paper uses eps = 0.01; this repo's critics are smoother (see
+// bench_fig5_adversarial), so the equivalent operating point — where the
+// white-box single-model FPR reaches ~100 % — is eps = 0.1.
+constexpr float kEps = 0.1F;
+
+void print_sweep(const mbds::VehiGanBundle& bundle, const features::WindowSet& adv_set,
+                 std::size_t max_m) {
+  const bench::ScoreMatrix matrix = bench::score_matrix(bundle, max_m, adv_set);
+  std::vector<std::string> headers = {"m \\ k"};
+  for (std::size_t k = 1; k <= max_m; ++k) headers.push_back("k=" + std::to_string(k));
+  experiments::TablePrinter table(std::move(headers));
+  util::Rng rng(31);
+  for (std::size_t m = 1; m <= max_m; ++m) {
+    std::vector<std::string> row = {"m=" + std::to_string(m)};
+    for (std::size_t k = 1; k <= max_m; ++k) {
+      if (k > m) {
+        row.emplace_back("-");
+        continue;
+      }
+      row.push_back(experiments::TablePrinter::format(
+          bench::ensemble_flag_rate(bundle, matrix, m, k, rng), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  experiments::Workspace workspace(bench::bench_config());
+  const auto& data = workspace.data();
+  const auto& bundle = workspace.bundle();
+  const std::size_t max_m = std::min<std::size_t>(10, bundle.detectors().size());
+  const features::WindowSet benign = data.test_benign.subsample(4);
+
+  std::cout << "=== Fig. 7: FPR of VehiGAN_m^k under AFP attacks (eps = " << kEps
+            << ", " << benign.count() << " benign windows) ===\n\n";
+
+  // Reference point: the single compromised model.
+  auto& best = *bundle.top(0);
+  const auto gray_set = adv::craft_adversarial(best, benign, kEps,
+                                               adv::AttackGoal::kFalsePositive);
+  const double single_fpr = adv::flag_rate(best, gray_set);
+  std::cout << "white-box FPR on the compromised single model: "
+            << experiments::TablePrinter::format(single_fpr, 2) << "\n\n";
+
+  std::cout << "--- (a) gray-box: AFP samples from the best model vs the ensemble ---\n\n";
+  print_sweep(bundle, gray_set, max_m);
+
+  std::cout << "\n--- (b) white-box multi-model: attacker differentiates through all m "
+               "candidates ---\n\n";
+  // For each m the attacker re-crafts using the top-m critics jointly; the
+  // table row m reports that attack against VEHIGAN_m^k.
+  {
+    std::vector<std::string> headers = {"m \\ k"};
+    for (std::size_t k = 1; k <= max_m; ++k) headers.push_back("k=" + std::to_string(k));
+    experiments::TablePrinter table(std::move(headers));
+    util::Rng rng(37);
+    double fpr_m_ge5_k_ge5_max = 0.0;
+    for (std::size_t m = 1; m <= max_m; ++m) {
+      std::vector<std::shared_ptr<mbds::WganDetector>> sources;
+      for (std::size_t r = 0; r < m; ++r) sources.push_back(bundle.top(r));
+      const auto multi_set =
+          adv::craft_adversarial_multi(sources, benign, kEps, adv::AttackGoal::kFalsePositive);
+      const bench::ScoreMatrix matrix = bench::score_matrix(bundle, max_m, multi_set);
+      std::vector<std::string> row = {"m=" + std::to_string(m)};
+      for (std::size_t k = 1; k <= max_m; ++k) {
+        if (k > m) {
+          row.emplace_back("-");
+          continue;
+        }
+        const double fpr = bench::ensemble_flag_rate(bundle, matrix, m, k, rng);
+        row.push_back(experiments::TablePrinter::format(fpr, 2));
+        if (m > 5 && k >= 5) fpr_m_ge5_k_ge5_max = std::max(fpr_m_ge5_k_ge5_max, fpr);
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+    std::cout << "\nmax FPR over configurations with m>5, k>=5: "
+              << experiments::TablePrinter::format(fpr_m_ge5_k_ge5_max, 2) << "\n";
+  }
+
+  std::cout << "\nheadline: single-model AFP FPR "
+            << experiments::TablePrinter::format(single_fpr, 2)
+            << " vs ensemble (m>=5) — the paper's ~92% FPR improvement under the\n"
+            << "strongest adaptive attacker comes from this gap.\n";
+  return 0;
+}

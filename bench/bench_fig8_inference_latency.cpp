@@ -1,0 +1,127 @@
+// Fig. 8 — scalability analysis: per-snapshot inference latency of every
+// trained discriminator, (a) in the standard graph-walking runtime and
+// (b) compiled to the allocation-free fused "lite" engine (the TFLite
+// analogue), grouped by the number of layers in D.
+//
+// The paper's shape: standard inference sits comfortably under the 100 ms
+// BSM interval; lite inference is orders of magnitude faster (< 0.4 ms),
+// with a mild increase per extra layer.
+//
+// Built on google-benchmark; one registered benchmark per (model, runtime).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "nn/lite.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace vehigan;
+
+namespace {
+
+struct Fixture {
+  experiments::Workspace workspace{bench::bench_config()};
+  std::vector<float> sample;
+  std::vector<nn::Sequential> standard;          // one critic per model
+  std::vector<nn::lite::LiteModel> lite;         // lite-compiled critics
+  std::vector<std::string> names;
+  std::vector<int> layers;
+
+  Fixture() {
+    const auto& models = workspace.models();
+    const auto& data = workspace.data();
+    sample.assign(data.test_benign.snapshot(0).begin(), data.test_benign.snapshot(0).end());
+    for (const auto& model : models) {
+      standard.push_back(model.discriminator.clone());
+      lite.push_back(nn::lite::LiteModel::compile(
+          model.discriminator, {1, model.config.window, model.config.width}));
+      names.push_back(model.config.name());
+      layers.push_back(model.config.layers);
+    }
+  }
+};
+
+Fixture& fixture() {
+  static Fixture instance;
+  return instance;
+}
+
+void standard_inference(benchmark::State& state, std::size_t index) {
+  auto& fx = fixture();
+  const std::size_t window = fx.workspace.config().window;
+  for (auto _ : state) {
+    const float score =
+        nn::forward_scalar(fx.standard[index], fx.sample, window, features::kNumFeatures);
+    benchmark::DoNotOptimize(score);
+  }
+}
+
+void lite_inference(benchmark::State& state, std::size_t index) {
+  auto& fx = fixture();
+  for (auto _ : state) {
+    const float score = fx.lite[index].infer_scalar(fx.sample);
+    benchmark::DoNotOptimize(score);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto& fx = fixture();
+
+  // Per-layer-count averages printed up front (the Fig. 8 grouping); the
+  // registered benchmarks below give the rigorous per-model numbers.
+  std::map<int, std::pair<double, int>> standard_by_layers;
+  std::map<int, std::pair<double, int>> lite_by_layers;
+  const std::size_t window = fx.workspace.config().window;
+  for (std::size_t i = 0; i < fx.standard.size(); ++i) {
+    util::Stopwatch sw;
+    constexpr int kReps = 50;
+    for (int r = 0; r < kReps; ++r) {
+      benchmark::DoNotOptimize(
+          nn::forward_scalar(fx.standard[i], fx.sample, window, features::kNumFeatures));
+    }
+    standard_by_layers[fx.layers[i]].first += sw.elapsed_ms() / kReps;
+    standard_by_layers[fx.layers[i]].second += 1;
+    sw.reset();
+    for (int r = 0; r < kReps; ++r) {
+      benchmark::DoNotOptimize(fx.lite[i].infer_scalar(fx.sample));
+    }
+    lite_by_layers[fx.layers[i]].first += sw.elapsed_ms() / kReps;
+    lite_by_layers[fx.layers[i]].second += 1;
+  }
+  std::cout << "=== Fig. 8: inference latency per snapshot, by discriminator depth ===\n\n";
+  experiments::TablePrinter table(
+      {"layers in D", "standard mean [ms]", "lite mean [ms]", "speedup", "models"});
+  for (const auto& [depth, acc] : standard_by_layers) {
+    const double std_ms = acc.first / acc.second;
+    const double lite_ms = lite_by_layers[depth].first / lite_by_layers[depth].second;
+    table.add_row({std::to_string(depth), experiments::TablePrinter::format(std_ms, 3),
+                   experiments::TablePrinter::format(lite_ms, 4),
+                   experiments::TablePrinter::format(std_ms / lite_ms, 1) + "x",
+                   std::to_string(acc.second)});
+  }
+  table.print();
+  std::cout << "\nBSM interval budget: 100 ms per message. Detailed per-model benchmarks "
+               "follow.\n\n";
+
+  // Register a representative subset with google-benchmark (one per
+  // (z-dim-extreme, layer count) cell to keep the run short) plus the
+  // biggest model in each runtime.
+  for (std::size_t i = 0; i < fx.standard.size(); ++i) {
+    if (fx.names[i].find("_e100") == std::string::npos) continue;  // 15 models
+    benchmark::RegisterBenchmark(("standard/" + fx.names[i]).c_str(), standard_inference, i)
+        ->Unit(benchmark::kMicrosecond)
+        ->MinTime(0.05);
+    benchmark::RegisterBenchmark(("lite/" + fx.names[i]).c_str(), lite_inference, i)
+        ->Unit(benchmark::kMicrosecond)
+        ->MinTime(0.05);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Table I — the attack matrix: attack types x targeted fields with the
+// 1-based attack indices, regenerated from the vasp registry. This harness
+// verifies and prints the exact threat model the dataset builder implements.
+
+#include <iostream>
+#include <map>
+
+#include "experiments/table_printer.hpp"
+#include "vasp/attack_types.hpp"
+
+using namespace vehigan;
+
+int main() {
+  std::cout << "=== Table I: attack matrix (attack index per type x field) ===\n\n";
+
+  const vasp::AttackType types[] = {
+      vasp::AttackType::kRandom,        vasp::AttackType::kRandomOffset,
+      vasp::AttackType::kConstant,      vasp::AttackType::kConstantOffset,
+      vasp::AttackType::kHigh,          vasp::AttackType::kLow,
+      vasp::AttackType::kOpposite,      vasp::AttackType::kPerpendicular,
+      vasp::AttackType::kRotating,
+  };
+  const vasp::TargetField fields[] = {
+      vasp::TargetField::kPosition, vasp::TargetField::kSpeed,
+      vasp::TargetField::kAcceleration, vasp::TargetField::kHeading,
+      vasp::TargetField::kYawRate, vasp::TargetField::kHeadingYawRate,
+  };
+
+  std::map<std::pair<int, int>, int> index;
+  for (const auto& spec : vasp::attack_matrix()) {
+    index[{static_cast<int>(spec.type), static_cast<int>(spec.field)}] = spec.index;
+  }
+
+  std::vector<std::string> headers = {"Attack Type"};
+  for (auto field : fields) headers.emplace_back(vasp::to_string(field));
+  experiments::TablePrinter table(std::move(headers));
+  for (auto type : types) {
+    std::vector<std::string> row = {std::string(vasp::to_string(type))};
+    for (auto field : fields) {
+      const auto it = index.find({static_cast<int>(type), static_cast<int>(field)});
+      row.push_back(it == index.end() ? "-" : std::to_string(it->second));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+
+  std::cout << "\n35 in-scope misbehaviors (index: name):\n";
+  for (const auto& spec : vasp::attack_matrix()) {
+    std::cout << "  " << spec.index << ": " << spec.name
+              << (vasp::is_advanced(spec) ? "  [advanced: coupled heading & yaw rate]" : "")
+              << "\n";
+  }
+  return 0;
+}

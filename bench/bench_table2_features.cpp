@@ -1,0 +1,110 @@
+// Table II — physics-guided feature engineering: regenerates the relations
+// between decomposed, relational, and delta features and verifies them
+// empirically on simulated traffic. For each Table-II relation we report the
+// Pearson correlation on benign traces (expected ~1) and under a misbehavior
+// that breaks the relation (expected to collapse) — this is the mechanism
+// that makes the engineered features detection-bearing.
+
+#include <cmath>
+#include <iostream>
+
+#include "experiments/table_printer.hpp"
+#include "features/feature_engineering.hpp"
+#include "sim/traffic_sim.hpp"
+#include "vasp/dataset_builder.hpp"
+
+using namespace vehigan;
+
+namespace {
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  const double n = static_cast<double>(a.size());
+  double ma = 0, mb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0, va = 0, vb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  return cov / std::sqrt(std::max(va * vb, 1e-12));
+}
+
+/// Gathers (lhs, rhs) samples of one Table-II relation over a trace set.
+struct Relation {
+  std::string name;
+  std::size_t lhs;          ///< FeatureRow index
+  std::size_t rhs;          ///< FeatureRow index
+  double rhs_scale;         ///< e.g. dt when rhs must be scaled by dt
+};
+
+double relation_correlation(const std::vector<sim::VehicleTrace>& traces,
+                            const Relation& relation) {
+  std::vector<double> lhs, rhs;
+  for (const auto& trace : traces) {
+    const auto series = features::extract_features(trace);
+    for (const auto& row : series.rows) {
+      lhs.push_back(row[relation.lhs]);
+      rhs.push_back(row[relation.rhs] * relation.rhs_scale);
+    }
+  }
+  return lhs.size() < 3 ? 0.0 : pearson(lhs, rhs);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Table II: feature engineering relations ===\n\n";
+  std::cout << "Raw -> decomposed/relational/delta feature map:\n"
+            << "  Position (x, y)    : dx = x(t)-x(t-1), dy = y(t)-y(t-1)\n"
+            << "  Speed v            : vx = v cos(h), vy = v sin(h); dx ~ vx*dt\n"
+            << "  Acceleration a     : ax = a cos(h), ay = a sin(h); dvx ~ ax*dt\n"
+            << "  Heading h          : dhx = cos(h(t))-cos(h(t-1)), dhy likewise\n"
+            << "  Yaw rate w         : wx = w cos(h), wy = w sin(h); dhx ~ -wy*dt\n\n";
+
+  sim::TrafficSimConfig traffic;
+  traffic.duration_s = 90.0;
+  traffic.num_platoons = 6;
+  traffic.vehicles_per_platoon = 4;
+  traffic.seed = 11;
+  const sim::BsmDataset benign = sim::TrafficSimulator(traffic).run();
+
+  using features::FeatureIndex;
+  const double dt = traffic.dt_s;
+  const std::vector<Relation> relations = {
+      {"dx ~ vx*dt", FeatureIndex::kDx, FeatureIndex::kVx, dt},
+      {"dy ~ vy*dt", FeatureIndex::kDy, FeatureIndex::kVy, dt},
+      {"dvx ~ ax*dt", FeatureIndex::kDVx, FeatureIndex::kAx, dt},
+      {"dvy ~ ay*dt", FeatureIndex::kDVy, FeatureIndex::kAy, dt},
+      {"dhx ~ -wy*dt", FeatureIndex::kDHx, FeatureIndex::kWy, -dt},
+      {"dhy ~ wx*dt", FeatureIndex::kDHy, FeatureIndex::kWx, dt},
+  };
+
+  // The attack that breaks each relation by falsifying one side of it.
+  const std::vector<std::string> breakers = {"RandomPosition", "RandomPosition",
+                                             "RandomAcceleration", "RandomAcceleration",
+                                             "RandomYawRate", "RandomYawRate"};
+
+  experiments::TablePrinter table({"Relation", "corr (benign)", "corr (attack)", "attack"});
+  for (std::size_t i = 0; i < relations.size(); ++i) {
+    const double benign_corr = relation_correlation(benign.traces, relations[i]);
+    const auto scenario = vasp::build_scenario(
+        benign, vasp::attack_by_name(breakers[i]), vasp::ScenarioOptions{});
+    std::vector<sim::VehicleTrace> attacked;
+    for (const auto& labeled : scenario.traces) {
+      if (labeled.malicious) attacked.push_back(labeled.trace);
+    }
+    const double attack_corr = relation_correlation(attacked, relations[i]);
+    table.add_row({relations[i].name, experiments::TablePrinter::format(benign_corr, 3),
+                   experiments::TablePrinter::format(attack_corr, 3), breakers[i]});
+  }
+  table.print();
+  std::cout << "\nBenign correlations near 1.0 and collapsed attack correlations confirm\n"
+               "the physics-guided features carry the misbehavior signal (Sec. III-C).\n";
+  return 0;
+}

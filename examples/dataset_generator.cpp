@@ -1,0 +1,60 @@
+// Dataset generator: reproduces the released-artifact side of the paper —
+// a VASP-style V2X misbehavior dataset as CSV files.
+//
+// Generates one benign trace file plus one file per requested attack (all 35
+// by default), each with 25 % persistent attackers, and prints a summary.
+//
+// Usage: dataset_generator [output-dir] [duration-seconds] [attack ...]
+
+#include <filesystem>
+#include <iostream>
+
+#include "sim/traffic_sim.hpp"
+#include "util/csv.hpp"
+#include "vasp/dataset_builder.hpp"
+
+using namespace vehigan;
+
+int main(int argc, char** argv) {
+  const std::filesystem::path out_dir = argc > 1 ? argv[1] : "vehigan_dataset";
+  const double duration = argc > 2 ? std::stod(argv[2]) : 60.0;
+  std::vector<const vasp::AttackSpec*> attacks;
+  if (argc > 3) {
+    for (int i = 3; i < argc; ++i) attacks.push_back(&vasp::attack_by_name(argv[i]));
+  } else {
+    for (const auto& spec : vasp::attack_matrix()) attacks.push_back(&spec);
+  }
+
+  std::filesystem::create_directories(out_dir);
+
+  sim::TrafficSimConfig traffic;
+  traffic.duration_s = duration;
+  traffic.num_platoons = 8;
+  traffic.vehicles_per_platoon = 4;
+  traffic.seed = 2024;
+  std::cout << "simulating " << duration << " s of benign traffic..." << std::endl;
+  const sim::BsmDataset benign = sim::TrafficSimulator(traffic).run();
+  sim::write_bsm_csv(benign, out_dir / "benign.csv");
+  std::cout << "  benign.csv: " << benign.traces.size() << " vehicles, "
+            << benign.total_messages() << " BSMs\n";
+
+  vasp::ScenarioOptions options;  // 25 % attackers, persistent policy
+  for (const auto* spec : attacks) {
+    const vasp::MisbehaviorDataset scenario = vasp::build_scenario(benign, *spec, options);
+    // The released format: transmitted BSMs of the full fleet plus a label
+    // file mapping vehicle id -> ground truth.
+    sim::BsmDataset transmitted;
+    util::CsvWriter labels(out_dir / (std::string(spec->name) + ".labels.csv"));
+    labels.write_row({"vehicle_id", "malicious"});
+    for (const auto& labeled : scenario.traces) {
+      transmitted.traces.push_back(labeled.trace);
+      labels.write_row({std::to_string(labeled.trace.vehicle_id),
+                        labeled.malicious ? "1" : "0"});
+    }
+    sim::write_bsm_csv(transmitted, out_dir / (std::string(spec->name) + ".csv"));
+    std::cout << "  " << spec->name << ".csv: " << scenario.malicious_count()
+              << " attackers\n";
+  }
+  std::cout << "dataset written to " << out_dir << "\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Event-driven co-simulation: the closest analogue to the paper's
+// Veins/OMNeT++ stack in this repository.
+//
+// Everything happens through a discrete-event kernel: each vehicle schedules
+// its own 10 Hz signed transmissions (with phase jitter), frames contend on
+// a collision-prone broadcast medium with distance-dependent loss, the RSU
+// verifies certificates, runs the VEHIGAN monitor on accepted payloads,
+// reports misbehavior, and the credential authority pushes repeat offenders
+// onto the CRL — after which their frames die at the crypto layer.
+//
+// Usage: event_driven_sim [attack-name] [malicious-fraction]
+
+#include <iostream>
+
+#include "experiments/workspace.hpp"
+#include "simnet/scenario.hpp"
+
+using namespace vehigan;
+
+int main(int argc, char** argv) {
+  const std::string attack = argc > 1 ? argv[1] : "RandomHeadingYawRate";
+  const double fraction = argc > 2 ? std::stod(argv[2]) : 0.25;
+
+  experiments::Workspace workspace(experiments::ExperimentConfig::quick());
+  auto ensemble = std::shared_ptr<mbds::VehiGan>(workspace.bundle().make_ensemble(6, 3, 29));
+
+  sim::TrafficSimConfig traffic = workspace.config().test_sim;
+  traffic.duration_s = 40.0;
+  traffic.seed = 20240707;
+  const sim::BsmDataset fleet = sim::TrafficSimulator(traffic).run();
+
+  simnet::ScenarioConfig scenario;
+  scenario.attack_index = vasp::attack_by_name(attack).index;
+  scenario.malicious_fraction = fraction;
+  scenario.channel.p_congestion_loss = 0.1;
+
+  std::cout << "running event-driven scenario: " << fleet.traces.size() << " vehicles, attack "
+            << attack << ", " << static_cast<int>(fraction * 100) << "% attackers\n";
+  const simnet::ScenarioResult result =
+      simnet::run_scenario(fleet, scenario, ensemble, workspace.data().scaler);
+
+  std::cout << "\nsimulated " << result.duration_s << " s in " << result.events_processed
+            << " events\n"
+            << "medium:  " << result.medium.frames_sent << " frames sent, "
+            << result.medium.deliveries << " delivered, " << result.medium.channel_losses
+            << " channel losses, " << result.medium.collisions << " collision kills\n"
+            << "RSU:     " << result.rsu.received << " received, " << result.rsu.accepted
+            << " accepted, " << result.rsu.rejected_revoked << " dropped post-revocation, "
+            << result.rsu.reports << " MBRs filed\n"
+            << "outcome: " << result.revoked.size() << " revocations, attacker recall "
+            << result.attacker_recall() << ", honest vehicles revoked "
+            << result.honest_revoked() << "\n";
+  return 0;
+}

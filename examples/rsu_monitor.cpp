@@ -1,0 +1,78 @@
+// RSU monitor: the deployment scenario of Sec. III-A — a roadside unit
+// running VEHIGAN's testing phase online.
+//
+// The example builds (or loads from .cache/) a quick-scale WGAN grid, mints
+// a VEHIGAN_6^3 ensemble, then replays a live mixed-traffic scenario in
+// which 25 % of vehicles persistently broadcast a chosen misbehavior. Every
+// received BSM updates the per-vehicle snapshot; flagged vehicles are
+// reported to the Misbehavior Authority, which revokes repeat offenders.
+//
+// Usage: rsu_monitor [attack-name]   (default: RandomHeadingYawRate)
+
+#include <iostream>
+#include <map>
+
+#include "experiments/workspace.hpp"
+#include "mbds/online.hpp"
+#include "vasp/dataset_builder.hpp"
+
+using namespace vehigan;
+
+int main(int argc, char** argv) {
+  const std::string attack_name = argc > 1 ? argv[1] : "RandomHeadingYawRate";
+  const vasp::AttackSpec& spec = vasp::attack_by_name(attack_name);
+
+  // Training phase (cached): data, 60-model grid, ADS ranking, thresholds.
+  experiments::Workspace workspace(experiments::ExperimentConfig::quick());
+  const auto& bundle = workspace.bundle();
+  auto ensemble = std::shared_ptr<mbds::VehiGan>(bundle.make_ensemble(/*m=*/6, /*k=*/3, 17));
+  std::cout << "deployed " << ensemble->name() << " on the RSU\n";
+
+  // Testing phase: online monitor + misbehavior authority.
+  mbds::OnlineMbds monitor(/*station_id=*/1001, ensemble, workspace.data().scaler,
+                           /*report_cooldown=*/1.0);
+  mbds::MisbehaviorAuthority authority(/*revocation_quota=*/3);
+  std::size_t reports = 0;
+  monitor.set_report_sink([&](const mbds::MisbehaviorReport& report) {
+    ++reports;
+    if (authority.submit(report)) {
+      std::cout << "  [t=" << report.time << "s] vehicle " << report.suspect_id
+                << " REVOKED (score " << report.score << " > tau " << report.threshold
+                << ")\n";
+    }
+  });
+
+  // Live scenario: fresh traffic with attackers, replayed message by message
+  // in timestamp order, exactly as the RSU would receive it over the air.
+  sim::TrafficSimConfig traffic = workspace.config().test_sim;
+  traffic.duration_s = 40.0;
+  traffic.seed = 4242;
+  const sim::BsmDataset fleet = sim::TrafficSimulator(traffic).run();
+  vasp::ScenarioOptions scenario;
+  scenario.malicious_fraction = 0.25;
+  const vasp::MisbehaviorDataset live = vasp::build_scenario(fleet, spec, scenario);
+
+  std::multimap<double, const sim::Bsm*> air;  // global time-ordered channel
+  std::map<std::uint32_t, bool> truth;
+  for (const auto& labeled : live.traces) {
+    truth[labeled.trace.vehicle_id] = labeled.malicious;
+    for (const auto& message : labeled.trace.messages) air.emplace(message.time, &message);
+  }
+  std::cout << "replaying " << air.size() << " BSMs from " << live.traces.size()
+            << " vehicles (" << live.malicious_count() << " attackers, " << attack_name
+            << ")\n";
+  for (const auto& [time, message] : air) (void)monitor.ingest(*message);
+
+  // Outcome summary: which attackers were caught, which honest vehicles
+  // were wrongly revoked.
+  std::size_t caught = 0;
+  std::size_t wrongly_revoked = 0;
+  for (const auto& [vehicle, malicious] : truth) {
+    if (malicious && authority.is_revoked(vehicle)) ++caught;
+    if (!malicious && authority.is_revoked(vehicle)) ++wrongly_revoked;
+  }
+  std::cout << "\nreports filed: " << reports << "\n"
+            << "attackers revoked: " << caught << "/" << live.malicious_count() << "\n"
+            << "honest vehicles wrongly revoked: " << wrongly_revoked << "\n";
+  return 0;
+}

@@ -1,0 +1,227 @@
+// vehigan — command-line front end to the library.
+//
+//   vehigan attacks
+//       list the 35-misbehavior attack matrix
+//   vehigan simulate --out DIR [--duration S] [--seed N] [--attack NAME]...
+//       generate a benign CSV dataset plus one attacked CSV per attack
+//   vehigan export-veremi --out DIR --attack NAME [--duration S] [--seed N]
+//       write a scenario in the VeReMi-style JSON-lines dialect
+//   vehigan train [--scale quick|standard]
+//       train (or load) the full WGAN grid into the cache and print the
+//       ADS ranking
+//   vehigan evaluate [--scale quick|standard] [--m M] [--k K]
+//       per-attack AUROC of VehiGAN_M^K on the test split
+//   vehigan detect --input FILE.csv [--scale quick|standard] [--m M] [--k K]
+//       run the online MBDS over a BSM CSV (e.g. from `simulate`) and print
+//       misbehavior reports
+//
+// All model training is cached under .cache/vehigan (or $VEHIGAN_CACHE_DIR).
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "data/veremi.hpp"
+#include "experiments/table_printer.hpp"
+#include "experiments/workspace.hpp"
+#include "mbds/online.hpp"
+#include "metrics/roc.hpp"
+#include "util/csv.hpp"
+#include "vasp/dataset_builder.hpp"
+
+using namespace vehigan;
+
+namespace {
+
+/// Parsed `--key value` options plus positional arguments.
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> repeated_attacks;
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double get_num(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc < 2) return args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0 || i + 1 >= argc) {
+      throw std::runtime_error("bad argument: " + token + " (expected --key value)");
+    }
+    const std::string key = token.substr(2);
+    const std::string value = argv[++i];
+    if (key == "attack") args.repeated_attacks.push_back(value);
+    else args.options[key] = value;
+  }
+  return args;
+}
+
+experiments::ExperimentConfig config_for(const Args& args) {
+  return args.get("scale", "quick") == "standard"
+             ? experiments::ExperimentConfig::standard()
+             : experiments::ExperimentConfig::quick();
+}
+
+int cmd_attacks() {
+  experiments::TablePrinter table({"index", "name", "type", "field"});
+  for (const auto& spec : vasp::attack_matrix()) {
+    table.add_row({std::to_string(spec.index), std::string(spec.name),
+                   std::string(vasp::to_string(spec.type)),
+                   std::string(vasp::to_string(spec.field))});
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const std::filesystem::path out = args.get("out", "vehigan_dataset");
+  std::filesystem::create_directories(out);
+  sim::TrafficSimConfig traffic;
+  traffic.duration_s = args.get_num("duration", 60.0);
+  traffic.num_platoons = 8;
+  traffic.vehicles_per_platoon = 4;
+  traffic.seed = static_cast<std::uint64_t>(args.get_num("seed", 2024));
+  const sim::BsmDataset benign = sim::TrafficSimulator(traffic).run();
+  sim::write_bsm_csv(benign, out / "benign.csv");
+  std::cout << "benign.csv: " << benign.traces.size() << " vehicles, "
+            << benign.total_messages() << " BSMs\n";
+  for (const std::string& name : args.repeated_attacks) {
+    const auto scenario = vasp::build_scenario(benign, vasp::attack_by_name(name), {});
+    sim::BsmDataset transmitted;
+    for (const auto& labeled : scenario.traces) transmitted.traces.push_back(labeled.trace);
+    sim::write_bsm_csv(transmitted, out / (name + ".csv"));
+    std::cout << name << ".csv: " << scenario.malicious_count() << " attackers\n";
+  }
+  return 0;
+}
+
+int cmd_export_veremi(const Args& args) {
+  if (args.repeated_attacks.empty()) {
+    std::cerr << "export-veremi requires --attack NAME\n";
+    return 2;
+  }
+  const std::filesystem::path out = args.get("out", "vehigan_veremi");
+  sim::TrafficSimConfig traffic;
+  traffic.duration_s = args.get_num("duration", 60.0);
+  traffic.num_platoons = 8;
+  traffic.vehicles_per_platoon = 4;
+  traffic.seed = static_cast<std::uint64_t>(args.get_num("seed", 2024));
+  const sim::BsmDataset benign = sim::TrafficSimulator(traffic).run();
+  for (const std::string& name : args.repeated_attacks) {
+    const vasp::AttackSpec& spec = vasp::attack_by_name(name);
+    const auto scenario = vasp::build_scenario(benign, spec, {});
+    const auto files = data::write_veremi(scenario, spec.index, out, name);
+    std::cout << "wrote " << files.messages << " and " << files.ground_truth << "\n";
+  }
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  experiments::Workspace workspace(config_for(args));
+  const auto& bundle = workspace.bundle();
+  experiments::TablePrinter table({"rank", "model", "ADS"});
+  for (std::size_t rank = 0; rank < std::min<std::size_t>(10, bundle.ranking().size()); ++rank) {
+    const auto& eval = bundle.evaluations()[bundle.ranking()[rank]];
+    table.add_row({std::to_string(rank + 1), eval.model_name,
+                   experiments::TablePrinter::format(eval.ads, 3)});
+  }
+  table.print();
+  std::cout << "models cached in " << workspace.cache_dir() << "\n";
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  experiments::Workspace workspace(config_for(args));
+  const auto& data = workspace.data();
+  const std::size_t m = static_cast<std::size_t>(args.get_num("m", 10));
+  const std::size_t k = static_cast<std::size_t>(args.get_num("k", m));
+  auto ensemble = workspace.bundle().make_ensemble(m, k, 7);
+  const auto benign = ensemble->score_all(data.test_benign);
+  experiments::TablePrinter table({"attack", "AUROC"});
+  double sum = 0.0;
+  for (const auto& attack : data.test_attacks) {
+    const double auc = metrics::auroc(benign, ensemble->score_all(attack.malicious));
+    sum += auc;
+    table.add_row(attack.attack_name, {auc});
+  }
+  table.add_row("average", {sum / static_cast<double>(data.test_attacks.size())});
+  table.print();
+  return 0;
+}
+
+int cmd_detect(const Args& args) {
+  const std::string input = args.get("input", "");
+  if (input.empty()) {
+    std::cerr << "detect requires --input FILE.csv\n";
+    return 2;
+  }
+  experiments::Workspace workspace(config_for(args));
+  const std::size_t m = static_cast<std::size_t>(args.get_num("m", 6));
+  const std::size_t k = static_cast<std::size_t>(args.get_num("k", 3));
+  auto ensemble =
+      std::shared_ptr<mbds::VehiGan>(workspace.bundle().make_ensemble(m, k, 11));
+  mbds::OnlineMbds monitor(1, ensemble, workspace.data().scaler, 1.0);
+  mbds::MisbehaviorAuthority authority(3);
+
+  const sim::BsmDataset dataset = sim::read_bsm_csv(input);
+  std::multimap<double, const sim::Bsm*> air;
+  for (const auto& trace : dataset.traces) {
+    for (const auto& message : trace.messages) air.emplace(message.time, &message);
+  }
+  std::size_t reports = 0;
+  for (const auto& [time, message] : air) {
+    const auto report = monitor.ingest(*message);
+    if (report) {
+      ++reports;
+      authority.submit(*report);
+      std::cout << "t=" << experiments::TablePrinter::format(report->time, 1) << "s  vehicle "
+                << report->suspect_id << "  score "
+                << experiments::TablePrinter::format(report->score, 2) << " > tau "
+                << experiments::TablePrinter::format(report->threshold, 2) << "\n";
+    }
+  }
+  std::cout << "\n" << reports << " reports; revoked vehicles:";
+  for (std::uint32_t vehicle : authority.revocation_list()) std::cout << " " << vehicle;
+  std::cout << "\n";
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      "usage: vehigan_cli COMMAND [options]\n"
+      "  attacks                                    list the attack matrix\n"
+      "  simulate --out DIR [--duration S] [--seed N] [--attack NAME]...\n"
+      "  export-veremi --out DIR --attack NAME [--duration S] [--seed N]\n"
+      "  train    [--scale quick|standard]\n"
+      "  evaluate [--scale quick|standard] [--m M] [--k K]\n"
+      "  detect   --input FILE.csv [--scale quick|standard] [--m M] [--k K]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "attacks") return cmd_attacks();
+    if (args.command == "simulate") return cmd_simulate(args);
+    if (args.command == "export-veremi") return cmd_export_veremi(args);
+    if (args.command == "train") return cmd_train(args);
+    if (args.command == "evaluate") return cmd_evaluate(args);
+    if (args.command == "detect") return cmd_detect(args);
+    usage();
+    return args.command.empty() ? 2 : 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

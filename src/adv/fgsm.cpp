@@ -1,0 +1,95 @@
+#include "adv/fgsm.hpp"
+
+#include <stdexcept>
+
+namespace vehigan::adv {
+
+namespace {
+
+float direction_of(AttackGoal goal) {
+  // AFP climbs the anomaly score; AFN descends it.
+  return goal == AttackGoal::kFalsePositive ? 1.0F : -1.0F;
+}
+
+std::vector<float> apply_signed(std::span<const float> snapshot,
+                                std::span<const float> gradient, float eps, float direction) {
+  std::vector<float> adv(snapshot.begin(), snapshot.end());
+  for (std::size_t i = 0; i < adv.size(); ++i) {
+    const float g = gradient[i];
+    if (g > 0.0F) adv[i] += direction * eps;
+    else if (g < 0.0F) adv[i] -= direction * eps;
+    // g == 0: FGSM leaves the coordinate untouched (sign(0) = 0).
+  }
+  return adv;
+}
+
+}  // namespace
+
+std::vector<float> fgsm_perturb(mbds::WganDetector& model, std::span<const float> snapshot,
+                                float eps, AttackGoal goal) {
+  const std::vector<float> gradient = model.score_gradient(snapshot);
+  return apply_signed(snapshot, gradient, eps, direction_of(goal));
+}
+
+std::vector<float> fgsm_perturb_multi(
+    const std::vector<std::shared_ptr<mbds::WganDetector>>& models,
+    std::span<const float> snapshot, float eps, AttackGoal goal) {
+  if (models.empty()) throw std::invalid_argument("fgsm_perturb_multi: no models");
+  std::vector<float> mean_gradient(snapshot.size(), 0.0F);
+  for (const auto& model : models) {
+    const std::vector<float> g = model->score_gradient(snapshot);
+    for (std::size_t i = 0; i < g.size(); ++i) mean_gradient[i] += g[i];
+  }
+  const float inv = 1.0F / static_cast<float>(models.size());
+  for (auto& g : mean_gradient) g *= inv;
+  return apply_signed(snapshot, mean_gradient, eps, direction_of(goal));
+}
+
+std::vector<float> random_sign_noise(std::span<const float> snapshot, float eps,
+                                     util::Rng& rng) {
+  std::vector<float> noisy(snapshot.begin(), snapshot.end());
+  for (auto& v : noisy) v += rng.bernoulli(0.5) ? eps : -eps;
+  return noisy;
+}
+
+namespace {
+
+template <typename PerturbFn>
+features::WindowSet craft(const features::WindowSet& windows, PerturbFn&& perturb) {
+  features::WindowSet out;
+  out.window = windows.window;
+  out.width = windows.width;
+  out.data.reserve(windows.data.size());
+  out.vehicle_ids = windows.vehicle_ids;
+  for (std::size_t i = 0; i < windows.count(); ++i) {
+    const std::vector<float> adv = perturb(windows.snapshot(i));
+    out.data.insert(out.data.end(), adv.begin(), adv.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+features::WindowSet craft_adversarial(mbds::WganDetector& source,
+                                      const features::WindowSet& windows, float eps,
+                                      AttackGoal goal) {
+  return craft(windows, [&](std::span<const float> snap) {
+    return fgsm_perturb(source, snap, eps, goal);
+  });
+}
+
+features::WindowSet craft_adversarial_multi(
+    const std::vector<std::shared_ptr<mbds::WganDetector>>& sources,
+    const features::WindowSet& windows, float eps, AttackGoal goal) {
+  return craft(windows, [&](std::span<const float> snap) {
+    return fgsm_perturb_multi(sources, snap, eps, goal);
+  });
+}
+
+features::WindowSet craft_noise(const features::WindowSet& windows, float eps, util::Rng& rng) {
+  return craft(windows, [&](std::span<const float> snap) {
+    return random_sign_noise(snap, eps, rng);
+  });
+}
+
+}  // namespace vehigan::adv

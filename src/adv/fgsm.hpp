@@ -1,0 +1,51 @@
+#pragma once
+
+#include <memory>
+
+#include "features/windows.hpp"
+#include "mbds/wgan_detector.hpp"
+#include "util/rng.hpp"
+
+namespace vehigan::adv {
+
+/// Which error the adaptive attacker is buying (Sec. III-G).
+enum class AttackGoal {
+  kFalsePositive,  ///< AFP: push benign windows over the threshold (Eq. 6)
+  kFalseNegative,  ///< AFN: pull misbehavior windows under it (Eq. 7)
+};
+
+/// Single-model FGSM on the anomaly score s(x) = -D(x):
+///   AFP: x + eps * sign(grad_x s(x))   (= x - eps * sign(grad_x D))
+///   AFN: x - eps * sign(grad_x s(x))   (= x + eps * sign(grad_x D))
+/// eps is expressed in scaled units (1 % of a sensor's benign dynamic range
+/// per 0.01), matching the paper's epsilon range [0, 0.02].
+std::vector<float> fgsm_perturb(mbds::WganDetector& model, std::span<const float> snapshot,
+                                float eps, AttackGoal goal);
+
+/// Multi-model FGSM used by the white-box adaptive attacker of Fig. 7b: the
+/// perturbation follows the sign of the *ensemble* score gradient, i.e. the
+/// mean of all member score gradients.
+std::vector<float> fgsm_perturb_multi(
+    const std::vector<std::shared_ptr<mbds::WganDetector>>& models,
+    std::span<const float> snapshot, float eps, AttackGoal goal);
+
+/// Magnitude-matched random baseline (Sec. V-B): each value moves by
+/// +-eps with a random sign — the same L_inf budget as FGSM but without the
+/// gradient information.
+std::vector<float> random_sign_noise(std::span<const float> snapshot, float eps, util::Rng& rng);
+
+/// Applies fgsm_perturb to every window of a set (the attack source models
+/// see exactly the windows the defender will score).
+features::WindowSet craft_adversarial(mbds::WganDetector& source,
+                                      const features::WindowSet& windows, float eps,
+                                      AttackGoal goal);
+
+/// Multi-model variant over a whole window set.
+features::WindowSet craft_adversarial_multi(
+    const std::vector<std::shared_ptr<mbds::WganDetector>>& sources,
+    const features::WindowSet& windows, float eps, AttackGoal goal);
+
+/// Random-noise variant over a whole window set.
+features::WindowSet craft_noise(const features::WindowSet& windows, float eps, util::Rng& rng);
+
+}  // namespace vehigan::adv

@@ -1,0 +1,86 @@
+#include "adv/pgd.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vehigan::adv {
+
+namespace {
+
+/// One projected step for an arbitrary gradient provider.
+template <typename GradientFn>
+std::vector<float> pgd_iterate(std::span<const float> snapshot, const PgdOptions& options,
+                               AttackGoal goal, GradientFn&& gradient_of) {
+  const float direction = goal == AttackGoal::kFalsePositive ? 1.0F : -1.0F;
+  std::vector<float> current(snapshot.begin(), snapshot.end());
+  for (int it = 0; it < options.iterations; ++it) {
+    const std::vector<float> gradient = gradient_of(current);
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      if (gradient[i] > 0.0F) current[i] += direction * options.step_size;
+      else if (gradient[i] < 0.0F) current[i] -= direction * options.step_size;
+      // Project back into the eps-ball around the original value.
+      current[i] = std::clamp(current[i], snapshot[i] - options.eps, snapshot[i] + options.eps);
+    }
+  }
+  return current;
+}
+
+}  // namespace
+
+std::vector<float> pgd_perturb(mbds::WganDetector& model, std::span<const float> snapshot,
+                               const PgdOptions& options, AttackGoal goal) {
+  return pgd_iterate(snapshot, options, goal, [&](const std::vector<float>& x) {
+    return model.score_gradient(x);
+  });
+}
+
+std::vector<float> pgd_perturb_multi(
+    const std::vector<std::shared_ptr<mbds::WganDetector>>& models,
+    std::span<const float> snapshot, const PgdOptions& options, AttackGoal goal) {
+  if (models.empty()) throw std::invalid_argument("pgd_perturb_multi: no models");
+  return pgd_iterate(snapshot, options, goal, [&](const std::vector<float>& x) {
+    std::vector<float> mean(x.size(), 0.0F);
+    for (const auto& model : models) {
+      const std::vector<float> g = model->score_gradient(x);
+      for (std::size_t i = 0; i < g.size(); ++i) mean[i] += g[i];
+    }
+    const float inv = 1.0F / static_cast<float>(models.size());
+    for (auto& g : mean) g *= inv;
+    return mean;
+  });
+}
+
+namespace {
+
+template <typename PerturbFn>
+features::WindowSet craft_set(const features::WindowSet& windows, PerturbFn&& perturb) {
+  features::WindowSet out;
+  out.window = windows.window;
+  out.width = windows.width;
+  out.vehicle_ids = windows.vehicle_ids;
+  out.data.reserve(windows.data.size());
+  for (std::size_t i = 0; i < windows.count(); ++i) {
+    const std::vector<float> adv = perturb(windows.snapshot(i));
+    out.data.insert(out.data.end(), adv.begin(), adv.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+features::WindowSet craft_pgd(mbds::WganDetector& source, const features::WindowSet& windows,
+                              const PgdOptions& options, AttackGoal goal) {
+  return craft_set(windows, [&](std::span<const float> snap) {
+    return pgd_perturb(source, snap, options, goal);
+  });
+}
+
+features::WindowSet craft_pgd_multi(
+    const std::vector<std::shared_ptr<mbds::WganDetector>>& sources,
+    const features::WindowSet& windows, const PgdOptions& options, AttackGoal goal) {
+  return craft_set(windows, [&](std::span<const float> snap) {
+    return pgd_perturb_multi(sources, snap, options, goal);
+  });
+}
+
+}  // namespace vehigan::adv

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "adv/fgsm.hpp"
+
+namespace vehigan::adv {
+
+/// Projected Gradient Descent (Madry et al.) — the iterated, stronger
+/// extension of the paper's FGSM attacker (Sec. III-G considers FGSM; PGD is
+/// the natural "more computationally capable adversary" follow-up and is
+/// included here as an extension experiment).
+///
+/// Each step moves `step_size` along the score-gradient sign and re-projects
+/// into the L-infinity ball of radius eps around the original input, so the
+/// final perturbation obeys the same budget as FGSM at the same eps.
+struct PgdOptions {
+  float eps = 0.05F;        ///< L_inf budget (scaled units)
+  float step_size = 0.01F;  ///< per-iteration step
+  int iterations = 10;
+};
+
+/// Single-model PGD.
+std::vector<float> pgd_perturb(mbds::WganDetector& model, std::span<const float> snapshot,
+                               const PgdOptions& options, AttackGoal goal);
+
+/// Multi-model PGD following the mean ensemble-score gradient each step.
+std::vector<float> pgd_perturb_multi(
+    const std::vector<std::shared_ptr<mbds::WganDetector>>& models,
+    std::span<const float> snapshot, const PgdOptions& options, AttackGoal goal);
+
+/// Applies single-model PGD to a whole window set.
+features::WindowSet craft_pgd(mbds::WganDetector& source, const features::WindowSet& windows,
+                              const PgdOptions& options, AttackGoal goal);
+
+/// Applies multi-model PGD to a whole window set.
+features::WindowSet craft_pgd_multi(
+    const std::vector<std::shared_ptr<mbds::WganDetector>>& sources,
+    const features::WindowSet& windows, const PgdOptions& options, AttackGoal goal);
+
+}  // namespace vehigan::adv

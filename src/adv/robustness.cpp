@@ -1,0 +1,28 @@
+#include "adv/robustness.hpp"
+
+namespace vehigan::adv {
+
+double flag_rate(mbds::WganDetector& detector, const features::WindowSet& windows) {
+  if (windows.count() == 0) return 0.0;
+  std::size_t flagged = 0;
+  for (std::size_t i = 0; i < windows.count(); ++i) {
+    if (detector.flags(windows.snapshot(i))) ++flagged;
+  }
+  return static_cast<double>(flagged) / static_cast<double>(windows.count());
+}
+
+double miss_rate(mbds::WganDetector& detector, const features::WindowSet& windows) {
+  if (windows.count() == 0) return 0.0;
+  return 1.0 - flag_rate(detector, windows);
+}
+
+double ensemble_flag_rate(mbds::VehiGan& ensemble, const features::WindowSet& windows) {
+  if (windows.count() == 0) return 0.0;
+  std::size_t flagged = 0;
+  for (std::size_t i = 0; i < windows.count(); ++i) {
+    if (ensemble.evaluate(windows.snapshot(i)).flagged) ++flagged;
+  }
+  return static_cast<double>(flagged) / static_cast<double>(windows.count());
+}
+
+}  // namespace vehigan::adv

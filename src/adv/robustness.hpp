@@ -1,0 +1,23 @@
+#pragma once
+
+#include "adv/fgsm.hpp"
+#include "mbds/ensemble.hpp"
+
+namespace vehigan::adv {
+
+/// Rate helpers for the robustness evaluations of Sec. V-B.
+
+/// Fraction of windows a single detector flags at its threshold. Applied to
+/// adversarial *benign* windows this is the FPR (Fig. 5a/5c); applied to
+/// untouched benign windows it is the clean FPR.
+double flag_rate(mbds::WganDetector& detector, const features::WindowSet& windows);
+
+/// Fraction of windows a single detector *misses* (score <= threshold).
+/// Applied to adversarial attack windows this is the FNR (Fig. 5b).
+double miss_rate(mbds::WganDetector& detector, const features::WindowSet& windows);
+
+/// Fraction of windows the ensemble flags with fresh random-k draws
+/// (Fig. 7 FPR measurement).
+double ensemble_flag_rate(mbds::VehiGan& ensemble, const features::WindowSet& windows);
+
+}  // namespace vehigan::adv

@@ -1,0 +1,85 @@
+#include "baselines/autoencoder.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/layers.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace vehigan::baselines {
+
+void AutoencoderDetector::fit(const features::WindowSet& benign) {
+  if (benign.count() < config_.batch_size) {
+    throw std::invalid_argument("AutoencoderDetector::fit: fewer windows than one batch");
+  }
+  dim_ = benign.values_per_window();
+
+  util::Rng rng(config_.seed);
+  net_ = nn::Sequential();
+  auto& enc1 = net_.add<nn::Dense>(dim_, config_.hidden);
+  enc1.init_weights(rng);
+  net_.add<nn::LeakyReLU>(0.2F);
+  auto& enc2 = net_.add<nn::Dense>(config_.hidden, config_.bottleneck);
+  enc2.init_weights(rng);
+  net_.add<nn::LeakyReLU>(0.2F);
+  auto& dec1 = net_.add<nn::Dense>(config_.bottleneck, config_.hidden);
+  dec1.init_weights(rng);
+  net_.add<nn::LeakyReLU>(0.2F);
+  auto& dec2 = net_.add<nn::Dense>(config_.hidden, dim_);
+  dec2.init_weights(rng);
+  net_.add<nn::Sigmoid>();  // inputs are min-max scaled into [0, 1]
+
+  nn::Adam optimizer(config_.lr);
+  auto params = net_.parameters();
+  const std::size_t batch = config_.batch_size;
+
+  std::vector<std::size_t> order(benign.count());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_mse = 0.0;
+    std::size_t steps = 0;
+    for (std::size_t start = 0; start + batch <= order.size(); start += batch) {
+      nn::Tensor input({batch, dim_});
+      for (std::size_t b = 0; b < batch; ++b) {
+        const auto snap = benign.snapshot(order[start + b]);
+        std::copy(snap.begin(), snap.end(), input.data() + b * dim_);
+      }
+      net_.zero_grad();
+      const nn::Tensor output = net_.forward(input);
+      // MSE loss gradient: dL/dy = 2 (y - x) / (B * d).
+      nn::Tensor grad(output.shape());
+      const float scale = 2.0F / static_cast<float>(batch * dim_);
+      double loss = 0.0;
+      for (std::size_t i = 0; i < output.size(); ++i) {
+        const float diff = output[i] - input[i];
+        grad[i] = scale * diff;
+        loss += static_cast<double>(diff) * diff;
+      }
+      (void)net_.backward(grad);
+      optimizer.step(params);
+      epoch_mse += loss / static_cast<double>(batch * dim_);
+      ++steps;
+    }
+    if (steps > 0) final_train_mse_ = epoch_mse / static_cast<double>(steps);
+  }
+}
+
+float AutoencoderDetector::score(std::span<const float> snapshot) {
+  if (dim_ == 0) throw std::logic_error("AutoencoderDetector::score: fit() not called");
+  if (snapshot.size() != dim_) {
+    throw std::invalid_argument("AutoencoderDetector::score: bad width");
+  }
+  nn::Tensor input({1, dim_}, std::vector<float>(snapshot.begin(), snapshot.end()));
+  const nn::Tensor output = net_.forward(input);
+  double mse = 0.0;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const double diff = output[i] - input[i];
+    mse += diff * diff;
+  }
+  return static_cast<float>(mse / static_cast<double>(dim_));
+}
+
+}  // namespace vehigan::baselines

@@ -1,0 +1,135 @@
+#include "baselines/gmm.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace vehigan::baselines {
+
+namespace {
+constexpr double kVarFloor = 1e-6;
+constexpr double kLog2Pi = 1.8378770664093453;
+}  // namespace
+
+double GmmDetector::component_log_joint(std::size_t c, std::span<const float> x) const {
+  const double* mean = means_.data() + c * dim_;
+  const double* var = variances_.data() + c * dim_;
+  double maha = 0.0;
+  for (std::size_t d = 0; d < dim_; ++d) {
+    const double diff = x[d] - mean[d];
+    maha += diff * diff / var[d];
+  }
+  return std::log(weights_[c]) + log_norm_[c] - 0.5 * maha;
+}
+
+void GmmDetector::fit(const features::WindowSet& benign) {
+  const std::size_t n = benign.count();
+  dim_ = benign.values_per_window();
+  if (n < components_ * 2) throw std::invalid_argument("GmmDetector::fit: not enough windows");
+
+  util::Rng rng(seed_);
+  weights_.assign(components_, 1.0 / static_cast<double>(components_));
+  means_.assign(components_ * dim_, 0.0);
+  variances_.assign(components_ * dim_, 0.0);
+
+  // Init: means from random distinct samples; variances from global spread.
+  const auto picks = rng.sample_without_replacement(n, components_);
+  for (std::size_t c = 0; c < components_; ++c) {
+    const auto snap = benign.snapshot(picks[c]);
+    for (std::size_t d = 0; d < dim_; ++d) means_[c * dim_ + d] = snap[d];
+  }
+  std::vector<double> global_mean(dim_, 0.0), global_var(dim_, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto snap = benign.snapshot(i);
+    for (std::size_t d = 0; d < dim_; ++d) global_mean[d] += snap[d];
+  }
+  for (auto& m : global_mean) m /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto snap = benign.snapshot(i);
+    for (std::size_t d = 0; d < dim_; ++d) {
+      const double diff = snap[d] - global_mean[d];
+      global_var[d] += diff * diff;
+    }
+  }
+  for (auto& v : global_var) v = std::max(v / static_cast<double>(n), kVarFloor);
+  for (std::size_t c = 0; c < components_; ++c) {
+    for (std::size_t d = 0; d < dim_; ++d) variances_[c * dim_ + d] = global_var[d];
+  }
+
+  std::vector<double> resp(n * components_);
+  log_norm_.assign(components_, 0.0);
+  for (int iter = 0; iter < em_iters_; ++iter) {
+    // Refresh the cached normalizers.
+    for (std::size_t c = 0; c < components_; ++c) {
+      double log_det = 0.0;
+      for (std::size_t d = 0; d < dim_; ++d) log_det += std::log(variances_[c * dim_ + d]);
+      log_norm_[c] = -0.5 * (static_cast<double>(dim_) * kLog2Pi + log_det);
+    }
+    // E-step: responsibilities via log-sum-exp.
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto snap = benign.snapshot(i);
+      double max_log = -std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < components_; ++c) {
+        resp[i * components_ + c] = component_log_joint(c, snap);
+        max_log = std::max(max_log, resp[i * components_ + c]);
+      }
+      double denom = 0.0;
+      for (std::size_t c = 0; c < components_; ++c) {
+        resp[i * components_ + c] = std::exp(resp[i * components_ + c] - max_log);
+        denom += resp[i * components_ + c];
+      }
+      for (std::size_t c = 0; c < components_; ++c) resp[i * components_ + c] /= denom;
+    }
+    // M-step.
+    for (std::size_t c = 0; c < components_; ++c) {
+      double nk = 0.0;
+      std::vector<double> mean(dim_, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double r = resp[i * components_ + c];
+        nk += r;
+        const auto snap = benign.snapshot(i);
+        for (std::size_t d = 0; d < dim_; ++d) mean[d] += r * snap[d];
+      }
+      nk = std::max(nk, 1e-9);
+      for (std::size_t d = 0; d < dim_; ++d) means_[c * dim_ + d] = mean[d] / nk;
+      std::vector<double> var(dim_, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double r = resp[i * components_ + c];
+        const auto snap = benign.snapshot(i);
+        for (std::size_t d = 0; d < dim_; ++d) {
+          const double diff = snap[d] - means_[c * dim_ + d];
+          var[d] += r * diff * diff;
+        }
+      }
+      for (std::size_t d = 0; d < dim_; ++d) {
+        variances_[c * dim_ + d] = std::max(var[d] / nk, kVarFloor);
+      }
+      weights_[c] = std::max(nk / static_cast<double>(n), 1e-9);
+    }
+  }
+  // Final normalizer refresh for scoring.
+  for (std::size_t c = 0; c < components_; ++c) {
+    double log_det = 0.0;
+    for (std::size_t d = 0; d < dim_; ++d) log_det += std::log(variances_[c * dim_ + d]);
+    log_norm_[c] = -0.5 * (static_cast<double>(dim_) * kLog2Pi + log_det);
+  }
+}
+
+float GmmDetector::score(std::span<const float> snapshot) {
+  if (means_.empty()) throw std::logic_error("GmmDetector::score: fit() not called");
+  if (snapshot.size() != dim_) throw std::invalid_argument("GmmDetector::score: bad width");
+  double max_log = -std::numeric_limits<double>::infinity();
+  std::vector<double> logs(components_);
+  for (std::size_t c = 0; c < components_; ++c) {
+    logs[c] = component_log_joint(c, snapshot);
+    max_log = std::max(max_log, logs[c]);
+  }
+  double sum = 0.0;
+  for (double l : logs) sum += std::exp(l - max_log);
+  const double log_likelihood = max_log + std::log(sum);
+  return static_cast<float>(-log_likelihood);
+}
+
+}  // namespace vehigan::baselines

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "mbds/anomaly_detector.hpp"
+#include "util/rng.hpp"
+
+namespace vehigan::baselines {
+
+/// Probabilistic baseline (Sec. IV-B3): diagonal-covariance Gaussian mixture
+/// fitted with EM on benign windows; the outlier score is the negative
+/// log-likelihood, so windows that no mixture component explains well score
+/// high.
+class GmmDetector : public mbds::AnomalyDetector {
+ public:
+  /// @param components  number of mixture components
+  /// @param em_iters    EM iterations
+  /// @param seed        initialization seed (means drawn from the data)
+  explicit GmmDetector(std::size_t components = 4, int em_iters = 25,
+                       std::uint64_t seed = 17)
+      : components_(components), em_iters_(em_iters), seed_(seed) {}
+
+  void fit(const features::WindowSet& benign);
+
+  [[nodiscard]] std::string name() const override { return "Vehi-GMM"; }
+  float score(std::span<const float> snapshot) override;
+
+  [[nodiscard]] std::size_t components() const { return components_; }
+
+ private:
+  /// log N(x | mean_c, diag var_c) + log weight_c.
+  [[nodiscard]] double component_log_joint(std::size_t c, std::span<const float> x) const;
+
+  std::size_t components_;
+  int em_iters_;
+  std::uint64_t seed_;
+  std::size_t dim_ = 0;
+  std::vector<double> weights_;    ///< [components]
+  std::vector<double> means_;      ///< [components][dim]
+  std::vector<double> variances_;  ///< [components][dim], floored
+  std::vector<double> log_norm_;   ///< cached -0.5*(d log 2pi + sum log var)
+};
+
+}  // namespace vehigan::baselines

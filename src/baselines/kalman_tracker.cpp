@@ -1,0 +1,131 @@
+#include "baselines/kalman_tracker.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace vehigan::baselines {
+
+namespace {
+
+/// Minimal fixed-size constant-velocity Kalman filter. State [x y vx vy],
+/// covariance kept as a full symmetric 4x4.
+struct CvKalman {
+  std::array<double, 4> x{};
+  std::array<double, 16> p{};
+
+  static std::size_t idx(std::size_t r, std::size_t c) { return r * 4 + c; }
+
+  void init(double px, double py, double measurement_var) {
+    x = {px, py, 0.0, 0.0};
+    p.fill(0.0);
+    p[idx(0, 0)] = p[idx(1, 1)] = measurement_var;
+    p[idx(2, 2)] = p[idx(3, 3)] = 100.0;  // unknown initial velocity
+  }
+
+  void predict(double dt, double q_accel) {
+    // x <- F x
+    x[0] += dt * x[2];
+    x[1] += dt * x[3];
+    // P <- F P F^T + Q (exploit F's sparsity).
+    std::array<double, 16> fp{};
+    for (std::size_t c = 0; c < 4; ++c) {
+      fp[idx(0, c)] = p[idx(0, c)] + dt * p[idx(2, c)];
+      fp[idx(1, c)] = p[idx(1, c)] + dt * p[idx(3, c)];
+      fp[idx(2, c)] = p[idx(2, c)];
+      fp[idx(3, c)] = p[idx(3, c)];
+    }
+    std::array<double, 16> next{};
+    for (std::size_t r = 0; r < 4; ++r) {
+      next[idx(r, 0)] = fp[idx(r, 0)] + dt * fp[idx(r, 2)];
+      next[idx(r, 1)] = fp[idx(r, 1)] + dt * fp[idx(r, 3)];
+      next[idx(r, 2)] = fp[idx(r, 2)];
+      next[idx(r, 3)] = fp[idx(r, 3)];
+    }
+    p = next;
+    const double q = q_accel * q_accel;
+    const double dt2 = dt * dt;
+    p[idx(0, 0)] += q * dt2 * dt2 / 4.0;
+    p[idx(1, 1)] += q * dt2 * dt2 / 4.0;
+    p[idx(0, 2)] += q * dt2 * dt / 2.0;
+    p[idx(2, 0)] += q * dt2 * dt / 2.0;
+    p[idx(1, 3)] += q * dt2 * dt / 2.0;
+    p[idx(3, 1)] += q * dt2 * dt / 2.0;
+    p[idx(2, 2)] += q * dt2;
+    p[idx(3, 3)] += q * dt2;
+  }
+
+  /// Measurement update with z = (px, py); returns the NIS.
+  double update(double zx, double zy, double r_var) {
+    const double y0 = zx - x[0];
+    const double y1 = zy - x[1];
+    // S = H P H^T + R is the top-left 2x2 of P plus R.
+    const double s00 = p[idx(0, 0)] + r_var;
+    const double s01 = p[idx(0, 1)];
+    const double s11 = p[idx(1, 1)] + r_var;
+    const double det = std::max(s00 * s11 - s01 * s01, 1e-12);
+    const double i00 = s11 / det;
+    const double i01 = -s01 / det;
+    const double i11 = s00 / det;
+    const double nis = y0 * (i00 * y0 + i01 * y1) + y1 * (i01 * y0 + i11 * y1);
+
+    // K = P H^T S^-1 (4x2).
+    std::array<double, 8> k{};
+    for (std::size_t r = 0; r < 4; ++r) {
+      const double ph0 = p[idx(r, 0)];
+      const double ph1 = p[idx(r, 1)];
+      k[r * 2 + 0] = ph0 * i00 + ph1 * i01;
+      k[r * 2 + 1] = ph0 * i01 + ph1 * i11;
+    }
+    for (std::size_t r = 0; r < 4; ++r) {
+      x[r] += k[r * 2] * y0 + k[r * 2 + 1] * y1;
+    }
+    // P <- (I - K H) P ; KH only hits the first two columns of the update.
+    std::array<double, 16> next = p;
+    for (std::size_t r = 0; r < 4; ++r) {
+      for (std::size_t c = 0; c < 4; ++c) {
+        next[idx(r, c)] -= k[r * 2] * p[idx(0, c)] + k[r * 2 + 1] * p[idx(1, c)];
+      }
+    }
+    p = next;
+    return nis;
+  }
+};
+
+}  // namespace
+
+std::vector<float> KalmanTrackerDetector::score_trace(const sim::VehicleTrace& trace) const {
+  std::vector<float> scores;
+  if (trace.messages.size() < options_.warmup + 2) return scores;
+  const double r_var = options_.measurement_sigma * options_.measurement_sigma;
+
+  CvKalman filter;
+  filter.init(trace.messages.front().x, trace.messages.front().y, r_var);
+  for (std::size_t i = 1; i < trace.messages.size(); ++i) {
+    const sim::Bsm& m = trace.messages[i];
+    const double dt = std::max(m.time - trace.messages[i - 1].time, 1e-3);
+    filter.predict(dt, options_.process_accel);
+    const double nis = filter.update(m.x, m.y, r_var);
+
+    // Cross-field check: reported velocity vector vs the track's velocity.
+    const double rep_vx = m.speed * std::cos(m.heading);
+    const double rep_vy = m.speed * std::sin(m.heading);
+    const double dvx = rep_vx - filter.x[2];
+    const double dvy = rep_vy - filter.x[3];
+    const double vel_var = filter.p[CvKalman::idx(2, 2)] + filter.p[CvKalman::idx(3, 3)] + 1.0;
+    const double vel_term = (dvx * dvx + dvy * dvy) / vel_var;
+
+    if (i >= options_.warmup) {
+      scores.push_back(static_cast<float>(nis + vel_term));
+    }
+  }
+  return scores;
+}
+
+float KalmanTrackerDetector::trace_score(const sim::VehicleTrace& trace) const {
+  const std::vector<float> scores = score_trace(trace);
+  if (scores.empty()) return 0.0F;
+  return static_cast<float>(util::percentile(scores, 90.0));
+}
+
+}  // namespace vehigan::baselines

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <array>
+
+#include "mbds/anomaly_detector.hpp"
+#include "sim/bsm.hpp"
+
+namespace vehigan::baselines {
+
+/// Trajectory-verification baseline (paper Sec. VI, Nguyen et al.): a
+/// per-vehicle constant-velocity Kalman filter tracks the *reported*
+/// positions; the anomaly evidence is the normalized innovation squared
+/// (NIS) — how far each new report falls from the track's prediction,
+/// in units of the track's own uncertainty — plus the mismatch between the
+/// reported velocity vector and the reported position increments.
+///
+/// State: [x, y, vx, vy]; measurement: reported position (x, y). The
+/// detector consumes raw BSM traces (not engineered windows) — it is the
+/// classical non-ML point of comparison.
+struct KalmanTrackerOptions {
+  double dt = 0.1;                ///< BSM period [s]
+  double process_accel = 2.5;     ///< process-noise acceleration scale [m/s^2]
+  double measurement_sigma = 0.5; ///< position measurement noise [m]
+  std::size_t warmup = 3;         ///< messages before scores count
+};
+
+class KalmanTrackerDetector {
+ public:
+  using Options = KalmanTrackerOptions;
+
+  explicit KalmanTrackerDetector(Options options = {}) : options_(options) {}
+
+  /// Scores one full trace: runs the filter over the reported positions and
+  /// returns, per message after warm-up, the combined NIS + velocity
+  /// consistency score. Higher = less consistent with any physical track.
+  [[nodiscard]] std::vector<float> score_trace(const sim::VehicleTrace& trace) const;
+
+  /// Convenience: the trace-level anomaly score used in comparisons — the
+  /// 90th percentile of per-message scores (robust to a few clean messages
+  /// at the start of an attack).
+  [[nodiscard]] float trace_score(const sim::VehicleTrace& trace) const;
+
+  [[nodiscard]] std::string name() const { return "KF-Tracker"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace vehigan::baselines

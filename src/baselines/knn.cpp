@@ -1,0 +1,47 @@
+#include "baselines/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vehigan::baselines {
+
+void KnnDetector::fit(const features::WindowSet& benign) {
+  if (benign.count() <= k_) throw std::invalid_argument("KnnDetector::fit: need > k windows");
+  dim_ = benign.values_per_window();
+  const std::size_t stride =
+      benign.count() > max_reference_ ? (benign.count() + max_reference_ - 1) / max_reference_
+                                      : 1;
+  reference_.clear();
+  count_ = 0;
+  for (std::size_t i = 0; i < benign.count(); i += stride) {
+    const auto snap = benign.snapshot(i);
+    reference_.insert(reference_.end(), snap.begin(), snap.end());
+    ++count_;
+  }
+}
+
+float KnnDetector::score(std::span<const float> snapshot) {
+  if (count_ == 0) throw std::logic_error("KnnDetector::score: fit() not called");
+  if (snapshot.size() != dim_) throw std::invalid_argument("KnnDetector::score: bad width");
+
+  // Keep the k smallest squared distances in a max-heap-by-front vector.
+  std::vector<float> best(k_, std::numeric_limits<float>::max());
+  for (std::size_t r = 0; r < count_; ++r) {
+    const float* ref = reference_.data() + r * dim_;
+    float dist2 = 0.0F;
+    for (std::size_t d = 0; d < dim_; ++d) {
+      const float diff = snapshot[d] - ref[d];
+      dist2 += diff * diff;
+      if (dist2 >= best.front()) break;  // early exit: already worse than k-th
+    }
+    if (dist2 < best.front()) {
+      std::pop_heap(best.begin(), best.end());
+      best.back() = dist2;
+      std::push_heap(best.begin(), best.end());
+    }
+  }
+  return std::sqrt(best.front());  // distance to the k-th nearest neighbor
+}
+
+}  // namespace vehigan::baselines

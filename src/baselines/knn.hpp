@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "mbds/anomaly_detector.hpp"
+
+namespace vehigan::baselines {
+
+/// Proximity-based baseline (Sec. IV-B2): the outlier score of a sample is
+/// its Euclidean distance to its k-th nearest benign training window
+/// (Ramaswamy et al.). Exact brute-force search; the reference set is
+/// deterministically subsampled to bound the O(|train| * dim) per-query
+/// cost on a single core.
+class KnnDetector : public mbds::AnomalyDetector {
+ public:
+  /// @param k                which neighbor's distance is the score
+  /// @param max_reference    cap on stored training windows (evenly
+  ///                         subsampled when exceeded)
+  explicit KnnDetector(std::size_t k = 5, std::size_t max_reference = 2000)
+      : k_(k), max_reference_(max_reference) {}
+
+  void fit(const features::WindowSet& benign);
+
+  [[nodiscard]] std::string name() const override { return "Vehi-KNN"; }
+  float score(std::span<const float> snapshot) override;
+
+  [[nodiscard]] std::size_t reference_count() const { return count_; }
+
+ private:
+  std::size_t k_;
+  std::size_t max_reference_;
+  std::size_t dim_ = 0;
+  std::size_t count_ = 0;
+  std::vector<float> reference_;  ///< count_ x dim_ row-major
+};
+
+}  // namespace vehigan::baselines

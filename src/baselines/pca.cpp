@@ -1,0 +1,72 @@
+#include "baselines/pca.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/linalg.hpp"
+
+namespace vehigan::baselines {
+
+void PcaDetector::fit(const features::WindowSet& benign) {
+  const std::size_t n = benign.count();
+  dim_ = benign.values_per_window();
+  if (n < 2 || dim_ == 0) throw std::invalid_argument("PcaDetector::fit: not enough data");
+
+  mean_.assign(dim_, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto snap = benign.snapshot(i);
+    for (std::size_t d = 0; d < dim_; ++d) mean_[d] += snap[d];
+  }
+  for (auto& m : mean_) m /= static_cast<double>(n);
+
+  std::vector<double> cov(dim_ * dim_, 0.0);
+  std::vector<double> centered(dim_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto snap = benign.snapshot(i);
+    for (std::size_t d = 0; d < dim_; ++d) centered[d] = snap[d] - mean_[d];
+    for (std::size_t r = 0; r < dim_; ++r) {
+      const double cr = centered[r];
+      for (std::size_t c = r; c < dim_; ++c) cov[r * dim_ + c] += cr * centered[c];
+    }
+  }
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t r = 0; r < dim_; ++r) {
+    for (std::size_t c = r; c < dim_; ++c) {
+      cov[r * dim_ + c] /= denom;
+      cov[c * dim_ + r] = cov[r * dim_ + c];
+    }
+  }
+
+  const util::EigenResult eig = util::jacobi_eigen_symmetric(std::move(cov), dim_);
+  eigenvalues_ = eig.values;
+  eigenvectors_ = eig.vectors;
+
+  double total = 0.0;
+  for (double v : eigenvalues_) total += std::max(v, 0.0);
+  double cum = 0.0;
+  major_ = dim_;
+  for (std::size_t j = 0; j < dim_; ++j) {
+    cum += std::max(eigenvalues_[j], 0.0);
+    if (cum >= variance_retained_ * total) {
+      major_ = j + 1;
+      break;
+    }
+  }
+}
+
+float PcaDetector::score(std::span<const float> snapshot) {
+  if (mean_.empty()) throw std::logic_error("PcaDetector::score: fit() not called");
+  if (snapshot.size() != dim_) throw std::invalid_argument("PcaDetector::score: bad width");
+  double score = 0.0;
+  // Variance-normalized energy on the retained major components.
+  for (std::size_t j = 0; j < major_; ++j) {
+    const double* axis = eigenvectors_.data() + j * dim_;
+    double proj = 0.0;
+    for (std::size_t d = 0; d < dim_; ++d) proj += (snapshot[d] - mean_[d]) * axis[d];
+    const double lambda = std::max(eigenvalues_[j], 1e-9);
+    score += proj * proj / lambda;
+  }
+  return static_cast<float>(score);
+}
+
+}  // namespace vehigan::baselines

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "mbds/anomaly_detector.hpp"
+
+namespace vehigan::baselines {
+
+/// Linear-model baseline (Sec. IV-B1): PCA outlier detection after Shyu et
+/// al. The detector fits principal components on benign windows and scores a
+/// sample by the variance-weighted squared projections on the retained
+/// *major* components — "the sum of weighted projected distances to the
+/// eigenvector hyperplane". Samples far along the benign correlation
+/// structure score high; the characteristic blind spot (reproduced from the
+/// paper, where Vehi-PCA is the weakest engineered-feature baseline) is
+/// that anomalies orthogonal to the major subspace project to ~0 and are
+/// missed.
+class PcaDetector : public mbds::AnomalyDetector {
+ public:
+  /// @param variance_retained fraction of total variance assigned to the
+  ///        "major" components; the remainder defines the minor subspace.
+  explicit PcaDetector(double variance_retained = 0.95)
+      : variance_retained_(variance_retained) {}
+
+  /// Fits mean, principal axes, and the major/minor split on benign windows.
+  void fit(const features::WindowSet& benign);
+
+  [[nodiscard]] std::string name() const override { return "Vehi-PCA"; }
+  float score(std::span<const float> snapshot) override;
+
+  [[nodiscard]] std::size_t num_major_components() const { return major_; }
+  [[nodiscard]] std::size_t dimension() const { return dim_; }
+
+ private:
+  double variance_retained_;
+  std::size_t dim_ = 0;
+  std::size_t major_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> eigenvalues_;   ///< descending
+  std::vector<double> eigenvectors_;  ///< column-major [component][dim]
+};
+
+}  // namespace vehigan::baselines

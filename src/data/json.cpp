@@ -1,0 +1,268 @@
+#include "data/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace vehigan::data {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, std::size_t pos) {
+  throw std::runtime_error("Json::parse: " + what + " at offset " + std::to_string(pos));
+}
+
+void skip_ws(const std::string& s, std::size_t& pos) {
+  while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                            s[pos] == '\r')) {
+    ++pos;
+  }
+}
+
+std::string parse_string(const std::string& s, std::size_t& pos) {
+  if (s[pos] != '"') fail("expected string", pos);
+  ++pos;
+  std::string out;
+  while (pos < s.size() && s[pos] != '"') {
+    if (s[pos] == '\\') {
+      if (pos + 1 >= s.size()) fail("dangling escape", pos);
+      ++pos;
+      switch (s[pos]) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 >= s.size()) fail("truncated \\u escape", pos);
+          // Pass the code unit through as UTF-8 for the BMP subset we emit.
+          const std::string hex = s.substr(pos + 1, 4);
+          const auto code = static_cast<unsigned>(std::stoul(hex, nullptr, 16));
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          pos += 4;
+          break;
+        }
+        default: fail("unknown escape", pos);
+      }
+      ++pos;
+    } else {
+      out += s[pos++];
+    }
+  }
+  if (pos >= s.size()) fail("unterminated string", pos);
+  ++pos;  // closing quote
+  return out;
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (!is_bool()) throw std::runtime_error("Json: not a bool");
+  return std::get<bool>(value_);
+}
+
+double Json::as_number() const {
+  if (!is_number()) throw std::runtime_error("Json: not a number");
+  return std::get<double>(value_);
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) throw std::runtime_error("Json: not a string");
+  return std::get<std::string>(value_);
+}
+
+const Json::Array& Json::as_array() const {
+  if (!is_array()) throw std::runtime_error("Json: not an array");
+  return std::get<Array>(value_);
+}
+
+const Json::Object& Json::as_object() const {
+  if (!is_object()) throw std::runtime_error("Json: not an object");
+  return std::get<Object>(value_);
+}
+
+const Json& Json::at(const std::string& key) const {
+  const auto& object = as_object();
+  const auto it = object.find(key);
+  if (it == object.end()) throw std::out_of_range("Json: missing key '" + key + "'");
+  return it->second;
+}
+
+bool Json::contains(const std::string& key) const {
+  return is_object() && as_object().contains(key);
+}
+
+const Json& Json::at(std::size_t index) const {
+  const auto& array = as_array();
+  if (index >= array.size()) throw std::out_of_range("Json: index out of range");
+  return array[index];
+}
+
+std::string Json::dump() const {
+  std::ostringstream out;
+  struct Dumper {
+    std::ostringstream& out;
+    void operator()(std::nullptr_t) { out << "null"; }
+    void operator()(bool b) { out << (b ? "true" : "false"); }
+    void operator()(double d) {
+      if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 1e15) {
+        out << static_cast<long long>(d);
+      } else {
+        out.precision(17);
+        out << d;
+      }
+    }
+    void operator()(const std::string& s) {
+      out << '"';
+      for (char c : s) {
+        switch (c) {
+          case '"': out << "\\\""; break;
+          case '\\': out << "\\\\"; break;
+          case '\n': out << "\\n"; break;
+          case '\r': out << "\\r"; break;
+          case '\t': out << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+              char buf[8];
+              std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+              out << buf;
+            } else {
+              out << c;
+            }
+        }
+      }
+      out << '"';
+    }
+    void operator()(const Array& a) {
+      out << '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i) out << ',';
+        out << a[i].dump();
+      }
+      out << ']';
+    }
+    void operator()(const Object& o) {
+      out << '{';
+      bool first = true;
+      for (const auto& [key, value] : o) {
+        if (!first) out << ',';
+        first = false;
+        Dumper{out}(key);
+        out << ':' << value.dump();
+      }
+      out << '}';
+    }
+  };
+  std::visit(Dumper{out}, value_);
+  return out.str();
+}
+
+Json Json::parse_prefix(const std::string& text, std::size_t& pos) {
+  skip_ws(text, pos);
+  if (pos >= text.size()) fail("unexpected end of input", pos);
+  const char c = text[pos];
+  if (c == 'n') {
+    if (text.compare(pos, 4, "null") != 0) fail("bad literal", pos);
+    pos += 4;
+    return Json(nullptr);
+  }
+  if (c == 't') {
+    if (text.compare(pos, 4, "true") != 0) fail("bad literal", pos);
+    pos += 4;
+    return Json(true);
+  }
+  if (c == 'f') {
+    if (text.compare(pos, 5, "false") != 0) fail("bad literal", pos);
+    pos += 5;
+    return Json(false);
+  }
+  if (c == '"') return Json(parse_string(text, pos));
+  if (c == '[') {
+    ++pos;
+    Array array;
+    skip_ws(text, pos);
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      return Json(std::move(array));
+    }
+    for (;;) {
+      array.push_back(parse_prefix(text, pos));
+      skip_ws(text, pos);
+      if (pos >= text.size()) fail("unterminated array", pos);
+      if (text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (text[pos] == ']') {
+        ++pos;
+        return Json(std::move(array));
+      }
+      fail("expected ',' or ']'", pos);
+    }
+  }
+  if (c == '{') {
+    ++pos;
+    Object object;
+    skip_ws(text, pos);
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return Json(std::move(object));
+    }
+    for (;;) {
+      skip_ws(text, pos);
+      std::string key = parse_string(text, pos);
+      skip_ws(text, pos);
+      if (pos >= text.size() || text[pos] != ':') fail("expected ':'", pos);
+      ++pos;
+      object[std::move(key)] = parse_prefix(text, pos);
+      skip_ws(text, pos);
+      if (pos >= text.size()) fail("unterminated object", pos);
+      if (text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (text[pos] == '}') {
+        ++pos;
+        return Json(std::move(object));
+      }
+      fail("expected ',' or '}'", pos);
+    }
+  }
+  // Number.
+  const std::size_t start = pos;
+  if (text[pos] == '-' || text[pos] == '+') ++pos;
+  while (pos < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '.' ||
+          text[pos] == 'e' || text[pos] == 'E' || text[pos] == '-' || text[pos] == '+')) {
+    ++pos;
+  }
+  if (pos == start) fail("unexpected character", pos);
+  try {
+    return Json(std::stod(text.substr(start, pos - start)));
+  } catch (const std::exception&) {
+    fail("bad number", start);
+  }
+}
+
+Json Json::parse(const std::string& text) {
+  std::size_t pos = 0;
+  Json value = parse_prefix(text, pos);
+  skip_ws(text, pos);
+  if (pos != text.size()) fail("trailing content", pos);
+  return value;
+}
+
+}  // namespace vehigan::data

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace vehigan::data {
+
+/// Minimal JSON document model — just enough for the VeReMi-style dataset
+/// interchange (numbers, strings, bools, null, arrays, objects). No
+/// external dependency; the parser is a straightforward recursive-descent
+/// over UTF-8 text with \uXXXX escapes passed through unvalidated.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(long long i) : value_(static_cast<double>(i)) {}
+  Json(unsigned u) : value_(static_cast<double>(u)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(value_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(value_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  /// Typed accessors; throw std::runtime_error on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object field lookup; throws std::out_of_range when absent.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Array element; throws std::out_of_range.
+  [[nodiscard]] const Json& at(std::size_t index) const;
+
+  /// Serializes to compact JSON (no whitespace), numbers with enough
+  /// precision to round-trip doubles.
+  [[nodiscard]] std::string dump() const;
+
+  /// Parses one JSON document; throws std::runtime_error with a position
+  /// on malformed input. Trailing non-whitespace is an error.
+  static Json parse(const std::string& text);
+
+  /// Parses a document starting at `pos` (updated past the value); used for
+  /// JSON-lines streams.
+  static Json parse_prefix(const std::string& text, std::size_t& pos);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+}  // namespace vehigan::data

@@ -1,0 +1,107 @@
+#include "data/veremi.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "data/json.hpp"
+#include "util/math.hpp"
+
+namespace vehigan::data {
+
+namespace {
+
+Json bsm_to_json(const sim::Bsm& m) {
+  const double hx = std::cos(m.heading);
+  const double hy = std::sin(m.heading);
+  Json::Object object;
+  object["type"] = Json(3);  // VeReMi BSM record type
+  object["sendTime"] = Json(m.time);
+  object["sender"] = Json(static_cast<double>(m.vehicle_id));
+  object["pos"] = Json(Json::Array{Json(m.x), Json(m.y), Json(0.0)});
+  object["spd"] =
+      Json(Json::Array{Json(m.speed * hx), Json(m.speed * hy), Json(0.0)});
+  object["acl"] =
+      Json(Json::Array{Json(m.accel * hx), Json(m.accel * hy), Json(0.0)});
+  object["hed"] = Json(Json::Array{Json(hx), Json(hy), Json(0.0)});
+  object["yaw"] = Json(m.yaw_rate);
+  return Json(std::move(object));
+}
+
+sim::Bsm json_to_bsm(const Json& record) {
+  sim::Bsm m;
+  m.vehicle_id = static_cast<std::uint32_t>(record.at("sender").as_number());
+  m.time = record.at("sendTime").as_number();
+  m.x = record.at("pos").at(0).as_number();
+  m.y = record.at("pos").at(1).as_number();
+  const double sx = record.at("spd").at(0).as_number();
+  const double sy = record.at("spd").at(1).as_number();
+  m.speed = std::hypot(sx, sy);
+  const double hx = record.at("hed").at(0).as_number();
+  const double hy = record.at("hed").at(1).as_number();
+  m.heading = util::wrap_angle(std::atan2(hy, hx));
+  const double ax = record.at("acl").at(0).as_number();
+  const double ay = record.at("acl").at(1).as_number();
+  // Longitudinal accel: magnitude signed by alignment with the heading.
+  const double along = ax * hx + ay * hy;
+  m.accel = (along >= 0 ? 1.0 : -1.0) * std::hypot(ax, ay);
+  m.yaw_rate = record.contains("yaw") ? record.at("yaw").as_number() : 0.0;
+  return m;
+}
+
+}  // namespace
+
+VeremiExport write_veremi(const vasp::MisbehaviorDataset& scenario, int attack_index,
+                          const std::filesystem::path& directory, const std::string& stem) {
+  std::filesystem::create_directories(directory);
+  VeremiExport files;
+  files.messages = directory / (stem + ".json");
+  files.ground_truth = directory / (stem + ".gt.json");
+
+  std::ofstream messages(files.messages);
+  std::ofstream truth(files.ground_truth);
+  if (!messages || !truth) {
+    throw std::runtime_error("write_veremi: cannot open output files in " + directory.string());
+  }
+  for (const auto& labeled : scenario.traces) {
+    for (const auto& m : labeled.trace.messages) {
+      messages << bsm_to_json(m).dump() << '\n';
+    }
+    Json::Object gt;
+    gt["sender"] = Json(static_cast<double>(labeled.trace.vehicle_id));
+    gt["attackerType"] = Json(labeled.malicious ? attack_index : 0);
+    truth << Json(std::move(gt)).dump() << '\n';
+  }
+  return files;
+}
+
+VeremiImport read_veremi(const VeremiExport& files) {
+  VeremiImport result;
+
+  std::ifstream messages(files.messages);
+  if (!messages) throw std::runtime_error("read_veremi: cannot open " + files.messages.string());
+  std::map<std::uint32_t, sim::VehicleTrace> by_sender;
+  std::string line;
+  while (std::getline(messages, line)) {
+    if (line.empty()) continue;
+    const sim::Bsm m = json_to_bsm(Json::parse(line));
+    auto& trace = by_sender[m.vehicle_id];
+    trace.vehicle_id = m.vehicle_id;
+    trace.messages.push_back(m);
+  }
+  for (auto& [sender, trace] : by_sender) result.dataset.traces.push_back(std::move(trace));
+
+  std::ifstream truth(files.ground_truth);
+  if (!truth) {
+    throw std::runtime_error("read_veremi: cannot open " + files.ground_truth.string());
+  }
+  while (std::getline(truth, line)) {
+    if (line.empty()) continue;
+    const Json record = Json::parse(line);
+    result.attacker_type[static_cast<std::uint32_t>(record.at("sender").as_number())] =
+        static_cast<int>(record.at("attackerType").as_number());
+  }
+  return result;
+}
+
+}  // namespace vehigan::data

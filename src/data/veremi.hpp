@@ -1,0 +1,45 @@
+#pragma once
+
+#include <filesystem>
+#include <map>
+
+#include "sim/bsm.hpp"
+#include "vasp/dataset_builder.hpp"
+
+namespace vehigan::data {
+
+/// VeReMi-style dataset interchange (the paper benchmarks against VeReMi /
+/// VeReMi-Extension [16][17], the community's comparable-evaluation format).
+///
+/// Files:
+///  * `<stem>.json`       — JSON-lines message log, one object per BSM:
+///      {"type":3,"sendTime":t,"sender":id,
+///       "pos":[x,y,0],"spd":[vx,vy,0],"acl":[ax,ay,0],"hed":[hx,hy,0],
+///       "yaw":w}
+///    pos/spd/acl/hed mirror VeReMi-Extension's vector fields; `yaw` is this
+///    repo's documented extension (VeReMi carries no yaw rate; without it
+///    the import would be lossy for attacks 24-35).
+///  * `<stem>.gt.json`    — JSON-lines ground truth:
+///      {"sender":id,"attackerType":k}   (0 = honest; 1-35 = attack index)
+///
+/// Scalars are reconstructed on import: speed = |spd|, heading from hed,
+/// accel = sign(spd.acl) * |acl| (longitudinal component).
+struct VeremiExport {
+  std::filesystem::path messages;
+  std::filesystem::path ground_truth;
+};
+
+/// Writes a misbehavior scenario in the dialect above. Returns the paths.
+VeremiExport write_veremi(const vasp::MisbehaviorDataset& scenario, int attack_index,
+                          const std::filesystem::path& directory, const std::string& stem);
+
+/// Reads the dialect back: the dataset grouped per sender plus the label map
+/// sender -> attackerType (0 = honest).
+struct VeremiImport {
+  sim::BsmDataset dataset;
+  std::map<std::uint32_t, int> attacker_type;
+};
+
+VeremiImport read_veremi(const VeremiExport& files);
+
+}  // namespace vehigan::data

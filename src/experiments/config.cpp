@@ -1,0 +1,130 @@
+#include "experiments/config.hpp"
+
+#include "util/hash.hpp"
+
+namespace vehigan::experiments {
+
+namespace {
+
+sim::TrafficSimConfig make_sim(double duration, int platoons, int per_platoon,
+                               std::uint64_t seed) {
+  sim::TrafficSimConfig cfg;
+  cfg.duration_s = duration;
+  cfg.num_platoons = platoons;
+  cfg.vehicles_per_platoon = per_platoon;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
+ExperimentConfig ExperimentConfig::quick() {
+  ExperimentConfig cfg;
+  cfg.train_sim = make_sim(70.0, 4, 3, 101);
+  cfg.valid_sim = make_sim(45.0, 3, 3, 202);
+  cfg.test_sim = make_sim(45.0, 3, 3, 303);
+  cfg.train_stride = 4;
+  cfg.eval_stride = 5;
+  cfg.max_train_windows = 600;
+  cfg.max_benign_eval_windows = 250;
+  cfg.max_attack_eval_windows = 120;
+  cfg.grid_scale.epoch_scale = 0.04;  // {1,2,3,4} epochs
+  cfg.train_opts.batch_size = 32;
+  cfg.build_opts.top_m = 10;
+  return cfg;
+}
+
+ExperimentConfig ExperimentConfig::standard() {
+  ExperimentConfig cfg;
+  cfg.train_sim = make_sim(240.0, 10, 5, 101);
+  cfg.valid_sim = make_sim(120.0, 6, 4, 202);
+  cfg.test_sim = make_sim(120.0, 6, 4, 303);
+  return cfg;
+}
+
+namespace {
+
+void add_sim_fields(util::Fnv1a& hash, const sim::TrafficSimConfig& s) {
+  hash.add_pod(s.duration_s)
+      .add_pod(s.dt_s)
+      .add_pod(s.num_platoons)
+      .add_pod(s.vehicles_per_platoon)
+      .add_pod(s.spawn_spacing_m)
+      .add_pod(s.spawn_stagger_s)
+      .add_pod(s.seed)
+      .add_pod(s.network.grid_cols)
+      .add_pod(s.network.grid_rows)
+      .add_pod(s.network.block_length_m)
+      .add_pod(s.network.turn_radius_m)
+      .add_pod(s.network.min_speed_limit)
+      .add_pod(s.network.max_speed_limit)
+      .add_pod(s.noise.pos_sigma)
+      .add_pod(s.noise.speed_sigma)
+      .add_pod(s.noise.accel_sigma)
+      .add_pod(s.noise.heading_sigma)
+      .add_pod(s.noise.yaw_sigma);
+}
+
+}  // namespace
+
+std::string ExperimentConfig::model_cache_key() const {
+  util::Fnv1a hash;
+  add_sim_fields(hash, train_sim);
+  hash.add_pod(window).add_pod(train_stride).add_pod(max_train_windows);
+  hash.add_pod(grid_scale.epoch_scale);
+  hash.add_pod(train_opts.batch_size)
+      .add_pod(train_opts.lr)
+      .add_pod(train_opts.n_critic)
+      .add_pod(static_cast<int>(train_opts.reg))
+      .add_pod(train_opts.clip_value)
+      .add_pod(train_opts.gp_lambda)
+      .add_pod(train_opts.seed);
+  hash.add_pod(seed);
+  return hash.hex();
+}
+
+std::string ExperimentConfig::cache_key() const {
+  util::Fnv1a hash;
+  auto add_sim = [&hash](const sim::TrafficSimConfig& s) {
+    hash.add_pod(s.duration_s)
+        .add_pod(s.dt_s)
+        .add_pod(s.num_platoons)
+        .add_pod(s.vehicles_per_platoon)
+        .add_pod(s.spawn_spacing_m)
+        .add_pod(s.spawn_stagger_s)
+        .add_pod(s.seed)
+        .add_pod(s.network.grid_cols)
+        .add_pod(s.network.grid_rows)
+        .add_pod(s.network.block_length_m)
+        .add_pod(s.network.turn_radius_m)
+        .add_pod(s.network.min_speed_limit)
+        .add_pod(s.network.max_speed_limit)
+        .add_pod(s.noise.pos_sigma)
+        .add_pod(s.noise.speed_sigma)
+        .add_pod(s.noise.accel_sigma)
+        .add_pod(s.noise.heading_sigma)
+        .add_pod(s.noise.yaw_sigma);
+  };
+  add_sim(train_sim);
+  add_sim(valid_sim);
+  add_sim(test_sim);
+  hash.add_pod(scenario.malicious_fraction).add_pod(scenario.seed);
+  hash.add_pod(window).add_pod(train_stride).add_pod(eval_stride);
+  hash.add_pod(max_train_windows)
+      .add_pod(max_benign_eval_windows)
+      .add_pod(max_attack_eval_windows);
+  hash.add_pod(grid_scale.epoch_scale);
+  hash.add_pod(train_opts.batch_size)
+      .add_pod(train_opts.lr)
+      .add_pod(train_opts.n_critic)
+      .add_pod(static_cast<int>(train_opts.reg))
+      .add_pod(train_opts.clip_value)
+      .add_pod(train_opts.gp_lambda)
+      .add_pod(train_opts.seed);
+  hash.add_pod(build_opts.top_m).add_pod(build_opts.threshold_percentile);
+  for (int idx : validation_attack_indices) hash.add_pod(idx);
+  hash.add_pod(seed);
+  return hash.hex();
+}
+
+}  // namespace vehigan::experiments

@@ -1,0 +1,64 @@
+#pragma once
+
+#include "gan/architecture.hpp"
+#include "gan/wgan.hpp"
+#include "mbds/pipeline.hpp"
+#include "sim/traffic_sim.hpp"
+#include "vasp/dataset_builder.hpp"
+
+namespace vehigan::experiments {
+
+/// Every knob of one end-to-end reproduction run. All benches and examples
+/// are parameterized by this one struct; its content hash keys the on-disk
+/// model cache, so editing any knob retrains exactly what it invalidates.
+struct ExperimentConfig {
+  // Traffic simulations. Train/valid/test use independent seeds so no BSM is
+  // shared between splits.
+  sim::TrafficSimConfig train_sim;
+  sim::TrafficSimConfig valid_sim;
+  sim::TrafficSimConfig test_sim;
+
+  // Attack scenario construction (25 % attackers, persistent policy).
+  vasp::ScenarioOptions scenario;
+
+  // Windowing.
+  std::size_t window = 10;          ///< w
+  std::size_t train_stride = 2;     ///< stride between training snapshots
+  std::size_t eval_stride = 3;      ///< stride between evaluation snapshots
+
+  // Budget caps (deterministic even subsampling), sized for one CPU core.
+  std::size_t max_train_windows = 2000;
+  std::size_t max_benign_eval_windows = 1200;
+  std::size_t max_attack_eval_windows = 500;
+
+  // Model grid + training.
+  gan::GridScale grid_scale;
+  gan::TrainOptions train_opts;
+  mbds::VehiGanBuildOptions build_opts;
+
+  /// Attacks used for validation-time ADS pre-evaluation (attack matrix
+  /// indices). The paper assumes the defender holds *representative* traces,
+  /// not the full test matrix; the default covers a Random and a High attack
+  /// per targeted field, which empirically yields the most robust top-10.
+  std::vector<int> validation_attack_indices = {1, 5, 9, 11, 17, 24, 28, 30, 34};
+
+  std::uint64_t seed = 20240607;
+
+  /// Tiny configuration for unit/integration tests (~seconds end to end).
+  static ExperimentConfig quick();
+
+  /// Default bench-scale configuration (DESIGN.md Sec. 5).
+  static ExperimentConfig standard();
+
+  /// Content hash over the knobs that affect *trained models* (training
+  /// traffic, windowing caps, grid, trainer options). Evaluation-side knobs
+  /// (validation attack list, eval sims/caps) are deliberately excluded so
+  /// changing them never invalidates the expensive model cache.
+  [[nodiscard]] std::string model_cache_key() const;
+
+  /// Full content hash including evaluation knobs (used by tests and any
+  /// cache of evaluation artifacts).
+  [[nodiscard]] std::string cache_key() const;
+};
+
+}  // namespace vehigan::experiments

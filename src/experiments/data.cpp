@@ -1,0 +1,132 @@
+#include "experiments/data.hpp"
+
+#include "features/feature_engineering.hpp"
+#include "util/logging.hpp"
+#include "vasp/attack_types.hpp"
+
+namespace vehigan::experiments {
+
+namespace {
+
+using features::MinMaxScaler;
+using features::Series;
+using features::WindowSet;
+
+std::vector<Series> engineered_series(const std::vector<sim::VehicleTrace>& traces) {
+  std::vector<Series> out;
+  out.reserve(traces.size());
+  for (const auto& trace : traces) {
+    out.push_back(to_series(features::extract_features(trace)));
+  }
+  return out;
+}
+
+std::vector<Series> raw_series(const std::vector<sim::VehicleTrace>& traces) {
+  std::vector<Series> out;
+  out.reserve(traces.size());
+  for (const auto& trace : traces) out.push_back(features::extract_raw_series(trace));
+  return out;
+}
+
+/// Scales the series in place and windows them with an overall cap.
+WindowSet scaled_windows(std::vector<Series> series, const MinMaxScaler& scaler,
+                         std::size_t window, std::size_t stride, std::size_t cap) {
+  for (auto& s : series) {
+    if (s.rows() > 0) scaler.transform(s);
+  }
+  WindowSet set = make_windows(series, window, stride);
+  if (cap > 0 && set.count() > cap) {
+    set = set.subsample((set.count() + cap - 1) / cap);
+  }
+  return set;
+}
+
+std::vector<sim::VehicleTrace> malicious_traces(const vasp::MisbehaviorDataset& scenario) {
+  std::vector<sim::VehicleTrace> out;
+  for (const auto& labeled : scenario.traces) {
+    if (labeled.malicious) out.push_back(labeled.trace);
+  }
+  return out;
+}
+
+}  // namespace
+
+mbds::ValidationSet ExperimentData::validation_set() const {
+  mbds::ValidationSet set;
+  set.benign_windows = valid_benign;
+  for (const auto& scenario : valid_attacks) {
+    set.attacks.push_back({scenario.attack_name, scenario.malicious});
+  }
+  return set;
+}
+
+ExperimentData build_experiment_data(const ExperimentConfig& config) {
+  ExperimentData data;
+
+  // ---- Training split: benign only --------------------------------------
+  util::log_info("simulating benign training traffic (", config.train_sim.duration_s, " s)");
+  const sim::BsmDataset train = sim::TrafficSimulator(config.train_sim).run();
+  util::log_info("training fleet: ", train.traces.size(), " vehicles, ",
+                 train.total_messages(), " BSMs");
+
+  std::vector<Series> train_eng = engineered_series(train.traces);
+  data.scaler.fit(train_eng);
+  data.train_windows = scaled_windows(std::move(train_eng), data.scaler, config.window,
+                                      config.train_stride, config.max_train_windows);
+
+  std::vector<Series> train_raw = raw_series(train.traces);
+  data.raw_scaler.fit(train_raw);
+  data.raw_train_windows = scaled_windows(std::move(train_raw), data.raw_scaler, config.window,
+                                          config.train_stride, config.max_train_windows);
+
+  // ---- Validation split: benign + representative attacks ----------------
+  const sim::BsmDataset valid = sim::TrafficSimulator(config.valid_sim).run();
+  data.valid_benign = scaled_windows(engineered_series(valid.traces), data.scaler, config.window,
+                                     config.eval_stride, config.max_benign_eval_windows);
+  vasp::ScenarioOptions valid_opts = config.scenario;
+  valid_opts.seed = config.scenario.seed ^ 0x5A5A5A5AULL;
+  for (int index : config.validation_attack_indices) {
+    const vasp::AttackSpec& spec = vasp::attack_by_index(index);
+    const vasp::MisbehaviorDataset scenario = vasp::build_scenario(valid, spec, valid_opts);
+    EvalScenario eval;
+    eval.attack_name = scenario.attack_name;
+    eval.attack_index = spec.index;
+    eval.malicious =
+        scaled_windows(engineered_series(malicious_traces(scenario)), data.scaler, config.window,
+                       config.eval_stride, config.max_attack_eval_windows);
+    data.valid_attacks.push_back(std::move(eval));
+  }
+
+  // ---- Test split: benign + the full 35-attack matrix -------------------
+  const sim::BsmDataset test = sim::TrafficSimulator(config.test_sim).run();
+  data.test_benign = scaled_windows(engineered_series(test.traces), data.scaler, config.window,
+                                    config.eval_stride, config.max_benign_eval_windows);
+  data.raw_test_benign =
+      scaled_windows(raw_series(test.traces), data.raw_scaler, config.window, config.eval_stride,
+                     config.max_benign_eval_windows);
+  for (const vasp::AttackSpec& spec : vasp::attack_matrix()) {
+    const vasp::MisbehaviorDataset scenario = vasp::build_scenario(test, spec, config.scenario);
+    const std::vector<sim::VehicleTrace> attackers = malicious_traces(scenario);
+
+    EvalScenario eng;
+    eng.attack_name = scenario.attack_name;
+    eng.attack_index = spec.index;
+    eng.malicious = scaled_windows(engineered_series(attackers), data.scaler, config.window,
+                                   config.eval_stride, config.max_attack_eval_windows);
+    data.test_attacks.push_back(std::move(eng));
+
+    EvalScenario raw;
+    raw.attack_name = scenario.attack_name;
+    raw.attack_index = spec.index;
+    raw.malicious = scaled_windows(raw_series(attackers), data.raw_scaler, config.window,
+                                   config.eval_stride, config.max_attack_eval_windows);
+    data.raw_test_attacks.push_back(std::move(raw));
+  }
+
+  util::log_info("experiment data ready: ", data.train_windows.count(), " train windows, ",
+                 data.test_benign.count(), " benign test windows, ", data.test_attacks.size(),
+                 " attack scenarios");
+  return data;
+}
+
+}  // namespace vehigan::experiments

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiments/config.hpp"
+#include "features/scaler.hpp"
+#include "features/windows.hpp"
+#include "mbds/pre_evaluation.hpp"
+
+namespace vehigan::experiments {
+
+/// Scored material for one attack in a split: the malicious windows only
+/// (the matching benign windows live once per split).
+struct EvalScenario {
+  std::string attack_name;
+  int attack_index = 0;
+  features::WindowSet malicious;
+};
+
+/// Everything the detectors consume, fully preprocessed and scaled:
+///  * engineered-feature windows for VehiGAN and the Vehi-* baselines,
+///  * raw-field windows for the BaseAE ablation,
+/// across the train (benign-only), validation, and test splits.
+struct ExperimentData {
+  features::MinMaxScaler scaler;      ///< engineered features, fit on train
+  features::MinMaxScaler raw_scaler;  ///< raw fields, fit on train
+
+  features::WindowSet train_windows;      ///< engineered, benign, scaled
+  features::WindowSet raw_train_windows;  ///< raw, benign, scaled
+
+  features::WindowSet valid_benign;
+  std::vector<EvalScenario> valid_attacks;
+
+  features::WindowSet test_benign;
+  std::vector<EvalScenario> test_attacks;      ///< all 35 misbehaviors
+  features::WindowSet raw_test_benign;
+  std::vector<EvalScenario> raw_test_attacks;  ///< raw-feature mirror
+
+  /// Assembles the mbds::ValidationSet view used for ADS pre-evaluation.
+  [[nodiscard]] mbds::ValidationSet validation_set() const;
+};
+
+/// Runs the three traffic simulations, injects every attack of the matrix,
+/// engineers features, fits scalers on benign training data, and windows
+/// everything. Deterministic given the config.
+ExperimentData build_experiment_data(const ExperimentConfig& config);
+
+}  // namespace vehigan::experiments

@@ -1,0 +1,59 @@
+#include "experiments/table_printer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace vehigan::experiments {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::add_row(const std::string& label, const std::vector<double>& values,
+                           int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string TablePrinter::format(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+void TablePrinter::print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::cout << (c == 0 ? "" : "  ");
+      std::cout << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) std::cout << ' ';
+    }
+    std::cout << '\n';
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) rule += "  ";
+    rule += std::string(widths[c], '-');
+  }
+  std::cout << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+  std::cout.flush();
+}
+
+}  // namespace vehigan::experiments

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vehigan::experiments {
+
+/// Fixed-width console table used by the bench harnesses to print the
+/// paper's tables/figure series in a diff-friendly layout.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: first cell is a label, the rest are numbers printed with
+  /// the given precision.
+  void add_row(const std::string& label, const std::vector<double>& values, int precision = 2);
+
+  /// Renders the table (header, separator, rows) to stdout.
+  void print() const;
+
+  static std::string format(double value, int precision);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vehigan::experiments

@@ -1,0 +1,100 @@
+#include "experiments/workspace.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <optional>
+
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vehigan::experiments {
+
+namespace fs = std::filesystem;
+
+Workspace::Workspace(ExperimentConfig config, fs::path cache_root)
+    : config_(std::move(config)), cache_root_(std::move(cache_root)) {}
+
+fs::path Workspace::default_cache_root() {
+  if (const char* env = std::getenv("VEHIGAN_CACHE_DIR"); env != nullptr && *env != '\0') {
+    return fs::path(env);
+  }
+  return fs::path(".cache") / "vehigan";
+}
+
+fs::path Workspace::cache_dir() const { return cache_root_ / config_.model_cache_key(); }
+
+const ExperimentData& Workspace::data() {
+  if (!data_) {
+    data_ = std::make_unique<ExperimentData>(build_experiment_data(config_));
+  }
+  return *data_;
+}
+
+const std::vector<gan::TrainedWgan>& Workspace::models() {
+  if (models_) return *models_;
+
+  const fs::path dir = cache_dir();
+  fs::create_directories(dir);
+  const std::vector<gan::WganConfig> grid =
+      gan::default_grid(config_.grid_scale, config_.window, features::kNumFeatures);
+
+  models_ = std::make_unique<std::vector<gan::TrainedWgan>>();
+  models_->reserve(grid.size());
+
+  // Fast path: every model already cached.
+  bool all_cached = true;
+  for (const auto& cfg : grid) {
+    if (!fs::exists(dir / (cfg.name() + ".bin"))) {
+      all_cached = false;
+      break;
+    }
+  }
+  if (all_cached) {
+    util::log_info("loading ", grid.size(), " cached WGANs from ", dir.string());
+    for (const auto& cfg : grid) models_->push_back(gan::load_wgan(dir / (cfg.name() + ".bin")));
+    return *models_;
+  }
+
+  const features::WindowSet& train = data().train_windows;
+  const gan::WganTrainer trainer(config_.train_opts);
+  util::Stopwatch total;
+
+  // Grid members are mutually independent (per-model RNG streams), so train
+  // the missing ones across all cores. On a single-core host this degrades
+  // to the sequential loop.
+  std::vector<std::optional<gan::TrainedWgan>> slots(grid.size());
+  std::atomic<std::size_t> completed{0};
+  util::ThreadPool pool;
+  pool.parallel_for(grid.size(), [&](std::size_t i) {
+    const gan::WganConfig& cfg = grid[i];
+    const fs::path path = dir / (cfg.name() + ".bin");
+    if (fs::exists(path)) {
+      slots[i] = gan::load_wgan(path);
+      return;
+    }
+    util::Stopwatch sw;
+    gan::TrainedWgan model = trainer.train(cfg, train);
+    gan::save_wgan(model, path);
+    util::log_info("trained ", cfg.name(), " (", cfg.train_epochs, " epochs) in ",
+                   static_cast<int>(sw.elapsed_seconds()), " s [", ++completed, "/",
+                   grid.size(), "]");
+    slots[i] = std::move(model);
+  });
+  for (auto& slot : slots) models_->push_back(std::move(*slot));
+  util::log_info("WGAN grid ready in ", static_cast<int>(total.elapsed_seconds()), " s");
+  return *models_;
+}
+
+const mbds::VehiGanBundle& Workspace::bundle() {
+  if (!bundle_) {
+    // Copy the trained models into the bundle so the workspace keeps its own
+    // grid for callers that need pristine models.
+    std::vector<gan::TrainedWgan> copies = models();
+    bundle_ = std::make_unique<mbds::VehiGanBundle>(mbds::build_bundle(
+        std::move(copies), data().train_windows, data().validation_set(), config_.build_opts));
+  }
+  return *bundle_;
+}
+
+}  // namespace vehigan::experiments

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <filesystem>
+#include <memory>
+
+#include "experiments/data.hpp"
+#include "gan/model_store.hpp"
+#include "mbds/pipeline.hpp"
+
+namespace vehigan::experiments {
+
+/// The shared experiment runtime used by every bench binary and the larger
+/// examples. It owns:
+///  * the preprocessed ExperimentData (rebuilt deterministically per run —
+///    simulation + feature engineering cost seconds),
+///  * the trained 60-model WGAN grid, cached on disk under
+///    `<cache_root>/<config hash>/model_<id>.bin` so the grid trains once
+///    and every bench reuses it,
+///  * the assembled VehiGanBundle (thresholds + ADS ranking).
+class Workspace {
+ public:
+  explicit Workspace(ExperimentConfig config,
+                     std::filesystem::path cache_root = default_cache_root());
+
+  [[nodiscard]] static std::filesystem::path default_cache_root();
+
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+
+  /// Lazily builds (and memoizes in-process) the preprocessed data.
+  const ExperimentData& data();
+
+  /// Lazily trains-or-loads the full WGAN grid.
+  const std::vector<gan::TrainedWgan>& models();
+
+  /// Lazily assembles the bundle (thresholds + pre-evaluation + ranking).
+  const mbds::VehiGanBundle& bundle();
+
+  /// Directory holding this config's cached artifacts.
+  [[nodiscard]] std::filesystem::path cache_dir() const;
+
+ private:
+  ExperimentConfig config_;
+  std::filesystem::path cache_root_;
+  std::unique_ptr<ExperimentData> data_;
+  std::unique_ptr<std::vector<gan::TrainedWgan>> models_;
+  std::unique_ptr<mbds::VehiGanBundle> bundle_;
+};
+
+}  // namespace vehigan::experiments

@@ -1,0 +1,46 @@
+#include "features/feature_engineering.hpp"
+
+#include <cmath>
+
+namespace vehigan::features {
+
+const std::array<std::string_view, kNumFeatures>& feature_names() {
+  static const std::array<std::string_view, kNumFeatures> names = {
+      "dx", "dy", "vx", "vy", "dvx", "dvy", "ax", "ay", "dhx", "dhy", "wx", "wy"};
+  return names;
+}
+
+FeatureSeries extract_features(const sim::VehicleTrace& trace) {
+  FeatureSeries series;
+  series.vehicle_id = trace.vehicle_id;
+  const auto& msgs = trace.messages;
+  if (msgs.size() < 2) return series;
+  series.rows.reserve(msgs.size() - 1);
+  series.times.reserve(msgs.size() - 1);
+
+  auto vx_of = [](const sim::Bsm& m) { return m.speed * std::cos(m.heading); };
+  auto vy_of = [](const sim::Bsm& m) { return m.speed * std::sin(m.heading); };
+
+  for (std::size_t i = 1; i < msgs.size(); ++i) {
+    const sim::Bsm& prev = msgs[i - 1];
+    const sim::Bsm& cur = msgs[i];
+    FeatureRow row{};
+    row[kDx] = static_cast<float>(cur.x - prev.x);
+    row[kDy] = static_cast<float>(cur.y - prev.y);
+    row[kVx] = static_cast<float>(vx_of(cur));
+    row[kVy] = static_cast<float>(vy_of(cur));
+    row[kDVx] = static_cast<float>(vx_of(cur) - vx_of(prev));
+    row[kDVy] = static_cast<float>(vy_of(cur) - vy_of(prev));
+    row[kAx] = static_cast<float>(cur.accel * std::cos(cur.heading));
+    row[kAy] = static_cast<float>(cur.accel * std::sin(cur.heading));
+    row[kDHx] = static_cast<float>(std::cos(cur.heading) - std::cos(prev.heading));
+    row[kDHy] = static_cast<float>(std::sin(cur.heading) - std::sin(prev.heading));
+    row[kWx] = static_cast<float>(cur.yaw_rate * std::cos(cur.heading));
+    row[kWy] = static_cast<float>(cur.yaw_rate * std::sin(cur.heading));
+    series.rows.push_back(row);
+    series.times.push_back(cur.time);
+  }
+  return series;
+}
+
+}  // namespace vehigan::features

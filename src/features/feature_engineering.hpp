@@ -1,0 +1,55 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/bsm.hpp"
+
+namespace vehigan::features {
+
+/// Number of engineered features per BSM (the core feature set F of
+/// Sec. III-C).
+inline constexpr std::size_t kNumFeatures = 12;
+
+/// One engineered feature vector. Order matches the paper's core set:
+///   { dx, dy, vx, vy, dvx, dvy, ax, ay, dhx, dhy, wx, wy }
+using FeatureRow = std::array<float, kNumFeatures>;
+
+/// Indices into FeatureRow, named for readability in tests and attacks.
+enum FeatureIndex : std::size_t {
+  kDx = 0,   ///< x(t) - x(t-1)
+  kDy = 1,   ///< y(t) - y(t-1)
+  kVx = 2,   ///< v * cos(heading)
+  kVy = 3,   ///< v * sin(heading)
+  kDVx = 4,  ///< vx(t) - vx(t-1)
+  kDVy = 5,  ///< vy(t) - vy(t-1)
+  kAx = 6,   ///< a * cos(heading)
+  kAy = 7,   ///< a * sin(heading)
+  kDHx = 8,  ///< cos(heading(t)) - cos(heading(t-1))
+  kDHy = 9,  ///< sin(heading(t)) - sin(heading(t-1))
+  kWx = 10,  ///< yaw_rate * cos(heading)
+  kWy = 11,  ///< yaw_rate * sin(heading)
+};
+
+/// Human-readable names for reports/exports, index-aligned with FeatureRow.
+const std::array<std::string_view, kNumFeatures>& feature_names();
+
+/// The engineered time series of one vehicle. Row i is derived from BSMs
+/// i and i+1 of the raw trace (delta features need two consecutive
+/// messages), so `rows.size() == messages.size() - 1`.
+struct FeatureSeries {
+  std::uint32_t vehicle_id = 0;
+  std::vector<FeatureRow> rows;
+  std::vector<double> times;  ///< timestamp of the later message in each pair
+};
+
+/// Physics-guided vector decomposition of Table II. Produces the engineered
+/// feature series for one vehicle's transmitted BSM stream. Consistency
+/// relations (dx ~ vx*dt, dvx ~ ax*dt, dhx ~ wx-ish) hold for honest
+/// messages up to sensor noise, and break under misbehavior — that is the
+/// detection signal.
+FeatureSeries extract_features(const sim::VehicleTrace& trace);
+
+}  // namespace vehigan::features

@@ -1,0 +1,84 @@
+#include "features/scaler.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace vehigan::features {
+
+void MinMaxScaler::fit(const std::vector<Series>& series) {
+  min_.clear();
+  max_.clear();
+  std::size_t width = 0;
+  for (const auto& s : series) {
+    if (s.rows() == 0) continue;
+    if (width == 0) width = s.width;
+    if (s.width != width) throw std::invalid_argument("MinMaxScaler::fit: mixed widths");
+  }
+  if (width == 0) throw std::invalid_argument("MinMaxScaler::fit: no data");
+  min_.assign(width, std::numeric_limits<float>::max());
+  max_.assign(width, std::numeric_limits<float>::lowest());
+  for (const auto& s : series) {
+    for (std::size_t r = 0; r < s.rows(); ++r) {
+      const auto row = s.row(r);
+      for (std::size_t c = 0; c < width; ++c) {
+        min_[c] = std::min(min_[c], row[c]);
+        max_[c] = std::max(max_[c], row[c]);
+      }
+    }
+  }
+}
+
+float MinMaxScaler::scale_value(std::size_t c, float v) const {
+  const float range = max_[c] - min_[c];
+  if (range <= 0.0F) return 0.5F;
+  return (v - min_[c]) / range;
+}
+
+float MinMaxScaler::unscale_value(std::size_t c, float v) const {
+  const float range = max_[c] - min_[c];
+  if (range <= 0.0F) return min_[c];
+  return min_[c] + v * range;
+}
+
+void MinMaxScaler::transform(Series& s) const {
+  if (s.width != width()) throw std::invalid_argument("MinMaxScaler::transform: width mismatch");
+  for (std::size_t r = 0; r < s.rows(); ++r) {
+    auto row = s.row(r);
+    for (std::size_t c = 0; c < s.width; ++c) row[c] = scale_value(c, row[c]);
+  }
+}
+
+void MinMaxScaler::inverse_transform(Series& s) const {
+  if (s.width != width()) throw std::invalid_argument("MinMaxScaler: width mismatch");
+  for (std::size_t r = 0; r < s.rows(); ++r) {
+    auto row = s.row(r);
+    for (std::size_t c = 0; c < s.width; ++c) row[c] = unscale_value(c, row[c]);
+  }
+}
+
+void MinMaxScaler::save(std::ostream& out) const {
+  const auto width = static_cast<std::uint64_t>(min_.size());
+  out.write(reinterpret_cast<const char*>(&width), sizeof(width));
+  out.write(reinterpret_cast<const char*>(min_.data()),
+            static_cast<std::streamsize>(min_.size() * sizeof(float)));
+  out.write(reinterpret_cast<const char*>(max_.data()),
+            static_cast<std::streamsize>(max_.size() * sizeof(float)));
+}
+
+MinMaxScaler MinMaxScaler::load(std::istream& in) {
+  MinMaxScaler scaler;
+  std::uint64_t width = 0;
+  in.read(reinterpret_cast<char*>(&width), sizeof(width));
+  scaler.min_.resize(width);
+  scaler.max_.resize(width);
+  in.read(reinterpret_cast<char*>(scaler.min_.data()),
+          static_cast<std::streamsize>(width * sizeof(float)));
+  in.read(reinterpret_cast<char*>(scaler.max_.data()),
+          static_cast<std::streamsize>(width * sizeof(float)));
+  if (!in) throw std::runtime_error("MinMaxScaler::load: truncated stream");
+  return scaler;
+}
+
+}  // namespace vehigan::features

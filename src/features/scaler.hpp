@@ -1,0 +1,51 @@
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "features/series.hpp"
+
+namespace vehigan::features {
+
+/// Per-column min-max scaler mapping training data to [0, 1].
+///
+/// Fit on *benign training* series only; at test time, misbehaving values
+/// scale outside [0, 1], which is part of the detection signal, so transform
+/// never clips. The scaler also defines the unit in which FGSM's epsilon is
+/// expressed: eps = 0.01 corresponds to a 1 % change of a sensor's benign
+/// dynamic range, as in Sec. V-B.
+class MinMaxScaler {
+ public:
+  MinMaxScaler() = default;
+
+  /// Computes per-column minima/maxima over all rows of all series.
+  /// Degenerate columns (max == min) map to 0.5.
+  void fit(const std::vector<Series>& series);
+
+  [[nodiscard]] bool fitted() const { return !min_.empty(); }
+  [[nodiscard]] std::size_t width() const { return min_.size(); }
+
+  /// In-place transform of one series: v -> (v - min) / (max - min).
+  void transform(Series& s) const;
+
+  /// In-place inverse transform (used to express adversarial perturbations
+  /// back in physical units for reports).
+  void inverse_transform(Series& s) const;
+
+  /// Scales a single value of column c.
+  [[nodiscard]] float scale_value(std::size_t c, float v) const;
+  [[nodiscard]] float unscale_value(std::size_t c, float v) const;
+
+  [[nodiscard]] const std::vector<float>& column_min() const { return min_; }
+  [[nodiscard]] const std::vector<float>& column_max() const { return max_; }
+
+  /// Binary (de)serialization for the experiment cache.
+  void save(std::ostream& out) const;
+  static MinMaxScaler load(std::istream& in);
+
+ private:
+  std::vector<float> min_;
+  std::vector<float> max_;
+};
+
+}  // namespace vehigan::features

@@ -1,0 +1,34 @@
+#include "features/series.hpp"
+
+namespace vehigan::features {
+
+Series to_series(const FeatureSeries& fs) {
+  Series s;
+  s.vehicle_id = fs.vehicle_id;
+  s.width = kNumFeatures;
+  s.values.reserve(fs.rows.size() * kNumFeatures);
+  for (const auto& row : fs.rows) {
+    s.values.insert(s.values.end(), row.begin(), row.end());
+  }
+  return s;
+}
+
+Series extract_raw_series(const sim::VehicleTrace& trace) {
+  Series s;
+  s.vehicle_id = trace.vehicle_id;
+  s.width = kNumRawFeatures;
+  if (trace.messages.size() < 2) return s;
+  s.values.reserve((trace.messages.size() - 1) * kNumRawFeatures);
+  for (std::size_t i = 1; i < trace.messages.size(); ++i) {
+    const sim::Bsm& m = trace.messages[i];
+    s.values.push_back(static_cast<float>(m.x));
+    s.values.push_back(static_cast<float>(m.y));
+    s.values.push_back(static_cast<float>(m.speed));
+    s.values.push_back(static_cast<float>(m.accel));
+    s.values.push_back(static_cast<float>(m.heading));
+    s.values.push_back(static_cast<float>(m.yaw_rate));
+  }
+  return s;
+}
+
+}  // namespace vehigan::features

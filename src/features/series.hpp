@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "features/feature_engineering.hpp"
+#include "sim/bsm.hpp"
+
+namespace vehigan::features {
+
+/// Number of raw BSM fields used when training on unengineered inputs
+/// (the BaseAE baseline of Sec. IV-B): {x, y, speed, accel, heading, yaw}.
+inline constexpr std::size_t kNumRawFeatures = 6;
+
+/// A per-vehicle multivariate time series of arbitrary width, the common
+/// currency between feature extraction, scaling, and windowing. Row-major:
+/// values[r * width + c].
+struct Series {
+  std::uint32_t vehicle_id = 0;
+  std::size_t width = 0;
+  std::vector<float> values;
+
+  [[nodiscard]] std::size_t rows() const { return width == 0 ? 0 : values.size() / width; }
+
+  [[nodiscard]] std::span<const float> row(std::size_t r) const {
+    return std::span<const float>(values).subspan(r * width, width);
+  }
+
+  [[nodiscard]] std::span<float> row(std::size_t r) {
+    return std::span<float>(values).subspan(r * width, width);
+  }
+};
+
+/// Converts an engineered FeatureSeries into the generic Series format.
+Series to_series(const FeatureSeries& fs);
+
+/// Extracts the *raw* field series {x, y, speed, accel, heading, yaw_rate}
+/// for one vehicle, aligned with the engineered series (the first message is
+/// dropped so row r corresponds to the same BSM in both representations).
+Series extract_raw_series(const sim::VehicleTrace& trace);
+
+}  // namespace vehigan::features

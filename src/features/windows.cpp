@@ -1,0 +1,54 @@
+#include "features/windows.hpp"
+
+#include <stdexcept>
+
+namespace vehigan::features {
+
+void WindowSet::append(std::span<const float> snapshot_data, std::uint32_t vehicle_id) {
+  if (snapshot_data.size() != values_per_window()) {
+    throw std::invalid_argument("WindowSet::append: shape mismatch");
+  }
+  data.insert(data.end(), snapshot_data.begin(), snapshot_data.end());
+  vehicle_ids.push_back(vehicle_id);
+}
+
+WindowSet WindowSet::subsample(std::size_t keep_every) const {
+  if (keep_every <= 1) return *this;
+  WindowSet out;
+  out.window = window;
+  out.width = width;
+  for (std::size_t i = 0; i < count(); i += keep_every) {
+    out.append(snapshot(i), vehicle_ids[i]);
+  }
+  return out;
+}
+
+void WindowSet::extend(const WindowSet& other) {
+  if (window != other.window || width != other.width) {
+    throw std::invalid_argument("WindowSet::extend: shape mismatch");
+  }
+  data.insert(data.end(), other.data.begin(), other.data.end());
+  vehicle_ids.insert(vehicle_ids.end(), other.vehicle_ids.begin(), other.vehicle_ids.end());
+}
+
+WindowSet make_windows(const std::vector<Series>& series, std::size_t window,
+                       std::size_t stride) {
+  if (window == 0 || stride == 0) {
+    throw std::invalid_argument("make_windows: window and stride must be > 0");
+  }
+  WindowSet set;
+  set.window = window;
+  for (const auto& s : series) {
+    if (s.rows() == 0) continue;
+    if (set.width == 0) set.width = s.width;
+    if (s.width != set.width) throw std::invalid_argument("make_windows: mixed widths");
+    if (s.rows() < window) continue;
+    for (std::size_t start = 0; start + window <= s.rows(); start += stride) {
+      const std::span<const float> block(s.values.data() + start * s.width, window * s.width);
+      set.append(block, s.vehicle_id);
+    }
+  }
+  return set;
+}
+
+}  // namespace vehigan::features

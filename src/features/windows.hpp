@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "features/series.hpp"
+
+namespace vehigan::features {
+
+/// A set of 2-D snapshots x in R^{w x f} (Sec. III-C): `count` windows of
+/// `window` consecutive time steps by `width` features, stored contiguously
+/// row-major as data[i * window * width + t * width + c].
+struct WindowSet {
+  std::size_t window = 0;  ///< w: time steps per snapshot
+  std::size_t width = 0;   ///< f: features per step
+  std::vector<float> data;
+  std::vector<std::uint32_t> vehicle_ids;  ///< source vehicle per snapshot
+
+  [[nodiscard]] std::size_t count() const {
+    const std::size_t stride = window * width;
+    return stride == 0 ? 0 : data.size() / stride;
+  }
+
+  [[nodiscard]] std::size_t values_per_window() const { return window * width; }
+
+  [[nodiscard]] std::span<const float> snapshot(std::size_t i) const {
+    return std::span<const float>(data).subspan(i * values_per_window(), values_per_window());
+  }
+
+  [[nodiscard]] std::span<float> snapshot(std::size_t i) {
+    return std::span<float>(data).subspan(i * values_per_window(), values_per_window());
+  }
+
+  void append(std::span<const float> snapshot_data, std::uint32_t vehicle_id);
+
+  /// Keeps every k-th window (deterministic subsampling used to bound the
+  /// single-core training cost; windows of one vehicle are highly
+  /// overlapping, so subsampling loses little information).
+  [[nodiscard]] WindowSet subsample(std::size_t keep_every) const;
+
+  /// Concatenates another window set (shapes must match).
+  void extend(const WindowSet& other);
+};
+
+/// Slides a window of `window` steps with the given stride over each series
+/// and collects all full windows. Series shorter than `window` contribute
+/// nothing.
+WindowSet make_windows(const std::vector<Series>& series, std::size_t window, std::size_t stride);
+
+}  // namespace vehigan::features

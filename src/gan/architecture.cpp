@@ -1,0 +1,132 @@
+#include "gan/architecture.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/layers.hpp"
+
+namespace vehigan::gan {
+
+std::string WganConfig::name() const {
+  return "wgan_z" + std::to_string(z_dim) + "_l" + std::to_string(layers) + "_e" +
+         std::to_string(paper_epochs);
+}
+
+std::vector<WganConfig> default_grid(const GridScale& scale, std::size_t window,
+                                     std::size_t width) {
+  const std::size_t z_dims[] = {8, 16, 32, 48, 64};
+  const int layer_counts[] = {6, 7, 8};
+  const int epoch_tiers[] = {25, 50, 75, 100};
+  std::vector<WganConfig> grid;
+  grid.reserve(60);
+  int id = 0;
+  for (std::size_t z : z_dims) {
+    for (int layers : layer_counts) {
+      for (int epochs : epoch_tiers) {
+        WganConfig cfg;
+        cfg.id = id++;
+        cfg.z_dim = z;
+        cfg.layers = layers;
+        cfg.paper_epochs = epochs;
+        cfg.train_epochs = std::max(
+            1, static_cast<int>(std::lround(static_cast<double>(epochs) * scale.epoch_scale)));
+        cfg.window = window;
+        cfg.width = width;
+        grid.push_back(cfg);
+      }
+    }
+  }
+  return grid;
+}
+
+nn::Sequential build_generator(const WganConfig& config, util::Rng& rng) {
+  if (config.layers < 6 || config.layers > 8) {
+    throw std::invalid_argument("build_generator: layers must be in {6,7,8}");
+  }
+  const std::size_t half_h = (config.window + 1) / 2;
+  const std::size_t half_w = (config.width + 1) / 2;
+  constexpr std::size_t kBaseChannels = 16;
+
+  nn::Sequential g;
+  auto& stem = g.add<nn::Dense>(config.z_dim, kBaseChannels * half_h * half_w);
+  stem.init_weights(rng);
+  g.add<nn::LeakyReLU>(0.2F);
+  g.add<nn::Reshape>(std::vector<std::size_t>{kBaseChannels, half_h, half_w});
+
+  // Depth knob: extra same-resolution conv blocks before up-sampling.
+  const int extra_blocks = config.layers - 6;
+  for (int i = 0; i < extra_blocks; ++i) {
+    auto& conv = g.add<nn::Conv2D>(kBaseChannels, kBaseChannels, 2, 2, 1);
+    conv.init_weights(rng);
+    g.add<nn::LeakyReLU>(0.2F);
+  }
+
+  g.add<nn::UpSample2D>(2);
+  auto& refine = g.add<nn::Conv2D>(kBaseChannels, kBaseChannels / 2, 2, 2, 1);
+  refine.init_weights(rng);
+  g.add<nn::LeakyReLU>(0.2F);
+  auto& head = g.add<nn::Conv2D>(kBaseChannels / 2, 1, 2, 2, 1);
+  head.init_weights(rng);
+  g.add<nn::Sigmoid>();
+  return g;
+}
+
+nn::Sequential build_generator_deconv(const WganConfig& config, util::Rng& rng) {
+  if (config.layers < 6 || config.layers > 8) {
+    throw std::invalid_argument("build_generator_deconv: layers must be in {6,7,8}");
+  }
+  const std::size_t half_h = (config.window + 1) / 2;
+  const std::size_t half_w = (config.width + 1) / 2;
+  constexpr std::size_t kBaseChannels = 16;
+
+  nn::Sequential g;
+  auto& stem = g.add<nn::Dense>(config.z_dim, kBaseChannels * half_h * half_w);
+  stem.init_weights(rng);
+  g.add<nn::LeakyReLU>(0.2F);
+  g.add<nn::Reshape>(std::vector<std::size_t>{kBaseChannels, half_h, half_w});
+  const int extra_blocks = config.layers - 6;
+  for (int i = 0; i < extra_blocks; ++i) {
+    auto& conv = g.add<nn::Conv2D>(kBaseChannels, kBaseChannels, 2, 2, 1);
+    conv.init_weights(rng);
+    g.add<nn::LeakyReLU>(0.2F);
+  }
+  // Learned 2x upsampling replaces UpSample2D + refine conv.
+  auto& deconv = g.add<nn::Conv2DTranspose>(kBaseChannels, kBaseChannels / 2, 2, 2, 2);
+  deconv.init_weights(rng);
+  g.add<nn::LeakyReLU>(0.2F);
+  auto& head = g.add<nn::Conv2D>(kBaseChannels / 2, 1, 2, 2, 1);
+  head.init_weights(rng);
+  g.add<nn::Sigmoid>();
+  return g;
+}
+
+nn::Sequential build_discriminator(const WganConfig& config, util::Rng& rng) {
+  if (config.layers < 6 || config.layers > 8) {
+    throw std::invalid_argument("build_discriminator: layers must be in {6,7,8}");
+  }
+  const int conv_blocks = config.layers - 4;  // {2, 3, 4}
+  nn::Sequential d;
+  std::size_t channels = 1;
+  std::size_t h = config.window;
+  std::size_t w = config.width;
+  for (int i = 0; i < conv_blocks; ++i) {
+    const std::size_t out_ch = std::min<std::size_t>(8UL << i, 16);
+    const std::size_t stride = i < 2 ? 2 : 1;  // downsample twice, then keep
+    auto& conv = d.add<nn::Conv2D>(channels, out_ch, 2, 2, stride);
+    conv.init_weights(rng);
+    d.add<nn::LeakyReLU>(0.2F);
+    const auto [oh, ow] = conv.output_hw(h, w);
+    h = oh;
+    w = ow;
+    channels = out_ch;
+  }
+  d.add<nn::Flatten>();
+  auto& hidden = d.add<nn::Dense>(channels * h * w, 32);
+  hidden.init_weights(rng);
+  d.add<nn::LeakyReLU>(0.2F);
+  auto& head = d.add<nn::Dense>(32, 1);
+  head.init_weights(rng);
+  return d;
+}
+
+}  // namespace vehigan::gan

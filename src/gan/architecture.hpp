@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace vehigan::gan {
+
+/// One point of the WGAN hyper-parameter grid of Sec. IV-A1. The paper's
+/// grid is z_dim x depth x training epochs = 5 x 3 x 4 = 60 model instances.
+struct WganConfig {
+  int id = 0;                  ///< stable grid index [0, 59]
+  std::size_t z_dim = 32;      ///< noise-vector dimension d
+  int layers = 6;              ///< depth knob in {6, 7, 8}
+  int paper_epochs = 25;       ///< the epoch tier as named in the paper
+  int train_epochs = 4;        ///< actual epochs run at this repo's scale
+  std::size_t window = 10;     ///< w: snapshot time steps
+  std::size_t width = 12;      ///< f: features per step
+
+  /// e.g. "wgan_z32_l6_e25" — stable across runs, used as the cache key.
+  [[nodiscard]] std::string name() const;
+};
+
+/// Scaling knobs applied when instantiating the paper's grid.
+struct GridScale {
+  /// train_epochs = max(1, round(paper_epochs * epoch_scale)); the default
+  /// maps {25, 50, 75, 100} -> {4, 8, 12, 16}, sized for a single CPU core
+  /// (the full 60-model grid trains in ~7 minutes at 2000 windows).
+  double epoch_scale = 0.16;
+};
+
+/// The 60-model grid: z in {8,16,32,48,64} x layers in {6,7,8} x paper
+/// epochs in {25,50,75,100}, ids assigned in that nesting order.
+std::vector<WganConfig> default_grid(const GridScale& scale = {},
+                                     std::size_t window = 10, std::size_t width = 12);
+
+/// Builds the generator G: z in R^d -> snapshot in R^{w x f} (output in
+/// [0, 1] via sigmoid since training data is min-max scaled).
+///
+/// Structure: Dense(z -> C*ceil(w/2)*ceil(f/2)) + LeakyReLU + Reshape +
+/// (layers-6 extra conv blocks) + UpSample2D(2) + Conv2D 2x2 + LeakyReLU +
+/// Conv2D 2x2 -> 1 channel + Sigmoid. The 2x2 kernels and LeakyReLU follow
+/// Sec. IV-A1; if 2*ceil(w/2) exceeds w the final rows/cols are produced by
+/// a cropping conv (we keep w, f even-sized by default: 10 x 12).
+nn::Sequential build_generator(const WganConfig& config, util::Rng& rng);
+
+/// DCGAN-style generator variant: learned transposed-conv upsampling instead
+/// of nearest-neighbor UpSample2D + Conv2D. Same input/output contract as
+/// build_generator; provided for the architecture ablation.
+nn::Sequential build_generator_deconv(const WganConfig& config, util::Rng& rng);
+
+/// Builds the critic/discriminator D: snapshot [1, w, f] -> scalar score
+/// (higher = more real). Structure: (layers-4) Conv2D 2x2 + LeakyReLU blocks
+/// (first two strided), Flatten, Dense(32) + LeakyReLU, Dense(1) linear —
+/// linear output as required by the Wasserstein objective.
+nn::Sequential build_discriminator(const WganConfig& config, util::Rng& rng);
+
+}  // namespace vehigan::gan

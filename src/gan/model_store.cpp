@@ -1,0 +1,60 @@
+#include "gan/model_store.hpp"
+
+#include <fstream>
+
+#include "nn/io.hpp"
+
+namespace vehigan::gan {
+
+namespace io = nn::io;
+
+void save_wgan(const TrainedWgan& model, const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_wgan: cannot open " + path.string());
+  io::write_string(out, "vehigan-wgan-v1");
+  io::write_u64(out, static_cast<std::uint64_t>(model.config.id));
+  io::write_u64(out, model.config.z_dim);
+  io::write_u64(out, static_cast<std::uint64_t>(model.config.layers));
+  io::write_u64(out, static_cast<std::uint64_t>(model.config.paper_epochs));
+  io::write_u64(out, static_cast<std::uint64_t>(model.config.train_epochs));
+  io::write_u64(out, model.config.window);
+  io::write_u64(out, model.config.width);
+  io::write_u64(out, model.history.size());
+  for (const auto& epoch : model.history) {
+    io::write_f32(out, static_cast<float>(epoch.critic_loss));
+    io::write_f32(out, static_cast<float>(epoch.wasserstein_est));
+    io::write_f32(out, static_cast<float>(epoch.generator_loss));
+  }
+  model.generator.save(out);
+  model.discriminator.save(out);
+  if (!out) throw std::runtime_error("save_wgan: write failed for " + path.string());
+}
+
+TrainedWgan load_wgan(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_wgan: cannot open " + path.string());
+  const std::string magic = io::read_string(in);
+  if (magic != "vehigan-wgan-v1") {
+    throw std::runtime_error("load_wgan: bad magic in " + path.string());
+  }
+  TrainedWgan model;
+  model.config.id = static_cast<int>(io::read_u64(in));
+  model.config.z_dim = io::read_u64(in);
+  model.config.layers = static_cast<int>(io::read_u64(in));
+  model.config.paper_epochs = static_cast<int>(io::read_u64(in));
+  model.config.train_epochs = static_cast<int>(io::read_u64(in));
+  model.config.window = io::read_u64(in);
+  model.config.width = io::read_u64(in);
+  const std::uint64_t epochs = io::read_u64(in);
+  model.history.resize(epochs);
+  for (auto& epoch : model.history) {
+    epoch.critic_loss = io::read_f32(in);
+    epoch.wasserstein_est = io::read_f32(in);
+    epoch.generator_loss = io::read_f32(in);
+  }
+  model.generator = nn::Sequential::load(in);
+  model.discriminator = nn::Sequential::load(in);
+  return model;
+}
+
+}  // namespace vehigan::gan

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <filesystem>
+
+#include "gan/wgan.hpp"
+
+namespace vehigan::gan {
+
+/// On-disk persistence of trained WGANs ("model checkpoints and relevant
+/// training statistics", Sec. III-D). One file per model holds the config,
+/// both networks, and the per-epoch history, so the expensive grid training
+/// can be shared across every bench binary via the experiment cache.
+void save_wgan(const TrainedWgan& model, const std::filesystem::path& path);
+
+TrainedWgan load_wgan(const std::filesystem::path& path);
+
+}  // namespace vehigan::gan

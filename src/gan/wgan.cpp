@@ -1,0 +1,226 @@
+#include "gan/wgan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace vehigan::gan {
+
+namespace {
+
+using features::WindowSet;
+using nn::Sequential;
+using nn::Tensor;
+
+/// Gathers the selected windows into a [B, 1, w, f] batch tensor.
+Tensor make_real_batch(const WindowSet& windows, const std::vector<std::size_t>& order,
+                       std::size_t start, std::size_t batch) {
+  const std::size_t values = windows.values_per_window();
+  Tensor out({batch, 1, windows.window, windows.width});
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto snap = windows.snapshot(order[start + b]);
+    std::copy(snap.begin(), snap.end(), out.data() + b * values);
+  }
+  return out;
+}
+
+Tensor make_noise(std::size_t batch, std::size_t z_dim, util::Rng& rng) {
+  Tensor z({batch, z_dim});
+  for (std::size_t i = 0; i < z.size(); ++i) z[i] = rng.normal_f();
+  return z;
+}
+
+void clip_parameters(Sequential& model, float clip) {
+  for (auto& param : model.parameters()) {
+    for (auto& v : *param.values) v = std::clamp(v, -clip, clip);
+  }
+}
+
+/// Uniform [B,1] gradient tensor used to turn a batch of critic outputs into
+/// a scalar mean loss: dy[b] = weight for every sample.
+Tensor uniform_grad(std::size_t batch, float weight) {
+  Tensor g({batch, 1});
+  for (std::size_t i = 0; i < batch; ++i) g[i] = weight;
+  return g;
+}
+
+double batch_mean(const Tensor& scores) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < scores.size(); ++i) sum += scores[i];
+  return sum / static_cast<double>(scores.size());
+}
+
+/// Accumulates the gradient-penalty contribution into the critic's parameter
+/// gradients (see DESIGN.md): for interpolates x_hat with input gradients
+/// g_i, d(GP)/d(theta) = mean_i coef_i * d/d(theta)[g_i^T grad_x D] and the
+/// inner term is evaluated as a finite difference of two backprops along the
+/// direction g_i.
+void accumulate_gradient_penalty(Sequential& critic, const Tensor& x_hat,
+                                 const TrainOptions& opts) {
+  const std::size_t batch = x_hat.dim(0);
+  const std::size_t per_sample = x_hat.size() / batch;
+
+  // Pass 1: harvest g = grad_x D(x_hat). Parameter gradients accumulated
+  // here are garbage for training, so the caller invokes this function
+  // before accumulating the main loss and we zero them afterwards.
+  critic.zero_grad();
+  (void)critic.forward(x_hat);
+  const Tensor g_input = critic.backward(uniform_grad(batch, 1.0F));
+  critic.zero_grad();
+
+  // Per-sample norms, FD steps, and chain-rule coefficients.
+  std::vector<float> norms(batch, 0.0F);
+  for (std::size_t b = 0; b < batch; ++b) {
+    double acc = 0.0;
+    const float* g = g_input.data() + b * per_sample;
+    for (std::size_t i = 0; i < per_sample; ++i) acc += static_cast<double>(g[i]) * g[i];
+    norms[b] = static_cast<float>(std::sqrt(acc));
+  }
+
+  Tensor x_pert = x_hat;
+  std::vector<float> inv_h(batch, 0.0F);
+  Tensor dy_base({batch, 1});
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float norm = std::max(norms[b], 1e-8F);
+    const float h = opts.gp_fd_step / norm;  // keeps the FD displacement ~gp_fd_step
+    inv_h[b] = 1.0F / h;
+    const float coef = 2.0F * opts.gp_lambda * (norm - 1.0F) / norm /
+                       static_cast<float>(batch);
+    dy_base[b] = coef;
+    float* xp = x_pert.data() + b * per_sample;
+    const float* g = g_input.data() + b * per_sample;
+    for (std::size_t i = 0; i < per_sample; ++i) xp[i] += h * g[i];
+  }
+
+  // Pass 2 (+): grad_theta D(x_hat + h*g) weighted by +coef/h.
+  Tensor dy_plus({batch, 1});
+  for (std::size_t b = 0; b < batch; ++b) dy_plus[b] = dy_base[b] * inv_h[b];
+  (void)critic.forward(x_pert);
+  (void)critic.backward(dy_plus);
+
+  // Pass 3 (-): grad_theta D(x_hat) weighted by -coef/h.
+  Tensor dy_minus({batch, 1});
+  for (std::size_t b = 0; b < batch; ++b) dy_minus[b] = -dy_base[b] * inv_h[b];
+  (void)critic.forward(x_hat);
+  (void)critic.backward(dy_minus);
+}
+
+}  // namespace
+
+TrainedWgan WganTrainer::train(const WganConfig& config,
+                               const features::WindowSet& windows) const {
+  if (windows.count() < opts_.batch_size) {
+    throw std::invalid_argument("WganTrainer::train: fewer windows (" +
+                                std::to_string(windows.count()) + ") than one batch");
+  }
+  if (windows.window != config.window || windows.width != config.width) {
+    throw std::invalid_argument("WganTrainer::train: window shape mismatch");
+  }
+
+  util::Rng master(opts_.seed + static_cast<std::uint64_t>(config.id) * 7919);
+  util::Rng init_g = master.split(1);
+  util::Rng init_d = master.split(2);
+  util::Rng noise_rng = master.split(3);
+  util::Rng shuffle_rng = master.split(4);
+
+  TrainedWgan model;
+  model.config = config;
+  model.generator = opts_.generator_arch == GeneratorArch::kTransposedConv
+                        ? build_generator_deconv(config, init_g)
+                        : build_generator(config, init_g);
+  model.discriminator = build_discriminator(config, init_d);
+
+  nn::RmsProp opt_d(opts_.lr);
+  nn::RmsProp opt_g(opts_.lr);
+  auto params_d = model.discriminator.parameters();
+  auto params_g = model.generator.parameters();
+
+  const std::size_t batch = opts_.batch_size;
+  std::vector<std::size_t> order(windows.count());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  const float inv_b = 1.0F / static_cast<float>(batch);
+  for (int epoch = 0; epoch < config.train_epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    EpochStats stats;
+    std::size_t critic_steps = 0;
+    std::size_t gen_steps = 0;
+    int since_gen = 0;
+    for (std::size_t start = 0; start + batch <= order.size(); start += batch) {
+      // ---- Critic update ----
+      model.discriminator.zero_grad();
+      const Tensor real = make_real_batch(windows, order, start, batch);
+      const Tensor z = make_noise(batch, config.z_dim, noise_rng);
+      const Tensor fake = model.generator.forward(z);
+
+      if (opts_.reg == Regularization::kGradientPenalty) {
+        // Interpolates between real and fake, per sample.
+        Tensor x_hat = real;
+        const std::size_t per_sample = real.size() / batch;
+        for (std::size_t b = 0; b < batch; ++b) {
+          const float eps = noise_rng.uniform_f();
+          float* xh = x_hat.data() + b * per_sample;
+          const float* fk = fake.data() + b * per_sample;
+          for (std::size_t i = 0; i < per_sample; ++i) {
+            xh[i] = eps * xh[i] + (1.0F - eps) * fk[i];
+          }
+        }
+        accumulate_gradient_penalty(model.discriminator, x_hat, opts_);
+      }
+
+      const Tensor d_real = model.discriminator.forward(real);
+      (void)model.discriminator.backward(uniform_grad(batch, -inv_b));
+      const Tensor d_fake = model.discriminator.forward(fake);
+      (void)model.discriminator.backward(uniform_grad(batch, inv_b));
+      opt_d.step(params_d);
+      if (opts_.reg == Regularization::kWeightClipping) {
+        clip_parameters(model.discriminator, opts_.clip_value);
+      }
+
+      const double w_est = batch_mean(d_real) - batch_mean(d_fake);
+      stats.critic_loss += -w_est;
+      stats.wasserstein_est += w_est;
+      ++critic_steps;
+
+      // ---- Generator update every n_critic critic steps ----
+      if (++since_gen >= opts_.n_critic) {
+        since_gen = 0;
+        const Tensor z_g = make_noise(batch, config.z_dim, noise_rng);
+        const Tensor fake_g = model.generator.forward(z_g);
+        const Tensor d_out = model.discriminator.forward(fake_g);
+        model.discriminator.zero_grad();
+        const Tensor d_fake_grad = model.discriminator.backward(uniform_grad(batch, -inv_b));
+        model.generator.zero_grad();
+        (void)model.generator.backward(d_fake_grad);
+        opt_g.step(params_g);
+        stats.generator_loss += -batch_mean(d_out);
+        ++gen_steps;
+      }
+    }
+    if (critic_steps > 0) {
+      stats.critic_loss /= static_cast<double>(critic_steps);
+      stats.wasserstein_est /= static_cast<double>(critic_steps);
+    }
+    if (gen_steps > 0) stats.generator_loss /= static_cast<double>(gen_steps);
+    model.history.push_back(stats);
+    util::log_debug("wgan ", config.name(), " epoch ", epoch + 1, "/", config.train_epochs,
+                    " W~", stats.wasserstein_est);
+  }
+  return model;
+}
+
+features::WindowSet WganTrainer::sample(TrainedWgan& model, std::size_t count, util::Rng& rng) {
+  features::WindowSet out;
+  out.window = model.config.window;
+  out.width = model.config.width;
+  const Tensor z = make_noise(count, model.config.z_dim, rng);
+  const Tensor fake = model.generator.forward(z);
+  out.data.assign(fake.data(), fake.data() + fake.size());
+  out.vehicle_ids.assign(count, 0);
+  return out;
+}
+
+}  // namespace vehigan::gan

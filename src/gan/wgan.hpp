@@ -1,0 +1,75 @@
+#pragma once
+
+#include <vector>
+
+#include "features/windows.hpp"
+#include "gan/architecture.hpp"
+#include "nn/optimizer.hpp"
+
+namespace vehigan::gan {
+
+/// How the critic's Lipschitz constraint is enforced.
+enum class Regularization {
+  kWeightClipping,   ///< original WGAN [Arjovsky'17]; default here
+  kGradientPenalty,  ///< WGAN-GP [Gulrajani'17]; d(GP)/d(theta) computed via
+                     ///< a finite-difference directional double-backprop
+};
+
+/// Generator upsampling style (architecture ablation).
+enum class GeneratorArch {
+  kUpsampleConv,    ///< nearest-neighbor UpSample2D + Conv2D (default)
+  kTransposedConv,  ///< learned Conv2DTranspose (DCGAN style)
+};
+
+/// Training hyper-parameters (paper Sec. IV-A1, scaled batch size).
+struct TrainOptions {
+  std::size_t batch_size = 64;
+  GeneratorArch generator_arch = GeneratorArch::kUpsampleConv;
+  float lr = 1e-3F;              ///< paper Sec. IV-A1
+  int n_critic = 5;              ///< critic updates per generator update
+  Regularization reg = Regularization::kWeightClipping;
+  float clip_value = 0.03F;      ///< weight-clipping bound c
+  float gp_lambda = 10.0F;       ///< gradient-penalty coefficient
+  float gp_fd_step = 1e-3F;      ///< finite-difference step for d(GP)/d(theta)
+  std::uint64_t seed = 1234;
+};
+
+/// Per-epoch training statistics.
+struct EpochStats {
+  double critic_loss = 0.0;      ///< E[D(fake)] - E[D(real)] (minimized)
+  double wasserstein_est = 0.0;  ///< E[D(real)] - E[D(fake)]
+  double generator_loss = 0.0;   ///< -E[D(fake)]
+};
+
+/// A trained WGAN instance: the config it was built from, both networks,
+/// and the training history.
+struct TrainedWgan {
+  WganConfig config;
+  nn::Sequential generator;
+  nn::Sequential discriminator;
+  std::vector<EpochStats> history;
+};
+
+/// Trains one WGAN on benign window snapshots.
+///
+/// Standard WGAN loop: for each minibatch the critic is updated to widen
+/// E[D(real)] - E[D(fake)]; after every n_critic critic updates the
+/// generator takes one step to fool the critic. Lipschitz-ness via weight
+/// clipping or gradient penalty per TrainOptions. All randomness (init,
+/// shuffling, noise) derives from opts.seed + config.id, so grid members
+/// are reproducible and mutually independent.
+class WganTrainer {
+ public:
+  explicit WganTrainer(TrainOptions opts) : opts_(opts) {}
+
+  [[nodiscard]] TrainedWgan train(const WganConfig& config,
+                                  const features::WindowSet& benign_windows) const;
+
+  /// Draws `count` generated snapshots from a trained generator.
+  static features::WindowSet sample(TrainedWgan& model, std::size_t count, util::Rng& rng);
+
+ private:
+  TrainOptions opts_;
+};
+
+}  // namespace vehigan::gan

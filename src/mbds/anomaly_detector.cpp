@@ -1,0 +1,20 @@
+#include "mbds/anomaly_detector.hpp"
+
+#include "util/math.hpp"
+
+namespace vehigan::mbds {
+
+std::vector<float> AnomalyDetector::score_all(const features::WindowSet& windows) {
+  std::vector<float> scores;
+  scores.reserve(windows.count());
+  for (std::size_t i = 0; i < windows.count(); ++i) {
+    scores.push_back(score(windows.snapshot(i)));
+  }
+  return scores;
+}
+
+double percentile_threshold(std::span<const float> benign_scores, double p) {
+  return util::percentile(std::vector<float>(benign_scores.begin(), benign_scores.end()), p);
+}
+
+}  // namespace vehigan::mbds

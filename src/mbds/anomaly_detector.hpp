@@ -1,0 +1,36 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "features/windows.hpp"
+
+namespace vehigan::mbds {
+
+/// Common interface of every misbehavior detector in the repo — the WGAN
+/// discriminators, the VehiGAN ensemble, and all classical baselines.
+///
+/// Convention (Sec. III-F): `score` returns an *anomaly score*, higher =
+/// more anomalous; a sample is flagged as misbehavior when
+/// score > threshold. For WGAN discriminators s(x) = -D(x) (Eq. 5).
+class AnomalyDetector {
+ public:
+  virtual ~AnomalyDetector() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Anomaly score of one snapshot (window*width scaled floats).
+  virtual float score(std::span<const float> snapshot) = 0;
+
+  /// Bulk scoring; the default loops over score(), detectors may override
+  /// with batched implementations.
+  virtual std::vector<float> score_all(const features::WindowSet& windows);
+};
+
+/// Computes the detection threshold tau as the p-th percentile of benign
+/// training scores (Sec. III-F, p typically 99.0-99.99).
+double percentile_threshold(std::span<const float> benign_scores, double p);
+
+}  // namespace vehigan::mbds

@@ -1,0 +1,52 @@
+#include "mbds/ensemble.hpp"
+
+#include <stdexcept>
+
+namespace vehigan::mbds {
+
+VehiGan::VehiGan(std::vector<std::shared_ptr<WganDetector>> candidates, std::size_t k,
+                 std::uint64_t seed)
+    : candidates_(std::move(candidates)), k_(k), rng_(seed) {
+  if (candidates_.empty()) throw std::invalid_argument("VehiGan: no candidates");
+  if (k_ == 0 || k_ > candidates_.size()) {
+    throw std::invalid_argument("VehiGan: k must be in [1, m]");
+  }
+}
+
+std::string VehiGan::name() const {
+  return "VehiGAN_m" + std::to_string(candidates_.size()) + "_k" + std::to_string(k_);
+}
+
+std::vector<std::size_t> VehiGan::draw_members() {
+  if (k_ == candidates_.size()) {
+    std::vector<std::size_t> all(candidates_.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    return all;
+  }
+  return rng_.sample_without_replacement(candidates_.size(), k_);
+}
+
+float VehiGan::score_with_members(std::span<const float> snapshot,
+                                  std::span<const std::size_t> members) {
+  double sum = 0.0;
+  for (std::size_t idx : members) sum += candidates_[idx]->score(snapshot);
+  return static_cast<float>(sum / static_cast<double>(members.size()));
+}
+
+float VehiGan::score(std::span<const float> snapshot) {
+  const auto members = draw_members();
+  return score_with_members(snapshot, members);
+}
+
+DetectionResult VehiGan::evaluate(std::span<const float> snapshot) {
+  DetectionResult result;
+  result.members = draw_members();
+  result.score = score_with_members(snapshot, result.members);
+  double tau = 0.0;
+  for (std::size_t idx : result.members) tau += candidates_[idx]->threshold();
+  result.threshold = tau / static_cast<double>(result.members.size());
+  result.flagged = result.score > result.threshold;
+  return result;
+}
+
+}  // namespace vehigan::mbds

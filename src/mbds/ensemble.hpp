@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+
+#include "mbds/wgan_detector.hpp"
+#include "util/rng.hpp"
+
+namespace vehigan::mbds {
+
+/// Outcome of one ensemble evaluation, including the thresholds of the
+/// members drawn for this prediction.
+struct DetectionResult {
+  float score = 0.0F;       ///< ensembled anomaly score s_ens = -mean D_i(x)
+  double threshold = 0.0;   ///< mean threshold of the k deployed members
+  bool flagged = false;     ///< score > threshold
+  std::vector<std::size_t> members;  ///< candidate indices used
+};
+
+/// VEHIGAN_m^k (Sec. III-A2/III-F): the ensemble detector over m candidate
+/// WGAN critics, of which a *fresh random subset of k* is deployed on every
+/// prediction. The subset re-randomization is part of the defense — it is
+/// what defeats single-model (gray-box) adversarial transfer in Fig. 7a.
+///
+/// Thresholding: each member carries its own percentile threshold; the
+/// ensemble threshold for a prediction is the mean of the drawn members'
+/// thresholds (Sec. III-F).
+class VehiGan : public AnomalyDetector {
+ public:
+  /// @param candidates top-m detectors selected by ADS (with thresholds set)
+  /// @param k          members deployed per prediction, 1 <= k <= m
+  /// @param seed       seed of the per-prediction subset sampler
+  VehiGan(std::vector<std::shared_ptr<WganDetector>> candidates, std::size_t k,
+          std::uint64_t seed);
+
+  [[nodiscard]] std::string name() const override;
+
+  /// Anomaly score with a fresh random k-subset (use evaluate() when the
+  /// matching threshold is also needed).
+  float score(std::span<const float> snapshot) override;
+
+  /// Full detection decision: draws k members, averages scores and
+  /// thresholds, and applies s > tau.
+  DetectionResult evaluate(std::span<const float> snapshot);
+
+  /// Deterministic scoring with an explicit member subset (used by the
+  /// white-box multi-model attacker and by tests).
+  float score_with_members(std::span<const float> snapshot,
+                           std::span<const std::size_t> members);
+
+  [[nodiscard]] std::size_t m() const { return candidates_.size(); }
+  [[nodiscard]] std::size_t k() const { return k_; }
+  [[nodiscard]] const std::vector<std::shared_ptr<WganDetector>>& candidates() const {
+    return candidates_;
+  }
+
+ private:
+  std::vector<std::size_t> draw_members();
+
+  std::vector<std::shared_ptr<WganDetector>> candidates_;
+  std::size_t k_;
+  util::Rng rng_;
+};
+
+}  // namespace vehigan::mbds

@@ -1,0 +1,65 @@
+#include "mbds/online.hpp"
+
+#include "features/feature_engineering.hpp"
+#include "features/series.hpp"
+
+namespace vehigan::mbds {
+
+OnlineMbds::OnlineMbds(std::uint32_t station_id, std::shared_ptr<VehiGan> detector,
+                       features::MinMaxScaler scaler, double report_cooldown,
+                       double gap_reset_s)
+    : station_id_(station_id),
+      detector_(std::move(detector)),
+      scaler_(std::move(scaler)),
+      window_(detector_->candidates().front()->window()),
+      cooldown_(report_cooldown),
+      gap_reset_s_(gap_reset_s) {}
+
+std::optional<MisbehaviorReport> OnlineMbds::ingest(const sim::Bsm& message) {
+  VehicleBuffer& buffer = buffers_[message.vehicle_id];
+  // A reception gap (packet loss, shadowing) invalidates the delta features
+  // across the gap; restart the snapshot rather than score garbage.
+  if (!buffer.recent.empty() &&
+      message.time - buffer.recent.back().time > gap_reset_s_) {
+    buffer.recent.clear();
+  }
+  buffer.recent.push_back(message);
+  buffer.last_update_time = message.time;
+  // The engineered features consume message pairs, so a w-step snapshot
+  // needs w+1 raw messages.
+  while (buffer.recent.size() > window_ + 1) buffer.recent.pop_front();
+  if (buffer.recent.size() < window_ + 1) return std::nullopt;
+
+  sim::VehicleTrace mini;
+  mini.vehicle_id = message.vehicle_id;
+  mini.messages.assign(buffer.recent.begin(), buffer.recent.end());
+  features::Series series = to_series(features::extract_features(mini));
+  scaler_.transform(series);
+
+  const DetectionResult result = detector_->evaluate(series.values);
+  if (!result.flagged) return std::nullopt;
+  if (message.time - buffer.last_report_time < cooldown_) return std::nullopt;
+  buffer.last_report_time = message.time;
+
+  MisbehaviorReport report;
+  report.reporter_id = station_id_;
+  report.suspect_id = message.vehicle_id;
+  report.time = message.time;
+  report.score = result.score;
+  report.threshold = result.threshold;
+  report.evidence = mini.messages;
+  if (sink_) sink_(report);
+  return report;
+}
+
+void OnlineMbds::evict_stale(double before_time) {
+  for (auto it = buffers_.begin(); it != buffers_.end();) {
+    if (it->second.last_update_time < before_time) {
+      it = buffers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace vehigan::mbds

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "features/scaler.hpp"
+#include "mbds/ensemble.hpp"
+#include "mbds/report.hpp"
+
+namespace vehigan::mbds {
+
+/// The testing-phase runtime of VEHIGAN (bottom half of Fig. 2), deployable
+/// on an OBU or RSU: it consumes raw BSMs vehicle by vehicle, maintains the
+/// most recent w-message snapshot x_v per sender, runs the ensemble on every
+/// update, and emits a MisbehaviorReport whenever s_v > tau_ens.
+class OnlineMbds {
+ public:
+  using ReportSink = std::function<void(const MisbehaviorReport&)>;
+
+  /// @param station_id      identity of this OBU/RSU (for MBR provenance)
+  /// @param detector        the deployed VEHIGAN_m^k ensemble
+  /// @param scaler          the training-time min-max scaler
+  /// @param report_cooldown minimum seconds between reports per suspect
+  ///                        (BSMs arrive at 10 Hz; one MBR per offense burst
+  ///                        is enough for the MA)
+  /// @param gap_reset_s     a reception gap larger than this resets the
+  ///                        vehicle's snapshot buffer: the engineered delta
+  ///                        features assume consecutive 100 ms messages, so
+  ///                        windows must not straddle packet-loss bursts
+  OnlineMbds(std::uint32_t station_id, std::shared_ptr<VehiGan> detector,
+             features::MinMaxScaler scaler, double report_cooldown = 1.0,
+             double gap_reset_s = 0.25);
+
+  /// Feeds one received BSM. Returns the report if this message triggered
+  /// one (also forwarded to the sink, if set).
+  std::optional<MisbehaviorReport> ingest(const sim::Bsm& message);
+
+  void set_report_sink(ReportSink sink) { sink_ = std::move(sink); }
+
+  /// Drops per-vehicle state not updated since `before_time` (pseudonym
+  /// churn / vehicles leaving range).
+  void evict_stale(double before_time);
+
+  [[nodiscard]] std::size_t tracked_vehicles() const { return buffers_.size(); }
+  [[nodiscard]] std::size_t window() const { return window_; }
+
+ private:
+  struct VehicleBuffer {
+    std::deque<sim::Bsm> recent;  ///< last window_+1 raw messages
+    double last_report_time = -1e18;
+    double last_update_time = 0.0;
+  };
+
+  std::uint32_t station_id_;
+  std::shared_ptr<VehiGan> detector_;
+  features::MinMaxScaler scaler_;
+  std::size_t window_;
+  double cooldown_;
+  double gap_reset_s_;
+  ReportSink sink_;
+  std::unordered_map<std::uint32_t, VehicleBuffer> buffers_;
+};
+
+}  // namespace vehigan::mbds

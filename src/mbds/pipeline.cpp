@@ -1,0 +1,64 @@
+#include "mbds/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace vehigan::mbds {
+
+VehiGanBundle::VehiGanBundle(std::vector<std::shared_ptr<WganDetector>> detectors,
+                             std::vector<ModelEvaluation> evaluations,
+                             std::vector<std::size_t> ranking)
+    : detectors_(std::move(detectors)),
+      evaluations_(std::move(evaluations)),
+      ranking_(std::move(ranking)) {}
+
+std::unique_ptr<VehiGan> VehiGanBundle::make_ensemble(std::size_t m, std::size_t k,
+                                                      std::uint64_t seed) const {
+  if (m == 0 || m > ranking_.size()) {
+    throw std::invalid_argument("make_ensemble: m must be in [1, " +
+                                std::to_string(ranking_.size()) + "]");
+  }
+  std::vector<std::shared_ptr<WganDetector>> members;
+  members.reserve(m);
+  for (std::size_t rank = 0; rank < m; ++rank) members.push_back(top(rank));
+  return std::make_unique<VehiGan>(std::move(members), k, seed);
+}
+
+VehiGanBundle build_bundle(std::vector<gan::TrainedWgan> models,
+                           const features::WindowSet& benign_train_windows,
+                           const ValidationSet& validation, const VehiGanBuildOptions& options) {
+  std::vector<std::shared_ptr<WganDetector>> detectors;
+  detectors.reserve(models.size());
+  for (auto& model : models) {
+    detectors.push_back(std::make_shared<WganDetector>(std::move(model)));
+  }
+
+  // Calibrate each member on its benign training scores, then set its
+  // threshold as the p-th percentile of the calibrated scores (Sec. III-F).
+  for (const auto& detector : detectors) {
+    const std::vector<float> raw = detector->score_all(benign_train_windows);
+    detector->calibrate(raw);
+    std::vector<float> calibrated(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      calibrated[i] = static_cast<float>((raw[i] - detector->calibration_mean()) /
+                                         detector->calibration_std());
+    }
+    detector->set_threshold(
+        percentile_threshold(calibrated, options.threshold_percentile));
+  }
+
+  util::log_info("pre-evaluating ", detectors.size(), " WGANs on ", validation.attacks.size(),
+                 " validation attacks");
+  std::vector<ModelEvaluation> evaluations = pre_evaluate(detectors, validation);
+  std::vector<std::size_t> ranking = select_top_m(evaluations, detectors.size());
+  // Keep the full ranking in the bundle; top_m only caps ensemble creation,
+  // and callers can still inspect the full table.
+  if (options.top_m < ranking.size()) {
+    // Ranking is complete; make_ensemble enforces m <= ranking size. Nothing
+    // to trim here — top_m is advisory documentation of the paper's default.
+  }
+  return VehiGanBundle(std::move(detectors), std::move(evaluations), std::move(ranking));
+}
+
+}  // namespace vehigan::mbds

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <memory>
+
+#include "gan/wgan.hpp"
+#include "mbds/ensemble.hpp"
+#include "mbds/pre_evaluation.hpp"
+
+namespace vehigan::mbds {
+
+/// Options of the training-phase tail (Sec. III-E/F): candidate pool size
+/// and the percentile of benign scores used as each member's threshold.
+struct VehiGanBuildOptions {
+  std::size_t top_m = 10;
+  double threshold_percentile = 99.0;
+};
+
+/// Everything the VEHIGAN training phase produces: the wrapped grid of
+/// detectors (thresholds set), the pre-evaluation table, and the ADS
+/// ranking. Ensembles of any (m, k) <= (top candidates) are minted from it.
+class VehiGanBundle {
+ public:
+  VehiGanBundle(std::vector<std::shared_ptr<WganDetector>> detectors,
+                std::vector<ModelEvaluation> evaluations, std::vector<std::size_t> ranking);
+
+  /// All grid detectors in training order (index == grid id order).
+  [[nodiscard]] const std::vector<std::shared_ptr<WganDetector>>& detectors() const {
+    return detectors_;
+  }
+
+  /// Pre-evaluation table aligned with detectors().
+  [[nodiscard]] const std::vector<ModelEvaluation>& evaluations() const { return evaluations_; }
+
+  /// Detector indices sorted by ADS descending.
+  [[nodiscard]] const std::vector<std::size_t>& ranking() const { return ranking_; }
+
+  /// The i-th best detector (rank 0 = highest ADS).
+  [[nodiscard]] const std::shared_ptr<WganDetector>& top(std::size_t rank) const {
+    return detectors_.at(ranking_.at(rank));
+  }
+
+  /// Builds VEHIGAN_m^k from the top-m candidates.
+  [[nodiscard]] std::unique_ptr<VehiGan> make_ensemble(std::size_t m, std::size_t k,
+                                                       std::uint64_t seed) const;
+
+ private:
+  std::vector<std::shared_ptr<WganDetector>> detectors_;
+  std::vector<ModelEvaluation> evaluations_;
+  std::vector<std::size_t> ranking_;
+};
+
+/// Assembles the bundle from trained grid models: wraps each model in a
+/// WganDetector, sets its threshold from the benign training windows, runs
+/// the ADS pre-evaluation on the validation set, and ranks the grid.
+VehiGanBundle build_bundle(std::vector<gan::TrainedWgan> models,
+                           const features::WindowSet& benign_train_windows,
+                           const ValidationSet& validation, const VehiGanBuildOptions& options);
+
+}  // namespace vehigan::mbds

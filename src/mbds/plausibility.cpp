@@ -1,0 +1,110 @@
+#include "mbds/plausibility.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "features/feature_engineering.hpp"
+
+namespace vehigan::mbds {
+
+using features::FeatureIndex;
+
+PlausibilityDetector::PlausibilityDetector(features::MinMaxScaler scaler, double dt)
+    : scaler_(std::move(scaler)), dt_(dt) {
+  noise_scale_.fill(1.0);
+}
+
+std::array<double, PlausibilityDetector::kNumResiduals> PlausibilityDetector::residuals(
+    std::span<const float> snapshot) const {
+  const std::size_t width = scaler_.width();
+  if (width != features::kNumFeatures || snapshot.size() % width != 0) {
+    throw std::invalid_argument("PlausibilityDetector: snapshot/scaler width mismatch");
+  }
+  const std::size_t rows = snapshot.size() / width;
+  std::array<double, kNumResiduals> acc{};
+  for (std::size_t r = 0; r < rows; ++r) {
+    // Unscale this row back to physical units.
+    std::array<double, features::kNumFeatures> v{};
+    for (std::size_t c = 0; c < width; ++c) {
+      v[c] = scaler_.unscale_value(c, snapshot[r * width + c]);
+    }
+    acc[0] += std::abs(v[FeatureIndex::kDx] - v[FeatureIndex::kVx] * dt_);
+    acc[1] += std::abs(v[FeatureIndex::kDy] - v[FeatureIndex::kVy] * dt_);
+    acc[2] += std::abs(v[FeatureIndex::kDVx] - v[FeatureIndex::kAx] * dt_);
+    acc[3] += std::abs(v[FeatureIndex::kDVy] - v[FeatureIndex::kAy] * dt_);
+    acc[4] += std::abs(v[FeatureIndex::kDHx] + v[FeatureIndex::kWy] * dt_);
+    acc[5] += std::abs(v[FeatureIndex::kDHy] - v[FeatureIndex::kWx] * dt_);
+  }
+  for (auto& a : acc) a /= static_cast<double>(rows);
+  return acc;
+}
+
+void PlausibilityDetector::fit(const features::WindowSet& benign) {
+  if (benign.count() == 0) throw std::invalid_argument("PlausibilityDetector::fit: no data");
+  std::array<double, kNumResiduals> sum{};
+  std::array<double, kNumResiduals> sum_sq{};
+  for (std::size_t i = 0; i < benign.count(); ++i) {
+    const auto res = residuals(benign.snapshot(i));
+    for (std::size_t f = 0; f < kNumResiduals; ++f) {
+      sum[f] += res[f];
+      sum_sq[f] += res[f] * res[f];
+    }
+  }
+  const double n = static_cast<double>(benign.count());
+  for (std::size_t f = 0; f < kNumResiduals; ++f) {
+    const double mean = sum[f] / n;
+    const double var = std::max(sum_sq[f] / n - mean * mean, 0.0);
+    // Scale = benign mean + one std: honest windows land around 1.
+    noise_scale_[f] = std::max(mean + std::sqrt(var), 1e-6);
+  }
+  fitted_ = true;
+}
+
+float PlausibilityDetector::score(std::span<const float> snapshot) {
+  if (!fitted_) throw std::logic_error("PlausibilityDetector::score: fit() not called");
+  const auto res = residuals(snapshot);
+  double worst = 0.0;
+  for (std::size_t f = 0; f < kNumResiduals; ++f) {
+    worst = std::max(worst, res[f] / noise_scale_[f]);
+  }
+  return static_cast<float>(worst);
+}
+
+HybridDetector::HybridDetector(std::shared_ptr<AnomalyDetector> first,
+                               std::shared_ptr<AnomalyDetector> second) {
+  if (!first || !second) throw std::invalid_argument("HybridDetector: null member");
+  first_.detector = std::move(first);
+  second_.detector = std::move(second);
+}
+
+std::string HybridDetector::name() const {
+  return first_.detector->name() + "+" + second_.detector->name();
+}
+
+void HybridDetector::fit(const features::WindowSet& benign) {
+  if (benign.count() < 2) throw std::invalid_argument("HybridDetector::fit: not enough data");
+  auto calibrate = [&](Calibrated& member) {
+    const std::vector<float> scores = member.detector->score_all(benign);
+    double sum = 0.0, sum_sq = 0.0;
+    for (float s : scores) {
+      sum += s;
+      sum_sq += static_cast<double>(s) * s;
+    }
+    const double n = static_cast<double>(scores.size());
+    member.mean = sum / n;
+    member.std = std::max(std::sqrt(std::max(sum_sq / n - member.mean * member.mean, 0.0)),
+                          1e-9);
+  };
+  calibrate(first_);
+  calibrate(second_);
+  fitted_ = true;
+}
+
+float HybridDetector::score(std::span<const float> snapshot) {
+  if (!fitted_) throw std::logic_error("HybridDetector::score: fit() not called");
+  const double a = (first_.detector->score(snapshot) - first_.mean) / first_.std;
+  const double b = (second_.detector->score(snapshot) - second_.mean) / second_.std;
+  return static_cast<float>(std::max(a, b));
+}
+
+}  // namespace vehigan::mbds

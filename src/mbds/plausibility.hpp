@@ -1,0 +1,77 @@
+#pragma once
+
+#include <array>
+
+#include "features/scaler.hpp"
+#include "mbds/anomaly_detector.hpp"
+
+namespace vehigan::mbds {
+
+/// Physics plausibility checker — the classical rule-based MBDS the paper
+/// positions as a *companion* detector ("consistency checks ... can work
+/// parallel as an additional detector along with VEHIGAN", Sec. V-C).
+///
+/// For every consecutive step in a snapshot it evaluates the Table-II
+/// consistency residuals in physical units:
+///     r_pos   = | d_pos - v_vec * dt |       (position vs velocity)
+///     r_vel   = | d_vel - a_vec * dt |       (velocity change vs accel)
+///     r_head  = | d_head - w_vec * dt |      (heading change vs yaw rate)
+/// Each residual family is normalized by its benign standard deviation
+/// (calibrated in fit()), and the anomaly score is the largest normalized
+/// mean residual. Honest traffic scores ~O(1); physics violations explode;
+/// attacks that do not violate physics (ConstantPositionOffset) stay
+/// invisible — by design, exactly the paper's observation.
+class PlausibilityDetector : public AnomalyDetector {
+ public:
+  /// @param scaler the training scaler (snapshots arrive scaled; residuals
+  ///               are evaluated in physical units)
+  /// @param dt     BSM period [s]
+  PlausibilityDetector(features::MinMaxScaler scaler, double dt = 0.1);
+
+  /// Calibrates per-residual-family noise scales on benign windows.
+  void fit(const features::WindowSet& benign);
+
+  [[nodiscard]] std::string name() const override { return "Plausibility"; }
+  float score(std::span<const float> snapshot) override;
+
+  static constexpr std::size_t kNumResiduals = 6;
+
+  /// Raw (unnormalized) mean residuals of one snapshot; exposed for tests
+  /// and for explaining reports.
+  [[nodiscard]] std::array<double, kNumResiduals> residuals(
+      std::span<const float> snapshot) const;
+
+ private:
+  features::MinMaxScaler scaler_;
+  double dt_;
+  std::array<double, kNumResiduals> noise_scale_{};
+  bool fitted_ = false;
+};
+
+/// Parallel composition of two detectors (Sec. V-C suggestion): both run on
+/// every snapshot and the fused score is the *maximum* of their calibrated
+/// scores, so either detector alone can raise the alarm. Calibration maps
+/// both score distributions onto comparable units (benign mean/std).
+class HybridDetector : public AnomalyDetector {
+ public:
+  HybridDetector(std::shared_ptr<AnomalyDetector> first,
+                 std::shared_ptr<AnomalyDetector> second);
+
+  /// Calibrates both members' benign score distributions.
+  void fit(const features::WindowSet& benign);
+
+  [[nodiscard]] std::string name() const override;
+  float score(std::span<const float> snapshot) override;
+
+ private:
+  struct Calibrated {
+    std::shared_ptr<AnomalyDetector> detector;
+    double mean = 0.0;
+    double std = 1.0;
+  };
+  Calibrated first_;
+  Calibrated second_;
+  bool fitted_ = false;
+};
+
+}  // namespace vehigan::mbds

@@ -1,0 +1,49 @@
+#include "mbds/pre_evaluation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "metrics/roc.hpp"
+
+namespace vehigan::mbds {
+
+std::vector<ModelEvaluation> pre_evaluate(
+    const std::vector<std::shared_ptr<WganDetector>>& detectors,
+    const ValidationSet& validation, DetectionScoreMetric metric) {
+  std::vector<ModelEvaluation> evaluations;
+  evaluations.reserve(detectors.size());
+  for (const auto& detector : detectors) {
+    ModelEvaluation eval;
+    eval.model_id = detector->model().config.id;
+    eval.model_name = detector->name();
+    const std::vector<float> benign_scores = detector->score_all(validation.benign_windows);
+    double sum = 0.0;
+    for (const auto& scenario : validation.attacks) {
+      const std::vector<float> attack_scores = detector->score_all(scenario.malicious_windows);
+      const double ds = metric == DetectionScoreMetric::kAuroc
+                            ? metrics::auroc(benign_scores, attack_scores)
+                            : metrics::auprc(benign_scores, attack_scores);
+      eval.per_attack_score.push_back(ds);
+      sum += ds;
+    }
+    eval.ads = validation.attacks.empty()
+                   ? 0.0
+                   : sum / static_cast<double>(validation.attacks.size());
+    evaluations.push_back(std::move(eval));
+  }
+  return evaluations;
+}
+
+std::vector<std::size_t> select_top_m(const std::vector<ModelEvaluation>& evaluations,
+                                      std::size_t m) {
+  std::vector<std::size_t> order(evaluations.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (evaluations[a].ads != evaluations[b].ads) return evaluations[a].ads > evaluations[b].ads;
+    return evaluations[a].model_id < evaluations[b].model_id;
+  });
+  order.resize(std::min(m, order.size()));
+  return order;
+}
+
+}  // namespace vehigan::mbds

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "features/windows.hpp"
+#include "mbds/wgan_detector.hpp"
+
+namespace vehigan::mbds {
+
+/// Windows of one attack scenario in the validation split.
+struct ValidationScenario {
+  std::string attack_name;
+  features::WindowSet malicious_windows;  ///< windows from attacker vehicles only
+};
+
+/// The validation dataset X_valid of Sec. III-E: benign windows plus
+/// representative attack traces used to pre-evaluate candidate WGANs.
+struct ValidationSet {
+  features::WindowSet benign_windows;
+  std::vector<ValidationScenario> attacks;
+};
+
+/// Which classifier metric serves as the detection score DS (Sec. III-E:
+/// "any commonly used metric, such as AUROC, AUPRC, etc.").
+enum class DetectionScoreMetric { kAuroc, kAuprc };
+
+/// Pre-evaluation result of one WGAN (Sec. III-E).
+struct ModelEvaluation {
+  int model_id = 0;
+  std::string model_name;
+  std::vector<double> per_attack_score;  ///< DS_i^j = AUROC vs attack j
+  double ads = 0.0;                      ///< average discriminative score (Eq. 4)
+};
+
+/// Computes each detector's detection score against every validation attack
+/// and its ADS. `detectors` are scored in place (forward passes only).
+std::vector<ModelEvaluation> pre_evaluate(
+    const std::vector<std::shared_ptr<WganDetector>>& detectors, const ValidationSet& validation,
+    DetectionScoreMetric metric = DetectionScoreMetric::kAuroc);
+
+/// Indices into `evaluations` of the top-m models by ADS, descending
+/// (ties broken by lower model id for determinism). m is clamped to size.
+std::vector<std::size_t> select_top_m(const std::vector<ModelEvaluation>& evaluations,
+                                      std::size_t m);
+
+}  // namespace vehigan::mbds

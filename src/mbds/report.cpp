@@ -1,0 +1,20 @@
+#include "mbds/report.hpp"
+
+namespace vehigan::mbds {
+
+bool MisbehaviorAuthority::submit(const MisbehaviorReport& report) {
+  reports_.push_back(report);
+  const std::size_t count = ++counts_[report.suspect_id];
+  if (count >= quota_ && !revoked_.contains(report.suspect_id)) {
+    revoked_.insert(report.suspect_id);
+    return true;
+  }
+  return false;
+}
+
+std::size_t MisbehaviorAuthority::report_count(std::uint32_t vehicle_id) const {
+  const auto it = counts_.find(vehicle_id);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace vehigan::mbds

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/bsm.hpp"
+
+namespace vehigan::mbds {
+
+/// Misbehavior report (MBR, Sec. I/III-F): when the ensemble flags a
+/// vehicle, the ego/RSU sends the evidence — the offending BSM window and
+/// the scores — to the Misbehavior Authority.
+struct MisbehaviorReport {
+  std::uint32_t reporter_id = 0;   ///< OBU/RSU issuing the report
+  std::uint32_t suspect_id = 0;    ///< pseudonym of the flagged vehicle
+  double time = 0.0;               ///< detection time [s]
+  float score = 0.0F;              ///< ensembled anomaly score
+  double threshold = 0.0;          ///< ensemble threshold at decision time
+  std::vector<sim::Bsm> evidence;  ///< the w most recent BSMs of the suspect
+};
+
+/// Misbehavior Authority (MA) model: the SCMS component that collects MBRs,
+/// investigates, and revokes credentials by putting repeat offenders on the
+/// certificate revocation list (CRL).
+class MisbehaviorAuthority {
+ public:
+  /// @param revocation_quota distinct reports required before revocation;
+  ///        a small quota > 1 tolerates isolated false positives.
+  explicit MisbehaviorAuthority(std::size_t revocation_quota = 3)
+      : quota_(revocation_quota) {}
+
+  /// Files a report; returns true if this report triggered revocation.
+  bool submit(const MisbehaviorReport& report);
+
+  [[nodiscard]] bool is_revoked(std::uint32_t vehicle_id) const {
+    return revoked_.contains(vehicle_id);
+  }
+
+  [[nodiscard]] const std::set<std::uint32_t>& revocation_list() const { return revoked_; }
+  [[nodiscard]] std::size_t report_count(std::uint32_t vehicle_id) const;
+  [[nodiscard]] const std::vector<MisbehaviorReport>& reports() const { return reports_; }
+
+ private:
+  std::size_t quota_;
+  std::vector<MisbehaviorReport> reports_;
+  std::map<std::uint32_t, std::size_t> counts_;
+  std::set<std::uint32_t> revoked_;
+};
+
+}  // namespace vehigan::mbds

@@ -1,0 +1,60 @@
+#include "mbds/report_codec.hpp"
+
+#include "data/json.hpp"
+
+namespace vehigan::mbds {
+
+using data::Json;
+
+std::string encode_report(const MisbehaviorReport& report) {
+  Json::Object object;
+  object["version"] = Json(1);
+  object["reporter"] = Json(static_cast<double>(report.reporter_id));
+  object["suspect"] = Json(static_cast<double>(report.suspect_id));
+  object["time"] = Json(report.time);
+  object["score"] = Json(static_cast<double>(report.score));
+  object["threshold"] = Json(report.threshold);
+  Json::Array evidence;
+  for (const auto& m : report.evidence) {
+    Json::Object bsm;
+    bsm["id"] = Json(static_cast<double>(m.vehicle_id));
+    bsm["t"] = Json(m.time);
+    bsm["x"] = Json(m.x);
+    bsm["y"] = Json(m.y);
+    bsm["v"] = Json(m.speed);
+    bsm["a"] = Json(m.accel);
+    bsm["h"] = Json(m.heading);
+    bsm["w"] = Json(m.yaw_rate);
+    evidence.emplace_back(std::move(bsm));
+  }
+  object["evidence"] = Json(std::move(evidence));
+  return Json(std::move(object)).dump();
+}
+
+MisbehaviorReport decode_report(const std::string& text) {
+  const Json doc = Json::parse(text);
+  if (!doc.contains("version") || doc.at("version").as_number() != 1.0) {
+    throw std::runtime_error("decode_report: unsupported report version");
+  }
+  MisbehaviorReport report;
+  report.reporter_id = static_cast<std::uint32_t>(doc.at("reporter").as_number());
+  report.suspect_id = static_cast<std::uint32_t>(doc.at("suspect").as_number());
+  report.time = doc.at("time").as_number();
+  report.score = static_cast<float>(doc.at("score").as_number());
+  report.threshold = doc.at("threshold").as_number();
+  for (const auto& entry : doc.at("evidence").as_array()) {
+    sim::Bsm m;
+    m.vehicle_id = static_cast<std::uint32_t>(entry.at("id").as_number());
+    m.time = entry.at("t").as_number();
+    m.x = entry.at("x").as_number();
+    m.y = entry.at("y").as_number();
+    m.speed = entry.at("v").as_number();
+    m.accel = entry.at("a").as_number();
+    m.heading = entry.at("h").as_number();
+    m.yaw_rate = entry.at("w").as_number();
+    report.evidence.push_back(m);
+  }
+  return report;
+}
+
+}  // namespace vehigan::mbds

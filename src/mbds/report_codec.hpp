@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+#include "mbds/report.hpp"
+
+namespace vehigan::mbds {
+
+/// Wire encoding of misbehavior reports (the MBR protocol of Sec. I/II):
+/// the OBU/RSU serializes the report — scores, thresholds, and the full BSM
+/// evidence window — as a JSON document for submission to the Misbehavior
+/// Authority, which deserializes and re-validates it. JSON keeps the
+/// evidence human-auditable, matching how MBR drafts structure reports.
+std::string encode_report(const MisbehaviorReport& report);
+
+/// Parses a report; throws std::runtime_error / std::out_of_range on
+/// malformed or incomplete documents.
+MisbehaviorReport decode_report(const std::string& text);
+
+}  // namespace vehigan::mbds

@@ -1,0 +1,43 @@
+#include "mbds/wgan_detector.hpp"
+
+#include "util/math.hpp"
+
+namespace vehigan::mbds {
+
+WganDetector::WganDetector(gan::TrainedWgan model) : model_(std::move(model)) {}
+
+float WganDetector::raw_score(std::span<const float> snapshot) {
+  // s(x) = -D(x): the critic outputs higher values for real-looking inputs.
+  return -nn::forward_scalar(model_.discriminator, snapshot, window(), width());
+}
+
+float WganDetector::score(std::span<const float> snapshot) {
+  return static_cast<float>((raw_score(snapshot) - cal_mean_) / cal_std_);
+}
+
+void WganDetector::calibrate(std::span<const float> benign_raw_scores) {
+  std::vector<double> scores(benign_raw_scores.begin(), benign_raw_scores.end());
+  cal_mean_ = util::mean(scores);
+  cal_std_ = std::max(util::stddev(scores), 1e-9);
+}
+
+void WganDetector::set_calibration(double mean, double stddev) {
+  cal_mean_ = mean;
+  cal_std_ = std::max(stddev, 1e-9);
+}
+
+std::vector<float> WganDetector::score_gradient(std::span<const float> snapshot) {
+  nn::Tensor input({1, 1, window(), width()},
+                   std::vector<float>(snapshot.begin(), snapshot.end()));
+  (void)model_.discriminator.forward(input);
+  model_.discriminator.zero_grad();
+  // d s / d D(x) = -1 in raw units; the calibration scale 1/sigma is a
+  // positive constant, so it never changes the FGSM sign but keeps the
+  // gradient consistent with score().
+  nn::Tensor upstream({1, 1});
+  upstream[0] = static_cast<float>(-1.0 / cal_std_);
+  const nn::Tensor grad = model_.discriminator.backward(upstream);
+  return {grad.data(), grad.data() + grad.size()};
+}
+
+}  // namespace vehigan::mbds

@@ -1,0 +1,60 @@
+#pragma once
+
+#include "gan/wgan.hpp"
+#include "mbds/anomaly_detector.hpp"
+
+namespace vehigan::mbds {
+
+/// Single WGAN-based detector (VEHIGAN_1^1): wraps a trained critic and
+/// scores snapshots with s(x) = -D(x). Also exposes the input gradient of
+/// the anomaly score, which the adversarial module uses for FGSM (Eqs. 6-7)
+/// and the evaluation uses for Fig. 6.
+///
+/// Calibration: independently trained critics output on wildly different
+/// scales, so before ensembling, each detector is calibrated with the mean
+/// and standard deviation of its *benign training* scores; score() then
+/// returns (s - mu) / sigma. The affine map changes nothing about a single
+/// model (AUROC is rank-based and FGSM uses only the gradient sign) but
+/// makes the paper's score averaging (Sec. III-F) meaningful across members.
+class WganDetector : public AnomalyDetector {
+ public:
+  explicit WganDetector(gan::TrainedWgan model);
+
+  [[nodiscard]] std::string name() const override { return model_.config.name(); }
+  float score(std::span<const float> snapshot) override;
+
+  /// Computes the calibration (mean, stddev) from benign training scores.
+  /// Call before thresholding; thresholds are in calibrated units.
+  void calibrate(std::span<const float> benign_raw_scores);
+
+  /// Sets the calibration directly (deserialization, tests).
+  void set_calibration(double mean, double stddev);
+  [[nodiscard]] double calibration_mean() const { return cal_mean_; }
+  [[nodiscard]] double calibration_std() const { return cal_std_; }
+
+  /// Raw anomaly score -D(x) without calibration.
+  float raw_score(std::span<const float> snapshot);
+
+  /// grad_x s(x) = -grad_x D(x), same layout as the snapshot.
+  std::vector<float> score_gradient(std::span<const float> snapshot);
+
+  /// Detection threshold management (p-th percentile of benign scores).
+  void set_threshold(double tau) { threshold_ = tau; }
+  [[nodiscard]] double threshold() const { return threshold_; }
+  [[nodiscard]] bool flags(std::span<const float> snapshot) {
+    return score(snapshot) > threshold_;
+  }
+
+  [[nodiscard]] const gan::TrainedWgan& model() const { return model_; }
+  [[nodiscard]] gan::TrainedWgan& model() { return model_; }
+  [[nodiscard]] std::size_t window() const { return model_.config.window; }
+  [[nodiscard]] std::size_t width() const { return model_.config.width; }
+
+ private:
+  gan::TrainedWgan model_;
+  double threshold_ = 0.0;
+  double cal_mean_ = 0.0;
+  double cal_std_ = 1.0;
+};
+
+}  // namespace vehigan::mbds

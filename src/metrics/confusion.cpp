@@ -1,0 +1,14 @@
+#include "metrics/confusion.hpp"
+
+namespace vehigan::metrics {
+
+ConfusionMatrix confusion_at_threshold(std::span<const float> benign_scores,
+                                       std::span<const float> attack_scores,
+                                       double threshold) {
+  ConfusionMatrix cm;
+  for (float s : benign_scores) cm.add(/*actual_positive=*/false, s > threshold);
+  for (float s : attack_scores) cm.add(/*actual_positive=*/true, s > threshold);
+  return cm;
+}
+
+}  // namespace vehigan::metrics

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace vehigan::metrics {
+
+/// Binary-classification outcome counts for a detector at a fixed threshold
+/// (Sec. IV-A2 of the paper). Positive = misbehavior, negative = benign.
+struct ConfusionMatrix {
+  std::uint64_t tp = 0;  ///< misbehavior flagged as misbehavior
+  std::uint64_t tn = 0;  ///< benign accepted as benign
+  std::uint64_t fp = 0;  ///< benign flagged as misbehavior
+  std::uint64_t fn = 0;  ///< misbehavior accepted as benign
+
+  void add(bool actual_positive, bool predicted_positive) {
+    if (actual_positive) {
+      predicted_positive ? ++tp : ++fn;
+    } else {
+      predicted_positive ? ++fp : ++tn;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t total() const { return tp + tn + fp + fn; }
+
+  /// TPR = TP / (TP + FN); 0 when there are no positives.
+  [[nodiscard]] double tpr() const {
+    const auto denom = tp + fn;
+    return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+  }
+
+  /// FPR = FP / (FP + TN); 0 when there are no negatives.
+  [[nodiscard]] double fpr() const {
+    const auto denom = fp + tn;
+    return denom == 0 ? 0.0 : static_cast<double>(fp) / static_cast<double>(denom);
+  }
+
+  /// FNR = FN / (TP + FN); 0 when there are no positives.
+  [[nodiscard]] double fnr() const {
+    const auto denom = tp + fn;
+    return denom == 0 ? 0.0 : static_cast<double>(fn) / static_cast<double>(denom);
+  }
+
+  [[nodiscard]] double precision() const {
+    const auto denom = tp + fp;
+    return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+  }
+
+  [[nodiscard]] double accuracy() const {
+    const auto t = total();
+    return t == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(t);
+  }
+
+  [[nodiscard]] double f1() const {
+    const double p = precision();
+    const double r = tpr();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Builds a confusion matrix from anomaly scores: a sample is predicted
+/// positive when its score strictly exceeds the threshold, matching the
+/// VEHIGAN detection rule s_v > tau_ens (Sec. III-F).
+ConfusionMatrix confusion_at_threshold(std::span<const float> benign_scores,
+                                       std::span<const float> attack_scores,
+                                       double threshold);
+
+}  // namespace vehigan::metrics

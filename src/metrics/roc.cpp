@@ -1,0 +1,132 @@
+#include "metrics/roc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace vehigan::metrics {
+
+namespace {
+
+/// Labeled score for sorting: label=1 positive, 0 negative.
+struct Labeled {
+  float score;
+  int label;
+};
+
+}  // namespace
+
+double auroc(std::span<const float> negative_scores, std::span<const float> positive_scores) {
+  const std::size_t n_neg = negative_scores.size();
+  const std::size_t n_pos = positive_scores.size();
+  if (n_neg == 0 || n_pos == 0) return 0.5;
+
+  // Rank-sum with midranks for ties (exact Mann-Whitney).
+  std::vector<Labeled> all;
+  all.reserve(n_neg + n_pos);
+  for (float s : negative_scores) all.push_back({s, 0});
+  for (float s : positive_scores) all.push_back({s, 1});
+  std::sort(all.begin(), all.end(), [](const Labeled& a, const Labeled& b) { return a.score < b.score; });
+
+  double rank_sum_pos = 0.0;
+  std::size_t i = 0;
+  while (i < all.size()) {
+    std::size_t j = i;
+    while (j < all.size() && all[j].score == all[i].score) ++j;
+    // Midrank of the tie group [i, j): average of 1-based ranks i+1 .. j.
+    const double midrank = (static_cast<double>(i) + 1.0 + static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (all[k].label == 1) rank_sum_pos += midrank;
+    }
+    i = j;
+  }
+  const double u = rank_sum_pos - static_cast<double>(n_pos) * (static_cast<double>(n_pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+std::vector<RocPoint> roc_curve(std::span<const float> negative_scores,
+                                std::span<const float> positive_scores) {
+  std::vector<Labeled> all;
+  all.reserve(negative_scores.size() + positive_scores.size());
+  for (float s : negative_scores) all.push_back({s, 0});
+  for (float s : positive_scores) all.push_back({s, 1});
+  // Descending by score: as the threshold drops, TPR/FPR only grow.
+  std::sort(all.begin(), all.end(), [](const Labeled& a, const Labeled& b) { return a.score > b.score; });
+
+  const double n_pos = static_cast<double>(positive_scores.size());
+  const double n_neg = static_cast<double>(negative_scores.size());
+  std::vector<RocPoint> curve;
+  curve.push_back({std::numeric_limits<double>::infinity(), 0.0, 0.0});
+  std::uint64_t tp = 0;
+  std::uint64_t fp = 0;
+  std::size_t i = 0;
+  while (i < all.size()) {
+    std::size_t j = i;
+    // Advance through a tie group atomically so the curve is well defined.
+    while (j < all.size() && all[j].score == all[i].score) {
+      all[j].label == 1 ? ++tp : ++fp;
+      ++j;
+    }
+    curve.push_back({static_cast<double>(all[i].score),
+                     n_neg == 0 ? 0.0 : static_cast<double>(fp) / n_neg,
+                     n_pos == 0 ? 0.0 : static_cast<double>(tp) / n_pos});
+    i = j;
+  }
+  return curve;
+}
+
+double tpr_at_fpr(std::span<const float> negative_scores,
+                  std::span<const float> positive_scores, double target_fpr) {
+  if (negative_scores.empty() || positive_scores.empty()) return 0.0;
+  std::vector<float> negatives(negative_scores.begin(), negative_scores.end());
+  std::sort(negatives.begin(), negatives.end());
+  // Strictly-greater detection rule: pick the smallest threshold such that
+  // at most target_fpr of negatives exceed it.
+  const auto allowed = static_cast<std::size_t>(
+      std::floor(target_fpr * static_cast<double>(negatives.size())));
+  const float threshold = negatives[negatives.size() - 1 - allowed];
+  std::size_t detected = 0;
+  for (float s : positive_scores) {
+    if (s > threshold) ++detected;
+  }
+  return static_cast<double>(detected) / static_cast<double>(positive_scores.size());
+}
+
+double auprc(std::span<const float> negative_scores, std::span<const float> positive_scores) {
+  const double n_pos = static_cast<double>(positive_scores.size());
+  const double n_all = n_pos + static_cast<double>(negative_scores.size());
+  if (positive_scores.empty() || negative_scores.empty()) {
+    return n_all == 0.0 ? 0.0 : n_pos / n_all;
+  }
+  std::vector<Labeled> all;
+  all.reserve(static_cast<std::size_t>(n_all));
+  for (float s : negative_scores) all.push_back({s, 0});
+  for (float s : positive_scores) all.push_back({s, 1});
+  std::sort(all.begin(), all.end(), [](const Labeled& a, const Labeled& b) { return a.score > b.score; });
+
+  // Average precision: sum over positives of precision at each recall step.
+  double ap = 0.0;
+  std::uint64_t tp = 0;
+  std::uint64_t seen = 0;
+  std::size_t i = 0;
+  while (i < all.size()) {
+    std::size_t j = i;
+    std::uint64_t tp_in_group = 0;
+    while (j < all.size() && all[j].score == all[i].score) {
+      if (all[j].label == 1) ++tp_in_group;
+      ++j;
+    }
+    const auto group = static_cast<std::uint64_t>(j - i);
+    tp += tp_in_group;
+    seen += group;
+    if (tp_in_group > 0) {
+      const double precision = static_cast<double>(tp) / static_cast<double>(seen);
+      ap += precision * static_cast<double>(tp_in_group) / n_pos;
+    }
+    i = j;
+  }
+  return ap;
+}
+
+}  // namespace vehigan::metrics

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace vehigan::metrics {
+
+/// One point of a ROC curve.
+struct RocPoint {
+  double threshold;
+  double fpr;
+  double tpr;
+};
+
+/// Area under the ROC curve, computed exactly via the Mann-Whitney U
+/// statistic with tie correction:
+///   AUROC = P(score(positive) > score(negative)) + 0.5 * P(tie).
+/// Positive class = attack/misbehavior; higher score = more anomalous.
+/// Returns 0.5 when either class is empty (undefined -> chance level).
+double auroc(std::span<const float> negative_scores, std::span<const float> positive_scores);
+
+/// Full ROC sweep over every distinct score threshold (plus sentinels),
+/// suitable for plotting. Points are ordered from (0,0) to (1,1).
+std::vector<RocPoint> roc_curve(std::span<const float> negative_scores,
+                                std::span<const float> positive_scores);
+
+/// Area under the precision-recall curve (average precision formulation).
+/// Returns the positive prevalence when either class is empty.
+double auprc(std::span<const float> negative_scores, std::span<const float> positive_scores);
+
+/// TPR at a fixed FPR operating point: the threshold is set to the
+/// (1 - target_fpr) quantile of the negative scores (the paper's
+/// 99th-percentile rule corresponds to target_fpr = 0.01), and the returned
+/// value is the fraction of positives above it. Returns 0 when either class
+/// is empty.
+double tpr_at_fpr(std::span<const float> negative_scores,
+                  std::span<const float> positive_scores, double target_fpr);
+
+}  // namespace vehigan::metrics

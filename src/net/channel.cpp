@@ -1,0 +1,23 @@
+#include "net/channel.hpp"
+
+#include <cmath>
+
+namespace vehigan::net {
+
+double Channel::delivery_probability(double distance_m) const {
+  if (distance_m < 0.0) return 0.0;
+  if (distance_m > config_.max_range_m) return 0.0;
+  const double t = distance_m / config_.max_range_m;
+  const double base =
+      config_.p_delivery_near + t * (config_.p_delivery_edge - config_.p_delivery_near);
+  return base * (1.0 - config_.p_congestion_loss);
+}
+
+bool Channel::received(double true_tx_x, double true_tx_y, double rx_x, double rx_y) {
+  const double distance = std::hypot(true_tx_x - rx_x, true_tx_y - rx_y);
+  const double p = delivery_probability(distance);
+  if (p <= 0.0) return false;
+  return rng_.bernoulli(p);
+}
+
+}  // namespace vehigan::net

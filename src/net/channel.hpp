@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/bsm.hpp"
+#include "util/rng.hpp"
+
+namespace vehigan::net {
+
+/// DSRC/C-V2X broadcast channel model — the role Veins/OMNeT++ play in the
+/// paper's stack. Deliberately at the abstraction level the MBDS cares
+/// about: whether a given receiver hears a given BSM, not waveform physics.
+///
+/// Reception model:
+///  * hard range cutoff `max_range_m` (beyond it nothing is received),
+///  * distance-dependent loss: delivery probability decays smoothly from
+///    `p_delivery_near` at the transmitter to `p_delivery_edge` at the
+///    cutoff (a logistic-free linear ramp keeps it analyzable in tests),
+///  * independent per-message congestion loss `p_congestion_loss`
+///    (collisions on the shared channel at high densities).
+struct ChannelConfig {
+  double max_range_m = 300.0;      ///< typical DSRC line-of-sight range
+  double p_delivery_near = 0.99;   ///< delivery probability at distance 0
+  double p_delivery_edge = 0.60;   ///< delivery probability at max range
+  double p_congestion_loss = 0.0;  ///< extra i.i.d. loss (channel load)
+};
+
+/// Samples receptions for one receiver position.
+class Channel {
+ public:
+  Channel(ChannelConfig config, std::uint64_t seed) : config_(config), rng_(seed) {}
+
+  /// Delivery probability for a transmitter at the given distance (0 beyond
+  /// the range cutoff). Deterministic — unit-testable separately from the
+  /// sampling.
+  [[nodiscard]] double delivery_probability(double distance_m) const;
+
+  /// Samples whether a BSM transmitted at (msg.x, msg.y) is received at
+  /// (rx_x, rx_y). The transmitted coordinates may be falsified by an
+  /// attacker; physical reception depends on the *true* position, so the
+  /// caller passes it explicitly.
+  bool received(double true_tx_x, double true_tx_y, double rx_x, double rx_y);
+
+  [[nodiscard]] const ChannelConfig& config() const { return config_; }
+
+ private:
+  ChannelConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace vehigan::net

@@ -1,0 +1,94 @@
+#include "net/codec.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace vehigan::net {
+
+namespace {
+
+constexpr double kPosUnit = 0.01;         // 1 cm
+constexpr double kSpeedUnit = 0.02;       // m/s
+constexpr double kAccelUnit = 0.01;       // m/s^2
+constexpr double kHeadingUnit = 0.0125 * util::kPi / 180.0;  // rad
+constexpr double kYawUnit = 0.01 * util::kPi / 180.0;        // rad/s
+constexpr double kTimeUnit = 0.01;        // 10 ms
+
+template <typename Int>
+Int saturate(double value) {
+  const double lo = static_cast<double>(std::numeric_limits<Int>::min());
+  const double hi = static_cast<double>(std::numeric_limits<Int>::max());
+  return static_cast<Int>(std::llround(util::clamp(value, lo, hi)));
+}
+
+template <typename Int>
+void put(std::string& out, Int v) {
+  for (std::size_t i = 0; i < sizeof(Int); ++i) {
+    out.push_back(static_cast<char>((static_cast<std::uint64_t>(v) >> (8 * i)) & 0xFF));
+  }
+}
+
+template <typename Int>
+Int get(const std::string& in, std::size_t& offset) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < sizeof(Int); ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[offset + i])) << (8 * i);
+  }
+  offset += sizeof(Int);
+  return static_cast<Int>(v);
+}
+
+}  // namespace
+
+std::string encode_bsm(const sim::Bsm& message) {
+  std::string wire;
+  wire.reserve(kWireSize);
+  put<std::uint32_t>(wire, message.vehicle_id);
+  put<std::uint32_t>(wire, saturate<std::uint32_t>(message.time / kTimeUnit));
+  put<std::int32_t>(wire, saturate<std::int32_t>(message.x / kPosUnit));
+  put<std::int32_t>(wire, saturate<std::int32_t>(message.y / kPosUnit));
+  put<std::uint16_t>(wire, saturate<std::uint16_t>(std::max(message.speed, 0.0) / kSpeedUnit));
+  put<std::int16_t>(wire, saturate<std::int16_t>(message.accel / kAccelUnit));
+  put<std::uint16_t>(wire,
+                     saturate<std::uint16_t>(util::wrap_angle(message.heading) / kHeadingUnit));
+  put<std::int16_t>(wire, saturate<std::int16_t>(message.yaw_rate / kYawUnit));
+  return wire;
+}
+
+sim::Bsm decode_bsm(const std::string& wire) {
+  if (wire.size() != kWireSize) {
+    throw std::invalid_argument("decode_bsm: expected " + std::to_string(kWireSize) +
+                                " bytes, got " + std::to_string(wire.size()));
+  }
+  std::size_t offset = 0;
+  sim::Bsm m;
+  m.vehicle_id = get<std::uint32_t>(wire, offset);
+  m.time = get<std::uint32_t>(wire, offset) * kTimeUnit;
+  m.x = get<std::int32_t>(wire, offset) * kPosUnit;
+  m.y = get<std::int32_t>(wire, offset) * kPosUnit;
+  m.speed = get<std::uint16_t>(wire, offset) * kSpeedUnit;
+  m.accel = get<std::int16_t>(wire, offset) * kAccelUnit;
+  m.heading = get<std::uint16_t>(wire, offset) * kHeadingUnit;
+  m.yaw_rate = get<std::int16_t>(wire, offset) * kYawUnit;
+  return m;
+}
+
+sim::BsmDataset quantize_dataset(const sim::BsmDataset& dataset) {
+  sim::BsmDataset out;
+  out.traces.reserve(dataset.traces.size());
+  for (const auto& trace : dataset.traces) {
+    sim::VehicleTrace quantized;
+    quantized.vehicle_id = trace.vehicle_id;
+    quantized.messages.reserve(trace.messages.size());
+    for (const auto& message : trace.messages) {
+      quantized.messages.push_back(quantize_bsm(message));
+    }
+    out.traces.push_back(std::move(quantized));
+  }
+  return out;
+}
+
+}  // namespace vehigan::net

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/bsm.hpp"
+
+namespace vehigan::net {
+
+/// Fixed-size binary wire format for BSMs with SAE J2735-style field
+/// quantization. The paper's stack transmits real encoded BSMs; the
+/// quantization granularity below mirrors the standard's units, so features
+/// computed from decoded messages carry realistic quantization noise:
+///
+///   field     unit            width   J2735 analogue
+///   x, y      1 cm            i32     Position3D (lat/lon 0.1 udeg ~ cm)
+///   speed     0.02 m/s        u16     TransmissionAndSpeed
+///   accel     0.01 m/s^2      i16     AccelerationSet4Way.longitudinal
+///   heading   0.0125 deg      u16     Heading
+///   yaw rate  0.01 deg/s      i16     YawRate
+///   time      10 ms           u32     DSecond (widened beyond one minute)
+///   id        -               u32     TemporaryID
+///
+/// Encoded size: kWireSize bytes, little-endian.
+inline constexpr std::size_t kWireSize = 4 + 4 + 4 + 4 + 2 + 2 + 2 + 2;
+
+/// Encodes one BSM; values outside a field's representable range are
+/// saturated (as real encoders do).
+std::string encode_bsm(const sim::Bsm& message);
+
+/// Decodes one wire message. Throws std::invalid_argument on wrong size.
+sim::Bsm decode_bsm(const std::string& wire);
+
+/// Convenience: the quantization applied by an encode/decode round trip —
+/// what a receiver actually sees. Used by the quantization-ablation bench.
+inline sim::Bsm quantize_bsm(const sim::Bsm& message) { return decode_bsm(encode_bsm(message)); }
+
+/// Applies wire quantization to every message of a dataset.
+sim::BsmDataset quantize_dataset(const sim::BsmDataset& dataset);
+
+}  // namespace vehigan::net

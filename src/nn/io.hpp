@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vehigan::nn::io {
+
+/// Tiny binary (de)serialization primitives shared by layer serialization
+/// and the model store. Little-endian host assumed (x86-64 target).
+
+inline void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("nn::io: truncated stream (u64)");
+  return v;
+}
+
+inline void write_f32(std::ostream& out, float v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline float read_f32(std::istream& in) {
+  float v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("nn::io: truncated stream (f32)");
+  return v;
+}
+
+inline void write_string(std::ostream& out, const std::string& s) {
+  write_u64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline std::string read_string(std::istream& in) {
+  const std::uint64_t n = read_u64(in);
+  // A length beyond any sane tag/name means the stream is not ours; fail
+  // cleanly instead of attempting a huge allocation.
+  if (n > (1ULL << 20)) throw std::runtime_error("nn::io: implausible string length");
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  if (!in) throw std::runtime_error("nn::io: truncated stream (string)");
+  return s;
+}
+
+inline void write_f32_vector(std::ostream& out, const std::vector<float>& v) {
+  write_u64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+inline std::vector<float> read_f32_vector(std::istream& in) {
+  const std::uint64_t n = read_u64(in);
+  std::vector<float> v(n);
+  in.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * sizeof(float)));
+  if (!in) throw std::runtime_error("nn::io: truncated stream (f32 vector)");
+  return v;
+}
+
+inline void write_shape(std::ostream& out, const std::vector<std::size_t>& shape) {
+  write_u64(out, shape.size());
+  for (std::size_t d : shape) write_u64(out, d);
+}
+
+inline std::vector<std::size_t> read_shape(std::istream& in) {
+  const std::uint64_t n = read_u64(in);
+  std::vector<std::size_t> shape(n);
+  for (auto& d : shape) d = read_u64(in);
+  return shape;
+}
+
+}  // namespace vehigan::nn::io

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace vehigan::nn {
+
+/// A trainable parameter blob with its gradient accumulator, exposed by
+/// layers to the optimizers.
+struct Param {
+  std::vector<float>* values = nullptr;
+  std::vector<float>* grads = nullptr;
+};
+
+/// Base class of all network layers.
+///
+/// The training contract is the classic two-pass one:
+///  * `forward(x)` computes the output and caches whatever the backward pass
+///    needs (inputs, masks). Layers are therefore stateful between a
+///    forward and its matching backward; a Sequential is used by one thread
+///    at a time.
+///  * `backward(dL/dy)` accumulates parameter gradients (+=) and returns
+///    dL/dx, so gradients w.r.t. the *input* are available at the front of
+///    the chain — that is what FGSM (Eqs. 6-7) and the gradient-penalty
+///    trainer consume.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& input) = 0;
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters; empty for activations/reshapes.
+  virtual std::vector<Param> parameters() { return {}; }
+
+  /// Short stable identifier used for serialization dispatch.
+  [[nodiscard]] virtual std::string kind() const = 0;
+
+  /// Writes layer config + weights; the matching reader lives in
+  /// serialize.cpp keyed on kind().
+  virtual void serialize(std::ostream& out) const = 0;
+
+  /// Deep copy (used to snapshot models during grid training).
+  [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
+
+  void zero_grad() {
+    for (auto& p : parameters()) {
+      std::fill(p.grads->begin(), p.grads->end(), 0.0F);
+    }
+  }
+};
+
+}  // namespace vehigan::nn

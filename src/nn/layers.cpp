@@ -1,0 +1,552 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "nn/io.hpp"
+
+namespace vehigan::nn {
+
+namespace {
+
+void expect_rank(const Tensor& t, std::size_t rank, const char* who) {
+  if (t.rank() != rank) {
+    throw std::invalid_argument(std::string(who) + ": expected rank " + std::to_string(rank) +
+                                " tensor, got " + t.shape_string());
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Dense ----
+
+Dense::Dense(std::size_t in_features, std::size_t out_features)
+    : in_(in_features),
+      out_(out_features),
+      w_(in_features * out_features, 0.0F),
+      b_(out_features, 0.0F),
+      dw_(in_features * out_features, 0.0F),
+      db_(out_features, 0.0F) {}
+
+void Dense::init_weights(util::Rng& rng) {
+  // He-uniform: bound = sqrt(6 / fan_in); good default under LeakyReLU.
+  const float bound = std::sqrt(6.0F / static_cast<float>(in_));
+  for (auto& w : w_) w = rng.uniform_f(-bound, bound);
+  std::fill(b_.begin(), b_.end(), 0.0F);
+}
+
+Tensor Dense::forward(const Tensor& input) {
+  expect_rank(input, 2, "Dense::forward");
+  if (input.dim(1) != in_) {
+    throw std::invalid_argument("Dense::forward: input width " + std::to_string(input.dim(1)) +
+                                " != " + std::to_string(in_));
+  }
+  cached_input_ = input;
+  const std::size_t n = input.dim(0);
+  Tensor output({n, out_});
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* x = input.data() + i * in_;
+    float* y = output.data() + i * out_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float* w_row = w_.data() + o * in_;
+      float acc = b_[o];
+      for (std::size_t k = 0; k < in_; ++k) acc += w_row[k] * x[k];
+      y[o] = acc;
+    }
+  }
+  return output;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  expect_rank(grad_output, 2, "Dense::backward");
+  const std::size_t n = grad_output.dim(0);
+  Tensor grad_input({n, in_});
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* dy = grad_output.data() + i * out_;
+    const float* x = cached_input_.data() + i * in_;
+    float* dx = grad_input.data() + i * in_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float g = dy[o];
+      if (g == 0.0F) continue;
+      float* dw_row = dw_.data() + o * in_;
+      const float* w_row = w_.data() + o * in_;
+      db_[o] += g;
+      for (std::size_t k = 0; k < in_; ++k) {
+        dw_row[k] += g * x[k];
+        dx[k] += g * w_row[k];
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Param> Dense::parameters() { return {{&w_, &dw_}, {&b_, &db_}}; }
+
+void Dense::serialize(std::ostream& out) const {
+  io::write_u64(out, in_);
+  io::write_u64(out, out_);
+  io::write_f32_vector(out, w_);
+  io::write_f32_vector(out, b_);
+}
+
+std::unique_ptr<Layer> Dense::clone() const {
+  auto copy = std::make_unique<Dense>(in_, out_);
+  copy->w_ = w_;
+  copy->b_ = b_;
+  return copy;
+}
+
+// --------------------------------------------------------------- Conv2D ----
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel_h,
+               std::size_t kernel_w, std::size_t stride)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kh_(kernel_h),
+      kw_(kernel_w),
+      stride_(stride),
+      w_(out_channels * in_channels * kernel_h * kernel_w, 0.0F),
+      b_(out_channels, 0.0F),
+      dw_(w_.size(), 0.0F),
+      db_(out_channels, 0.0F) {
+  if (stride_ == 0) throw std::invalid_argument("Conv2D: stride must be > 0");
+}
+
+void Conv2D::init_weights(util::Rng& rng) {
+  const auto fan_in = static_cast<float>(in_ch_ * kh_ * kw_);
+  const float bound = std::sqrt(6.0F / fan_in);
+  for (auto& w : w_) w = rng.uniform_f(-bound, bound);
+  std::fill(b_.begin(), b_.end(), 0.0F);
+}
+
+std::pair<std::size_t, std::size_t> Conv2D::output_hw(std::size_t h, std::size_t w) const {
+  // "same" padding semantics: out = ceil(in / stride).
+  return {(h + stride_ - 1) / stride_, (w + stride_ - 1) / stride_};
+}
+
+std::pair<std::size_t, std::size_t> Conv2D::padding(std::size_t h, std::size_t w) const {
+  const auto [oh, ow] = output_hw(h, w);
+  const std::size_t pad_h_total =
+      std::max<std::size_t>((oh - 1) * stride_ + kh_, h) - h;
+  const std::size_t pad_w_total =
+      std::max<std::size_t>((ow - 1) * stride_ + kw_, w) - w;
+  return {pad_h_total / 2, pad_w_total / 2};
+}
+
+Tensor Conv2D::forward(const Tensor& input) {
+  expect_rank(input, 4, "Conv2D::forward");
+  if (input.dim(1) != in_ch_) {
+    throw std::invalid_argument("Conv2D::forward: channel mismatch, input " +
+                                input.shape_string());
+  }
+  cached_input_ = input;
+  const std::size_t n = input.dim(0);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  const auto [oh, ow] = output_hw(h, w);
+  const auto [pad_top, pad_left] = padding(h, w);
+
+  Tensor output({n, out_ch_, oh, ow});
+  const std::size_t in_plane = h * w;
+  const std::size_t out_plane = oh * ow;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* x = input.data() + i * in_ch_ * in_plane;
+    float* y = output.data() + i * out_ch_ * out_plane;
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      const float* w_oc = w_.data() + oc * in_ch_ * kh_ * kw_;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float acc = b_[oc];
+          for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+            const float* x_ic = x + ic * in_plane;
+            const float* w_ic = w_oc + ic * kh_ * kw_;
+            for (std::size_t ky = 0; ky < kh_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                  static_cast<std::ptrdiff_t>(pad_top);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < kw_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                    static_cast<std::ptrdiff_t>(pad_left);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                acc += w_ic[ky * kw_ + kx] *
+                       x_ic[static_cast<std::size_t>(iy) * w + static_cast<std::size_t>(ix)];
+              }
+            }
+          }
+          y[oc * out_plane + oy * ow + ox] = acc;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  expect_rank(grad_output, 4, "Conv2D::backward");
+  const std::size_t n = cached_input_.dim(0);
+  const std::size_t h = cached_input_.dim(2);
+  const std::size_t w = cached_input_.dim(3);
+  const auto [oh, ow] = output_hw(h, w);
+  const auto [pad_top, pad_left] = padding(h, w);
+
+  Tensor grad_input(cached_input_.shape());
+  const std::size_t in_plane = h * w;
+  const std::size_t out_plane = oh * ow;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* x = cached_input_.data() + i * in_ch_ * in_plane;
+    const float* dy = grad_output.data() + i * out_ch_ * out_plane;
+    float* dx = grad_input.data() + i * in_ch_ * in_plane;
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      const float* w_oc = w_.data() + oc * in_ch_ * kh_ * kw_;
+      float* dw_oc = dw_.data() + oc * in_ch_ * kh_ * kw_;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const float g = dy[oc * out_plane + oy * ow + ox];
+          if (g == 0.0F) continue;
+          db_[oc] += g;
+          for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+            const float* x_ic = x + ic * in_plane;
+            float* dx_ic = dx + ic * in_plane;
+            const float* w_ic = w_oc + ic * kh_ * kw_;
+            float* dw_ic = dw_oc + ic * kh_ * kw_;
+            for (std::size_t ky = 0; ky < kh_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                  static_cast<std::ptrdiff_t>(pad_top);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < kw_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                    static_cast<std::ptrdiff_t>(pad_left);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                const std::size_t xi =
+                    static_cast<std::size_t>(iy) * w + static_cast<std::size_t>(ix);
+                dw_ic[ky * kw_ + kx] += g * x_ic[xi];
+                dx_ic[xi] += g * w_ic[ky * kw_ + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Param> Conv2D::parameters() { return {{&w_, &dw_}, {&b_, &db_}}; }
+
+void Conv2D::serialize(std::ostream& out) const {
+  io::write_u64(out, in_ch_);
+  io::write_u64(out, out_ch_);
+  io::write_u64(out, kh_);
+  io::write_u64(out, kw_);
+  io::write_u64(out, stride_);
+  io::write_f32_vector(out, w_);
+  io::write_f32_vector(out, b_);
+}
+
+std::unique_ptr<Layer> Conv2D::clone() const {
+  auto copy = std::make_unique<Conv2D>(in_ch_, out_ch_, kh_, kw_, stride_);
+  copy->w_ = w_;
+  copy->b_ = b_;
+  return copy;
+}
+
+// ------------------------------------------------------ Conv2DTranspose ----
+
+Conv2DTranspose::Conv2DTranspose(std::size_t in_channels, std::size_t out_channels,
+                                 std::size_t kernel_h, std::size_t kernel_w, std::size_t stride)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kh_(kernel_h),
+      kw_(kernel_w),
+      stride_(stride),
+      w_(in_channels * out_channels * kernel_h * kernel_w, 0.0F),
+      b_(out_channels, 0.0F),
+      dw_(w_.size(), 0.0F),
+      db_(out_channels, 0.0F) {
+  if (stride_ == 0) throw std::invalid_argument("Conv2DTranspose: stride must be > 0");
+}
+
+void Conv2DTranspose::init_weights(util::Rng& rng) {
+  const auto fan_in = static_cast<float>(in_ch_ * kh_ * kw_);
+  const float bound = std::sqrt(6.0F / fan_in);
+  for (auto& w : w_) w = rng.uniform_f(-bound, bound);
+  std::fill(b_.begin(), b_.end(), 0.0F);
+}
+
+Tensor Conv2DTranspose::forward(const Tensor& input) {
+  expect_rank(input, 4, "Conv2DTranspose::forward");
+  if (input.dim(1) != in_ch_) {
+    throw std::invalid_argument("Conv2DTranspose::forward: channel mismatch, input " +
+                                input.shape_string());
+  }
+  cached_input_ = input;
+  const std::size_t n = input.dim(0);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  const std::size_t oh = h * stride_;
+  const std::size_t ow = w * stride_;
+  // Same-style cropping: out = in * stride exactly.
+  const std::size_t pad = (std::max(kh_, kw_) > stride_ ? (std::max(kh_, kw_) - stride_) / 2 : 0);
+
+  Tensor output({n, out_ch_, oh, ow});
+  const std::size_t in_plane = h * w;
+  const std::size_t out_plane = oh * ow;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* x = input.data() + i * in_ch_ * in_plane;
+    float* y = output.data() + i * out_ch_ * out_plane;
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      float* y_oc = y + oc * out_plane;
+      for (std::size_t p = 0; p < out_plane; ++p) y_oc[p] = b_[oc];
+    }
+    for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+      const float* x_ic = x + ic * in_plane;
+      const float* w_ic = w_.data() + ic * out_ch_ * kh_ * kw_;
+      for (std::size_t iy = 0; iy < h; ++iy) {
+        for (std::size_t ix = 0; ix < w; ++ix) {
+          const float v = x_ic[iy * w + ix];
+          if (v == 0.0F) continue;
+          for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+            const float* w_oc = w_ic + oc * kh_ * kw_;
+            float* y_oc = y + oc * out_plane;
+            for (std::size_t ky = 0; ky < kh_; ++ky) {
+              const std::ptrdiff_t oy = static_cast<std::ptrdiff_t>(iy * stride_ + ky) -
+                                        static_cast<std::ptrdiff_t>(pad);
+              if (oy < 0 || oy >= static_cast<std::ptrdiff_t>(oh)) continue;
+              for (std::size_t kx = 0; kx < kw_; ++kx) {
+                const std::ptrdiff_t ox = static_cast<std::ptrdiff_t>(ix * stride_ + kx) -
+                                          static_cast<std::ptrdiff_t>(pad);
+                if (ox < 0 || ox >= static_cast<std::ptrdiff_t>(ow)) continue;
+                y_oc[static_cast<std::size_t>(oy) * ow + static_cast<std::size_t>(ox)] +=
+                    v * w_oc[ky * kw_ + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor Conv2DTranspose::backward(const Tensor& grad_output) {
+  expect_rank(grad_output, 4, "Conv2DTranspose::backward");
+  const std::size_t n = cached_input_.dim(0);
+  const std::size_t h = cached_input_.dim(2);
+  const std::size_t w = cached_input_.dim(3);
+  const std::size_t oh = h * stride_;
+  const std::size_t ow = w * stride_;
+  const std::size_t pad = (std::max(kh_, kw_) > stride_ ? (std::max(kh_, kw_) - stride_) / 2 : 0);
+
+  Tensor grad_input(cached_input_.shape());
+  const std::size_t in_plane = h * w;
+  const std::size_t out_plane = oh * ow;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* x = cached_input_.data() + i * in_ch_ * in_plane;
+    const float* dy = grad_output.data() + i * out_ch_ * out_plane;
+    float* dx = grad_input.data() + i * in_ch_ * in_plane;
+    // Bias gradient: sum over all output positions.
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      const float* dy_oc = dy + oc * out_plane;
+      float acc = 0.0F;
+      for (std::size_t p = 0; p < out_plane; ++p) acc += dy_oc[p];
+      db_[oc] += acc;
+    }
+    for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+      const float* x_ic = x + ic * in_plane;
+      float* dx_ic = dx + ic * in_plane;
+      const float* w_ic = w_.data() + ic * out_ch_ * kh_ * kw_;
+      float* dw_ic = dw_.data() + ic * out_ch_ * kh_ * kw_;
+      for (std::size_t iy = 0; iy < h; ++iy) {
+        for (std::size_t ix = 0; ix < w; ++ix) {
+          const float v = x_ic[iy * w + ix];
+          float dx_acc = 0.0F;
+          for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+            const float* w_oc = w_ic + oc * kh_ * kw_;
+            float* dw_oc = dw_ic + oc * kh_ * kw_;
+            const float* dy_oc = dy + oc * out_plane;
+            for (std::size_t ky = 0; ky < kh_; ++ky) {
+              const std::ptrdiff_t oy = static_cast<std::ptrdiff_t>(iy * stride_ + ky) -
+                                        static_cast<std::ptrdiff_t>(pad);
+              if (oy < 0 || oy >= static_cast<std::ptrdiff_t>(oh)) continue;
+              for (std::size_t kx = 0; kx < kw_; ++kx) {
+                const std::ptrdiff_t ox = static_cast<std::ptrdiff_t>(ix * stride_ + kx) -
+                                          static_cast<std::ptrdiff_t>(pad);
+                if (ox < 0 || ox >= static_cast<std::ptrdiff_t>(ow)) continue;
+                const float g = dy_oc[static_cast<std::size_t>(oy) * ow +
+                                      static_cast<std::size_t>(ox)];
+                dw_oc[ky * kw_ + kx] += v * g;
+                dx_acc += w_oc[ky * kw_ + kx] * g;
+              }
+            }
+          }
+          dx_ic[iy * w + ix] += dx_acc;
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Param> Conv2DTranspose::parameters() { return {{&w_, &dw_}, {&b_, &db_}}; }
+
+void Conv2DTranspose::serialize(std::ostream& out) const {
+  io::write_u64(out, in_ch_);
+  io::write_u64(out, out_ch_);
+  io::write_u64(out, kh_);
+  io::write_u64(out, kw_);
+  io::write_u64(out, stride_);
+  io::write_f32_vector(out, w_);
+  io::write_f32_vector(out, b_);
+}
+
+std::unique_ptr<Layer> Conv2DTranspose::clone() const {
+  auto copy = std::make_unique<Conv2DTranspose>(in_ch_, out_ch_, kh_, kw_, stride_);
+  copy->w_ = w_;
+  copy->b_ = b_;
+  return copy;
+}
+
+// ----------------------------------------------------------- UpSample2D ----
+
+Tensor UpSample2D::forward(const Tensor& input) {
+  expect_rank(input, 4, "UpSample2D::forward");
+  cached_shape_ = input.shape();
+  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  Tensor output({n, c, h * factor_, w * factor_});
+  const std::size_t ow = w * factor_;
+  for (std::size_t i = 0; i < n * c; ++i) {
+    const float* x = input.data() + i * h * w;
+    float* y = output.data() + i * h * factor_ * ow;
+    for (std::size_t yy = 0; yy < h * factor_; ++yy) {
+      const float* x_row = x + (yy / factor_) * w;
+      float* y_row = y + yy * ow;
+      for (std::size_t xx = 0; xx < ow; ++xx) y_row[xx] = x_row[xx / factor_];
+    }
+  }
+  return output;
+}
+
+Tensor UpSample2D::backward(const Tensor& grad_output) {
+  const std::size_t n = cached_shape_[0], c = cached_shape_[1], h = cached_shape_[2],
+                    w = cached_shape_[3];
+  Tensor grad_input(cached_shape_);
+  const std::size_t ow = w * factor_;
+  for (std::size_t i = 0; i < n * c; ++i) {
+    const float* dy = grad_output.data() + i * h * factor_ * ow;
+    float* dx = grad_input.data() + i * h * w;
+    for (std::size_t yy = 0; yy < h * factor_; ++yy) {
+      float* dx_row = dx + (yy / factor_) * w;
+      const float* dy_row = dy + yy * ow;
+      for (std::size_t xx = 0; xx < ow; ++xx) dx_row[xx / factor_] += dy_row[xx];
+    }
+  }
+  return grad_input;
+}
+
+void UpSample2D::serialize(std::ostream& out) const { io::write_u64(out, factor_); }
+
+std::unique_ptr<Layer> UpSample2D::clone() const { return std::make_unique<UpSample2D>(factor_); }
+
+// ------------------------------------------------------------ LeakyReLU ----
+
+Tensor LeakyReLU::forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor output(input.shape());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const float v = input[i];
+    output[i] = v > 0.0F ? v : alpha_ * v;
+  }
+  return output;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+  Tensor grad_input(cached_input_.shape());
+  for (std::size_t i = 0; i < grad_output.size(); ++i) {
+    grad_input[i] = grad_output[i] * (cached_input_[i] > 0.0F ? 1.0F : alpha_);
+  }
+  return grad_input;
+}
+
+void LeakyReLU::serialize(std::ostream& out) const { io::write_f32(out, alpha_); }
+
+std::unique_ptr<Layer> LeakyReLU::clone() const { return std::make_unique<LeakyReLU>(alpha_); }
+
+// -------------------------------------------------------------- Sigmoid ----
+
+Tensor Sigmoid::forward(const Tensor& input) {
+  Tensor output(input.shape());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    output[i] = 1.0F / (1.0F + std::exp(-input[i]));
+  }
+  cached_output_ = output;
+  return output;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  Tensor grad_input(cached_output_.shape());
+  for (std::size_t i = 0; i < grad_output.size(); ++i) {
+    const float y = cached_output_[i];
+    grad_input[i] = grad_output[i] * y * (1.0F - y);
+  }
+  return grad_input;
+}
+
+void Sigmoid::serialize(std::ostream&) const {}
+
+std::unique_ptr<Layer> Sigmoid::clone() const { return std::make_unique<Sigmoid>(); }
+
+// ----------------------------------------------------------------- Tanh ----
+
+Tensor Tanh::forward(const Tensor& input) {
+  Tensor output(input.shape());
+  for (std::size_t i = 0; i < input.size(); ++i) output[i] = std::tanh(input[i]);
+  cached_output_ = output;
+  return output;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  Tensor grad_input(cached_output_.shape());
+  for (std::size_t i = 0; i < grad_output.size(); ++i) {
+    const float y = cached_output_[i];
+    grad_input[i] = grad_output[i] * (1.0F - y * y);
+  }
+  return grad_input;
+}
+
+void Tanh::serialize(std::ostream&) const {}
+
+std::unique_ptr<Layer> Tanh::clone() const { return std::make_unique<Tanh>(); }
+
+// -------------------------------------------------------------- Flatten ----
+
+Tensor Flatten::forward(const Tensor& input) {
+  cached_shape_ = input.shape();
+  const std::size_t n = input.dim(0);
+  return input.reshaped({n, input.size() / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) { return grad_output.reshaped(cached_shape_); }
+
+void Flatten::serialize(std::ostream&) const {}
+
+std::unique_ptr<Layer> Flatten::clone() const { return std::make_unique<Flatten>(); }
+
+// -------------------------------------------------------------- Reshape ----
+
+Tensor Reshape::forward(const Tensor& input) {
+  cached_shape_ = input.shape();
+  std::vector<std::size_t> shape = {input.dim(0)};
+  shape.insert(shape.end(), target_.begin(), target_.end());
+  return input.reshaped(std::move(shape));
+}
+
+Tensor Reshape::backward(const Tensor& grad_output) { return grad_output.reshaped(cached_shape_); }
+
+void Reshape::serialize(std::ostream& out) const { io::write_shape(out, target_); }
+
+std::unique_ptr<Layer> Reshape::clone() const { return std::make_unique<Reshape>(target_); }
+
+}  // namespace vehigan::nn

@@ -1,0 +1,210 @@
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.hpp"
+
+namespace vehigan::nn {
+
+/// Fully connected layer: y = x W^T + b, batched over the leading dimension.
+/// Weights are row-major [out_features][in_features].
+class Dense : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param> parameters() override;
+  [[nodiscard]] std::string kind() const override { return "dense"; }
+  void serialize(std::ostream& out) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+  /// He-uniform initialization scaled for LeakyReLU nonlinearities.
+  void init_weights(util::Rng& rng);
+
+  [[nodiscard]] std::size_t in_features() const { return in_; }
+  [[nodiscard]] std::size_t out_features() const { return out_; }
+  [[nodiscard]] std::vector<float>& weights() { return w_; }
+  [[nodiscard]] std::vector<float>& bias() { return b_; }
+  [[nodiscard]] const std::vector<float>& weights() const { return w_; }
+  [[nodiscard]] const std::vector<float>& bias() const { return b_; }
+
+ private:
+  friend class SerializedReader;
+  std::size_t in_;
+  std::size_t out_;
+  std::vector<float> w_, b_;
+  std::vector<float> dw_, db_;
+  Tensor cached_input_;
+};
+
+/// 2-D convolution over NCHW tensors with "same"-style padding, the building
+/// block of both G and D (paper uses 2x2 kernels with LeakyReLU).
+class Conv2D : public Layer {
+ public:
+  Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel_h,
+         std::size_t kernel_w, std::size_t stride = 1);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param> parameters() override;
+  [[nodiscard]] std::string kind() const override { return "conv2d"; }
+  void serialize(std::ostream& out) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+  void init_weights(util::Rng& rng);
+
+  [[nodiscard]] std::size_t in_channels() const { return in_ch_; }
+  [[nodiscard]] std::size_t out_channels() const { return out_ch_; }
+  [[nodiscard]] std::size_t kernel_h() const { return kh_; }
+  [[nodiscard]] std::size_t kernel_w() const { return kw_; }
+  [[nodiscard]] std::size_t stride() const { return stride_; }
+  [[nodiscard]] std::vector<float>& weights() { return w_; }
+  [[nodiscard]] std::vector<float>& bias() { return b_; }
+  [[nodiscard]] const std::vector<float>& weights() const { return w_; }
+  [[nodiscard]] const std::vector<float>& bias() const { return b_; }
+
+  /// Output spatial size for an input of (h, w) under same padding.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> output_hw(std::size_t h, std::size_t w) const;
+
+ private:
+  friend class SerializedReader;
+  /// Computes the top/left zero-padding for same-style output size.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> padding(std::size_t h, std::size_t w) const;
+
+  std::size_t in_ch_, out_ch_, kh_, kw_, stride_;
+  // w_[oc][ic][kh][kw] row-major.
+  std::vector<float> w_, b_;
+  std::vector<float> dw_, db_;
+  Tensor cached_input_;
+};
+
+/// Transposed 2-D convolution (a.k.a. deconvolution), stride-s upsampling
+/// with learned kernels — the DCGAN-style alternative to
+/// UpSample2D+Conv2D in the generator. Output spatial size: in * stride
+/// (same-style). Weights are [in_ch][out_ch][kh][kw] row-major.
+class Conv2DTranspose : public Layer {
+ public:
+  Conv2DTranspose(std::size_t in_channels, std::size_t out_channels, std::size_t kernel_h,
+                  std::size_t kernel_w, std::size_t stride = 2);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param> parameters() override;
+  [[nodiscard]] std::string kind() const override { return "conv2d_transpose"; }
+  void serialize(std::ostream& out) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+  void init_weights(util::Rng& rng);
+
+  [[nodiscard]] std::size_t in_channels() const { return in_ch_; }
+  [[nodiscard]] std::size_t out_channels() const { return out_ch_; }
+  [[nodiscard]] std::size_t stride() const { return stride_; }
+  [[nodiscard]] std::vector<float>& weights() { return w_; }
+  [[nodiscard]] std::vector<float>& bias() { return b_; }
+  [[nodiscard]] const std::vector<float>& weights() const { return w_; }
+  [[nodiscard]] const std::vector<float>& bias() const { return b_; }
+
+ private:
+  std::size_t in_ch_, out_ch_, kh_, kw_, stride_;
+  std::vector<float> w_, b_;
+  std::vector<float> dw_, db_;
+  Tensor cached_input_;
+};
+
+/// Nearest-neighbor 2-D up-sampling by an integer factor (generator blocks).
+class UpSample2D : public Layer {
+ public:
+  explicit UpSample2D(std::size_t factor) : factor_(factor) {}
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string kind() const override { return "upsample2d"; }
+  void serialize(std::ostream& out) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+  [[nodiscard]] std::size_t factor() const { return factor_; }
+
+ private:
+  std::size_t factor_;
+  std::vector<std::size_t> cached_shape_;
+};
+
+/// LeakyReLU(x) = x if x > 0 else alpha * x.
+class LeakyReLU : public Layer {
+ public:
+  explicit LeakyReLU(float alpha = 0.2F) : alpha_(alpha) {}
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string kind() const override { return "leaky_relu"; }
+  void serialize(std::ostream& out) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+  [[nodiscard]] float alpha() const { return alpha_; }
+
+ private:
+  float alpha_;
+  Tensor cached_input_;
+};
+
+/// Logistic sigmoid; used as the generator's output activation since
+/// training windows are min-max scaled into [0, 1].
+class Sigmoid : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string kind() const override { return "sigmoid"; }
+  void serialize(std::ostream& out) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Hyperbolic tangent activation.
+class Tanh : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string kind() const override { return "tanh"; }
+  void serialize(std::ostream& out) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Collapses all per-sample dimensions: [N, ...] -> [N, M].
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string kind() const override { return "flatten"; }
+  void serialize(std::ostream& out) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+ private:
+  std::vector<std::size_t> cached_shape_;
+};
+
+/// Reshapes each sample to a fixed target shape: [N, M] -> [N, target...].
+class Reshape : public Layer {
+ public:
+  explicit Reshape(std::vector<std::size_t> target_sample_shape)
+      : target_(std::move(target_sample_shape)) {}
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string kind() const override { return "reshape"; }
+  void serialize(std::ostream& out) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+  [[nodiscard]] const std::vector<std::size_t>& target() const { return target_; }
+
+ private:
+  std::vector<std::size_t> target_;
+  std::vector<std::size_t> cached_shape_;
+};
+
+}  // namespace vehigan::nn

@@ -1,0 +1,319 @@
+#include "nn/lite.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/layers.hpp"
+
+namespace vehigan::nn::lite {
+
+namespace {
+
+std::size_t product(const std::vector<std::size_t>& shape) {
+  std::size_t p = 1;
+  for (std::size_t d : shape) p *= d;
+  return p;
+}
+
+}  // namespace
+
+LiteModel::Activation LiteModel::fuse_activation(const Layer& layer, float& alpha) {
+  if (const auto* lrelu = dynamic_cast<const LeakyReLU*>(&layer)) {
+    alpha = lrelu->alpha();
+    return Activation::kLeakyRelu;
+  }
+  if (dynamic_cast<const Sigmoid*>(&layer) != nullptr) return Activation::kSigmoid;
+  if (dynamic_cast<const Tanh*>(&layer) != nullptr) return Activation::kTanh;
+  return Activation::kNone;
+}
+
+LiteModel LiteModel::compile(const Sequential& model,
+                             const std::vector<std::size_t>& input_sample_shape) {
+  LiteModel lite;
+  lite.input_size_ = product(input_sample_shape);
+
+  // Shape of the value currently flowing through the plan. For spatial ops we
+  // track {C, H, W}; dense ops flatten implicitly.
+  std::vector<std::size_t> shape = input_sample_shape;
+  std::size_t max_values = lite.input_size_;
+
+  for (std::size_t li = 0; li < model.layer_count(); ++li) {
+    const Layer& layer = model.layer(li);
+
+    if (const auto* dense = dynamic_cast<const Dense*>(&layer)) {
+      if (product(shape) != dense->in_features()) {
+        throw std::invalid_argument("LiteModel: dense input mismatch at layer " +
+                                    std::to_string(li));
+      }
+      Op op;
+      op.kind = Op::Kind::kDense;
+      op.in = dense->in_features();
+      op.out = dense->out_features();
+      op.w_offset = lite.arena_.size();
+      lite.arena_.insert(lite.arena_.end(), dense->weights().begin(), dense->weights().end());
+      op.b_offset = lite.arena_.size();
+      lite.arena_.insert(lite.arena_.end(), dense->bias().begin(), dense->bias().end());
+      op.out_values = op.out;
+      lite.ops_.push_back(op);
+      shape = {op.out};
+    } else if (const auto* conv = dynamic_cast<const Conv2D*>(&layer)) {
+      if (shape.size() != 3 || shape[0] != conv->in_channels()) {
+        throw std::invalid_argument("LiteModel: conv input mismatch at layer " +
+                                    std::to_string(li));
+      }
+      Op op;
+      op.kind = Op::Kind::kConv2d;
+      op.in_ch = conv->in_channels();
+      op.out_ch = conv->out_channels();
+      op.kh = conv->kernel_h();
+      op.kw = conv->kernel_w();
+      op.stride = conv->stride();
+      op.h_in = shape[1];
+      op.w_in = shape[2];
+      const auto [oh, ow] = conv->output_hw(op.h_in, op.w_in);
+      op.h_out = oh;
+      op.w_out = ow;
+      const std::size_t pad_h_total =
+          std::max<std::size_t>((oh - 1) * op.stride + op.kh, op.h_in) - op.h_in;
+      const std::size_t pad_w_total =
+          std::max<std::size_t>((ow - 1) * op.stride + op.kw, op.w_in) - op.w_in;
+      op.pad_top = pad_h_total / 2;
+      op.pad_left = pad_w_total / 2;
+      op.w_offset = lite.arena_.size();
+      lite.arena_.insert(lite.arena_.end(), conv->weights().begin(), conv->weights().end());
+      op.b_offset = lite.arena_.size();
+      lite.arena_.insert(lite.arena_.end(), conv->bias().begin(), conv->bias().end());
+      op.out_values = op.out_ch * oh * ow;
+      lite.ops_.push_back(op);
+      shape = {op.out_ch, oh, ow};
+    } else if (const auto* up = dynamic_cast<const UpSample2D*>(&layer)) {
+      if (shape.size() != 3) {
+        throw std::invalid_argument("LiteModel: upsample needs CHW input at layer " +
+                                    std::to_string(li));
+      }
+      Op op;
+      op.kind = Op::Kind::kUpsample;
+      op.factor = up->factor();
+      op.channels = shape[0];
+      op.h_in = shape[1];
+      op.w_in = shape[2];
+      op.h_out = shape[1] * op.factor;
+      op.w_out = shape[2] * op.factor;
+      op.out_values = op.channels * op.h_out * op.w_out;
+      lite.ops_.push_back(op);
+      shape = {op.channels, op.h_out, op.w_out};
+    } else if (dynamic_cast<const Flatten*>(&layer) != nullptr) {
+      shape = {product(shape)};  // free: buffers are already flat
+    } else if (const auto* reshape = dynamic_cast<const Reshape*>(&layer)) {
+      if (product(reshape->target()) != product(shape)) {
+        throw std::invalid_argument("LiteModel: reshape size mismatch at layer " +
+                                    std::to_string(li));
+      }
+      shape = reshape->target();
+    } else {
+      float alpha = 0.0F;
+      const Activation act = fuse_activation(layer, alpha);
+      if (act == Activation::kNone) {
+        throw std::invalid_argument("LiteModel: unsupported layer kind '" + layer.kind() + "'");
+      }
+      // Fuse into the previous compute op when possible.
+      if (!lite.ops_.empty() && lite.ops_.back().act == Activation::kNone &&
+          lite.ops_.back().kind != Op::Kind::kUpsample) {
+        lite.ops_.back().act = act;
+        lite.ops_.back().alpha = alpha;
+      } else {
+        Op op;
+        op.kind = Op::Kind::kElementwise;
+        op.act = act;
+        op.alpha = alpha;
+        op.out_values = product(shape);
+        lite.ops_.push_back(op);
+      }
+    }
+    max_values = std::max(max_values, product(shape));
+  }
+
+  lite.output_size_ = product(shape);
+  lite.buf_a_.assign(max_values, 0.0F);
+  lite.buf_b_.assign(max_values, 0.0F);
+  return lite;
+}
+
+void LiteModel::apply_activation(Activation act, float alpha, float* data, std::size_t n) {
+  switch (act) {
+    case Activation::kNone:
+      break;
+    case Activation::kLeakyRelu:
+      for (std::size_t i = 0; i < n; ++i) {
+        if (data[i] < 0.0F) data[i] *= alpha;
+      }
+      break;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < n; ++i) data[i] = 1.0F / (1.0F + std::exp(-data[i]));
+      break;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < n; ++i) data[i] = std::tanh(data[i]);
+      break;
+  }
+}
+
+void LiteModel::run_op(const Op& op, const float* in, float* out) const {
+  switch (op.kind) {
+    case Op::Kind::kDense: {
+      const float* __restrict w = arena_.data() + op.w_offset;
+      const float* __restrict b = arena_.data() + op.b_offset;
+      const float* __restrict x = in;
+      for (std::size_t o = 0; o < op.out; ++o) {
+        const float* __restrict w_row = w + o * op.in;
+        // Four independent accumulators let the compiler pipeline/vectorize
+        // the dot product without -ffast-math reassociation.
+        float a0 = 0.0F, a1 = 0.0F, a2 = 0.0F, a3 = 0.0F;
+        std::size_t k = 0;
+        for (; k + 4 <= op.in; k += 4) {
+          a0 += w_row[k] * x[k];
+          a1 += w_row[k + 1] * x[k + 1];
+          a2 += w_row[k + 2] * x[k + 2];
+          a3 += w_row[k + 3] * x[k + 3];
+        }
+        float acc = b[o] + (a0 + a1) + (a2 + a3);
+        for (; k < op.in; ++k) acc += w_row[k] * x[k];
+        out[o] = acc;
+      }
+      apply_activation(op.act, op.alpha, out, op.out);
+      break;
+    }
+    case Op::Kind::kConv2d: {
+      const float* __restrict w = arena_.data() + op.w_offset;
+      const float* __restrict b = arena_.data() + op.b_offset;
+      const std::size_t in_plane = op.h_in * op.w_in;
+      const std::size_t out_plane = op.h_out * op.w_out;
+
+      if (op.kh == 2 && op.kw == 2) {
+        // Specialized 2x2 kernel (the paper's architecture): per output
+        // pixel the four taps are addressed directly, and interior pixels
+        // skip all bounds checks.
+        for (std::size_t oc = 0; oc < op.out_ch; ++oc) {
+          const float* __restrict w_oc = w + oc * op.in_ch * 4;
+          float* __restrict out_oc = out + oc * out_plane;
+          const float bias = b[oc];
+          for (std::size_t oy = 0; oy < op.h_out; ++oy) {
+            const std::ptrdiff_t iy0 = static_cast<std::ptrdiff_t>(oy * op.stride) -
+                                       static_cast<std::ptrdiff_t>(op.pad_top);
+            const bool y_interior = iy0 >= 0 && iy0 + 1 < static_cast<std::ptrdiff_t>(op.h_in);
+            for (std::size_t ox = 0; ox < op.w_out; ++ox) {
+              const std::ptrdiff_t ix0 = static_cast<std::ptrdiff_t>(ox * op.stride) -
+                                         static_cast<std::ptrdiff_t>(op.pad_left);
+              float acc = bias;
+              if (y_interior && ix0 >= 0 && ix0 + 1 < static_cast<std::ptrdiff_t>(op.w_in)) {
+                const std::size_t base = static_cast<std::size_t>(iy0) * op.w_in +
+                                         static_cast<std::size_t>(ix0);
+                const float* __restrict in_px = in + base;
+                const float* __restrict w_ic = w_oc;
+                for (std::size_t ic = 0; ic < op.in_ch; ++ic) {
+                  const float* __restrict p = in_px + ic * in_plane;
+                  acc += w_ic[0] * p[0] + w_ic[1] * p[1] + w_ic[2] * p[op.w_in] +
+                         w_ic[3] * p[op.w_in + 1];
+                  w_ic += 4;
+                }
+              } else {
+                for (std::size_t ic = 0; ic < op.in_ch; ++ic) {
+                  const float* __restrict in_ic = in + ic * in_plane;
+                  const float* __restrict w_ic = w_oc + ic * 4;
+                  for (std::size_t ky = 0; ky < 2; ++ky) {
+                    const std::ptrdiff_t iy = iy0 + static_cast<std::ptrdiff_t>(ky);
+                    if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(op.h_in)) continue;
+                    for (std::size_t kx = 0; kx < 2; ++kx) {
+                      const std::ptrdiff_t ix = ix0 + static_cast<std::ptrdiff_t>(kx);
+                      if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(op.w_in)) continue;
+                      acc += w_ic[ky * 2 + kx] *
+                             in_ic[static_cast<std::size_t>(iy) * op.w_in +
+                                   static_cast<std::size_t>(ix)];
+                    }
+                  }
+                }
+              }
+              out_oc[oy * op.w_out + ox] = acc;
+            }
+          }
+        }
+        apply_activation(op.act, op.alpha, out, op.out_values);
+        break;
+      }
+
+      for (std::size_t oc = 0; oc < op.out_ch; ++oc) {
+        const float* w_oc = w + oc * op.in_ch * op.kh * op.kw;
+        float* out_oc = out + oc * out_plane;
+        for (std::size_t oy = 0; oy < op.h_out; ++oy) {
+          for (std::size_t ox = 0; ox < op.w_out; ++ox) {
+            float acc = b[oc];
+            for (std::size_t ic = 0; ic < op.in_ch; ++ic) {
+              const float* in_ic = in + ic * in_plane;
+              const float* w_ic = w_oc + ic * op.kh * op.kw;
+              for (std::size_t ky = 0; ky < op.kh; ++ky) {
+                const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * op.stride + ky) -
+                                          static_cast<std::ptrdiff_t>(op.pad_top);
+                if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(op.h_in)) continue;
+                for (std::size_t kx = 0; kx < op.kw; ++kx) {
+                  const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox * op.stride + kx) -
+                                            static_cast<std::ptrdiff_t>(op.pad_left);
+                  if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(op.w_in)) continue;
+                  acc += w_ic[ky * op.kw + kx] *
+                         in_ic[static_cast<std::size_t>(iy) * op.w_in +
+                               static_cast<std::size_t>(ix)];
+                }
+              }
+            }
+            out_oc[oy * op.w_out + ox] = acc;
+          }
+        }
+      }
+      apply_activation(op.act, op.alpha, out, op.out_values);
+      break;
+    }
+    case Op::Kind::kUpsample: {
+      for (std::size_t c = 0; c < op.channels; ++c) {
+        const float* in_c = in + c * op.h_in * op.w_in;
+        float* out_c = out + c * op.h_out * op.w_out;
+        for (std::size_t yy = 0; yy < op.h_out; ++yy) {
+          const float* in_row = in_c + (yy / op.factor) * op.w_in;
+          float* out_row = out_c + yy * op.w_out;
+          for (std::size_t xx = 0; xx < op.w_out; ++xx) out_row[xx] = in_row[xx / op.factor];
+        }
+      }
+      break;
+    }
+    case Op::Kind::kElementwise: {
+      for (std::size_t i = 0; i < op.out_values; ++i) out[i] = in[i];
+      apply_activation(op.act, op.alpha, out, op.out_values);
+      break;
+    }
+  }
+}
+
+std::span<const float> LiteModel::infer(std::span<const float> input) {
+  if (input.size() != input_size_) {
+    throw std::invalid_argument("LiteModel::infer: expected " + std::to_string(input_size_) +
+                                " inputs, got " + std::to_string(input.size()));
+  }
+  std::copy(input.begin(), input.end(), buf_a_.begin());
+  float* cur = buf_a_.data();
+  float* next = buf_b_.data();
+  std::size_t out_values = input_size_;
+  for (const auto& op : ops_) {
+    run_op(op, cur, next);
+    std::swap(cur, next);
+    out_values = op.out_values;
+  }
+  return {cur, out_values};
+}
+
+float LiteModel::infer_scalar(std::span<const float> input) {
+  const auto out = infer(input);
+  if (out.size() != 1) {
+    throw std::runtime_error("LiteModel::infer_scalar: output has " +
+                             std::to_string(out.size()) + " values");
+  }
+  return out[0];
+}
+
+}  // namespace vehigan::nn::lite

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/sequential.hpp"
+
+namespace vehigan::nn::lite {
+
+/// A "lite" compiled model, playing the role TensorFlow Lite plays in the
+/// paper's Fig. 8: the trained graph is flattened ahead of time into a
+/// sequence of fused kernels over two preallocated ping-pong buffers, so
+/// inference performs zero heap allocations, no virtual dispatch per layer,
+/// no shape checks, and activation functions are fused into the producing
+/// kernel.
+///
+/// Supported layers: Dense, Conv2D, UpSample2D, LeakyReLU/Sigmoid/Tanh
+/// (fused), Flatten/Reshape (free). Single-sample inference only — exactly
+/// the MBDS deployment profile (one window per received BSM).
+class LiteModel {
+ public:
+  /// Compiles a trained model for a fixed per-sample input shape
+  /// (e.g. {1, 10, 12} for a discriminator, {z_dim} for a generator).
+  /// Throws std::invalid_argument on unsupported layers.
+  static LiteModel compile(const Sequential& model,
+                           const std::vector<std::size_t>& input_sample_shape);
+
+  /// Runs inference. `input` must have exactly input_size() values; the
+  /// returned span points into an internal buffer valid until the next call.
+  std::span<const float> infer(std::span<const float> input);
+
+  /// Convenience for discriminator-style scalar outputs.
+  float infer_scalar(std::span<const float> input);
+
+  [[nodiscard]] std::size_t input_size() const { return input_size_; }
+  [[nodiscard]] std::size_t output_size() const { return output_size_; }
+  [[nodiscard]] std::size_t op_count() const { return ops_.size(); }
+
+ private:
+  enum class Activation : std::uint8_t { kNone, kLeakyRelu, kSigmoid, kTanh };
+
+  struct Op {
+    enum class Kind : std::uint8_t { kDense, kConv2d, kUpsample, kElementwise } kind;
+    Activation act = Activation::kNone;
+    float alpha = 0.0F;  ///< LeakyReLU slope
+    // Dense:
+    std::size_t in = 0, out = 0;
+    // Conv: geometry resolved at compile time.
+    std::size_t in_ch = 0, out_ch = 0, kh = 0, kw = 0, stride = 0;
+    std::size_t h_in = 0, w_in = 0, h_out = 0, w_out = 0;
+    std::size_t pad_top = 0, pad_left = 0;
+    // Upsample:
+    std::size_t factor = 0, channels = 0;
+    // Offsets into the packed weight arena.
+    std::size_t w_offset = 0, b_offset = 0;
+    std::size_t out_values = 0;  ///< total output element count
+  };
+
+  static Activation fuse_activation(const Layer& layer, float& alpha);
+  void run_op(const Op& op, const float* in, float* out) const;
+  static void apply_activation(Activation act, float alpha, float* data, std::size_t n);
+
+  std::vector<Op> ops_;
+  std::vector<float> arena_;  ///< all weights/biases packed contiguously
+  std::vector<float> buf_a_, buf_b_;
+  std::size_t input_size_ = 0;
+  std::size_t output_size_ = 0;
+};
+
+}  // namespace vehigan::nn::lite

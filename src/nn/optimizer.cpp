@@ -1,0 +1,65 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vehigan::nn {
+
+namespace {
+
+void ensure_state(std::vector<std::vector<float>>& state, const std::vector<Param>& params) {
+  if (state.empty()) {
+    state.reserve(params.size());
+    for (const auto& p : params) state.emplace_back(p.values->size(), 0.0F);
+    return;
+  }
+  if (state.size() != params.size()) {
+    throw std::invalid_argument("Optimizer: parameter list changed between steps");
+  }
+}
+
+}  // namespace
+
+void Sgd::step(const std::vector<Param>& params) {
+  for (const auto& p : params) {
+    auto& v = *p.values;
+    const auto& g = *p.grads;
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] -= lr_ * g[i];
+  }
+}
+
+void RmsProp::step(const std::vector<Param>& params) {
+  ensure_state(mean_square_, params);
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    auto& v = *params[pi].values;
+    const auto& g = *params[pi].grads;
+    auto& ms = mean_square_[pi];
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      ms[i] = rho_ * ms[i] + (1.0F - rho_) * g[i] * g[i];
+      v[i] -= lr_ * g[i] / (std::sqrt(ms[i]) + eps_);
+    }
+  }
+}
+
+void Adam::step(const std::vector<Param>& params) {
+  ensure_state(m_, params);
+  ensure_state(v_, params);
+  ++t_;
+  const float bias1 = 1.0F - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0F - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    auto& w = *params[pi].values;
+    const auto& g = *params[pi].grads;
+    auto& m = m_[pi];
+    auto& v = v_[pi];
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0F - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0F - beta2_) * g[i] * g[i];
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      w[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace vehigan::nn

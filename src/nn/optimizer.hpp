@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace vehigan::nn {
+
+/// Base interface of first-order optimizers. `step` consumes the gradients
+/// accumulated since the last zero_grad and updates the parameter values in
+/// place. Optimizers keep per-parameter state keyed by position, so the same
+/// parameter list must be passed on every call.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void step(const std::vector<Param>& params) = 0;
+};
+
+/// Plain SGD (used in tests as the ground-truth-simple optimizer).
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float lr) : lr_(lr) {}
+  void step(const std::vector<Param>& params) override;
+
+ private:
+  float lr_;
+};
+
+/// RMSProp — Arjovsky et al. recommend it over momentum methods for the
+/// WGAN critic because momentum interacts badly with the non-stationary
+/// clipped objective.
+class RmsProp : public Optimizer {
+ public:
+  explicit RmsProp(float lr, float rho = 0.9F, float eps = 1e-7F)
+      : lr_(lr), rho_(rho), eps_(eps) {}
+  void step(const std::vector<Param>& params) override;
+
+ private:
+  float lr_, rho_, eps_;
+  std::vector<std::vector<float>> mean_square_;
+};
+
+/// Adam (Kingma & Ba) — used for the generator and the AE baseline.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9F, float beta2 = 0.999F, float eps = 1e-7F)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+  void step(const std::vector<Param>& params) override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  std::vector<std::vector<float>> m_, v_;
+  long t_ = 0;
+};
+
+}  // namespace vehigan::nn

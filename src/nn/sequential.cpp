@@ -1,0 +1,105 @@
+#include "nn/sequential.hpp"
+
+#include <fstream>
+
+#include "nn/io.hpp"
+#include "nn/serialize.hpp"
+
+namespace vehigan::nn {
+
+Sequential& Sequential::operator=(const Sequential& other) {
+  if (this == &other) return *this;
+  layers_.clear();
+  layers_.reserve(other.layers_.size());
+  for (const auto& layer : other.layers_) layers_.push_back(layer->clone());
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor current = input;
+  for (auto& layer : layers_) current = layer->forward(current);
+  return current;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor current = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    current = (*it)->backward(current);
+  }
+  return current;
+}
+
+std::vector<Param> Sequential::parameters() {
+  std::vector<Param> params;
+  for (auto& layer : layers_) {
+    for (auto& p : layer->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+void Sequential::zero_grad() {
+  for (auto& layer : layers_) layer->zero_grad();
+}
+
+std::size_t Sequential::parameter_count() const {
+  std::size_t count = 0;
+  for (const auto& layer : layers_) {
+    for (const auto& p : const_cast<Layer&>(*layer).parameters()) count += p.values->size();
+  }
+  return count;
+}
+
+Sequential Sequential::clone() const {
+  Sequential copy;
+  copy = *this;
+  return copy;
+}
+
+void Sequential::save(std::ostream& out) const {
+  io::write_string(out, "vehigan-seq-v1");
+  io::write_u64(out, layers_.size());
+  for (const auto& layer : layers_) {
+    io::write_string(out, layer->kind());
+    layer->serialize(out);
+  }
+}
+
+void Sequential::save_file(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("Sequential::save_file: cannot open " + path.string());
+  save(out);
+}
+
+Sequential Sequential::load(std::istream& in) {
+  const std::string magic = io::read_string(in);
+  if (magic != "vehigan-seq-v1") {
+    throw std::runtime_error("Sequential::load: bad magic '" + magic + "'");
+  }
+  Sequential model;
+  const std::uint64_t count = io::read_u64(in);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string kind = io::read_string(in);
+    model.add_layer(deserialize_layer(kind, in));
+  }
+  return model;
+}
+
+Sequential Sequential::load_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("Sequential::load_file: cannot open " + path.string());
+  return load(in);
+}
+
+float forward_scalar(Sequential& model, std::span<const float> sample, std::size_t window,
+                     std::size_t width) {
+  Tensor input({1, 1, window, width},
+               std::vector<float>(sample.begin(), sample.end()));
+  const Tensor output = model.forward(input);
+  if (output.size() != 1) {
+    throw std::runtime_error("forward_scalar: model output is not scalar, shape " +
+                             output.shape_string());
+  }
+  return output[0];
+}
+
+}  // namespace vehigan::nn

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace vehigan::nn {
+
+/// A feed-forward stack of layers — the model container used for both the
+/// WGAN generator/discriminator and the auto-encoder baseline.
+///
+/// Thread-safety: forward/backward mutate per-layer caches, so one
+/// Sequential may be driven by one thread at a time. Independent clones are
+/// fully independent.
+class Sequential {
+ public:
+  Sequential() = default;
+
+  Sequential(Sequential&&) noexcept = default;
+  Sequential& operator=(Sequential&&) noexcept = default;
+  Sequential(const Sequential& other) { *this = other; }
+  Sequential& operator=(const Sequential& other);
+
+  template <typename L, typename... Args>
+  L& add(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  void add_layer(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
+  [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  /// Runs the full forward pass; caches per-layer state for backward.
+  Tensor forward(const Tensor& input);
+
+  /// Backpropagates dL/dy through the stack, accumulating parameter
+  /// gradients, and returns dL/dx (the input gradient used by FGSM and the
+  /// gradient-penalty trainer).
+  Tensor backward(const Tensor& grad_output);
+
+  /// All trainable parameters, front to back.
+  std::vector<Param> parameters();
+
+  void zero_grad();
+
+  /// Total number of trainable scalars.
+  [[nodiscard]] std::size_t parameter_count() const;
+
+  /// Deep copy including weights (not caches).
+  [[nodiscard]] Sequential clone() const;
+
+  void save(std::ostream& out) const;
+  void save_file(const std::filesystem::path& path) const;
+  static Sequential load(std::istream& in);
+  static Sequential load_file(const std::filesystem::path& path);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Convenience: forward a single sample shaped [1, window, width] through a
+/// discriminator-style network that outputs [1, 1]; returns the scalar.
+float forward_scalar(Sequential& model, std::span<const float> sample,
+                     std::size_t window, std::size_t width);
+
+}  // namespace vehigan::nn

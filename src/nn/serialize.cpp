@@ -1,0 +1,59 @@
+#include "nn/serialize.hpp"
+
+#include <stdexcept>
+
+#include "nn/io.hpp"
+#include "nn/layers.hpp"
+
+namespace vehigan::nn {
+
+std::unique_ptr<Layer> deserialize_layer(const std::string& kind, std::istream& in) {
+  if (kind == "dense") {
+    const std::size_t in_f = io::read_u64(in);
+    const std::size_t out_f = io::read_u64(in);
+    auto layer = std::make_unique<Dense>(in_f, out_f);
+    layer->weights() = io::read_f32_vector(in);
+    layer->bias() = io::read_f32_vector(in);
+    if (layer->weights().size() != in_f * out_f || layer->bias().size() != out_f) {
+      throw std::runtime_error("deserialize dense: weight size mismatch");
+    }
+    return layer;
+  }
+  if (kind == "conv2d") {
+    const std::size_t in_ch = io::read_u64(in);
+    const std::size_t out_ch = io::read_u64(in);
+    const std::size_t kh = io::read_u64(in);
+    const std::size_t kw = io::read_u64(in);
+    const std::size_t stride = io::read_u64(in);
+    auto layer = std::make_unique<Conv2D>(in_ch, out_ch, kh, kw, stride);
+    layer->weights() = io::read_f32_vector(in);
+    layer->bias() = io::read_f32_vector(in);
+    if (layer->weights().size() != out_ch * in_ch * kh * kw || layer->bias().size() != out_ch) {
+      throw std::runtime_error("deserialize conv2d: weight size mismatch");
+    }
+    return layer;
+  }
+  if (kind == "conv2d_transpose") {
+    const std::size_t in_ch = io::read_u64(in);
+    const std::size_t out_ch = io::read_u64(in);
+    const std::size_t kh = io::read_u64(in);
+    const std::size_t kw = io::read_u64(in);
+    const std::size_t stride = io::read_u64(in);
+    auto layer = std::make_unique<Conv2DTranspose>(in_ch, out_ch, kh, kw, stride);
+    layer->weights() = io::read_f32_vector(in);
+    layer->bias() = io::read_f32_vector(in);
+    if (layer->weights().size() != in_ch * out_ch * kh * kw || layer->bias().size() != out_ch) {
+      throw std::runtime_error("deserialize conv2d_transpose: weight size mismatch");
+    }
+    return layer;
+  }
+  if (kind == "upsample2d") return std::make_unique<UpSample2D>(io::read_u64(in));
+  if (kind == "leaky_relu") return std::make_unique<LeakyReLU>(io::read_f32(in));
+  if (kind == "sigmoid") return std::make_unique<Sigmoid>();
+  if (kind == "tanh") return std::make_unique<Tanh>();
+  if (kind == "flatten") return std::make_unique<Flatten>();
+  if (kind == "reshape") return std::make_unique<Reshape>(io::read_shape(in));
+  throw std::runtime_error("deserialize_layer: unknown layer kind '" + kind + "'");
+}
+
+}  // namespace vehigan::nn

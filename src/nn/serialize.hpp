@@ -1,0 +1,15 @@
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace vehigan::nn {
+
+/// Reconstructs one layer from the stream given its kind() tag. Throws
+/// std::runtime_error on unknown tags or truncated streams.
+std::unique_ptr<Layer> deserialize_layer(const std::string& kind, std::istream& in);
+
+}  // namespace vehigan::nn

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vehigan::nn {
+
+/// Dense row-major float tensor. This is deliberately a small value type —
+/// the whole network stack (10x12 windows, <100k parameters per model) fits
+/// comfortably in caches, so we optimize for clarity and copy-safety rather
+/// than views/striding.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(std::vector<std::size_t> shape) : shape_(std::move(shape)) {
+    data_.assign(element_count(shape_), 0.0F);
+  }
+
+  Tensor(std::vector<std::size_t> shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    if (data_.size() != element_count(shape_)) {
+      throw std::invalid_argument("Tensor: data size does not match shape");
+    }
+  }
+
+  [[nodiscard]] static std::size_t element_count(const std::vector<std::size_t>& shape) {
+    return std::accumulate(shape.begin(), shape.end(), std::size_t{1},
+                           [](std::size_t a, std::size_t b) { return a * b; });
+  }
+
+  [[nodiscard]] const std::vector<std::size_t>& shape() const { return shape_; }
+  [[nodiscard]] std::size_t rank() const { return shape_.size(); }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t dim(std::size_t i) const { return shape_.at(i); }
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  [[nodiscard]] std::span<float> values() { return data_; }
+  [[nodiscard]] std::span<const float> values() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Reinterprets the tensor with a new shape of identical element count.
+  [[nodiscard]] Tensor reshaped(std::vector<std::size_t> new_shape) const {
+    if (element_count(new_shape) != size()) {
+      throw std::invalid_argument("Tensor::reshaped: element count mismatch");
+    }
+    return Tensor(std::move(new_shape), data_);
+  }
+
+  /// "NxHxW..." string for error messages.
+  [[nodiscard]] std::string shape_string() const {
+    std::string s;
+    for (std::size_t i = 0; i < shape_.size(); ++i) {
+      if (i) s += 'x';
+      s += std::to_string(shape_[i]);
+    }
+    return s.empty() ? "scalar" : s;
+  }
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace vehigan::nn

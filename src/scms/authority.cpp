@@ -1,0 +1,58 @@
+#include "scms/authority.hpp"
+
+#include <stdexcept>
+
+namespace vehigan::scms {
+
+CredentialAuthority::CredentialAuthority(std::uint64_t ca_secret)
+    : ca_keys_(make_key_pair(ca_secret)) {}
+
+std::uint64_t CredentialAuthority::enroll(std::uint32_t vehicle_id, util::Rng& rng) {
+  const auto secret =
+      static_cast<std::uint64_t>(rng.uniform_int(1, std::numeric_limits<std::int64_t>::max()));
+  enrolled_[vehicle_id] = make_key_pair(secret);
+  return secret;
+}
+
+PseudonymCertificate CredentialAuthority::issue(std::uint32_t vehicle_id,
+                                                std::uint32_t pseudonym, double valid_from,
+                                                double valid_until) {
+  const auto it = enrolled_.find(vehicle_id);
+  if (it == enrolled_.end()) {
+    throw std::out_of_range("CredentialAuthority::issue: vehicle not enrolled");
+  }
+  PseudonymCertificate cert;
+  cert.cert_id = next_cert_id_++;
+  cert.pseudonym = pseudonym;
+  cert.holder_public = it->second.public_id;
+  cert.valid_from = valid_from;
+  cert.valid_until = valid_until;
+  cert.ca_signature = sign_with_cert(ca_keys_.secret, cert.payload());
+  issued_[pseudonym].push_back(cert.cert_id);
+  return cert;
+}
+
+VerifyResult CredentialAuthority::verify(const SignedBsm& message, double now) const {
+  const PseudonymCertificate& cert = message.certificate;
+  if (!verify_with_cert(ca_keys_.public_id, cert.payload(), cert.ca_signature)) {
+    return VerifyResult::kBadCaSignature;
+  }
+  if (crl_.contains(cert.cert_id)) return VerifyResult::kRevoked;
+  if (now < cert.valid_from || now > cert.valid_until) return VerifyResult::kExpired;
+  if (message.payload.vehicle_id != cert.pseudonym) return VerifyResult::kPseudonymMismatch;
+  if (!verify_with_cert(cert.holder_public, bsm_payload_bytes(message.payload),
+                        message.signature)) {
+    return VerifyResult::kBadMessageSignature;
+  }
+  return VerifyResult::kAccepted;
+}
+
+void CredentialAuthority::revoke(std::uint64_t cert_id) { crl_.insert(cert_id); }
+
+void CredentialAuthority::revoke_pseudonym(std::uint32_t pseudonym) {
+  const auto it = issued_.find(pseudonym);
+  if (it == issued_.end()) return;
+  for (std::uint64_t cert_id : it->second) crl_.insert(cert_id);
+}
+
+}  // namespace vehigan::scms

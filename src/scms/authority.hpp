@@ -1,0 +1,66 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "scms/certificate.hpp"
+#include "scms/envelope.hpp"
+#include "util/rng.hpp"
+
+namespace vehigan::scms {
+
+/// Why a received message was rejected (or accepted) at the security layer.
+enum class VerifyResult {
+  kAccepted,
+  kBadCaSignature,      ///< certificate not issued by this CA
+  kBadMessageSignature, ///< payload tampered / signer lacks the cert's key
+  kExpired,             ///< outside the certificate validity window
+  kRevoked,             ///< certificate on the CRL
+  kPseudonymMismatch,   ///< BSM sender id != certificate pseudonym
+};
+
+/// The Security Credential Management System model: a certificate authority
+/// that enrolls vehicles, issues rotating pseudonym certificates, maintains
+/// the certificate revocation list (CRL), and verifies received messages.
+///
+/// Together with mbds::MisbehaviorAuthority this closes the paper's loop:
+/// MBDS reports -> MA investigation -> credentials placed on the CRL ->
+/// the vehicle's messages stop verifying network-wide.
+class CredentialAuthority {
+ public:
+  explicit CredentialAuthority(std::uint64_t ca_secret = 0xC0FFEE);
+
+  /// Enrolls a vehicle: creates its long-term key pair and returns the
+  /// holder secret (kept on the OBU).
+  std::uint64_t enroll(std::uint32_t vehicle_id, util::Rng& rng);
+
+  /// Issues a pseudonym certificate for an enrolled vehicle.
+  /// @throws std::out_of_range if the vehicle was never enrolled.
+  PseudonymCertificate issue(std::uint32_t vehicle_id, std::uint32_t pseudonym,
+                             double valid_from, double valid_until);
+
+  /// Full receive-side verification of one over-the-air message.
+  [[nodiscard]] VerifyResult verify(const SignedBsm& message, double now) const;
+
+  /// Places a certificate on the CRL (the MA's enforcement action).
+  void revoke(std::uint64_t cert_id);
+
+  /// Revokes every certificate issued to the given pseudonym.
+  void revoke_pseudonym(std::uint32_t pseudonym);
+
+  [[nodiscard]] bool is_revoked(std::uint64_t cert_id) const {
+    return crl_.contains(cert_id);
+  }
+  [[nodiscard]] const std::set<std::uint64_t>& crl() const { return crl_; }
+  [[nodiscard]] std::uint64_t ca_public() const { return ca_keys_.public_id; }
+
+ private:
+  KeyPair ca_keys_;
+  std::uint64_t next_cert_id_ = 1;
+  std::map<std::uint32_t, KeyPair> enrolled_;              ///< vehicle -> keys
+  std::map<std::uint32_t, std::vector<std::uint64_t>> issued_;  ///< pseudonym -> certs
+  std::set<std::uint64_t> crl_;
+};
+
+}  // namespace vehigan::scms

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vehigan::scms {
+
+/// A short-term pseudonym certificate (Sec. I/II of the paper: the SCMS
+/// delivers digital certificates that serve as signing identities for BSMs;
+/// pseudonyms rotate to preserve privacy).
+struct PseudonymCertificate {
+  std::uint64_t cert_id = 0;       ///< serial; what the CRL revokes
+  std::uint32_t pseudonym = 0;     ///< the vehicle_id broadcast in BSMs
+  std::uint64_t holder_public = 0; ///< verification key of the holder
+  double valid_from = 0.0;         ///< [s] simulation time
+  double valid_until = 0.0;        ///< [s]
+  std::uint64_t ca_signature = 0;  ///< CA tag over the fields above
+
+  /// Canonical byte string the CA signs.
+  [[nodiscard]] std::string payload() const {
+    std::string bytes;
+    auto append = [&bytes](const void* p, std::size_t n) {
+      bytes.append(static_cast<const char*>(p), n);
+    };
+    append(&cert_id, sizeof(cert_id));
+    append(&pseudonym, sizeof(pseudonym));
+    append(&holder_public, sizeof(holder_public));
+    append(&valid_from, sizeof(valid_from));
+    append(&valid_until, sizeof(valid_until));
+    return bytes;
+  }
+};
+
+}  // namespace vehigan::scms

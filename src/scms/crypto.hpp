@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/hash.hpp"
+
+namespace vehigan::scms {
+
+/// Toy message-authentication primitives for the SCMS model.
+///
+/// NOT cryptography: tags are keyed FNV hashes, stand-ins that exercise the
+/// exact same control flow as ECDSA signatures in a real SCMS (sign at the
+/// sender, verify against the certificate, reject on mismatch) without an
+/// external crypto library. DESIGN.md documents this substitution; nothing
+/// in the paper's evaluation depends on the hardness of the primitive —
+/// the paper's whole point is that valid signatures cannot vouch for
+/// message *content*.
+struct KeyPair {
+  std::uint64_t secret = 0;  ///< private signing key
+  std::uint64_t public_id = 0;  ///< derived verification key
+};
+
+/// Derives the public verification key from a secret.
+inline std::uint64_t derive_public(std::uint64_t secret) {
+  util::Fnv1a h;
+  h.add("vehigan-pub");
+  h.add_pod(secret);
+  return h.value();
+}
+
+inline KeyPair make_key_pair(std::uint64_t secret) {
+  return KeyPair{secret, derive_public(secret)};
+}
+
+/// Keyed tag over an opaque byte string.
+inline std::uint64_t sign_bytes(std::uint64_t secret, const std::string& payload) {
+  util::Fnv1a h;
+  h.add_pod(secret);
+  h.add(payload);
+  return h.value();
+}
+
+/// Verification needs the *secret* in a real MAC; to model signatures
+/// (verify with public material only) the tag binds the public id instead,
+/// derived through the secret — same trust topology as certificates.
+inline std::uint64_t sign_with_cert(std::uint64_t secret, const std::string& payload) {
+  util::Fnv1a h;
+  h.add_pod(derive_public(secret));
+  h.add("vehigan-sig");
+  h.add(payload);
+  return h.value();
+}
+
+inline bool verify_with_cert(std::uint64_t public_id, const std::string& payload,
+                             std::uint64_t tag) {
+  util::Fnv1a h;
+  h.add_pod(public_id);
+  h.add("vehigan-sig");
+  h.add(payload);
+  return h.value() == tag;
+}
+
+}  // namespace vehigan::scms

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "scms/certificate.hpp"
+#include "scms/crypto.hpp"
+#include "sim/bsm.hpp"
+
+namespace vehigan::scms {
+
+/// A BSM as it travels over the air: payload + the sender's pseudonym
+/// certificate + signature over the payload. This is what an OBU/RSU
+/// actually receives; signature verification filters *outsider* forgeries,
+/// and everything that passes goes to the MBDS for content checks.
+struct SignedBsm {
+  sim::Bsm payload;
+  PseudonymCertificate certificate;
+  std::uint64_t signature = 0;
+};
+
+/// Canonical byte string of the signed fields.
+inline std::string bsm_payload_bytes(const sim::Bsm& m) {
+  std::string bytes;
+  auto append = [&bytes](const void* p, std::size_t n) {
+    bytes.append(static_cast<const char*>(p), n);
+  };
+  append(&m.vehicle_id, sizeof(m.vehicle_id));
+  append(&m.time, sizeof(m.time));
+  append(&m.x, sizeof(m.x));
+  append(&m.y, sizeof(m.y));
+  append(&m.speed, sizeof(m.speed));
+  append(&m.accel, sizeof(m.accel));
+  append(&m.heading, sizeof(m.heading));
+  append(&m.yaw_rate, sizeof(m.yaw_rate));
+  return bytes;
+}
+
+/// Signs one BSM with the holder's secret under its certificate.
+inline SignedBsm sign_bsm(const sim::Bsm& message, const PseudonymCertificate& certificate,
+                          std::uint64_t holder_secret) {
+  SignedBsm out;
+  out.payload = message;
+  out.certificate = certificate;
+  out.signature = sign_with_cert(holder_secret, bsm_payload_bytes(message));
+  return out;
+}
+
+}  // namespace vehigan::scms

@@ -1,0 +1,44 @@
+#include "scms/pseudonym.hpp"
+
+#include <cmath>
+
+namespace vehigan::scms {
+
+std::uint32_t PseudonymRotation::fresh_pseudonym(
+    std::map<std::uint32_t, std::uint32_t>& ownership, std::uint32_t owner) {
+  for (;;) {
+    // High range keeps rotated pseudonyms disjoint from original fleet ids.
+    const auto candidate =
+        static_cast<std::uint32_t>(rng_.uniform_int(1'000'000, 4'000'000'000LL));
+    if (!ownership.contains(candidate)) {
+      ownership[candidate] = owner;
+      return candidate;
+    }
+  }
+}
+
+sim::BsmDataset PseudonymRotation::apply(const sim::BsmDataset& dataset,
+                                         std::map<std::uint32_t, std::uint32_t>& ownership) {
+  sim::BsmDataset out;
+  for (const auto& trace : dataset.traces) {
+    if (trace.messages.empty()) continue;
+    long current_epoch = -1;
+    sim::VehicleTrace* current = nullptr;
+    for (const auto& message : trace.messages) {
+      const long epoch =
+          period_s_ <= 0.0 ? 0 : static_cast<long>(std::floor(message.time / period_s_));
+      if (epoch != current_epoch || current == nullptr) {
+        current_epoch = epoch;
+        out.traces.emplace_back();
+        current = &out.traces.back();
+        current->vehicle_id = fresh_pseudonym(ownership, trace.vehicle_id);
+      }
+      sim::Bsm renamed = message;
+      renamed.vehicle_id = current->vehicle_id;
+      current->messages.push_back(renamed);
+    }
+  }
+  return out;
+}
+
+}  // namespace vehigan::scms

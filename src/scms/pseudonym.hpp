@@ -1,0 +1,37 @@
+#pragma once
+
+#include <map>
+
+#include "sim/bsm.hpp"
+#include "util/rng.hpp"
+
+namespace vehigan::scms {
+
+/// Pseudonym rotation (Sec. I: BSMs carry a *short-term* pseudonym). Real
+/// deployments rotate identifiers every few minutes to limit tracking;
+/// rotation also truncates the per-sender history an MBDS can accumulate,
+/// which is an operational cost this module lets the experiments quantify.
+class PseudonymRotation {
+ public:
+  /// @param period_s rotate every period_s seconds (epochs aligned to t=0)
+  /// @param seed     pseudonym draw seed
+  PseudonymRotation(double period_s, std::uint64_t seed)
+      : period_s_(period_s), rng_(seed) {}
+
+  /// Rewrites every trace's vehicle_id per rotation epoch with fresh random
+  /// pseudonyms, splitting each trace accordingly. Fills `ownership` with
+  /// pseudonym -> true vehicle id (the resolution only the SCMS can do).
+  sim::BsmDataset apply(const sim::BsmDataset& dataset,
+                        std::map<std::uint32_t, std::uint32_t>& ownership);
+
+  [[nodiscard]] double period() const { return period_s_; }
+
+ private:
+  std::uint32_t fresh_pseudonym(std::map<std::uint32_t, std::uint32_t>& ownership,
+                                std::uint32_t owner);
+
+  double period_s_;
+  util::Rng rng_;
+};
+
+}  // namespace vehigan::scms

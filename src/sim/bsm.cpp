@@ -1,0 +1,53 @@
+#include "sim/bsm.hpp"
+
+#include <map>
+
+#include "util/csv.hpp"
+
+namespace vehigan::sim {
+
+void write_bsm_csv(const BsmDataset& dataset, const std::filesystem::path& path) {
+  util::CsvWriter writer(path);
+  writer.write_row(bsm_csv_header());
+  for (const auto& trace : dataset.traces) {
+    for (const auto& m : trace.messages) {
+      writer.write_row_numeric({static_cast<double>(m.vehicle_id), m.time, m.x, m.y, m.speed,
+                                m.accel, m.heading, m.yaw_rate});
+    }
+  }
+}
+
+BsmDataset read_bsm_csv(const std::filesystem::path& path) {
+  const util::CsvTable table = util::read_csv(path);
+  const std::size_t c_id = table.column("vehicle_id");
+  const std::size_t c_time = table.column("time");
+  const std::size_t c_x = table.column("x");
+  const std::size_t c_y = table.column("y");
+  const std::size_t c_speed = table.column("speed");
+  const std::size_t c_accel = table.column("accel");
+  const std::size_t c_heading = table.column("heading");
+  const std::size_t c_yaw = table.column("yaw_rate");
+
+  std::map<std::uint32_t, VehicleTrace> by_vehicle;
+  for (const auto& row : table.rows) {
+    Bsm m;
+    m.vehicle_id = static_cast<std::uint32_t>(std::stoul(row[c_id]));
+    m.time = std::stod(row[c_time]);
+    m.x = std::stod(row[c_x]);
+    m.y = std::stod(row[c_y]);
+    m.speed = std::stod(row[c_speed]);
+    m.accel = std::stod(row[c_accel]);
+    m.heading = std::stod(row[c_heading]);
+    m.yaw_rate = std::stod(row[c_yaw]);
+    auto& trace = by_vehicle[m.vehicle_id];
+    trace.vehicle_id = m.vehicle_id;
+    trace.messages.push_back(m);
+  }
+
+  BsmDataset dataset;
+  dataset.traces.reserve(by_vehicle.size());
+  for (auto& [id, trace] : by_vehicle) dataset.traces.push_back(std::move(trace));
+  return dataset;
+}
+
+}  // namespace vehigan::sim

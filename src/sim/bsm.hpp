@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace vehigan::sim {
+
+/// A Basic Safety Message (SAE J2735) restricted to the core kinematic fields
+/// the paper's detectors consume (Table II). Transmitted every 100 ms by each
+/// vehicle. Units: meters, m/s, m/s^2, radians (heading in [0, 2*pi),
+/// measured from +X counter-clockwise), rad/s.
+struct Bsm {
+  std::uint32_t vehicle_id = 0;  ///< short-term pseudonym of the sender
+  double time = 0.0;             ///< transmission time [s]
+  double x = 0.0;                ///< position X [m]
+  double y = 0.0;                ///< position Y [m]
+  double speed = 0.0;            ///< scalar speed [m/s]
+  double accel = 0.0;            ///< scalar longitudinal acceleration [m/s^2]
+  double heading = 0.0;          ///< heading angle [rad]
+  double yaw_rate = 0.0;         ///< heading change rate [rad/s]
+};
+
+/// The continuous BSM time series of one vehicle, ordered by time.
+struct VehicleTrace {
+  std::uint32_t vehicle_id = 0;
+  std::vector<Bsm> messages;
+};
+
+/// A full simulated dataset: one trace per vehicle.
+struct BsmDataset {
+  std::vector<VehicleTrace> traces;
+
+  [[nodiscard]] std::size_t total_messages() const {
+    std::size_t n = 0;
+    for (const auto& t : traces) n += t.messages.size();
+    return n;
+  }
+};
+
+/// CSV schema used by the dataset_generator example and the VASP-style
+/// dataset release: one row per BSM.
+inline const std::vector<std::string>& bsm_csv_header() {
+  static const std::vector<std::string> header = {
+      "vehicle_id", "time", "x", "y", "speed", "accel", "heading", "yaw_rate"};
+  return header;
+}
+
+/// Writes a dataset to CSV (rows ordered by vehicle, then time).
+void write_bsm_csv(const BsmDataset& dataset, const std::filesystem::path& path);
+
+/// Reads a dataset back from CSV, regrouping rows by vehicle id. Rows within
+/// each vehicle keep file order (which write_bsm_csv keeps time-sorted).
+BsmDataset read_bsm_csv(const std::filesystem::path& path);
+
+}  // namespace vehigan::sim

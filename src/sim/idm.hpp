@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cmath>
+
+namespace vehigan::sim {
+
+/// Intelligent Driver Model (Treiber et al.) parameters. The IDM is the
+/// standard car-following model in SUMO-class simulators; it yields smooth,
+/// physically plausible speed/acceleration profiles.
+struct IdmParams {
+  double a_max = 1.8;        ///< maximum acceleration [m/s^2]
+  double b_comfort = 2.2;    ///< comfortable deceleration [m/s^2]
+  double min_gap = 2.0;      ///< standstill bumper gap s0 [m]
+  double headway = 1.4;      ///< desired time headway T [s]
+  double delta = 4.0;        ///< acceleration exponent
+  double vehicle_length = 4.5;  ///< [m], used to compute net gaps
+};
+
+/// IDM longitudinal acceleration.
+/// @param v        current speed [m/s]
+/// @param v_desired free-flow target speed (speed limit / curve limit) [m/s]
+/// @param gap      net distance to the leader [m]; +infinity when leaderless
+/// @param dv       approach rate v - v_leader [m/s]; 0 when leaderless
+inline double idm_acceleration(const IdmParams& p, double v, double v_desired, double gap,
+                               double dv) {
+  const double v0 = std::max(v_desired, 0.1);
+  const double free_term = 1.0 - std::pow(std::max(v, 0.0) / v0, p.delta);
+  if (!std::isfinite(gap) || gap > 1e6) {
+    return p.a_max * free_term;
+  }
+  const double s_star =
+      p.min_gap + std::max(0.0, v * p.headway + v * dv / (2.0 * std::sqrt(p.a_max * p.b_comfort)));
+  const double interaction = s_star / std::max(gap, 0.1);
+  return p.a_max * (free_term - interaction * interaction);
+}
+
+}  // namespace vehigan::sim

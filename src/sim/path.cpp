@@ -1,0 +1,64 @@
+#include "sim/path.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace vehigan::sim {
+
+Pose PathSegment::pose_at(double s) const {
+  s = util::clamp(s, 0.0, length);
+  Pose p;
+  if (curvature == 0.0) {
+    p.x = x0 + s * std::cos(heading0);
+    p.y = y0 + s * std::sin(heading0);
+    p.heading = util::wrap_angle(heading0);
+    p.curvature = 0.0;
+  } else {
+    // Circular arc: the center is at distance r = 1/|kappa| to the left
+    // (kappa > 0) or right (kappa < 0) of the start heading.
+    const double theta = heading0 + curvature * s;
+    p.x = x0 + (std::sin(theta) - std::sin(heading0)) / curvature;
+    p.y = y0 - (std::cos(theta) - std::cos(heading0)) / curvature;
+    p.heading = util::wrap_angle(theta);
+    p.curvature = curvature;
+  }
+  return p;
+}
+
+Path::Path(std::vector<PathSegment> segments) : segments_(std::move(segments)) {
+  cumulative_.reserve(segments_.size());
+  double acc = 0.0;
+  for (const auto& seg : segments_) {
+    cumulative_.push_back(acc);
+    acc += seg.length;
+  }
+  total_length_ = acc;
+}
+
+Pose Path::pose_at(double s) const {
+  if (segments_.empty()) return Pose{};
+  s = util::clamp(s, 0.0, total_length_);
+  // Find the segment containing s: the last cumulative_ entry <= s.
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), s);
+  const auto idx = static_cast<std::size_t>(std::distance(cumulative_.begin(), it)) - 1;
+  return segments_[idx].pose_at(s - cumulative_[idx]);
+}
+
+double Path::safe_speed_at(double s, double road_limit, double a_lat_max,
+                           double lookahead) const {
+  double limit = road_limit;
+  // Sample the curvature ahead; a handful of samples is plenty at urban speeds.
+  constexpr int kSamples = 8;
+  for (int i = 0; i <= kSamples; ++i) {
+    const double ahead = s + lookahead * static_cast<double>(i) / kSamples;
+    const double kappa = std::abs(pose_at(ahead).curvature);
+    if (kappa > 1e-9) {
+      limit = std::min(limit, std::sqrt(a_lat_max / kappa));
+    }
+  }
+  return limit;
+}
+
+}  // namespace vehigan::sim

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+namespace vehigan::sim {
+
+/// Pose of a vehicle on a path at some arc length.
+struct Pose {
+  double x = 0.0;
+  double y = 0.0;
+  double heading = 0.0;    ///< [rad], wrapped into [0, 2*pi)
+  double curvature = 0.0;  ///< [1/m]; yaw rate = curvature * speed
+};
+
+/// One primitive of a driving path: a straight line (curvature == 0) or a
+/// circular arc (curvature != 0, signed: + = left turn). Paths built from
+/// these primitives are C1-continuous in position and heading, so the
+/// kinematic relations the feature engineering relies on (Table II) hold
+/// exactly up to sensor noise.
+struct PathSegment {
+  double x0 = 0.0;        ///< start position X [m]
+  double y0 = 0.0;        ///< start position Y [m]
+  double heading0 = 0.0;  ///< heading at the start [rad]
+  double length = 0.0;    ///< arc length [m]
+  double curvature = 0.0; ///< 0 for straight; +-1/r for arcs
+
+  /// Pose at arc length s in [0, length] from the segment start.
+  [[nodiscard]] Pose pose_at(double s) const;
+
+  /// Pose at the end of the segment (used to chain segments).
+  [[nodiscard]] Pose end_pose() const { return pose_at(length); }
+};
+
+/// A driving path: a chained sequence of segments with a prefix-sum index so
+/// that pose lookup by total arc length is O(log n).
+class Path {
+ public:
+  Path() = default;
+  explicit Path(std::vector<PathSegment> segments);
+
+  [[nodiscard]] double total_length() const { return total_length_; }
+  [[nodiscard]] const std::vector<PathSegment>& segments() const { return segments_; }
+
+  /// Pose at total arc length s; s is clamped into [0, total_length].
+  [[nodiscard]] Pose pose_at(double s) const;
+
+  /// Speed a vehicle should not exceed at arc length s, combining the road
+  /// speed limit with the lateral-acceleration comfort limit in curves
+  /// (v <= sqrt(a_lat_max / |kappa|)). Looks ahead `lookahead` meters so
+  /// vehicles brake *before* entering a turn, like real drivers (and SUMO).
+  [[nodiscard]] double safe_speed_at(double s, double road_limit, double a_lat_max,
+                                     double lookahead) const;
+
+ private:
+  std::vector<PathSegment> segments_;
+  std::vector<double> cumulative_;  ///< cumulative_[i] = length of segments [0, i)
+  double total_length_ = 0.0;
+};
+
+}  // namespace vehigan::sim

@@ -1,0 +1,119 @@
+#include "sim/road_network.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace vehigan::sim {
+
+namespace {
+
+/// Cardinal direction as an index: 0=E, 1=N, 2=W, 3=S.
+struct GridCursor {
+  int col = 0;
+  int row = 0;
+  int dir = 0;
+};
+
+int dx_of(int dir) { return dir == 0 ? 1 : dir == 2 ? -1 : 0; }
+int dy_of(int dir) { return dir == 1 ? 1 : dir == 3 ? -1 : 0; }
+
+bool move_stays_inside(const GridCursor& c, int dir, int cols, int rows) {
+  const int nc = c.col + dx_of(dir);
+  const int nr = c.row + dy_of(dir);
+  return nc >= 0 && nc < cols && nr >= 0 && nr < rows;
+}
+
+}  // namespace
+
+Route RoadNetwork::random_route(util::Rng& rng, double min_length_m) const {
+  const auto& cfg = config_;
+  GridCursor cursor;
+  // Start well inside the grid so early turns have room.
+  cursor.col = static_cast<int>(rng.uniform_int(1, cfg.grid_cols - 2));
+  cursor.row = static_cast<int>(rng.uniform_int(1, cfg.grid_rows - 2));
+  cursor.dir = static_cast<int>(rng.uniform_int(0, 3));
+
+  std::vector<PathSegment> segments;
+  Pose pen;  // running pen position/heading for chaining segments
+  pen.x = cursor.col * cfg.block_length_m;
+  pen.y = cursor.row * cfg.block_length_m;
+  pen.heading = cursor.dir * util::kPi / 2.0;
+
+  double built = 0.0;
+  // Straight blocks are shortened at each end to make room for corner arcs.
+  const double arc_len = cfg.turn_radius_m * util::kPi / 2.0;
+  const double straight_len = cfg.block_length_m - 2.0 * cfg.turn_radius_m;
+
+  while (built < min_length_m) {
+    // Straight block along the current direction.
+    PathSegment straight;
+    straight.x0 = pen.x;
+    straight.y0 = pen.y;
+    straight.heading0 = pen.heading;
+    straight.length = straight_len;
+    straight.curvature = 0.0;
+    segments.push_back(straight);
+    pen = straight.end_pose();
+    built += straight.length;
+
+    cursor.col += dx_of(cursor.dir);
+    cursor.row += dy_of(cursor.dir);
+
+    // Choose the next maneuver; re-draw until the move stays inside the grid.
+    int turn = 0;  // 0 straight, +1 left, -1 right
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const double u = rng.uniform();
+      if (u < cfg.p_straight) turn = 0;
+      else if (u < cfg.p_straight + cfg.p_left) turn = 1;
+      else turn = -1;
+      const int nd = ((cursor.dir + turn) % 4 + 4) % 4;
+      if (move_stays_inside(cursor, nd, cfg.grid_cols, cfg.grid_rows)) {
+        cursor.dir = nd;
+        break;
+      }
+      turn = 0;  // fall back; loop re-draws
+    }
+    // If even going straight would leave the grid, force a legal turn.
+    if (!move_stays_inside(cursor, cursor.dir, cfg.grid_cols, cfg.grid_rows)) {
+      for (int t : {1, -1, 2}) {
+        const int nd = ((cursor.dir + t) % 4 + 4) % 4;
+        if (move_stays_inside(cursor, nd, cfg.grid_cols, cfg.grid_rows)) {
+          cursor.dir = nd;
+          turn = t;
+          break;
+        }
+      }
+    }
+
+    if (turn == 0 || turn == 2) {
+      // Through movement (or dead-end U-turn approximated as straight): pad
+      // the intersection crossing with a short straight piece.
+      PathSegment cross = straight;
+      cross.x0 = pen.x;
+      cross.y0 = pen.y;
+      cross.heading0 = pen.heading;
+      cross.length = 2.0 * cfg.turn_radius_m;
+      segments.push_back(cross);
+      pen = cross.end_pose();
+      built += cross.length;
+    } else {
+      PathSegment arc;
+      arc.x0 = pen.x;
+      arc.y0 = pen.y;
+      arc.heading0 = pen.heading;
+      arc.length = arc_len;
+      arc.curvature = (turn == 1 ? 1.0 : -1.0) / cfg.turn_radius_m;
+      segments.push_back(arc);
+      pen = arc.end_pose();
+      built += arc.length;
+    }
+  }
+
+  Route route;
+  route.path = Path(std::move(segments));
+  route.speed_limit = rng.uniform(cfg.min_speed_limit, cfg.max_speed_limit);
+  return route;
+}
+
+}  // namespace vehigan::sim

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "sim/path.hpp"
+#include "util/rng.hpp"
+
+namespace vehigan::sim {
+
+/// Parameters of the synthetic urban grid used in place of the Boston SUMO
+/// network. A Manhattan grid with per-street speed limits and smooth
+/// quarter-circle turns reproduces the kinematic repertoire the detectors
+/// see: cruising, braking into turns, turning (heading + yaw-rate episodes),
+/// and accelerating out of them.
+struct RoadNetworkConfig {
+  int grid_cols = 8;               ///< intersections per row
+  int grid_rows = 8;               ///< intersections per column
+  double block_length_m = 120.0;   ///< straight distance between intersections
+  double turn_radius_m = 8.0;      ///< quarter-circle corner radius
+  double min_speed_limit = 8.0;    ///< slowest street [m/s]
+  double max_speed_limit = 16.0;   ///< fastest street [m/s]
+  double p_straight = 0.5;         ///< route choice probabilities at corners
+  double p_left = 0.25;
+  double p_right = 0.25;
+};
+
+/// A generated route: the geometric path plus the per-meter speed limit
+/// profile (piecewise constant per block; we simplify to one limit per route
+/// drawn from the street-limit range, which preserves cross-vehicle speed
+/// diversity without per-edge bookkeeping).
+struct Route {
+  Path path;
+  double speed_limit = 13.0;  ///< [m/s]
+};
+
+/// Synthetic grid road network + random route generator.
+class RoadNetwork {
+ public:
+  explicit RoadNetwork(RoadNetworkConfig config) : config_(config) {}
+
+  [[nodiscard]] const RoadNetworkConfig& config() const { return config_; }
+
+  /// Generates a random route of at least `min_length_m` meters starting at a
+  /// random intersection with a random cardinal heading. Turns are smooth
+  /// arcs; straights are full blocks. Routes stay inside the grid by turning
+  /// away from the boundary when necessary.
+  [[nodiscard]] Route random_route(util::Rng& rng, double min_length_m) const;
+
+ private:
+  RoadNetworkConfig config_;
+};
+
+}  // namespace vehigan::sim

@@ -1,0 +1,124 @@
+#include "sim/traffic_sim.hpp"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace vehigan::sim {
+
+namespace {
+
+/// Mutable state of one simulated vehicle.
+struct VehicleState {
+  std::uint32_t id = 0;
+  double depart_time = 0.0;
+  double s = 0.0;      ///< arc length along the platoon route [m]
+  double v = 0.0;      ///< speed [m/s]
+  double a = 0.0;      ///< longitudinal acceleration [m/s^2]
+  bool active = false;
+  bool finished = false;
+  VehicleTrace trace;
+};
+
+struct Platoon {
+  Route route;
+  std::vector<VehicleState> vehicles;  ///< index 0 = platoon leader (front)
+  double desired_speed_jitter = 1.0;   ///< per-platoon multiplier on the limit
+};
+
+}  // namespace
+
+BsmDataset TrafficSimulator::run() const {
+  const auto& cfg = config_;
+  util::Rng master(cfg.seed);
+  util::Rng route_rng = master.split(1);
+  util::Rng noise_rng = master.split(2);
+  util::Rng jitter_rng = master.split(3);
+
+  // Route length needed so the fastest vehicle stays on-route for the whole
+  // simulation: limit * duration plus margin.
+  const double min_route_len =
+      cfg.network.max_speed_limit * cfg.duration_s + 200.0;
+
+  RoadNetwork network(cfg.network);
+  std::vector<Platoon> platoons;
+  platoons.reserve(static_cast<std::size_t>(cfg.num_platoons));
+  std::uint32_t next_id = 1;
+  for (int p = 0; p < cfg.num_platoons; ++p) {
+    Platoon platoon;
+    platoon.route = network.random_route(route_rng, min_route_len);
+    platoon.desired_speed_jitter = jitter_rng.uniform(0.85, 1.1);
+    for (int i = 0; i < cfg.vehicles_per_platoon; ++i) {
+      VehicleState veh;
+      veh.id = next_id++;
+      veh.depart_time = i * cfg.spawn_stagger_s + jitter_rng.uniform(0.0, 1.0);
+      // Leader starts farthest along the route; followers behind it.
+      veh.s = (cfg.vehicles_per_platoon - 1 - i) * cfg.spawn_spacing_m;
+      veh.v = 0.0;
+      veh.trace.vehicle_id = veh.id;
+      platoon.vehicles.push_back(std::move(veh));
+    }
+    platoons.push_back(std::move(platoon));
+  }
+
+  const auto steps = static_cast<std::size_t>(std::llround(cfg.duration_s / cfg.dt_s));
+  for (std::size_t step = 0; step < steps; ++step) {
+    const double t = static_cast<double>(step) * cfg.dt_s;
+    for (auto& platoon : platoons) {
+      const double limit = platoon.route.speed_limit * platoon.desired_speed_jitter;
+      for (std::size_t i = 0; i < platoon.vehicles.size(); ++i) {
+        auto& veh = platoon.vehicles[i];
+        if (veh.finished) continue;
+        if (!veh.active) {
+          if (t >= veh.depart_time) veh.active = true;
+          else continue;
+        }
+
+        // Leader gap within the platoon (vehicle i follows vehicle i-1).
+        double gap = std::numeric_limits<double>::infinity();
+        double dv = 0.0;
+        if (i > 0 && !platoon.vehicles[i - 1].finished) {
+          const auto& lead = platoon.vehicles[i - 1];
+          gap = lead.s - veh.s - cfg.idm.vehicle_length;
+          dv = veh.v - lead.v;
+        }
+
+        const double v_safe =
+            platoon.route.path.safe_speed_at(veh.s, limit, cfg.a_lat_max, cfg.curve_lookahead_m);
+        veh.a = idm_acceleration(cfg.idm, veh.v, v_safe, gap, dv);
+        // Semi-implicit Euler keeps the update stable at dt = 0.1 s.
+        veh.v = std::max(0.0, veh.v + veh.a * cfg.dt_s);
+        veh.s += veh.v * cfg.dt_s;
+        if (veh.s >= platoon.route.path.total_length()) {
+          veh.finished = true;
+          continue;
+        }
+
+        const Pose pose = platoon.route.path.pose_at(veh.s);
+        Bsm truth;
+        truth.vehicle_id = veh.id;
+        truth.time = t;
+        truth.x = pose.x;
+        truth.y = pose.y;
+        truth.speed = veh.v;
+        truth.accel = veh.a;
+        truth.heading = pose.heading;
+        truth.yaw_rate = pose.curvature * veh.v;
+        veh.trace.messages.push_back(cfg.noise.apply(truth, noise_rng));
+      }
+    }
+  }
+
+  BsmDataset dataset;
+  for (auto& platoon : platoons) {
+    for (auto& veh : platoon.vehicles) {
+      if (!veh.trace.messages.empty()) dataset.traces.push_back(std::move(veh.trace));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace vehigan::sim

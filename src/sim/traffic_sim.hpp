@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/bsm.hpp"
+#include "sim/idm.hpp"
+#include "sim/noise.hpp"
+#include "sim/road_network.hpp"
+#include "util/rng.hpp"
+
+namespace vehigan::sim {
+
+/// Configuration of one benign traffic simulation (replaces the
+/// SUMO/Veins/VASP benign run of Sec. IV-A).
+struct TrafficSimConfig {
+  double duration_s = 600.0;   ///< simulated wall time (paper: 3000 s)
+  double dt_s = 0.1;           ///< integration + BSM period (10 Hz)
+  int num_platoons = 12;       ///< independent routes with interacting vehicles
+  int vehicles_per_platoon = 5;///< IDM-coupled vehicles per route
+  double spawn_spacing_m = 28.0;  ///< initial bumper spacing within a platoon
+  double spawn_stagger_s = 3.0;   ///< departure stagger within a platoon
+  RoadNetworkConfig network;
+  IdmParams idm;
+  SensorNoiseModel noise;
+  double a_lat_max = 2.0;      ///< comfort lateral acceleration in turns [m/s^2]
+  double curve_lookahead_m = 25.0;
+  std::uint64_t seed = 42;
+};
+
+/// Microscopic traffic simulator.
+///
+/// Vehicles are organized in platoons: all members of a platoon share one
+/// route and interact through the IDM (followers brake/accelerate in response
+/// to their leader), producing realistic stop-and-go texture; platoons are
+/// mutually independent. Each vehicle transmits one BSM per step with sensor
+/// noise applied. A vehicle despawns when it reaches the end of its route,
+/// so traces have heterogeneous lengths, like the paper's dataset.
+class TrafficSimulator {
+ public:
+  explicit TrafficSimulator(TrafficSimConfig config) : config_(config) {}
+
+  /// Runs the full simulation and returns all per-vehicle BSM traces.
+  [[nodiscard]] BsmDataset run() const;
+
+  [[nodiscard]] const TrafficSimConfig& config() const { return config_; }
+
+ private:
+  TrafficSimConfig config_;
+};
+
+}  // namespace vehigan::sim

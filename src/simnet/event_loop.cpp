@@ -1,0 +1,28 @@
+#include "simnet/event_loop.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace vehigan::simnet {
+
+void EventLoop::schedule_at(double time, Handler fn) {
+  if (time < now_) {
+    throw std::logic_error("EventLoop::schedule_at: time " + std::to_string(time) +
+                           " is in the past (now " + std::to_string(now_) + ")");
+  }
+  queue_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+void EventLoop::run_until(double horizon) {
+  while (!queue_.empty() && queue_.top().time <= horizon) {
+    // Move the handler out before popping so it can schedule new events.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.fn();
+  }
+  if (horizon > now_) now_ = horizon;
+}
+
+}  // namespace vehigan::simnet

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace vehigan::simnet {
+
+/// Discrete-event simulation kernel — the OMNeT++ role in the paper's stack,
+/// reduced to what V2X co-simulation needs: a time-ordered event queue with
+/// deterministic FIFO tie-breaking and a run-until-horizon driver.
+///
+/// Handlers may schedule further events (at or after the current time);
+/// scheduling into the past throws, which turns causality bugs into loud
+/// failures instead of silent reordering.
+class EventLoop {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `fn` at absolute simulation time `time` (>= now()).
+  void schedule_at(double time, Handler fn);
+
+  /// Schedules `fn` `delay` seconds from now (delay >= 0).
+  void schedule_in(double delay, Handler fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::size_t processed() const { return processed_; }
+
+  /// Processes every event with time <= horizon, in (time, insertion) order.
+  /// now() ends at max(processed event time, horizon).
+  void run_until(double horizon);
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  ///< FIFO tie-break for equal timestamps
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace vehigan::simnet

@@ -1,0 +1,62 @@
+#include "simnet/medium.hpp"
+
+#include <cmath>
+
+namespace vehigan::simnet {
+
+namespace {
+constexpr double kSpeedOfLight = 3.0e8;
+}
+
+BroadcastMedium::BroadcastMedium(EventLoop& loop, net::ChannelConfig channel,
+                                 std::uint64_t seed, double bitrate_bps,
+                                 std::size_t frame_bytes)
+    : loop_(loop),
+      channel_(channel, seed),
+      airtime_(static_cast<double>(frame_bytes) * 8.0 / bitrate_bps) {}
+
+std::size_t BroadcastMedium::attach(Attachment attachment) {
+  nodes_.push_back(std::move(attachment));
+  in_flight_.push_back({});
+  return nodes_.size() - 1;
+}
+
+void BroadcastMedium::transmit(std::size_t sender, double true_x, double true_y,
+                               const scms::SignedBsm& frame) {
+  ++stats_.frames_sent;
+  const double t_start = loop_.now();
+  for (std::size_t node = 0; node < nodes_.size(); ++node) {
+    if (node == sender) continue;
+    const auto [rx_x, rx_y] = nodes_[node].position();
+    if (!channel_.received(true_x, true_y, rx_x, rx_y)) {
+      // Out of range or faded: the radio never locks on, no collision state.
+      ++stats_.channel_losses;
+      continue;
+    }
+    const double distance = std::hypot(true_x - rx_x, true_y - rx_y);
+    const double arrive = t_start + distance / kSpeedOfLight;
+    const double done = arrive + airtime_;
+
+    auto corrupted = std::make_shared<bool>(false);
+    Reception& previous = in_flight_[node];
+    if (previous.corrupted && arrive < previous.end) {
+      // Overlap at this receiver: both frames destroyed. Each destroyed
+      // frame is counted once, at its delivery event.
+      *previous.corrupted = true;
+      *corrupted = true;
+    }
+    in_flight_[node] = Reception{arrive, done, corrupted};
+
+    const scms::SignedBsm copy = frame;
+    loop_.schedule_at(done, [this, node, copy, corrupted] {
+      if (*corrupted) {
+        ++stats_.collisions;
+        return;
+      }
+      ++stats_.deliveries;
+      nodes_[node].on_receive(copy);
+    });
+  }
+}
+
+}  // namespace vehigan::simnet

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "scms/envelope.hpp"
+#include "simnet/event_loop.hpp"
+
+namespace vehigan::simnet {
+
+/// Shared broadcast medium with frame-level collisions — the DSRC channel of
+/// the Veins stack. On transmit, every registered node other than the sender
+/// samples the distance-dependent channel; surviving frames are delivered
+/// after air time + propagation delay unless another frame overlaps them at
+/// that receiver, in which case *both* are destroyed (classic broadcast
+/// collision; there is no capture effect modeled).
+class BroadcastMedium {
+ public:
+  /// Node attachment: the medium polls `position` (true physical location)
+  /// at delivery-decision time and calls `on_receive` for clean frames.
+  struct Attachment {
+    std::function<std::pair<double, double>()> position;
+    std::function<void(const scms::SignedBsm&)> on_receive;
+  };
+
+  struct Stats {
+    std::size_t frames_sent = 0;
+    std::size_t deliveries = 0;       ///< clean receptions across all nodes
+    std::size_t channel_losses = 0;   ///< lost to range/fading/congestion
+    std::size_t collisions = 0;       ///< receptions destroyed by overlap
+  };
+
+  /// @param bitrate_bps   channel bit rate (DSRC: 6 Mb/s)
+  /// @param frame_bytes   over-the-air frame size (payload + cert + sig)
+  BroadcastMedium(EventLoop& loop, net::ChannelConfig channel, std::uint64_t seed,
+                  double bitrate_bps = 6e6, std::size_t frame_bytes = 120);
+
+  /// Registers a node; returns its id (used to skip self-reception).
+  std::size_t attach(Attachment attachment);
+
+  /// Broadcasts one frame from `sender` whose true antenna position is
+  /// (true_x, true_y).
+  void transmit(std::size_t sender, double true_x, double true_y,
+                const scms::SignedBsm& frame);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] double airtime() const { return airtime_; }
+
+ private:
+  struct Reception {
+    double start = 0.0;
+    double end = 0.0;
+    std::shared_ptr<bool> corrupted;
+  };
+
+  EventLoop& loop_;
+  net::Channel channel_;
+  double airtime_;
+  std::vector<Attachment> nodes_;
+  std::vector<Reception> in_flight_;  ///< last reception per node
+  Stats stats_;
+};
+
+}  // namespace vehigan::simnet

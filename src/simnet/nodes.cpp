@@ -1,0 +1,96 @@
+#include "simnet/nodes.hpp"
+
+namespace vehigan::simnet {
+
+VehicleNode::VehicleNode(EventLoop& loop, BroadcastMedium& medium, sim::VehicleTrace trace,
+                         scms::PseudonymCertificate certificate, std::uint64_t holder_secret,
+                         double phase_jitter_s,
+                         std::shared_ptr<vasp::MisbehaviorInjector> injector)
+    : loop_(loop),
+      medium_(medium),
+      trace_(std::move(trace)),
+      certificate_(certificate),
+      secret_(holder_secret),
+      jitter_(phase_jitter_s),
+      injector_(std::move(injector)) {
+  medium_id_ = medium_.attach(BroadcastMedium::Attachment{
+      [this] { return true_position(); },
+      // Vehicles receive (for channel-load realism) but this simulation's
+      // detectors live on the RSU; OBU-side self-defense would hook here.
+      [](const scms::SignedBsm&) {}});
+}
+
+std::pair<double, double> VehicleNode::true_position() const {
+  if (trace_.messages.empty()) return {0.0, 0.0};
+  const auto& m = trace_.messages[std::min(cursor_, trace_.messages.size() - 1)];
+  return {m.x, m.y};
+}
+
+void VehicleNode::start() {
+  if (trace_.messages.empty()) return;
+  if (injector_) {
+    attack_ctx_ = injector_->begin(trace_.messages.front().time);
+    last_attack_time_ = trace_.messages.front().time;
+  }
+  for (std::size_t i = 0; i < trace_.messages.size(); ++i) {
+    loop_.schedule_at(trace_.messages[i].time + jitter_, [this, i] { transmit_index(i); });
+  }
+}
+
+void VehicleNode::transmit_index(std::size_t index) {
+  cursor_ = index;
+  const sim::Bsm& truth = trace_.messages[index];
+  sim::Bsm payload = truth;
+  if (injector_ && attack_ctx_) {
+    const double dt = index == 0 ? 0.1 : truth.time - last_attack_time_;
+    last_attack_time_ = truth.time;
+    injector_->apply_message(payload, *attack_ctx_, dt > 0.0 ? dt : 0.1);
+  }
+  const scms::SignedBsm frame = scms::sign_bsm(payload, certificate_, secret_);
+  // Physical reception uses the vehicle's true position even when the
+  // payload lies about it.
+  medium_.transmit(medium_id_, truth.x, truth.y, frame);
+  ++transmitted_;
+}
+
+RsuNode::RsuNode(EventLoop& loop, BroadcastMedium& medium, double x, double y,
+                 scms::CredentialAuthority& ca, mbds::MisbehaviorAuthority& ma,
+                 std::shared_ptr<mbds::VehiGan> detector, features::MinMaxScaler scaler)
+    : loop_(loop),
+      x_(x),
+      y_(y),
+      ca_(ca),
+      ma_(ma),
+      monitor_(/*station_id=*/9000, std::move(detector), std::move(scaler),
+               /*report_cooldown=*/1.0) {
+  monitor_.set_report_sink([this](const mbds::MisbehaviorReport& report) {
+    ++stats_.reports;
+    if (ma_.submit(report)) {
+      ca_.revoke_pseudonym(report.suspect_id);
+    }
+  });
+  medium.attach(BroadcastMedium::Attachment{
+      [this] { return std::make_pair(x_, y_); },
+      [this](const scms::SignedBsm& frame) { on_receive(frame); }});
+}
+
+void RsuNode::on_receive(const scms::SignedBsm& frame) {
+  ++stats_.received;
+  switch (ca_.verify(frame, loop_.now())) {
+    case scms::VerifyResult::kAccepted:
+      ++stats_.accepted;
+      (void)monitor_.ingest(frame.payload);
+      break;
+    case scms::VerifyResult::kRevoked:
+      ++stats_.rejected_revoked;
+      break;
+    case scms::VerifyResult::kBadCaSignature:
+    case scms::VerifyResult::kBadMessageSignature:
+      ++stats_.rejected_signature;
+      break;
+    default:
+      ++stats_.rejected_other;
+  }
+}
+
+}  // namespace vehigan::simnet

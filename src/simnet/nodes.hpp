@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "mbds/online.hpp"
+#include "scms/authority.hpp"
+#include "simnet/medium.hpp"
+#include "vasp/injector.hpp"
+
+namespace vehigan::simnet {
+
+/// An OBU node in the event-driven simulation: replays a precomputed motion
+/// trace, transmitting one signed BSM per trace message (with a small
+/// per-vehicle phase jitter so the fleet does not synchronize into
+/// collisions). An optional misbehavior injector turns the node into an
+/// insider attacker: the *transmitted* payload is falsified while the true
+/// motion (used by the medium for reception physics) stays honest.
+class VehicleNode {
+ public:
+  VehicleNode(EventLoop& loop, BroadcastMedium& medium, sim::VehicleTrace trace,
+              scms::PseudonymCertificate certificate, std::uint64_t holder_secret,
+              double phase_jitter_s,
+              std::shared_ptr<vasp::MisbehaviorInjector> injector = nullptr);
+
+  /// Schedules every transmission of the trace onto the loop.
+  void start();
+
+  [[nodiscard]] std::uint32_t vehicle_id() const { return trace_.vehicle_id; }
+  [[nodiscard]] bool is_attacker() const { return injector_ != nullptr; }
+  [[nodiscard]] std::size_t transmitted() const { return transmitted_; }
+
+  /// True physical position at the latest transmitted message (polled by the
+  /// medium for frames from *other* senders arriving here — vehicles are
+  /// also receivers so that the medium models their channel load).
+  [[nodiscard]] std::pair<double, double> true_position() const;
+
+ private:
+  void transmit_index(std::size_t index);
+
+  EventLoop& loop_;
+  BroadcastMedium& medium_;
+  sim::VehicleTrace trace_;
+  scms::PseudonymCertificate certificate_;
+  std::uint64_t secret_;
+  double jitter_;
+  std::shared_ptr<vasp::MisbehaviorInjector> injector_;
+  std::optional<vasp::MisbehaviorInjector::TraceContext> attack_ctx_;
+  double last_attack_time_ = 0.0;
+  std::size_t medium_id_ = 0;
+  std::size_t cursor_ = 0;      ///< latest transmitted trace index
+  std::size_t transmitted_ = 0;
+};
+
+/// An RSU node: verifies every received frame against the credential
+/// authority (dropping outsiders, tampered frames, and CRL-revoked senders),
+/// feeds accepted payloads into the online VEHIGAN monitor, and forwards
+/// misbehavior reports to the MA; on revocation the suspect's certificates
+/// go onto the CRL, closing the paper's enforcement loop.
+class RsuNode {
+ public:
+  struct Stats {
+    std::size_t received = 0;
+    std::size_t accepted = 0;
+    std::size_t rejected_signature = 0;
+    std::size_t rejected_revoked = 0;
+    std::size_t rejected_other = 0;
+    std::size_t reports = 0;
+  };
+
+  RsuNode(EventLoop& loop, BroadcastMedium& medium, double x, double y,
+          scms::CredentialAuthority& ca, mbds::MisbehaviorAuthority& ma,
+          std::shared_ptr<mbds::VehiGan> detector, features::MinMaxScaler scaler);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void on_receive(const scms::SignedBsm& frame);
+
+  EventLoop& loop_;
+  double x_, y_;
+  scms::CredentialAuthority& ca_;
+  mbds::MisbehaviorAuthority& ma_;
+  mbds::OnlineMbds monitor_;
+  Stats stats_;
+};
+
+}  // namespace vehigan::simnet

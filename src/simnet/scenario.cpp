@@ -1,0 +1,66 @@
+#include "simnet/scenario.hpp"
+
+#include <cmath>
+#include <memory>
+
+namespace vehigan::simnet {
+
+ScenarioResult run_scenario(const sim::BsmDataset& fleet, const ScenarioConfig& config,
+                            std::shared_ptr<mbds::VehiGan> detector,
+                            const features::MinMaxScaler& scaler) {
+  util::Rng master(config.seed);
+  util::Rng pick_rng = master.split(1);
+  util::Rng jitter_rng = master.split(2);
+  util::Rng enroll_rng = master.split(3);
+  util::Rng inject_rng = master.split(4);
+
+  EventLoop loop;
+  BroadcastMedium medium(loop, config.channel, master.split(5).seed());
+  scms::CredentialAuthority ca;
+  mbds::MisbehaviorAuthority ma(config.revocation_quota);
+  RsuNode rsu(loop, medium, config.rsu_x, config.rsu_y, ca, ma, std::move(detector), scaler);
+
+  // Attacker selection mirrors vasp::build_scenario semantics.
+  const std::size_t fleet_size = fleet.traces.size();
+  const auto num_malicious = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(config.malicious_fraction * static_cast<double>(fleet_size))));
+  const auto chosen =
+      pick_rng.sample_without_replacement(fleet_size, std::min(num_malicious, fleet_size));
+  std::set<std::size_t> malicious(chosen.begin(), chosen.end());
+
+  const vasp::AttackSpec& spec = vasp::attack_by_index(config.attack_index);
+
+  ScenarioResult result;
+  double horizon = 0.0;
+  std::vector<std::unique_ptr<VehicleNode>> vehicles;
+  vehicles.reserve(fleet_size);
+  for (std::size_t i = 0; i < fleet_size; ++i) {
+    const auto& trace = fleet.traces[i];
+    if (trace.messages.empty()) continue;
+    const std::uint64_t secret = ca.enroll(trace.vehicle_id, enroll_rng);
+    const auto cert = ca.issue(trace.vehicle_id, trace.vehicle_id, 0.0,
+                               trace.messages.back().time + 10.0);
+    std::shared_ptr<vasp::MisbehaviorInjector> injector;
+    if (malicious.contains(i)) {
+      injector = std::make_shared<vasp::MisbehaviorInjector>(
+          spec, vasp::AttackParams{}, inject_rng.split(i));
+      result.attackers.insert(trace.vehicle_id);
+    }
+    vehicles.push_back(std::make_unique<VehicleNode>(
+        loop, medium, trace, cert, secret,
+        jitter_rng.uniform(0.0, config.tx_jitter_max_s), injector));
+    horizon = std::max(horizon, trace.messages.back().time + 1.0);
+  }
+  for (auto& vehicle : vehicles) vehicle->start();
+
+  loop.run_until(horizon);
+
+  result.medium = medium.stats();
+  result.rsu = rsu.stats();
+  result.revoked = ma.revocation_list();
+  result.duration_s = horizon;
+  result.events_processed = loop.processed();
+  return result;
+}
+
+}  // namespace vehigan::simnet

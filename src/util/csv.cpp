@@ -1,0 +1,107 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace vehigan::util {
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw std::out_of_range("CsvTable: no column named '" + name + "'");
+}
+
+CsvWriter::CsvWriter(const std::filesystem::path& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path.string());
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string escaped = "\"";
+  for (char c : cell) {
+    if (c == '"') escaped += "\"\"";
+    else escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row_numeric(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    text.push_back(os.str());
+  }
+  write_row(text);
+}
+
+namespace {
+
+/// Splits one logical CSV record (quotes already balanced) into cells.
+std::vector<std::string> split_record(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c != '\r') {
+      cell += c;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+}  // namespace
+
+CsvTable read_csv(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path.string());
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto cells = split_record(line);
+    if (first) {
+      table.header = std::move(cells);
+      first = false;
+    } else {
+      if (cells.size() != table.header.size()) {
+        throw std::runtime_error("read_csv: ragged row in " + path.string());
+      }
+      table.rows.push_back(std::move(cells));
+    }
+  }
+  return table;
+}
+
+}  // namespace vehigan::util

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vehigan::util {
+
+/// A parsed CSV table: a header row plus data rows of equal width.
+/// Used to export simulated BSM datasets and experiment results, and to
+/// re-import them (dataset_generator example; regression tests).
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column; throws std::out_of_range if absent.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+};
+
+/// Streaming CSV writer. Values containing separators/quotes/newlines are
+/// quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::filesystem::path& path);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with enough precision to round-trip.
+  void write_row_numeric(const std::vector<double>& cells);
+
+ private:
+  std::ofstream out_;
+};
+
+/// Reads an entire CSV file (first row = header). Handles quoted fields.
+CsvTable read_csv(const std::filesystem::path& path);
+
+/// Escapes one cell per RFC 4180 if needed.
+std::string csv_escape(const std::string& cell);
+
+}  // namespace vehigan::util

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vehigan::util {
+
+/// Incremental FNV-1a 64-bit hash. Used by the experiment workspace to key
+/// on-disk caches by the full experiment configuration, so that changing any
+/// knob invalidates exactly the artifacts it affects.
+class Fnv1a {
+ public:
+  Fnv1a& add_bytes(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ ^= bytes[i];
+      state_ *= 0x100000001B3ULL;
+    }
+    return *this;
+  }
+
+  Fnv1a& add(const std::string& s) { return add_bytes(s.data(), s.size()); }
+
+  template <typename T>
+  Fnv1a& add_pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return add_bytes(&value, sizeof(value));
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return state_; }
+
+  /// Hex string of the digest, usable as a directory name.
+  [[nodiscard]] std::string hex() const {
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    std::uint64_t v = state_;
+    for (int i = 15; i >= 0; --i) {
+      out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+      v >>= 4;
+    }
+    return out;
+  }
+
+ private:
+  std::uint64_t state_ = 0xCBF29CE484222325ULL;
+};
+
+}  // namespace vehigan::util

@@ -1,0 +1,81 @@
+#include "util/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace vehigan::util {
+
+EigenResult jacobi_eigen_symmetric(std::vector<double> a, std::size_t n, int max_sweeps) {
+  if (a.size() != n * n) throw std::invalid_argument("jacobi: matrix size != n*n");
+  // v starts as identity and accumulates the rotations (columns in row-major
+  // v[i*n + j] = component i of eigenvector j while iterating; transposed to
+  // the documented layout at the end).
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  auto off_diagonal_norm = [&]() {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) s += a[i * n + j] * a[i * n + j];
+    }
+    return std::sqrt(s);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() < 1e-12) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) < 1e-18) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation to rows/columns p and q of a.
+        for (std::size_t i = 0; i < n; ++i) {
+          const double aip = a[i * n + p];
+          const double aiq = a[i * n + q];
+          a[i * n + p] = c * aip - s * aiq;
+          a[i * n + q] = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double api = a[p * n + i];
+          const double aqi = a[q * n + i];
+          a[p * n + i] = c * api - s * aqi;
+          a[q * n + i] = s * api + c * aqi;
+        }
+        // Accumulate into the eigenvector matrix.
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v[i * n + p];
+          const double viq = v[i * n + q];
+          v[i * n + p] = c * vip - s * viq;
+          v[i * n + q] = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Sort by eigenvalue descending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return a[x * n + x] > a[y * n + y]; });
+
+  EigenResult result;
+  result.n = n;
+  result.values.reserve(n);
+  result.vectors.resize(n * n);
+  for (std::size_t jj = 0; jj < n; ++jj) {
+    const std::size_t j = order[jj];
+    result.values.push_back(a[j * n + j]);
+    for (std::size_t i = 0; i < n; ++i) result.vectors[jj * n + i] = v[i * n + j];
+  }
+  return result;
+}
+
+}  // namespace vehigan::util

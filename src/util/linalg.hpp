@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vehigan::util {
+
+/// Eigen decomposition of a real symmetric matrix, eigenvalues sorted
+/// descending. `vectors` is column-major: vectors[j * n + i] is component i
+/// of the j-th eigenvector (matching values[j]).
+struct EigenResult {
+  std::vector<double> values;
+  std::vector<double> vectors;
+  std::size_t n = 0;
+
+  [[nodiscard]] const double* eigenvector(std::size_t j) const { return vectors.data() + j * n; }
+};
+
+/// Cyclic Jacobi rotation method. Robust and simple; O(n^3) per sweep, which
+/// is ample for the <=200-dimensional covariance matrices of the PCA
+/// baseline. `a` is the row-major symmetric input (only used as a value).
+EigenResult jacobi_eigen_symmetric(std::vector<double> a, std::size_t n, int max_sweeps = 64);
+
+}  // namespace vehigan::util

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace vehigan::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Minimal thread-safe leveled logger. The library logs sparingly (training
+/// progress, cache hits, MBR emission); examples and benches raise or lower
+/// the level as appropriate.
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  void log(LogLevel level, const std::string& message) {
+    if (level < level_) return;
+    const std::scoped_lock lock(mutex_);
+    std::ostream& out = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+    out << "[" << name(level) << "] " << message << '\n';
+  }
+
+ private:
+  Logger() = default;
+
+  static const char* name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo: return "info ";
+      case LogLevel::kWarn: return "warn ";
+      case LogLevel::kError: return "error";
+      case LogLevel::kOff: return "off  ";
+    }
+    return "?";
+  }
+
+  LogLevel level_ = LogLevel::kInfo;
+  std::mutex mutex_;
+};
+
+namespace detail {
+inline void format_into(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void format_into(std::ostringstream& os, const T& value, const Rest&... rest) {
+  os << value;
+  format_into(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < Logger::instance().level()) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  Logger::instance().log(level, os.str());
+}
+
+template <typename... Args>
+void log_debug(const Args&... args) { log(LogLevel::kDebug, args...); }
+template <typename... Args>
+void log_info(const Args&... args) { log(LogLevel::kInfo, args...); }
+template <typename... Args>
+void log_warn(const Args&... args) { log(LogLevel::kWarn, args...); }
+template <typename... Args>
+void log_error(const Args&... args) { log(LogLevel::kError, args...); }
+
+}  // namespace vehigan::util

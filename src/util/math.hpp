@@ -1,0 +1,72 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace vehigan::util {
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Wraps an angle (radians) into [0, 2*pi).
+inline double wrap_angle(double theta) {
+  theta = std::fmod(theta, kTwoPi);
+  if (theta < 0) theta += kTwoPi;
+  return theta;
+}
+
+/// Smallest signed difference a-b between two angles, in (-pi, pi].
+inline double angle_diff(double a, double b) {
+  double d = std::fmod(a - b, kTwoPi);
+  if (d > kPi) d -= kTwoPi;
+  if (d <= -kPi) d += kTwoPi;
+  return d;
+}
+
+/// Arithmetic mean; 0 for an empty range.
+inline double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) / static_cast<double>(values.size());
+}
+
+inline double mean_f(std::span<const float> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (float v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+/// Population standard deviation.
+inline double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double accum = 0.0;
+  for (double v : values) accum += (v - m) * (v - m);
+  return std::sqrt(accum / static_cast<double>(values.size()));
+}
+
+/// p-th percentile (p in [0, 100]) with linear interpolation between order
+/// statistics; matches numpy.percentile(interpolation="linear"). Used for the
+/// detection-threshold rule of VEHIGAN Sec. III-F (p typically 99..99.99).
+template <typename T>
+double percentile(std::vector<T> values, double p) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p outside [0,100]");
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return static_cast<double>(values[lo]) + frac * (static_cast<double>(values[hi]) - static_cast<double>(values[lo]));
+}
+
+template <typename T>
+T clamp(T v, T lo, T hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+}  // namespace vehigan::util

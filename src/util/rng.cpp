@@ -1,0 +1,20 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+
+namespace vehigan::util {
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  // Partial Fisher-Yates: after k swaps the first k entries are the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + index(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace vehigan::util

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <chrono>
+
+namespace vehigan::util {
+
+/// Wall-clock stopwatch used for the Fig. 8 inference-latency measurements
+/// and coarse progress reporting during training.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vehigan::util

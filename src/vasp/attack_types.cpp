@@ -1,0 +1,97 @@
+#include "vasp/attack_types.hpp"
+
+#include <stdexcept>
+
+namespace vehigan::vasp {
+
+namespace {
+
+using AT = AttackType;
+using TF = TargetField;
+
+/// Attack indices follow Table I: 1-4 position, 5-10 speed, 11-16
+/// acceleration, 17-23 heading, 24-29 yaw rate, 30-35 heading & yaw rate.
+constexpr std::array<AttackSpec, 35> kMatrix = {{
+    {1, AT::kRandom, TF::kPosition, "RandomPosition"},
+    {2, AT::kRandomOffset, TF::kPosition, "RandomPositionOffset"},
+    {3, AT::kConstant, TF::kPosition, "PlaygroundConstantPosition"},
+    {4, AT::kConstantOffset, TF::kPosition, "ConstantPositionOffset"},
+    {5, AT::kRandom, TF::kSpeed, "RandomSpeed"},
+    {6, AT::kRandomOffset, TF::kSpeed, "RandomSpeedOffset"},
+    {7, AT::kConstant, TF::kSpeed, "ConstantSpeed"},
+    {8, AT::kConstantOffset, TF::kSpeed, "ConstantSpeedOffset"},
+    {9, AT::kHigh, TF::kSpeed, "HighSpeed"},
+    {10, AT::kLow, TF::kSpeed, "LowSpeed"},
+    {11, AT::kRandom, TF::kAcceleration, "RandomAcceleration"},
+    {12, AT::kRandomOffset, TF::kAcceleration, "RandomAccelerationOffset"},
+    {13, AT::kConstant, TF::kAcceleration, "ConstantAcceleration"},
+    {14, AT::kConstantOffset, TF::kAcceleration, "ConstantAccelerationOffset"},
+    {15, AT::kHigh, TF::kAcceleration, "HighAcceleration"},
+    {16, AT::kLow, TF::kAcceleration, "LowAcceleration"},
+    {17, AT::kRandom, TF::kHeading, "RandomHeading"},
+    {18, AT::kRandomOffset, TF::kHeading, "RandomHeadingOffset"},
+    {19, AT::kConstant, TF::kHeading, "ConstantHeading"},
+    {20, AT::kConstantOffset, TF::kHeading, "ConstantHeadingOffset"},
+    {21, AT::kOpposite, TF::kHeading, "OppositeHeading"},
+    {22, AT::kPerpendicular, TF::kHeading, "PerpendicularHeading"},
+    {23, AT::kRotating, TF::kHeading, "RotatingHeading"},
+    {24, AT::kRandom, TF::kYawRate, "RandomYawRate"},
+    {25, AT::kRandomOffset, TF::kYawRate, "RandomYawRateOffset"},
+    {26, AT::kConstant, TF::kYawRate, "ConstantYawRate"},
+    {27, AT::kConstantOffset, TF::kYawRate, "ConstantYawRateOffset"},
+    {28, AT::kHigh, TF::kYawRate, "HighYawRate"},
+    {29, AT::kLow, TF::kYawRate, "LowYawRate"},
+    {30, AT::kRandom, TF::kHeadingYawRate, "RandomHeadingYawRate"},
+    {31, AT::kRandomOffset, TF::kHeadingYawRate, "RandomHeadingYawRateOffset"},
+    {32, AT::kConstant, TF::kHeadingYawRate, "ConstantHeadingYawRate"},
+    {33, AT::kConstantOffset, TF::kHeadingYawRate, "ConstantHeadingYawRateOffset"},
+    {34, AT::kHigh, TF::kHeadingYawRate, "HighHeadingYawRate"},
+    {35, AT::kLow, TF::kHeadingYawRate, "LowHeadingYawRate"},
+}};
+
+}  // namespace
+
+std::span<const AttackSpec> attack_matrix() { return kMatrix; }
+
+const AttackSpec& attack_by_name(std::string_view name) {
+  for (const auto& spec : kMatrix) {
+    if (spec.name == name) return spec;
+  }
+  throw std::out_of_range("attack_by_name: unknown attack '" + std::string(name) + "'");
+}
+
+const AttackSpec& attack_by_index(int index) {
+  for (const auto& spec : kMatrix) {
+    if (spec.index == index) return spec;
+  }
+  throw std::out_of_range("attack_by_index: index " + std::to_string(index) + " not in [1,35]");
+}
+
+std::string_view to_string(AttackType type) {
+  switch (type) {
+    case AttackType::kRandom: return "Random";
+    case AttackType::kRandomOffset: return "RandomOffset";
+    case AttackType::kConstant: return "Constant";
+    case AttackType::kConstantOffset: return "ConstantOffset";
+    case AttackType::kHigh: return "High";
+    case AttackType::kLow: return "Low";
+    case AttackType::kOpposite: return "Opposite";
+    case AttackType::kPerpendicular: return "Perpendicular";
+    case AttackType::kRotating: return "Rotating";
+  }
+  return "?";
+}
+
+std::string_view to_string(TargetField field) {
+  switch (field) {
+    case TargetField::kPosition: return "Position";
+    case TargetField::kSpeed: return "Speed";
+    case TargetField::kAcceleration: return "Acceleration";
+    case TargetField::kHeading: return "Heading";
+    case TargetField::kYawRate: return "YawRate";
+    case TargetField::kHeadingYawRate: return "Heading&YawRate";
+  }
+  return "?";
+}
+
+}  // namespace vehigan::vasp

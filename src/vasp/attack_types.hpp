@@ -1,0 +1,61 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace vehigan::vasp {
+
+/// Attack type, i.e. how the targeted field's value is fabricated (rows of
+/// Table I in the paper).
+enum class AttackType : std::uint8_t {
+  kRandom,          ///< random value each message
+  kRandomOffset,    ///< true value + fresh random offset each message
+  kConstant,        ///< one constant fake value for the whole attack
+  kConstantOffset,  ///< true value + one constant offset
+  kHigh,            ///< significantly high value
+  kLow,             ///< significantly low value
+  kOpposite,        ///< opposite of the true heading (heading only)
+  kPerpendicular,   ///< perpendicular to the true heading (heading only)
+  kRotating,        ///< heading rotating over time (heading only)
+};
+
+/// Targeted BSM field(s) (columns of Table I).
+enum class TargetField : std::uint8_t {
+  kPosition,
+  kSpeed,
+  kAcceleration,
+  kHeading,
+  kYawRate,
+  kHeadingYawRate,  ///< advanced: both fields, mutated coherently
+};
+
+/// One cell of the attack matrix: a concrete misbehavior.
+struct AttackSpec {
+  int index = 0;  ///< 1-based attack index as in Table I
+  AttackType type = AttackType::kRandom;
+  TargetField field = TargetField::kPosition;
+  std::string_view name;  ///< paper naming, e.g. "RandomPosition"
+};
+
+/// The 35 in-scope misbehaviors of the paper (Table I / Table III), in
+/// Table III row order grouped by field then type.
+std::span<const AttackSpec> attack_matrix();
+
+/// Looks up a spec by its paper name; throws std::out_of_range if unknown.
+const AttackSpec& attack_by_name(std::string_view name);
+
+/// Looks up a spec by its 1-based Table-I index; throws if out of range.
+const AttackSpec& attack_by_index(int index);
+
+std::string_view to_string(AttackType type);
+std::string_view to_string(TargetField field);
+
+/// True for the six advanced attacks that mutate heading & yaw rate together.
+inline bool is_advanced(const AttackSpec& spec) {
+  return spec.field == TargetField::kHeadingYawRate;
+}
+
+}  // namespace vehigan::vasp

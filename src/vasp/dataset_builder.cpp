@@ -1,0 +1,40 @@
+#include "vasp/dataset_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace vehigan::vasp {
+
+MisbehaviorDataset build_scenario(const sim::BsmDataset& benign, const AttackSpec& spec,
+                                  const ScenarioOptions& options) {
+  MisbehaviorDataset dataset;
+  dataset.attack_name = std::string(spec.name);
+  if (benign.traces.empty()) return dataset;
+
+  // Derive the attacker set and the injector stream from independent RNG
+  // splits salted by the attack index, so every scenario draws its own
+  // attackers and fake values but remains reproducible.
+  util::Rng master(options.seed);
+  util::Rng pick_rng = master.split(static_cast<std::uint64_t>(spec.index) * 2);
+  util::Rng inject_rng = master.split(static_cast<std::uint64_t>(spec.index) * 2 + 1);
+
+  const std::size_t fleet = benign.traces.size();
+  const auto num_malicious = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(options.malicious_fraction * static_cast<double>(fleet))));
+  const auto chosen = pick_rng.sample_without_replacement(fleet, std::min(num_malicious, fleet));
+  const std::unordered_set<std::size_t> malicious_set(chosen.begin(), chosen.end());
+
+  MisbehaviorInjector injector(spec, options.params, inject_rng);
+  dataset.traces.reserve(fleet);
+  for (std::size_t i = 0; i < fleet; ++i) {
+    LabeledTrace labeled;
+    labeled.malicious = malicious_set.contains(i);
+    labeled.trace = labeled.malicious ? injector.attack_trace(benign.traces[i])
+                                      : benign.traces[i];
+    dataset.traces.push_back(std::move(labeled));
+  }
+  return dataset;
+}
+
+}  // namespace vehigan::vasp

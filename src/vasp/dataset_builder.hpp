@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/bsm.hpp"
+#include "util/rng.hpp"
+#include "vasp/injector.hpp"
+
+namespace vehigan::vasp {
+
+/// One vehicle's transmitted trace with its ground-truth label.
+struct LabeledTrace {
+  sim::VehicleTrace trace;
+  bool malicious = false;
+};
+
+/// A misbehavior scenario dataset: the full fleet's transmitted BSMs where a
+/// fraction of vehicles persistently broadcasts one attack from the matrix.
+struct MisbehaviorDataset {
+  std::string attack_name;
+  std::vector<LabeledTrace> traces;
+
+  [[nodiscard]] std::size_t malicious_count() const {
+    std::size_t n = 0;
+    for (const auto& t : traces) n += t.malicious ? 1 : 0;
+    return n;
+  }
+};
+
+/// Options mirroring the paper's VASP run (Sec. IV-A): persistent attack
+/// policy with 25 % malicious vehicles.
+struct ScenarioOptions {
+  double malicious_fraction = 0.25;
+  AttackParams params;
+  std::uint64_t seed = 7;
+};
+
+/// Builds the misbehavior scenario for one attack: selects
+/// ceil(fraction * fleet) vehicles uniformly at random as attackers and
+/// replaces their transmitted traces with injected ones. Benign vehicles'
+/// traces are passed through untouched.
+MisbehaviorDataset build_scenario(const sim::BsmDataset& benign, const AttackSpec& spec,
+                                  const ScenarioOptions& options);
+
+}  // namespace vehigan::vasp

@@ -1,0 +1,251 @@
+#include "vasp/injector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace vehigan::vasp {
+
+using util::kPi;
+using util::wrap_angle;
+
+MisbehaviorInjector::MisbehaviorInjector(AttackSpec spec, AttackParams params, util::Rng rng)
+    : spec_(spec), params_(params), rng_(rng) {}
+
+sim::VehicleTrace MisbehaviorInjector::attack_trace(const sim::VehicleTrace& benign) {
+  sim::VehicleTrace attacked;
+  attacked.vehicle_id = benign.vehicle_id;
+  attacked.messages = benign.messages;
+  if (attacked.messages.empty()) return attacked;
+
+  TraceContext ctx = begin(attacked.messages.front().time);
+  double prev_time = ctx.start_time;
+  for (auto& msg : attacked.messages) {
+    const double dt = msg.time - prev_time;
+    prev_time = msg.time;
+    apply_message(msg, ctx, dt > 0.0 ? dt : 0.1);
+  }
+  return attacked;
+}
+
+MisbehaviorInjector::TraceContext MisbehaviorInjector::begin(double start_time) {
+  TraceContext ctx;
+  ctx.start_time = start_time;
+  // Draw the per-trace constants used by Constant/ConstantOffset variants.
+  ctx.const_x = rng_.uniform(params_.playground_min, params_.playground_max);
+  ctx.const_y = rng_.uniform(params_.playground_min, params_.playground_max);
+  ctx.rotation_phase = rng_.uniform(0.0, 2.0 * kPi);
+  switch (spec_.field) {
+    case TargetField::kPosition:
+      // ConstantOffset: a fixed translation vector of fixed magnitude and
+      // random direction; Constant uses (const_x, const_y) directly.
+      break;
+    case TargetField::kSpeed:
+      ctx.const_scalar = spec_.type == AttackType::kConstant
+                             ? rng_.uniform(0.0, params_.speed_random_max)
+                             : (rng_.bernoulli(0.5) ? 1.0 : -1.0) * params_.speed_const_offset;
+      break;
+    case TargetField::kAcceleration:
+      ctx.const_scalar = spec_.type == AttackType::kConstant
+                             ? rng_.uniform(-params_.accel_random_max, params_.accel_random_max)
+                             : (rng_.bernoulli(0.5) ? 1.0 : -1.0) * params_.accel_const_offset;
+      break;
+    case TargetField::kHeading:
+      ctx.const_scalar = spec_.type == AttackType::kConstant
+                             ? rng_.uniform(0.0, 2.0 * kPi)
+                             : (rng_.bernoulli(0.5) ? 1.0 : -1.0) * params_.heading_const_offset;
+      break;
+    case TargetField::kYawRate:
+    case TargetField::kHeadingYawRate:
+      ctx.const_scalar = spec_.type == AttackType::kConstant
+                             ? rng_.uniform(-params_.yaw_random_max, params_.yaw_random_max)
+                             : (rng_.bernoulli(0.5) ? 1.0 : -1.0) * params_.yaw_const_offset;
+      break;
+  }
+  if (spec_.field == TargetField::kPosition && spec_.type == AttackType::kConstantOffset) {
+    const double direction = rng_.uniform(0.0, 2.0 * kPi);
+    ctx.const_x = params_.pos_const_offset * std::cos(direction);
+    ctx.const_y = params_.pos_const_offset * std::sin(direction);
+  }
+  return ctx;
+}
+
+void MisbehaviorInjector::apply_message(sim::Bsm& msg, TraceContext& ctx, double dt) {
+  switch (spec_.field) {
+    case TargetField::kPosition: apply_position(msg, ctx); break;
+    case TargetField::kSpeed: apply_speed(msg, ctx); break;
+    case TargetField::kAcceleration: apply_acceleration(msg, ctx); break;
+    case TargetField::kHeading: apply_heading(msg, ctx); break;
+    case TargetField::kYawRate: apply_yaw_rate(msg, ctx); break;
+    case TargetField::kHeadingYawRate: apply_heading_yaw_rate(msg, ctx, dt); break;
+  }
+}
+
+void MisbehaviorInjector::apply_position(sim::Bsm& msg, TraceContext& ctx) {
+  switch (spec_.type) {
+    case AttackType::kRandom:
+      msg.x = rng_.uniform(params_.playground_min, params_.playground_max);
+      msg.y = rng_.uniform(params_.playground_min, params_.playground_max);
+      break;
+    case AttackType::kRandomOffset: {
+      const double direction = rng_.uniform(0.0, 2.0 * kPi);
+      const double magnitude = rng_.uniform(0.0, params_.pos_offset_max);
+      msg.x += magnitude * std::cos(direction);
+      msg.y += magnitude * std::sin(direction);
+      break;
+    }
+    case AttackType::kConstant:
+      msg.x = ctx.const_x;
+      msg.y = ctx.const_y;
+      break;
+    case AttackType::kConstantOffset:
+      msg.x += ctx.const_x;
+      msg.y += ctx.const_y;
+      break;
+    default:
+      throw std::logic_error("position attack: unsupported type");
+  }
+}
+
+void MisbehaviorInjector::apply_speed(sim::Bsm& msg, TraceContext& ctx) {
+  switch (spec_.type) {
+    case AttackType::kRandom:
+      msg.speed = rng_.uniform(0.0, params_.speed_random_max);
+      break;
+    case AttackType::kRandomOffset:
+      msg.speed = std::max(0.0, msg.speed + rng_.uniform(-params_.speed_offset_max,
+                                                         params_.speed_offset_max));
+      break;
+    case AttackType::kConstant:
+      msg.speed = ctx.const_scalar;
+      break;
+    case AttackType::kConstantOffset:
+      msg.speed = std::max(0.0, msg.speed + ctx.const_scalar);
+      break;
+    case AttackType::kHigh:
+      msg.speed = params_.speed_high * rng_.uniform(0.95, 1.05);
+      break;
+    case AttackType::kLow:
+      msg.speed = params_.speed_low * rng_.uniform(0.0, 1.0);
+      break;
+    default:
+      throw std::logic_error("speed attack: unsupported type");
+  }
+}
+
+void MisbehaviorInjector::apply_acceleration(sim::Bsm& msg, TraceContext& ctx) {
+  switch (spec_.type) {
+    case AttackType::kRandom:
+      msg.accel = rng_.uniform(-params_.accel_random_max, params_.accel_random_max);
+      break;
+    case AttackType::kRandomOffset:
+      msg.accel += rng_.uniform(-params_.accel_offset_max, params_.accel_offset_max);
+      break;
+    case AttackType::kConstant:
+      msg.accel = ctx.const_scalar;
+      break;
+    case AttackType::kConstantOffset:
+      msg.accel += ctx.const_scalar;
+      break;
+    case AttackType::kHigh:
+      msg.accel = params_.accel_high * rng_.uniform(0.9, 1.1);
+      break;
+    case AttackType::kLow:
+      msg.accel = params_.accel_low * rng_.uniform(0.9, 1.1);
+      break;
+    default:
+      throw std::logic_error("acceleration attack: unsupported type");
+  }
+}
+
+void MisbehaviorInjector::apply_heading(sim::Bsm& msg, TraceContext& ctx) {
+  switch (spec_.type) {
+    case AttackType::kRandom:
+      msg.heading = rng_.uniform(0.0, 2.0 * kPi);
+      break;
+    case AttackType::kRandomOffset:
+      msg.heading = wrap_angle(msg.heading + rng_.uniform(-params_.heading_offset_max,
+                                                          params_.heading_offset_max));
+      break;
+    case AttackType::kConstant:
+      msg.heading = wrap_angle(ctx.const_scalar);
+      break;
+    case AttackType::kConstantOffset:
+      msg.heading = wrap_angle(msg.heading + ctx.const_scalar);
+      break;
+    case AttackType::kOpposite:
+      msg.heading = wrap_angle(msg.heading + kPi);
+      break;
+    case AttackType::kPerpendicular:
+      msg.heading = wrap_angle(msg.heading + kPi / 2.0);
+      break;
+    case AttackType::kRotating:
+      msg.heading = wrap_angle(ctx.rotation_phase +
+                               params_.heading_rotation_rate * (msg.time - ctx.start_time));
+      break;
+    default:
+      throw std::logic_error("heading attack: unsupported type");
+  }
+}
+
+void MisbehaviorInjector::apply_yaw_rate(sim::Bsm& msg, TraceContext& ctx) {
+  switch (spec_.type) {
+    case AttackType::kRandom:
+      msg.yaw_rate = rng_.uniform(-params_.yaw_random_max, params_.yaw_random_max);
+      break;
+    case AttackType::kRandomOffset:
+      msg.yaw_rate += rng_.uniform(-params_.yaw_offset_max, params_.yaw_offset_max);
+      break;
+    case AttackType::kConstant:
+      msg.yaw_rate = ctx.const_scalar;
+      break;
+    case AttackType::kConstantOffset:
+      msg.yaw_rate += ctx.const_scalar;
+      break;
+    case AttackType::kHigh:
+      msg.yaw_rate = params_.yaw_high * rng_.uniform(0.9, 1.1);
+      break;
+    case AttackType::kLow:
+      msg.yaw_rate = params_.yaw_low * rng_.uniform(0.9, 1.1);
+      break;
+    default:
+      throw std::logic_error("yaw-rate attack: unsupported type");
+  }
+}
+
+double MisbehaviorInjector::fake_yaw_value(const sim::Bsm& msg, TraceContext& ctx) {
+  switch (spec_.type) {
+    case AttackType::kRandom:
+      return rng_.uniform(-params_.yaw_random_max, params_.yaw_random_max);
+    case AttackType::kRandomOffset:
+      return msg.yaw_rate + rng_.uniform(-params_.yaw_offset_max, params_.yaw_offset_max);
+    case AttackType::kConstant:
+      return ctx.const_scalar;
+    case AttackType::kConstantOffset:
+      return msg.yaw_rate + ctx.const_scalar;
+    case AttackType::kHigh:
+      return params_.yaw_high * rng_.uniform(0.9, 1.1);
+    case AttackType::kLow:
+      return params_.yaw_low * rng_.uniform(0.9, 1.1);
+    default:
+      throw std::logic_error("heading&yaw attack: unsupported type");
+  }
+}
+
+void MisbehaviorInjector::apply_heading_yaw_rate(sim::Bsm& msg, TraceContext& ctx, double dt) {
+  // Advanced coupled attack (Fig. 1b): fabricate a yaw-rate signal and keep
+  // the transmitted heading consistent with it by integration, staging a
+  // plausible maneuver (e.g. a sustained right turn) that the vehicle is not
+  // actually performing.
+  if (!ctx.integrated_heading_init) {
+    ctx.integrated_heading = msg.heading;
+    ctx.integrated_heading_init = true;
+  }
+  const double fake_yaw = fake_yaw_value(msg, ctx);
+  ctx.integrated_heading = wrap_angle(ctx.integrated_heading + fake_yaw * dt);
+  msg.yaw_rate = fake_yaw;
+  msg.heading = ctx.integrated_heading;
+}
+
+}  // namespace vehigan::vasp

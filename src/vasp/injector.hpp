@@ -1,0 +1,101 @@
+#pragma once
+
+#include "sim/bsm.hpp"
+#include "util/rng.hpp"
+#include "vasp/attack_types.hpp"
+
+namespace vehigan::vasp {
+
+/// Magnitude parameters of the attack injectors. Defaults are tuned to the
+/// VASP-style scenario: an urban playground a few kilometers across, urban
+/// speeds, and "significantly high/low" values that are physically extreme
+/// but syntactically valid BSM field values.
+struct AttackParams {
+  // Playground bounds for fabricated positions (matches an 8x8 grid of
+  // 120 m blocks).
+  double playground_min = 0.0;
+  double playground_max = 960.0;
+
+  double pos_offset_max = 150.0;    ///< random-offset magnitude for position [m]
+  double pos_const_offset = 80.0;   ///< constant-offset magnitude for position [m]
+
+  double speed_random_max = 40.0;   ///< random speed range [0, max] [m/s]
+  double speed_offset_max = 8.0;    ///< random speed offset [m/s]
+  double speed_const_offset = 6.0;  ///< constant speed offset [m/s]
+  double speed_high = 65.0;         ///< "significantly high" speed [m/s]
+  double speed_low = 0.2;           ///< "significantly low" speed [m/s]
+
+  double accel_random_max = 10.0;   ///< random accel range [-max, max] [m/s^2]
+  double accel_offset_max = 4.0;    ///< random accel offset [m/s^2]
+  double accel_const_offset = 3.0;  ///< constant accel offset [m/s^2]
+  double accel_high = 10.0;         ///< high accel [m/s^2]
+  double accel_low = -10.0;         ///< low (hard phantom braking) [m/s^2]
+
+  double heading_offset_max = 3.141592653589793;  ///< random heading offset [rad]
+  double heading_const_offset = 1.0;              ///< constant heading offset [rad]
+  double heading_rotation_rate = 0.6;             ///< RotatingHeading rate [rad/s]
+
+  double yaw_random_max = 2.0;      ///< random yaw range [-max, max] [rad/s]
+  double yaw_offset_max = 1.0;      ///< random yaw offset [rad/s]
+  double yaw_const_offset = 0.8;    ///< constant yaw offset [rad/s]
+  double yaw_high = 2.0;            ///< high yaw rate (sharp right-turn stage) [rad/s]
+  double yaw_low = -2.0;            ///< low yaw rate [rad/s]
+};
+
+/// Applies one misbehavior from the attack matrix to a vehicle's transmitted
+/// BSM stream (the ground-truth motion is untouched — the attacker lies only
+/// in what it broadcasts, Sec. II-C).
+///
+/// Single-field attacks (indices 1-29) mutate exactly the targeted field and
+/// leave correlated fields inconsistent, as the threat model assumes.
+/// Advanced attacks (30-35) fabricate a yaw-rate signal and integrate it into
+/// the transmitted heading so the two fields stay mutually coherent while
+/// both diverge from the vehicle's true motion.
+class MisbehaviorInjector {
+ public:
+  /// Per-trace attack state. Constant/ConstantOffset variants draw their
+  /// fake values once per trace (in begin()); the advanced coupled attacks
+  /// keep a running integrated heading across messages.
+  struct TraceContext {
+    double const_x = 0.0, const_y = 0.0;      ///< constant position / offset
+    double const_scalar = 0.0;                 ///< constant speed/accel/heading/yaw
+    double rotation_phase = 0.0;               ///< RotatingHeading initial phase
+    double start_time = 0.0;
+    double integrated_heading = 0.0;           ///< advanced attacks: running heading
+    bool integrated_heading_init = false;
+  };
+
+  MisbehaviorInjector(AttackSpec spec, AttackParams params, util::Rng rng);
+
+  /// Returns the attacked copy of a benign trace. The attack policy is
+  /// "persistent": every message of the trace is mutated.
+  [[nodiscard]] sim::VehicleTrace attack_trace(const sim::VehicleTrace& benign);
+
+  /// Streaming interface (used by the event-driven simulation, where
+  /// messages are produced one at a time): draws the per-trace constants
+  /// for a new attack episode starting at `start_time`.
+  [[nodiscard]] TraceContext begin(double start_time);
+
+  /// Mutates one transmitted message in place given the time since the
+  /// previous message of this trace.
+  void apply_message(sim::Bsm& msg, TraceContext& ctx, double dt);
+
+  [[nodiscard]] const AttackSpec& spec() const { return spec_; }
+
+ private:
+  void apply_position(sim::Bsm& msg, TraceContext& ctx);
+  void apply_speed(sim::Bsm& msg, TraceContext& ctx);
+  void apply_acceleration(sim::Bsm& msg, TraceContext& ctx);
+  void apply_heading(sim::Bsm& msg, TraceContext& ctx);
+  void apply_yaw_rate(sim::Bsm& msg, TraceContext& ctx);
+  void apply_heading_yaw_rate(sim::Bsm& msg, TraceContext& ctx, double dt);
+
+  /// Fabricated yaw-rate value for the advanced (coupled) attacks.
+  double fake_yaw_value(const sim::Bsm& msg, TraceContext& ctx);
+
+  AttackSpec spec_;
+  AttackParams params_;
+  util::Rng rng_;
+};
+
+}  // namespace vehigan::vasp

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "adv/fgsm.hpp"
+#include "adv/robustness.hpp"
+#include "nn/layers.hpp"
+#include "util/rng.hpp"
+
+namespace vehigan::adv {
+namespace {
+
+/// Linear critic D(x) = w.x so FGSM outcomes are analytic: s(x) = -w.x,
+/// grad s = -w, AFP step = x + eps*sign(-w).
+std::shared_ptr<mbds::WganDetector> linear_detector(const std::vector<float>& w, int id = 0) {
+  gan::TrainedWgan model;
+  model.config.id = id;
+  model.config.window = 2;
+  model.config.width = 3;
+  model.config.z_dim = 4;
+  model.discriminator.add<nn::Flatten>();
+  auto& dense = model.discriminator.add<nn::Dense>(6, 1);
+  dense.weights() = w;
+  dense.bias() = {0.0F};
+  util::Rng rng(1);
+  model.generator.add<nn::Dense>(4, 6).init_weights(rng);
+  return std::make_shared<mbds::WganDetector>(std::move(model));
+}
+
+features::WindowSet single_window(const std::vector<float>& snap) {
+  features::WindowSet set;
+  set.window = 2;
+  set.width = 3;
+  set.append(snap, 1);
+  return set;
+}
+
+TEST(Fgsm, AfpMovesEveryCoordinateByEpsAgainstWeightSign) {
+  const std::vector<float> w{1.0F, -2.0F, 3.0F, -0.5F, 0.25F, -1.0F};
+  auto det = linear_detector(w);
+  const std::vector<float> x{0.5F, 0.5F, 0.5F, 0.5F, 0.5F, 0.5F};
+  const auto adv = fgsm_perturb(*det, x, 0.01F, AttackGoal::kFalsePositive);
+  ASSERT_EQ(adv.size(), 6U);
+  for (std::size_t i = 0; i < 6; ++i) {
+    // grad s = -w; AFP adds eps*sign(-w) = -eps*sign(w).
+    const float expected = x[i] - 0.01F * (w[i] > 0 ? 1.0F : -1.0F);
+    EXPECT_FLOAT_EQ(adv[i], expected);
+  }
+}
+
+TEST(Fgsm, AfpIncreasesAndAfnDecreasesAnomalyScore) {
+  const std::vector<float> w{1.0F, -2.0F, 3.0F, -0.5F, 0.25F, -1.0F};
+  auto det = linear_detector(w);
+  const std::vector<float> x{0.1F, 0.9F, 0.4F, 0.2F, 0.7F, 0.3F};
+  const float base = det->score(x);
+  const auto afp = fgsm_perturb(*det, x, 0.02F, AttackGoal::kFalsePositive);
+  const auto afn = fgsm_perturb(*det, x, 0.02F, AttackGoal::kFalseNegative);
+  EXPECT_GT(det->score(afp), base);
+  EXPECT_LT(det->score(afn), base);
+}
+
+TEST(Fgsm, ZeroGradientCoordinatesAreUntouched) {
+  const std::vector<float> w{0.0F, 1.0F, 0.0F, -1.0F, 0.0F, 2.0F};
+  auto det = linear_detector(w);
+  const std::vector<float> x(6, 0.5F);
+  const auto adv = fgsm_perturb(*det, x, 0.05F, AttackGoal::kFalsePositive);
+  EXPECT_FLOAT_EQ(adv[0], 0.5F);
+  EXPECT_FLOAT_EQ(adv[2], 0.5F);
+  EXPECT_FLOAT_EQ(adv[4], 0.5F);
+  EXPECT_NE(adv[1], 0.5F);
+}
+
+TEST(Fgsm, MultiModelUsesMeanGradient) {
+  // Two critics with opposite weights on x0: mean gradient cancels there but
+  // agrees on x1.
+  auto a = linear_detector({1.0F, 1.0F, 0, 0, 0, 0}, 0);
+  auto b = linear_detector({-1.0F, 1.0F, 0, 0, 0, 0}, 1);
+  const std::vector<float> x(6, 0.5F);
+  const auto adv = fgsm_perturb_multi({a, b}, x, 0.03F, AttackGoal::kFalsePositive);
+  EXPECT_FLOAT_EQ(adv[0], 0.5F);           // gradients cancel
+  EXPECT_FLOAT_EQ(adv[1], 0.5F - 0.03F);   // gradients agree: -w
+}
+
+TEST(Fgsm, MultiModelRejectsEmptyModelList) {
+  const std::vector<float> x(6, 0.5F);
+  EXPECT_THROW(fgsm_perturb_multi({}, x, 0.01F, AttackGoal::kFalsePositive),
+               std::invalid_argument);
+}
+
+TEST(RandomNoise, MovesEveryCoordinateByExactlyEps) {
+  util::Rng rng(5);
+  const std::vector<float> x(6, 0.5F);
+  const auto noisy = random_sign_noise(x, 0.01F, rng);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(std::abs(noisy[i] - x[i]), 0.01F, 1e-6F);
+  }
+}
+
+TEST(RandomNoise, SignsAreMixed) {
+  util::Rng rng(6);
+  const std::vector<float> x(64, 0.0F);
+  const auto noisy = random_sign_noise(x, 1.0F, rng);
+  int pos = 0;
+  for (float v : noisy) pos += v > 0 ? 1 : 0;
+  EXPECT_GT(pos, 16);
+  EXPECT_LT(pos, 48);
+}
+
+TEST(Craft, AdversarialSetPreservesShapeAndIds) {
+  auto det = linear_detector({1, 1, 1, 1, 1, 1});
+  features::WindowSet windows = single_window({0.1F, 0.2F, 0.3F, 0.4F, 0.5F, 0.6F});
+  windows.append(std::vector<float>{0.6F, 0.5F, 0.4F, 0.3F, 0.2F, 0.1F}, 9);
+  const auto adv = craft_adversarial(*det, windows, 0.01F, AttackGoal::kFalsePositive);
+  EXPECT_EQ(adv.count(), 2U);
+  EXPECT_EQ(adv.window, windows.window);
+  EXPECT_EQ(adv.vehicle_ids, windows.vehicle_ids);
+  for (std::size_t i = 0; i < adv.data.size(); ++i) {
+    EXPECT_NEAR(std::abs(adv.data[i] - windows.data[i]), 0.01F, 1e-6F);
+  }
+}
+
+TEST(Craft, NoiseSetMatchesBudget) {
+  util::Rng rng(8);
+  const auto windows = single_window({0.1F, 0.2F, 0.3F, 0.4F, 0.5F, 0.6F});
+  const auto noisy = craft_noise(windows, 0.02F, rng);
+  for (std::size_t i = 0; i < noisy.data.size(); ++i) {
+    EXPECT_NEAR(std::abs(noisy.data[i] - windows.data[i]), 0.02F, 1e-6F);
+  }
+}
+
+// ---------------------------------------------------------- robustness -----
+
+TEST(Robustness, FlagAndMissRatesAreComplementary) {
+  auto det = linear_detector({-1, 0, 0, 0, 0, 0});  // s(x) = x0
+  det->set_threshold(0.5);
+  features::WindowSet windows;
+  windows.window = 2;
+  windows.width = 3;
+  windows.append(std::vector<float>{0.0F, 0, 0, 0, 0, 0}, 1);  // below
+  windows.append(std::vector<float>{1.0F, 0, 0, 0, 0, 0}, 2);  // above
+  windows.append(std::vector<float>{2.0F, 0, 0, 0, 0, 0}, 3);  // above
+  EXPECT_NEAR(flag_rate(*det, windows), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(miss_rate(*det, windows), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Robustness, EmptySetsGiveZeroRates) {
+  auto det = linear_detector({1, 0, 0, 0, 0, 0});
+  features::WindowSet empty;
+  empty.window = 2;
+  empty.width = 3;
+  EXPECT_DOUBLE_EQ(flag_rate(*det, empty), 0.0);
+}
+
+TEST(Robustness, AfpAttackRaisesSingleModelFlagRateAboveNoise) {
+  // End-to-end mini version of Fig. 5a on a linear critic: FGSM pushes all
+  // benign windows over the threshold; random noise leaves most below.
+  util::Rng rng(11);
+  auto det = linear_detector({-1, -1, -1, -1, -1, -1});  // s = sum(x)
+  features::WindowSet benign;
+  benign.window = 2;
+  benign.width = 3;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<float> snap(6);
+    for (auto& v : snap) v = rng.uniform_f(0.4F, 0.6F);
+    benign.append(snap, static_cast<std::uint32_t>(i));
+  }
+  const auto scores = det->score_all(benign);
+  det->set_threshold(mbds::percentile_threshold(scores, 99.0));
+
+  // eps large enough that the coordinated FGSM shift (6 * eps on the score)
+  // clears the benign score spread, while random signs mostly cancel.
+  const auto adv = craft_adversarial(*det, benign, 0.2F, AttackGoal::kFalsePositive);
+  const auto noise = craft_noise(benign, 0.2F, rng);
+  const double fpr_adv = flag_rate(*det, adv);
+  const double fpr_noise = flag_rate(*det, noise);
+  EXPECT_GT(fpr_adv, 0.9);
+  EXPECT_LT(fpr_noise, fpr_adv);
+}
+
+TEST(Robustness, EnsembleFlagRateUsesThresholdRule) {
+  auto a = linear_detector({-1, 0, 0, 0, 0, 0}, 0);
+  a->set_threshold(0.4);
+  auto b = linear_detector({-1, 0, 0, 0, 0, 0}, 1);
+  b->set_threshold(0.6);
+  mbds::VehiGan ens({a, b}, 2, 3);
+  features::WindowSet windows;
+  windows.window = 2;
+  windows.width = 3;
+  windows.append(std::vector<float>{0.45F, 0, 0, 0, 0, 0}, 1);  // below mean tau 0.5
+  windows.append(std::vector<float>{0.55F, 0, 0, 0, 0, 0}, 2);  // above
+  EXPECT_NEAR(ensemble_flag_rate(ens, windows), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace vehigan::adv

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "baselines/autoencoder.hpp"
+#include "baselines/gmm.hpp"
+#include "baselines/knn.hpp"
+#include "baselines/pca.hpp"
+#include "util/rng.hpp"
+
+namespace vehigan::baselines {
+namespace {
+
+/// Benign data on a 1-D subspace of R^4 (x = t * [1, 2, -1, 0.5] + noise),
+/// packaged as 1x4 windows. Off-subspace points are anomalies.
+features::WindowSet subspace_windows(std::size_t count, std::uint64_t seed = 3) {
+  util::Rng rng(seed);
+  features::WindowSet set;
+  set.window = 1;
+  set.width = 4;
+  const float basis[4] = {1.0F, 2.0F, -1.0F, 0.5F};
+  for (std::size_t i = 0; i < count; ++i) {
+    const float t = rng.uniform_f(-1.0F, 1.0F);
+    std::vector<float> snap(4);
+    for (int d = 0; d < 4; ++d) snap[d] = t * basis[d] + rng.normal_f(0.0F, 0.01F);
+    set.append(snap, 0);
+  }
+  return set;
+}
+
+std::vector<float> off_subspace_point() {
+  // Orthogonal-ish to the basis direction.
+  return {2.0F, -1.0F, 0.0F, 0.0F};
+}
+
+std::vector<float> on_subspace_point() { return {0.5F, 1.0F, -0.5F, 0.25F}; }
+
+// ----------------------------------------------------------------- pca -----
+
+TEST(Pca, ExtremePointsAlongMajorAxisScoreHigh) {
+  PcaDetector pca(0.95);
+  pca.fit(subspace_windows(400));
+  // x = 5 * basis is far along the benign correlation structure; a typical
+  // in-range point (t = 0.5) is not.
+  const std::vector<float> extreme{5.0F, 10.0F, -5.0F, 2.5F};
+  EXPECT_GT(pca.score(extreme), 10.0F * pca.score(on_subspace_point()));
+}
+
+TEST(Pca, OrthogonalAnomaliesAreTheKnownBlindSpot) {
+  // The Shyu major-component score projects orthogonal outliers to ~0 —
+  // the weakness that makes Vehi-PCA the weakest engineered baseline in the
+  // paper's Table III. Documented behaviour, asserted here.
+  PcaDetector pca(0.95);
+  pca.fit(subspace_windows(400));
+  EXPECT_LT(pca.score(off_subspace_point()), pca.score(on_subspace_point()) + 1.0F);
+}
+
+TEST(Pca, MajorComponentsCaptureSubspaceDimension) {
+  PcaDetector pca(0.95);
+  pca.fit(subspace_windows(400));
+  // One dominant direction + tiny noise: one major component suffices.
+  EXPECT_EQ(pca.num_major_components(), 1U);
+  EXPECT_EQ(pca.dimension(), 4U);
+}
+
+TEST(Pca, ScoreBeforeFitThrows) {
+  PcaDetector pca;
+  EXPECT_THROW(pca.score(on_subspace_point()), std::logic_error);
+}
+
+TEST(Pca, RejectsWrongWidthAndTinyFits) {
+  PcaDetector pca;
+  pca.fit(subspace_windows(50));
+  std::vector<float> bad(3, 0.0F);
+  EXPECT_THROW(pca.score(bad), std::invalid_argument);
+  features::WindowSet tiny;
+  tiny.window = 1;
+  tiny.width = 4;
+  EXPECT_THROW(pca.fit(tiny), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- knn -----
+
+TEST(Knn, ScoreIsDistanceToKthNeighborOnCraftedSet) {
+  // Reference points on a line at x = 0, 1, 2, ..., 9 (1-D windows).
+  features::WindowSet train;
+  train.window = 1;
+  train.width = 1;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<float> v{static_cast<float>(i)};
+    train.append(v, 0);
+  }
+  KnnDetector knn(/*k=*/3, /*max_reference=*/100);
+  knn.fit(train);
+  // Query at 0: distances are 0,1,2,3,... -> 3rd smallest = 2.
+  EXPECT_FLOAT_EQ(knn.score(std::vector<float>{0.0F}), 2.0F);
+  // Query at 4.5: distances 0.5,0.5,1.5,1.5,... -> 3rd smallest = 1.5.
+  EXPECT_FLOAT_EQ(knn.score(std::vector<float>{4.5F}), 1.5F);
+}
+
+TEST(Knn, AnomaliesScoreHigherThanInliers) {
+  KnnDetector knn(5);
+  knn.fit(subspace_windows(500));
+  EXPECT_GT(knn.score(off_subspace_point()), knn.score(on_subspace_point()));
+}
+
+TEST(Knn, SubsamplesLargeReferenceSets) {
+  KnnDetector knn(5, /*max_reference=*/100);
+  knn.fit(subspace_windows(1000));
+  EXPECT_LE(knn.reference_count(), 101U);
+  EXPECT_GE(knn.reference_count(), 90U);
+}
+
+TEST(Knn, RequiresMoreThanKWindows) {
+  KnnDetector knn(5);
+  EXPECT_THROW(knn.fit(subspace_windows(5)), std::invalid_argument);
+  EXPECT_THROW(knn.score(on_subspace_point()), std::logic_error);
+}
+
+// ----------------------------------------------------------------- gmm -----
+
+features::WindowSet two_cluster_windows(std::size_t count, std::uint64_t seed = 9) {
+  util::Rng rng(seed);
+  features::WindowSet set;
+  set.window = 1;
+  set.width = 2;
+  for (std::size_t i = 0; i < count; ++i) {
+    const bool left = rng.bernoulli(0.5);
+    std::vector<float> snap{rng.normal_f(left ? -3.0F : 3.0F, 0.3F),
+                            rng.normal_f(left ? 2.0F : -2.0F, 0.3F)};
+    set.append(snap, 0);
+  }
+  return set;
+}
+
+TEST(Gmm, OutliersBetweenClustersScoreHigh) {
+  GmmDetector gmm(2, 30, 4);
+  gmm.fit(two_cluster_windows(600));
+  const float inlier = gmm.score(std::vector<float>{-3.0F, 2.0F});
+  const float midpoint = gmm.score(std::vector<float>{0.0F, 0.0F});
+  const float far_out = gmm.score(std::vector<float>{20.0F, 20.0F});
+  EXPECT_GT(midpoint, inlier);
+  EXPECT_GT(far_out, midpoint);
+}
+
+TEST(Gmm, LikelihoodIsCalibratedAcrossBothClusters) {
+  GmmDetector gmm(2, 30, 4);
+  gmm.fit(two_cluster_windows(600));
+  const float left = gmm.score(std::vector<float>{-3.0F, 2.0F});
+  const float right = gmm.score(std::vector<float>{3.0F, -2.0F});
+  EXPECT_NEAR(left, right, 2.0F);  // both cluster centers similarly likely
+}
+
+TEST(Gmm, RequiresEnoughData) {
+  GmmDetector gmm(4);
+  EXPECT_THROW(gmm.fit(two_cluster_windows(6)), std::invalid_argument);
+  EXPECT_THROW(gmm.score(std::vector<float>{0, 0}), std::logic_error);
+}
+
+// ----------------------------------------------------------------- ae ------
+
+features::WindowSet scaled_subspace_windows(std::size_t count, std::uint64_t seed = 7) {
+  // AE expects inputs in [0, 1] (sigmoid head): shift the subspace data.
+  auto set = subspace_windows(count, seed);
+  for (auto& v : set.data) v = 0.5F + 0.2F * v;
+  return set;
+}
+
+TEST(Autoencoder, LearnsToReconstructBenignData) {
+  AutoencoderConfig cfg;
+  cfg.epochs = 30;
+  cfg.batch_size = 32;
+  AutoencoderDetector ae("Vehi-AE", cfg);
+  ae.fit(scaled_subspace_windows(512));
+  EXPECT_LT(ae.final_train_mse(), 0.01);
+}
+
+TEST(Autoencoder, AnomaliesReconstructWorseThanInliers) {
+  AutoencoderConfig cfg;
+  cfg.epochs = 30;
+  cfg.batch_size = 32;
+  AutoencoderDetector ae("Vehi-AE", cfg);
+  ae.fit(scaled_subspace_windows(512));
+  std::vector<float> inlier = on_subspace_point();
+  std::vector<float> outlier = off_subspace_point();
+  for (auto& v : inlier) v = 0.5F + 0.2F * v;
+  for (auto& v : outlier) v = 0.5F + 0.2F * v;
+  EXPECT_GT(ae.score(outlier), 2.0F * ae.score(inlier));
+}
+
+TEST(Autoencoder, NameIsCallerChosen) {
+  AutoencoderDetector ae("Base-AE", AutoencoderConfig{});
+  EXPECT_EQ(ae.name(), "Base-AE");
+}
+
+TEST(Autoencoder, ScoreBeforeFitThrows) {
+  AutoencoderDetector ae("Vehi-AE", AutoencoderConfig{});
+  EXPECT_THROW(ae.score(std::vector<float>{0.0F}), std::logic_error);
+}
+
+TEST(Autoencoder, RequiresFullBatch) {
+  AutoencoderConfig cfg;
+  cfg.batch_size = 64;
+  AutoencoderDetector ae("Vehi-AE", cfg);
+  EXPECT_THROW(ae.fit(scaled_subspace_windows(10)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vehigan::baselines

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/json.hpp"
+#include "data/veremi.hpp"
+#include "sim/traffic_sim.hpp"
+#include "util/math.hpp"
+
+namespace vehigan::data {
+namespace {
+
+// ----------------------------------------------------------------- json ----
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-3.25e2").as_number(), -325.0);
+  EXPECT_EQ(Json::parse("\"hi\\nthere\"").as_string(), "hi\nthere");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const Json doc = Json::parse(R"({"a":[1,2,{"b":true}],"c":"x","d":null})");
+  EXPECT_EQ(doc.at("a").as_array().size(), 3U);
+  EXPECT_TRUE(doc.at("a").at(2).at("b").as_bool());
+  EXPECT_EQ(doc.at("c").as_string(), "x");
+  EXPECT_TRUE(doc.at("d").is_null());
+  EXPECT_TRUE(doc.contains("a"));
+  EXPECT_FALSE(doc.contains("zzz"));
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  Json::Object object;
+  object["name"] = Json("vehi\"gan\n");
+  object["pi"] = Json(3.14159265358979);
+  object["count"] = Json(60);
+  object["list"] = Json(Json::Array{Json(1), Json(false), Json(nullptr)});
+  const Json original{std::move(object)};
+  const Json reparsed = Json::parse(original.dump());
+  EXPECT_EQ(reparsed.at("name").as_string(), "vehi\"gan\n");
+  EXPECT_DOUBLE_EQ(reparsed.at("pi").as_number(), 3.14159265358979);
+  EXPECT_DOUBLE_EQ(reparsed.at("count").as_number(), 60.0);
+  EXPECT_FALSE(reparsed.at("list").at(1).as_bool());
+  EXPECT_TRUE(reparsed.at("list").at(2).is_null());
+}
+
+TEST(Json, IntegersDumpWithoutDecimalPoint) {
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("tru"), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1 2"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), std::runtime_error);
+}
+
+TEST(Json, TypeMismatchesThrow) {
+  const Json number = Json::parse("5");
+  EXPECT_THROW((void)number.as_string(), std::runtime_error);
+  EXPECT_THROW((void)number.as_array(), std::runtime_error);
+  const Json object = Json::parse("{}");
+  EXPECT_THROW((void)object.at("missing"), std::out_of_range);
+}
+
+TEST(Json, ParsePrefixSupportsJsonLines) {
+  const std::string lines = "{\"a\":1}\n{\"a\":2}";
+  std::size_t pos = 0;
+  const Json first = Json::parse_prefix(lines, pos);
+  const Json second = Json::parse_prefix(lines, pos);
+  EXPECT_DOUBLE_EQ(first.at("a").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(second.at("a").as_number(), 2.0);
+}
+
+// --------------------------------------------------------------- veremi ----
+
+vasp::MisbehaviorDataset small_scenario() {
+  sim::TrafficSimConfig cfg;
+  cfg.duration_s = 8.0;
+  cfg.num_platoons = 2;
+  cfg.vehicles_per_platoon = 2;
+  cfg.seed = 15;
+  const auto fleet = sim::TrafficSimulator(cfg).run();
+  return vasp::build_scenario(fleet, vasp::attack_by_name("HighYawRate"), {});
+}
+
+TEST(Veremi, RoundTripsMessagesAndLabels) {
+  const auto scenario = small_scenario();
+  const auto dir = std::filesystem::temp_directory_path() / "vehigan_veremi_test";
+  const VeremiExport files = write_veremi(scenario, 28, dir, "highyaw");
+  const VeremiImport imported = read_veremi(files);
+
+  ASSERT_EQ(imported.dataset.traces.size(), scenario.traces.size());
+  ASSERT_EQ(imported.attacker_type.size(), scenario.traces.size());
+
+  std::map<std::uint32_t, const sim::VehicleTrace*> original;
+  for (const auto& labeled : scenario.traces) {
+    original[labeled.trace.vehicle_id] = &labeled.trace;
+    EXPECT_EQ(imported.attacker_type.at(labeled.trace.vehicle_id),
+              labeled.malicious ? 28 : 0);
+  }
+  for (const auto& trace : imported.dataset.traces) {
+    const sim::VehicleTrace* source = original.at(trace.vehicle_id);
+    ASSERT_EQ(trace.messages.size(), source->messages.size());
+    for (std::size_t i = 0; i < trace.messages.size(); ++i) {
+      const auto& got = trace.messages[i];
+      const auto& want = source->messages[i];
+      EXPECT_NEAR(got.time, want.time, 1e-9);
+      EXPECT_NEAR(got.x, want.x, 1e-9);
+      EXPECT_NEAR(got.y, want.y, 1e-9);
+      EXPECT_NEAR(got.speed, want.speed, 1e-6);
+      EXPECT_NEAR(std::abs(util::angle_diff(got.heading, want.heading)), 0.0, 1e-6);
+      EXPECT_NEAR(got.accel, want.accel, 1e-6);
+      EXPECT_NEAR(got.yaw_rate, want.yaw_rate, 1e-9);
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Veremi, ImportWithoutYawFieldDefaultsToZero) {
+  const auto dir = std::filesystem::temp_directory_path() / "vehigan_veremi_noyaw";
+  std::filesystem::create_directories(dir);
+  VeremiExport files{dir / "m.json", dir / "m.gt.json"};
+  {
+    std::ofstream m(files.messages);
+    m << R"({"type":3,"sendTime":1.0,"sender":5,"pos":[1,2,0],)"
+      << R"("spd":[3,0,0],"acl":[0.5,0,0],"hed":[1,0,0]})" << "\n";
+    std::ofstream gt(files.ground_truth);
+    gt << R"({"sender":5,"attackerType":0})" << "\n";
+  }
+  const VeremiImport imported = read_veremi(files);
+  ASSERT_EQ(imported.dataset.traces.size(), 1U);
+  EXPECT_DOUBLE_EQ(imported.dataset.traces[0].messages[0].yaw_rate, 0.0);
+  EXPECT_DOUBLE_EQ(imported.dataset.traces[0].messages[0].speed, 3.0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Veremi, MissingFilesThrow) {
+  EXPECT_THROW(read_veremi({"/nonexistent/a.json", "/nonexistent/b.json"}),
+               std::runtime_error);
+}
+
+TEST(Veremi, NegativeAccelerationSurvivesVectorRoundTrip) {
+  // Braking (accel < 0) must keep its sign through the acl-vector encoding.
+  sim::Bsm m;
+  m.vehicle_id = 3;
+  m.time = 2.0;
+  m.speed = 10.0;
+  m.heading = 2.1;
+  m.accel = -3.0;
+  vasp::MisbehaviorDataset scenario;
+  scenario.traces.push_back({sim::VehicleTrace{3, {m}}, false});
+  const auto dir = std::filesystem::temp_directory_path() / "vehigan_veremi_brake";
+  const VeremiExport files = write_veremi(scenario, 0, dir, "brake");
+  const VeremiImport imported = read_veremi(files);
+  EXPECT_NEAR(imported.dataset.traces[0].messages[0].accel, -3.0, 1e-6);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace vehigan::data

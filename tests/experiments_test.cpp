@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "experiments/config.hpp"
+#include "experiments/data.hpp"
+#include "experiments/table_printer.hpp"
+#include "features/feature_engineering.hpp"
+
+namespace vehigan::experiments {
+namespace {
+
+TEST(Config, CacheKeyIsStable) {
+  EXPECT_EQ(ExperimentConfig::quick().cache_key(), ExperimentConfig::quick().cache_key());
+  EXPECT_EQ(ExperimentConfig::standard().cache_key(), ExperimentConfig::standard().cache_key());
+}
+
+TEST(Config, CacheKeyChangesWithTrainingKnobs) {
+  const auto base = ExperimentConfig::quick();
+  auto changed = base;
+  changed.train_opts.clip_value *= 2.0F;
+  EXPECT_NE(base.cache_key(), changed.cache_key());
+
+  changed = base;
+  changed.grid_scale.epoch_scale += 0.01;
+  EXPECT_NE(base.cache_key(), changed.cache_key());
+
+  changed = base;
+  changed.train_sim.seed += 1;
+  EXPECT_NE(base.cache_key(), changed.cache_key());
+
+  changed = base;
+  changed.validation_attack_indices.push_back(2);
+  EXPECT_NE(base.cache_key(), changed.cache_key());
+}
+
+TEST(Config, QuickAndStandardDiffer) {
+  EXPECT_NE(ExperimentConfig::quick().cache_key(), ExperimentConfig::standard().cache_key());
+}
+
+TEST(Data, QuickPipelineProducesAllSplits) {
+  const ExperimentData data = build_experiment_data(ExperimentConfig::quick());
+
+  EXPECT_GT(data.train_windows.count(), 100U);
+  EXPECT_EQ(data.train_windows.window, 10U);
+  EXPECT_EQ(data.train_windows.width, features::kNumFeatures);
+  EXPECT_EQ(data.raw_train_windows.width, features::kNumRawFeatures);
+
+  EXPECT_GT(data.valid_benign.count(), 20U);
+  EXPECT_EQ(data.valid_attacks.size(), ExperimentConfig::quick().validation_attack_indices.size());
+  for (const auto& attack : data.valid_attacks) {
+    EXPECT_GT(attack.malicious.count(), 0U) << attack.attack_name;
+  }
+
+  EXPECT_EQ(data.test_attacks.size(), 35U);
+  EXPECT_EQ(data.raw_test_attacks.size(), 35U);
+  for (std::size_t i = 0; i < 35; ++i) {
+    EXPECT_EQ(data.test_attacks[i].attack_name, data.raw_test_attacks[i].attack_name);
+    EXPECT_GT(data.test_attacks[i].malicious.count(), 0U);
+  }
+}
+
+TEST(Data, TrainingWindowsAreScaledIntoUnitInterval) {
+  const ExperimentData data = build_experiment_data(ExperimentConfig::quick());
+  for (float v : data.train_windows.data) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LE(v, 1.0F);
+  }
+}
+
+TEST(Data, GrossAttacksEscapeTheUnitInterval) {
+  // RandomPosition fabricates positions across the playground; the scaled
+  // dx/dy values must leave [0, 1] — that is the detection signal.
+  const ExperimentData data = build_experiment_data(ExperimentConfig::quick());
+  const auto& random_position = data.test_attacks.front();
+  ASSERT_EQ(random_position.attack_name, "RandomPosition");
+  float max_abs = 0.0F;
+  for (float v : random_position.malicious.data) max_abs = std::max(max_abs, std::abs(v));
+  EXPECT_GT(max_abs, 3.0F);
+}
+
+TEST(Data, ValidationSetViewMatchesScenarios) {
+  const ExperimentData data = build_experiment_data(ExperimentConfig::quick());
+  const auto validation = data.validation_set();
+  EXPECT_EQ(validation.benign_windows.count(), data.valid_benign.count());
+  ASSERT_EQ(validation.attacks.size(), data.valid_attacks.size());
+  EXPECT_EQ(validation.attacks.front().attack_name, data.valid_attacks.front().attack_name);
+}
+
+TEST(Data, IsDeterministic) {
+  const auto a = build_experiment_data(ExperimentConfig::quick());
+  const auto b = build_experiment_data(ExperimentConfig::quick());
+  ASSERT_EQ(a.train_windows.count(), b.train_windows.count());
+  EXPECT_EQ(a.train_windows.data, b.train_windows.data);
+  EXPECT_EQ(a.test_attacks[5].malicious.data, b.test_attacks[5].malicious.data);
+}
+
+TEST(TablePrinter, FormatsNumbers) {
+  EXPECT_EQ(TablePrinter::format(0.8999, 2), "0.90");
+  EXPECT_EQ(TablePrinter::format(-1.5, 1), "-1.5");
+}
+
+TEST(TablePrinter, PrintsAlignedTable) {
+  TablePrinter table({"Attack", "AUROC"});
+  table.add_row("RandomPosition", {0.996}, 2);
+  ::testing::internal::CaptureStdout();
+  table.print();
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("Attack"), std::string::npos);
+  EXPECT_NE(out.find("RandomPosition"), std::string::npos);
+  EXPECT_NE(out.find("1.00"), std::string::npos);  // rounded 0.996
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vehigan::experiments

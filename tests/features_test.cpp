@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "features/feature_engineering.hpp"
+#include "features/scaler.hpp"
+#include "features/series.hpp"
+#include "features/windows.hpp"
+#include "sim/traffic_sim.hpp"
+
+namespace vehigan::features {
+namespace {
+
+sim::VehicleTrace curved_trace(int messages = 80) {
+  // Constant-speed circular motion: every Table-II relation is exact.
+  sim::VehicleTrace trace;
+  trace.vehicle_id = 3;
+  const double v = 8.0;
+  const double r = 40.0;
+  const double w = v / r;
+  for (int i = 0; i < messages; ++i) {
+    const double t = 0.1 * i;
+    sim::Bsm m;
+    m.vehicle_id = 3;
+    m.time = t;
+    m.x = r * std::cos(w * t);
+    m.y = r * std::sin(w * t);
+    m.heading = util::wrap_angle(w * t + util::kPi / 2.0);
+    m.speed = v;
+    m.accel = 0.0;
+    m.yaw_rate = w;
+    trace.messages.push_back(m);
+  }
+  return trace;
+}
+
+// -------------------------------------------------- feature engineering ----
+
+TEST(FeatureEngineering, ProducesOneRowPerMessagePair) {
+  const auto trace = curved_trace(50);
+  const FeatureSeries fs = extract_features(trace);
+  EXPECT_EQ(fs.rows.size(), 49U);
+  EXPECT_EQ(fs.times.size(), 49U);
+  EXPECT_EQ(fs.vehicle_id, 3U);
+}
+
+TEST(FeatureEngineering, ShortTracesYieldNothing) {
+  sim::VehicleTrace trace;
+  trace.messages.resize(1);
+  EXPECT_TRUE(extract_features(trace).rows.empty());
+}
+
+TEST(FeatureEngineering, VectorDecompositionMatchesTableTwo) {
+  const auto trace = curved_trace();
+  const FeatureSeries fs = extract_features(trace);
+  for (std::size_t i = 0; i < fs.rows.size(); ++i) {
+    const auto& cur = trace.messages[i + 1];
+    EXPECT_NEAR(fs.rows[i][kVx], cur.speed * std::cos(cur.heading), 1e-5);
+    EXPECT_NEAR(fs.rows[i][kVy], cur.speed * std::sin(cur.heading), 1e-5);
+    EXPECT_NEAR(fs.rows[i][kAx], cur.accel * std::cos(cur.heading), 1e-5);
+    EXPECT_NEAR(fs.rows[i][kWx], cur.yaw_rate * std::cos(cur.heading), 1e-5);
+    EXPECT_NEAR(fs.rows[i][kWy], cur.yaw_rate * std::sin(cur.heading), 1e-5);
+  }
+}
+
+TEST(FeatureEngineering, PhysicsRelationsHoldOnHonestTrace) {
+  // The detection-bearing invariants: dx ~ vx*dt and dh ~ w-derived, which
+  // hold for honest motion and break under misbehavior.
+  const auto trace = curved_trace();
+  const FeatureSeries fs = extract_features(trace);
+  const double dt = 0.1;
+  for (std::size_t i = 1; i < fs.rows.size(); ++i) {
+    EXPECT_NEAR(fs.rows[i][kDx], fs.rows[i][kVx] * dt, 0.05);
+    EXPECT_NEAR(fs.rows[i][kDy], fs.rows[i][kVy] * dt, 0.05);
+    // dhx = cos(h_t)-cos(h_{t-1}) ~ -sin(h)*w*dt = -wy*dt.
+    EXPECT_NEAR(fs.rows[i][kDHx], -fs.rows[i][kWy] * dt, 5e-3);
+    EXPECT_NEAR(fs.rows[i][kDHy], fs.rows[i][kWx] * dt, 5e-3);
+  }
+}
+
+TEST(FeatureEngineering, DeltaSpeedTracksAcceleration) {
+  // Uniformly accelerating straight-line motion.
+  sim::VehicleTrace trace;
+  const double a = 1.5;
+  for (int i = 0; i < 40; ++i) {
+    sim::Bsm m;
+    m.time = 0.1 * i;
+    m.speed = 5.0 + a * m.time;
+    m.accel = a;
+    m.heading = 0.3;
+    m.x = 0;
+    m.y = 0;
+    m.yaw_rate = 0;
+    trace.messages.push_back(m);
+  }
+  const FeatureSeries fs = extract_features(trace);
+  for (std::size_t i = 0; i < fs.rows.size(); ++i) {
+    EXPECT_NEAR(fs.rows[i][kDVx], fs.rows[i][kAx] * 0.1, 1e-4);
+    EXPECT_NEAR(fs.rows[i][kDVy], fs.rows[i][kAy] * 0.1, 1e-4);
+  }
+}
+
+TEST(FeatureEngineering, FeatureNamesAlignWithIndices) {
+  const auto& names = feature_names();
+  EXPECT_EQ(names[kDx], "dx");
+  EXPECT_EQ(names[kWy], "wy");
+  EXPECT_EQ(names.size(), kNumFeatures);
+}
+
+// -------------------------------------------------------------- series -----
+
+TEST(Series, ToSeriesFlattensRows) {
+  const FeatureSeries fs = extract_features(curved_trace(12));
+  const Series s = to_series(fs);
+  EXPECT_EQ(s.width, kNumFeatures);
+  EXPECT_EQ(s.rows(), fs.rows.size());
+  EXPECT_FLOAT_EQ(s.row(3)[kVx], fs.rows[3][kVx]);
+}
+
+TEST(Series, RawSeriesAlignsWithEngineered) {
+  const auto trace = curved_trace(20);
+  const Series raw = extract_raw_series(trace);
+  EXPECT_EQ(raw.width, kNumRawFeatures);
+  // Raw row r corresponds to message r+1 (first message dropped).
+  EXPECT_EQ(raw.rows(), trace.messages.size() - 1);
+  EXPECT_FLOAT_EQ(raw.row(0)[0], static_cast<float>(trace.messages[1].x));
+  EXPECT_FLOAT_EQ(raw.row(0)[2], static_cast<float>(trace.messages[1].speed));
+}
+
+// -------------------------------------------------------------- scaler -----
+
+std::vector<Series> toy_series() {
+  Series s;
+  s.width = 2;
+  s.values = {0.0F, 10.0F, 5.0F, 20.0F, 10.0F, 30.0F};
+  return {s};
+}
+
+TEST(MinMaxScaler, MapsTrainingRangeToUnitInterval) {
+  MinMaxScaler scaler;
+  auto data = toy_series();
+  scaler.fit(data);
+  scaler.transform(data[0]);
+  EXPECT_FLOAT_EQ(data[0].row(0)[0], 0.0F);
+  EXPECT_FLOAT_EQ(data[0].row(2)[0], 1.0F);
+  EXPECT_FLOAT_EQ(data[0].row(1)[1], 0.5F);
+}
+
+TEST(MinMaxScaler, DoesNotClipOutOfRangeValues) {
+  MinMaxScaler scaler;
+  auto train = toy_series();
+  scaler.fit(train);
+  Series test;
+  test.width = 2;
+  test.values = {20.0F, -10.0F};
+  scaler.transform(test);
+  EXPECT_FLOAT_EQ(test.row(0)[0], 2.0F);    // beyond max -> > 1
+  EXPECT_FLOAT_EQ(test.row(0)[1], -1.0F);   // below min -> < 0
+}
+
+TEST(MinMaxScaler, InverseTransformRoundTrips) {
+  MinMaxScaler scaler;
+  auto data = toy_series();
+  scaler.fit(data);
+  Series copy = data[0];
+  scaler.transform(copy);
+  scaler.inverse_transform(copy);
+  for (std::size_t i = 0; i < copy.values.size(); ++i) {
+    EXPECT_NEAR(copy.values[i], data[0].values[i], 1e-4);
+  }
+}
+
+TEST(MinMaxScaler, DegenerateColumnMapsToHalf) {
+  Series s;
+  s.width = 1;
+  s.values = {3.0F, 3.0F, 3.0F};
+  MinMaxScaler scaler;
+  scaler.fit({s});
+  scaler.transform(s);
+  for (float v : s.values) EXPECT_FLOAT_EQ(v, 0.5F);
+}
+
+TEST(MinMaxScaler, SaveLoadRoundTrips) {
+  MinMaxScaler scaler;
+  auto data = toy_series();
+  scaler.fit(data);
+  std::stringstream buffer;
+  scaler.save(buffer);
+  const MinMaxScaler loaded = MinMaxScaler::load(buffer);
+  EXPECT_EQ(loaded.column_min(), scaler.column_min());
+  EXPECT_EQ(loaded.column_max(), scaler.column_max());
+}
+
+TEST(MinMaxScaler, RejectsWidthMismatchAndEmptyFit) {
+  MinMaxScaler scaler;
+  EXPECT_THROW(scaler.fit({}), std::invalid_argument);
+  auto data = toy_series();
+  scaler.fit(data);
+  Series wrong;
+  wrong.width = 3;
+  wrong.values = {1, 2, 3};
+  EXPECT_THROW(scaler.transform(wrong), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- windows -----
+
+Series counting_series(std::uint32_t id, std::size_t rows, std::size_t width) {
+  Series s;
+  s.vehicle_id = id;
+  s.width = width;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < width; ++c) {
+      s.values.push_back(static_cast<float>(r * 100 + c));
+    }
+  }
+  return s;
+}
+
+TEST(Windows, CountAndContentWithStrideOne) {
+  const auto set = make_windows({counting_series(1, 12, 3)}, 10, 1);
+  EXPECT_EQ(set.count(), 3U);
+  EXPECT_EQ(set.window, 10U);
+  EXPECT_EQ(set.width, 3U);
+  // Second window starts at row 1.
+  EXPECT_FLOAT_EQ(set.snapshot(1)[0], 100.0F);
+  EXPECT_EQ(set.vehicle_ids[1], 1U);
+}
+
+TEST(Windows, StrideSkipsStarts) {
+  const auto set = make_windows({counting_series(1, 30, 2)}, 10, 5);
+  EXPECT_EQ(set.count(), 5U);  // starts 0,5,10,15,20
+  EXPECT_FLOAT_EQ(set.snapshot(1)[0], 500.0F);
+}
+
+TEST(Windows, ShortSeriesContributeNothing) {
+  const auto set = make_windows({counting_series(1, 5, 2), counting_series(2, 15, 2)}, 10, 1);
+  EXPECT_EQ(set.count(), 6U);
+  for (auto id : set.vehicle_ids) EXPECT_EQ(id, 2U);
+}
+
+TEST(Windows, SubsampleKeepsEveryKth) {
+  const auto set = make_windows({counting_series(1, 40, 1)}, 5, 1);
+  const auto sub = set.subsample(3);
+  EXPECT_EQ(sub.count(), (set.count() + 2) / 3);
+  EXPECT_FLOAT_EQ(sub.snapshot(1)[0], set.snapshot(3)[0]);
+}
+
+TEST(Windows, ExtendConcatenatesAndChecksShape) {
+  auto a = make_windows({counting_series(1, 12, 2)}, 10, 1);
+  const auto b = make_windows({counting_series(2, 11, 2)}, 10, 1);
+  const std::size_t before = a.count();
+  a.extend(b);
+  EXPECT_EQ(a.count(), before + b.count());
+  auto wrong = make_windows({counting_series(3, 12, 3)}, 10, 1);
+  EXPECT_THROW(a.extend(wrong), std::invalid_argument);
+}
+
+TEST(Windows, AppendValidatesShape) {
+  features::WindowSet set;
+  set.window = 2;
+  set.width = 2;
+  std::vector<float> ok(4, 1.0F);
+  set.append(ok, 9);
+  EXPECT_EQ(set.count(), 1U);
+  std::vector<float> bad(3, 1.0F);
+  EXPECT_THROW(set.append(bad, 9), std::invalid_argument);
+}
+
+TEST(Windows, RejectsZeroWindowOrStride) {
+  EXPECT_THROW(make_windows({counting_series(1, 5, 1)}, 0, 1), std::invalid_argument);
+  EXPECT_THROW(make_windows({counting_series(1, 5, 1)}, 2, 0), std::invalid_argument);
+}
+
+TEST(Windows, EndToEndFromSimulatedTraffic) {
+  sim::TrafficSimConfig cfg;
+  cfg.duration_s = 15.0;
+  cfg.num_platoons = 2;
+  cfg.vehicles_per_platoon = 2;
+  cfg.seed = 3;
+  const auto dataset = sim::TrafficSimulator(cfg).run();
+  std::vector<Series> series;
+  for (const auto& t : dataset.traces) series.push_back(to_series(extract_features(t)));
+  MinMaxScaler scaler;
+  scaler.fit(series);
+  for (auto& s : series) scaler.transform(s);
+  const auto windows = make_windows(series, 10, 2);
+  EXPECT_GT(windows.count(), 50U);
+  EXPECT_EQ(windows.width, kNumFeatures);
+  // All scaled training values must lie in [0, 1].
+  for (float v : windows.data) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LE(v, 1.0F);
+  }
+}
+
+}  // namespace
+}  // namespace vehigan::features

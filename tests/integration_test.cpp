@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "adv/fgsm.hpp"
+#include "adv/robustness.hpp"
+#include "experiments/data.hpp"
+#include "gan/wgan.hpp"
+#include "mbds/online.hpp"
+#include "mbds/pipeline.hpp"
+#include "metrics/roc.hpp"
+#include "vasp/dataset_builder.hpp"
+
+namespace vehigan {
+namespace {
+
+/// Shared fixture: quick-scale data plus a small trained WGAN pool. Training
+/// the pool takes a few seconds; the fixture is built once per test binary.
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_ = new experiments::ExperimentConfig(experiments::ExperimentConfig::quick());
+    data_ = new experiments::ExperimentData(build_experiment_data(*config_));
+
+    // A reduced grid: 8 models spanning z-dims and depths.
+    std::vector<gan::TrainedWgan> models;
+    gan::WganTrainer trainer(config_->train_opts);
+    int id = 0;
+    for (std::size_t z : {8UL, 32UL}) {
+      for (int layers : {6, 7}) {
+        for (int epochs : {2, 4}) {
+          gan::WganConfig cfg;
+          cfg.id = id++;
+          cfg.z_dim = z;
+          cfg.layers = layers;
+          cfg.paper_epochs = epochs * 25;
+          cfg.train_epochs = epochs;
+          models.push_back(trainer.train(cfg, data_->train_windows));
+        }
+      }
+    }
+    bundle_ = new mbds::VehiGanBundle(mbds::build_bundle(
+        std::move(models), data_->train_windows, data_->validation_set(), {}));
+  }
+
+  static void TearDownTestSuite() {
+    delete bundle_;
+    delete data_;
+    delete config_;
+    bundle_ = nullptr;
+    data_ = nullptr;
+    config_ = nullptr;
+  }
+
+  static experiments::ExperimentConfig* config_;
+  static experiments::ExperimentData* data_;
+  static mbds::VehiGanBundle* bundle_;
+};
+
+experiments::ExperimentConfig* EndToEndTest::config_ = nullptr;
+experiments::ExperimentData* EndToEndTest::data_ = nullptr;
+mbds::VehiGanBundle* EndToEndTest::bundle_ = nullptr;
+
+TEST_F(EndToEndTest, BundleRanksAllModels) {
+  EXPECT_EQ(bundle_->detectors().size(), 8U);
+  EXPECT_EQ(bundle_->evaluations().size(), 8U);
+  EXPECT_EQ(bundle_->ranking().size(), 8U);
+  // Ranking is ADS-descending.
+  for (std::size_t r = 1; r < bundle_->ranking().size(); ++r) {
+    EXPECT_GE(bundle_->evaluations()[bundle_->ranking()[r - 1]].ads,
+              bundle_->evaluations()[bundle_->ranking()[r]].ads);
+  }
+}
+
+TEST_F(EndToEndTest, CalibrationAndThresholdsAreSet) {
+  for (const auto& detector : bundle_->detectors()) {
+    EXPECT_GT(detector->calibration_std(), 0.0);
+    // Thresholds in calibrated units: high percentile of a roughly-centered
+    // distribution lies within a few sigma.
+    EXPECT_GT(detector->threshold(), -1.0);
+    EXPECT_LT(detector->threshold(), 20.0);
+  }
+}
+
+TEST_F(EndToEndTest, EnsembleDetectsGrossMisbehaviorAboveChance) {
+  auto ensemble = bundle_->make_ensemble(4, 4, 3);
+  const auto benign_scores = ensemble->score_all(data_->test_benign);
+  // RandomPosition is the grossest anomaly in the matrix; even a quick-scale
+  // ensemble must separate it clearly.
+  const auto& attack = data_->test_attacks.front();
+  ASSERT_EQ(attack.attack_name, "RandomPosition");
+  const auto attack_scores = ensemble->score_all(attack.malicious);
+  // The fixture's pool is deliberately tiny (8 models, 2-4 epochs); the
+  // bench-scale grid reaches ~0.99 here. Above-chance with clear margin is
+  // the right bar for a seconds-long training run.
+  EXPECT_GT(metrics::auroc(benign_scores, attack_scores), 0.65);
+}
+
+TEST_F(EndToEndTest, CleanFalsePositiveRateRespectsThresholdPercentile) {
+  auto ensemble = bundle_->make_ensemble(4, 4, 5);
+  std::size_t flagged = 0;
+  for (std::size_t i = 0; i < data_->test_benign.count(); ++i) {
+    if (ensemble->evaluate(data_->test_benign.snapshot(i)).flagged) ++flagged;
+  }
+  const double fpr =
+      static_cast<double>(flagged) / static_cast<double>(data_->test_benign.count());
+  // Threshold is the 99th percentile of benign *training* scores; benign
+  // test FPR should stay small (generalization slack allowed).
+  EXPECT_LT(fpr, 0.15);
+}
+
+TEST_F(EndToEndTest, AfpAttackBeatsNoiseOnSingleModel) {
+  const auto& detector = bundle_->top(0);
+  const features::WindowSet benign = data_->test_benign.subsample(4);
+  const auto adv =
+      adv::craft_adversarial(*detector, benign, 0.02F, adv::AttackGoal::kFalsePositive);
+  util::Rng rng(3);
+  const auto noise = adv::craft_noise(benign, 0.02F, rng);
+  const double fpr_clean = adv::flag_rate(*detector, benign);
+  const double fpr_adv = adv::flag_rate(*detector, adv);
+  const double fpr_noise = adv::flag_rate(*detector, noise);
+  EXPECT_GT(fpr_adv, fpr_clean);
+  EXPECT_GE(fpr_adv, fpr_noise);
+}
+
+TEST_F(EndToEndTest, EnsembleSuppressesSingleModelAfpTransfer) {
+  // Gray-box scenario of Fig. 7a at quick scale: adversarial samples crafted
+  // against the best model should inflate that model's FPR far more than the
+  // randomized ensemble's.
+  const auto& source = bundle_->top(0);
+  const features::WindowSet benign = data_->test_benign.subsample(4);
+  const auto adv_set =
+      adv::craft_adversarial(*source, benign, 0.02F, adv::AttackGoal::kFalsePositive);
+  const double fpr_source = adv::flag_rate(*source, adv_set);
+  auto ensemble = bundle_->make_ensemble(6, 3, 11);
+  const double fpr_ensemble = adv::ensemble_flag_rate(*ensemble, adv_set);
+  EXPECT_LE(fpr_ensemble, fpr_source + 1e-9);
+}
+
+TEST_F(EndToEndTest, OnlinePipelineReportsAttackerAndAuthorityRevokes) {
+  auto ensemble_shared = std::shared_ptr<mbds::VehiGan>(bundle_->make_ensemble(4, 2, 13));
+  mbds::OnlineMbds mbds(/*station_id=*/1, ensemble_shared, data_->scaler,
+                        /*report_cooldown=*/0.5);
+  mbds::MisbehaviorAuthority authority(/*revocation_quota=*/3);
+  mbds.set_report_sink([&](const mbds::MisbehaviorReport& r) { authority.submit(r); });
+
+  // Simulate a small fleet with one RandomPosition attacker.
+  sim::TrafficSimConfig sim_cfg = config_->test_sim;
+  sim_cfg.duration_s = 30.0;
+  sim_cfg.seed = 909;
+  const sim::BsmDataset fleet = sim::TrafficSimulator(sim_cfg).run();
+  vasp::ScenarioOptions scenario;
+  scenario.malicious_fraction = 0.1;
+  scenario.seed = 5;
+  const auto dataset =
+      vasp::build_scenario(fleet, vasp::attack_by_name("RandomPosition"), scenario);
+
+  std::uint32_t attacker_id = 0;
+  for (const auto& labeled : dataset.traces) {
+    if (labeled.malicious) attacker_id = labeled.trace.vehicle_id;
+    for (const auto& message : labeled.trace.messages) {
+      (void)mbds.ingest(message);
+    }
+  }
+  ASSERT_NE(attacker_id, 0U);
+  EXPECT_GE(authority.report_count(attacker_id), 3U);
+  EXPECT_TRUE(authority.is_revoked(attacker_id));
+}
+
+}  // namespace
+}  // namespace vehigan

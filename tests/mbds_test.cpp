@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gan/wgan.hpp"
+#include "mbds/anomaly_detector.hpp"
+#include "mbds/ensemble.hpp"
+#include "mbds/online.hpp"
+#include "mbds/pipeline.hpp"
+#include "mbds/pre_evaluation.hpp"
+#include "mbds/report.hpp"
+#include "mbds/wgan_detector.hpp"
+#include "nn/layers.hpp"
+#include "test_utils.hpp"
+
+namespace vehigan::mbds {
+namespace {
+
+/// A WGAN whose discriminator is a hand-built linear map D(x) = w.x, making
+/// every score and gradient analytically checkable.
+gan::TrainedWgan linear_model(const std::vector<float>& weights, int id = 0) {
+  gan::TrainedWgan model;
+  model.config.id = id;
+  model.config.z_dim = 4;
+  model.config.window = 2;
+  model.config.width = 3;
+  model.discriminator.add<nn::Flatten>();
+  auto& dense = model.discriminator.add<nn::Dense>(6, 1);
+  dense.weights() = weights;
+  dense.bias() = {0.0F};
+  // Minimal generator so clone/serialize paths stay exercised.
+  util::Rng rng(1);
+  model.generator.add<nn::Dense>(4, 6).init_weights(rng);
+  model.generator.add<nn::Sigmoid>();
+  return model;
+}
+
+features::WindowSet windows_from(const std::vector<std::vector<float>>& snaps) {
+  features::WindowSet set;
+  set.window = 2;
+  set.width = 3;
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    set.append(snaps[i], static_cast<std::uint32_t>(i));
+  }
+  return set;
+}
+
+// ------------------------------------------------------------ detector -----
+
+TEST(PercentileThreshold, MatchesUtilPercentile) {
+  const std::vector<float> scores{1.0F, 2.0F, 3.0F, 4.0F, 5.0F};
+  EXPECT_DOUBLE_EQ(percentile_threshold(scores, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_threshold(scores, 100.0), 5.0);
+}
+
+TEST(WganDetector, ScoreIsNegatedCriticOutput) {
+  WganDetector det(linear_model({1, 1, 1, 1, 1, 1}));
+  const std::vector<float> x{1, 2, 3, 4, 5, 6};
+  EXPECT_FLOAT_EQ(det.score(x), -21.0F);
+}
+
+TEST(WganDetector, ScoreGradientMatchesAnalyticLinearCase) {
+  const std::vector<float> w{0.5F, -1.0F, 2.0F, 0.0F, 1.5F, -0.5F};
+  WganDetector det(linear_model(w));
+  const std::vector<float> x{1, 1, 1, 1, 1, 1};
+  const auto grad = det.score_gradient(x);
+  ASSERT_EQ(grad.size(), 6U);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_FLOAT_EQ(grad[i], -w[i]);  // s = -w.x -> ds/dx = -w
+  }
+}
+
+TEST(WganDetector, FlagsAboveThresholdOnly) {
+  WganDetector det(linear_model({-1, 0, 0, 0, 0, 0}));  // s(x) = x0
+  det.set_threshold(2.0);
+  EXPECT_FALSE(det.flags(std::vector<float>{2.0F, 0, 0, 0, 0, 0}));
+  EXPECT_TRUE(det.flags(std::vector<float>{2.5F, 0, 0, 0, 0, 0}));
+}
+
+TEST(WganDetector, ScoreAllMatchesIndividualScores) {
+  WganDetector det(linear_model({1, 0, 0, 0, 0, 1}));
+  const auto windows = windows_from({{1, 0, 0, 0, 0, 1}, {2, 0, 0, 0, 0, 2}});
+  const auto scores = det.score_all(windows);
+  ASSERT_EQ(scores.size(), 2U);
+  EXPECT_FLOAT_EQ(scores[0], det.score(windows.snapshot(0)));
+  EXPECT_FLOAT_EQ(scores[1], -4.0F);
+}
+
+// ------------------------------------------------------- pre-evaluation ----
+
+TEST(PreEvaluation, AdsIsMeanOfPerAttackAuroc) {
+  // Detector A (s = x0) separates attack windows with large x0 perfectly;
+  // detector B (s = -x0) is anti-correlated.
+  auto det_a = std::make_shared<WganDetector>(linear_model({-1, 0, 0, 0, 0, 0}, 0));
+  auto det_b = std::make_shared<WganDetector>(linear_model({1, 0, 0, 0, 0, 0}, 1));
+
+  ValidationSet validation;
+  validation.benign_windows = windows_from({{0, 0, 0, 0, 0, 0}, {1, 0, 0, 0, 0, 0}});
+  validation.attacks.push_back(
+      {"High", windows_from({{5, 0, 0, 0, 0, 0}, {6, 0, 0, 0, 0, 0}})});
+  validation.attacks.push_back({"Higher", windows_from({{9, 0, 0, 0, 0, 0}})});
+
+  const auto evals = pre_evaluate({det_a, det_b}, validation);
+  ASSERT_EQ(evals.size(), 2U);
+  EXPECT_DOUBLE_EQ(evals[0].ads, 1.0);
+  EXPECT_DOUBLE_EQ(evals[1].ads, 0.0);
+  ASSERT_EQ(evals[0].per_attack_score.size(), 2U);
+  EXPECT_DOUBLE_EQ(evals[0].per_attack_score[0], 1.0);
+}
+
+TEST(PreEvaluation, SelectTopMOrdersByAdsDescending) {
+  std::vector<ModelEvaluation> evals(4);
+  evals[0].ads = 0.7;
+  evals[0].model_id = 0;
+  evals[1].ads = 0.9;
+  evals[1].model_id = 1;
+  evals[2].ads = 0.9;
+  evals[2].model_id = 2;
+  evals[3].ads = 0.4;
+  evals[3].model_id = 3;
+  const auto top = select_top_m(evals, 3);
+  ASSERT_EQ(top.size(), 3U);
+  EXPECT_EQ(top[0], 1U);  // tie broken by lower id
+  EXPECT_EQ(top[1], 2U);
+  EXPECT_EQ(top[2], 0U);
+}
+
+TEST(PreEvaluation, SelectTopMClampsToAvailable) {
+  std::vector<ModelEvaluation> evals(2);
+  EXPECT_EQ(select_top_m(evals, 10).size(), 2U);
+}
+
+// ------------------------------------------------------------- ensemble ----
+
+std::vector<std::shared_ptr<WganDetector>> three_linear_detectors() {
+  // s_i(x) = c_i * x0 with thresholds i+1.
+  std::vector<std::shared_ptr<WganDetector>> dets;
+  for (int i = 0; i < 3; ++i) {
+    auto det = std::make_shared<WganDetector>(
+        linear_model({static_cast<float>(-(i + 1)), 0, 0, 0, 0, 0}, i));
+    det->set_threshold(i + 1.0);
+    dets.push_back(det);
+  }
+  return dets;
+}
+
+TEST(VehiGan, KEqualsMUsesAllMembersDeterministically) {
+  VehiGan ens(three_linear_detectors(), 3, 5);
+  const std::vector<float> x{1, 0, 0, 0, 0, 0};
+  // mean(1*1, 2*1, 3*1) = 2.
+  EXPECT_FLOAT_EQ(ens.score(x), 2.0F);
+  const auto result = ens.evaluate(x);
+  EXPECT_FLOAT_EQ(result.score, 2.0F);
+  EXPECT_DOUBLE_EQ(result.threshold, 2.0);  // mean of 1,2,3
+  EXPECT_FALSE(result.flagged);             // strict >
+}
+
+TEST(VehiGan, RandomSubsetsVaryAcrossCalls) {
+  VehiGan ens(three_linear_detectors(), 1, 9);
+  std::set<float> seen;
+  const std::vector<float> x{1, 0, 0, 0, 0, 0};
+  for (int i = 0; i < 64; ++i) seen.insert(ens.score(x));
+  // With k=1 the score is one of {1, 2, 3}; all three should appear.
+  EXPECT_EQ(seen.size(), 3U);
+}
+
+TEST(VehiGan, ScoreWithMembersIsExactMean) {
+  VehiGan ens(three_linear_detectors(), 2, 1);
+  const std::vector<float> x{2, 0, 0, 0, 0, 0};
+  const std::vector<std::size_t> members{0, 2};
+  EXPECT_FLOAT_EQ(ens.score_with_members(x, members), (2.0F + 6.0F) / 2.0F);
+}
+
+TEST(VehiGan, EvaluateFlagsAgainstMeanMemberThreshold) {
+  VehiGan ens(three_linear_detectors(), 3, 5);
+  const std::vector<float> x{2.5F, 0, 0, 0, 0, 0};
+  const auto result = ens.evaluate(x);
+  EXPECT_FLOAT_EQ(result.score, 5.0F);
+  EXPECT_TRUE(result.flagged);
+  EXPECT_EQ(result.members.size(), 3U);
+}
+
+TEST(VehiGan, ValidatesConstructorArguments) {
+  EXPECT_THROW(VehiGan({}, 1, 0), std::invalid_argument);
+  EXPECT_THROW(VehiGan(three_linear_detectors(), 0, 0), std::invalid_argument);
+  EXPECT_THROW(VehiGan(three_linear_detectors(), 4, 0), std::invalid_argument);
+}
+
+TEST(VehiGan, NameEncodesMAndK) {
+  VehiGan ens(three_linear_detectors(), 2, 0);
+  EXPECT_EQ(ens.name(), "VehiGAN_m3_k2");
+}
+
+// --------------------------------------------------------------- bundle ----
+
+TEST(Bundle, MakeEnsembleUsesAdsRanking) {
+  std::vector<std::shared_ptr<WganDetector>> dets = three_linear_detectors();
+  std::vector<ModelEvaluation> evals(3);
+  for (int i = 0; i < 3; ++i) evals[i].model_id = i;
+  evals[0].ads = 0.2;
+  evals[1].ads = 0.9;
+  evals[2].ads = 0.5;
+  VehiGanBundle bundle(dets, evals, select_top_m(evals, 3));
+  EXPECT_EQ(bundle.top(0).get(), dets[1].get());
+  EXPECT_EQ(bundle.top(1).get(), dets[2].get());
+  auto ens = bundle.make_ensemble(2, 1, 3);
+  EXPECT_EQ(ens->m(), 2U);
+  EXPECT_THROW(bundle.make_ensemble(4, 1, 3), std::invalid_argument);
+  EXPECT_THROW(bundle.make_ensemble(0, 0, 3), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- report ----
+
+TEST(MisbehaviorAuthority, RevokesAfterQuota) {
+  MisbehaviorAuthority authority(3);
+  MisbehaviorReport report;
+  report.suspect_id = 42;
+  EXPECT_FALSE(authority.submit(report));
+  EXPECT_FALSE(authority.submit(report));
+  EXPECT_FALSE(authority.is_revoked(42));
+  EXPECT_TRUE(authority.submit(report));
+  EXPECT_TRUE(authority.is_revoked(42));
+  // Further reports keep counting but revoke only once.
+  EXPECT_FALSE(authority.submit(report));
+  EXPECT_EQ(authority.report_count(42), 4U);
+  EXPECT_EQ(authority.revocation_list().size(), 1U);
+}
+
+TEST(MisbehaviorAuthority, TracksSuspectsIndependently) {
+  MisbehaviorAuthority authority(2);
+  MisbehaviorReport a;
+  a.suspect_id = 1;
+  MisbehaviorReport b;
+  b.suspect_id = 2;
+  authority.submit(a);
+  authority.submit(b);
+  EXPECT_FALSE(authority.is_revoked(1));
+  authority.submit(a);
+  EXPECT_TRUE(authority.is_revoked(1));
+  EXPECT_FALSE(authority.is_revoked(2));
+}
+
+// --------------------------------------------------------------- online ----
+
+/// Builds a deterministic scaler mapping the identity (already-scaled data).
+features::MinMaxScaler identity_scaler(std::size_t width) {
+  features::Series s;
+  s.width = width;
+  for (std::size_t c = 0; c < width; ++c) s.values.push_back(0.0F);
+  for (std::size_t c = 0; c < width; ++c) s.values.push_back(1.0F);
+  features::MinMaxScaler scaler;
+  scaler.fit({s});
+  return scaler;
+}
+
+std::shared_ptr<VehiGan> toy_online_ensemble(double threshold) {
+  // Window 10 x 12 engineered features; critic = -sum(x) so the anomaly
+  // score is sum of all scaled features: big jumps -> big score.
+  gan::TrainedWgan model;
+  model.config.window = 10;
+  model.config.width = 12;
+  model.discriminator.add<nn::Flatten>();
+  auto& dense = model.discriminator.add<nn::Dense>(120, 1);
+  dense.weights().assign(120, -1.0F);
+  dense.bias() = {0.0F};
+  util::Rng rng(1);
+  model.generator.add<nn::Dense>(4, 120).init_weights(rng);
+  auto det = std::make_shared<WganDetector>(std::move(model));
+  det->set_threshold(threshold);
+  return std::make_shared<VehiGan>(std::vector<std::shared_ptr<WganDetector>>{det}, 1, 7);
+}
+
+sim::Bsm cruise_msg(std::uint32_t id, double t, double speed = 10.0) {
+  sim::Bsm m;
+  m.vehicle_id = id;
+  m.time = t;
+  m.x = speed * t;
+  m.y = 0.0;
+  m.speed = speed;
+  m.heading = 0.0;
+  return m;
+}
+
+TEST(OnlineMbds, NeedsWindowPlusOneMessagesBeforeScoring) {
+  OnlineMbds mbds(1, toy_online_ensemble(1e9), identity_scaler(12));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(mbds.ingest(cruise_msg(5, 0.1 * i)).has_value());
+  }
+  // 11th message completes the first 10-step feature window (score below the
+  // huge threshold -> still no report, but the path is exercised).
+  EXPECT_FALSE(mbds.ingest(cruise_msg(5, 1.0)).has_value());
+  EXPECT_EQ(mbds.tracked_vehicles(), 1U);
+}
+
+TEST(OnlineMbds, ReportsWhenScoreExceedsThresholdAndHonorsCooldown) {
+  OnlineMbds mbds(9, toy_online_ensemble(-1e9), identity_scaler(12), /*cooldown=*/0.5);
+  std::vector<MisbehaviorReport> sunk;
+  mbds.set_report_sink([&](const MisbehaviorReport& r) { sunk.push_back(r); });
+  std::optional<MisbehaviorReport> first;
+  int reports = 0;
+  for (int i = 0; i <= 20; ++i) {
+    auto r = mbds.ingest(cruise_msg(5, 0.1 * i));
+    if (r) {
+      ++reports;
+      if (!first) first = r;
+    }
+  }
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->suspect_id, 5U);
+  EXPECT_EQ(first->reporter_id, 9U);
+  EXPECT_EQ(first->evidence.size(), 11U);
+  // Messages span t=0..2.0; with threshold -inf every full window flags, but
+  // cooldown 0.5 s allows at most one report per 0.5 s.
+  EXPECT_LE(reports, 3);
+  EXPECT_GE(reports, 2);
+  EXPECT_EQ(sunk.size(), static_cast<std::size_t>(reports));
+}
+
+TEST(OnlineMbds, ReceptionGapResetsTheSnapshotBuffer) {
+  // With threshold -inf every complete window reports; a 0.5 s reception gap
+  // (packet-loss burst) must force the buffer to refill from scratch, so no
+  // report can fire within the next `window` messages after the gap.
+  OnlineMbds mbds(1, toy_online_ensemble(-1e9), identity_scaler(12), /*cooldown=*/0.0,
+                  /*gap_reset_s=*/0.25);
+  for (int i = 0; i <= 11; ++i) {
+    (void)mbds.ingest(cruise_msg(5, 0.1 * i));
+  }
+  // Buffer full; next message after a 0.5 s silence restarts the window.
+  int reports_after_gap = 0;
+  for (int i = 0; i <= 9; ++i) {
+    if (mbds.ingest(cruise_msg(5, 1.7 + 0.1 * i))) ++reports_after_gap;
+  }
+  EXPECT_EQ(reports_after_gap, 0);
+  // The 11th post-gap message completes a fresh window and reports again.
+  EXPECT_TRUE(mbds.ingest(cruise_msg(5, 2.7)).has_value());
+}
+
+TEST(OnlineMbds, TracksVehiclesIndependentlyAndEvictsStale) {
+  OnlineMbds mbds(1, toy_online_ensemble(1e9), identity_scaler(12));
+  for (int i = 0; i < 5; ++i) {
+    (void)mbds.ingest(cruise_msg(1, 0.1 * i));
+    (void)mbds.ingest(cruise_msg(2, 0.1 * i));
+  }
+  EXPECT_EQ(mbds.tracked_vehicles(), 2U);
+  (void)mbds.ingest(cruise_msg(2, 10.0));
+  mbds.evict_stale(5.0);
+  EXPECT_EQ(mbds.tracked_vehicles(), 1U);
+}
+
+}  // namespace
+}  // namespace vehigan::mbds

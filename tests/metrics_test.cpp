@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "metrics/confusion.hpp"
+#include "metrics/roc.hpp"
+#include "util/rng.hpp"
+
+namespace vehigan::metrics {
+namespace {
+
+// ----------------------------------------------------------- confusion -----
+
+TEST(ConfusionMatrix, RatesFromCounts) {
+  ConfusionMatrix cm;
+  cm.tp = 8;
+  cm.fn = 2;
+  cm.tn = 85;
+  cm.fp = 5;
+  EXPECT_DOUBLE_EQ(cm.tpr(), 0.8);
+  EXPECT_DOUBLE_EQ(cm.fnr(), 0.2);
+  EXPECT_NEAR(cm.fpr(), 5.0 / 90.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.93);
+  EXPECT_NEAR(cm.precision(), 8.0 / 13.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, EmptyClassesGiveZeroRates) {
+  ConfusionMatrix cm;
+  EXPECT_DOUBLE_EQ(cm.tpr(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.fpr(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.fnr(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(), 0.0);
+}
+
+TEST(ConfusionMatrix, AddRoutesOutcomes) {
+  ConfusionMatrix cm;
+  cm.add(true, true);    // TP
+  cm.add(true, false);   // FN
+  cm.add(false, true);   // FP
+  cm.add(false, false);  // TN
+  EXPECT_EQ(cm.tp, 1U);
+  EXPECT_EQ(cm.fn, 1U);
+  EXPECT_EQ(cm.fp, 1U);
+  EXPECT_EQ(cm.tn, 1U);
+}
+
+TEST(ConfusionAtThreshold, UsesStrictGreaterThan) {
+  const std::vector<float> benign{0.1F, 0.5F, 0.5F};
+  const std::vector<float> attack{0.5F, 0.9F};
+  const ConfusionMatrix cm = confusion_at_threshold(benign, attack, 0.5);
+  // Scores exactly at the threshold are NOT flagged (s > tau rule).
+  EXPECT_EQ(cm.fp, 0U);
+  EXPECT_EQ(cm.tn, 3U);
+  EXPECT_EQ(cm.tp, 1U);
+  EXPECT_EQ(cm.fn, 1U);
+}
+
+// ----------------------------------------------------------------- roc -----
+
+TEST(Auroc, PerfectSeparationIsOne) {
+  const std::vector<float> neg{0.0F, 0.1F, 0.2F};
+  const std::vector<float> pos{0.9F, 1.0F};
+  EXPECT_DOUBLE_EQ(auroc(neg, pos), 1.0);
+}
+
+TEST(Auroc, InvertedSeparationIsZero) {
+  const std::vector<float> neg{0.9F, 1.0F};
+  const std::vector<float> pos{0.0F, 0.1F};
+  EXPECT_DOUBLE_EQ(auroc(neg, pos), 0.0);
+}
+
+TEST(Auroc, IdenticalDistributionsGiveHalf) {
+  const std::vector<float> neg{0.5F, 0.5F, 0.5F};
+  const std::vector<float> pos{0.5F, 0.5F};
+  EXPECT_DOUBLE_EQ(auroc(neg, pos), 0.5);
+}
+
+TEST(Auroc, HandlesPartialOverlapExactly) {
+  // neg = {1, 3}, pos = {2, 4}: P(pos>neg) pairs: (2>1), (4>1), (4>3) = 3/4.
+  const std::vector<float> neg{1.0F, 3.0F};
+  const std::vector<float> pos{2.0F, 4.0F};
+  EXPECT_DOUBLE_EQ(auroc(neg, pos), 0.75);
+}
+
+TEST(Auroc, TieGetsHalfCredit) {
+  const std::vector<float> neg{1.0F};
+  const std::vector<float> pos{1.0F};
+  EXPECT_DOUBLE_EQ(auroc(neg, pos), 0.5);
+}
+
+TEST(Auroc, EmptyClassReturnsChance) {
+  const std::vector<float> some{1.0F, 2.0F};
+  EXPECT_DOUBLE_EQ(auroc({}, some), 0.5);
+  EXPECT_DOUBLE_EQ(auroc(some, {}), 0.5);
+}
+
+TEST(Auroc, AgreesWithBruteForcePairCountingOnRandomData) {
+  util::Rng rng(77);
+  std::vector<float> neg(97), pos(83);
+  for (auto& v : neg) v = static_cast<float>(rng.uniform_int(0, 20));  // force ties
+  for (auto& v : pos) v = static_cast<float>(rng.uniform_int(5, 25));
+  double wins = 0.0;
+  for (float p : pos) {
+    for (float n : neg) {
+      if (p > n) wins += 1.0;
+      else if (p == n) wins += 0.5;
+    }
+  }
+  const double brute = wins / (static_cast<double>(neg.size()) * pos.size());
+  EXPECT_NEAR(auroc(neg, pos), brute, 1e-12);
+}
+
+TEST(RocCurve, StartsAtOriginEndsAtOneOneAndIsMonotone) {
+  util::Rng rng(5);
+  std::vector<float> neg(50), pos(50);
+  for (auto& v : neg) v = rng.uniform_f(0.0F, 1.0F);
+  for (auto& v : pos) v = rng.uniform_f(0.3F, 1.3F);
+  const auto curve = roc_curve(neg, pos);
+  ASSERT_GE(curve.size(), 2U);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+    EXPECT_LE(curve[i].threshold, curve[i - 1].threshold);
+  }
+}
+
+TEST(RocCurve, TrapezoidalAreaMatchesAuroc) {
+  util::Rng rng(6);
+  std::vector<float> neg(200), pos(200);
+  for (auto& v : neg) v = rng.normal_f(0.0F, 1.0F);
+  for (auto& v : pos) v = rng.normal_f(1.0F, 1.0F);
+  const auto curve = roc_curve(neg, pos);
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    area += (curve[i].fpr - curve[i - 1].fpr) * (curve[i].tpr + curve[i - 1].tpr) / 2.0;
+  }
+  EXPECT_NEAR(area, auroc(neg, pos), 1e-9);
+}
+
+TEST(TprAtFpr, PerfectSeparationDetectsEverything) {
+  const std::vector<float> neg{0.1F, 0.2F, 0.3F};
+  const std::vector<float> pos{0.9F, 1.0F};
+  EXPECT_DOUBLE_EQ(tpr_at_fpr(neg, pos, 0.01), 1.0);
+}
+
+TEST(TprAtFpr, ThresholdRespectsBudget) {
+  // 100 negatives 0..99; budget 5% -> threshold at the 94th value (index
+  // 100-1-5), positives above 94 are detected.
+  std::vector<float> neg(100), pos{90.0F, 95.0F, 99.0F};
+  for (int i = 0; i < 100; ++i) neg[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  EXPECT_NEAR(tpr_at_fpr(neg, pos, 0.05), 2.0 / 3.0, 1e-12);
+}
+
+TEST(TprAtFpr, ZeroBudgetUsesMaxNegative) {
+  std::vector<float> neg{1.0F, 2.0F, 3.0F};
+  std::vector<float> pos{2.5F, 3.5F};
+  EXPECT_DOUBLE_EQ(tpr_at_fpr(neg, pos, 0.0), 0.5);
+}
+
+TEST(TprAtFpr, EmptyClassesGiveZero) {
+  const std::vector<float> some{1.0F};
+  EXPECT_DOUBLE_EQ(tpr_at_fpr({}, some, 0.01), 0.0);
+  EXPECT_DOUBLE_EQ(tpr_at_fpr(some, {}, 0.01), 0.0);
+}
+
+TEST(Auprc, PerfectDetectorScoresOne) {
+  const std::vector<float> neg{0.0F, 0.1F};
+  const std::vector<float> pos{0.8F, 0.9F};
+  EXPECT_DOUBLE_EQ(auprc(neg, pos), 1.0);
+}
+
+TEST(Auprc, RandomScoresApproachPrevalence) {
+  util::Rng rng(8);
+  std::vector<float> neg(4000), pos(1000);
+  for (auto& v : neg) v = rng.uniform_f();
+  for (auto& v : pos) v = rng.uniform_f();
+  // Prevalence = 0.2; random ranking gives AP near prevalence.
+  EXPECT_NEAR(auprc(neg, pos), 0.2, 0.05);
+}
+
+}  // namespace
+}  // namespace vehigan::metrics

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "net/channel.hpp"
+#include "net/codec.hpp"
+#include "scms/pseudonym.hpp"
+#include "sim/traffic_sim.hpp"
+#include "util/math.hpp"
+
+namespace vehigan::net {
+namespace {
+
+// -------------------------------------------------------------- channel ----
+
+TEST(Channel, DeliveryProbabilityRampsWithDistance) {
+  Channel channel(ChannelConfig{}, 1);
+  const auto& cfg = channel.config();
+  EXPECT_NEAR(channel.delivery_probability(0.0), cfg.p_delivery_near, 1e-12);
+  EXPECT_NEAR(channel.delivery_probability(cfg.max_range_m), cfg.p_delivery_edge, 1e-12);
+  EXPECT_GT(channel.delivery_probability(50.0), channel.delivery_probability(250.0));
+}
+
+TEST(Channel, NothingBeyondRangeOrBehindNegativeDistance) {
+  Channel channel(ChannelConfig{}, 1);
+  EXPECT_DOUBLE_EQ(channel.delivery_probability(301.0), 0.0);
+  EXPECT_DOUBLE_EQ(channel.delivery_probability(-1.0), 0.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(channel.received(0, 0, 1000, 1000));
+  }
+}
+
+TEST(Channel, CongestionLossScalesDelivery) {
+  ChannelConfig cfg;
+  cfg.p_congestion_loss = 0.5;
+  Channel lossy(cfg, 1);
+  Channel clean(ChannelConfig{}, 1);
+  EXPECT_NEAR(lossy.delivery_probability(0.0), clean.delivery_probability(0.0) * 0.5, 1e-12);
+}
+
+TEST(Channel, EmpiricalReceptionRateMatchesProbability) {
+  Channel channel(ChannelConfig{}, 7);
+  const double distance = 150.0;
+  const double expected = channel.delivery_probability(distance);
+  int received = 0;
+  constexpr int kTrials = 5000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (channel.received(0, 0, distance, 0)) ++received;
+  }
+  EXPECT_NEAR(static_cast<double>(received) / kTrials, expected, 0.03);
+}
+
+TEST(Channel, UsesTruePositionNotClaimedPosition) {
+  // An attacker claiming a far-away position is still heard if physically
+  // near: the channel takes the true transmitter coordinates.
+  Channel channel(ChannelConfig{}, 3);
+  int received = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (channel.received(/*true_x=*/10, /*true_y=*/0, /*rx_x=*/0, /*rx_y=*/0)) ++received;
+  }
+  EXPECT_GT(received, 150);
+}
+
+// ---------------------------------------------------------------- codec ----
+
+TEST(Codec, WireSizeIsFixed) {
+  sim::Bsm m;
+  EXPECT_EQ(encode_bsm(m).size(), kWireSize);
+}
+
+TEST(Codec, RoundTripWithinQuantization) {
+  sim::Bsm m;
+  m.vehicle_id = 1234;
+  m.time = 17.37;
+  m.x = 483.123456;
+  m.y = -120.987;
+  m.speed = 13.777;
+  m.accel = -2.345;
+  m.heading = 4.32109;
+  m.yaw_rate = 0.2345;
+  const sim::Bsm q = quantize_bsm(m);
+  EXPECT_EQ(q.vehicle_id, m.vehicle_id);
+  EXPECT_NEAR(q.time, m.time, 0.01);
+  EXPECT_NEAR(q.x, m.x, 0.01);
+  EXPECT_NEAR(q.y, m.y, 0.01);
+  EXPECT_NEAR(q.speed, m.speed, 0.02);
+  EXPECT_NEAR(q.accel, m.accel, 0.01);
+  EXPECT_NEAR(q.heading, m.heading, 0.0125 * util::kPi / 180.0 + 1e-9);
+  EXPECT_NEAR(q.yaw_rate, m.yaw_rate, 0.01 * util::kPi / 180.0 + 1e-9);
+}
+
+TEST(Codec, QuantizationIsIdempotent) {
+  sim::Bsm m;
+  m.x = 123.4567;
+  m.speed = 9.87654;
+  m.heading = 1.23456;
+  const sim::Bsm once = quantize_bsm(m);
+  const sim::Bsm twice = quantize_bsm(once);
+  EXPECT_DOUBLE_EQ(once.x, twice.x);
+  EXPECT_DOUBLE_EQ(once.speed, twice.speed);
+  EXPECT_DOUBLE_EQ(once.heading, twice.heading);
+}
+
+TEST(Codec, SaturatesOutOfRangeValues) {
+  sim::Bsm m;
+  m.speed = 1e9;       // beyond u16 * 0.02
+  m.accel = -1e9;      // beyond i16 * 0.01
+  m.yaw_rate = 1e9;
+  const sim::Bsm q = quantize_bsm(m);
+  EXPECT_NEAR(q.speed, 65535 * 0.02, 1e-6);
+  EXPECT_NEAR(q.accel, -32768 * 0.01, 1e-6);
+  EXPECT_GT(q.yaw_rate, 0.0);
+  EXPECT_LT(q.yaw_rate, 6.0);
+}
+
+TEST(Codec, DecodeRejectsWrongSize) {
+  EXPECT_THROW(decode_bsm("short"), std::invalid_argument);
+}
+
+TEST(Codec, DatasetQuantizationPreservesStructure) {
+  sim::TrafficSimConfig cfg;
+  cfg.duration_s = 5.0;
+  cfg.num_platoons = 2;
+  cfg.vehicles_per_platoon = 2;
+  cfg.seed = 9;
+  const sim::BsmDataset data = sim::TrafficSimulator(cfg).run();
+  const sim::BsmDataset q = quantize_dataset(data);
+  ASSERT_EQ(q.traces.size(), data.traces.size());
+  EXPECT_EQ(q.total_messages(), data.total_messages());
+  for (std::size_t i = 0; i < data.traces.size(); ++i) {
+    EXPECT_EQ(q.traces[i].vehicle_id, data.traces[i].vehicle_id);
+    for (std::size_t j = 0; j < data.traces[i].messages.size(); ++j) {
+      EXPECT_NEAR(q.traces[i].messages[j].x, data.traces[i].messages[j].x, 0.011);
+      EXPECT_NEAR(q.traces[i].messages[j].speed, data.traces[i].messages[j].speed, 0.021);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vehigan::net
+
+namespace vehigan::scms {
+namespace {
+
+sim::BsmDataset two_vehicle_dataset(double duration = 30.0) {
+  sim::BsmDataset data;
+  for (std::uint32_t id : {1U, 2U}) {
+    sim::VehicleTrace trace;
+    trace.vehicle_id = id;
+    for (double t = 0.0; t < duration; t += 0.1) {
+      sim::Bsm m;
+      m.vehicle_id = id;
+      m.time = t;
+      m.x = 10.0 * t;
+      trace.messages.push_back(m);
+    }
+    data.traces.push_back(std::move(trace));
+  }
+  return data;
+}
+
+TEST(PseudonymRotation, SplitsTracesPerEpoch) {
+  PseudonymRotation rotation(10.0, 5);
+  std::map<std::uint32_t, std::uint32_t> ownership;
+  const auto rotated = rotation.apply(two_vehicle_dataset(30.0), ownership);
+  // 2 vehicles x 3 epochs.
+  EXPECT_EQ(rotated.traces.size(), 6U);
+  EXPECT_EQ(ownership.size(), 6U);
+}
+
+TEST(PseudonymRotation, PseudonymsAreFreshAndOwnershipResolves) {
+  PseudonymRotation rotation(10.0, 5);
+  std::map<std::uint32_t, std::uint32_t> ownership;
+  const auto rotated = rotation.apply(two_vehicle_dataset(30.0), ownership);
+  std::set<std::uint32_t> seen;
+  for (const auto& trace : rotated.traces) {
+    EXPECT_FALSE(seen.contains(trace.vehicle_id)) << "pseudonym reused";
+    seen.insert(trace.vehicle_id);
+    ASSERT_TRUE(ownership.contains(trace.vehicle_id));
+    EXPECT_TRUE(ownership.at(trace.vehicle_id) == 1 || ownership.at(trace.vehicle_id) == 2);
+    // Messages inside a rotated trace carry the pseudonym.
+    for (const auto& m : trace.messages) EXPECT_EQ(m.vehicle_id, trace.vehicle_id);
+  }
+}
+
+TEST(PseudonymRotation, PreservesPayloadContentAndOrder) {
+  PseudonymRotation rotation(10.0, 5);
+  std::map<std::uint32_t, std::uint32_t> ownership;
+  const auto original = two_vehicle_dataset(30.0);
+  const auto rotated = rotation.apply(original, ownership);
+  // Reassemble vehicle 1's stream via ownership and compare x/time.
+  std::vector<const sim::Bsm*> reassembled;
+  for (const auto& trace : rotated.traces) {
+    if (ownership.at(trace.vehicle_id) != 1) continue;
+    for (const auto& m : trace.messages) reassembled.push_back(&m);
+  }
+  ASSERT_EQ(reassembled.size(), original.traces[0].messages.size());
+  for (std::size_t i = 0; i < reassembled.size(); ++i) {
+    EXPECT_DOUBLE_EQ(reassembled[i]->time, original.traces[0].messages[i].time);
+    EXPECT_DOUBLE_EQ(reassembled[i]->x, original.traces[0].messages[i].x);
+  }
+}
+
+TEST(PseudonymRotation, NonPositivePeriodMeansSinglePseudonym) {
+  PseudonymRotation rotation(-1.0, 5);
+  std::map<std::uint32_t, std::uint32_t> ownership;
+  const auto rotated = rotation.apply(two_vehicle_dataset(30.0), ownership);
+  EXPECT_EQ(rotated.traces.size(), 2U);
+}
+
+}  // namespace
+}  // namespace vehigan::scms

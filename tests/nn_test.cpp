@@ -1,0 +1,457 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/layers.hpp"
+#include "nn/lite.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "test_utils.hpp"
+
+namespace vehigan::nn {
+namespace {
+
+using vehigan::testing::fill_uniform;
+using vehigan::testing::gradient_check;
+
+// -------------------------------------------------------------- tensor -----
+
+TEST(Tensor, ShapeAndSize) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.size(), 24U);
+  EXPECT_EQ(t.rank(), 3U);
+  EXPECT_EQ(t.dim(1), 3U);
+  EXPECT_EQ(t.shape_string(), "2x3x4");
+}
+
+TEST(Tensor, ConstructorValidatesDataSize) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0F, 2.0F, 3.0F}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapePreservesDataAndChecksCount) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.dim(0), 3U);
+  EXPECT_FLOAT_EQ(r[4], 5.0F);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, FillSetsAllValues) {
+  Tensor t({5});
+  t.fill(2.5F);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_FLOAT_EQ(t[i], 2.5F);
+}
+
+// ------------------------------------------------------- forward shapes ----
+
+TEST(Dense, ForwardComputesAffineMap) {
+  Dense dense(2, 2);
+  dense.weights() = {1.0F, 2.0F, 3.0F, 4.0F};  // rows: out0=(1,2), out1=(3,4)
+  dense.bias() = {0.5F, -0.5F};
+  const Tensor y = dense.forward(Tensor({1, 2}, {1.0F, 1.0F}));
+  EXPECT_FLOAT_EQ(y[0], 3.5F);
+  EXPECT_FLOAT_EQ(y[1], 6.5F);
+}
+
+TEST(Dense, RejectsWrongInputWidth) {
+  Dense dense(3, 2);
+  EXPECT_THROW(dense.forward(Tensor({1, 4})), std::invalid_argument);
+}
+
+TEST(Conv2D, SamePaddingPreservesSpatialSizeAtStrideOne) {
+  Conv2D conv(1, 4, 2, 2, 1);
+  util::Rng rng(1);
+  conv.init_weights(rng);
+  const Tensor y = conv.forward(Tensor({2, 1, 10, 12}));
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 4, 10, 12}));
+}
+
+TEST(Conv2D, StrideTwoHalvesCeil) {
+  Conv2D conv(1, 2, 2, 2, 2);
+  const Tensor y = conv.forward(Tensor({1, 1, 5, 6}));
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{1, 2, 3, 3}));
+}
+
+TEST(Conv2D, KnownConvolutionValue) {
+  // 1x1 in/out channel, 2x2 kernel of ones, zero bias, 2x2 input of ones:
+  // top-left same-padded output = sum of the full kernel overlap = 4.
+  Conv2D conv(1, 1, 2, 2, 1);
+  conv.weights() = {1, 1, 1, 1};
+  conv.bias() = {0};
+  const Tensor y = conv.forward(Tensor({1, 1, 2, 2}, {1, 1, 1, 1}));
+  ASSERT_EQ(y.size(), 4U);
+  EXPECT_FLOAT_EQ(y[0], 4.0F);  // (0,0) covers all four inputs
+  EXPECT_FLOAT_EQ(y[3], 1.0F);  // (1,1) covers only the last input
+}
+
+TEST(Conv2DTranspose, DoublesSpatialSize) {
+  Conv2DTranspose deconv(2, 3, 2, 2, 2);
+  util::Rng rng(5);
+  deconv.init_weights(rng);
+  const Tensor y = deconv.forward(Tensor({2, 2, 5, 6}));
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 3, 10, 12}));
+}
+
+TEST(Conv2DTranspose, KnownValueWithUnitKernel) {
+  // 1->1 channel, 2x2 kernel of ones, stride 2: each input pixel tiles a
+  // 2x2 output block with its value.
+  Conv2DTranspose deconv(1, 1, 2, 2, 2);
+  deconv.weights() = {1, 1, 1, 1};
+  deconv.bias() = {0};
+  const Tensor y = deconv.forward(Tensor({1, 1, 2, 2}, {1, 2, 3, 4}));
+  ASSERT_EQ(y.shape(), (std::vector<std::size_t>{1, 1, 4, 4}));
+  EXPECT_FLOAT_EQ(y[0], 1.0F);
+  EXPECT_FLOAT_EQ(y[1], 1.0F);
+  EXPECT_FLOAT_EQ(y[2], 2.0F);
+  EXPECT_FLOAT_EQ(y[5], 1.0F);
+  EXPECT_FLOAT_EQ(y[15], 4.0F);
+}
+
+TEST(UpSample2D, NearestNeighborDoubling) {
+  UpSample2D up(2);
+  const Tensor y = up.forward(Tensor({1, 1, 2, 2}, {1, 2, 3, 4}));
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{1, 1, 4, 4}));
+  EXPECT_FLOAT_EQ(y[0], 1.0F);
+  EXPECT_FLOAT_EQ(y[1], 1.0F);
+  EXPECT_FLOAT_EQ(y[5], 1.0F);
+  EXPECT_FLOAT_EQ(y[15], 4.0F);
+}
+
+TEST(Activations, PointwiseValues) {
+  LeakyReLU lrelu(0.1F);
+  const Tensor y = lrelu.forward(Tensor({1, 2}, {2.0F, -2.0F}));
+  EXPECT_FLOAT_EQ(y[0], 2.0F);
+  EXPECT_FLOAT_EQ(y[1], -0.2F);
+
+  Sigmoid sigmoid;
+  const Tensor s = sigmoid.forward(Tensor({1, 1}, {0.0F}));
+  EXPECT_FLOAT_EQ(s[0], 0.5F);
+
+  Tanh tanh_layer;
+  const Tensor t = tanh_layer.forward(Tensor({1, 1}, {100.0F}));
+  EXPECT_NEAR(t[0], 1.0F, 1e-5);
+}
+
+TEST(FlattenReshape, RoundTripShapes) {
+  Flatten flatten;
+  const Tensor flat = flatten.forward(Tensor({2, 3, 4, 5}));
+  EXPECT_EQ(flat.shape(), (std::vector<std::size_t>{2, 60}));
+  Reshape reshape({3, 4, 5});
+  const Tensor back = reshape.forward(flat);
+  EXPECT_EQ(back.shape(), (std::vector<std::size_t>{2, 3, 4, 5}));
+}
+
+// ------------------------------------------------------ gradient checks ----
+
+struct GradCase {
+  std::string name;
+  std::function<Sequential(util::Rng&)> build;
+  std::vector<std::size_t> input_shape;
+};
+
+class GradientCheckTest : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(GradientCheckTest, BackwardMatchesNumericGradients) {
+  util::Rng rng(42);
+  Sequential model = GetParam().build(rng);
+  Tensor input(GetParam().input_shape);
+  fill_uniform(input, rng, -0.9F, 0.9F);
+  const auto result = gradient_check(model, input, rng);
+  // The bulk of coordinates must match tightly; the max is allowed slack
+  // because central differences straddling a LeakyReLU kink are wrong by
+  // construction (the analytic subgradient is still correct there).
+  EXPECT_LT(result.p95_input_error, 5e-2) << GetParam().name;
+  EXPECT_LT(result.p95_param_error, 5e-2) << GetParam().name;
+  EXPECT_LT(result.max_input_error, 1.0) << GetParam().name;
+  EXPECT_LT(result.max_param_error, 1.0) << GetParam().name;
+}
+
+std::vector<GradCase> grad_cases() {
+  std::vector<GradCase> cases;
+  cases.push_back({"dense",
+                   [](util::Rng& rng) {
+                     Sequential m;
+                     m.add<Dense>(6, 4).init_weights(rng);
+                     return m;
+                   },
+                   {3, 6}});
+  cases.push_back({"dense_leaky_dense",
+                   [](util::Rng& rng) {
+                     Sequential m;
+                     m.add<Dense>(5, 7).init_weights(rng);
+                     m.add<LeakyReLU>(0.2F);
+                     m.add<Dense>(7, 2).init_weights(rng);
+                     return m;
+                   },
+                   {2, 5}});
+  cases.push_back({"conv_stride1",
+                   [](util::Rng& rng) {
+                     Sequential m;
+                     m.add<Conv2D>(1, 2, 2, 2, 1).init_weights(rng);
+                     return m;
+                   },
+                   {2, 1, 4, 5}});
+  cases.push_back({"conv_stride2",
+                   [](util::Rng& rng) {
+                     Sequential m;
+                     m.add<Conv2D>(2, 3, 2, 2, 2).init_weights(rng);
+                     return m;
+                   },
+                   {1, 2, 5, 6}});
+  cases.push_back({"conv_3x3_kernel",
+                   [](util::Rng& rng) {
+                     Sequential m;
+                     m.add<Conv2D>(1, 2, 3, 3, 1).init_weights(rng);
+                     return m;
+                   },
+                   {1, 1, 5, 5}});
+  cases.push_back({"conv_transpose_s2",
+                   [](util::Rng& rng) {
+                     Sequential m;
+                     m.add<Conv2DTranspose>(2, 3, 2, 2, 2).init_weights(rng);
+                     return m;
+                   },
+                   {1, 2, 3, 4}});
+  cases.push_back({"conv_transpose_s1_k3",
+                   [](util::Rng& rng) {
+                     Sequential m;
+                     m.add<Conv2DTranspose>(1, 2, 3, 3, 1).init_weights(rng);
+                     return m;
+                   },
+                   {1, 1, 4, 4}});
+  cases.push_back({"upsample_conv",
+                   [](util::Rng& rng) {
+                     Sequential m;
+                     m.add<UpSample2D>(2);
+                     m.add<Conv2D>(1, 1, 2, 2, 1).init_weights(rng);
+                     return m;
+                   },
+                   {1, 1, 3, 3}});
+  cases.push_back({"sigmoid_tanh_chain",
+                   [](util::Rng& rng) {
+                     Sequential m;
+                     m.add<Dense>(4, 4).init_weights(rng);
+                     m.add<Sigmoid>();
+                     m.add<Dense>(4, 3).init_weights(rng);
+                     m.add<Tanh>();
+                     return m;
+                   },
+                   {2, 4}});
+  cases.push_back({"discriminator_like",
+                   [](util::Rng& rng) {
+                     Sequential m;
+                     m.add<Conv2D>(1, 4, 2, 2, 2).init_weights(rng);
+                     m.add<LeakyReLU>(0.2F);
+                     m.add<Conv2D>(4, 4, 2, 2, 2).init_weights(rng);
+                     m.add<LeakyReLU>(0.2F);
+                     m.add<Flatten>();
+                     m.add<Dense>(4 * 3 * 3, 8).init_weights(rng);
+                     m.add<LeakyReLU>(0.2F);
+                     m.add<Dense>(8, 1).init_weights(rng);
+                     return m;
+                   },
+                   {2, 1, 10, 12}});
+  cases.push_back({"generator_like",
+                   [](util::Rng& rng) {
+                     Sequential m;
+                     m.add<Dense>(4, 2 * 3 * 3).init_weights(rng);
+                     m.add<LeakyReLU>(0.2F);
+                     m.add<Reshape>(std::vector<std::size_t>{2, 3, 3});
+                     m.add<UpSample2D>(2);
+                     m.add<Conv2D>(2, 1, 2, 2, 1).init_weights(rng);
+                     m.add<Sigmoid>();
+                     return m;
+                   },
+                   {2, 4}});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Layers, GradientCheckTest, ::testing::ValuesIn(grad_cases()),
+                         [](const ::testing::TestParamInfo<GradCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(Sequential, BackwardAccumulatesAcrossCalls) {
+  util::Rng rng(7);
+  Sequential m;
+  m.add<Dense>(3, 1).init_weights(rng);
+  Tensor x({1, 3}, {1, 2, 3});
+  m.zero_grad();
+  (void)m.forward(x);
+  (void)m.backward(Tensor({1, 1}, {1.0F}));
+  const auto grads_once = *m.parameters()[0].grads;
+  (void)m.forward(x);
+  (void)m.backward(Tensor({1, 1}, {1.0F}));
+  const auto grads_twice = *m.parameters()[0].grads;
+  for (std::size_t i = 0; i < grads_once.size(); ++i) {
+    EXPECT_FLOAT_EQ(grads_twice[i], 2.0F * grads_once[i]);
+  }
+}
+
+// ---------------------------------------------------------- optimizers -----
+
+TEST(Optimizers, SgdAppliesLearningRate) {
+  std::vector<float> w{1.0F};
+  std::vector<float> g{0.5F};
+  Sgd sgd(0.1F);
+  sgd.step({Param{&w, &g}});
+  EXPECT_FLOAT_EQ(w[0], 0.95F);
+}
+
+template <typename Opt>
+double minimize_quadratic(Opt&& opt, int steps) {
+  // f(w) = (w - 3)^2, df/dw = 2(w - 3).
+  std::vector<float> w{0.0F};
+  std::vector<float> g{0.0F};
+  for (int i = 0; i < steps; ++i) {
+    g[0] = 2.0F * (w[0] - 3.0F);
+    opt.step({Param{&w, &g}});
+  }
+  return w[0];
+}
+
+TEST(Optimizers, AdamConvergesOnQuadratic) {
+  EXPECT_NEAR(minimize_quadratic(Adam(0.1F), 500), 3.0, 0.05);
+}
+
+TEST(Optimizers, RmsPropConvergesOnQuadratic) {
+  EXPECT_NEAR(minimize_quadratic(RmsProp(0.05F), 800), 3.0, 0.05);
+}
+
+TEST(Optimizers, RejectChangingParameterList) {
+  Adam adam(0.01F);
+  std::vector<float> w1{1.0F}, g1{0.1F}, w2{2.0F}, g2{0.2F};
+  adam.step({Param{&w1, &g1}});
+  EXPECT_THROW(adam.step({Param{&w1, &g1}, Param{&w2, &g2}}), std::invalid_argument);
+}
+
+// -------------------------------------------------------- serialization ----
+
+Sequential build_mixed_model(util::Rng& rng) {
+  Sequential m;
+  m.add<Dense>(6, 2 * 2 * 3).init_weights(rng);
+  m.add<LeakyReLU>(0.15F);
+  m.add<Reshape>(std::vector<std::size_t>{2, 2, 3});
+  m.add<Conv2DTranspose>(2, 2, 2, 2, 1).init_weights(rng);
+  m.add<UpSample2D>(2);
+  m.add<Conv2D>(2, 1, 2, 2, 1).init_weights(rng);
+  m.add<Sigmoid>();
+  m.add<Flatten>();
+  m.add<Dense>(4 * 6, 1).init_weights(rng);
+  m.add<Tanh>();
+  return m;
+}
+
+TEST(Serialization, RoundTripPreservesOutputs) {
+  util::Rng rng(13);
+  Sequential model = build_mixed_model(rng);
+  Tensor x({3, 6});
+  fill_uniform(x, rng);
+  const Tensor y_before = model.forward(x);
+
+  std::stringstream buffer;
+  model.save(buffer);
+  Sequential loaded = Sequential::load(buffer);
+  const Tensor y_after = loaded.forward(x);
+  ASSERT_EQ(y_after.size(), y_before.size());
+  for (std::size_t i = 0; i < y_before.size(); ++i) {
+    EXPECT_FLOAT_EQ(y_after[i], y_before[i]);
+  }
+}
+
+TEST(Serialization, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "not a model";
+  EXPECT_THROW(Sequential::load(buffer), std::runtime_error);
+}
+
+TEST(Serialization, CloneIsIndependentDeepCopy) {
+  util::Rng rng(17);
+  Sequential model;
+  model.add<Dense>(2, 1).init_weights(rng);
+  Sequential copy = model.clone();
+  auto* original_dense = dynamic_cast<Dense*>(&model.layer(0));
+  ASSERT_NE(original_dense, nullptr);
+  original_dense->weights()[0] += 1.0F;
+  const Tensor x({1, 2}, {1.0F, 1.0F});
+  const Tensor y_orig = model.forward(x);
+  const Tensor y_copy = copy.forward(x);
+  EXPECT_NE(y_orig[0], y_copy[0]);
+}
+
+// ----------------------------------------------------------------- lite ----
+
+TEST(Lite, MatchesSequentialOnDiscriminatorArchitecture) {
+  util::Rng rng(23);
+  Sequential d;
+  d.add<Conv2D>(1, 8, 2, 2, 2).init_weights(rng);
+  d.add<LeakyReLU>(0.2F);
+  d.add<Conv2D>(8, 16, 2, 2, 2).init_weights(rng);
+  d.add<LeakyReLU>(0.2F);
+  d.add<Flatten>();
+  d.add<Dense>(16 * 3 * 3, 32).init_weights(rng);
+  d.add<LeakyReLU>(0.2F);
+  d.add<Dense>(32, 1).init_weights(rng);
+
+  auto lite = lite::LiteModel::compile(d, {1, 10, 12});
+  for (int trial = 0; trial < 10; ++trial) {
+    Tensor x({1, 1, 10, 12});
+    fill_uniform(x, rng, -0.4F, 1.4F);
+    const float reference = d.forward(x)[0];
+    const float fast = lite.infer_scalar(x.values());
+    EXPECT_NEAR(fast, reference, 1e-4F * (1.0F + std::abs(reference)));
+  }
+}
+
+TEST(Lite, MatchesSequentialOnGeneratorArchitecture) {
+  util::Rng rng(29);
+  Sequential g;
+  g.add<Dense>(8, 16 * 5 * 6).init_weights(rng);
+  g.add<LeakyReLU>(0.2F);
+  g.add<Reshape>(std::vector<std::size_t>{16, 5, 6});
+  g.add<UpSample2D>(2);
+  g.add<Conv2D>(16, 8, 2, 2, 1).init_weights(rng);
+  g.add<LeakyReLU>(0.2F);
+  g.add<Conv2D>(8, 1, 2, 2, 1).init_weights(rng);
+  g.add<Sigmoid>();
+
+  auto lite = lite::LiteModel::compile(g, {8});
+  Tensor z({1, 8});
+  fill_uniform(z, rng);
+  const Tensor reference = g.forward(z);
+  const auto fast = lite.infer(z.values());
+  ASSERT_EQ(fast.size(), reference.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], reference[i], 1e-5F);
+  }
+}
+
+TEST(Lite, FusesActivationsIntoComputeOps) {
+  util::Rng rng(31);
+  Sequential d;
+  d.add<Dense>(4, 4).init_weights(rng);
+  d.add<LeakyReLU>(0.2F);
+  d.add<Dense>(4, 1).init_weights(rng);
+  const auto lite = lite::LiteModel::compile(d, {4});
+  // Two dense ops, LeakyReLU fused: 2 ops total.
+  EXPECT_EQ(lite.op_count(), 2U);
+}
+
+TEST(Lite, ValidatesInputSize) {
+  util::Rng rng(37);
+  Sequential d;
+  d.add<Dense>(4, 1).init_weights(rng);
+  auto lite = lite::LiteModel::compile(d, {4});
+  std::vector<float> wrong(3, 0.0F);
+  EXPECT_THROW(lite.infer(wrong), std::invalid_argument);
+}
+
+TEST(Lite, RejectsShapeMismatchAtCompile) {
+  util::Rng rng(41);
+  Sequential d;
+  d.add<Dense>(5, 1).init_weights(rng);
+  EXPECT_THROW(lite::LiteModel::compile(d, {4}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vehigan::nn

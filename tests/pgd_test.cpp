@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "adv/pgd.hpp"
+#include "nn/layers.hpp"
+
+namespace vehigan::adv {
+namespace {
+
+std::shared_ptr<mbds::WganDetector> linear_detector(const std::vector<float>& w, int id = 0) {
+  gan::TrainedWgan model;
+  model.config.id = id;
+  model.config.window = 2;
+  model.config.width = 3;
+  model.config.z_dim = 4;
+  model.discriminator.add<nn::Flatten>();
+  auto& dense = model.discriminator.add<nn::Dense>(6, 1);
+  dense.weights() = w;
+  dense.bias() = {0.0F};
+  util::Rng rng(1);
+  model.generator.add<nn::Dense>(4, 6).init_weights(rng);
+  return std::make_shared<mbds::WganDetector>(std::move(model));
+}
+
+/// A detector whose score gradient flips sign across x0 = 0.7: the bowl
+/// s(x) = (x0 - 0.7)^2 + ..., built from a tiny two-layer net is overkill —
+/// instead use two linear detectors in tests below; for PGD the linear case
+/// already distinguishes iterated projection from single-step FGSM via the
+/// eps ball.
+
+TEST(Pgd, StaysInsideEpsBall) {
+  auto det = linear_detector({1, -2, 3, -4, 5, -6});
+  const std::vector<float> x(6, 0.5F);
+  PgdOptions options;
+  options.eps = 0.03F;
+  options.step_size = 0.02F;
+  options.iterations = 7;
+  const auto adv = pgd_perturb(*det, x, options, AttackGoal::kFalsePositive);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_LE(std::abs(adv[i] - x[i]), options.eps + 1e-6F);
+  }
+}
+
+TEST(Pgd, SaturatesLinearModelAtTheBallBoundary) {
+  // On a linear model, enough PGD steps land exactly at +-eps per
+  // coordinate, matching FGSM at the same budget.
+  const std::vector<float> w{1, -2, 3, -4, 5, -6};
+  auto det = linear_detector(w);
+  const std::vector<float> x(6, 0.5F);
+  PgdOptions options;
+  options.eps = 0.05F;
+  options.step_size = 0.02F;
+  options.iterations = 5;
+  const auto pgd = pgd_perturb(*det, x, options, AttackGoal::kFalsePositive);
+  const auto fgsm = fgsm_perturb(*det, x, options.eps, AttackGoal::kFalsePositive);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(pgd[i], fgsm[i], 1e-6F);
+  }
+}
+
+TEST(Pgd, IncreasesScoreAtLeastAsMuchAsFgsm) {
+  auto det = linear_detector({0.5F, -1.5F, 2.5F, -0.5F, 1.0F, -2.0F});
+  const std::vector<float> x{0.2F, 0.8F, 0.5F, 0.3F, 0.6F, 0.4F};
+  PgdOptions options;
+  options.eps = 0.04F;
+  options.step_size = 0.01F;
+  options.iterations = 10;
+  const float base = det->score(x);
+  const float after_pgd = det->score(pgd_perturb(*det, x, options, AttackGoal::kFalsePositive));
+  const float after_fgsm =
+      det->score(fgsm_perturb(*det, x, options.eps, AttackGoal::kFalsePositive));
+  EXPECT_GT(after_pgd, base);
+  EXPECT_GE(after_pgd, after_fgsm - 1e-5F);
+}
+
+TEST(Pgd, FalseNegativeGoalDescendsTheScore) {
+  auto det = linear_detector({-1, -1, -1, -1, -1, -1});  // s = sum(x)
+  const std::vector<float> x(6, 0.5F);
+  PgdOptions options;
+  options.eps = 0.05F;
+  const auto adv = pgd_perturb(*det, x, options, AttackGoal::kFalseNegative);
+  EXPECT_LT(det->score(adv), det->score(x));
+}
+
+TEST(Pgd, MultiModelFollowsMeanGradient) {
+  auto a = linear_detector({1, 1, 0, 0, 0, 0}, 0);
+  auto b = linear_detector({-1, 1, 0, 0, 0, 0}, 1);
+  const std::vector<float> x(6, 0.5F);
+  PgdOptions options;
+  options.eps = 0.05F;
+  options.step_size = 0.02F;
+  options.iterations = 5;
+  const auto adv = pgd_perturb_multi({a, b}, x, options, AttackGoal::kFalsePositive);
+  EXPECT_FLOAT_EQ(adv[0], 0.5F);           // gradients cancel on x0
+  EXPECT_FLOAT_EQ(adv[1], 0.5F - 0.05F);   // agree on x1 (score grad = -w)
+}
+
+TEST(Pgd, MultiModelRejectsEmptyList) {
+  const std::vector<float> x(6, 0.5F);
+  EXPECT_THROW(pgd_perturb_multi({}, x, PgdOptions{}, AttackGoal::kFalsePositive),
+               std::invalid_argument);
+}
+
+TEST(Pgd, CraftSetsPreserveShape) {
+  auto det = linear_detector({1, 1, 1, 1, 1, 1});
+  features::WindowSet windows;
+  windows.window = 2;
+  windows.width = 3;
+  windows.append(std::vector<float>(6, 0.4F), 1);
+  windows.append(std::vector<float>(6, 0.6F), 2);
+  PgdOptions options;
+  const auto single = craft_pgd(*det, windows, options, AttackGoal::kFalsePositive);
+  EXPECT_EQ(single.count(), 2U);
+  EXPECT_EQ(single.vehicle_ids, windows.vehicle_ids);
+  const auto multi = craft_pgd_multi({det}, windows, options, AttackGoal::kFalsePositive);
+  EXPECT_EQ(multi.count(), 2U);
+}
+
+}  // namespace
+}  // namespace vehigan::adv

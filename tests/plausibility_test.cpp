@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "experiments/data.hpp"
+#include "mbds/plausibility.hpp"
+#include "metrics/roc.hpp"
+
+namespace vehigan::mbds {
+namespace {
+
+/// Shared quick-scale data (built once for this binary).
+const experiments::ExperimentData& data() {
+  static const experiments::ExperimentData instance =
+      build_experiment_data(experiments::ExperimentConfig::quick());
+  return instance;
+}
+
+PlausibilityDetector fitted_detector() {
+  PlausibilityDetector detector(data().scaler, 0.1);
+  detector.fit(data().train_windows);
+  return detector;
+}
+
+TEST(Plausibility, BenignWindowsScoreLow) {
+  auto detector = fitted_detector();
+  const auto scores = detector.score_all(data().test_benign);
+  double mean = 0.0;
+  for (float s : scores) mean += s;
+  mean /= static_cast<double>(scores.size());
+  // Benign residuals are calibrated to ~O(1) normalized units.
+  EXPECT_LT(mean, 2.5);
+}
+
+TEST(Plausibility, DetectsPhysicsViolatingAttacks) {
+  auto detector = fitted_detector();
+  const auto benign_scores = detector.score_all(data().test_benign);
+  // RandomPosition breaks dx ~ vx*dt grossly.
+  const auto& random_position = data().test_attacks.front();
+  ASSERT_EQ(random_position.attack_name, "RandomPosition");
+  const auto attack_scores = detector.score_all(random_position.malicious);
+  EXPECT_GT(metrics::auroc(benign_scores, attack_scores), 0.95);
+}
+
+TEST(Plausibility, BlindToPhysicsConsistentAttacks) {
+  // ConstantPositionOffset shifts every position equally: all deltas and
+  // relations stay valid -> plausibility cannot see it (paper Sec. V-C).
+  auto detector = fitted_detector();
+  const auto benign_scores = detector.score_all(data().test_benign);
+  const auto& offset = data().test_attacks[3];
+  ASSERT_EQ(offset.attack_name, "ConstantPositionOffset");
+  const auto attack_scores = detector.score_all(offset.malicious);
+  const double auc = metrics::auroc(benign_scores, attack_scores);
+  EXPECT_GT(auc, 0.3);
+  EXPECT_LT(auc, 0.7);
+}
+
+TEST(Plausibility, ResidualsAreNearZeroOnCleanKinematics) {
+  // A hand-built perfectly consistent window: constant velocity row.
+  auto detector = fitted_detector();
+  const auto& scaler = data().scaler;
+  const double dt = 0.1;
+  const double vx = 8.0, vy = 3.0;
+  features::WindowSet set;
+  set.window = 10;
+  set.width = features::kNumFeatures;
+  std::vector<float> snap(10 * features::kNumFeatures, 0.0F);
+  for (std::size_t t = 0; t < 10; ++t) {
+    float* row = snap.data() + t * features::kNumFeatures;
+    row[features::kDx] = static_cast<float>(vx * dt);
+    row[features::kDy] = static_cast<float>(vy * dt);
+    row[features::kVx] = static_cast<float>(vx);
+    row[features::kVy] = static_cast<float>(vy);
+    // All delta/accel/yaw features zero: consistent with constant velocity.
+  }
+  // Scale into detector input units.
+  for (std::size_t t = 0; t < 10; ++t) {
+    for (std::size_t c = 0; c < features::kNumFeatures; ++c) {
+      snap[t * features::kNumFeatures + c] =
+          scaler.scale_value(c, snap[t * features::kNumFeatures + c]);
+    }
+  }
+  const auto residuals = detector.residuals(snap);
+  for (double r : residuals) EXPECT_LT(r, 0.05);
+}
+
+TEST(Plausibility, ScoreBeforeFitThrows) {
+  PlausibilityDetector detector(data().scaler, 0.1);
+  EXPECT_THROW(detector.score(data().test_benign.snapshot(0)), std::logic_error);
+}
+
+// ------------------------------------------------------------- hybrid ------
+
+/// Trivial detectors for fusion-math checks.
+class FixedDetector : public AnomalyDetector {
+ public:
+  FixedDetector(std::string name, float benign_value, float trigger_value,
+                std::size_t trigger_index)
+      : name_(std::move(name)),
+        benign_(benign_value),
+        trigger_(trigger_value),
+        index_(trigger_index) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  float score(std::span<const float> snapshot) override {
+    return snapshot[index_] > 0.5F ? trigger_ : benign_;
+  }
+
+ private:
+  std::string name_;
+  float benign_, trigger_;
+  std::size_t index_;
+};
+
+features::WindowSet tiny_windows() {
+  features::WindowSet set;
+  set.window = 1;
+  set.width = 2;
+  for (int i = 0; i < 32; ++i) {
+    std::vector<float> snap{0.0F, 0.0F};
+    set.append(snap, 0);
+  }
+  // Mild variance so calibration std is nonzero.
+  set.data[0] = 0.1F;
+  set.data[3] = 0.1F;
+  return set;
+}
+
+TEST(Hybrid, EitherMemberCanRaiseTheAlarm) {
+  auto a = std::make_shared<FixedDetector>("A", 0.0F, 10.0F, 0);
+  auto b = std::make_shared<FixedDetector>("B", 0.0F, 10.0F, 1);
+  HybridDetector hybrid(a, b);
+  hybrid.fit(tiny_windows());
+  const float quiet = hybrid.score(std::vector<float>{0.0F, 0.0F});
+  const float via_a = hybrid.score(std::vector<float>{1.0F, 0.0F});
+  const float via_b = hybrid.score(std::vector<float>{0.0F, 1.0F});
+  EXPECT_GT(via_a, quiet + 1.0F);
+  EXPECT_GT(via_b, quiet + 1.0F);
+}
+
+TEST(Hybrid, NameCombinesMembers) {
+  auto a = std::make_shared<FixedDetector>("A", 0, 1, 0);
+  auto b = std::make_shared<FixedDetector>("B", 0, 1, 1);
+  EXPECT_EQ(HybridDetector(a, b).name(), "A+B");
+}
+
+TEST(Hybrid, RejectsNullMembersAndUnfittedScoring) {
+  auto a = std::make_shared<FixedDetector>("A", 0, 1, 0);
+  EXPECT_THROW(HybridDetector(nullptr, a), std::invalid_argument);
+  HybridDetector hybrid(a, a);
+  EXPECT_THROW(hybrid.score(std::vector<float>{0.0F, 0.0F}), std::logic_error);
+}
+
+TEST(Hybrid, CoversVehiganBlindSpotOnPlausibilityStrength) {
+  // Integration shape check: plausibility alone already detects
+  // RandomPosition; fused with a weak detector it must stay strong.
+  auto plaus = std::make_shared<PlausibilityDetector>(data().scaler, 0.1);
+  plaus->fit(data().train_windows);
+  auto weak = std::make_shared<FixedDetector>("Weak", 0.0F, 0.0F, 0);
+  HybridDetector hybrid(plaus, weak);
+  hybrid.fit(data().train_windows);
+  const auto benign_scores = hybrid.score_all(data().test_benign);
+  const auto attack_scores = hybrid.score_all(data().test_attacks.front().malicious);
+  EXPECT_GT(metrics::auroc(benign_scores, attack_scores), 0.9);
+}
+
+}  // namespace
+}  // namespace vehigan::mbds

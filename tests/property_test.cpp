@@ -1,0 +1,216 @@
+// Cross-cutting property tests: invariants that must hold over randomized
+// inputs rather than single examples.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adv/fgsm.hpp"
+#include "adv/pgd.hpp"
+#include "features/scaler.hpp"
+#include "features/windows.hpp"
+#include "gan/architecture.hpp"
+#include "mbds/wgan_detector.hpp"
+#include "metrics/roc.hpp"
+#include "nn/lite.hpp"
+#include "test_utils.hpp"
+#include "util/math.hpp"
+
+namespace vehigan {
+namespace {
+
+// ------------------------------------------------------------- metrics -----
+
+TEST(Property, AurocIsInvariantUnderMonotoneTransforms) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> neg(60), pos(40);
+    for (auto& v : neg) v = rng.normal_f(0.0F, 1.0F);
+    for (auto& v : pos) v = rng.normal_f(0.7F, 1.3F);
+    const double base = metrics::auroc(neg, pos);
+    auto transform = [](float v) { return std::exp(0.5F * v) + 3.0F; };  // strictly increasing
+    for (auto& v : neg) v = transform(v);
+    for (auto& v : pos) v = transform(v);
+    EXPECT_NEAR(metrics::auroc(neg, pos), base, 1e-12) << "trial " << trial;
+  }
+}
+
+TEST(Property, AurocOfSwappedClassesIsComplement) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> a(50), b(30);
+    for (auto& v : a) v = static_cast<float>(rng.uniform_int(0, 15));  // with ties
+    for (auto& v : b) v = static_cast<float>(rng.uniform_int(5, 20));
+    EXPECT_NEAR(metrics::auroc(a, b) + metrics::auroc(b, a), 1.0, 1e-12);
+  }
+}
+
+TEST(Property, PercentileIsMonotoneInP) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> values(1 + rng.index(200));
+    for (auto& v : values) v = rng.normal(0.0, 5.0);
+    double previous = -1e18;
+    for (double p = 0.0; p <= 100.0; p += 7.3) {
+      const double current = util::percentile(values, p);
+      EXPECT_GE(current, previous - 1e-12);
+      previous = current;
+    }
+  }
+}
+
+// ------------------------------------------------------------- detector ----
+
+mbds::WganDetector random_detector(std::uint64_t seed) {
+  gan::WganConfig cfg;
+  util::Rng rng(seed);
+  cfg.z_dim = 8;
+  cfg.layers = 6 + static_cast<int>(rng.index(3));
+  cfg.id = static_cast<int>(seed);
+  util::Rng g_rng = rng.split(1);
+  util::Rng d_rng = rng.split(2);
+  gan::TrainedWgan model;
+  model.config = cfg;
+  model.generator = gan::build_generator(cfg, g_rng);
+  model.discriminator = gan::build_discriminator(cfg, d_rng);
+  return mbds::WganDetector(std::move(model));
+}
+
+TEST(Property, CalibrationNeverChangesAurocOrFgsmDirection) {
+  util::Rng rng(5);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    mbds::WganDetector raw = random_detector(seed);
+    mbds::WganDetector calibrated = random_detector(seed);
+
+    std::vector<float> neg_raw, pos_raw, neg_cal, pos_cal;
+    std::vector<std::vector<float>> negatives, positives;
+    for (int i = 0; i < 30; ++i) {
+      std::vector<float> snap(120);
+      for (auto& v : snap) v = rng.uniform_f(0.0F, 1.0F);
+      negatives.push_back(snap);
+      for (auto& v : snap) v += rng.uniform_f(0.0F, 2.0F);
+      positives.push_back(snap);
+    }
+    // Calibrate with arbitrary benign stats.
+    std::vector<float> benign_scores;
+    for (const auto& snap : negatives) benign_scores.push_back(calibrated.score(snap));
+    calibrated.calibrate(benign_scores);
+
+    for (const auto& snap : negatives) {
+      neg_raw.push_back(raw.score(snap));
+      neg_cal.push_back(calibrated.score(snap));
+    }
+    for (const auto& snap : positives) {
+      pos_raw.push_back(raw.score(snap));
+      pos_cal.push_back(calibrated.score(snap));
+    }
+    EXPECT_NEAR(metrics::auroc(neg_raw, pos_raw), metrics::auroc(neg_cal, pos_cal), 1e-9);
+
+    // FGSM moves every coordinate identically (sign(grad/sigma) == sign(grad)).
+    const auto adv_raw =
+        adv::fgsm_perturb(raw, negatives[0], 0.01F, adv::AttackGoal::kFalsePositive);
+    const auto adv_cal =
+        adv::fgsm_perturb(calibrated, negatives[0], 0.01F, adv::AttackGoal::kFalsePositive);
+    for (std::size_t i = 0; i < adv_raw.size(); ++i) {
+      EXPECT_FLOAT_EQ(adv_raw[i], adv_cal[i]);
+    }
+  }
+}
+
+TEST(Property, LiteMatchesSequentialAcrossRandomArchitectures) {
+  util::Rng rng(11);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    mbds::WganDetector detector = random_detector(seed + 100);
+    auto lite = nn::lite::LiteModel::compile(detector.model().discriminator, {1, 10, 12});
+    for (int trial = 0; trial < 3; ++trial) {
+      std::vector<float> snap(120);
+      for (auto& v : snap) v = rng.uniform_f(-1.0F, 2.0F);
+      const float reference =
+          nn::forward_scalar(detector.model().discriminator, snap, 10, 12);
+      EXPECT_NEAR(lite.infer_scalar(snap), reference,
+                  1e-4F * (1.0F + std::abs(reference)))
+          << "arch seed " << seed;
+    }
+  }
+}
+
+// ---------------------------------------------------------- adversarial ----
+
+TEST(Property, FgsmAndPgdRespectTheLinfBudget) {
+  util::Rng rng(13);
+  mbds::WganDetector detector = random_detector(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<float> snap(120);
+    for (auto& v : snap) v = rng.uniform_f(0.0F, 1.0F);
+    const float eps = rng.uniform_f(0.005F, 0.2F);
+    const auto fgsm = adv::fgsm_perturb(detector, snap, eps, adv::AttackGoal::kFalsePositive);
+    adv::PgdOptions options;
+    options.eps = eps;
+    options.step_size = eps / 3.0F;
+    options.iterations = 6;
+    const auto pgd = adv::pgd_perturb(detector, snap, options, adv::AttackGoal::kFalsePositive);
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+      EXPECT_LE(std::abs(fgsm[i] - snap[i]), eps + 1e-6F);
+      EXPECT_LE(std::abs(pgd[i] - snap[i]), eps + 1e-6F);
+    }
+  }
+}
+
+// -------------------------------------------------------------- windows ----
+
+TEST(Property, WindowCountMatchesClosedForm) {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t rows = 1 + rng.index(60);
+    const std::size_t width = 1 + rng.index(6);
+    const std::size_t window = 1 + rng.index(15);
+    const std::size_t stride = 1 + rng.index(5);
+    features::Series s;
+    s.vehicle_id = 1;
+    s.width = width;
+    s.values.assign(rows * width, 0.5F);
+    const auto set = features::make_windows({s}, window, stride);
+    const std::size_t expected = rows < window ? 0 : (rows - window) / stride + 1;
+    EXPECT_EQ(set.count(), expected)
+        << "rows=" << rows << " window=" << window << " stride=" << stride;
+  }
+}
+
+TEST(Property, ScalerRoundTripsRandomData) {
+  util::Rng rng(19);
+  for (int trial = 0; trial < 20; ++trial) {
+    features::Series s;
+    s.width = 1 + rng.index(8);
+    const std::size_t rows = 2 + rng.index(50);
+    for (std::size_t i = 0; i < rows * s.width; ++i) {
+      s.values.push_back(rng.normal_f(0.0F, 100.0F));
+    }
+    features::MinMaxScaler scaler;
+    scaler.fit({s});
+    features::Series copy = s;
+    scaler.transform(copy);
+    scaler.inverse_transform(copy);
+    for (std::size_t i = 0; i < s.values.size(); ++i) {
+      EXPECT_NEAR(copy.values[i], s.values[i], 1e-2F) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Property, SubsampleNeverChangesShapeInvariants) {
+  util::Rng rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    features::Series s;
+    s.width = 2;
+    s.values.assign((10 + rng.index(100)) * 2, 1.0F);
+    auto set = features::make_windows({s}, 4, 1);
+    const std::size_t keep = 1 + rng.index(7);
+    const auto sub = set.subsample(keep);
+    EXPECT_EQ(sub.window, set.window);
+    EXPECT_EQ(sub.width, set.width);
+    EXPECT_EQ(sub.count(), (set.count() + keep - 1) / keep);
+    EXPECT_EQ(sub.vehicle_ids.size(), sub.count());
+  }
+}
+
+}  // namespace
+}  // namespace vehigan

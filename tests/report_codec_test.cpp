@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "mbds/report_codec.hpp"
+
+namespace vehigan::mbds {
+namespace {
+
+MisbehaviorReport sample_report() {
+  MisbehaviorReport report;
+  report.reporter_id = 1001;
+  report.suspect_id = 42;
+  report.time = 17.3;
+  report.score = 6.25F;
+  report.threshold = 4.75;
+  for (int i = 0; i < 11; ++i) {
+    sim::Bsm m;
+    m.vehicle_id = 42;
+    m.time = 16.2 + 0.1 * i;
+    m.x = 100.0 + i;
+    m.y = 50.0 - i;
+    m.speed = 12.0 + 0.1 * i;
+    m.accel = -0.5;
+    m.heading = 1.57;
+    m.yaw_rate = 0.02;
+    report.evidence.push_back(m);
+  }
+  return report;
+}
+
+TEST(ReportCodec, RoundTripsAllFields) {
+  const MisbehaviorReport original = sample_report();
+  const MisbehaviorReport decoded = decode_report(encode_report(original));
+  EXPECT_EQ(decoded.reporter_id, original.reporter_id);
+  EXPECT_EQ(decoded.suspect_id, original.suspect_id);
+  EXPECT_DOUBLE_EQ(decoded.time, original.time);
+  EXPECT_FLOAT_EQ(decoded.score, original.score);
+  EXPECT_DOUBLE_EQ(decoded.threshold, original.threshold);
+  ASSERT_EQ(decoded.evidence.size(), original.evidence.size());
+  for (std::size_t i = 0; i < original.evidence.size(); ++i) {
+    EXPECT_DOUBLE_EQ(decoded.evidence[i].x, original.evidence[i].x);
+    EXPECT_DOUBLE_EQ(decoded.evidence[i].speed, original.evidence[i].speed);
+    EXPECT_DOUBLE_EQ(decoded.evidence[i].yaw_rate, original.evidence[i].yaw_rate);
+  }
+}
+
+TEST(ReportCodec, EncodedFormIsValidSingleLineJson) {
+  const std::string wire = encode_report(sample_report());
+  EXPECT_EQ(wire.find('\n'), std::string::npos);
+  EXPECT_EQ(wire.front(), '{');
+  EXPECT_EQ(wire.back(), '}');
+}
+
+TEST(ReportCodec, EmptyEvidenceIsAllowed) {
+  MisbehaviorReport report;
+  report.suspect_id = 7;
+  const MisbehaviorReport decoded = decode_report(encode_report(report));
+  EXPECT_EQ(decoded.suspect_id, 7U);
+  EXPECT_TRUE(decoded.evidence.empty());
+}
+
+TEST(ReportCodec, RejectsWrongVersionAndGarbage) {
+  EXPECT_THROW(decode_report("not json"), std::runtime_error);
+  EXPECT_THROW(decode_report("{\"version\":2}"), std::runtime_error);
+  EXPECT_THROW(decode_report("{\"version\":1}"), std::out_of_range);  // missing fields
+}
+
+TEST(ReportCodec, AuthorityAcceptsDecodedReports) {
+  // The MA-side flow: receive wire text, decode, submit.
+  MisbehaviorAuthority authority(2);
+  const std::string wire = encode_report(sample_report());
+  authority.submit(decode_report(wire));
+  EXPECT_FALSE(authority.is_revoked(42));
+  authority.submit(decode_report(wire));
+  EXPECT_TRUE(authority.is_revoked(42));
+}
+
+}  // namespace
+}  // namespace vehigan::mbds

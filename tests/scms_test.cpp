@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "scms/authority.hpp"
+
+namespace vehigan::scms {
+namespace {
+
+sim::Bsm sample_bsm(std::uint32_t id = 7, double t = 1.0) {
+  sim::Bsm m;
+  m.vehicle_id = id;
+  m.time = t;
+  m.x = 10.0;
+  m.y = 20.0;
+  m.speed = 12.5;
+  m.heading = 0.3;
+  return m;
+}
+
+struct Enrolled {
+  CredentialAuthority ca;
+  std::uint64_t secret = 0;
+  PseudonymCertificate cert;
+
+  Enrolled() {
+    util::Rng rng(42);
+    secret = ca.enroll(1, rng);
+    cert = ca.issue(1, /*pseudonym=*/7, /*valid_from=*/0.0, /*valid_until=*/100.0);
+  }
+};
+
+TEST(Crypto, PublicKeyDerivationIsDeterministic) {
+  EXPECT_EQ(derive_public(123), derive_public(123));
+  EXPECT_NE(derive_public(123), derive_public(124));
+}
+
+TEST(Crypto, SignVerifyRoundTrip) {
+  const KeyPair keys = make_key_pair(99);
+  const std::uint64_t tag = sign_with_cert(keys.secret, "hello");
+  EXPECT_TRUE(verify_with_cert(keys.public_id, "hello", tag));
+  EXPECT_FALSE(verify_with_cert(keys.public_id, "hellp", tag));
+  EXPECT_FALSE(verify_with_cert(derive_public(100), "hello", tag));
+}
+
+TEST(CredentialAuthority, AcceptsProperlySignedMessages) {
+  Enrolled e;
+  const SignedBsm msg = sign_bsm(sample_bsm(), e.cert, e.secret);
+  EXPECT_EQ(e.ca.verify(msg, 1.0), VerifyResult::kAccepted);
+}
+
+TEST(CredentialAuthority, RejectsOutsiderForgeries) {
+  Enrolled e;
+  // Outsider with its own key tries to use the victim's certificate.
+  const SignedBsm forged = sign_bsm(sample_bsm(), e.cert, /*holder_secret=*/555);
+  EXPECT_EQ(e.ca.verify(forged, 1.0), VerifyResult::kBadMessageSignature);
+}
+
+TEST(CredentialAuthority, RejectsTamperedPayloads) {
+  Enrolled e;
+  SignedBsm msg = sign_bsm(sample_bsm(), e.cert, e.secret);
+  msg.payload.speed = 99.0;  // tampered in flight
+  EXPECT_EQ(e.ca.verify(msg, 1.0), VerifyResult::kBadMessageSignature);
+}
+
+TEST(CredentialAuthority, RejectsForeignCertificates) {
+  Enrolled e;
+  SignedBsm msg = sign_bsm(sample_bsm(), e.cert, e.secret);
+  msg.certificate.valid_until = 1e9;  // certificate fields altered -> CA sig breaks
+  EXPECT_EQ(e.ca.verify(msg, 1.0), VerifyResult::kBadCaSignature);
+}
+
+TEST(CredentialAuthority, RejectsExpiredAndNotYetValid) {
+  Enrolled e;
+  const SignedBsm msg = sign_bsm(sample_bsm(), e.cert, e.secret);
+  EXPECT_EQ(e.ca.verify(msg, 101.0), VerifyResult::kExpired);
+  EXPECT_EQ(e.ca.verify(msg, -1.0), VerifyResult::kExpired);
+}
+
+TEST(CredentialAuthority, RejectsPseudonymMismatch) {
+  Enrolled e;
+  const SignedBsm msg = sign_bsm(sample_bsm(/*id=*/8), e.cert, e.secret);
+  EXPECT_EQ(e.ca.verify(msg, 1.0), VerifyResult::kPseudonymMismatch);
+}
+
+TEST(CredentialAuthority, CrlBlocksRevokedCertificates) {
+  Enrolled e;
+  const SignedBsm msg = sign_bsm(sample_bsm(), e.cert, e.secret);
+  ASSERT_EQ(e.ca.verify(msg, 1.0), VerifyResult::kAccepted);
+  e.ca.revoke(e.cert.cert_id);
+  EXPECT_EQ(e.ca.verify(msg, 1.0), VerifyResult::kRevoked);
+  EXPECT_TRUE(e.ca.is_revoked(e.cert.cert_id));
+}
+
+TEST(CredentialAuthority, RevokePseudonymCoversAllItsCertificates) {
+  CredentialAuthority ca;
+  util::Rng rng(1);
+  const std::uint64_t secret = ca.enroll(1, rng);
+  const auto c1 = ca.issue(1, 7, 0.0, 50.0);
+  const auto c2 = ca.issue(1, 7, 50.0, 100.0);
+  ca.revoke_pseudonym(7);
+  EXPECT_TRUE(ca.is_revoked(c1.cert_id));
+  EXPECT_TRUE(ca.is_revoked(c2.cert_id));
+  const SignedBsm msg = sign_bsm(sample_bsm(7, 60.0), c2, secret);
+  EXPECT_EQ(ca.verify(msg, 60.0), VerifyResult::kRevoked);
+}
+
+TEST(CredentialAuthority, IssueRequiresEnrollment) {
+  CredentialAuthority ca;
+  EXPECT_THROW(ca.issue(9, 9, 0.0, 1.0), std::out_of_range);
+}
+
+TEST(CredentialAuthority, InsiderLiesStillVerify) {
+  // The paper's core premise: a legitimate insider transmitting *false
+  // content* passes every cryptographic check — only the MBDS can catch it.
+  Enrolled e;
+  sim::Bsm lie = sample_bsm();
+  lie.speed = 65.0;  // HighSpeed misbehavior, properly signed
+  const SignedBsm msg = sign_bsm(lie, e.cert, e.secret);
+  EXPECT_EQ(e.ca.verify(msg, 1.0), VerifyResult::kAccepted);
+}
+
+}  // namespace
+}  // namespace vehigan::scms

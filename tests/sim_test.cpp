@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "sim/bsm.hpp"
+#include "sim/idm.hpp"
+#include "sim/path.hpp"
+#include "sim/road_network.hpp"
+#include "sim/traffic_sim.hpp"
+#include "util/math.hpp"
+
+namespace vehigan::sim {
+namespace {
+
+using util::kPi;
+
+// ---------------------------------------------------------------- path -----
+
+TEST(PathSegment, StraightLinePose) {
+  PathSegment seg{/*x0=*/1.0, /*y0=*/2.0, /*heading0=*/0.0, /*length=*/10.0, /*curvature=*/0.0};
+  const Pose p = seg.pose_at(4.0);
+  EXPECT_DOUBLE_EQ(p.x, 5.0);
+  EXPECT_DOUBLE_EQ(p.y, 2.0);
+  EXPECT_DOUBLE_EQ(p.heading, 0.0);
+  EXPECT_DOUBLE_EQ(p.curvature, 0.0);
+}
+
+TEST(PathSegment, QuarterLeftTurnEndsRotated90) {
+  const double r = 8.0;
+  PathSegment arc{0.0, 0.0, 0.0, r * kPi / 2.0, 1.0 / r};
+  const Pose end = arc.end_pose();
+  EXPECT_NEAR(end.heading, kPi / 2.0, 1e-9);
+  // A left quarter turn from heading 0 ends at (r, r).
+  EXPECT_NEAR(end.x, r, 1e-9);
+  EXPECT_NEAR(end.y, r, 1e-9);
+}
+
+TEST(PathSegment, RightTurnHasNegativeCurvatureEffect) {
+  const double r = 5.0;
+  PathSegment arc{0.0, 0.0, kPi / 2.0, r * kPi / 2.0, -1.0 / r};
+  const Pose end = arc.end_pose();
+  EXPECT_NEAR(end.heading, 0.0, 1e-9);
+  EXPECT_NEAR(end.x, r, 1e-9);
+  EXPECT_NEAR(end.y, r, 1e-9);
+}
+
+TEST(Path, PoseLookupMatchesSegmentChaining) {
+  PathSegment s1{0, 0, 0, 10.0, 0.0};
+  const Pose mid = s1.end_pose();
+  PathSegment s2{mid.x, mid.y, mid.heading, 8.0 * kPi / 2.0, 1.0 / 8.0};
+  Path path({s1, s2});
+  EXPECT_DOUBLE_EQ(path.total_length(), 10.0 + 8.0 * kPi / 2.0);
+  const Pose p = path.pose_at(10.0 + 8.0 * kPi / 4.0);  // halfway through the arc
+  EXPECT_NEAR(p.heading, kPi / 4.0, 1e-9);
+}
+
+TEST(Path, HeadingIsContinuousAcrossSegments) {
+  PathSegment s1{0, 0, 0, 20.0, 0.0};
+  const Pose end1 = s1.end_pose();
+  PathSegment arc{end1.x, end1.y, end1.heading, 8.0 * kPi / 2.0, 1.0 / 8.0};
+  Path path({s1, arc});
+  const double eps = 1e-6;
+  const Pose before = path.pose_at(20.0 - eps);
+  const Pose after = path.pose_at(20.0 + eps);
+  EXPECT_NEAR(util::angle_diff(after.heading, before.heading), 0.0, 1e-4);
+  EXPECT_NEAR(after.x, before.x, 1e-4);
+  EXPECT_NEAR(after.y, before.y, 1e-4);
+}
+
+TEST(Path, SafeSpeedDropsBeforeACurve) {
+  PathSegment s1{0, 0, 0, 100.0, 0.0};
+  const Pose e = s1.end_pose();
+  PathSegment arc{e.x, e.y, e.heading, 8.0 * kPi / 2.0, 1.0 / 8.0};
+  Path path({s1, arc});
+  const double road_limit = 20.0;
+  const double far = path.safe_speed_at(0.0, road_limit, 2.0, 25.0);
+  const double near = path.safe_speed_at(95.0, road_limit, 2.0, 25.0);
+  EXPECT_DOUBLE_EQ(far, road_limit);
+  EXPECT_NEAR(near, std::sqrt(2.0 * 8.0), 1e-9);  // sqrt(a_lat * r)
+}
+
+TEST(Path, PoseClampsOutOfRangeArcLength) {
+  Path path({PathSegment{0, 0, 0, 10.0, 0.0}});
+  EXPECT_DOUBLE_EQ(path.pose_at(-5.0).x, 0.0);
+  EXPECT_DOUBLE_EQ(path.pose_at(50.0).x, 10.0);
+}
+
+// ---------------------------------------------------------------- idm ------
+
+TEST(Idm, FreeRoadAcceleratesTowardDesiredSpeed) {
+  IdmParams p;
+  const double a = idm_acceleration(p, 5.0, 15.0, std::numeric_limits<double>::infinity(), 0.0);
+  EXPECT_GT(a, 0.0);
+  EXPECT_LE(a, p.a_max);
+}
+
+TEST(Idm, AtDesiredSpeedAccelerationIsZeroish) {
+  IdmParams p;
+  const double a = idm_acceleration(p, 15.0, 15.0, std::numeric_limits<double>::infinity(), 0.0);
+  EXPECT_NEAR(a, 0.0, 1e-9);
+}
+
+TEST(Idm, TailgatingCausesBraking) {
+  IdmParams p;
+  // Close gap, closing fast.
+  const double a = idm_acceleration(p, 15.0, 15.0, 3.0, 5.0);
+  EXPECT_LT(a, -2.0);
+}
+
+TEST(Idm, LargerGapBrakesLess) {
+  IdmParams p;
+  const double tight = idm_acceleration(p, 12.0, 15.0, 5.0, 2.0);
+  const double loose = idm_acceleration(p, 12.0, 15.0, 50.0, 2.0);
+  EXPECT_LT(tight, loose);
+}
+
+// ------------------------------------------------------------- network -----
+
+TEST(RoadNetwork, RouteIsAtLeastRequestedLength) {
+  RoadNetwork network(RoadNetworkConfig{});
+  util::Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    const Route route = network.random_route(rng, 800.0);
+    EXPECT_GE(route.path.total_length(), 800.0);
+    EXPECT_GE(route.speed_limit, RoadNetworkConfig{}.min_speed_limit);
+    EXPECT_LE(route.speed_limit, RoadNetworkConfig{}.max_speed_limit);
+  }
+}
+
+TEST(RoadNetwork, RouteGeometryIsContinuous) {
+  RoadNetwork network(RoadNetworkConfig{});
+  util::Rng rng(11);
+  const Route route = network.random_route(rng, 1500.0);
+  // Sample densely: consecutive poses must be close in position and heading.
+  const double step = 0.5;
+  Pose prev = route.path.pose_at(0.0);
+  for (double s = step; s < route.path.total_length(); s += step) {
+    const Pose cur = route.path.pose_at(s);
+    const double dist = std::hypot(cur.x - prev.x, cur.y - prev.y);
+    EXPECT_NEAR(dist, step, 0.01) << "discontinuity at s=" << s;
+    EXPECT_LT(std::abs(util::angle_diff(cur.heading, prev.heading)), 0.2);
+    prev = cur;
+  }
+}
+
+// ---------------------------------------------------------- traffic sim ----
+
+TrafficSimConfig small_sim() {
+  TrafficSimConfig cfg;
+  cfg.duration_s = 30.0;
+  cfg.num_platoons = 3;
+  cfg.vehicles_per_platoon = 3;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(TrafficSim, ProducesTracesForAllVehicles) {
+  const BsmDataset data = TrafficSimulator(small_sim()).run();
+  EXPECT_EQ(data.traces.size(), 9U);
+  EXPECT_GT(data.total_messages(), 1000U);
+}
+
+TEST(TrafficSim, IsDeterministicGivenSeed) {
+  const BsmDataset a = TrafficSimulator(small_sim()).run();
+  const BsmDataset b = TrafficSimulator(small_sim()).run();
+  ASSERT_EQ(a.traces.size(), b.traces.size());
+  for (std::size_t i = 0; i < a.traces.size(); ++i) {
+    ASSERT_EQ(a.traces[i].messages.size(), b.traces[i].messages.size());
+    for (std::size_t j = 0; j < a.traces[i].messages.size(); ++j) {
+      EXPECT_DOUBLE_EQ(a.traces[i].messages[j].x, b.traces[i].messages[j].x);
+      EXPECT_DOUBLE_EQ(a.traces[i].messages[j].speed, b.traces[i].messages[j].speed);
+    }
+  }
+}
+
+TEST(TrafficSim, BsmCadenceIsTenHertz) {
+  const BsmDataset data = TrafficSimulator(small_sim()).run();
+  for (const auto& trace : data.traces) {
+    for (std::size_t j = 1; j < trace.messages.size(); ++j) {
+      EXPECT_NEAR(trace.messages[j].time - trace.messages[j - 1].time, 0.1, 1e-9);
+    }
+  }
+}
+
+TEST(TrafficSim, KinematicsAreSelfConsistentUpToNoise) {
+  auto cfg = small_sim();
+  cfg.noise = SensorNoiseModel{0, 0, 0, 0, 0};  // disable noise for this check
+  const BsmDataset data = TrafficSimulator(cfg).run();
+  std::size_t checked = 0;
+  for (const auto& trace : data.traces) {
+    for (std::size_t j = 1; j < trace.messages.size(); ++j) {
+      const Bsm& prev = trace.messages[j - 1];
+      const Bsm& cur = trace.messages[j];
+      const double dx = cur.x - prev.x;
+      const double dy = cur.y - prev.y;
+      // Position increments must match speed*heading (midpoint accuracy).
+      EXPECT_NEAR(dx, cur.speed * std::cos(cur.heading) * 0.1, 0.12);
+      EXPECT_NEAR(dy, cur.speed * std::sin(cur.heading) * 0.1, 0.12);
+      // Speed change must match reported acceleration.
+      EXPECT_NEAR(cur.speed - prev.speed, cur.accel * 0.1, 0.08);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 500U);
+}
+
+TEST(TrafficSim, SpeedsStayNonNegativeAndBounded) {
+  const BsmDataset data = TrafficSimulator(small_sim()).run();
+  for (const auto& trace : data.traces) {
+    for (const auto& m : trace.messages) {
+      EXPECT_GE(m.speed, 0.0);
+      EXPECT_LT(m.speed, 25.0);  // urban limits + jitter + noise
+    }
+  }
+}
+
+TEST(TrafficSim, FollowersDoNotPassLeaders) {
+  auto cfg = small_sim();
+  cfg.duration_s = 60.0;
+  cfg.noise = SensorNoiseModel{0, 0, 0, 0, 0};
+  const BsmDataset data = TrafficSimulator(cfg).run();
+  // Vehicles are numbered per platoon in spawn order: leader first. Within a
+  // platoon, positions along the shared route must stay ordered; we verify
+  // via pairwise distance: consecutive vehicles never collide (distance >
+  // ~1 vehicle length at equal timestamps).
+  for (std::size_t p = 0; p < 3; ++p) {
+    const auto& lead = data.traces[p * 3];
+    const auto& follow = data.traces[p * 3 + 1];
+    for (const auto& fm : follow.messages) {
+      // Find the leader message at the same timestamp.
+      for (const auto& lm : lead.messages) {
+        if (std::abs(lm.time - fm.time) < 1e-9) {
+          const double dist = std::hypot(lm.x - fm.x, lm.y - fm.y);
+          EXPECT_GT(dist, 1.0) << "collision at t=" << fm.time;
+          break;
+        }
+      }
+    }
+  }
+}
+
+TEST(SensorNoise, PerturbsEveryFieldButKeepsSpeedNonNegative) {
+  SensorNoiseModel noise;
+  util::Rng rng(3);
+  Bsm truth;
+  truth.speed = 0.01;
+  truth.heading = 0.1;
+  const Bsm noisy = noise.apply(truth, rng);
+  EXPECT_GE(noisy.speed, 0.0);
+  EXPECT_GE(noisy.heading, 0.0);
+  EXPECT_LT(noisy.heading, 2 * kPi);
+}
+
+// ----------------------------------------------------------------- csv -----
+
+TEST(BsmCsv, RoundTripsDataset) {
+  auto cfg = small_sim();
+  cfg.duration_s = 5.0;
+  const BsmDataset data = TrafficSimulator(cfg).run();
+  const auto path = std::filesystem::temp_directory_path() / "vehigan_bsm_test.csv";
+  write_bsm_csv(data, path);
+  const BsmDataset loaded = read_bsm_csv(path);
+  ASSERT_EQ(loaded.traces.size(), data.traces.size());
+  EXPECT_EQ(loaded.total_messages(), data.total_messages());
+  // Spot-check one trace end to end (read groups by id, ordered by id).
+  const auto& orig = data.traces.front();
+  const VehicleTrace* match = nullptr;
+  for (const auto& t : loaded.traces) {
+    if (t.vehicle_id == orig.vehicle_id) match = &t;
+  }
+  ASSERT_NE(match, nullptr);
+  ASSERT_EQ(match->messages.size(), orig.messages.size());
+  for (std::size_t j = 0; j < orig.messages.size(); ++j) {
+    EXPECT_DOUBLE_EQ(match->messages[j].x, orig.messages[j].x);
+    EXPECT_DOUBLE_EQ(match->messages[j].yaw_rate, orig.messages[j].yaw_rate);
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace vehigan::sim

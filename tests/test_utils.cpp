@@ -1,0 +1,70 @@
+#include "test_utils.hpp"
+
+#include "util/math.hpp"
+
+namespace vehigan::testing {
+
+GradCheckResult gradient_check(nn::Sequential& model, nn::Tensor input, util::Rng& rng,
+                               float h) {
+  // Fixed random loss weights.
+  nn::Tensor probe = model.forward(input);
+  nn::Tensor loss_weights(probe.shape());
+  fill_uniform(loss_weights, rng, -1.0F, 1.0F);
+
+  auto loss_of = [&](const nn::Tensor& x) -> double {
+    const nn::Tensor y = model.forward(x);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      loss += static_cast<double>(loss_weights[i]) * y[i];
+    }
+    return loss;
+  };
+
+  // Analytic gradients.
+  model.zero_grad();
+  (void)model.forward(input);
+  const nn::Tensor input_grad = model.backward(loss_weights);
+  // Copy parameter grads before numeric probing mutates caches.
+  std::vector<std::vector<float>> param_grads;
+  for (auto& p : model.parameters()) param_grads.push_back(*p.grads);
+
+  GradCheckResult result;
+
+  std::vector<double> input_errors;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    nn::Tensor plus = input;
+    nn::Tensor minus = input;
+    plus[i] += h;
+    minus[i] -= h;
+    const double numeric = (loss_of(plus) - loss_of(minus)) / (2.0 * h);
+    input_errors.push_back(rel_error(input_grad[i], numeric));
+  }
+
+  std::vector<double> param_errors;
+  auto params = model.parameters();
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    auto& values = *params[pi].values;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const float saved = values[i];
+      values[i] = saved + h;
+      const double l_plus = loss_of(input);
+      values[i] = saved - h;
+      const double l_minus = loss_of(input);
+      values[i] = saved;
+      const double numeric = (l_plus - l_minus) / (2.0 * h);
+      param_errors.push_back(rel_error(param_grads[pi][i], numeric));
+    }
+  }
+
+  auto p95 = [](std::vector<double> errors) {
+    if (errors.empty()) return 0.0;
+    return vehigan::util::percentile(std::move(errors), 95.0);
+  };
+  result.p95_input_error = p95(input_errors);
+  result.p95_param_error = p95(param_errors);
+  for (double e : input_errors) result.max_input_error = std::max(result.max_input_error, e);
+  for (double e : param_errors) result.max_param_error = std::max(result.max_param_error, e);
+  return result;
+}
+
+}  // namespace vehigan::testing

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace vehigan::testing {
+
+/// Maximum relative error between an analytic and a numeric derivative,
+/// with an absolute floor so near-zero gradients do not blow up the ratio.
+inline double rel_error(double analytic, double numeric) {
+  const double scale = std::max({std::abs(analytic), std::abs(numeric), 1e-4});
+  return std::abs(analytic - numeric) / scale;
+}
+
+/// Result of a gradient check. Finite differences are unreliable at the
+/// exact kink of piecewise-linear activations (LeakyReLU), so alongside the
+/// max we report the 95th-percentile relative error — the robust pass/fail
+/// criterion for networks containing such activations.
+struct GradCheckResult {
+  double max_input_error = 0.0;
+  double max_param_error = 0.0;
+  double p95_input_error = 0.0;
+  double p95_param_error = 0.0;
+};
+
+/// Verifies Sequential::backward against central finite differences.
+///
+/// Loss = sum_i c_i * y_i with fixed random weights c, so dL/dy = c and the
+/// full chain (parameter and input gradients) is exercised with a single
+/// backward pass. float32 arithmetic: expect errors below ~1e-2 with h=1e-3.
+GradCheckResult gradient_check(nn::Sequential& model, nn::Tensor input, util::Rng& rng,
+                               float h = 1e-3F);
+
+/// Fills a tensor with uniform values in [lo, hi).
+inline void fill_uniform(nn::Tensor& t, util::Rng& rng, float lo = -1.0F, float hi = 1.0F) {
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = rng.uniform_f(lo, hi);
+}
+
+}  // namespace vehigan::testing

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <numeric>
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/hash.hpp"
+#include "util/linalg.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vehigan::util {
+namespace {
+
+// ---------------------------------------------------------------- Rng ------
+
+TEST(Rng, IsDeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsProduceDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, SplitChildrenAreIndependentOfSiblingCount) {
+  Rng root(7);
+  const double first = Rng(root.split(3).seed()).uniform();
+  // Splitting other salts must not perturb salt 3's stream.
+  (void)root.split(1);
+  (void)root.split(2);
+  EXPECT_DOUBLE_EQ(Rng(root.split(3).seed()).uniform(), first);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 5));
+  EXPECT_EQ(seen.size(), 6U);
+  EXPECT_TRUE(seen.contains(0));
+  EXPECT_TRUE(seen.contains(5));
+}
+
+TEST(Rng, IndexThrowsOnZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.sample_without_replacement(20, 7);
+    ASSERT_EQ(sample.size(), 7U);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 7U);
+    for (std::size_t v : sample) EXPECT_LT(v, 20U);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullSetIsPermutation) {
+  Rng rng(13);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10U);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversizedK) {
+  Rng rng(1);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+  Rng rng(21);
+  std::vector<double> samples(20000);
+  for (auto& s : samples) s = rng.normal(2.0, 0.5);
+  EXPECT_NEAR(mean(samples), 2.0, 0.02);
+  EXPECT_NEAR(stddev(samples), 0.5, 0.02);
+}
+
+// --------------------------------------------------------------- math ------
+
+TEST(MathUtil, WrapAngleIntoZeroTwoPi) {
+  EXPECT_NEAR(wrap_angle(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_angle(kTwoPi), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_angle(-kPi / 2), 1.5 * kPi, 1e-12);
+  EXPECT_NEAR(wrap_angle(5 * kPi), kPi, 1e-9);
+}
+
+TEST(MathUtil, AngleDiffIsSignedShortestPath) {
+  EXPECT_NEAR(angle_diff(0.1, 0.0), 0.1, 1e-12);
+  EXPECT_NEAR(angle_diff(0.0, 0.1), -0.1, 1e-12);
+  // Across the wrap point.
+  EXPECT_NEAR(angle_diff(0.05, kTwoPi - 0.05), 0.1, 1e-9);
+  EXPECT_NEAR(std::abs(angle_diff(kPi, 0.0)), kPi, 1e-12);
+}
+
+TEST(MathUtil, PercentileMatchesLinearInterpolation) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 1.75);
+}
+
+TEST(MathUtil, PercentileSingleElement) {
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{5.0}, 99.0), 5.0);
+}
+
+TEST(MathUtil, PercentileRejectsBadInput) {
+  EXPECT_THROW(percentile(std::vector<double>{}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile(std::vector<double>{1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(MathUtil, MeanAndStddev) {
+  std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+}
+
+// --------------------------------------------------------------- hash ------
+
+TEST(Fnv1a, StableAndSensitive) {
+  Fnv1a a;
+  a.add("hello");
+  Fnv1a b;
+  b.add("hello");
+  EXPECT_EQ(a.value(), b.value());
+  Fnv1a c;
+  c.add("hellp");
+  EXPECT_NE(a.value(), c.value());
+}
+
+TEST(Fnv1a, HexIs16LowercaseDigits) {
+  Fnv1a h;
+  h.add_pod(12345);
+  const std::string hex = h.hex();
+  EXPECT_EQ(hex.size(), 16U);
+  for (char ch : hex) {
+    EXPECT_TRUE((ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f'));
+  }
+}
+
+// ---------------------------------------------------------------- csv ------
+
+TEST(Csv, RoundTripsQuotedAndNumericCells) {
+  const auto path = std::filesystem::temp_directory_path() / "vehigan_csv_test.csv";
+  {
+    CsvWriter writer(path);
+    writer.write_row({"name", "value", "note"});
+    writer.write_row({"a,b", "1.5", "say \"hi\""});
+    writer.write_row_numeric({2.0, -3.25, 1e-9});
+  }
+  const CsvTable table = read_csv(path);
+  ASSERT_EQ(table.header.size(), 3U);
+  ASSERT_EQ(table.rows.size(), 2U);
+  EXPECT_EQ(table.rows[0][0], "a,b");
+  EXPECT_EQ(table.rows[0][2], "say \"hi\"");
+  EXPECT_DOUBLE_EQ(std::stod(table.rows[1][1]), -3.25);
+  EXPECT_EQ(table.column("note"), 2U);
+  EXPECT_THROW(table.column("missing"), std::out_of_range);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/vehigan.csv"), std::runtime_error);
+}
+
+// -------------------------------------------------------------- linalg -----
+
+TEST(Jacobi, DiagonalMatrixReturnsSortedDiagonal) {
+  // diag(3, 1, 2) -> eigenvalues {3, 2, 1}.
+  std::vector<double> a{3, 0, 0, 0, 1, 0, 0, 0, 2};
+  const EigenResult eig = jacobi_eigen_symmetric(a, 3);
+  ASSERT_EQ(eig.values.size(), 3U);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-10);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-10);
+}
+
+TEST(Jacobi, KnownTwoByTwo) {
+  // [[2,1],[1,2]] -> eigenvalues 3 and 1.
+  std::vector<double> a{2, 1, 1, 2};
+  const EigenResult eig = jacobi_eigen_symmetric(a, 2);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+}
+
+TEST(Jacobi, SatisfiesEigenEquationOnRandomSymmetricMatrix) {
+  constexpr std::size_t n = 8;
+  Rng rng(33);
+  std::vector<double> a(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a[i * n + j] = a[j * n + i] = rng.uniform(-1.0, 1.0);
+    }
+  }
+  const std::vector<double> original = a;
+  const EigenResult eig = jacobi_eigen_symmetric(a, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* v = eig.eigenvector(j);
+    // || A v - lambda v || should be tiny.
+    double err = 0.0;
+    double norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double av = 0.0;
+      for (std::size_t k = 0; k < n; ++k) av += original[i * n + k] * v[k];
+      err += (av - eig.values[j] * v[i]) * (av - eig.values[j] * v[i]);
+      norm += v[i] * v[i];
+    }
+    EXPECT_LT(std::sqrt(err), 1e-8) << "eigenpair " << j;
+    EXPECT_NEAR(norm, 1.0, 1e-8) << "eigenvector " << j << " not unit";
+  }
+}
+
+TEST(Jacobi, RejectsMismatchedSize) {
+  EXPECT_THROW(jacobi_eigen_symmetric(std::vector<double>(5), 2), std::invalid_argument);
+}
+
+// --------------------------------------------------------- thread pool -----
+
+TEST(ThreadPool, RunsAllTasksAndReturnsValues) {
+  ThreadPool pool(2);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, [&](std::size_t i) { hits[i] += 1; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4,
+                        [](std::size_t i) {
+                          if (i == 2) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vehigan::util

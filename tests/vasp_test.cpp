@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/traffic_sim.hpp"
+#include "util/math.hpp"
+#include "vasp/attack_types.hpp"
+#include "vasp/dataset_builder.hpp"
+#include "vasp/injector.hpp"
+
+namespace vehigan::vasp {
+namespace {
+
+using util::kPi;
+
+// -------------------------------------------------------- attack matrix ----
+
+TEST(AttackMatrix, HasExactly35InScopeAttacks) {
+  EXPECT_EQ(attack_matrix().size(), 35U);
+}
+
+TEST(AttackMatrix, IndicesAreOneToThirtyFiveUnique) {
+  std::set<int> indices;
+  for (const auto& spec : attack_matrix()) indices.insert(spec.index);
+  EXPECT_EQ(indices.size(), 35U);
+  EXPECT_EQ(*indices.begin(), 1);
+  EXPECT_EQ(*indices.rbegin(), 35);
+}
+
+TEST(AttackMatrix, NamesAreUniqueAndLookupRoundTrips) {
+  std::set<std::string_view> names;
+  for (const auto& spec : attack_matrix()) {
+    names.insert(spec.name);
+    EXPECT_EQ(attack_by_name(spec.name).index, spec.index);
+    EXPECT_EQ(attack_by_index(spec.index).name, spec.name);
+  }
+  EXPECT_EQ(names.size(), 35U);
+}
+
+TEST(AttackMatrix, FieldCoverageMatchesTableOne) {
+  // Table I: 4 position, 6 speed, 6 acceleration, 7 heading, 6 yaw rate,
+  // 6 heading&yaw-rate attacks.
+  std::map<TargetField, int> counts;
+  for (const auto& spec : attack_matrix()) counts[spec.field]++;
+  EXPECT_EQ(counts[TargetField::kPosition], 4);
+  EXPECT_EQ(counts[TargetField::kSpeed], 6);
+  EXPECT_EQ(counts[TargetField::kAcceleration], 6);
+  EXPECT_EQ(counts[TargetField::kHeading], 7);
+  EXPECT_EQ(counts[TargetField::kYawRate], 6);
+  EXPECT_EQ(counts[TargetField::kHeadingYawRate], 6);
+}
+
+TEST(AttackMatrix, HeadingOnlyTypesAreRestrictedToHeading) {
+  for (const auto& spec : attack_matrix()) {
+    if (spec.type == AttackType::kOpposite || spec.type == AttackType::kPerpendicular ||
+        spec.type == AttackType::kRotating) {
+      EXPECT_EQ(spec.field, TargetField::kHeading) << spec.name;
+    }
+  }
+}
+
+TEST(AttackMatrix, UnknownLookupsThrow) {
+  EXPECT_THROW(attack_by_name("FluxCapacitor"), std::out_of_range);
+  EXPECT_THROW(attack_by_index(0), std::out_of_range);
+  EXPECT_THROW(attack_by_index(36), std::out_of_range);
+}
+
+TEST(AttackMatrix, AdvancedFlagsOnlyCoupledAttacks) {
+  int advanced = 0;
+  for (const auto& spec : attack_matrix()) {
+    if (is_advanced(spec)) ++advanced;
+  }
+  EXPECT_EQ(advanced, 6);
+}
+
+// ------------------------------------------------------------ injector -----
+
+sim::VehicleTrace make_benign_trace(int messages = 60) {
+  // Straight-line cruise at 10 m/s heading east.
+  sim::VehicleTrace trace;
+  trace.vehicle_id = 7;
+  for (int i = 0; i < messages; ++i) {
+    sim::Bsm m;
+    m.vehicle_id = 7;
+    m.time = 0.1 * i;
+    m.x = 10.0 * m.time;
+    m.y = 50.0;
+    m.speed = 10.0;
+    m.accel = 0.0;
+    m.heading = 0.0;
+    m.yaw_rate = 0.0;
+    trace.messages.push_back(m);
+  }
+  return trace;
+}
+
+MisbehaviorInjector make_injector(std::string_view name) {
+  return MisbehaviorInjector(attack_by_name(name), AttackParams{}, util::Rng(99));
+}
+
+/// Which fields differ between two traces (ignoring tiny float noise).
+struct FieldDiff {
+  bool position = false, speed = false, accel = false, heading = false, yaw = false;
+};
+
+FieldDiff diff_fields(const sim::VehicleTrace& a, const sim::VehicleTrace& b) {
+  FieldDiff d;
+  for (std::size_t i = 0; i < a.messages.size(); ++i) {
+    const auto& ma = a.messages[i];
+    const auto& mb = b.messages[i];
+    if (std::abs(ma.x - mb.x) > 1e-9 || std::abs(ma.y - mb.y) > 1e-9) d.position = true;
+    if (std::abs(ma.speed - mb.speed) > 1e-9) d.speed = true;
+    if (std::abs(ma.accel - mb.accel) > 1e-9) d.accel = true;
+    if (std::abs(ma.heading - mb.heading) > 1e-9) d.heading = true;
+    if (std::abs(ma.yaw_rate - mb.yaw_rate) > 1e-9) d.yaw = true;
+  }
+  return d;
+}
+
+/// Parameterized over all 35 attacks: only the targeted field(s) change and
+/// timestamps/ids are preserved (persistent policy mutates every message).
+class InjectorMatrixTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(InjectorMatrixTest, MutatesOnlyTargetedFields) {
+  const AttackSpec& spec = attack_by_index(GetParam());
+  const sim::VehicleTrace benign = make_benign_trace();
+  MisbehaviorInjector injector(spec, AttackParams{}, util::Rng(5));
+  const sim::VehicleTrace attacked = injector.attack_trace(benign);
+
+  ASSERT_EQ(attacked.messages.size(), benign.messages.size());
+  EXPECT_EQ(attacked.vehicle_id, benign.vehicle_id);
+  for (std::size_t i = 0; i < benign.messages.size(); ++i) {
+    EXPECT_DOUBLE_EQ(attacked.messages[i].time, benign.messages[i].time);
+    EXPECT_EQ(attacked.messages[i].vehicle_id, benign.messages[i].vehicle_id);
+  }
+
+  const FieldDiff d = diff_fields(benign, attacked);
+  switch (spec.field) {
+    case TargetField::kPosition:
+      EXPECT_TRUE(d.position);
+      EXPECT_FALSE(d.speed || d.accel || d.heading || d.yaw);
+      break;
+    case TargetField::kSpeed:
+      EXPECT_TRUE(d.speed);
+      EXPECT_FALSE(d.position || d.accel || d.heading || d.yaw);
+      break;
+    case TargetField::kAcceleration:
+      EXPECT_TRUE(d.accel);
+      EXPECT_FALSE(d.position || d.speed || d.heading || d.yaw);
+      break;
+    case TargetField::kHeading:
+      EXPECT_TRUE(d.heading);
+      EXPECT_FALSE(d.position || d.speed || d.accel || d.yaw);
+      break;
+    case TargetField::kYawRate:
+      EXPECT_TRUE(d.yaw);
+      EXPECT_FALSE(d.position || d.speed || d.accel || d.heading);
+      break;
+    case TargetField::kHeadingYawRate:
+      EXPECT_TRUE(d.heading);
+      EXPECT_TRUE(d.yaw);
+      EXPECT_FALSE(d.position || d.speed || d.accel);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAttacks, InjectorMatrixTest, ::testing::Range(1, 36),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::string(attack_by_index(info.param).name);
+                         });
+
+TEST(Injector, ConstantPositionIsConstantInsidePlayground) {
+  auto injector = make_injector("PlaygroundConstantPosition");
+  const auto attacked = injector.attack_trace(make_benign_trace());
+  const double x0 = attacked.messages.front().x;
+  const double y0 = attacked.messages.front().y;
+  AttackParams params;
+  EXPECT_GE(x0, params.playground_min);
+  EXPECT_LE(x0, params.playground_max);
+  for (const auto& m : attacked.messages) {
+    EXPECT_DOUBLE_EQ(m.x, x0);
+    EXPECT_DOUBLE_EQ(m.y, y0);
+  }
+}
+
+TEST(Injector, ConstantPositionOffsetPreservesMotionShape) {
+  auto injector = make_injector("ConstantPositionOffset");
+  const auto benign = make_benign_trace();
+  const auto attacked = injector.attack_trace(benign);
+  const double ox = attacked.messages.front().x - benign.messages.front().x;
+  const double oy = attacked.messages.front().y - benign.messages.front().y;
+  AttackParams params;
+  EXPECT_NEAR(std::hypot(ox, oy), params.pos_const_offset, 1e-9);
+  for (std::size_t i = 0; i < benign.messages.size(); ++i) {
+    EXPECT_NEAR(attacked.messages[i].x - benign.messages[i].x, ox, 1e-9);
+    EXPECT_NEAR(attacked.messages[i].y - benign.messages[i].y, oy, 1e-9);
+  }
+}
+
+TEST(Injector, OppositeHeadingAddsPi) {
+  auto injector = make_injector("OppositeHeading");
+  const auto benign = make_benign_trace();
+  const auto attacked = injector.attack_trace(benign);
+  for (std::size_t i = 0; i < benign.messages.size(); ++i) {
+    EXPECT_NEAR(std::abs(util::angle_diff(attacked.messages[i].heading,
+                                          benign.messages[i].heading)),
+                kPi, 1e-9);
+  }
+}
+
+TEST(Injector, PerpendicularHeadingAddsHalfPi) {
+  auto injector = make_injector("PerpendicularHeading");
+  const auto benign = make_benign_trace();
+  const auto attacked = injector.attack_trace(benign);
+  for (std::size_t i = 0; i < benign.messages.size(); ++i) {
+    EXPECT_NEAR(std::abs(util::angle_diff(attacked.messages[i].heading,
+                                          benign.messages[i].heading)),
+                kPi / 2.0, 1e-9);
+  }
+}
+
+TEST(Injector, RotatingHeadingAdvancesAtConfiguredRate) {
+  AttackParams params;
+  MisbehaviorInjector injector(attack_by_name("RotatingHeading"), params, util::Rng(2));
+  const auto attacked = injector.attack_trace(make_benign_trace());
+  for (std::size_t i = 1; i < attacked.messages.size(); ++i) {
+    const double step = util::angle_diff(attacked.messages[i].heading,
+                                         attacked.messages[i - 1].heading);
+    EXPECT_NEAR(step, params.heading_rotation_rate * 0.1, 1e-9);
+  }
+}
+
+TEST(Injector, HighSpeedIsSignificantlyHigh) {
+  auto injector = make_injector("HighSpeed");
+  const auto attacked = injector.attack_trace(make_benign_trace());
+  AttackParams params;
+  for (const auto& m : attacked.messages) {
+    EXPECT_GT(m.speed, params.speed_high * 0.9);
+  }
+}
+
+TEST(Injector, LowSpeedIsNearZero) {
+  auto injector = make_injector("LowSpeed");
+  const auto attacked = injector.attack_trace(make_benign_trace());
+  for (const auto& m : attacked.messages) {
+    EXPECT_GE(m.speed, 0.0);
+    EXPECT_LT(m.speed, 0.25);
+  }
+}
+
+TEST(Injector, AdvancedAttackHeadingIntegratesFakeYawRate) {
+  // The coupled attacks must keep heading(t+1) = heading(t) + yaw*dt — the
+  // inter-dependency the paper highlights (Sec. II-C).
+  for (const char* name : {"ConstantHeadingYawRate", "HighHeadingYawRate",
+                           "RandomHeadingYawRate", "LowHeadingYawRate"}) {
+    auto injector = make_injector(name);
+    const auto attacked = injector.attack_trace(make_benign_trace());
+    for (std::size_t i = 1; i < attacked.messages.size(); ++i) {
+      const double expected_step = attacked.messages[i].yaw_rate * 0.1;
+      const double actual_step = util::angle_diff(attacked.messages[i].heading,
+                                                  attacked.messages[i - 1].heading);
+      EXPECT_NEAR(actual_step, expected_step, 1e-6) << name << " at index " << i;
+    }
+  }
+}
+
+TEST(Injector, RandomAttacksDifferAcrossMessages) {
+  auto injector = make_injector("RandomSpeed");
+  const auto attacked = injector.attack_trace(make_benign_trace());
+  std::set<double> speeds;
+  for (const auto& m : attacked.messages) speeds.insert(m.speed);
+  EXPECT_GT(speeds.size(), attacked.messages.size() / 2);
+}
+
+TEST(Injector, ConstantAttacksAreConstant) {
+  auto injector = make_injector("ConstantYawRate");
+  const auto attacked = injector.attack_trace(make_benign_trace());
+  const double v0 = attacked.messages.front().yaw_rate;
+  for (const auto& m : attacked.messages) EXPECT_DOUBLE_EQ(m.yaw_rate, v0);
+}
+
+TEST(Injector, EmptyTraceIsHandled) {
+  auto injector = make_injector("RandomPosition");
+  sim::VehicleTrace empty;
+  empty.vehicle_id = 1;
+  const auto attacked = injector.attack_trace(empty);
+  EXPECT_TRUE(attacked.messages.empty());
+}
+
+// ------------------------------------------------------ dataset builder ----
+
+sim::BsmDataset small_fleet() {
+  sim::TrafficSimConfig cfg;
+  cfg.duration_s = 12.0;
+  cfg.num_platoons = 4;
+  cfg.vehicles_per_platoon = 3;
+  cfg.seed = 5;
+  return sim::TrafficSimulator(cfg).run();
+}
+
+TEST(DatasetBuilder, MaliciousFractionIsHonored) {
+  const auto benign = small_fleet();
+  ScenarioOptions options;
+  options.malicious_fraction = 0.25;
+  const auto scenario = build_scenario(benign, attack_by_name("RandomPosition"), options);
+  EXPECT_EQ(scenario.traces.size(), benign.traces.size());
+  EXPECT_EQ(scenario.malicious_count(),
+            static_cast<std::size_t>(std::ceil(0.25 * benign.traces.size())));
+}
+
+TEST(DatasetBuilder, BenignTracesPassThroughUntouched) {
+  const auto benign = small_fleet();
+  const auto scenario = build_scenario(benign, attack_by_name("RandomSpeed"), ScenarioOptions{});
+  for (std::size_t i = 0; i < scenario.traces.size(); ++i) {
+    if (scenario.traces[i].malicious) continue;
+    const auto& orig = benign.traces[i].messages;
+    const auto& got = scenario.traces[i].trace.messages;
+    ASSERT_EQ(got.size(), orig.size());
+    for (std::size_t j = 0; j < orig.size(); ++j) {
+      EXPECT_DOUBLE_EQ(got[j].speed, orig[j].speed);
+    }
+  }
+}
+
+TEST(DatasetBuilder, IsDeterministicAndAttackDependent) {
+  const auto benign = small_fleet();
+  const ScenarioOptions options;
+  const auto a1 = build_scenario(benign, attack_by_name("RandomSpeed"), options);
+  const auto a2 = build_scenario(benign, attack_by_name("RandomSpeed"), options);
+  for (std::size_t i = 0; i < a1.traces.size(); ++i) {
+    EXPECT_EQ(a1.traces[i].malicious, a2.traces[i].malicious);
+  }
+  // A different attack index draws a different attacker subset (salted RNG).
+  const auto b = build_scenario(benign, attack_by_name("RandomYawRate"), options);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a1.traces.size(); ++i) {
+    if (a1.traces[i].malicious != b.traces[i].malicious) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DatasetBuilder, AtLeastOneAttackerEvenForTinyFractions) {
+  const auto benign = small_fleet();
+  ScenarioOptions options;
+  options.malicious_fraction = 0.0001;
+  const auto scenario = build_scenario(benign, attack_by_name("HighSpeed"), options);
+  EXPECT_GE(scenario.malicious_count(), 1U);
+}
+
+}  // namespace
+}  // namespace vehigan::vasp

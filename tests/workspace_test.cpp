@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "experiments/workspace.hpp"
+#include "util/stopwatch.hpp"
+
+namespace vehigan::experiments {
+namespace {
+
+/// A micro configuration so the full 60-model grid trains in seconds.
+ExperimentConfig micro_config() {
+  ExperimentConfig cfg = ExperimentConfig::quick();
+  cfg.grid_scale.epoch_scale = 0.005;  // every tier -> 1 epoch
+  cfg.max_train_windows = 200;
+  cfg.train_opts.batch_size = 32;
+  cfg.max_benign_eval_windows = 80;
+  cfg.max_attack_eval_windows = 40;
+  return cfg;
+}
+
+class WorkspaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cache_root_ = std::filesystem::temp_directory_path() / "vehigan_workspace_test";
+    std::filesystem::remove_all(cache_root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(cache_root_); }
+
+  std::filesystem::path cache_root_;
+};
+
+TEST_F(WorkspaceTest, TrainsCachesAndReloadsTheGrid) {
+  const ExperimentConfig config = micro_config();
+  util::Stopwatch sw;
+  {
+    Workspace workspace(config, cache_root_);
+    const auto& models = workspace.models();
+    ASSERT_EQ(models.size(), 60U);
+    // Every model file landed in the keyed cache directory.
+    std::size_t files = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(workspace.cache_dir())) {
+      if (entry.path().extension() == ".bin") ++files;
+    }
+    EXPECT_EQ(files, 60U);
+  }
+  const double train_seconds = sw.elapsed_seconds();
+
+  // Second workspace: pure cache load, order preserved, much faster.
+  sw.reset();
+  Workspace reloaded(config, cache_root_);
+  const auto& models = reloaded.models();
+  ASSERT_EQ(models.size(), 60U);
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    EXPECT_EQ(models[i].config.id, static_cast<int>(i));
+  }
+  EXPECT_LT(sw.elapsed_seconds(), train_seconds);
+}
+
+TEST_F(WorkspaceTest, BundleRanksTheFullGrid) {
+  Workspace workspace(micro_config(), cache_root_);
+  const auto& bundle = workspace.bundle();
+  EXPECT_EQ(bundle.detectors().size(), 60U);
+  EXPECT_EQ(bundle.ranking().size(), 60U);
+  // Thresholds and calibration set on every member.
+  for (const auto& detector : bundle.detectors()) {
+    EXPECT_GT(detector->calibration_std(), 0.0);
+  }
+  auto ensemble = bundle.make_ensemble(10, 5, 3);
+  EXPECT_EQ(ensemble->m(), 10U);
+  EXPECT_EQ(ensemble->k(), 5U);
+}
+
+TEST_F(WorkspaceTest, ModelCacheKeyIgnoresEvaluationKnobs) {
+  ExperimentConfig a = micro_config();
+  ExperimentConfig b = a;
+  b.validation_attack_indices = {2, 6};
+  b.max_attack_eval_windows += 10;
+  EXPECT_EQ(a.model_cache_key(), b.model_cache_key());
+  EXPECT_NE(a.cache_key(), b.cache_key());
+
+  ExperimentConfig c = a;
+  c.train_opts.lr *= 2.0F;
+  EXPECT_NE(a.model_cache_key(), c.model_cache_key());
+}
+
+}  // namespace
+}  // namespace vehigan::experiments

@@ -24,8 +24,12 @@ class AnomalyDetector {
   /// Anomaly score of one snapshot (window*width scaled floats).
   virtual float score(std::span<const float> snapshot) = 0;
 
-  /// Bulk scoring; the default loops over score(), detectors may override
-  /// with batched implementations.
+  /// Bulk scoring; the default loops over score(). Detectors may override
+  /// with batched implementations, but every override must return exactly
+  /// what the per-sample loop would — including any internal RNG consumption
+  /// (one draw per window, in window order) — so results never depend on
+  /// which path scored them. WganDetector and VehiGan batch their critics
+  /// under this contract; tests/batch_equivalence_test.cpp pins it.
   virtual std::vector<float> score_all(const features::WindowSet& windows);
 };
 

@@ -1,5 +1,6 @@
 #include "mbds/ensemble.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace vehigan::mbds {
@@ -47,6 +48,89 @@ DetectionResult VehiGan::evaluate(std::span<const float> snapshot) {
   result.threshold = tau / static_cast<double>(result.members.size());
   result.flagged = result.score > result.threshold;
   return result;
+}
+
+std::vector<DetectionResult> VehiGan::evaluate_all(const features::WindowSet& windows) {
+  const std::size_t n = windows.count();
+  std::vector<DetectionResult> results(n);
+  if (n == 0) return results;
+
+  // Draw every subset up front, one draw_members() per window in window
+  // order — the exact RNG consumption of the sequential evaluate() loop, so
+  // Fig. 7-style runs reproduce regardless of which path scored them.
+  std::vector<std::vector<std::size_t>> subsets;
+  subsets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) subsets.push_back(draw_members());
+
+  // Invert into per-member window lists (ascending, since windows are
+  // visited in order) for the batched per-member forwards.
+  std::vector<std::vector<std::size_t>> member_rows(candidates_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t idx : subsets[i]) member_rows[idx].push_back(i);
+  }
+
+  // scores[member][j] = calibrated score of window member_rows[member][j].
+  // Each task writes only its own member's slot, so the fan-out needs no
+  // synchronization beyond parallel_for's join.
+  std::vector<std::vector<float>> scores(candidates_.size());
+  const std::size_t stride = windows.values_per_window();
+  auto score_member = [&](std::size_t member) {
+    const std::vector<std::size_t>& rows = member_rows[member];
+    if (rows.empty()) return;
+    WganDetector& det = *candidates_[member];
+    // Gather this member's windows into one packed buffer.
+    std::vector<float> packed(rows.size() * stride);
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      const auto snap = windows.snapshot(rows[j]);
+      std::copy(snap.begin(), snap.end(), packed.begin() + j * stride);
+    }
+    // Per-task critic clone: forward mutates per-layer caches, and the same
+    // detector may be shared with other ensembles or scored concurrently.
+    nn::Sequential critic = det.model().discriminator.clone();
+    std::vector<float> out;
+    out.reserve(rows.size());
+    for (std::size_t begin = 0; begin < rows.size(); begin += WganDetector::kMaxBatch) {
+      const std::size_t chunk = std::min(WganDetector::kMaxBatch, rows.size() - begin);
+      const std::vector<float> d = nn::forward_scalars(
+          critic, std::span<const float>(packed).subspan(begin * stride, chunk * stride), chunk,
+          det.window(), det.width());
+      for (float v : d) out.push_back(det.calibrated(-v));
+    }
+    scores[member] = std::move(out);
+  };
+  if (pool_) {
+    pool_->parallel_for(candidates_.size(), score_member);
+  } else {
+    for (std::size_t member = 0; member < candidates_.size(); ++member) score_member(member);
+  }
+
+  // Recombine per window. Windows ascend, and each member_rows list ascends,
+  // so a cursor per member walks its score vector in lockstep. Accumulation
+  // runs in drawn-member order, matching score_with_members bit-for-bit.
+  std::vector<std::size_t> cursor(candidates_.size(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    DetectionResult& result = results[i];
+    result.members = std::move(subsets[i]);
+    double sum = 0.0;
+    double tau = 0.0;
+    for (std::size_t idx : result.members) {
+      sum += scores[idx][cursor[idx]++];
+      tau += candidates_[idx]->threshold();
+    }
+    const auto k = static_cast<double>(result.members.size());
+    result.score = static_cast<float>(sum / k);
+    result.threshold = tau / k;
+    result.flagged = result.score > result.threshold;
+  }
+  return results;
+}
+
+std::vector<float> VehiGan::score_all(const features::WindowSet& windows) {
+  std::vector<DetectionResult> results = evaluate_all(windows);
+  std::vector<float> scores;
+  scores.reserve(results.size());
+  for (const DetectionResult& r : results) scores.push_back(r.score);
+  return scores;
 }
 
 }  // namespace vehigan::mbds

@@ -4,6 +4,7 @@
 
 #include "mbds/wgan_detector.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vehigan::mbds {
 
@@ -42,6 +43,25 @@ class VehiGan : public AnomalyDetector {
   /// thresholds, and applies s > tau.
   DetectionResult evaluate(std::span<const float> snapshot);
 
+  /// Batched bulk scoring. Subsets are drawn per window in window order —
+  /// exactly the RNG consumption of calling score() in a loop, so the
+  /// per-prediction member sequence (and every score) matches the sequential
+  /// path bit-for-bit. Member critics run batched, fanned out across the
+  /// thread pool when one is set.
+  std::vector<float> score_all(const features::WindowSet& windows) override;
+
+  /// Batched analogue of calling evaluate() on every window; same
+  /// subset-sequence guarantee as score_all().
+  std::vector<DetectionResult> evaluate_all(const features::WindowSet& windows);
+
+  /// Optional worker pool for the per-member fan-out in score_all /
+  /// evaluate_all. Each member task operates on its own clone of the member's
+  /// critic (Sequential forward mutates per-layer caches, and detectors may
+  /// be shared between ensembles), so the fan-out is data-race free. Without
+  /// a pool the batched path runs inline on the calling thread.
+  void set_thread_pool(std::shared_ptr<util::ThreadPool> pool) { pool_ = std::move(pool); }
+  [[nodiscard]] const std::shared_ptr<util::ThreadPool>& thread_pool() const { return pool_; }
+
   /// Deterministic scoring with an explicit member subset (used by the
   /// white-box multi-model attacker and by tests).
   float score_with_members(std::span<const float> snapshot,
@@ -59,6 +79,7 @@ class VehiGan : public AnomalyDetector {
   std::vector<std::shared_ptr<WganDetector>> candidates_;
   std::size_t k_;
   util::Rng rng_;
+  std::shared_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace vehigan::mbds

@@ -15,7 +15,7 @@ OnlineMbds::OnlineMbds(std::uint32_t station_id, std::shared_ptr<VehiGan> detect
       cooldown_(report_cooldown),
       gap_reset_s_(gap_reset_s) {}
 
-std::optional<MisbehaviorReport> OnlineMbds::ingest(const sim::Bsm& message) {
+OnlineMbds::VehicleBuffer* OnlineMbds::buffer_message(const sim::Bsm& message) {
   VehicleBuffer& buffer = buffers_[message.vehicle_id];
   // A reception gap (packet loss, shadowing) invalidates the delta features
   // across the gap; restart the snapshot rather than score garbage.
@@ -28,15 +28,22 @@ std::optional<MisbehaviorReport> OnlineMbds::ingest(const sim::Bsm& message) {
   // The engineered features consume message pairs, so a w-step snapshot
   // needs w+1 raw messages.
   while (buffer.recent.size() > window_ + 1) buffer.recent.pop_front();
-  if (buffer.recent.size() < window_ + 1) return std::nullopt;
+  return buffer.recent.size() < window_ + 1 ? nullptr : &buffer;
+}
 
+features::Series OnlineMbds::snapshot_series(const VehicleBuffer& buffer) const {
   sim::VehicleTrace mini;
-  mini.vehicle_id = message.vehicle_id;
+  mini.vehicle_id = buffer.recent.front().vehicle_id;
   mini.messages.assign(buffer.recent.begin(), buffer.recent.end());
   features::Series series = to_series(features::extract_features(mini));
   scaler_.transform(series);
+  return series;
+}
 
-  const DetectionResult result = detector_->evaluate(series.values);
+std::optional<MisbehaviorReport> OnlineMbds::finalize(const sim::Bsm& message,
+                                                      VehicleBuffer& buffer,
+                                                      const DetectionResult& result,
+                                                      std::vector<sim::Bsm> evidence) {
   if (!result.flagged) return std::nullopt;
   if (message.time - buffer.last_report_time < cooldown_) return std::nullopt;
   buffer.last_report_time = message.time;
@@ -47,9 +54,57 @@ std::optional<MisbehaviorReport> OnlineMbds::ingest(const sim::Bsm& message) {
   report.time = message.time;
   report.score = result.score;
   report.threshold = result.threshold;
-  report.evidence = mini.messages;
+  report.evidence = std::move(evidence);
   if (sink_) sink_(report);
   return report;
+}
+
+std::optional<MisbehaviorReport> OnlineMbds::ingest(const sim::Bsm& message) {
+  VehicleBuffer* buffer = buffer_message(message);
+  if (buffer == nullptr) return std::nullopt;
+  const features::Series series = snapshot_series(*buffer);
+  const DetectionResult result = detector_->evaluate(series.values);
+  return finalize(message, *buffer, result,
+                  {buffer->recent.begin(), buffer->recent.end()});
+}
+
+std::vector<MisbehaviorReport> OnlineMbds::ingest_batch(std::span<const sim::Bsm> messages) {
+  // Phase 1: buffer every message in arrival order, collecting each window
+  // that completes. Evidence is copied at completion time: a later message
+  // from the same vehicle in this batch advances the deque.
+  struct Pending {
+    const sim::Bsm* message;
+    std::vector<sim::Bsm> evidence;
+  };
+  std::vector<Pending> pending;
+  features::WindowSet ready;
+  for (const sim::Bsm& message : messages) {
+    VehicleBuffer* buffer = buffer_message(message);
+    if (buffer == nullptr) continue;
+    const features::Series series = snapshot_series(*buffer);
+    if (ready.count() == 0) {
+      ready.window = window_;
+      ready.width = series.width;
+    }
+    ready.append(series.values, message.vehicle_id);
+    pending.push_back({&message, {buffer->recent.begin(), buffer->recent.end()}});
+  }
+  if (pending.empty()) return {};
+
+  // Phase 2: one batched ensemble dispatch for the whole tick. evaluate_all
+  // draws subsets in window (== message) order, so scores and reports are
+  // identical to the per-message ingest() loop.
+  const std::vector<DetectionResult> results = detector_->evaluate_all(ready);
+
+  // Phase 3: apply flag + cooldown decisions in message order.
+  std::vector<MisbehaviorReport> reports;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    VehicleBuffer& buffer = buffers_[pending[i].message->vehicle_id];
+    auto report =
+        finalize(*pending[i].message, buffer, results[i], std::move(pending[i].evidence));
+    if (report) reports.push_back(std::move(*report));
+  }
+  return reports;
 }
 
 void OnlineMbds::evict_stale(double before_time) {

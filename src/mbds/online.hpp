@@ -4,7 +4,9 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "features/scaler.hpp"
 #include "mbds/ensemble.hpp"
@@ -38,6 +40,15 @@ class OnlineMbds {
   /// one (also forwarded to the sink, if set).
   std::optional<MisbehaviorReport> ingest(const sim::Bsm& message);
 
+  /// Feeds one simulation tick's worth of BSMs at once: buffers every
+  /// message, then scores all completed windows in a single batched ensemble
+  /// call (VehiGan::evaluate_all), which fans the members out across the
+  /// ensemble's thread pool if one is set. Reports (and sink callbacks, and
+  /// cooldown bookkeeping) are emitted in message order, so the result is
+  /// identical to calling ingest() per message — just one ensemble dispatch
+  /// per tick instead of one per vehicle.
+  std::vector<MisbehaviorReport> ingest_batch(std::span<const sim::Bsm> messages);
+
   void set_report_sink(ReportSink sink) { sink_ = std::move(sink); }
 
   /// Drops per-vehicle state not updated since `before_time` (pseudonym
@@ -53,6 +64,19 @@ class OnlineMbds {
     double last_report_time = -1e18;
     double last_update_time = 0.0;
   };
+
+  /// Buffers one message; returns the vehicle's buffer iff it now holds a
+  /// complete window (window_+1 consecutive messages).
+  VehicleBuffer* buffer_message(const sim::Bsm& message);
+
+  /// Extracts + scales the engineered feature window from a full buffer.
+  [[nodiscard]] features::Series snapshot_series(const VehicleBuffer& buffer) const;
+
+  /// Applies the flag + cooldown decision for one scored window; emits the
+  /// report (and sink callback) when it fires.
+  std::optional<MisbehaviorReport> finalize(const sim::Bsm& message, VehicleBuffer& buffer,
+                                            const DetectionResult& result,
+                                            std::vector<sim::Bsm> evidence);
 
   std::uint32_t station_id_;
   std::shared_ptr<VehiGan> detector_;

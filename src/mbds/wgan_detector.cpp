@@ -12,7 +12,33 @@ float WganDetector::raw_score(std::span<const float> snapshot) {
 }
 
 float WganDetector::score(std::span<const float> snapshot) {
-  return static_cast<float>((raw_score(snapshot) - cal_mean_) / cal_std_);
+  return calibrated(raw_score(snapshot));
+}
+
+std::vector<float> WganDetector::raw_score_batch(std::span<const float> data, std::size_t count) {
+  const std::size_t stride = window() * width();
+  std::vector<float> raw;
+  raw.reserve(count);
+  for (std::size_t begin = 0; begin < count; begin += kMaxBatch) {
+    const std::size_t chunk = std::min(kMaxBatch, count - begin);
+    const std::vector<float> d = nn::forward_scalars(
+        model_.discriminator, data.subspan(begin * stride, chunk * stride), chunk, window(),
+        width());
+    for (float v : d) raw.push_back(-v);
+  }
+  return raw;
+}
+
+std::vector<float> WganDetector::score_all(const features::WindowSet& windows) {
+  if (windows.window != window() || windows.width != width()) {
+    throw std::invalid_argument("WganDetector::score_all: window shape " +
+                                std::to_string(windows.window) + "x" +
+                                std::to_string(windows.width) + " does not match model " +
+                                std::to_string(window()) + "x" + std::to_string(width()));
+  }
+  std::vector<float> scores = raw_score_batch(windows.data, windows.count());
+  for (float& s : scores) s = calibrated(s);
+  return scores;
 }
 
 void WganDetector::calibrate(std::span<const float> benign_raw_scores) {

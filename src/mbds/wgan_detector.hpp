@@ -23,6 +23,26 @@ class WganDetector : public AnomalyDetector {
   [[nodiscard]] std::string name() const override { return model_.config.name(); }
   float score(std::span<const float> snapshot) override;
 
+  /// Batched scoring: forwards the windows through the critic in chunks of
+  /// kMaxBatch (one GEMM per dense layer per chunk) instead of one graph walk
+  /// per window. Per-window results are identical to score().
+  std::vector<float> score_all(const features::WindowSet& windows) override;
+
+  /// Batched raw scores -D(x) over `count` windows stored contiguously
+  /// (window*width floats each), uncalibrated.
+  std::vector<float> raw_score_batch(std::span<const float> data, std::size_t count);
+
+  /// Applies this detector's calibration to a raw score, exactly as score()
+  /// does. Read-only — safe to call concurrently (e.g. from ensemble worker
+  /// threads operating on critic clones).
+  [[nodiscard]] float calibrated(float raw) const {
+    return static_cast<float>((raw - cal_mean_) / cal_std_);
+  }
+
+  /// Upper bound on windows per batched forward; bounds the peak size of the
+  /// intermediate conv activations ([batch, channels, h, w] per layer).
+  static constexpr std::size_t kMaxBatch = 256;
+
   /// Computes the calibration (mean, stddev) from benign training scores.
   /// Call before thresholding; thresholds are in calibrated units.
   void calibrate(std::span<const float> benign_raw_scores);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "nn/io.hpp"
+#include "util/linalg.hpp"
 
 namespace vehigan::nn {
 
@@ -43,16 +44,9 @@ Tensor Dense::forward(const Tensor& input) {
   cached_input_ = input;
   const std::size_t n = input.dim(0);
   Tensor output({n, out_});
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* x = input.data() + i * in_;
-    float* y = output.data() + i * out_;
-    for (std::size_t o = 0; o < out_; ++o) {
-      const float* w_row = w_.data() + o * in_;
-      float acc = b_[o];
-      for (std::size_t k = 0; k < in_; ++k) acc += w_row[k] * x[k];
-      y[o] = acc;
-    }
-  }
+  // One GEMM over the whole batch; accumulation order per output element
+  // matches the former per-row loop, so results are unchanged for n == 1.
+  util::gemm_nt_bias(n, out_, in_, input.data(), w_.data(), b_.data(), output.data());
   return output;
 }
 

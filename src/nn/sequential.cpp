@@ -102,4 +102,22 @@ float forward_scalar(Sequential& model, std::span<const float> sample, std::size
   return output[0];
 }
 
+std::vector<float> forward_scalars(Sequential& model, std::span<const float> samples,
+                                   std::size_t count, std::size_t window, std::size_t width) {
+  if (count == 0) return {};
+  const std::size_t stride = window * width;
+  if (samples.size() != count * stride) {
+    throw std::invalid_argument("forward_scalars: expected " + std::to_string(count * stride) +
+                                " floats, got " + std::to_string(samples.size()));
+  }
+  Tensor input({count, 1, window, width},
+               std::vector<float>(samples.begin(), samples.end()));
+  const Tensor output = model.forward(input);
+  if (output.size() != count) {
+    throw std::runtime_error("forward_scalars: model output is not one scalar per sample, shape " +
+                             output.shape_string());
+  }
+  return {output.data(), output.data() + output.size()};
+}
+
 }  // namespace vehigan::nn

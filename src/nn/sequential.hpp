@@ -71,4 +71,12 @@ class Sequential {
 float forward_scalar(Sequential& model, std::span<const float> sample,
                      std::size_t window, std::size_t width);
 
+/// Batched analogue of forward_scalar: `count` contiguous samples of
+/// window*width floats go through the critic as one [count, 1, window, width]
+/// tensor — one layer-graph walk (and one Dense GEMM per dense layer) instead
+/// of `count` — and the [count, 1] output is returned as per-sample scalars.
+/// Per-sample results are identical to forward_scalar on each row.
+std::vector<float> forward_scalars(Sequential& model, std::span<const float> samples,
+                                   std::size_t count, std::size_t window, std::size_t width);
+
 }  // namespace vehigan::nn

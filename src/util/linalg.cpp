@@ -78,4 +78,25 @@ EigenResult jacobi_eigen_symmetric(std::vector<double> a, std::size_t n, int max
   return result;
 }
 
+void gemm_nt_bias(std::size_t n, std::size_t out, std::size_t in, const float* a, const float* b,
+                  const float* bias, float* c) {
+  // Block over rows so the B panel (out x in, the weight matrix) streams
+  // through cache once per row block instead of once per row. The k loop
+  // stays innermost and ascending per output element, which keeps every
+  // C[i][o] bit-identical to the unblocked single-row product.
+  constexpr std::size_t kRowBlock = 32;
+  for (std::size_t i0 = 0; i0 < n; i0 += kRowBlock) {
+    const std::size_t i1 = std::min(n, i0 + kRowBlock);
+    for (std::size_t o = 0; o < out; ++o) {
+      const float* b_row = b + o * in;
+      for (std::size_t i = i0; i < i1; ++i) {
+        const float* a_row = a + i * in;
+        float acc = bias != nullptr ? bias[o] : 0.0F;
+        for (std::size_t k = 0; k < in; ++k) acc += b_row[k] * a_row[k];
+        c[i * out + o] = acc;
+      }
+    }
+  }
+}
+
 }  // namespace vehigan::util

@@ -21,4 +21,15 @@ struct EigenResult {
 /// baseline. `a` is the row-major symmetric input (only used as a value).
 EigenResult jacobi_eigen_symmetric(std::vector<double> a, std::size_t n, int max_sweeps = 64);
 
+/// Row-major GEMM with a transposed right factor and broadcast bias:
+///   C[n x out] = A[n x in] * B[out x in]^T, then C[i][o] += bias[o].
+///
+/// This is the batched inference workhorse of nn::Dense: one call covers all
+/// N windows of a batch instead of N separate vector products. The per-output
+/// accumulation runs over k in ascending order, exactly like the scalar
+/// single-row product, so a batched forward is bit-identical to N single-row
+/// forwards (the batch-equivalence tests rely on this).
+void gemm_nt_bias(std::size_t n, std::size_t out, std::size_t in, const float* a, const float* b,
+                  const float* bias, float* c);
+
 }  // namespace vehigan::util

@@ -1,0 +1,337 @@
+// Batch-equivalence property suite: the contract every batched inference
+// path rests on is that a batched forward over N windows is (numerically)
+// the same computation as N single-row forwards. This file pins that for
+// every layer type, for full WGAN critic/generator stacks, and for the
+// detector-level score_all overrides — over randomized shapes, seeds, and
+// batch sizes N in {1, 2, 7, 64}.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gan/architecture.hpp"
+#include "mbds/ensemble.hpp"
+#include "mbds/wgan_detector.hpp"
+#include "nn/layers.hpp"
+#include "nn/sequential.hpp"
+#include "test_utils.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vehigan {
+namespace {
+
+using vehigan::testing::expect_tensor_near;
+using vehigan::testing::fill_uniform;
+using vehigan::testing::random_window_set;
+
+constexpr float kTol = 1e-5F;
+const std::vector<std::size_t> kBatchSizes{1, 2, 7, 64};
+
+/// Extracts row i of a batched tensor as a [1, ...sample] tensor.
+nn::Tensor batch_row(const nn::Tensor& batched, std::size_t i) {
+  std::vector<std::size_t> shape = batched.shape();
+  shape[0] = 1;
+  const std::size_t stride = nn::Tensor::element_count(shape);
+  std::vector<float> data(batched.data() + i * stride, batched.data() + (i + 1) * stride);
+  return nn::Tensor(std::move(shape), std::move(data));
+}
+
+/// Runs `model` on a batch of n samples and on each sample individually (on
+/// an independent clone, so per-layer caches cannot leak between the two
+/// paths) and asserts the outputs agree within kTol.
+void expect_batched_equals_single(const nn::Sequential& model,
+                                  const std::vector<std::size_t>& sample_shape, std::size_t n,
+                                  util::Rng& rng) {
+  std::vector<std::size_t> batch_shape{n};
+  batch_shape.insert(batch_shape.end(), sample_shape.begin(), sample_shape.end());
+  nn::Tensor input(batch_shape);
+  fill_uniform(input, rng, -1.2F, 1.2F);
+
+  nn::Sequential batched = model.clone();
+  const nn::Tensor batch_out = batched.forward(input);
+  ASSERT_EQ(batch_out.dim(0), n);
+
+  nn::Sequential single = model.clone();
+  for (std::size_t i = 0; i < n; ++i) {
+    const nn::Tensor row_out = single.forward(batch_row(input, i));
+    expect_tensor_near(batch_row(batch_out, i), row_out, kTol);
+  }
+}
+
+// ------------------------------------------------------- per-layer cases ---
+
+struct LayerCase {
+  std::string name;
+  /// Builds a randomly-shaped single-layer model and returns its per-sample
+  /// input shape. Each call may pick different dimensions from `rng`.
+  std::function<nn::Sequential(util::Rng&, std::vector<std::size_t>&)> build;
+};
+
+std::vector<LayerCase> layer_cases() {
+  auto dim = [](util::Rng& rng, std::size_t lo, std::size_t hi) {
+    return static_cast<std::size_t>(rng.uniform_int(static_cast<std::int64_t>(lo),
+                                                    static_cast<std::int64_t>(hi)));
+  };
+  std::vector<LayerCase> cases;
+  cases.push_back({"dense", [dim](util::Rng& rng, std::vector<std::size_t>& shape) {
+                     const std::size_t in = dim(rng, 1, 24), out = dim(rng, 1, 16);
+                     nn::Sequential m;
+                     m.add<nn::Dense>(in, out).init_weights(rng);
+                     shape = {in};
+                     return m;
+                   }});
+  cases.push_back({"conv2d", [dim](util::Rng& rng, std::vector<std::size_t>& shape) {
+                     const std::size_t ic = dim(rng, 1, 3), oc = dim(rng, 1, 4);
+                     const std::size_t kh = dim(rng, 1, 3), kw = dim(rng, 1, 3);
+                     const std::size_t stride = dim(rng, 1, 2);
+                     const std::size_t h = dim(rng, 3, 10), w = dim(rng, 3, 12);
+                     nn::Sequential m;
+                     m.add<nn::Conv2D>(ic, oc, kh, kw, stride).init_weights(rng);
+                     shape = {ic, h, w};
+                     return m;
+                   }});
+  cases.push_back({"conv2d_transpose", [dim](util::Rng& rng, std::vector<std::size_t>& shape) {
+                     const std::size_t ic = dim(rng, 1, 3), oc = dim(rng, 1, 3);
+                     const std::size_t k = dim(rng, 1, 3);
+                     const std::size_t stride = dim(rng, 1, 2);
+                     nn::Sequential m;
+                     m.add<nn::Conv2DTranspose>(ic, oc, k, k, stride).init_weights(rng);
+                     shape = {ic, dim(rng, 2, 6), dim(rng, 2, 6)};
+                     return m;
+                   }});
+  cases.push_back({"upsample2d", [dim](util::Rng& rng, std::vector<std::size_t>& shape) {
+                     nn::Sequential m;
+                     m.add<nn::UpSample2D>(dim(rng, 1, 3));
+                     shape = {dim(rng, 1, 3), dim(rng, 2, 6), dim(rng, 2, 6)};
+                     return m;
+                   }});
+  cases.push_back({"leaky_relu", [dim](util::Rng& rng, std::vector<std::size_t>& shape) {
+                     nn::Sequential m;
+                     m.add<nn::LeakyReLU>(rng.uniform_f(0.05F, 0.4F));
+                     shape = {dim(rng, 1, 30)};
+                     return m;
+                   }});
+  cases.push_back({"sigmoid", [dim](util::Rng& rng, std::vector<std::size_t>& shape) {
+                     nn::Sequential m;
+                     m.add<nn::Sigmoid>();
+                     shape = {dim(rng, 1, 30)};
+                     return m;
+                   }});
+  cases.push_back({"tanh", [dim](util::Rng& rng, std::vector<std::size_t>& shape) {
+                     nn::Sequential m;
+                     m.add<nn::Tanh>();
+                     shape = {dim(rng, 1, 30)};
+                     return m;
+                   }});
+  cases.push_back({"flatten", [dim](util::Rng& rng, std::vector<std::size_t>& shape) {
+                     nn::Sequential m;
+                     m.add<nn::Flatten>();
+                     shape = {dim(rng, 1, 3), dim(rng, 2, 5), dim(rng, 2, 5)};
+                     return m;
+                   }});
+  cases.push_back({"reshape", [dim](util::Rng& rng, std::vector<std::size_t>& shape) {
+                     const std::size_t a = dim(rng, 1, 3), b = dim(rng, 2, 4), c = dim(rng, 2, 4);
+                     nn::Sequential m;
+                     m.add<nn::Reshape>(std::vector<std::size_t>{a, b, c});
+                     shape = {a * b * c};
+                     return m;
+                   }});
+  return cases;
+}
+
+class LayerBatchEquivalence : public ::testing::TestWithParam<LayerCase> {};
+
+TEST_P(LayerBatchEquivalence, BatchedForwardMatchesSingleRows) {
+  for (std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+    util::Rng rng(seed);
+    std::vector<std::size_t> sample_shape;
+    const nn::Sequential model = GetParam().build(rng, sample_shape);
+    for (std::size_t n : kBatchSizes) {
+      SCOPED_TRACE(GetParam().name + " seed=" + std::to_string(seed) +
+                   " n=" + std::to_string(n));
+      expect_batched_equals_single(model, sample_shape, n, rng);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayers, LayerBatchEquivalence, ::testing::ValuesIn(layer_cases()),
+                         [](const ::testing::TestParamInfo<LayerCase>& info) {
+                           return info.param.name;
+                         });
+
+// ------------------------------------------------- full WGAN critic stacks ---
+
+TEST(CriticBatchEquivalence, ForwardScalarsMatchesPerSampleForward) {
+  // Every depth of the paper's grid; z_dim only affects G, but vary it too.
+  for (int layers : {6, 7, 8}) {
+    gan::WganConfig config;
+    config.layers = layers;
+    config.z_dim = 8U * static_cast<std::size_t>(layers);
+    util::Rng init(100 + static_cast<std::uint64_t>(layers));
+    nn::Sequential critic = gan::build_discriminator(config, init);
+
+    for (std::size_t n : kBatchSizes) {
+      SCOPED_TRACE("layers=" + std::to_string(layers) + " n=" + std::to_string(n));
+      util::Rng data(200 + n);
+      const features::WindowSet windows =
+          testing::random_window_set(data, n, config.window, config.width);
+      nn::Sequential batched = critic.clone();
+      const std::vector<float> batch =
+          nn::forward_scalars(batched, windows.data, n, config.window, config.width);
+      ASSERT_EQ(batch.size(), n);
+      nn::Sequential single = critic.clone();
+      for (std::size_t i = 0; i < n; ++i) {
+        const float one =
+            nn::forward_scalar(single, windows.snapshot(i), config.window, config.width);
+        EXPECT_NEAR(batch[i], one, kTol) << "window " << i;
+      }
+    }
+  }
+}
+
+TEST(CriticBatchEquivalence, GeneratorStackMatchesToo) {
+  // The generator exercises Reshape + UpSample2D + Sigmoid in one stack.
+  gan::WganConfig config;
+  util::Rng init(7);
+  const nn::Sequential gen = gan::build_generator(config, init);
+  util::Rng rng(8);
+  expect_batched_equals_single(gen, {config.z_dim}, 7, rng);
+}
+
+TEST(WganDetectorBatchEquivalence, ScoreAllMatchesPerSampleScores) {
+  gan::WganConfig config;
+  util::Rng init(55);
+  gan::TrainedWgan model;
+  model.config = config;
+  model.discriminator = gan::build_discriminator(config, init);
+  model.generator = gan::build_generator(config, init);
+  mbds::WganDetector detector(std::move(model));
+  detector.set_calibration(0.37, 2.1);
+
+  for (std::size_t n : kBatchSizes) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    util::Rng data(300 + n);
+    const features::WindowSet windows =
+        testing::random_window_set(data, n, config.window, config.width);
+    const std::vector<float> batched = detector.score_all(windows);
+    ASSERT_EQ(batched.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(batched[i], detector.score(windows.snapshot(i)), kTol) << "window " << i;
+    }
+  }
+}
+
+TEST(WganDetectorBatchEquivalence, ScoreAllSpansMultipleChunks) {
+  // Force the kMaxBatch chunking path: count > one chunk.
+  gan::WganConfig config;
+  util::Rng init(56);
+  gan::TrainedWgan model;
+  model.config = config;
+  model.discriminator = gan::build_discriminator(config, init);
+  mbds::WganDetector detector(std::move(model));
+
+  const std::size_t n = mbds::WganDetector::kMaxBatch + 17;
+  util::Rng data(57);
+  const features::WindowSet windows =
+      testing::random_window_set(data, n, config.window, config.width);
+  const std::vector<float> batched = detector.score_all(windows);
+  ASSERT_EQ(batched.size(), n);
+  for (std::size_t i : {std::size_t{0}, mbds::WganDetector::kMaxBatch - 1,
+                        mbds::WganDetector::kMaxBatch, n - 1}) {
+    EXPECT_NEAR(batched[i], detector.score(windows.snapshot(i)), kTol) << "window " << i;
+  }
+}
+
+TEST(WganDetectorBatchEquivalence, ScoreAllRejectsShapeMismatch) {
+  gan::WganConfig config;
+  util::Rng init(58);
+  gan::TrainedWgan model;
+  model.config = config;
+  model.discriminator = gan::build_discriminator(config, init);
+  mbds::WganDetector detector(std::move(model));
+  util::Rng data(59);
+  const features::WindowSet wrong = testing::random_window_set(data, 3, 4, 4);
+  EXPECT_THROW(detector.score_all(wrong), std::invalid_argument);
+}
+
+// ---------------------------------------------------- ensemble equivalence ---
+
+std::vector<std::shared_ptr<mbds::WganDetector>> grid_detectors(std::size_t m) {
+  std::vector<std::shared_ptr<mbds::WganDetector>> detectors;
+  for (std::size_t i = 0; i < m; ++i) {
+    gan::WganConfig config;
+    config.id = static_cast<int>(i);
+    config.layers = 6 + static_cast<int>(i % 3);
+    util::Rng init(400 + i);
+    gan::TrainedWgan model;
+    model.config = config;
+    model.discriminator = gan::build_discriminator(config, init);
+    auto det = std::make_shared<mbds::WganDetector>(std::move(model));
+    det->set_calibration(0.1 * static_cast<double>(i), 1.0 + 0.2 * static_cast<double>(i));
+    det->set_threshold(0.5 + 0.1 * static_cast<double>(i));
+    detectors.push_back(std::move(det));
+  }
+  return detectors;
+}
+
+/// Batched VehiGan::score_all must equal the per-sample sequential loop of a
+/// same-seed twin — scores and implicit member draws alike.
+void expect_ensemble_batch_equivalence(std::shared_ptr<util::ThreadPool> pool) {
+  constexpr std::uint64_t kSeed = 99;
+  for (std::size_t n : kBatchSizes) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    mbds::VehiGan batched(grid_detectors(5), 2, kSeed);
+    batched.set_thread_pool(pool);
+    mbds::VehiGan sequential(grid_detectors(5), 2, kSeed);
+
+    util::Rng data(500 + n);
+    const features::WindowSet windows = testing::random_window_set(data, n, 10, 12);
+    const std::vector<float> batch_scores = batched.score_all(windows);
+    ASSERT_EQ(batch_scores.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(batch_scores[i], sequential.score(windows.snapshot(i)), kTol)
+          << "window " << i;
+    }
+  }
+}
+
+TEST(VehiGanBatchEquivalence, ScoreAllMatchesSequentialTwinInline) {
+  expect_ensemble_batch_equivalence(nullptr);
+}
+
+TEST(VehiGanBatchEquivalence, ScoreAllMatchesSequentialTwinWithThreadPool) {
+  expect_ensemble_batch_equivalence(std::make_shared<util::ThreadPool>(4));
+}
+
+TEST(VehiGanBatchEquivalence, EvaluateAllMatchesSequentialEvaluates) {
+  constexpr std::uint64_t kSeed = 123;
+  mbds::VehiGan batched(grid_detectors(4), 3, kSeed);
+  batched.set_thread_pool(std::make_shared<util::ThreadPool>(2));
+  mbds::VehiGan sequential(grid_detectors(4), 3, kSeed);
+
+  util::Rng data(77);
+  const features::WindowSet windows = testing::random_window_set(data, 19, 10, 12);
+  const std::vector<mbds::DetectionResult> batch = batched.evaluate_all(windows);
+  ASSERT_EQ(batch.size(), windows.count());
+  for (std::size_t i = 0; i < windows.count(); ++i) {
+    const mbds::DetectionResult one = sequential.evaluate(windows.snapshot(i));
+    EXPECT_EQ(batch[i].members, one.members) << "window " << i;
+    EXPECT_NEAR(batch[i].score, one.score, kTol) << "window " << i;
+    EXPECT_DOUBLE_EQ(batch[i].threshold, one.threshold) << "window " << i;
+    EXPECT_EQ(batch[i].flagged, one.flagged) << "window " << i;
+  }
+}
+
+TEST(VehiGanBatchEquivalence, EmptyWindowSetYieldsEmptyResults) {
+  mbds::VehiGan ensemble(grid_detectors(3), 1, 5);
+  features::WindowSet empty;
+  empty.window = 10;
+  empty.width = 12;
+  EXPECT_TRUE(ensemble.evaluate_all(empty).empty());
+  EXPECT_TRUE(ensemble.score_all(empty).empty());
+}
+
+}  // namespace
+}  // namespace vehigan

@@ -1,0 +1,150 @@
+// Determinism guarantees of the VEHIGAN_m^k subset sampler (Sec. III-A2):
+// the per-prediction member draws are a pure function of the constructor
+// seed, so Fig. 7-style experiments reproduce across runs and processes —
+// and the batched score_all/evaluate_all paths must consume the RNG exactly
+// like the sequential loop, or batching would silently change every
+// downstream result.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "mbds/ensemble.hpp"
+#include "mbds/wgan_detector.hpp"
+#include "nn/layers.hpp"
+#include "test_utils.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vehigan::mbds {
+namespace {
+
+/// Cheap linear critics (D(x) = w.x over a 2x3 window) so the tests focus on
+/// the sampler, not the networks.
+std::vector<std::shared_ptr<WganDetector>> linear_detectors(std::size_t m) {
+  std::vector<std::shared_ptr<WganDetector>> detectors;
+  for (std::size_t i = 0; i < m; ++i) {
+    gan::TrainedWgan model;
+    model.config.id = static_cast<int>(i);
+    model.config.window = 2;
+    model.config.width = 3;
+    model.discriminator.add<nn::Flatten>();
+    auto& dense = model.discriminator.add<nn::Dense>(6, 1);
+    dense.weights().assign(6, -static_cast<float>(i + 1));
+    dense.bias() = {0.0F};
+    auto det = std::make_shared<WganDetector>(std::move(model));
+    det->set_threshold(static_cast<double>(i));
+    detectors.push_back(std::move(det));
+  }
+  return detectors;
+}
+
+std::vector<std::vector<std::size_t>> draw_sequence(VehiGan& ensemble, std::size_t draws) {
+  const std::vector<float> x(6, 0.5F);
+  std::vector<std::vector<std::size_t>> subsets;
+  subsets.reserve(draws);
+  for (std::size_t i = 0; i < draws; ++i) subsets.push_back(ensemble.evaluate(x).members);
+  return subsets;
+}
+
+TEST(EnsembleDeterminism, SameSeedDrawsIdenticalSubsetSequences) {
+  // Two independently constructed ensembles stand in for two runs (or two
+  // processes: the subset stream depends only on std::mt19937_64 and our own
+  // Fisher-Yates, both fully specified for a given standard library).
+  VehiGan first(linear_detectors(6), 2, /*seed=*/42);
+  VehiGan second(linear_detectors(6), 2, /*seed=*/42);
+  EXPECT_EQ(draw_sequence(first, 50), draw_sequence(second, 50));
+}
+
+TEST(EnsembleDeterminism, DifferentSeedsDiverge) {
+  VehiGan first(linear_detectors(6), 2, 42);
+  VehiGan second(linear_detectors(6), 2, 43);
+  EXPECT_NE(draw_sequence(first, 50), draw_sequence(second, 50));
+}
+
+TEST(EnsembleDeterminism, SubsetsAreValidKSubsets) {
+  VehiGan ensemble(linear_detectors(5), 3, 7);
+  for (const auto& subset : draw_sequence(ensemble, 100)) {
+    EXPECT_EQ(subset.size(), 3U);
+    const std::set<std::size_t> unique(subset.begin(), subset.end());
+    EXPECT_EQ(unique.size(), 3U) << "subset has repeated members";
+    for (std::size_t idx : subset) EXPECT_LT(idx, 5U);
+  }
+}
+
+TEST(EnsembleDeterminism, BatchedScoreAllPreservesTheSequentialSubsetSequence) {
+  // The defining property of the batched path: window i of evaluate_all gets
+  // the exact subset the i-th sequential evaluate() would have drawn, so the
+  // two paths are interchangeable mid-experiment.
+  constexpr std::uint64_t kSeed = 1234;
+  constexpr std::size_t kWindows = 33;
+  util::Rng data(9);
+  const features::WindowSet windows = testing::random_window_set(data, kWindows, 2, 3);
+
+  VehiGan sequential(linear_detectors(6), 2, kSeed);
+  std::vector<std::vector<std::size_t>> expected_subsets;
+  std::vector<float> expected_scores;
+  for (std::size_t i = 0; i < kWindows; ++i) {
+    const DetectionResult r = sequential.evaluate(windows.snapshot(i));
+    expected_subsets.push_back(r.members);
+    expected_scores.push_back(r.score);
+  }
+
+  VehiGan batched(linear_detectors(6), 2, kSeed);
+  const std::vector<DetectionResult> results = batched.evaluate_all(windows);
+  ASSERT_EQ(results.size(), kWindows);
+  for (std::size_t i = 0; i < kWindows; ++i) {
+    EXPECT_EQ(results[i].members, expected_subsets[i]) << "window " << i;
+    // Same subsets + same accumulation order -> bit-identical scores.
+    EXPECT_FLOAT_EQ(results[i].score, expected_scores[i]) << "window " << i;
+  }
+
+  // And score_all consumes the stream identically, so a third twin lands on
+  // the same draws even when interleaving batched and per-sample calls.
+  VehiGan interleaved(linear_detectors(6), 2, kSeed);
+  features::WindowSet head;
+  head.window = 2;
+  head.width = 3;
+  for (std::size_t i = 0; i < 10; ++i) head.append(windows.snapshot(i), windows.vehicle_ids[i]);
+  const std::vector<float> head_scores = interleaved.score_all(head);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_FLOAT_EQ(head_scores[i], expected_scores[i]);
+  for (std::size_t i = 10; i < kWindows; ++i) {
+    EXPECT_FLOAT_EQ(interleaved.score(windows.snapshot(i)), expected_scores[i]) << "window " << i;
+  }
+}
+
+TEST(EnsembleDeterminism, ThreadPoolFanOutDoesNotPerturbDraws) {
+  constexpr std::uint64_t kSeed = 555;
+  util::Rng data(10);
+  const features::WindowSet windows = testing::random_window_set(data, 21, 2, 3);
+
+  VehiGan inline_path(linear_detectors(6), 3, kSeed);
+  VehiGan pooled(linear_detectors(6), 3, kSeed);
+  pooled.set_thread_pool(std::make_shared<util::ThreadPool>(4));
+
+  const std::vector<DetectionResult> a = inline_path.evaluate_all(windows);
+  const std::vector<DetectionResult> b = pooled.evaluate_all(windows);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].members, b[i].members) << "window " << i;
+    EXPECT_FLOAT_EQ(a[i].score, b[i].score) << "window " << i;
+    EXPECT_EQ(a[i].flagged, b[i].flagged) << "window " << i;
+  }
+}
+
+TEST(EnsembleDeterminism, KEqualsMSkipsTheSampler) {
+  // With k == m there is nothing to sample; the stream must not advance, so
+  // a later k < m draw from a twin with the same seed still matches.
+  VehiGan full(linear_detectors(4), 4, 77);
+  const std::vector<float> x(6, 0.1F);
+  (void)full.evaluate(x);
+  (void)full.evaluate(x);
+  // Fresh twin: identical draws even though `full` evaluated twice already.
+  VehiGan fresh(linear_detectors(4), 4, 77);
+  EXPECT_EQ(full.evaluate(x).members, fresh.evaluate(x).members);
+  EXPECT_EQ(full.evaluate(x).members, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace vehigan::mbds

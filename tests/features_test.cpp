@@ -8,6 +8,7 @@
 #include "features/series.hpp"
 #include "features/windows.hpp"
 #include "sim/traffic_sim.hpp"
+#include "test_utils.hpp"
 
 namespace vehigan::features {
 namespace {
@@ -242,8 +243,15 @@ TEST(Windows, ShortSeriesContributeNothing) {
 TEST(Windows, SubsampleKeepsEveryKth) {
   const auto set = make_windows({counting_series(1, 40, 1)}, 5, 1);
   const auto sub = set.subsample(3);
-  EXPECT_EQ(sub.count(), (set.count() + 2) / 3);
-  EXPECT_FLOAT_EQ(sub.snapshot(1)[0], set.snapshot(3)[0]);
+  // Build the expected set explicitly: windows 0, 3, 6, ... of the original.
+  WindowSet expected;
+  expected.window = set.window;
+  expected.width = set.width;
+  for (std::size_t i = 0; i < set.count(); i += 3) {
+    expected.append(set.snapshot(i), set.vehicle_ids[i]);
+  }
+  EXPECT_EQ(expected.count(), (set.count() + 2) / 3);
+  vehigan::testing::expect_windows_equal(sub, expected, /*tol=*/0.0F);
 }
 
 TEST(Windows, ExtendConcatenatesAndChecksShape) {

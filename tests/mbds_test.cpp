@@ -347,5 +347,162 @@ TEST(OnlineMbds, TracksVehiclesIndependentlyAndEvictsStale) {
   EXPECT_EQ(mbds.tracked_vehicles(), 1U);
 }
 
+// ----------------------------------------------------- online edge cases ---
+// All timestamps below are multiples of 0.125 s — exactly representable in
+// binary — so "gap == gap_reset_s" and "elapsed == cooldown" boundaries are
+// genuine equality, not float noise.
+
+TEST(OnlineMbds, GapExactlyAtResetThresholdKeepsTheBuffer) {
+  // The reset condition is strictly `gap > gap_reset_s`: a gap of exactly
+  // gap_reset_s is still a valid (slow) reception and must not clear the
+  // window.
+  OnlineMbds mbds(1, toy_online_ensemble(-1e9), identity_scaler(12), /*cooldown=*/0.0,
+                  /*gap_reset_s=*/0.25);
+  double t = 0.0;
+  for (int i = 0; i < 10; ++i, t += 0.125) {
+    EXPECT_FALSE(mbds.ingest(cruise_msg(5, t)).has_value());
+  }
+  // 11th message arrives after exactly gap_reset_s: window completes.
+  t += 0.125;  // last message was at t-0.25; this one lands at gap == 0.25
+  EXPECT_TRUE(mbds.ingest(cruise_msg(5, t)).has_value());
+
+  // An epsilon beyond the threshold must reset instead.
+  OnlineMbds strict(1, toy_online_ensemble(-1e9), identity_scaler(12), 0.0, 0.25);
+  t = 0.0;
+  for (int i = 0; i < 10; ++i, t += 0.125) {
+    (void)strict.ingest(cruise_msg(5, t));
+  }
+  EXPECT_FALSE(strict.ingest(cruise_msg(5, t + 0.25 + 0.0625)).has_value());
+}
+
+TEST(OnlineMbds, ReportFiresAgainExactlyAtCooldownBoundary) {
+  // Suppression is `elapsed < cooldown`; elapsed == cooldown reports again.
+  OnlineMbds mbds(1, toy_online_ensemble(-1e9), identity_scaler(12), /*cooldown=*/0.5,
+                  /*gap_reset_s=*/1.0);
+  std::vector<double> report_times;
+  for (int i = 0; i <= 14; ++i) {
+    const double t = 0.125 * i;
+    if (mbds.ingest(cruise_msg(5, t))) report_times.push_back(t);
+  }
+  // Window completes at t=1.25 (11th message); next report exactly 0.5 later.
+  ASSERT_EQ(report_times.size(), 2U);
+  EXPECT_DOUBLE_EQ(report_times[0], 1.25);
+  EXPECT_DOUBLE_EQ(report_times[1], 1.75);
+}
+
+TEST(OnlineMbds, EvictStaleWithInterleavedSendersKeepsBoundary) {
+  OnlineMbds mbds(1, toy_online_ensemble(1e9), identity_scaler(12));
+  // Interleaved updates leave the three senders with different last-update
+  // times: v1 -> 0.25, v2 -> 0.5, v3 -> 0.75.
+  for (int i = 0; i < 3; ++i) {
+    (void)mbds.ingest(cruise_msg(1, 0.125 * i));
+    (void)mbds.ingest(cruise_msg(2, 0.25 * i));
+    (void)mbds.ingest(cruise_msg(3, 0.375 * i));
+  }
+  EXPECT_EQ(mbds.tracked_vehicles(), 3U);
+  // Eviction is strict `<`: a vehicle last updated exactly at before_time
+  // survives.
+  mbds.evict_stale(0.5);
+  EXPECT_EQ(mbds.tracked_vehicles(), 2U);  // v1 gone; v2 at the boundary stays
+  mbds.evict_stale(0.75);
+  EXPECT_EQ(mbds.tracked_vehicles(), 1U);  // only v3 remains
+  // Evicted vehicles restart from an empty buffer.
+  for (int i = 0; i < 11; ++i) {
+    EXPECT_FALSE(mbds.ingest(cruise_msg(1, 1.0 + 0.125 * i)).has_value());
+  }
+}
+
+// --------------------------------------------------------- batched online ---
+
+std::shared_ptr<VehiGan> randomized_online_ensemble(std::uint64_t seed) {
+  // Two members with different critics and k=1, so the subset draw sequence
+  // is observable through the scores: any RNG-consumption mismatch between
+  // the sequential and batched paths changes a report.
+  std::vector<std::shared_ptr<WganDetector>> members;
+  for (int i = 0; i < 2; ++i) {
+    gan::TrainedWgan model;
+    model.config.id = i;
+    model.config.window = 10;
+    model.config.width = 12;
+    model.discriminator.add<nn::Flatten>();
+    auto& dense = model.discriminator.add<nn::Dense>(120, 1);
+    dense.weights().assign(120, i == 0 ? -1.0F : -2.0F);
+    dense.bias() = {0.0F};
+    auto det = std::make_shared<WganDetector>(std::move(model));
+    det->set_threshold(-1e9);  // flag every complete window
+    members.push_back(std::move(det));
+  }
+  return std::make_shared<VehiGan>(std::move(members), 1, seed);
+}
+
+TEST(OnlineMbds, IngestBatchMatchesSequentialIngest) {
+  constexpr std::uint64_t kSeed = 31;
+  OnlineMbds sequential(1, randomized_online_ensemble(kSeed), identity_scaler(12),
+                        /*cooldown=*/0.25, /*gap_reset_s=*/1.0);
+  OnlineMbds batched(1, randomized_online_ensemble(kSeed), identity_scaler(12), 0.25, 1.0);
+
+  // Three interleaved vehicles, 20 ticks at 8 Hz: plenty of completed
+  // windows, overlapping cooldowns, and per-window ensemble draws.
+  std::vector<std::vector<sim::Bsm>> ticks;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<sim::Bsm> tick;
+    tick.push_back(cruise_msg(1, 0.125 * i, 10.0));
+    tick.push_back(cruise_msg(2, 0.125 * i, 20.0));
+    tick.push_back(cruise_msg(3, 0.125 * i, 30.0));
+    ticks.push_back(std::move(tick));
+  }
+
+  std::vector<MisbehaviorReport> sequential_reports;
+  for (const auto& tick : ticks) {
+    for (const auto& message : tick) {
+      if (auto r = sequential.ingest(message)) sequential_reports.push_back(std::move(*r));
+    }
+  }
+  std::vector<MisbehaviorReport> batched_reports;
+  int sink_calls = 0;
+  batched.set_report_sink([&](const MisbehaviorReport&) { ++sink_calls; });
+  for (const auto& tick : ticks) {
+    auto reports = batched.ingest_batch(tick);
+    for (auto& r : reports) batched_reports.push_back(std::move(r));
+  }
+
+  ASSERT_FALSE(sequential_reports.empty());
+  ASSERT_EQ(batched_reports.size(), sequential_reports.size());
+  EXPECT_EQ(sink_calls, static_cast<int>(batched_reports.size()));
+  for (std::size_t i = 0; i < sequential_reports.size(); ++i) {
+    EXPECT_EQ(batched_reports[i].suspect_id, sequential_reports[i].suspect_id) << i;
+    EXPECT_DOUBLE_EQ(batched_reports[i].time, sequential_reports[i].time) << i;
+    EXPECT_FLOAT_EQ(batched_reports[i].score, sequential_reports[i].score) << i;
+    EXPECT_EQ(batched_reports[i].evidence.size(), sequential_reports[i].evidence.size()) << i;
+  }
+}
+
+TEST(OnlineMbds, IngestBatchHandlesRepeatedSenderWithinOneBatch) {
+  // Two messages of the same vehicle inside one batch: both complete a
+  // window; cooldown (applied in message order) suppresses the second, and
+  // the first report's evidence must snapshot the buffer as of its own
+  // message, not the later one.
+  OnlineMbds mbds(1, toy_online_ensemble(-1e9), identity_scaler(12), /*cooldown=*/0.5,
+                  /*gap_reset_s=*/1.0);
+  std::vector<sim::Bsm> warmup;
+  for (int i = 0; i < 10; ++i) warmup.push_back(cruise_msg(5, 0.125 * i));
+  EXPECT_TRUE(mbds.ingest_batch(warmup).empty());
+
+  const std::vector<sim::Bsm> burst{cruise_msg(5, 1.25), cruise_msg(5, 1.375)};
+  const auto reports = mbds.ingest_batch(burst);
+  ASSERT_EQ(reports.size(), 1U);
+  EXPECT_DOUBLE_EQ(reports[0].time, 1.25);
+  ASSERT_EQ(reports[0].evidence.size(), 11U);
+  EXPECT_DOUBLE_EQ(reports[0].evidence.back().time, 1.25);
+}
+
+TEST(OnlineMbds, IngestBatchOnEmptyOrIncompleteInputIsANoop) {
+  OnlineMbds mbds(1, toy_online_ensemble(-1e9), identity_scaler(12));
+  EXPECT_TRUE(mbds.ingest_batch({}).empty());
+  const std::vector<sim::Bsm> two{cruise_msg(1, 0.0), cruise_msg(2, 0.0)};
+  EXPECT_TRUE(mbds.ingest_batch(two).empty());
+  EXPECT_EQ(mbds.tracked_vehicles(), 2U);
+}
+
 }  // namespace
 }  // namespace vehigan::mbds

@@ -11,6 +11,7 @@
 namespace vehigan::nn {
 namespace {
 
+using vehigan::testing::expect_tensor_near;
 using vehigan::testing::fill_uniform;
 using vehigan::testing::gradient_check;
 
@@ -352,11 +353,8 @@ TEST(Serialization, RoundTripPreservesOutputs) {
   std::stringstream buffer;
   model.save(buffer);
   Sequential loaded = Sequential::load(buffer);
-  const Tensor y_after = loaded.forward(x);
-  ASSERT_EQ(y_after.size(), y_before.size());
-  for (std::size_t i = 0; i < y_before.size(); ++i) {
-    EXPECT_FLOAT_EQ(y_after[i], y_before[i]);
-  }
+  // Round-tripped weights are bit-identical, so tolerance 0.
+  expect_tensor_near(loaded.forward(x), y_before, 0.0F);
 }
 
 TEST(Serialization, RejectsBadMagic) {

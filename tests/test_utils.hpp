@@ -1,9 +1,12 @@
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <cmath>
 #include <functional>
 #include <vector>
 
+#include "features/windows.hpp"
 #include "nn/layer.hpp"
 #include "nn/sequential.hpp"
 #include "util/rng.hpp"
@@ -39,6 +42,50 @@ GradCheckResult gradient_check(nn::Sequential& model, nn::Tensor input, util::Rn
 /// Fills a tensor with uniform values in [lo, hi).
 inline void fill_uniform(nn::Tensor& t, util::Rng& rng, float lo = -1.0F, float hi = 1.0F) {
   for (std::size_t i = 0; i < t.size(); ++i) t[i] = rng.uniform_f(lo, hi);
+}
+
+/// Asserts two tensors have identical shapes and element-wise |a - b| <= tol.
+/// The default tolerance is the batch-equivalence bound used throughout
+/// tests/batch_equivalence_test.cpp.
+inline void expect_tensor_near(const nn::Tensor& actual, const nn::Tensor& expected,
+                               float tol = 1e-5F) {
+  ASSERT_EQ(actual.shape(), expected.shape())
+      << "shape mismatch: " << actual.shape_string() << " vs " << expected.shape_string();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], tol) << "tensors differ at flat index " << i;
+  }
+}
+
+/// Asserts two window sets match: same geometry, same vehicle ids, and
+/// element-wise data within tol.
+inline void expect_windows_equal(const features::WindowSet& actual,
+                                 const features::WindowSet& expected, float tol = 1e-5F) {
+  ASSERT_EQ(actual.window, expected.window);
+  ASSERT_EQ(actual.width, expected.width);
+  ASSERT_EQ(actual.count(), expected.count());
+  EXPECT_EQ(actual.vehicle_ids, expected.vehicle_ids);
+  for (std::size_t i = 0; i < expected.data.size(); ++i) {
+    EXPECT_NEAR(actual.data[i], expected.data[i], tol)
+        << "window data differs at flat index " << i << " (window "
+        << i / expected.values_per_window() << ")";
+  }
+}
+
+/// Deterministic window-set generator for batch/property tests: `count`
+/// windows of `window` x `width` uniform values in [lo, hi), vehicle ids
+/// 0..count-1. Same rng seed -> same set.
+inline features::WindowSet random_window_set(util::Rng& rng, std::size_t count,
+                                             std::size_t window, std::size_t width,
+                                             float lo = 0.0F, float hi = 1.0F) {
+  features::WindowSet set;
+  set.window = window;
+  set.width = width;
+  std::vector<float> snapshot(window * width);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (float& v : snapshot) v = rng.uniform_f(lo, hi);
+    set.append(snapshot, static_cast<std::uint32_t>(i));
+  }
+  return set;
 }
 
 }  // namespace vehigan::testing

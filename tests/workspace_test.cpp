@@ -22,7 +22,12 @@ ExperimentConfig micro_config() {
 class WorkspaceTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    cache_root_ = std::filesystem::temp_directory_path() / "vehigan_workspace_test";
+    // Per-test cache root: ctest schedules the cases of this suite as
+    // independent (possibly concurrent) processes, so a shared directory
+    // would let one test's SetUp remove_all the models another is writing.
+    // TearDown wipes the cache anyway, so isolation costs no reuse.
+    cache_root_ = std::filesystem::temp_directory_path() / "vehigan_workspace_test" /
+                  ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(cache_root_);
   }
   void TearDown() override { std::filesystem::remove_all(cache_root_); }

@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <optional>
+#include <vector>
 
+#include "util/file_lock.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -11,6 +14,30 @@
 namespace vehigan::experiments {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Tries to load a validated checkpoint. Returns nullopt when the file is
+/// absent; on a corrupt file, quarantines it (rename to `<file>.corrupt`)
+/// so the bad bytes stay available for post-mortem but can never be loaded
+/// again, and reports a miss so the caller retrains.
+std::optional<gan::TrainedWgan> load_or_quarantine(const fs::path& path) {
+  if (!fs::exists(path)) return std::nullopt;
+  try {
+    return gan::load_wgan(path);
+  } catch (const gan::CorruptCheckpoint& e) {
+    fs::path quarantine = path;
+    quarantine += ".corrupt";
+    std::error_code ec;
+    fs::rename(path, quarantine, ec);
+    if (ec) fs::remove(path, ec);  // rename failed (exotic FS) — drop the bad file instead
+    util::log_warn("quarantined corrupt checkpoint ", path.string(), " -> ",
+                   quarantine.string(), " (", e.what(), "); retraining");
+    return std::nullopt;
+  }
+}
+
+}  // namespace
 
 Workspace::Workspace(ExperimentConfig config, fs::path cache_root)
     : config_(std::move(config)), cache_root_(std::move(cache_root)) {}
@@ -39,20 +66,25 @@ const std::vector<gan::TrainedWgan>& Workspace::models() {
   const std::vector<gan::WganConfig> grid =
       gan::default_grid(config_.grid_scale, config_.window, features::kNumFeatures);
 
+  // One trainer per cache directory: concurrent processes (and concurrent
+  // Workspace instances in-process) sharing this config's cache serialize
+  // here. The winner trains whatever is missing; the others block, then see
+  // a fully populated cache and take the pure-load path below.
+  util::FileLock grid_lock(dir / "grid.lock");
+  const std::scoped_lock lock(grid_lock);
+
+  std::vector<std::optional<gan::TrainedWgan>> slots(grid.size());
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    slots[i] = load_or_quarantine(dir / (grid[i].name() + ".bin"));
+    if (!slots[i]) missing.push_back(i);
+  }
+
   models_ = std::make_unique<std::vector<gan::TrainedWgan>>();
   models_->reserve(grid.size());
-
-  // Fast path: every model already cached.
-  bool all_cached = true;
-  for (const auto& cfg : grid) {
-    if (!fs::exists(dir / (cfg.name() + ".bin"))) {
-      all_cached = false;
-      break;
-    }
-  }
-  if (all_cached) {
-    util::log_info("loading ", grid.size(), " cached WGANs from ", dir.string());
-    for (const auto& cfg : grid) models_->push_back(gan::load_wgan(dir / (cfg.name() + ".bin")));
+  if (missing.empty()) {
+    util::log_info("loaded ", grid.size(), " validated cached WGANs from ", dir.string());
+    for (auto& slot : slots) models_->push_back(std::move(*slot));
     return *models_;
   }
 
@@ -63,26 +95,23 @@ const std::vector<gan::TrainedWgan>& Workspace::models() {
   // Grid members are mutually independent (per-model RNG streams), so train
   // the missing ones across all cores. On a single-core host this degrades
   // to the sequential loop.
-  std::vector<std::optional<gan::TrainedWgan>> slots(grid.size());
   std::atomic<std::size_t> completed{0};
   util::ThreadPool pool;
-  pool.parallel_for(grid.size(), [&](std::size_t i) {
+  pool.parallel_for(missing.size(), [&](std::size_t m) {
+    const std::size_t i = missing[m];
     const gan::WganConfig& cfg = grid[i];
-    const fs::path path = dir / (cfg.name() + ".bin");
-    if (fs::exists(path)) {
-      slots[i] = gan::load_wgan(path);
-      return;
-    }
+    if (train_hook_) train_hook_(cfg);
     util::Stopwatch sw;
     gan::TrainedWgan model = trainer.train(cfg, train);
-    gan::save_wgan(model, path);
+    gan::save_wgan(model, dir / (cfg.name() + ".bin"));
     util::log_info("trained ", cfg.name(), " (", cfg.train_epochs, " epochs) in ",
                    static_cast<int>(sw.elapsed_seconds()), " s [", ++completed, "/",
-                   grid.size(), "]");
+                   missing.size(), "]");
     slots[i] = std::move(model);
   });
   for (auto& slot : slots) models_->push_back(std::move(*slot));
-  util::log_info("WGAN grid ready in ", static_cast<int>(total.elapsed_seconds()), " s");
+  util::log_info("WGAN grid ready in ", static_cast<int>(total.elapsed_seconds()), " s (",
+                 missing.size(), " trained, ", grid.size() - missing.size(), " cached)");
   return *models_;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <filesystem>
+#include <functional>
 #include <memory>
 
 #include "experiments/data.hpp"
@@ -17,6 +18,13 @@ namespace vehigan::experiments {
 ///    `<cache_root>/<config hash>/model_<id>.bin` so the grid trains once
 ///    and every bench reuses it,
 ///  * the assembled VehiGanBundle (thresholds + ADS ranking).
+///
+/// Cache integrity: models() only trusts checkpoints that pass load_wgan's
+/// checksum validation. A file that fails validation is quarantined (renamed
+/// to `<name>.bin.corrupt`, logged) and its model retrained. A `grid.lock`
+/// advisory file lock serializes the check-train-load sequence across
+/// processes sharing the cache directory, so concurrent benches elect one
+/// trainer and the rest wait, then load.
 class Workspace {
  public:
   explicit Workspace(ExperimentConfig config,
@@ -38,12 +46,22 @@ class Workspace {
   /// Directory holding this config's cached artifacts.
   [[nodiscard]] std::filesystem::path cache_dir() const;
 
+  /// Observer invoked once per model actually (re)trained by models() —
+  /// i.e. on every cache miss or quarantined checkpoint, not on cache hits.
+  /// May be called concurrently from the training pool's worker threads.
+  /// Used by tests to assert "exactly one training pass" across concurrent
+  /// workspaces sharing a cache directory.
+  void set_train_hook(std::function<void(const gan::WganConfig&)> hook) {
+    train_hook_ = std::move(hook);
+  }
+
  private:
   ExperimentConfig config_;
   std::filesystem::path cache_root_;
   std::unique_ptr<ExperimentData> data_;
   std::unique_ptr<std::vector<gan::TrainedWgan>> models_;
   std::unique_ptr<mbds::VehiGanBundle> bundle_;
+  std::function<void(const gan::WganConfig&)> train_hook_;
 };
 
 }  // namespace vehigan::experiments

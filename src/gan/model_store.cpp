@@ -1,42 +1,100 @@
 #include "gan/model_store.hpp"
 
 #include <fstream>
+#include <sstream>
+#include <system_error>
 
 #include "nn/io.hpp"
+#include "util/hash.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define VEHIGAN_HAVE_FSYNC 1
+#endif
 
 namespace vehigan::gan {
 
 namespace io = nn::io;
+namespace fs = std::filesystem;
 
-void save_wgan(const TrainedWgan& model, const std::filesystem::path& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_wgan: cannot open " + path.string());
-  io::write_string(out, "vehigan-wgan-v1");
-  io::write_u64(out, static_cast<std::uint64_t>(model.config.id));
-  io::write_u64(out, model.config.z_dim);
-  io::write_u64(out, static_cast<std::uint64_t>(model.config.layers));
-  io::write_u64(out, static_cast<std::uint64_t>(model.config.paper_epochs));
-  io::write_u64(out, static_cast<std::uint64_t>(model.config.train_epochs));
-  io::write_u64(out, model.config.window);
-  io::write_u64(out, model.config.width);
-  io::write_u64(out, model.history.size());
-  for (const auto& epoch : model.history) {
-    io::write_f32(out, static_cast<float>(epoch.critic_loss));
-    io::write_f32(out, static_cast<float>(epoch.wasserstein_est));
-    io::write_f32(out, static_cast<float>(epoch.generator_loss));
+namespace {
+
+constexpr const char kMagicV2[] = "vehigan-wgan-v2";
+constexpr const char kMagicV1[] = "vehigan-wgan-v1";
+
+/// Upper bound on the persisted epoch count: train_epochs tops out at tens,
+/// so anything beyond this is a corrupt length field, not a real history.
+constexpr std::uint64_t kMaxEpochs = 1ULL << 20;
+
+void check_write(std::ostream& out, const char* section, const fs::path& path) {
+  if (!out) {
+    throw std::runtime_error(std::string("save_wgan: write failed (") + section + ") for " +
+                             path.string());
   }
-  model.generator.save(out);
-  model.discriminator.save(out);
-  if (!out) throw std::runtime_error("save_wgan: write failed for " + path.string());
 }
 
-TrainedWgan load_wgan(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_wgan: cannot open " + path.string());
-  const std::string magic = io::read_string(in);
-  if (magic != "vehigan-wgan-v1") {
-    throw std::runtime_error("load_wgan: bad magic in " + path.string());
+/// Flushes file-system caches so the bytes behind `path` survive a crash
+/// that happens after the subsequent rename.
+void sync_file(const fs::path& path) {
+#ifdef VEHIGAN_HAVE_FSYNC
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
   }
+#else
+  (void)path;
+#endif
+}
+
+std::string serialize_metadata(const TrainedWgan& model) {
+  std::ostringstream os(std::ios::binary);
+  io::write_u64(os, static_cast<std::uint64_t>(model.config.id));
+  io::write_u64(os, model.config.z_dim);
+  io::write_u64(os, static_cast<std::uint64_t>(model.config.layers));
+  io::write_u64(os, static_cast<std::uint64_t>(model.config.paper_epochs));
+  io::write_u64(os, static_cast<std::uint64_t>(model.config.train_epochs));
+  io::write_u64(os, model.config.window);
+  io::write_u64(os, model.config.width);
+  io::write_u64(os, model.history.size());
+  // f64 on purpose: EpochStats holds doubles, and the v1 format's narrowing
+  // to f32 made critic_loss/wasserstein_est round-trip lossily.
+  for (const auto& epoch : model.history) {
+    io::write_f64(os, epoch.critic_loss);
+    io::write_f64(os, epoch.wasserstein_est);
+    io::write_f64(os, epoch.generator_loss);
+  }
+  return std::move(os).str();
+}
+
+std::string serialize_network(const nn::Sequential& net) {
+  std::ostringstream os(std::ios::binary);
+  net.save(os);
+  return std::move(os).str();
+}
+
+void parse_metadata(std::istream& in, TrainedWgan& model) {
+  model.config.id = static_cast<int>(io::read_u64(in));
+  model.config.z_dim = io::read_u64(in);
+  model.config.layers = static_cast<int>(io::read_u64(in));
+  model.config.paper_epochs = static_cast<int>(io::read_u64(in));
+  model.config.train_epochs = static_cast<int>(io::read_u64(in));
+  model.config.window = io::read_u64(in);
+  model.config.width = io::read_u64(in);
+  const std::uint64_t epochs = io::read_u64(in);
+  if (epochs > kMaxEpochs) throw std::runtime_error("implausible history length");
+  model.history.resize(epochs);
+  for (auto& epoch : model.history) {
+    epoch.critic_loss = io::read_f64(in);
+    epoch.wasserstein_est = io::read_f64(in);
+    epoch.generator_loss = io::read_f64(in);
+  }
+}
+
+/// Legacy v1 body (everything after the magic): no length/checksum framing,
+/// f32 history. Kept so caches written before the v2 format stay readable.
+TrainedWgan load_v1_body(std::istream& in) {
   TrainedWgan model;
   model.config.id = static_cast<int>(io::read_u64(in));
   model.config.z_dim = io::read_u64(in);
@@ -46,6 +104,7 @@ TrainedWgan load_wgan(const std::filesystem::path& path) {
   model.config.window = io::read_u64(in);
   model.config.width = io::read_u64(in);
   const std::uint64_t epochs = io::read_u64(in);
+  if (epochs > kMaxEpochs) throw std::runtime_error("implausible history length");
   model.history.resize(epochs);
   for (auto& epoch : model.history) {
     epoch.critic_loss = io::read_f32(in);
@@ -54,6 +113,130 @@ TrainedWgan load_wgan(const std::filesystem::path& path) {
   }
   model.generator = nn::Sequential::load(in);
   model.discriminator = nn::Sequential::load(in);
+  return model;
+}
+
+[[noreturn]] void corrupt(const fs::path& path, const std::string& why) {
+  throw CorruptCheckpoint("load_wgan: corrupt checkpoint " + path.string() + ": " + why);
+}
+
+}  // namespace
+
+void save_wgan(const TrainedWgan& model, const fs::path& path) {
+  // Serialize the payload sections up front so (a) the checksum covers the
+  // exact bytes that land on disk and (b) serialization errors surface
+  // before any file exists.
+  const std::string metadata = serialize_metadata(model);
+  const std::string generator = serialize_network(model.generator);
+  const std::string discriminator = serialize_network(model.discriminator);
+  const std::uint64_t payload_size = metadata.size() + generator.size() + discriminator.size();
+  util::Fnv1a checksum;
+  checksum.add(metadata).add(generator).add(discriminator);
+
+  // Atomic publish: all writes go to a sibling tmp file; only a fully
+  // written, flushed, checksummed file is renamed to the final path, so a
+  // crash (even kill -9) at any point never leaves a torn file at `path`.
+  fs::path tmp = path;
+  tmp += ".tmp";
+  try {
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) throw std::runtime_error("save_wgan: cannot open " + tmp.string());
+      io::write_string(out, kMagicV2);
+      io::write_u64(out, payload_size);
+      check_write(out, "header", path);
+      out.write(metadata.data(), static_cast<std::streamsize>(metadata.size()));
+      check_write(out, "metadata/history", path);
+      out.write(generator.data(), static_cast<std::streamsize>(generator.size()));
+      check_write(out, "generator", path);
+      out.write(discriminator.data(), static_cast<std::streamsize>(discriminator.size()));
+      check_write(out, "discriminator", path);
+      io::write_u64(out, checksum.value());
+      out.flush();
+      check_write(out, "checksum footer", path);
+    }
+    sync_file(tmp);
+    fs::rename(tmp, path);
+  } catch (...) {
+    // Never leave partial state behind: the destination was not touched,
+    // and the tmp file is removed on its way out.
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    throw;
+  }
+}
+
+TrainedWgan load_wgan(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_wgan: cannot open " + path.string());
+
+  std::string magic;
+  try {
+    magic = io::read_string(in);
+  } catch (const std::exception& e) {
+    corrupt(path, e.what());
+  }
+
+  if (magic == kMagicV1) {
+    try {
+      return load_v1_body(in);
+    } catch (const CorruptCheckpoint&) {
+      throw;
+    } catch (const std::exception& e) {
+      corrupt(path, std::string("v1 body: ") + e.what());
+    }
+  }
+  if (magic != kMagicV2) corrupt(path, "bad magic");
+
+  // v2: the file must be exactly header + payload + footer. Checking the
+  // declared payload length against the real file size first means a
+  // corrupt length field fails cleanly here instead of driving a huge
+  // allocation or a short read.
+  std::uint64_t payload_size = 0;
+  try {
+    payload_size = io::read_u64(in);
+  } catch (const std::exception& e) {
+    corrupt(path, e.what());
+  }
+  const std::uint64_t header_size = sizeof(std::uint64_t) + magic.size() + sizeof(std::uint64_t);
+  const std::uint64_t footer_size = sizeof(std::uint64_t);
+  std::error_code ec;
+  const std::uint64_t file_size = fs::file_size(path, ec);
+  if (ec) corrupt(path, "cannot stat file: " + ec.message());
+  if (payload_size > file_size || header_size + payload_size + footer_size != file_size) {
+    corrupt(path, "payload length does not match file size (truncated or trailing bytes)");
+  }
+
+  std::string payload(payload_size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!in) corrupt(path, "truncated payload");
+  std::uint64_t stored_checksum = 0;
+  try {
+    stored_checksum = io::read_u64(in);
+  } catch (const std::exception& e) {
+    corrupt(path, e.what());
+  }
+  const std::uint64_t actual_checksum = util::Fnv1a().add(payload).value();
+  if (actual_checksum != stored_checksum) {
+    corrupt(path, "checksum mismatch (stored " + std::to_string(stored_checksum) + ", computed " +
+                      std::to_string(actual_checksum) + ")");
+  }
+
+  // The payload is now proven to be the saved bytes; parse failures past
+  // this point still map to CorruptCheckpoint (writer/format bugs), never
+  // to a silent wrong-weights load.
+  std::istringstream ps(payload, std::ios::binary);
+  TrainedWgan model;
+  try {
+    parse_metadata(ps, model);
+    model.generator = nn::Sequential::load(ps);
+    model.discriminator = nn::Sequential::load(ps);
+  } catch (const std::exception& e) {
+    corrupt(path, std::string("payload parse: ") + e.what());
+  }
+  if (ps.peek() != std::istringstream::traits_type::eof()) {
+    corrupt(path, "payload has trailing bytes");
+  }
   return model;
 }
 

@@ -1,17 +1,45 @@
 #pragma once
 
 #include <filesystem>
+#include <stdexcept>
 
 #include "gan/wgan.hpp"
 
 namespace vehigan::gan {
 
+/// Thrown by load_wgan when a checkpoint file exists but fails validation:
+/// bad magic, length/size mismatch, checksum mismatch, truncated or
+/// malformed payload. Distinct from plain std::runtime_error (used for a
+/// missing/unopenable file) so callers such as Workspace::models() can
+/// quarantine the file and retrain instead of aborting.
+class CorruptCheckpoint : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// On-disk persistence of trained WGANs ("model checkpoints and relevant
 /// training statistics", Sec. III-D). One file per model holds the config,
 /// both networks, and the per-epoch history, so the expensive grid training
 /// can be shared across every bench binary via the experiment cache.
+///
+/// v2 on-disk layout (DESIGN.md Sec. 6):
+///   magic   "vehigan-wgan-v2" (length-prefixed string)
+///   u64     payload length in bytes
+///   payload config (7 x u64) | history count + 3 x f64 per epoch |
+///           generator | discriminator (nn::Sequential streams)
+///   u64     FNV-1a 64 checksum of the payload bytes
+///
+/// save_wgan is crash-safe: it writes `<path>.tmp`, flushes and fsyncs,
+/// then renames over `<path>`, so a killed process never leaves a torn
+/// file at the final checkpoint path. The stream is checked after each
+/// section so a failed write names what was being written.
 void save_wgan(const TrainedWgan& model, const std::filesystem::path& path);
 
+/// Loads and validates a checkpoint. Reads both v2 files and legacy v1
+/// files (no checksum, f32 history). Throws std::runtime_error if the file
+/// cannot be opened and CorruptCheckpoint if it fails validation; a
+/// successful return implies the payload bytes matched the stored checksum
+/// (v2), i.e. the loaded weights are provably the saved weights.
 TrainedWgan load_wgan(const std::filesystem::path& path);
 
 }  // namespace vehigan::gan

@@ -34,6 +34,17 @@ inline float read_f32(std::istream& in) {
   return v;
 }
 
+inline void write_f64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline double read_f64(std::istream& in) {
+  double v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("nn::io: truncated stream (f64)");
+  return v;
+}
+
 inline void write_string(std::ostream& out, const std::string& s) {
   write_u64(out, s.size());
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
@@ -58,6 +69,10 @@ inline void write_f32_vector(std::ostream& out, const std::vector<float>& v) {
 
 inline std::vector<float> read_f32_vector(std::istream& in) {
   const std::uint64_t n = read_u64(in);
+  // Largest real tensor in this codebase is a few million scalars; a length
+  // beyond this bound is a corrupt or hostile stream. Reject it before the
+  // resize so a flipped length byte cannot drive a multi-GB allocation.
+  if (n > (1ULL << 27)) throw std::runtime_error("nn::io: implausible f32 vector length");
   std::vector<float> v(n);
   in.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * sizeof(float)));
   if (!in) throw std::runtime_error("nn::io: truncated stream (f32 vector)");
@@ -71,6 +86,8 @@ inline void write_shape(std::ostream& out, const std::vector<std::size_t>& shape
 
 inline std::vector<std::size_t> read_shape(std::istream& in) {
   const std::uint64_t n = read_u64(in);
+  // Tensors here are rank <= 4; anything larger means a corrupt stream.
+  if (n > 64) throw std::runtime_error("nn::io: implausible shape rank");
   std::vector<std::size_t> shape(n);
   for (auto& d : shape) d = read_u64(in);
   return shape;

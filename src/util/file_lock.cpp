@@ -1,0 +1,70 @@
+#include "util/file_lock.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#define VEHIGAN_HAVE_FLOCK 1
+#endif
+
+namespace vehigan::util {
+
+namespace {
+[[noreturn]] void fail(const char* what, const std::filesystem::path& path) {
+  throw std::runtime_error(std::string("FileLock: ") + what + " " + path.string() + ": " +
+                           std::strerror(errno));
+}
+}  // namespace
+
+FileLock::FileLock(std::filesystem::path path) : path_(std::move(path)) {
+#ifdef VEHIGAN_HAVE_FLOCK
+  fd_ = ::open(path_.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (fd_ < 0) fail("cannot open", path_);
+#endif
+}
+
+FileLock::~FileLock() {
+#ifdef VEHIGAN_HAVE_FLOCK
+  if (held_) ::flock(fd_, LOCK_UN);
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+void FileLock::lock() {
+#ifdef VEHIGAN_HAVE_FLOCK
+  int rc = 0;
+  do {
+    rc = ::flock(fd_, LOCK_EX);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) fail("cannot lock", path_);
+#endif
+  held_ = true;
+}
+
+bool FileLock::try_lock() {
+#ifdef VEHIGAN_HAVE_FLOCK
+  int rc = 0;
+  do {
+    rc = ::flock(fd_, LOCK_EX | LOCK_NB);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    if (errno == EWOULDBLOCK) return false;
+    fail("cannot try-lock", path_);
+  }
+#endif
+  held_ = true;
+  return true;
+}
+
+void FileLock::unlock() {
+#ifdef VEHIGAN_HAVE_FLOCK
+  if (held_ && ::flock(fd_, LOCK_UN) != 0) fail("cannot unlock", path_);
+#endif
+  held_ = false;
+}
+
+}  // namespace vehigan::util

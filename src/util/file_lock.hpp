@@ -1,0 +1,46 @@
+#pragma once
+
+#include <filesystem>
+
+namespace vehigan::util {
+
+/// Inter-process advisory lock over a dedicated lock file (BasicLockable, so
+/// it composes with std::scoped_lock / std::unique_lock). Used by the
+/// experiment workspace so N concurrent bench processes sharing one cache
+/// directory elect exactly one trainer; the rest block in lock() and then
+/// find the grid fully cached.
+///
+/// POSIX implementation is flock(2): the lock is tied to the open file
+/// description, so two FileLock instances exclude each other whether they
+/// live in different processes or in different threads of one process, and
+/// the kernel drops the lock automatically if the holder dies (kill -9 never
+/// wedges the cache). The lock file itself is left in place — its content is
+/// irrelevant, only the lock state matters.
+class FileLock {
+ public:
+  /// Creates (if needed) and opens the lock file. Does NOT acquire the lock.
+  explicit FileLock(std::filesystem::path path);
+  ~FileLock();
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  FileLock(FileLock&&) = delete;
+  FileLock& operator=(FileLock&&) = delete;
+
+  /// Blocks until the exclusive lock is held.
+  void lock();
+
+  /// Non-blocking acquire; true iff the lock was obtained.
+  bool try_lock();
+
+  void unlock();
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+  int fd_ = -1;
+  bool held_ = false;
+};
+
+}  // namespace vehigan::util

@@ -1,0 +1,98 @@
+// Helper process for multiprocess_cache_test (not a gtest binary).
+//
+// Modes:
+//   cache_proc --grid <cache_root> <result_file>
+//     Builds the micro experiment grid through Workspace::models() against
+//     the shared cache root and writes "trained=<n>" to <result_file>.
+//     Several of these run concurrently against one cache root to exercise
+//     the grid.lock election.
+//
+//   cache_proc --spin-save <checkpoint_path>
+//     Trains one tiny WGAN, then saves it to <checkpoint_path> in a tight
+//     loop until killed. The parent SIGKILLs this process mid-save and then
+//     asserts the final path never holds a torn file (atomic tmp+rename).
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "experiments/config.hpp"
+#include "experiments/workspace.hpp"
+#include "gan/model_store.hpp"
+#include "gan/wgan.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+vehigan::experiments::ExperimentConfig micro_config() {
+  using vehigan::experiments::ExperimentConfig;
+  ExperimentConfig cfg = ExperimentConfig::quick();
+  cfg.grid_scale.epoch_scale = 0.005;  // every tier -> 1 epoch
+  cfg.max_train_windows = 200;
+  cfg.train_opts.batch_size = 32;
+  cfg.max_benign_eval_windows = 80;
+  cfg.max_attack_eval_windows = 40;
+  return cfg;
+}
+
+int run_grid(const std::string& cache_root, const std::string& result_file) {
+  std::atomic<std::size_t> trained{0};
+  vehigan::experiments::Workspace workspace(micro_config(), cache_root);
+  workspace.set_train_hook([&](const vehigan::gan::WganConfig&) { ++trained; });
+  if (workspace.models().size() != 60) {
+    std::cerr << "cache_proc: expected 60 models\n";
+    return 1;
+  }
+  std::ofstream out(result_file, std::ios::trunc);
+  out << "trained=" << trained.load() << "\n";
+  return out ? 0 : 1;
+}
+
+vehigan::features::WindowSet synthetic_windows(std::size_t count) {
+  vehigan::util::Rng rng(5);
+  vehigan::features::WindowSet set;
+  set.window = 10;
+  set.width = 12;
+  std::vector<float> snap(set.window * set.width);
+  for (std::size_t i = 0; i < count; ++i) {
+    const float phase = rng.uniform_f(0.0F, 6.28F);
+    for (std::size_t j = 0; j < snap.size(); ++j) {
+      snap[j] = 0.5F + 0.2F * std::sin(phase + 0.05F * static_cast<float>(j));
+    }
+    set.append(snap, static_cast<std::uint32_t>(i));
+  }
+  return set;
+}
+
+[[noreturn]] void run_spin_save(const std::string& path) {
+  vehigan::gan::TrainOptions opts;
+  opts.batch_size = 16;
+  vehigan::gan::WganConfig cfg;
+  cfg.z_dim = 8;
+  cfg.layers = 6;
+  cfg.train_epochs = 1;
+  vehigan::gan::TrainedWgan model =
+      vehigan::gan::WganTrainer(opts).train(cfg, synthetic_windows(48));
+  // Signal the parent that the save loop is about to start, so its SIGKILL
+  // lands inside save_wgan rather than inside training.
+  std::ofstream(path + ".ready") << "ready";
+  for (;;) vehigan::gan::save_wgan(model, path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vehigan::util::Logger::instance().set_level(vehigan::util::LogLevel::kWarn);
+  try {
+    const std::string mode = argc > 1 ? argv[1] : "";
+    if (mode == "--grid" && argc == 4) return run_grid(argv[2], argv[3]);
+    if (mode == "--spin-save" && argc == 3) run_spin_save(argv[2]);
+    std::cerr << "usage: cache_proc --grid <cache_root> <result_file> | "
+                 "--spin-save <checkpoint_path>\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "cache_proc: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gan/model_store.hpp"
+#include "gan/wgan.hpp"
+#include "nn/io.hpp"
+#include "test_utils.hpp"
+
+namespace vehigan::gan {
+namespace {
+
+namespace fs = std::filesystem;
+namespace io = nn::io;
+
+features::WindowSet synthetic_windows(std::size_t count) {
+  util::Rng rng(5);
+  features::WindowSet set;
+  set.window = 10;
+  set.width = 12;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<float> snap(set.window * set.width);
+    const float phase = rng.uniform_f(0.0F, 6.28F);
+    for (std::size_t t = 0; t < set.window; ++t) {
+      for (std::size_t f = 0; f < set.width; ++f) {
+        snap[t * set.width + f] =
+            0.5F + 0.2F * std::sin(phase + 0.3F * static_cast<float>(t + f)) +
+            rng.normal_f(0.0F, 0.01F);
+      }
+    }
+    set.append(snap, static_cast<std::uint32_t>(i));
+  }
+  return set;
+}
+
+/// One tiny trained model shared by the whole suite (training dominates the
+/// suite's runtime; every test only reads it).
+const TrainedWgan& tiny_model() {
+  static const TrainedWgan model = [] {
+    TrainOptions opts;
+    opts.batch_size = 16;
+    WganConfig cfg;
+    cfg.id = 7;
+    cfg.z_dim = 8;
+    cfg.layers = 6;
+    cfg.paper_epochs = 25;
+    cfg.train_epochs = 2;
+    return WganTrainer(opts).train(cfg, synthetic_windows(64));
+  }();
+  return model;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return std::move(os).str();
+}
+
+void write_file(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out) << path;
+}
+
+/// Replays the legacy (pre-checksum) writer so the v1 read path stays
+/// covered even though the library no longer produces v1 files.
+void write_v1_file(const TrainedWgan& model, const fs::path& path) {
+  std::ofstream out(path, std::ios::binary);
+  ASSERT_TRUE(out) << path;
+  io::write_string(out, "vehigan-wgan-v1");
+  io::write_u64(out, static_cast<std::uint64_t>(model.config.id));
+  io::write_u64(out, model.config.z_dim);
+  io::write_u64(out, static_cast<std::uint64_t>(model.config.layers));
+  io::write_u64(out, static_cast<std::uint64_t>(model.config.paper_epochs));
+  io::write_u64(out, static_cast<std::uint64_t>(model.config.train_epochs));
+  io::write_u64(out, model.config.window);
+  io::write_u64(out, model.config.width);
+  io::write_u64(out, model.history.size());
+  for (const auto& epoch : model.history) {
+    io::write_f32(out, static_cast<float>(epoch.critic_loss));
+    io::write_f32(out, static_cast<float>(epoch.wasserstein_est));
+    io::write_f32(out, static_cast<float>(epoch.generator_loss));
+  }
+  model.generator.save(out);
+  model.discriminator.save(out);
+  ASSERT_TRUE(out) << path;
+}
+
+/// Scores a batch through both networks; used to prove loaded == in-memory.
+nn::Tensor critic_scores(TrainedWgan& model) {
+  util::Rng rng(3);
+  nn::Tensor x({4, 1, model.config.window, model.config.width});
+  vehigan::testing::fill_uniform(x, rng, 0.0F, 1.0F);
+  return model.discriminator.forward(x);
+}
+
+class ModelStoreV2 : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "vehigan_model_store_test" /
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(ModelStoreV2, SaveLoadSaveIsByteIdentical) {
+  const fs::path first = dir_ / "a.bin";
+  const fs::path second = dir_ / "b.bin";
+  save_wgan(tiny_model(), first);
+  TrainedWgan loaded = load_wgan(first);
+  save_wgan(loaded, second);
+  EXPECT_EQ(read_file(first), read_file(second));
+}
+
+TEST_F(ModelStoreV2, LoadedModelScoresBitIdenticalToInMemory) {
+  const fs::path path = dir_ / "model.bin";
+  save_wgan(tiny_model(), path);
+  TrainedWgan loaded = load_wgan(path);
+  TrainedWgan original = tiny_model();  // copy: forward mutates layer caches
+  vehigan::testing::expect_tensor_near(critic_scores(loaded), critic_scores(original), 0.0F);
+
+  util::Rng rng(11);
+  nn::Tensor z({3, loaded.config.z_dim});
+  vehigan::testing::fill_uniform(z, rng);
+  vehigan::testing::expect_tensor_near(loaded.generator.forward(z),
+                                       original.generator.forward(z), 0.0F);
+}
+
+TEST_F(ModelStoreV2, HistoryRoundTripsDoublesExactly) {
+  TrainedWgan model = tiny_model();
+  // Values chosen to be unrepresentable in f32, so the lossy v1 narrowing
+  // would be caught here.
+  model.history.assign(2, {});
+  model.history[0] = {0.1 + 1e-12, -3.0000000001, 1.0 / 3.0};
+  model.history[1] = {1e300, -1e-300, 2.718281828459045};
+  const fs::path path = dir_ / "model.bin";
+  save_wgan(model, path);
+  const TrainedWgan loaded = load_wgan(path);
+  ASSERT_EQ(loaded.history.size(), 2U);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(loaded.history[i].critic_loss, model.history[i].critic_loss);
+    EXPECT_EQ(loaded.history[i].wasserstein_est, model.history[i].wasserstein_est);
+    EXPECT_EQ(loaded.history[i].generator_loss, model.history[i].generator_loss);
+  }
+}
+
+TEST_F(ModelStoreV2, ReadsLegacyV1Files) {
+  const fs::path path = dir_ / "legacy.bin";
+  write_v1_file(tiny_model(), path);
+  TrainedWgan loaded = load_wgan(path);
+  TrainedWgan original = tiny_model();
+  EXPECT_EQ(loaded.config.id, original.config.id);
+  EXPECT_EQ(loaded.config.z_dim, original.config.z_dim);
+  EXPECT_EQ(loaded.config.paper_epochs, original.config.paper_epochs);
+  ASSERT_EQ(loaded.history.size(), original.history.size());
+  for (std::size_t i = 0; i < loaded.history.size(); ++i) {
+    EXPECT_EQ(loaded.history[i].critic_loss,
+              static_cast<double>(static_cast<float>(original.history[i].critic_loss)));
+  }
+  vehigan::testing::expect_tensor_near(critic_scores(loaded), critic_scores(original), 0.0F);
+}
+
+TEST_F(ModelStoreV2, SaveLeavesNoTmpFileBehind) {
+  const fs::path path = dir_ / "model.bin";
+  save_wgan(tiny_model(), path);
+  EXPECT_TRUE(fs::exists(path));
+  std::size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    ++entries;
+    EXPECT_EQ(entry.path(), path);
+  }
+  EXPECT_EQ(entries, 1U);
+}
+
+TEST_F(ModelStoreV2, FailedSaveNeverCreatesDestination) {
+  // Parent of the target is a regular file, so the tmp file cannot be
+  // opened: the save must throw and must not leave anything behind.
+  const fs::path blocker = dir_ / "blocker";
+  write_file(blocker, "x");
+  const fs::path path = blocker / "model.bin";
+  EXPECT_THROW(save_wgan(tiny_model(), path), std::runtime_error);
+  EXPECT_FALSE(fs::exists(path));
+  fs::path tmp = path;
+  tmp += ".tmp";
+  EXPECT_FALSE(fs::exists(tmp));
+}
+
+// ----------------------------------------------------- fault injection -----
+
+/// Offsets probed by the mutation tests: byte-exact through the header and
+/// metadata region (covers every field boundary there), a coarse stride
+/// through the bulk weight payload, and byte-exact through the trailing
+/// checksum footer.
+std::vector<std::size_t> probe_offsets(std::size_t size) {
+  std::vector<std::size_t> offsets;
+  for (std::size_t i = 0; i <= std::min<std::size_t>(size, 512); ++i) offsets.push_back(i);
+  for (std::size_t i = 512; i < size; i += 97) offsets.push_back(i);
+  for (std::size_t i = size > 32 ? size - 32 : 0; i < size; ++i) offsets.push_back(i);
+  return offsets;
+}
+
+TEST_F(ModelStoreV2, FaultInjectionTruncationYieldsTypedError) {
+  const fs::path path = dir_ / "model.bin";
+  save_wgan(tiny_model(), path);
+  const std::string bytes = read_file(path);
+  const fs::path mutant = dir_ / "mutant.bin";
+  for (std::size_t cut : probe_offsets(bytes.size())) {
+    if (cut >= bytes.size()) continue;  // full length = valid file
+    write_file(mutant, bytes.substr(0, cut));
+    EXPECT_THROW(load_wgan(mutant), CorruptCheckpoint) << "truncated at byte " << cut;
+  }
+}
+
+TEST_F(ModelStoreV2, FaultInjectionByteFlipYieldsTypedError) {
+  const fs::path path = dir_ / "model.bin";
+  save_wgan(tiny_model(), path);
+  const std::string bytes = read_file(path);
+  const fs::path mutant = dir_ / "mutant.bin";
+  for (std::size_t pos : probe_offsets(bytes.size())) {
+    if (pos >= bytes.size()) continue;
+    std::string flipped = bytes;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0xFF);
+    write_file(mutant, flipped);
+    EXPECT_THROW(load_wgan(mutant), CorruptCheckpoint) << "byte flipped at offset " << pos;
+  }
+}
+
+TEST_F(ModelStoreV2, FaultInjectionRejectsEmptyGarbageAndTrailingBytes) {
+  const fs::path path = dir_ / "model.bin";
+  write_file(path, "");
+  EXPECT_THROW(load_wgan(path), CorruptCheckpoint);
+  write_file(path, "definitely not a checkpoint file at all");
+  EXPECT_THROW(load_wgan(path), CorruptCheckpoint);
+
+  // A valid file with appended bytes no longer matches its declared length.
+  save_wgan(tiny_model(), path);
+  write_file(path, read_file(path) + "extra");
+  EXPECT_THROW(load_wgan(path), CorruptCheckpoint);
+
+  // Missing files stay a plain runtime error, not a corruption report.
+  EXPECT_THROW(load_wgan(dir_ / "nonexistent.bin"), std::runtime_error);
+}
+
+TEST_F(ModelStoreV2, FaultInjectionHugeLengthFieldsFailWithoutAllocation) {
+  const fs::path path = dir_ / "model.bin";
+  save_wgan(tiny_model(), path);
+  std::string bytes = read_file(path);
+  // The payload-length field sits right after the length-prefixed magic
+  // string (8 bytes of string length + 15 magic characters).
+  const std::size_t payload_len_offset = 8 + 15;
+  const std::uint64_t huge = 1ULL << 60;
+  std::memcpy(bytes.data() + payload_len_offset, &huge, sizeof(huge));
+  write_file(path, bytes);
+  EXPECT_THROW(load_wgan(path), CorruptCheckpoint);
+}
+
+}  // namespace
+}  // namespace vehigan::gan

@@ -1,0 +1,145 @@
+// Spawns real child processes against one shared cache root, proving the
+// checkpoint store's cross-process guarantees end to end:
+//  * two concurrent Workspace processes elect exactly one trainer via
+//    grid.lock (one full 60-model training pass total), and
+//  * kill -9 mid-save never leaves a torn file at the final checkpoint path.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "gan/model_store.hpp"
+
+namespace vehigan {
+namespace {
+
+namespace fs = std::filesystem;
+
+#if defined(__unix__)
+
+fs::path helper_path() {
+  // The helper binary is built next to this test executable.
+  return fs::read_symlink("/proc/self/exe").parent_path() / "cache_proc";
+}
+
+pid_t spawn(const std::vector<std::string>& args) {
+  std::vector<const char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const auto& a : args) argv.push_back(a.c_str());
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(argv[0], const_cast<char* const*>(argv.data()));
+    _exit(127);  // exec failed
+  }
+  return pid;
+}
+
+int wait_exit_code(pid_t pid) {
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+std::size_t parse_trained(const fs::path& result_file) {
+  std::ifstream in(result_file);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line.rfind("trained=", 0), 0U) << "bad result file: " << line;
+  return static_cast<std::size_t>(std::stoul(line.substr(8)));
+}
+
+class MultiprocessCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fs::exists(helper_path()))
+        << helper_path() << " missing — build the cache_proc target";
+    root_ = fs::temp_directory_path() / "vehigan_multiprocess_cache_test" /
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path root_;
+};
+
+TEST_F(MultiprocessCacheTest, TwoProcessesShareOneTrainingPass) {
+  const fs::path cache_root = root_ / "cache";
+  const fs::path result_a = root_ / "a.txt";
+  const fs::path result_b = root_ / "b.txt";
+  const std::string helper = helper_path().string();
+
+  const pid_t a = spawn({helper, "--grid", cache_root.string(), result_a.string()});
+  const pid_t b = spawn({helper, "--grid", cache_root.string(), result_b.string()});
+  ASSERT_GT(a, 0);
+  ASSERT_GT(b, 0);
+  EXPECT_EQ(wait_exit_code(a), 0);
+  EXPECT_EQ(wait_exit_code(b), 0);
+
+  // Exactly one full training pass across both processes; the second one
+  // loaded everything from the cache the first one published.
+  EXPECT_EQ(parse_trained(result_a) + parse_trained(result_b), 60U);
+
+  // The shared cache holds the full validated grid and no leftover tmp or
+  // quarantine files.
+  std::size_t checkpoints = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(cache_root)) {
+    const std::string ext = entry.path().extension().string();
+    EXPECT_NE(ext, ".tmp") << entry.path();
+    EXPECT_NE(ext, ".corrupt") << entry.path();
+    if (ext == ".bin") {
+      ++checkpoints;
+      EXPECT_NO_THROW(gan::load_wgan(entry.path())) << entry.path();
+    }
+  }
+  EXPECT_EQ(checkpoints, 60U);
+}
+
+TEST_F(MultiprocessCacheTest, SigkillMidSaveNeverLeavesTornFinalFile) {
+  const fs::path checkpoint = root_ / "model.bin";
+  const std::string helper = helper_path().string();
+
+  // The child saves the same checkpoint in a tight loop; killing it with
+  // SIGKILL lands mid-save with high probability. The final path must then
+  // either not exist yet or load cleanly — never raise CorruptCheckpoint.
+  fs::path ready = checkpoint;
+  ready += ".ready";
+  for (int round = 0; round < 5; ++round) {
+    fs::remove(ready);
+    const pid_t child = spawn({helper, "--spin-save", checkpoint.string()});
+    ASSERT_GT(child, 0);
+    // Wait for the child to enter the save loop, then kill at staggered
+    // short delays to land in different phases of the write/rename.
+    for (int i = 0; i < 600 && !fs::exists(ready); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    EXPECT_TRUE(fs::exists(ready)) << "child never reached the save loop";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 + 7 * round));
+    ::kill(child, SIGKILL);
+    EXPECT_EQ(wait_exit_code(child), -SIGKILL);
+
+    if (!fs::exists(checkpoint)) continue;
+    try {
+      const gan::TrainedWgan model = gan::load_wgan(checkpoint);
+      EXPECT_EQ(model.config.z_dim, 8U);
+    } catch (const gan::CorruptCheckpoint& e) {
+      ADD_FAILURE() << "torn checkpoint after SIGKILL: " << e.what();
+    }
+  }
+}
+
+#endif  // __unix__
+
+}  // namespace
+}  // namespace vehigan

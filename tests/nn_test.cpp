@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "nn/io.hpp"
 #include "nn/layers.hpp"
 #include "nn/lite.hpp"
 #include "nn/optimizer.hpp"
@@ -361,6 +362,22 @@ TEST(Serialization, RejectsBadMagic) {
   std::stringstream buffer;
   buffer << "not a model";
   EXPECT_THROW(Sequential::load(buffer), std::runtime_error);
+}
+
+TEST(Serialization, RejectsImplausibleLengthFieldsWithoutAllocating) {
+  // A corrupt length field must fail the plausibility cap before any
+  // resize, not drive a multi-GB allocation and a truncated-stream error.
+  const auto with_length = [](std::uint64_t n) {
+    std::stringstream buffer;
+    io::write_u64(buffer, n);
+    return buffer;
+  };
+  auto huge_string = with_length(1ULL << 40);
+  EXPECT_THROW(io::read_string(huge_string), std::runtime_error);
+  auto huge_vector = with_length(1ULL << 40);
+  EXPECT_THROW(io::read_f32_vector(huge_vector), std::runtime_error);
+  auto huge_shape = with_length(1ULL << 40);
+  EXPECT_THROW(io::read_shape(huge_shape), std::runtime_error);
 }
 
 TEST(Serialization, CloneIsIndependentDeepCopy) {

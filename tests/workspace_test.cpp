@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
+#include <fstream>
+#include <thread>
 
 #include "experiments/workspace.hpp"
 #include "util/stopwatch.hpp"
@@ -74,6 +77,79 @@ TEST_F(WorkspaceTest, BundleRanksTheFullGrid) {
   auto ensemble = bundle.make_ensemble(10, 5, 3);
   EXPECT_EQ(ensemble->m(), 10U);
   EXPECT_EQ(ensemble->k(), 5U);
+}
+
+TEST_F(WorkspaceTest, ConcurrentModelsCallersTrainExactlyOnce) {
+  const ExperimentConfig config = micro_config();
+  std::atomic<std::size_t> trained{0};
+  std::atomic<std::size_t> grids_built{0};
+
+  // Two independent Workspace instances over one cache dir, racing models().
+  // The grid.lock file lock must elect exactly one trainer; the loser waits
+  // and then takes the pure-load path, so the total training count across
+  // both is one full grid.
+  auto run = [&] {
+    Workspace workspace(config, cache_root_);
+    workspace.set_train_hook([&](const gan::WganConfig&) { ++trained; });
+    if (workspace.models().size() == 60U) ++grids_built;
+  };
+  std::thread a(run);
+  std::thread b(run);
+  a.join();
+  b.join();
+
+  EXPECT_EQ(grids_built.load(), 2U);
+  EXPECT_EQ(trained.load(), 60U);
+}
+
+TEST_F(WorkspaceTest, QuarantinesCorruptCheckpointAndRetrains) {
+  const ExperimentConfig config = micro_config();
+  std::filesystem::path victim;
+  {
+    Workspace workspace(config, cache_root_);
+    ASSERT_EQ(workspace.models().size(), 60U);
+    for (const auto& entry : std::filesystem::directory_iterator(workspace.cache_dir())) {
+      if (entry.path().extension() == ".bin") {
+        victim = entry.path();
+        break;
+      }
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+
+  // Flip one byte in the middle of the checkpoint payload.
+  {
+    std::fstream file(victim, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file);
+    file.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(file.tellg());
+    ASSERT_GT(size, 0);
+    file.seekg(size / 2);
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(size / 2);
+    byte = static_cast<char>(byte ^ 0xFF);
+    file.write(&byte, 1);
+  }
+
+  std::atomic<std::size_t> trained{0};
+  Workspace recovered(config, cache_root_);
+  recovered.set_train_hook([&](const gan::WganConfig&) { ++trained; });
+  ASSERT_EQ(recovered.models().size(), 60U);
+  // Exactly the poisoned model was retrained, and the bad bytes were
+  // quarantined next to the fresh checkpoint.
+  EXPECT_EQ(trained.load(), 1U);
+  std::filesystem::path quarantined = victim;
+  quarantined += ".corrupt";
+  EXPECT_TRUE(std::filesystem::exists(quarantined));
+  EXPECT_TRUE(std::filesystem::exists(victim));
+
+  // A third workspace sees a fully repaired cache: zero retraining.
+  std::atomic<std::size_t> retrained{0};
+  Workspace clean(config, cache_root_);
+  clean.set_train_hook([&](const gan::WganConfig&) { ++retrained; });
+  EXPECT_EQ(clean.models().size(), 60U);
+  EXPECT_EQ(retrained.load(), 0U);
 }
 
 TEST_F(WorkspaceTest, ModelCacheKeyIgnoresEvaluationKnobs) {

@@ -7,14 +7,21 @@
 // caches it under .cache/vehigan/<model-config-hash>/; all others load it.
 // Set VEHIGAN_BENCH_SCALE=quick to run the whole suite at smoke-test scale.
 
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
 #include <cstdlib>
+#include <filesystem>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "experiments/table_printer.hpp"
 #include "experiments/workspace.hpp"
 #include "metrics/roc.hpp"
+#include "telemetry/exporter.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 
 namespace vehigan::bench {
 
@@ -24,6 +31,48 @@ inline experiments::ExperimentConfig bench_config() {
     return experiments::ExperimentConfig::quick();
   }
   return experiments::ExperimentConfig::standard();
+}
+
+// ------------------------------------------------------- timing helpers ---
+// Shared ad-hoc timing (the google-benchmark registrations stay the
+// rigorous numbers); both build on util::Stopwatch so every harness reads
+// the same steady clock.
+
+/// Mean milliseconds per call over `reps` back-to-back calls of `body`.
+template <typename F>
+double mean_ms(int reps, F&& body) {
+  util::Stopwatch sw;
+  for (int r = 0; r < reps; ++r) benchmark::DoNotOptimize(body());
+  return sw.elapsed_ms() / reps;
+}
+
+/// Best-of-reps milliseconds for one call of `body` (min, not mean: the
+/// minimum is the least noise-contaminated estimate on a shared machine).
+template <typename F>
+double best_of_ms(int reps, F&& body) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    util::Stopwatch sw;
+    benchmark::DoNotOptimize(body());
+    best = std::min(best, sw.elapsed_ms());
+  }
+  return best;
+}
+
+// ---------------------------------------------------- telemetry sidecar ---
+
+/// Dumps the process-wide metrics registry next to the bench's results:
+/// bench_results/<name>.telemetry.prom (Prometheus text exposition) and
+/// bench_results/<name>.telemetry.csv. Call at the end of main so every
+/// harness leaves a machine-readable record of what its run actually did
+/// (windows scored, cache hits, per-stage latency distributions).
+inline void write_telemetry_sidecar(const std::string& name) {
+  const telemetry::MetricsSnapshot snap = telemetry::MetricsRegistry::global().snapshot();
+  std::filesystem::create_directories("bench_results");
+  const std::string base = "bench_results/" + name + ".telemetry";
+  telemetry::write_file_atomic(base + ".prom", telemetry::to_prometheus(snap));
+  telemetry::write_file_atomic(base + ".csv", telemetry::to_csv(snap));
+  std::cout << "telemetry sidecar: " << base << ".{prom,csv}\n";
 }
 
 /// Per-member scores of one window set, precomputed so that ensemble sweeps

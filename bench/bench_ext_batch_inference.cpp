@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "experiments/table_printer.hpp"
 #include "features/windows.hpp"
 #include "gan/architecture.hpp"
@@ -113,17 +114,11 @@ double run_batched(mbds::VehiGan& ens, const features::WindowSet& windows) {
   return sink;
 }
 
-/// Best-of-reps throughput in windows/sec (best, not mean: the minimum time
-/// is the least noise-contaminated estimate on a shared machine).
+/// Best-of-reps throughput in windows/sec, on bench_common's shared
+/// best-of timing helper.
 template <typename F>
 double windows_per_sec(F&& body, std::size_t num_windows, int reps) {
-  double best_ms = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    util::Stopwatch sw;
-    benchmark::DoNotOptimize(body());
-    best_ms = std::min(best_ms, sw.elapsed_ms());
-  }
-  return static_cast<double>(num_windows) / (best_ms / 1000.0);
+  return static_cast<double>(num_windows) / (bench::best_of_ms(reps, body) / 1000.0);
 }
 
 void bm_per_sample(benchmark::State& state) {
@@ -205,5 +200,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  bench::write_telemetry_sidecar("ext_batch_inference");
   return 0;
 }

@@ -162,5 +162,6 @@ int main() {
   std::cout << "\n(expected: recall degrades gracefully with loss; faster pseudonym\n"
                " rotation delays detection by truncating per-sender windows, but the\n"
                " persistent attacker is still caught within a few rotation epochs.)\n";
+  bench::write_telemetry_sidecar("ext_deployment");
   return 0;
 }

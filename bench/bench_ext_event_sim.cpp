@@ -46,5 +46,6 @@ int main() {
   std::cout << "\n(recall should degrade gracefully with congestion while honest\n"
                " revocations stay at zero; post-CRL drops show enforcement closing\n"
                " the loop inside the same simulation.)\n";
+  bench::write_telemetry_sidecar("ext_event_sim");
   return 0;
 }

@@ -55,5 +55,6 @@ int main() {
             << hybrid_at_least_best << "/35\n"
             << "(plausibility is blind to ConstantPositionOffset by construction — only\n"
             << " additional raw features or map checks could cover it, per the paper.)\n";
+  bench::write_telemetry_sidecar("ext_hybrid_detector");
   return 0;
 }

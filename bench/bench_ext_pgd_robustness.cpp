@@ -77,5 +77,6 @@ int main() {
                "   robustness claim does not extend to an iterated adaptive attacker.\n"
                "   This mirrors the adversarial-ML literature on ensembles of weak\n"
                "   defenses and is recorded as a negative result in EXPERIMENTS.md.\n";
+  bench::write_telemetry_sidecar("ext_pgd_robustness");
   return 0;
 }

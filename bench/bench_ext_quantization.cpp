@@ -99,5 +99,6 @@ int main() {
   std::cout << "\nmax |delta| = " << experiments::TablePrinter::format(max_abs_delta, 3)
             << "  (quantization steps sit below the sensor-noise floor; training on\n"
             << "   exact logs and deploying on wire-decoded BSMs costs ~nothing)\n";
+  bench::write_telemetry_sidecar("ext_quantization");
   return 0;
 }

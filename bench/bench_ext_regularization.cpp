@@ -96,5 +96,6 @@ int main() {
   table.print();
   std::cout << "\n(the GP pass costs ~2x per step — three extra critic passes via the\n"
                " finite-difference double-backprop; detection quality decides the default.)\n";
+  bench::write_telemetry_sidecar("ext_regularization");
   return 0;
 }

@@ -94,5 +94,6 @@ int main() {
             << "(the tracker owns position/speed lies and, via the reported velocity\n"
             << " vector, heading lies too; it is blind to yaw-rate-only falsification —\n"
             << " the field VehiGAN's wx/wy features observe. Complementary coverage.)\n";
+  bench::write_telemetry_sidecar("ext_tracker_comparison");
   return 0;
 }

@@ -96,5 +96,6 @@ int main() {
     csv.write_row(row);
   }
   std::cout << "full 60x35 matrix written to bench_results/fig3_auroc.csv\n";
+  bench::write_telemetry_sidecar("fig3_single_wgans");
   return 0;
 }

@@ -92,5 +92,6 @@ int main() {
             << "\n  random-5 ensemble:     "
             << experiments::TablePrinter::format(random_score, 3)
             << "\n  (pre-evaluation should clearly beat random selection)\n";
+  bench::write_telemetry_sidecar("fig4_ensemble_sweep");
   return 0;
 }

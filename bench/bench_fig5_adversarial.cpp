@@ -121,5 +121,6 @@ int main() {
     std::cout << "(expected: black-box response ~ noise level -> adversarial samples do\n"
                  " not transfer across independently trained critics, Sec. V-B1)\n";
   }
+  bench::write_telemetry_sidecar("fig5_adversarial");
   return 0;
 }

@@ -67,5 +67,6 @@ int main() {
             << "every cell moved by exactly +-" << kEps
             << " of its sensor's benign dynamic range — visually indistinguishable from\n"
             << "natural sensor noise, yet precisely aligned with the critic's gradient.\n";
+  bench::write_telemetry_sidecar("fig6_afp_anatomy");
   return 0;
 }

@@ -106,5 +106,6 @@ int main() {
             << experiments::TablePrinter::format(single_fpr, 2)
             << " vs ensemble (m>=5) — the paper's ~92% FPR improvement under the\n"
             << "strongest adaptive attacker comes from this gap.\n";
+  bench::write_telemetry_sidecar("fig7_ensemble_attacks");
   return 0;
 }

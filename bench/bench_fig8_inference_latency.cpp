@@ -16,7 +16,6 @@
 
 #include "bench_common.hpp"
 #include "nn/lite.hpp"
-#include "util/stopwatch.hpp"
 
 using namespace vehigan;
 
@@ -78,19 +77,13 @@ int main(int argc, char** argv) {
   std::map<int, std::pair<double, int>> lite_by_layers;
   const std::size_t window = fx.workspace.config().window;
   for (std::size_t i = 0; i < fx.standard.size(); ++i) {
-    util::Stopwatch sw;
     constexpr int kReps = 50;
-    for (int r = 0; r < kReps; ++r) {
-      benchmark::DoNotOptimize(
-          nn::forward_scalar(fx.standard[i], fx.sample, window, features::kNumFeatures));
-    }
-    standard_by_layers[fx.layers[i]].first += sw.elapsed_ms() / kReps;
+    standard_by_layers[fx.layers[i]].first += bench::mean_ms(kReps, [&] {
+      return nn::forward_scalar(fx.standard[i], fx.sample, window, features::kNumFeatures);
+    });
     standard_by_layers[fx.layers[i]].second += 1;
-    sw.reset();
-    for (int r = 0; r < kReps; ++r) {
-      benchmark::DoNotOptimize(fx.lite[i].infer_scalar(fx.sample));
-    }
-    lite_by_layers[fx.layers[i]].first += sw.elapsed_ms() / kReps;
+    lite_by_layers[fx.layers[i]].first +=
+        bench::mean_ms(kReps, [&] { return fx.lite[i].infer_scalar(fx.sample); });
     lite_by_layers[fx.layers[i]].second += 1;
   }
   std::cout << "=== Fig. 8: inference latency per snapshot, by discriminator depth ===\n\n";
@@ -123,5 +116,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  bench::write_telemetry_sidecar("fig8_inference_latency");
   return 0;
 }

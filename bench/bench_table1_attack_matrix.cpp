@@ -5,6 +5,7 @@
 #include <iostream>
 #include <map>
 
+#include "bench_common.hpp"
 #include "experiments/table_printer.hpp"
 #include "vasp/attack_types.hpp"
 
@@ -50,5 +51,6 @@ int main() {
               << (vasp::is_advanced(spec) ? "  [advanced: coupled heading & yaw rate]" : "")
               << "\n";
   }
+  bench::write_telemetry_sidecar("table1_attack_matrix");
   return 0;
 }

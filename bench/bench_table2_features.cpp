@@ -8,6 +8,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "experiments/table_printer.hpp"
 #include "features/feature_engineering.hpp"
 #include "sim/traffic_sim.hpp"
@@ -106,5 +107,6 @@ int main() {
   table.print();
   std::cout << "\nBenign correlations near 1.0 and collapsed attack correlations confirm\n"
                "the physics-guided features carry the misbehavior signal (Sec. III-C).\n";
+  bench::write_telemetry_sidecar("table2_features");
   return 0;
 }

@@ -137,5 +137,6 @@ int main() {
   csv.write_row(header);
   for (const auto& row : csv_rows) csv.write_row(row);
   std::cout << "rows also written to bench_results/table3_auroc.csv\n";
+  bench::write_telemetry_sidecar("table3_baseline_comparison");
   return 0;
 }

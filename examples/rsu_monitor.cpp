@@ -7,19 +7,51 @@
 // received BSM updates the per-vehicle snapshot; flagged vehicles are
 // reported to the Misbehavior Authority, which revokes repeat offenders.
 //
-// Usage: rsu_monitor [attack-name]   (default: RandomHeadingYawRate)
+// Usage: rsu_monitor [attack-name] [--metrics-out <path>]
+//   attack-name     misbehavior to inject (default: RandomHeadingYawRate)
+//   --metrics-out   write the RSU's telemetry snapshot to <path> (Prometheus
+//                   text exposition) and <path>.json, refreshed every ~4
+//                   simulated seconds during the replay and once at exit —
+//                   the files an operator dashboard would scrape.
 
 #include <iostream>
 #include <map>
+#include <string>
 
 #include "experiments/workspace.hpp"
 #include "mbds/online.hpp"
+#include "telemetry/exporter.hpp"
+#include "telemetry/metrics.hpp"
 #include "vasp/dataset_builder.hpp"
 
 using namespace vehigan;
 
+namespace {
+
+/// Dumps the process-wide registry as Prometheus text at `path` and JSON at
+/// `path`.json. Atomic writes, so a scraper never sees a torn snapshot.
+void dump_metrics(const std::string& path) {
+  const telemetry::MetricsSnapshot snap = telemetry::MetricsRegistry::global().snapshot();
+  telemetry::write_file_atomic(path, telemetry::to_prometheus(snap));
+  telemetry::write_file_atomic(path + ".json", telemetry::to_json(snap));
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const std::string attack_name = argc > 1 ? argv[1] : "RandomHeadingYawRate";
+  std::string attack_name = "RandomHeadingYawRate";
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: rsu_monitor [attack-name] [--metrics-out <path>]\n";
+      return 0;
+    } else {
+      attack_name = arg;
+    }
+  }
   const vasp::AttackSpec& spec = vasp::attack_by_name(attack_name);
 
   // Training phase (cached): data, 60-model grid, ADS ranking, thresholds.
@@ -61,7 +93,14 @@ int main(int argc, char** argv) {
   std::cout << "replaying " << air.size() << " BSMs from " << live.traces.size()
             << " vehicles (" << live.malicious_count() << " attackers, " << attack_name
             << ")\n";
-  for (const auto& [time, message] : air) (void)monitor.ingest(*message);
+  double next_dump = 0.0;
+  for (const auto& [time, message] : air) {
+    (void)monitor.ingest(*message);
+    if (!metrics_out.empty() && time >= next_dump) {
+      dump_metrics(metrics_out);  // periodic scrape point, ~every 4 sim-seconds
+      next_dump = time + 4.0;
+    }
+  }
 
   // Outcome summary: which attackers were caught, which honest vehicles
   // were wrongly revoked.
@@ -74,5 +113,9 @@ int main(int argc, char** argv) {
   std::cout << "\nreports filed: " << reports << "\n"
             << "attackers revoked: " << caught << "/" << live.malicious_count() << "\n"
             << "honest vehicles wrongly revoked: " << wrongly_revoked << "\n";
+  if (!metrics_out.empty()) {
+    dump_metrics(metrics_out);
+    std::cout << "telemetry snapshot: " << metrics_out << " (+ .json)\n";
+  }
   return 0;
 }

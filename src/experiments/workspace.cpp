@@ -6,6 +6,8 @@
 #include <optional>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/file_lock.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
@@ -22,10 +24,22 @@ namespace {
 /// so the bad bytes stay available for post-mortem but can never be loaded
 /// again, and reports a miss so the caller retrains.
 std::optional<gan::TrainedWgan> load_or_quarantine(const fs::path& path) {
-  if (!fs::exists(path)) return std::nullopt;
+  auto& reg = telemetry::MetricsRegistry::global();
+  // Resolve both outcome counters up front so every snapshot exposes the
+  // full hit/miss pair (a zero is informative; an absent series is not).
+  auto& hits = reg.counter("vehigan_store_cache_hit_total");
+  auto& misses = reg.counter("vehigan_store_cache_miss_total");
+  if (!fs::exists(path)) {
+    misses.add(1);
+    return std::nullopt;
+  }
   try {
-    return gan::load_wgan(path);
+    gan::TrainedWgan model = gan::load_wgan(path);
+    hits.add(1);
+    return model;
   } catch (const gan::CorruptCheckpoint& e) {
+    reg.counter("vehigan_store_quarantine_total").add(1);
+    misses.add(1);
     fs::path quarantine = path;
     quarantine += ".corrupt";
     std::error_code ec;
@@ -71,7 +85,11 @@ const std::vector<gan::TrainedWgan>& Workspace::models() {
   // here. The winner trains whatever is missing; the others block, then see
   // a fully populated cache and take the pure-load path below.
   util::FileLock grid_lock(dir / "grid.lock");
+  telemetry::ScopedSpan lock_span(
+      telemetry::MetricsRegistry::global().histogram("vehigan_store_lock_wait_seconds"),
+      "grid_lock_wait");
   const std::scoped_lock lock(grid_lock);
+  lock_span.stop();
 
   std::vector<std::optional<gan::TrainedWgan>> slots(grid.size());
   std::vector<std::size_t> missing;

@@ -5,6 +5,7 @@
 #include <system_error>
 
 #include "nn/io.hpp"
+#include "telemetry/trace.hpp"
 #include "util/hash.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -123,6 +124,9 @@ TrainedWgan load_v1_body(std::istream& in) {
 }  // namespace
 
 void save_wgan(const TrainedWgan& model, const fs::path& path) {
+  telemetry::Tracer tracer;
+  auto span = tracer.span("vehigan_store_save_seconds");
+  tracer.registry().counter("vehigan_store_saves_total").add(1);
   // Serialize the payload sections up front so (a) the checksum covers the
   // exact bytes that land on disk and (b) serialization errors surface
   // before any file exists.
@@ -167,6 +171,8 @@ void save_wgan(const TrainedWgan& model, const fs::path& path) {
 }
 
 TrainedWgan load_wgan(const fs::path& path) {
+  telemetry::Tracer tracer;
+  auto span = tracer.span("vehigan_store_load_seconds");
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_wgan: cannot open " + path.string());
 

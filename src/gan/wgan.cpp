@@ -5,11 +5,42 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/logging.hpp"
 
 namespace vehigan::gan {
 
 namespace {
+
+/// Grid members train concurrently on the workspace pool, so the loss
+/// gauges are last-writer-wins across members — they show *a* live training
+/// trajectory; per-member history stays in TrainedWgan::history.
+struct TrainTelemetry {
+  telemetry::Histogram& epoch_seconds;
+  telemetry::Histogram& critic_step_seconds;
+  telemetry::Histogram& generator_step_seconds;
+  telemetry::Counter& epochs_total;
+  telemetry::Gauge& critic_loss;
+  telemetry::Gauge& wasserstein_est;
+  telemetry::Gauge& generator_loss;
+  telemetry::Gauge& epochs_per_second;
+
+  static TrainTelemetry& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static TrainTelemetry tel{
+        reg.histogram("vehigan_train_epoch_seconds"),
+        reg.histogram("vehigan_train_critic_step_seconds"),
+        reg.histogram("vehigan_train_generator_step_seconds"),
+        reg.counter("vehigan_train_epochs_total"),
+        reg.gauge("vehigan_train_critic_loss"),
+        reg.gauge("vehigan_train_wasserstein_est"),
+        reg.gauge("vehigan_train_generator_loss"),
+        reg.gauge("vehigan_train_epochs_per_second"),
+    };
+    return tel;
+  }
+};
 
 using features::WindowSet;
 using nn::Sequential;
@@ -143,7 +174,9 @@ TrainedWgan WganTrainer::train(const WganConfig& config,
   std::iota(order.begin(), order.end(), std::size_t{0});
 
   const float inv_b = 1.0F / static_cast<float>(batch);
+  TrainTelemetry& tel = TrainTelemetry::get();
   for (int epoch = 0; epoch < config.train_epochs; ++epoch) {
+    telemetry::ScopedSpan epoch_span(tel.epoch_seconds, "train_epoch");
     shuffle_rng.shuffle(order);
     EpochStats stats;
     std::size_t critic_steps = 0;
@@ -151,6 +184,7 @@ TrainedWgan WganTrainer::train(const WganConfig& config,
     int since_gen = 0;
     for (std::size_t start = 0; start + batch <= order.size(); start += batch) {
       // ---- Critic update ----
+      telemetry::ScopedSpan critic_span(tel.critic_step_seconds, "critic_step");
       model.discriminator.zero_grad();
       const Tensor real = make_real_batch(windows, order, start, batch);
       const Tensor z = make_noise(batch, config.z_dim, noise_rng);
@@ -184,10 +218,12 @@ TrainedWgan WganTrainer::train(const WganConfig& config,
       stats.critic_loss += -w_est;
       stats.wasserstein_est += w_est;
       ++critic_steps;
+      critic_span.stop();
 
       // ---- Generator update every n_critic critic steps ----
       if (++since_gen >= opts_.n_critic) {
         since_gen = 0;
+        telemetry::ScopedSpan gen_span(tel.generator_step_seconds, "generator_step");
         const Tensor z_g = make_noise(batch, config.z_dim, noise_rng);
         const Tensor fake_g = model.generator.forward(z_g);
         const Tensor d_out = model.discriminator.forward(fake_g);
@@ -206,6 +242,12 @@ TrainedWgan WganTrainer::train(const WganConfig& config,
     }
     if (gen_steps > 0) stats.generator_loss /= static_cast<double>(gen_steps);
     model.history.push_back(stats);
+    const double epoch_elapsed = epoch_span.stop();
+    tel.epochs_total.add(1);
+    tel.critic_loss.set(stats.critic_loss);
+    tel.wasserstein_est.set(stats.wasserstein_est);
+    tel.generator_loss.set(stats.generator_loss);
+    if (epoch_elapsed > 0.0) tel.epochs_per_second.set(1.0 / epoch_elapsed);
     util::log_debug("wgan ", config.name(), " epoch ", epoch + 1, "/", config.train_epochs,
                     " W~", stats.wasserstein_est);
   }

@@ -3,7 +3,34 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace vehigan::mbds {
+
+namespace {
+
+struct EnsembleTelemetry {
+  telemetry::Histogram& evaluate_seconds;
+  telemetry::Histogram& member_score_seconds;
+  telemetry::Counter& windows_total;
+  telemetry::Gauge& pool_queue_depth;
+  telemetry::Gauge& pool_queue_peak;
+
+  static EnsembleTelemetry& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static EnsembleTelemetry tel{
+        reg.histogram("vehigan_ensemble_evaluate_seconds"),
+        reg.histogram("vehigan_ensemble_member_score_seconds"),
+        reg.counter("vehigan_ensemble_windows_total"),
+        reg.gauge("vehigan_ensemble_pool_queue_depth"),
+        reg.gauge("vehigan_ensemble_pool_queue_peak"),
+    };
+    return tel;
+  }
+};
+
+}  // namespace
 
 VehiGan::VehiGan(std::vector<std::shared_ptr<WganDetector>> candidates, std::size_t k,
                  std::uint64_t seed)
@@ -55,6 +82,10 @@ std::vector<DetectionResult> VehiGan::evaluate_all(const features::WindowSet& wi
   std::vector<DetectionResult> results(n);
   if (n == 0) return results;
 
+  EnsembleTelemetry& tel = EnsembleTelemetry::get();
+  telemetry::ScopedSpan eval_span(tel.evaluate_seconds, "ensemble_evaluate");
+  tel.windows_total.add(n);
+
   // Draw every subset up front, one draw_members() per window in window
   // order — the exact RNG consumption of the sequential evaluate() loop, so
   // Fig. 7-style runs reproduce regardless of which path scored them.
@@ -77,6 +108,7 @@ std::vector<DetectionResult> VehiGan::evaluate_all(const features::WindowSet& wi
   auto score_member = [&](std::size_t member) {
     const std::vector<std::size_t>& rows = member_rows[member];
     if (rows.empty()) return;
+    telemetry::ScopedSpan member_span(tel.member_score_seconds, "member_score");
     WganDetector& det = *candidates_[member];
     // Gather this member's windows into one packed buffer.
     std::vector<float> packed(rows.size() * stride);
@@ -99,7 +131,12 @@ std::vector<DetectionResult> VehiGan::evaluate_all(const features::WindowSet& wi
     scores[member] = std::move(out);
   };
   if (pool_) {
+    // Sample the pool's backlog as the fan-out is dispatched: queue depth
+    // right before this batch's tasks are queued (other users' load), plus
+    // the lifetime high-water mark after the join.
+    tel.pool_queue_depth.set(static_cast<double>(pool_->queue_depth()));
     pool_->parallel_for(candidates_.size(), score_member);
+    tel.pool_queue_peak.set(static_cast<double>(pool_->peak_queue_depth()));
   } else {
     for (std::size_t member = 0; member < candidates_.size(); ++member) score_member(member);
   }

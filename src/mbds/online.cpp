@@ -2,8 +2,45 @@
 
 #include "features/feature_engineering.hpp"
 #include "features/series.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace vehigan::mbds {
+
+namespace {
+
+/// Metric handles resolved once; every ingest path then touches only the
+/// lock-free primitives. Span hierarchy: ingest{,_batch} -> window_build ->
+/// score -> decide (DESIGN.md Sec. 7).
+struct OnlineTelemetry {
+  telemetry::Histogram& ingest_seconds;
+  telemetry::Histogram& ingest_batch_seconds;
+  telemetry::Histogram& window_build_seconds;
+  telemetry::Histogram& score_seconds;
+  telemetry::Histogram& decide_seconds;
+  telemetry::Counter& messages_total;
+  telemetry::Counter& windows_scored_total;
+  telemetry::Counter& reports_total;
+  telemetry::Gauge& tracked_vehicles;
+
+  static OnlineTelemetry& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static OnlineTelemetry tel{
+        reg.histogram("vehigan_mbds_ingest_seconds"),
+        reg.histogram("vehigan_mbds_ingest_batch_seconds"),
+        reg.histogram("vehigan_mbds_window_build_seconds"),
+        reg.histogram("vehigan_mbds_score_seconds"),
+        reg.histogram("vehigan_mbds_decide_seconds"),
+        reg.counter("vehigan_mbds_messages_total"),
+        reg.counter("vehigan_mbds_windows_scored_total"),
+        reg.counter("vehigan_mbds_reports_total"),
+        reg.gauge("vehigan_mbds_tracked_vehicles"),
+    };
+    return tel;
+  }
+};
+
+}  // namespace
 
 OnlineMbds::OnlineMbds(std::uint32_t station_id, std::shared_ptr<VehiGan> detector,
                        features::MinMaxScaler scaler, double report_cooldown,
@@ -60,15 +97,34 @@ std::optional<MisbehaviorReport> OnlineMbds::finalize(const sim::Bsm& message,
 }
 
 std::optional<MisbehaviorReport> OnlineMbds::ingest(const sim::Bsm& message) {
+  OnlineTelemetry& tel = OnlineTelemetry::get();
+  telemetry::ScopedSpan ingest_span(tel.ingest_seconds, "ingest");
+  tel.messages_total.add(1);
+
+  telemetry::ScopedSpan build_span(tel.window_build_seconds, "window_build");
   VehicleBuffer* buffer = buffer_message(message);
+  tel.tracked_vehicles.set(static_cast<double>(buffers_.size()));
   if (buffer == nullptr) return std::nullopt;
   const features::Series series = snapshot_series(*buffer);
+  build_span.stop();
+
+  telemetry::ScopedSpan score_span(tel.score_seconds, "score");
   const DetectionResult result = detector_->evaluate(series.values);
-  return finalize(message, *buffer, result,
-                  {buffer->recent.begin(), buffer->recent.end()});
+  score_span.stop();
+  tel.windows_scored_total.add(1);
+
+  telemetry::ScopedSpan decide_span(tel.decide_seconds, "decide");
+  auto report = finalize(message, *buffer, result,
+                         {buffer->recent.begin(), buffer->recent.end()});
+  if (report) tel.reports_total.add(1);
+  return report;
 }
 
 std::vector<MisbehaviorReport> OnlineMbds::ingest_batch(std::span<const sim::Bsm> messages) {
+  OnlineTelemetry& tel = OnlineTelemetry::get();
+  telemetry::ScopedSpan batch_span(tel.ingest_batch_seconds, "ingest_batch");
+  tel.messages_total.add(messages.size());
+
   // Phase 1: buffer every message in arrival order, collecting each window
   // that completes. Evidence is copied at completion time: a later message
   // from the same vehicle in this batch advances the deque.
@@ -78,25 +134,33 @@ std::vector<MisbehaviorReport> OnlineMbds::ingest_batch(std::span<const sim::Bsm
   };
   std::vector<Pending> pending;
   features::WindowSet ready;
-  for (const sim::Bsm& message : messages) {
-    VehicleBuffer* buffer = buffer_message(message);
-    if (buffer == nullptr) continue;
-    const features::Series series = snapshot_series(*buffer);
-    if (ready.count() == 0) {
-      ready.window = window_;
-      ready.width = series.width;
+  {
+    telemetry::ScopedSpan build_span(tel.window_build_seconds, "window_build");
+    for (const sim::Bsm& message : messages) {
+      VehicleBuffer* buffer = buffer_message(message);
+      if (buffer == nullptr) continue;
+      const features::Series series = snapshot_series(*buffer);
+      if (ready.count() == 0) {
+        ready.window = window_;
+        ready.width = series.width;
+      }
+      ready.append(series.values, message.vehicle_id);
+      pending.push_back({&message, {buffer->recent.begin(), buffer->recent.end()}});
     }
-    ready.append(series.values, message.vehicle_id);
-    pending.push_back({&message, {buffer->recent.begin(), buffer->recent.end()}});
   }
+  tel.tracked_vehicles.set(static_cast<double>(buffers_.size()));
   if (pending.empty()) return {};
 
   // Phase 2: one batched ensemble dispatch for the whole tick. evaluate_all
   // draws subsets in window (== message) order, so scores and reports are
   // identical to the per-message ingest() loop.
+  telemetry::ScopedSpan score_span(tel.score_seconds, "score");
   const std::vector<DetectionResult> results = detector_->evaluate_all(ready);
+  score_span.stop();
+  tel.windows_scored_total.add(pending.size());
 
   // Phase 3: apply flag + cooldown decisions in message order.
+  telemetry::ScopedSpan decide_span(tel.decide_seconds, "decide");
   std::vector<MisbehaviorReport> reports;
   for (std::size_t i = 0; i < pending.size(); ++i) {
     VehicleBuffer& buffer = buffers_[pending[i].message->vehicle_id];
@@ -104,6 +168,7 @@ std::vector<MisbehaviorReport> OnlineMbds::ingest_batch(std::span<const sim::Bsm
         finalize(*pending[i].message, buffer, results[i], std::move(pending[i].evidence));
     if (report) reports.push_back(std::move(*report));
   }
+  tel.reports_total.add(reports.size());
   return reports;
 }
 

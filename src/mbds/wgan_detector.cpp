@@ -1,8 +1,31 @@
 #include "mbds/wgan_detector.hpp"
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/math.hpp"
 
 namespace vehigan::mbds {
+
+namespace {
+
+/// One aggregate family across all grid members: per-call latency of a
+/// single model's batched scoring (the Fig. 8 quantity), not one histogram
+/// per model — 60 members would blow up exposition cardinality.
+struct DetectorTelemetry {
+  telemetry::Histogram& score_seconds;
+  telemetry::Counter& windows_total;
+
+  static DetectorTelemetry& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static DetectorTelemetry tel{
+        reg.histogram("vehigan_detector_score_seconds"),
+        reg.counter("vehigan_detector_windows_total"),
+    };
+    return tel;
+  }
+};
+
+}  // namespace
 
 WganDetector::WganDetector(gan::TrainedWgan model) : model_(std::move(model)) {}
 
@@ -36,6 +59,9 @@ std::vector<float> WganDetector::score_all(const features::WindowSet& windows) {
                                 std::to_string(windows.width) + " does not match model " +
                                 std::to_string(window()) + "x" + std::to_string(width()));
   }
+  DetectorTelemetry& tel = DetectorTelemetry::get();
+  telemetry::ScopedSpan span(tel.score_seconds, "detector_score");
+  tel.windows_total.add(windows.count());
   std::vector<float> scores = raw_score_batch(windows.data, windows.count());
   for (float& s : scores) s = calibrated(s);
   return scores;

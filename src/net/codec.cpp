@@ -4,11 +4,30 @@
 #include <limits>
 #include <stdexcept>
 
+#include "telemetry/metrics.hpp"
 #include "util/math.hpp"
 
 namespace vehigan::net {
 
 namespace {
+
+struct CodecTelemetry {
+  telemetry::Counter& encoded_total;
+  telemetry::Counter& decoded_total;
+  telemetry::Counter& bytes_encoded_total;
+  telemetry::Counter& bytes_decoded_total;
+
+  static CodecTelemetry& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static CodecTelemetry tel{
+        reg.counter("vehigan_net_bsm_encoded_total"),
+        reg.counter("vehigan_net_bsm_decoded_total"),
+        reg.counter("vehigan_net_bytes_encoded_total"),
+        reg.counter("vehigan_net_bytes_decoded_total"),
+    };
+    return tel;
+  }
+};
 
 constexpr double kPosUnit = 0.01;         // 1 cm
 constexpr double kSpeedUnit = 0.02;       // m/s
@@ -55,6 +74,9 @@ std::string encode_bsm(const sim::Bsm& message) {
   put<std::uint16_t>(wire,
                      saturate<std::uint16_t>(util::wrap_angle(message.heading) / kHeadingUnit));
   put<std::int16_t>(wire, saturate<std::int16_t>(message.yaw_rate / kYawUnit));
+  CodecTelemetry& tel = CodecTelemetry::get();
+  tel.encoded_total.add(1);
+  tel.bytes_encoded_total.add(wire.size());
   return wire;
 }
 
@@ -73,6 +95,9 @@ sim::Bsm decode_bsm(const std::string& wire) {
   m.accel = get<std::int16_t>(wire, offset) * kAccelUnit;
   m.heading = get<std::uint16_t>(wire, offset) * kHeadingUnit;
   m.yaw_rate = get<std::int16_t>(wire, offset) * kYawUnit;
+  CodecTelemetry& tel = CodecTelemetry::get();
+  tel.decoded_total.add(1);
+  tel.bytes_decoded_total.add(wire.size());
   return m;
 }
 

@@ -2,11 +2,34 @@
 
 #include <cmath>
 
+#include "telemetry/metrics.hpp"
+
 namespace vehigan::simnet {
 
 namespace {
 constexpr double kSpeedOfLight = 3.0e8;
-}
+
+/// Mirrors BroadcastMedium::Stats into the process-wide registry so an RSU
+/// deployment (or a bench sidecar) sees channel load next to MBDS latency.
+struct MediumTelemetry {
+  telemetry::Counter& frames_tx_total;
+  telemetry::Counter& frames_delivered_total;
+  telemetry::Counter& frames_lost_total;
+  telemetry::Counter& frames_collided_total;
+
+  static MediumTelemetry& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static MediumTelemetry tel{
+        reg.counter("vehigan_simnet_frames_tx_total"),
+        reg.counter("vehigan_simnet_frames_delivered_total"),
+        reg.counter("vehigan_simnet_frames_lost_total"),
+        reg.counter("vehigan_simnet_frames_collided_total"),
+    };
+    return tel;
+  }
+};
+
+}  // namespace
 
 BroadcastMedium::BroadcastMedium(EventLoop& loop, net::ChannelConfig channel,
                                  std::uint64_t seed, double bitrate_bps,
@@ -24,6 +47,7 @@ std::size_t BroadcastMedium::attach(Attachment attachment) {
 void BroadcastMedium::transmit(std::size_t sender, double true_x, double true_y,
                                const scms::SignedBsm& frame) {
   ++stats_.frames_sent;
+  MediumTelemetry::get().frames_tx_total.add(1);
   const double t_start = loop_.now();
   for (std::size_t node = 0; node < nodes_.size(); ++node) {
     if (node == sender) continue;
@@ -31,6 +55,7 @@ void BroadcastMedium::transmit(std::size_t sender, double true_x, double true_y,
     if (!channel_.received(true_x, true_y, rx_x, rx_y)) {
       // Out of range or faded: the radio never locks on, no collision state.
       ++stats_.channel_losses;
+      MediumTelemetry::get().frames_lost_total.add(1);
       continue;
     }
     const double distance = std::hypot(true_x - rx_x, true_y - rx_y);
@@ -51,9 +76,11 @@ void BroadcastMedium::transmit(std::size_t sender, double true_x, double true_y,
     loop_.schedule_at(done, [this, node, copy, corrupted] {
       if (*corrupted) {
         ++stats_.collisions;
+        MediumTelemetry::get().frames_collided_total.add(1);
         return;
       }
       ++stats_.deliveries;
+      MediumTelemetry::get().frames_delivered_total.add(1);
       nodes_[node].on_receive(copy);
     });
   }

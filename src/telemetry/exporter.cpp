@@ -1,0 +1,130 @@
+#include "telemetry/exporter.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vehigan::telemetry {
+
+namespace {
+
+std::string le_label(double upper) {
+  return std::isinf(upper) ? "+Inf" : format_double(upper);
+}
+
+/// Escapes a metric name for use as a JSON key. Names follow the
+/// [a-zA-Z0-9_:] Prometheus charset so this is a formality.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    out << "# TYPE " << name << " counter\n";
+    out << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << "# TYPE " << name << " gauge\n";
+    out << name << ' ' << format_double(value) << '\n';
+  }
+  for (const HistogramSnapshot& hist : snapshot.histograms) {
+    out << "# TYPE " << hist.name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    bool has_inf = false;
+    for (const auto& bucket : hist.buckets) {
+      cumulative += bucket.count;
+      has_inf = has_inf || std::isinf(bucket.upper);
+      out << hist.name << "_bucket{le=\"" << le_label(bucket.upper) << "\"} " << cumulative
+          << '\n';
+    }
+    if (!has_inf) out << hist.name << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+    out << hist.name << "_sum " << format_double(hist.sum) << '\n';
+    out << hist.name << "_count " << hist.count << '\n';
+  }
+  return std::move(out).str();
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(snapshot.counters[i].first)
+        << "\": " << snapshot.counters[i].second;
+  }
+  out << (snapshot.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(snapshot.gauges[i].first)
+        << "\": " << format_double(snapshot.gauges[i].second);
+  }
+  out << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& hist = snapshot.histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(hist.name) << "\": {\"count\": "
+        << hist.count << ", \"sum\": " << format_double(hist.sum) << ", \"buckets\": [";
+    for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << "{\"le\": \"" << le_label(hist.buckets[b].upper)
+          << "\", \"count\": " << hist.buckets[b].count << '}';
+    }
+    out << "]}";
+  }
+  out << (snapshot.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return std::move(out).str();
+}
+
+std::string to_csv(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "metric,kind,le,value\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    out << name << ",counter,," << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << name << ",gauge,," << format_double(value) << '\n';
+  }
+  for (const HistogramSnapshot& hist : snapshot.histograms) {
+    std::uint64_t cumulative = 0;
+    for (const auto& bucket : hist.buckets) {
+      cumulative += bucket.count;
+      out << hist.name << ",bucket," << le_label(bucket.upper) << ',' << cumulative << '\n';
+    }
+    out << hist.name << ",sum,," << format_double(hist.sum) << '\n';
+    out << hist.name << ",count,," << hist.count << '\n';
+  }
+  return std::move(out).str();
+}
+
+void write_file_atomic(const std::filesystem::path& path, const std::string& content) {
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << content;
+    if (!out) throw std::runtime_error("telemetry: failed to write " + tmp.string());
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace vehigan::telemetry

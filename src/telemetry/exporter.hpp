@@ -1,0 +1,38 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace vehigan::telemetry {
+
+/// Shortest decimal rendering of `v` that parses back to exactly the same
+/// double (tries increasing precision until the round trip closes), so the
+/// exposition is both byte-deterministic and lossless.
+std::string format_double(double v);
+
+/// Renders a snapshot in Prometheus text exposition format 0.0.4:
+/// `# TYPE` comment per family, counters/gauges as single samples,
+/// histograms as cumulative `_bucket{le="..."}` samples (only buckets that
+/// received observations, plus the mandatory `+Inf`) with `_sum`/`_count`.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// Renders a snapshot as structured JSON:
+///   {"counters": {...}, "gauges": {...},
+///    "histograms": {name: {"count": n, "sum": s,
+///                          "buckets": [{"le": "...", "count": n}, ...]}}}
+/// Bucket `le` bounds are strings so `+Inf` needs no special casing.
+std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Flattens a snapshot to CSV rows (header `metric,kind,le,value`): one row
+/// per counter/gauge, one per non-empty histogram bucket (kind `bucket`,
+/// cumulative counts) plus `sum` and `count` rows — the bench sidecar
+/// format, trivially loadable next to the bench's own CSV results.
+std::string to_csv(const MetricsSnapshot& snapshot);
+
+/// Writes `content` atomically (tmp + rename) so a scrape or a test never
+/// reads a half-written snapshot file.
+void write_file_atomic(const std::filesystem::path& path, const std::string& content);
+
+}  // namespace vehigan::telemetry

@@ -1,0 +1,130 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vehigan::telemetry {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{true};
+
+std::size_t shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % Counter::kShards;
+  return index;
+}
+
+}  // namespace detail
+
+// -------------------------------------------------------------- Histogram ---
+
+std::size_t Histogram::bucket_index(double value) {
+  if (!(value > 0.0)) return 0;  // non-positive and NaN
+  if (std::isinf(value)) return kFiniteBuckets;  // frexp(inf) leaves exp unspecified
+  int exp = 0;
+  const double mantissa = std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
+  const int octave = exp - 1;                       // floor(log2(value))
+  if (octave < kMinExp) return 0;
+  if (octave >= kMaxExp) return kFiniteBuckets;
+  // Linear position inside the octave: value / 2^octave - 1 in [0, 1).
+  const double frac = mantissa * 2.0 - 1.0;
+  const auto sub = std::min(static_cast<std::size_t>(frac * kSubBuckets), kSubBuckets - 1);
+  return static_cast<std::size_t>(octave - kMinExp) * kSubBuckets + sub;
+}
+
+double Histogram::bucket_upper_bound(std::size_t i) {
+  if (i >= kFiniteBuckets) return std::numeric_limits<double>::infinity();
+  const int octave = kMinExp + static_cast<int>(i / kSubBuckets);
+  const auto sub = i % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub + 1) / kSubBuckets, octave);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const SumShard& s : sums_) {
+    total += std::bit_cast<double>(s.v.load(std::memory_order_relaxed));
+  }
+  return total;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  for (SumShard& s : sums_) s.v.store(0, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------- MetricsRegistry ---
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) snap.gauges.emplace_back(name, gauge->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.sum = hist->sum();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t c = hist->bucket_count(i);
+      if (c == 0) continue;
+      h.count += c;
+      h.buckets.push_back({Histogram::bucket_upper_bound(i), c});
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, hist] : histograms_) hist->reset();
+}
+
+}  // namespace vehigan::telemetry

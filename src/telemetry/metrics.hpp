@@ -1,0 +1,213 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vehigan::telemetry {
+
+// ---------------------------------------------------------------- switch ---
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+
+/// Stable per-thread shard index in [0, kCounterShards). Threads are dealt
+/// shards round-robin on first use, so up to kCounterShards concurrent
+/// threads never contend on the same cache line.
+std::size_t shard_index();
+}  // namespace detail
+
+/// Process-wide telemetry kill switch. Instrumented call sites early-return
+/// on a relaxed load when disabled; the overhead-guard test uses this to
+/// measure the instrumented hot path against an uninstrumented baseline.
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+inline void set_enabled(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed); }
+
+// ------------------------------------------------------------- primitives ---
+
+/// Monotonically increasing counter. add() is wait-free: each thread lands
+/// on its own cache-line-padded shard, so the 10 Hz ingest hot path never
+/// bounces a line between cores. value() sums the shards (read side only).
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void add(std::uint64_t n = 1) {
+    if (!enabled()) return;
+    shards_[detail::shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-write-wins instantaneous value (queue depth, current loss, ...).
+/// Stored as the bit pattern of the double so reads and writes are single
+/// relaxed atomics; add() is a CAS loop (rare path).
+class Gauge {
+ public:
+  void set(double v) {
+    if (!enabled()) return;
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+
+  void add(double delta) {
+    if (!enabled()) return;
+    std::uint64_t old = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(
+        old, std::bit_cast<std::uint64_t>(std::bit_cast<double>(old) + delta),
+        std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+  void reset() { bits_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Log-linear-bucket histogram sized for latencies in seconds: base-2
+/// octaves from 2^-30 s (~1 ns) to 2^6 s (64 s), each split into 4 linear
+/// sub-buckets (worst-case relative bucket width 25 %), plus an overflow
+/// (+Inf) bucket. Non-positive and NaN observations land in bucket 0 so the
+/// total count stays exact.
+///
+/// observe() is two relaxed atomic RMWs (bucket count + sharded sum), no
+/// locks, no allocation — cheap enough for per-message call sites.
+class Histogram {
+ public:
+  static constexpr int kMinExp = -30;           ///< first octave: [2^-30, 2^-29)
+  static constexpr int kMaxExp = 6;             ///< overflow at >= 2^6 s
+  static constexpr std::size_t kSubBuckets = 4; ///< linear splits per octave
+  static constexpr std::size_t kFiniteBuckets =
+      static_cast<std::size_t>(kMaxExp - kMinExp) * kSubBuckets;
+  static constexpr std::size_t kBuckets = kFiniteBuckets + 1;  ///< + overflow
+
+  /// Bucket that a value lands in: buckets are half-open [lower, upper), so
+  /// an exact power of two starts its octave's first sub-bucket.
+  static std::size_t bucket_index(double value);
+
+  /// Exclusive upper bound of finite bucket i; +infinity for the overflow
+  /// bucket (i == kFiniteBuckets).
+  static double bucket_upper_bound(std::size_t i);
+
+  /// Inclusive lower bound of bucket i (0 for bucket 0).
+  static double bucket_lower_bound(std::size_t i) {
+    return i == 0 ? 0.0 : bucket_upper_bound(i - 1);
+  }
+
+  void observe(double value) {
+    if (!enabled()) return;
+    counts_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    add_to_sum(value);
+  }
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+  void reset();
+
+ private:
+  void add_to_sum(double value) {
+    std::atomic<std::uint64_t>& slot = sums_[detail::shard_index() % kSumShards].v;
+    std::uint64_t old = slot.load(std::memory_order_relaxed);
+    while (!slot.compare_exchange_weak(
+        old, std::bit_cast<std::uint64_t>(std::bit_cast<double>(old) + value),
+        std::memory_order_relaxed)) {
+    }
+  }
+
+  static constexpr std::size_t kSumShards = 8;
+  struct alignas(64) SumShard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::array<SumShard, kSumShards> sums_{};
+};
+
+// --------------------------------------------------------------- registry ---
+
+/// Point-in-time copy of one histogram. `buckets` holds only buckets with a
+/// nonzero count (individual, not cumulative), sorted by upper bound; the
+/// exporters re-cumulate for the Prometheus exposition.
+struct HistogramSnapshot {
+  struct Bucket {
+    double upper = 0.0;  ///< +infinity for the overflow bucket
+    std::uint64_t count = 0;
+  };
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  std::vector<Bucket> buckets;
+};
+
+/// Point-in-time copy of every registered metric, sorted by name within
+/// each kind — the unit the exporters and the bench sidecars consume.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Owns metrics by name. Lookup takes a mutex and is meant for cold paths
+/// (construction, test setup); hot paths resolve a Counter&/Histogram& once
+/// and keep the reference — references stay valid (and keep counting) for
+/// the registry's lifetime, across reset().
+///
+/// Naming scheme (DESIGN.md): vehigan_<subsystem>_<name>, suffixed _total
+/// for counters and _seconds for latency histograms.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry used by the instrumented library code.
+  static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric in place. References handed out earlier remain
+  /// valid. Test isolation only — Prometheus counters are cumulative.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace vehigan::telemetry

@@ -1,0 +1,53 @@
+#include "telemetry/trace.hpp"
+
+#include <vector>
+
+namespace vehigan::telemetry {
+
+namespace {
+
+/// Open spans of this thread, outermost first. Entries are the string
+/// literals passed to ScopedSpan, so the stack is pointer-sized and cheap.
+std::vector<const char*>& span_stack() {
+  thread_local std::vector<const char*> stack;
+  return stack;
+}
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(Histogram& sink, const char* name) : sink_(nullptr) {
+  if (!enabled()) return;
+  sink_ = &sink;
+  span_stack().push_back(name != nullptr ? name : "?");
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::ScopedSpan(ScopedSpan&& other) noexcept
+    : sink_(other.sink_), start_(other.start_) {
+  other.sink_ = nullptr;
+}
+
+double ScopedSpan::stop() {
+  if (sink_ == nullptr) return 0.0;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  sink_->observe(elapsed);
+  sink_ = nullptr;
+  span_stack().pop_back();
+  return elapsed;
+}
+
+ScopedSpan::~ScopedSpan() { stop(); }
+
+std::size_t ScopedSpan::depth() { return span_stack().size(); }
+
+std::string ScopedSpan::path() {
+  std::string out;
+  for (const char* name : span_stack()) {
+    if (!out.empty()) out += '/';
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace vehigan::telemetry

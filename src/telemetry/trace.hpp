@@ -1,0 +1,65 @@
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace vehigan::telemetry {
+
+/// RAII stage timer: construction stamps steady_clock, destruction records
+/// the elapsed seconds into a latency histogram. Spans nest via a
+/// thread-local stack, so the online pipeline's stage hierarchy
+/// (ingest -> window_build -> score -> decide) is visible to tests and
+/// debuggers through depth()/path(); stack unwinding during exception
+/// propagation pops and records spans like any other exit.
+///
+/// Hot paths construct spans from a pre-resolved Histogram& (no registry
+/// lookup, no allocation beyond the first push on a fresh thread). `name`
+/// must outlive the span — pass a string literal.
+class ScopedSpan {
+ public:
+  ScopedSpan(Histogram& sink, const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan(ScopedSpan&& other) noexcept;
+  ScopedSpan& operator=(ScopedSpan&&) = delete;
+
+  /// Ends the span early; records once and returns the elapsed seconds.
+  /// Subsequent stop() calls and the destructor are no-ops.
+  double stop();
+
+  /// Nesting depth of the calling thread's open spans.
+  [[nodiscard]] static std::size_t depth();
+
+  /// Slash-joined names of the calling thread's open spans, outermost
+  /// first (e.g. "ingest/score"). Allocates — test/debug use only.
+  [[nodiscard]] static std::string path();
+
+ private:
+  Histogram* sink_;  ///< nullptr when inactive (disabled or moved-from)
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Convenience factory bound to a registry for cold-path spans where a
+/// per-call histogram lookup is acceptable:
+///   Tracer tracer;  // global registry
+///   auto span = tracer.span("vehigan_store_save_seconds");
+class Tracer {
+ public:
+  explicit Tracer(MetricsRegistry& registry = MetricsRegistry::global())
+      : registry_(&registry) {}
+
+  [[nodiscard]] ScopedSpan span(const char* name) {
+    return ScopedSpan(registry_->histogram(name), name);
+  }
+
+  [[nodiscard]] MetricsRegistry& registry() const { return *registry_; }
+
+ private:
+  MetricsRegistry* registry_;
+};
+
+}  // namespace vehigan::telemetry

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
 #include <iostream>
 #include <mutex>
 #include <sstream>
@@ -12,6 +15,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Minimal thread-safe leveled logger. The library logs sparingly (training
 /// progress, cache hits, MBR emission); examples and benches raise or lower
 /// the level as appropriate.
+///
+/// Environment overrides, parsed once at construction so multi-process
+/// tests and benches can raise verbosity without code edits:
+///  * VEHIGAN_LOG_LEVEL = debug|info|warn|error|off sets the initial level
+///    (set_level still wins afterwards);
+///  * VEHIGAN_LOG_TIMESTAMPS = 1 enables monotonic timestamps.
+///
+/// Timestamps are monotonic (steady_clock seconds since logger creation,
+/// `[+12.345s]`), so interleaved lines from concurrent trainers order
+/// correctly even if the wall clock steps.
 class Logger {
  public:
   static Logger& instance() {
@@ -22,15 +35,47 @@ class Logger {
   void set_level(LogLevel level) { level_ = level; }
   [[nodiscard]] LogLevel level() const { return level_; }
 
+  void set_timestamps(bool on) { timestamps_ = on; }
+  [[nodiscard]] bool timestamps() const { return timestamps_; }
+
+  /// Monotonic seconds since the logger was first used.
+  [[nodiscard]] double uptime_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
   void log(LogLevel level, const std::string& message) {
     if (level < level_) return;
+    std::ostringstream line;
+    if (timestamps_) {
+      line << "[+" << std::fixed << std::setprecision(3) << uptime_seconds() << "s] ";
+    }
+    line << "[" << name(level) << "] " << message << '\n';
     const std::scoped_lock lock(mutex_);
     std::ostream& out = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
-    out << "[" << name(level) << "] " << message << '\n';
+    out << line.str();
+  }
+
+  /// Parses a level name (as accepted in VEHIGAN_LOG_LEVEL); falls back to
+  /// `fallback` on anything unrecognized.
+  static LogLevel parse_level(const char* text, LogLevel fallback = LogLevel::kInfo) {
+    if (text == nullptr) return fallback;
+    const std::string s(text);
+    if (s == "debug") return LogLevel::kDebug;
+    if (s == "info") return LogLevel::kInfo;
+    if (s == "warn" || s == "warning") return LogLevel::kWarn;
+    if (s == "error") return LogLevel::kError;
+    if (s == "off" || s == "none") return LogLevel::kOff;
+    return fallback;
   }
 
  private:
-  Logger() = default;
+  Logger() : start_(std::chrono::steady_clock::now()) {
+    level_ = parse_level(std::getenv("VEHIGAN_LOG_LEVEL"), LogLevel::kInfo);
+    if (const char* ts = std::getenv("VEHIGAN_LOG_TIMESTAMPS");
+        ts != nullptr && *ts != '\0' && std::string(ts) != "0") {
+      timestamps_ = true;
+    }
+  }
 
   static const char* name(LogLevel level) {
     switch (level) {
@@ -44,6 +89,8 @@ class Logger {
   }
 
   LogLevel level_ = LogLevel::kInfo;
+  bool timestamps_ = false;
+  std::chrono::steady_clock::time_point start_;
   std::mutex mutex_;
 };
 

@@ -1,13 +1,18 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace vehigan::util {
 
-/// Wall-clock stopwatch used for the Fig. 8 inference-latency measurements
-/// and coarse progress reporting during training.
+/// Monotonic stopwatch used for the Fig. 8 inference-latency measurements,
+/// coarse progress reporting during training, and the bench timing helpers.
+/// Every reading derives from std::chrono::steady_clock, so elapsed times
+/// are immune to wall-clock steps (NTP slew, suspend/resume).
 class Stopwatch {
  public:
+  using Clock = std::chrono::steady_clock;
+
   Stopwatch() : start_(Clock::now()) {}
 
   void reset() { start_ = Clock::now(); }
@@ -18,8 +23,14 @@ class Stopwatch {
 
   [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
 
+  /// Integer nanoseconds — lossless at any uptime, for telemetry histograms
+  /// and sub-microsecond bench deltas where double milliseconds round.
+  [[nodiscard]] std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count());
+  }
+
  private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
 

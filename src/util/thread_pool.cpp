@@ -31,6 +31,7 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    pending_.fetch_sub(1, std::memory_order_relaxed);
     task();
   }
 }

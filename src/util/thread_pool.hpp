@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <future>
@@ -23,6 +24,18 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
+  /// Tasks submitted but not yet picked up by a worker. Lock-free sample for
+  /// telemetry gauges (the ensemble exports it as
+  /// vehigan_ensemble_pool_queue_depth); momentarily stale by design.
+  [[nodiscard]] std::size_t queue_depth() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark of queue_depth() over the pool's lifetime.
+  [[nodiscard]] std::size_t peak_queue_depth() const {
+    return peak_depth_.load(std::memory_order_relaxed);
+  }
+
   /// Enqueues a task; the returned future reports its result or exception.
   template <typename F>
   auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
@@ -33,6 +46,11 @@ class ThreadPool {
       const std::scoped_lock lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
       tasks_.emplace([packaged] { (*packaged)(); });
+    }
+    const std::size_t depth = pending_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::size_t peak = peak_depth_.load(std::memory_order_relaxed);
+    while (depth > peak &&
+           !peak_depth_.compare_exchange_weak(peak, depth, std::memory_order_relaxed)) {
     }
     cv_.notify_one();
     return future;
@@ -50,6 +68,8 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> peak_depth_{0};
 };
 
 }  // namespace vehigan::util

@@ -1,0 +1,532 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "features/scaler.hpp"
+#include "gan/architecture.hpp"
+#include "mbds/online.hpp"
+#include "nn/layers.hpp"
+#include "telemetry/exporter.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace vehigan::telemetry {
+namespace {
+
+/// Restores the process-wide telemetry switch on scope exit, so a test that
+/// flips it (the overhead guard, the disabled-path tests) cannot leak a
+/// disabled registry into later tests.
+struct EnabledGuard {
+  bool saved = enabled();
+  ~EnabledGuard() { set_enabled(saved); }
+};
+
+// -------------------------------------------------------------- primitives ---
+
+TEST(Counter, ConcurrentAddsAreExact) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  counter.add(5);
+  EXPECT_EQ(counter.value(), kThreads * kPerThread + 5);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0U);
+}
+
+TEST(Gauge, SetAddAndNegativeValues) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(2.5);
+  EXPECT_EQ(gauge.value(), 2.5);
+  gauge.add(0.25);
+  EXPECT_EQ(gauge.value(), 2.75);
+  gauge.set(-7.0);
+  EXPECT_EQ(gauge.value(), -7.0);
+  gauge.reset();
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+TEST(Histogram, ConcurrentObservationsKeepExactTotals) {
+  Histogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  // Dyadic values: every partial sum is exactly representable, so the
+  // sharded CAS accumulation must reproduce the total bit-for-bit no matter
+  // how the threads interleave.
+  static constexpr double kValues[] = {0.5, 0.25, 2.0, 0.0078125};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) hist.observe(kValues[(t + i) % 4]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  constexpr std::uint64_t kTotal = std::uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(hist.count(), kTotal);
+  EXPECT_DOUBLE_EQ(hist.sum(), (0.5 + 0.25 + 2.0 + 0.0078125) * (kTotal / 4));
+  // Each distinct value lands in exactly one bucket, kTotal/4 observations
+  // apiece; everything else (including overflow) stays empty.
+  std::uint64_t nonzero_buckets = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    if (hist.bucket_count(i) == 0) continue;
+    ++nonzero_buckets;
+    EXPECT_EQ(hist.bucket_count(i), kTotal / 4) << "bucket " << i;
+  }
+  EXPECT_EQ(nonzero_buckets, 4U);
+  EXPECT_EQ(hist.bucket_count(Histogram::kFiniteBuckets), 0U);
+}
+
+TEST(Histogram, BucketBoundariesAreConsistentForEveryFiniteBucket) {
+  for (std::size_t i = 0; i < Histogram::kFiniteBuckets; ++i) {
+    const double lower = Histogram::bucket_lower_bound(i);
+    const double upper = Histogram::bucket_upper_bound(i);
+    ASSERT_LT(lower, upper) << "bucket " << i;
+    // Buckets are half-open [lower, upper): the lower bound belongs to the
+    // bucket (bucket 0 owns everything <= its power-of-two base)...
+    if (i > 0) {
+      EXPECT_EQ(Histogram::bucket_index(lower), i) << "lower of bucket " << i;
+    }
+    // ...a value just below the upper bound still belongs...
+    EXPECT_EQ(Histogram::bucket_index(std::nextafter(upper, 0.0)), i) << "bucket " << i;
+    // ...and the upper bound itself starts the next bucket.
+    EXPECT_EQ(Histogram::bucket_index(upper), i + 1) << "upper of bucket " << i;
+    // Midpoint sanity for the round trip on a non-boundary value.
+    const double mid = lower + (upper - lower) / 2.0;
+    EXPECT_EQ(Histogram::bucket_index(mid), i) << "mid of bucket " << i;
+  }
+  EXPECT_EQ(Histogram::bucket_upper_bound(Histogram::kFiniteBuckets),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(Histogram, BucketIndexContainsRandomValues) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 10'000; ++trial) {
+    // Log-uniform across the full finite range plus a margin beyond both
+    // ends, so the clamping paths get hit too.
+    const double exponent = rng.uniform_f(-34.0F, 10.0F);
+    const double v = std::pow(2.0, exponent) * (1.0 + rng.uniform_f(0.0F, 1.0F));
+    const std::size_t i = Histogram::bucket_index(v);
+    ASSERT_LT(i, Histogram::kBuckets);
+    EXPECT_LE(Histogram::bucket_lower_bound(i), v) << "v=" << v;
+    EXPECT_LT(v, Histogram::bucket_upper_bound(i)) << "v=" << v;
+  }
+}
+
+TEST(Histogram, EdgeValuesLandInTerminalBuckets) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0U);
+  EXPECT_EQ(Histogram::bucket_index(-1.0), 0U);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::quiet_NaN()), 0U);
+  EXPECT_EQ(Histogram::bucket_index(1e-12), 0U);  // below 2^-30: clamped down
+  EXPECT_EQ(Histogram::bucket_index(1e9), Histogram::kFiniteBuckets);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::infinity()),
+            Histogram::kFiniteBuckets);
+  Histogram hist;
+  hist.observe(-3.0);
+  hist.observe(std::numeric_limits<double>::quiet_NaN());
+  hist.observe(1e9);
+  EXPECT_EQ(hist.count(), 3U);  // junk observations still count exactly
+  EXPECT_EQ(hist.bucket_count(0), 2U);
+  EXPECT_EQ(hist.bucket_count(Histogram::kFiniteBuckets), 1U);
+}
+
+TEST(KillSwitch, DisabledPrimitivesRecordNothing) {
+  const EnabledGuard guard;
+  Counter counter;
+  Gauge gauge;
+  Histogram hist;
+  set_enabled(false);
+  counter.add(7);
+  gauge.set(1.0);
+  hist.observe(0.5);
+  EXPECT_EQ(counter.value(), 0U);
+  EXPECT_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(hist.count(), 0U);
+  set_enabled(true);
+  counter.add(7);
+  EXPECT_EQ(counter.value(), 7U);
+}
+
+// ---------------------------------------------------------------- registry ---
+
+TEST(Registry, ResetZeroesInPlaceAndReferencesStayValid) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("vehigan_test_total");
+  Histogram& h = reg.histogram("vehigan_test_seconds");
+  c.add(3);
+  h.observe(0.5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0U);
+  EXPECT_EQ(h.count(), 0U);
+  c.add(2);  // the old reference still feeds the same registered metric
+  EXPECT_EQ(reg.counter("vehigan_test_total").value(), 2U);
+  EXPECT_EQ(&c, &reg.counter("vehigan_test_total"));
+}
+
+TEST(Registry, SnapshotIsSortedByNameWithinEachKind) {
+  MetricsRegistry reg;
+  reg.counter("vehigan_b_total").add(2);
+  reg.counter("vehigan_a_total").add(1);
+  reg.gauge("vehigan_z_depth").set(9.0);
+  reg.gauge("vehigan_m_depth").set(4.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2U);
+  EXPECT_EQ(snap.counters[0].first, "vehigan_a_total");
+  EXPECT_EQ(snap.counters[1].first, "vehigan_b_total");
+  ASSERT_EQ(snap.gauges.size(), 2U);
+  EXPECT_EQ(snap.gauges[0].first, "vehigan_m_depth");
+  EXPECT_EQ(snap.gauges[1].first, "vehigan_z_depth");
+}
+
+// --------------------------------------------------------------- exporters ---
+
+/// One registry exercised the same way for every golden test: a counter, a
+/// gauge, and a histogram holding 0.5 (bucket upper bound 0.625) and 3.0
+/// (bucket upper bound 3.5).
+MetricsSnapshot golden_snapshot() {
+  static MetricsRegistry reg;
+  reg.reset();
+  reg.counter("vehigan_test_requests_total").add(3);
+  reg.gauge("vehigan_test_queue_depth").set(2.5);
+  Histogram& h = reg.histogram("vehigan_test_latency_seconds");
+  h.observe(0.5);
+  h.observe(3.0);
+  return reg.snapshot();
+}
+
+TEST(Exporter, PrometheusGolden) {
+  const std::string expected =
+      "# TYPE vehigan_test_requests_total counter\n"
+      "vehigan_test_requests_total 3\n"
+      "# TYPE vehigan_test_queue_depth gauge\n"
+      "vehigan_test_queue_depth 2.5\n"
+      "# TYPE vehigan_test_latency_seconds histogram\n"
+      "vehigan_test_latency_seconds_bucket{le=\"0.625\"} 1\n"
+      "vehigan_test_latency_seconds_bucket{le=\"3.5\"} 2\n"
+      "vehigan_test_latency_seconds_bucket{le=\"+Inf\"} 2\n"
+      "vehigan_test_latency_seconds_sum 3.5\n"
+      "vehigan_test_latency_seconds_count 2\n";
+  EXPECT_EQ(to_prometheus(golden_snapshot()), expected);
+}
+
+TEST(Exporter, JsonGolden) {
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"vehigan_test_requests_total\": 3\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"vehigan_test_queue_depth\": 2.5\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"vehigan_test_latency_seconds\": {\"count\": 2, \"sum\": 3.5, \"buckets\": "
+      "[{\"le\": \"0.625\", \"count\": 1}, {\"le\": \"3.5\", \"count\": 1}]}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(to_json(golden_snapshot()), expected);
+}
+
+TEST(Exporter, CsvGoldenWithCumulativeBuckets) {
+  const std::string expected =
+      "metric,kind,le,value\n"
+      "vehigan_test_requests_total,counter,,3\n"
+      "vehigan_test_queue_depth,gauge,,2.5\n"
+      "vehigan_test_latency_seconds,bucket,0.625,1\n"
+      "vehigan_test_latency_seconds,bucket,3.5,2\n"
+      "vehigan_test_latency_seconds,sum,,3.5\n"
+      "vehigan_test_latency_seconds,count,,2\n";
+  EXPECT_EQ(to_csv(golden_snapshot()), expected);
+}
+
+TEST(Exporter, EmptySnapshotRendersValidSkeletons) {
+  const MetricsSnapshot empty;
+  EXPECT_EQ(to_prometheus(empty), "");
+  EXPECT_EQ(to_json(empty), "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}\n");
+  EXPECT_EQ(to_csv(empty), "metric,kind,le,value\n");
+}
+
+TEST(Exporter, OverflowObservationEmitsSingleInfBucket) {
+  MetricsRegistry reg;
+  reg.histogram("vehigan_test_slow_seconds").observe(1e9);
+  const std::string text = to_prometheus(reg.snapshot());
+  // The overflow observation IS the +Inf bucket; the exporter must not add a
+  // second one.
+  EXPECT_NE(text.find("vehigan_test_slow_seconds_bucket{le=\"+Inf\"} 1\n"), std::string::npos);
+  EXPECT_EQ(text.find("le=\"+Inf\""), text.rfind("le=\"+Inf\""));
+}
+
+TEST(Exporter, FormatDoubleIsShortestRoundTrip) {
+  EXPECT_EQ(format_double(0.1), "0.1");
+  EXPECT_EQ(format_double(2.5), "2.5");
+  EXPECT_EQ(format_double(3.0), "3");
+  EXPECT_EQ(format_double(-0.625), "-0.625");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "+Inf");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "-Inf");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::quiet_NaN()), "NaN");
+  // Awkward doubles must parse back to the identical bit pattern.
+  for (const double v : {1.0 / 3.0, 1e-300, 6.62607015e-34, 123456789.123456789}) {
+    EXPECT_EQ(std::strtod(format_double(v).c_str(), nullptr), v) << v;
+  }
+}
+
+TEST(Exporter, WriteFileAtomicLeavesNoTempBehind) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "vehigan_telemetry_test";
+  std::filesystem::remove_all(dir);
+  const std::filesystem::path target = dir / "snap.prom";
+  write_file_atomic(target, "vehigan_test_total 1\n");
+  std::ifstream in(target);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "vehigan_test_total 1\n");
+  EXPECT_FALSE(std::filesystem::exists(target.string() + ".tmp"));
+  write_file_atomic(target, "vehigan_test_total 2\n");  // overwrite is atomic too
+  std::ifstream again(target);
+  std::stringstream content2;
+  content2 << again.rdbuf();
+  EXPECT_EQ(content2.str(), "vehigan_test_total 2\n");
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------------------- spans ---
+
+TEST(ScopedSpan, NestingTracksDepthAndPath) {
+  MetricsRegistry reg;
+  Histogram& outer_h = reg.histogram("vehigan_test_outer_seconds");
+  Histogram& inner_h = reg.histogram("vehigan_test_inner_seconds");
+  EXPECT_EQ(ScopedSpan::depth(), 0U);
+  {
+    ScopedSpan outer(outer_h, "outer");
+    EXPECT_EQ(ScopedSpan::depth(), 1U);
+    EXPECT_EQ(ScopedSpan::path(), "outer");
+    {
+      ScopedSpan inner(inner_h, "inner");
+      EXPECT_EQ(ScopedSpan::depth(), 2U);
+      EXPECT_EQ(ScopedSpan::path(), "outer/inner");
+    }
+    EXPECT_EQ(ScopedSpan::depth(), 1U);
+    EXPECT_EQ(inner_h.count(), 1U);
+  }
+  EXPECT_EQ(ScopedSpan::depth(), 0U);
+  EXPECT_EQ(outer_h.count(), 1U);
+  EXPECT_GE(outer_h.sum(), 0.0);
+}
+
+TEST(ScopedSpan, StopIsIdempotentAndReturnsElapsed) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("vehigan_test_span_seconds");
+  ScopedSpan span(h, "once");
+  const double first = span.stop();
+  EXPECT_GE(first, 0.0);
+  EXPECT_EQ(span.stop(), 0.0);  // second stop: no-op
+  EXPECT_EQ(h.count(), 1U);     // destructor must not double-record
+}
+
+TEST(ScopedSpan, ExceptionUnwindRecordsAndPopsTheStack) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("vehigan_test_boom_seconds");
+  try {
+    ScopedSpan span(h, "boom");
+    EXPECT_EQ(ScopedSpan::depth(), 1U);
+    throw std::runtime_error("mid-span failure");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(h.count(), 1U);  // unwind recorded the span like a normal exit
+  EXPECT_EQ(ScopedSpan::depth(), 0U);
+}
+
+TEST(ScopedSpan, MoveTransfersRecordingToTheSurvivor) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("vehigan_test_move_seconds");
+  {
+    ScopedSpan a(h, "moved");
+    ScopedSpan b(std::move(a));
+    EXPECT_EQ(ScopedSpan::depth(), 1U);  // still one open span
+  }
+  EXPECT_EQ(h.count(), 1U);  // exactly one record despite two destructors
+  EXPECT_EQ(ScopedSpan::depth(), 0U);
+}
+
+TEST(ScopedSpan, DisabledSwitchMakesSpansInert) {
+  const EnabledGuard guard;
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("vehigan_test_off_seconds");
+  set_enabled(false);
+  {
+    ScopedSpan span(h, "off");
+    EXPECT_EQ(ScopedSpan::depth(), 0U);  // never pushed
+    EXPECT_EQ(span.stop(), 0.0);
+  }
+  EXPECT_EQ(h.count(), 0U);
+}
+
+TEST(Tracer, SpanResolvesHistogramByNameInItsRegistry) {
+  MetricsRegistry reg;
+  Tracer tracer(reg);
+  { auto span = tracer.span("vehigan_test_traced_seconds"); }
+  EXPECT_EQ(reg.histogram("vehigan_test_traced_seconds").count(), 1U);
+  EXPECT_EQ(&tracer.registry(), &reg);
+}
+
+// ---------------------------------------------- pipeline flow + overhead ---
+
+features::MinMaxScaler identity_scaler(std::size_t width) {
+  features::Series s;
+  s.width = width;
+  for (std::size_t c = 0; c < width; ++c) s.values.push_back(0.0F);
+  for (std::size_t c = 0; c < width; ++c) s.values.push_back(1.0F);
+  features::MinMaxScaler scaler;
+  scaler.fit({s});
+  return scaler;
+}
+
+/// Small ensemble of real paper-architecture critics with random weights —
+/// representative batched-inference work for the overhead guard.
+std::shared_ptr<mbds::VehiGan> grid_ensemble(std::size_t m, double threshold) {
+  std::vector<std::shared_ptr<mbds::WganDetector>> members;
+  util::Rng rng(2024);
+  for (std::size_t i = 0; i < m; ++i) {
+    gan::WganConfig config;
+    config.id = static_cast<int>(i);
+    config.layers = 6 + static_cast<int>(i % 3);
+    gan::TrainedWgan model;
+    model.config = config;
+    model.discriminator = gan::build_discriminator(config, rng);
+    auto det = std::make_shared<mbds::WganDetector>(std::move(model));
+    det->set_calibration(0.0, 1.0);
+    det->set_threshold(threshold);
+    members.push_back(std::move(det));
+  }
+  return std::make_shared<mbds::VehiGan>(std::move(members), m, 7);
+}
+
+sim::Bsm cruise_msg(std::uint32_t id, double t) {
+  sim::Bsm m;
+  m.vehicle_id = id;
+  m.time = t;
+  m.x = 10.0 * t;
+  m.y = static_cast<double>(id);
+  m.speed = 10.0;
+  m.heading = 0.0;
+  return m;
+}
+
+/// `ticks[t]` = one 100 ms tick of BSMs from `vehicles` senders.
+std::vector<std::vector<sim::Bsm>> make_ticks(std::size_t vehicles, std::size_t ticks) {
+  std::vector<std::vector<sim::Bsm>> out(ticks);
+  for (std::size_t t = 0; t < ticks; ++t) {
+    out[t].reserve(vehicles);
+    for (std::size_t v = 0; v < vehicles; ++v) {
+      out[t].push_back(cruise_msg(static_cast<std::uint32_t>(v + 1), 0.1 * t));
+    }
+  }
+  return out;
+}
+
+TEST(PipelineFlow, IngestFeedsTheGlobalRegistry) {
+  auto& reg = MetricsRegistry::global();
+  const std::uint64_t messages_before = reg.counter("vehigan_mbds_messages_total").value();
+  const std::uint64_t windows_before = reg.counter("vehigan_mbds_windows_scored_total").value();
+  const std::uint64_t ingest_before = reg.histogram("vehigan_mbds_ingest_seconds").count();
+  const std::uint64_t batch_before = reg.histogram("vehigan_mbds_ingest_batch_seconds").count();
+
+  mbds::OnlineMbds monitor(1, grid_ensemble(2, 1e9), identity_scaler(12));
+  const auto ticks = make_ticks(/*vehicles=*/3, /*ticks=*/12);
+  // First 6 ticks message by message, the rest batched: both entry points
+  // must flow into the same registry.
+  std::size_t single = 0;
+  for (std::size_t t = 0; t < 6; ++t) {
+    for (const sim::Bsm& m : ticks[t]) {
+      (void)monitor.ingest(m);
+      ++single;
+    }
+  }
+  std::size_t batched = 0;
+  for (std::size_t t = 6; t < ticks.size(); ++t) {
+    (void)monitor.ingest_batch(ticks[t]);
+    batched += ticks[t].size();
+  }
+
+  EXPECT_EQ(reg.counter("vehigan_mbds_messages_total").value() - messages_before,
+            single + batched);
+  EXPECT_EQ(reg.histogram("vehigan_mbds_ingest_seconds").count() - ingest_before, single);
+  EXPECT_EQ(reg.histogram("vehigan_mbds_ingest_batch_seconds").count() - batch_before, 6U);
+  // 12 ticks x 3 vehicles with a 10-step window: every message from tick 11
+  // onward (per vehicle) completes a window.
+  EXPECT_GT(reg.counter("vehigan_mbds_windows_scored_total").value() - windows_before, 0U);
+  EXPECT_EQ(reg.gauge("vehigan_mbds_tracked_vehicles").value(), 3.0);
+
+  // The whole flow must be visible in one exported snapshot.
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("vehigan_mbds_ingest_seconds_bucket"), std::string::npos);
+  EXPECT_NE(text.find("vehigan_mbds_messages_total"), std::string::npos);
+}
+
+TEST(OverheadGuard, InstrumentationCostsUnderFivePercentOnIngestBatch) {
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  GTEST_SKIP() << "timing is meaningless under a sanitizer";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+  GTEST_SKIP() << "timing is meaningless under a sanitizer";
+#endif
+#endif
+  const EnabledGuard guard;
+  // Enough real critic work per trial (8 vehicles x 2 six-plus-layer
+  // critics, a window completed per vehicle per tick after warmup) that the
+  // handful of clock stamps and relaxed atomics per tick is lost in it.
+  mbds::OnlineMbds monitor(1, grid_ensemble(2, 1e9), identity_scaler(12));
+  const auto ticks = make_ticks(/*vehicles=*/8, /*ticks=*/40);
+
+  const auto run_once = [&] {
+    for (const auto& tick : ticks) (void)monitor.ingest_batch(tick);
+  };
+  const auto timed = [&](bool instrumented) {
+    set_enabled(instrumented);
+    double best = std::numeric_limits<double>::infinity();
+    for (int trial = 0; trial < 7; ++trial) {
+      util::Stopwatch sw;
+      run_once();
+      best = std::min(best, sw.elapsed_seconds());
+    }
+    return best;
+  };
+
+  run_once();  // warm caches + fill every vehicle window before timing
+  // Interleave a spare round so neither variant benefits from running last.
+  timed(false);
+  const double instrumented = timed(true);
+  const double baseline = timed(false);
+  set_enabled(true);
+
+  ASSERT_GT(baseline, 0.0);
+  const double overhead = instrumented / baseline - 1.0;
+  // <5% is the acceptance bar; the epsilon forgives timer granularity on a
+  // noisy host without masking a real regression.
+  EXPECT_LE(instrumented, baseline * 1.05 + 1e-4)
+      << "instrumented=" << instrumented << "s baseline=" << baseline
+      << "s overhead=" << overhead * 100.0 << "%";
+}
+
+}  // namespace
+}  // namespace vehigan::telemetry

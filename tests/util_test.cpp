@@ -262,6 +262,30 @@ TEST(ThreadPool, ParallelForCoversAllIndices) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPool, QueueDepthDrainsToZeroAndPeakIsMonotone) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.queue_depth(), 0U);
+  EXPECT_EQ(pool.peak_queue_depth(), 0U);
+
+  // Park both workers so submissions pile up observably.
+  std::mutex gate;
+  std::unique_lock<std::mutex> hold(gate);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 2; ++i) {
+    futures.push_back(pool.submit([&gate] { const std::scoped_lock wait(gate); }));
+  }
+  for (int i = 0; i < 8; ++i) futures.push_back(pool.submit([] {}));
+  // The 8 trailing tasks cannot start while both workers block on the gate;
+  // workers may or may not have dequeued the 2 blockers yet.
+  EXPECT_GE(pool.queue_depth(), 8U);
+  EXPECT_GE(pool.peak_queue_depth(), pool.queue_depth());
+
+  hold.unlock();
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(pool.queue_depth(), 0U);
+  EXPECT_GE(pool.peak_queue_depth(), 8U);  // high-water mark survives the drain
+}
+
 TEST(ThreadPool, PropagatesTaskExceptions) {
   ThreadPool pool(2);
   EXPECT_THROW(

@@ -1,0 +1,298 @@
+// Extension — end-to-end throughput of the serve::DetectionService.
+//
+// Drives a synthetic multi-sender 10 Hz BSM stream from 4 producer threads
+// through the sharded detection service and measures sustained ingest
+// throughput (msgs/sec, submit through drain) and the p99 of the per-shard
+// drain cycle (dequeue -> ingest_batch -> report emission), read from the
+// vehigan_serve_drain_seconds histogram deltas:
+//
+//   shard sweep    1 / 2 / 4 / 8 shards under kBlock (lossless backpressure)
+//   policy sweep   block / drop-newest / drop-oldest at 4 shards with
+//                  deliberately tiny queues, showing what each policy trades:
+//                  block keeps every message (throughput set by the slowest
+//                  shard), the drop policies shed load to hold latency
+//
+// The full table is exported to bench_results/ext_serve_throughput.csv with
+// a telemetry sidecar. Expectation: >= 1.8x msgs/sec from 1 -> 4 shards on
+// >= 4 hardware threads (shards scale with cores; on fewer cores the sweep
+// still documents the overhead of sharding without parallelism).
+//
+// No trained workspace needed: throughput depends only on the architecture,
+// so the ensembles are random-weight paper critics (m=4, k=2), content-keyed
+// subset draws — the deployment configuration of the serving layer.
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "experiments/table_printer.hpp"
+#include "features/scaler.hpp"
+#include "gan/architecture.hpp"
+#include "mbds/ensemble.hpp"
+#include "mbds/wgan_detector.hpp"
+#include "serve/config.hpp"
+#include "serve/service.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace vehigan;
+
+namespace {
+
+bool quick_scale() {
+  const char* scale = std::getenv("VEHIGAN_BENCH_SCALE");
+  return scale != nullptr && std::string(scale) == "quick";
+}
+
+constexpr std::size_t kEnsembleM = 4;
+constexpr std::size_t kEnsembleK = 2;
+constexpr std::size_t kProducers = 4;
+
+/// m critics spanning the paper's depth grid {6, 7, 8}, random weights.
+std::vector<std::shared_ptr<mbds::WganDetector>> grid_critics(std::size_t m) {
+  std::vector<std::shared_ptr<mbds::WganDetector>> detectors;
+  util::Rng rng(2024);
+  for (std::size_t i = 0; i < m; ++i) {
+    gan::WganConfig config;
+    config.id = static_cast<int>(i);
+    config.layers = 6 + static_cast<int>(i % 3);
+    gan::TrainedWgan model;
+    model.config = config;
+    model.discriminator = gan::build_discriminator(config, rng);
+    auto det = std::make_shared<mbds::WganDetector>(std::move(model));
+    det->set_calibration(0.0, 1.0);
+    // Flag every complete window: report emission (cooldown-limited to one
+    // per sender-second) is part of the drain cycle being measured.
+    det->set_threshold(-1e9);
+    detectors.push_back(std::move(det));
+  }
+  return detectors;
+}
+
+std::shared_ptr<mbds::VehiGan> serving_ensemble() {
+  auto ensemble = std::make_shared<mbds::VehiGan>(grid_critics(kEnsembleM), kEnsembleK, 99);
+  ensemble->set_subset_draw(mbds::SubsetDraw::kContentKeyed);
+  return ensemble;
+}
+
+features::MinMaxScaler identity_scaler() {
+  features::Series s;
+  s.width = 12;
+  for (std::size_t c = 0; c < 12; ++c) s.values.push_back(0.0F);
+  for (std::size_t c = 0; c < 12; ++c) s.values.push_back(1.0F);
+  features::MinMaxScaler scaler;
+  scaler.fit({s});
+  return scaler;
+}
+
+/// One producer's sub-stream: `senders` vehicles at 10 Hz for `ticks` steps,
+/// in time order, with mild per-sender kinematic variety so the windows are
+/// not degenerate.
+std::vector<sim::Bsm> producer_stream(std::uint32_t first_id, std::size_t senders,
+                                      std::size_t ticks) {
+  std::vector<sim::Bsm> stream;
+  stream.reserve(senders * ticks);
+  for (std::size_t t = 0; t < ticks; ++t) {
+    for (std::size_t v = 0; v < senders; ++v) {
+      sim::Bsm m;
+      m.vehicle_id = first_id + static_cast<std::uint32_t>(v);
+      m.time = 0.1 * static_cast<double>(t);
+      m.speed = 8.0 + static_cast<double>(v % 7);
+      m.x = m.speed * m.time;
+      m.y = 3.5 * static_cast<double>(v % 3);
+      m.heading = 0.1 * static_cast<double>(v % 5);
+      stream.push_back(m);
+    }
+  }
+  return stream;
+}
+
+// ------------------------------------------- p99 from histogram deltas -----
+
+using Buckets = std::array<std::uint64_t, telemetry::Histogram::kBuckets>;
+
+Buckets capture(const telemetry::Histogram& h) {
+  Buckets b{};
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = h.bucket_count(i);
+  return b;
+}
+
+/// p99 in milliseconds of the observations recorded between two captures
+/// (upper bound of the bucket holding the 99th-percentile rank).
+double p99_ms(const Buckets& before, const Buckets& after) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) total += after[i] - before[i];
+  if (total == 0) return 0.0;
+  const std::uint64_t rank = (total * 99 + 99) / 100;  // ceil
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    cumulative += after[i] - before[i];
+    if (cumulative >= rank) {
+      // The overflow bucket has no finite upper bound; report its lower one.
+      if (i >= telemetry::Histogram::kFiniteBuckets) {
+        return telemetry::Histogram::bucket_lower_bound(i) * 1000.0;
+      }
+      return telemetry::Histogram::bucket_upper_bound(i) * 1000.0;
+    }
+  }
+  return 0.0;
+}
+
+// ------------------------------------------------------------ one config ---
+
+struct RunResult {
+  double msgs_per_sec = 0.0;
+  double p99_drain_ms = 0.0;
+  std::uint64_t dropped = 0;
+  std::uint64_t reports = 0;
+  std::size_t messages = 0;
+};
+
+RunResult run_config(const serve::ServiceConfig& config, std::size_t senders,
+                     std::size_t ticks) {
+  serve::DetectionService service(
+      config, [](std::size_t) { return serving_ensemble(); }, identity_scaler());
+  std::atomic<std::uint64_t> reports{0};
+  service.set_report_sink([&](const mbds::MisbehaviorReport&) { reports.fetch_add(1); });
+
+  auto& drain_hist =
+      telemetry::MetricsRegistry::global().histogram("vehigan_serve_drain_seconds");
+  const Buckets before = capture(drain_hist);
+  const std::size_t per_producer = senders / kProducers;
+
+  util::Stopwatch sw;
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      const auto stream = producer_stream(
+          static_cast<std::uint32_t>(1 + p * per_producer), per_producer, ticks);
+      for (const sim::Bsm& message : stream) (void)service.submit(message);
+    });
+  }
+  for (auto& t : producers) t.join();
+  service.drain();
+  const double elapsed_ms = sw.elapsed_ms();
+  service.stop();
+
+  RunResult result;
+  result.messages = per_producer * kProducers * ticks;
+  result.msgs_per_sec = static_cast<double>(result.messages) / (elapsed_ms / 1000.0);
+  result.p99_drain_ms = p99_ms(before, capture(drain_hist));
+  result.dropped = service.stats().total.dropped;
+  result.reports = reports.load();
+  return result;
+}
+
+// ------------------------------------------------- registered benchmarks ---
+
+void bm_serve(benchmark::State& state) {
+  serve::ServiceConfig config;
+  config.num_shards = static_cast<std::size_t>(state.range(0));
+  config.queue_capacity = 1024;
+  config.policy = serve::OverloadPolicy::kBlock;
+  const std::size_t senders = 16, ticks = 32;
+  for (auto _ : state) {
+    const RunResult r = run_config(config, senders, ticks);
+    benchmark::DoNotOptimize(r.msgs_per_sec);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * senders * ticks));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t senders = quick_scale() ? 48 : 64;
+  const std::size_t ticks = quick_scale() ? 128 : 640;
+  const unsigned hardware = std::thread::hardware_concurrency();
+
+  std::cout << "=== DetectionService throughput: msgs/sec and p99 drain latency ===\n"
+            << "ensemble m=" << kEnsembleM << " k=" << kEnsembleK << " (content-keyed), "
+            << senders << " senders x " << ticks << " ticks, " << kProducers
+            << " producers (" << hardware << " hardware threads)\n\n";
+
+  struct Row {
+    std::string sweep;
+    std::size_t shards;
+    serve::OverloadPolicy policy;
+    std::size_t capacity;
+    RunResult result;
+  };
+  std::vector<Row> rows;
+
+  // Shard sweep: lossless backpressure, capacity out of the way.
+  for (std::size_t shards : {1UL, 2UL, 4UL, 8UL}) {
+    serve::ServiceConfig config;
+    config.num_shards = shards;
+    config.queue_capacity = 1024;
+    config.policy = serve::OverloadPolicy::kBlock;
+    rows.push_back({"shards", shards, config.policy, config.queue_capacity,
+                    run_config(config, senders, ticks)});
+  }
+  const double baseline = rows[0].result.msgs_per_sec;
+
+  // Policy sweep: 4 shards, queues 16 deep so overload actually happens.
+  for (serve::OverloadPolicy policy :
+       {serve::OverloadPolicy::kBlock, serve::OverloadPolicy::kDropNewest,
+        serve::OverloadPolicy::kDropOldest}) {
+    serve::ServiceConfig config;
+    config.num_shards = 4;
+    config.queue_capacity = 16;
+    config.policy = policy;
+    rows.push_back({"policy", 4, policy, config.queue_capacity,
+                    run_config(config, senders, ticks)});
+  }
+
+  experiments::TablePrinter table(
+      {"sweep", "shards", "policy", "capacity", "msgs/sec", "speedup", "p99 drain ms",
+       "dropped", "reports"});
+  for (const Row& row : rows) {
+    table.add_row({row.sweep, std::to_string(row.shards), serve::to_string(row.policy),
+                   std::to_string(row.capacity),
+                   experiments::TablePrinter::format(row.result.msgs_per_sec, 0),
+                   experiments::TablePrinter::format(row.result.msgs_per_sec / baseline, 2) + "x",
+                   experiments::TablePrinter::format(row.result.p99_drain_ms, 3),
+                   std::to_string(row.result.dropped), std::to_string(row.result.reports)});
+  }
+  table.print();
+
+  std::filesystem::create_directories("bench_results");
+  util::CsvWriter csv("bench_results/ext_serve_throughput.csv");
+  csv.write_row({"sweep", "shards", "policy", "queue_capacity", "producers", "messages",
+                 "msgs_per_sec", "speedup_vs_1shard", "p99_drain_ms", "dropped", "reports",
+                 "hardware_threads"});
+  for (const Row& row : rows) {
+    csv.write_row({row.sweep, std::to_string(row.shards), serve::to_string(row.policy),
+                   std::to_string(row.capacity), std::to_string(kProducers),
+                   std::to_string(row.result.messages),
+                   experiments::TablePrinter::format(row.result.msgs_per_sec, 1),
+                   experiments::TablePrinter::format(row.result.msgs_per_sec / baseline, 3),
+                   experiments::TablePrinter::format(row.result.p99_drain_ms, 4),
+                   std::to_string(row.result.dropped), std::to_string(row.result.reports),
+                   std::to_string(hardware)});
+  }
+  std::cout << "\nrows written to bench_results/ext_serve_throughput.csv\n"
+            << "(the >= 1.8x 1->4 shard target assumes >= 4 hardware threads; "
+            << "this host has " << hardware << ")\n\n";
+
+  benchmark::RegisterBenchmark("serve/shards", bm_serve)
+      ->Arg(1)
+      ->Arg(4)
+      ->Unit(benchmark::kMillisecond)
+      ->MinTime(0.1);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  bench::write_telemetry_sidecar("ext_serve_throughput");
+  return 0;
+}

@@ -7,12 +7,17 @@
 // received BSM updates the per-vehicle snapshot; flagged vehicles are
 // reported to the Misbehavior Authority, which revokes repeat offenders.
 //
-// Usage: rsu_monitor [attack-name] [--metrics-out <path>]
+// Usage: rsu_monitor [attack-name] [--metrics-out <path>] [--evict-after <s>]
 //   attack-name     misbehavior to inject (default: RandomHeadingYawRate)
 //   --metrics-out   write the RSU's telemetry snapshot to <path> (Prometheus
 //                   text exposition) and <path>.json, refreshed every ~4
 //                   simulated seconds during the replay and once at exit —
 //                   the files an operator dashboard would scrape.
+//   --evict-after   drop per-vehicle window state idle for this many
+//                   simulated seconds (default 30; <= 0 disables). A real
+//                   RSU runs forever under pseudonym churn, so the replay
+//                   loop demonstrates the periodic evict_stale sweep the
+//                   OnlineMbds memory contract requires.
 
 #include <iostream>
 #include <map>
@@ -41,12 +46,16 @@ void dump_metrics(const std::string& path) {
 int main(int argc, char** argv) {
   std::string attack_name = "RandomHeadingYawRate";
   std::string metrics_out;
+  double evict_after_s = 30.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--metrics-out" && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (arg == "--evict-after" && i + 1 < argc) {
+      evict_after_s = std::stod(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: rsu_monitor [attack-name] [--metrics-out <path>]\n";
+      std::cout << "usage: rsu_monitor [attack-name] [--metrics-out <path>]"
+                   " [--evict-after <s>]\n";
       return 0;
     } else {
       attack_name = arg;
@@ -94,8 +103,16 @@ int main(int argc, char** argv) {
             << " vehicles (" << live.malicious_count() << " attackers, " << attack_name
             << ")\n";
   double next_dump = 0.0;
+  double next_sweep = 0.0;
+  std::size_t evicted = 0;
   for (const auto& [time, message] : air) {
     (void)monitor.ingest(*message);
+    // Periodic staleness sweep (the OnlineMbds memory contract): vehicles
+    // quiet for evict_after_s simulated seconds lose their window state.
+    if (evict_after_s > 0.0 && time >= next_sweep) {
+      evicted += monitor.evict_stale(time - evict_after_s);
+      next_sweep = time + 2.0;  // ~every 2 sim-seconds
+    }
     if (!metrics_out.empty() && time >= next_dump) {
       dump_metrics(metrics_out);  // periodic scrape point, ~every 4 sim-seconds
       next_dump = time + 4.0;
@@ -110,9 +127,13 @@ int main(int argc, char** argv) {
     if (malicious && authority.is_revoked(vehicle)) ++caught;
     if (!malicious && authority.is_revoked(vehicle)) ++wrongly_revoked;
   }
+  const mbds::OnlineMbds::Stats footprint = monitor.stats();
   std::cout << "\nreports filed: " << reports << "\n"
             << "attackers revoked: " << caught << "/" << live.malicious_count() << "\n"
-            << "honest vehicles wrongly revoked: " << wrongly_revoked << "\n";
+            << "honest vehicles wrongly revoked: " << wrongly_revoked << "\n"
+            << "monitor footprint: " << footprint.tracked_vehicles << " tracked vehicles, "
+            << footprint.buffered_messages << " buffered BSMs, " << evicted
+            << " buffers evicted by the staleness sweep\n";
   if (!metrics_out.empty()) {
     dump_metrics(metrics_out);
     std::cout << "telemetry snapshot: " << metrics_out << " (+ .json)\n";

@@ -5,6 +5,7 @@
 
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
+#include "util/hash.hpp"
 
 namespace vehigan::mbds {
 
@@ -34,7 +35,7 @@ struct EnsembleTelemetry {
 
 VehiGan::VehiGan(std::vector<std::shared_ptr<WganDetector>> candidates, std::size_t k,
                  std::uint64_t seed)
-    : candidates_(std::move(candidates)), k_(k), rng_(seed) {
+    : candidates_(std::move(candidates)), k_(k), seed_(seed), rng_(seed) {
   if (candidates_.empty()) throw std::invalid_argument("VehiGan: no candidates");
   if (k_ == 0 || k_ > candidates_.size()) {
     throw std::invalid_argument("VehiGan: k must be in [1, m]");
@@ -45,11 +46,21 @@ std::string VehiGan::name() const {
   return "VehiGAN_m" + std::to_string(candidates_.size()) + "_k" + std::to_string(k_);
 }
 
-std::vector<std::size_t> VehiGan::draw_members() {
+std::vector<std::size_t> VehiGan::draw_members(std::span<const float> snapshot) {
   if (k_ == candidates_.size()) {
     std::vector<std::size_t> all(candidates_.size());
     for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
     return all;
+  }
+  if (subset_draw_ == SubsetDraw::kContentKeyed) {
+    // One throwaway Rng per prediction, seeded by (ensemble seed, window
+    // bytes): a pure function of the input, so the draw is the same no
+    // matter when, where, or in which batch this window is scored.
+    util::Fnv1a hash;
+    hash.add_pod(seed_);
+    hash.add_bytes(snapshot.data(), snapshot.size_bytes());
+    util::Rng keyed(hash.value());
+    return keyed.sample_without_replacement(candidates_.size(), k_);
   }
   return rng_.sample_without_replacement(candidates_.size(), k_);
 }
@@ -62,13 +73,13 @@ float VehiGan::score_with_members(std::span<const float> snapshot,
 }
 
 float VehiGan::score(std::span<const float> snapshot) {
-  const auto members = draw_members();
+  const auto members = draw_members(snapshot);
   return score_with_members(snapshot, members);
 }
 
 DetectionResult VehiGan::evaluate(std::span<const float> snapshot) {
   DetectionResult result;
-  result.members = draw_members();
+  result.members = draw_members(snapshot);
   result.score = score_with_members(snapshot, result.members);
   double tau = 0.0;
   for (std::size_t idx : result.members) tau += candidates_[idx]->threshold();
@@ -88,10 +99,12 @@ std::vector<DetectionResult> VehiGan::evaluate_all(const features::WindowSet& wi
 
   // Draw every subset up front, one draw_members() per window in window
   // order — the exact RNG consumption of the sequential evaluate() loop, so
-  // Fig. 7-style runs reproduce regardless of which path scored them.
+  // Fig. 7-style runs reproduce regardless of which path scored them. (In
+  // content-keyed mode the draw only reads the window bytes and consumes no
+  // shared RNG at all.)
   std::vector<std::vector<std::size_t>> subsets;
   subsets.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) subsets.push_back(draw_members());
+  for (std::size_t i = 0; i < n; ++i) subsets.push_back(draw_members(windows.snapshot(i)));
 
   // Invert into per-member window lists (ascending, since windows are
   // visited in order) for the batched per-member forwards.

@@ -17,6 +17,25 @@ struct DetectionResult {
   std::vector<std::size_t> members;  ///< candidate indices used
 };
 
+/// How the per-prediction k-subset is drawn. The choice changes *which*
+/// members score a given window, never how a drawn subset is scored.
+enum class SubsetDraw {
+  /// One draw from the ensemble's sequential RNG per prediction, in call
+  /// order (the paper's semantics, and the default). Subset sequences are
+  /// reproducible for a fixed global evaluation order, but a window's subset
+  /// depends on how many predictions preceded it.
+  kSequentialRng,
+  /// Subset = f(seed, window bytes): the draw is keyed by an FNV-1a hash of
+  /// the snapshot contents, so identical windows always deploy identical
+  /// subsets regardless of arrival interleaving, batching, or which service
+  /// shard scores them. This is what lets `serve::DetectionService` promise
+  /// per-sender verdict sequences that are invariant under re-sharding. The
+  /// defense property is preserved: subsets still vary unpredictably across
+  /// windows (any input change reshuffles the draw), and an attacker without
+  /// the seed cannot predict the deployed subset.
+  kContentKeyed,
+};
+
 /// VEHIGAN_m^k (Sec. III-A2/III-F): the ensemble detector over m candidate
 /// WGAN critics, of which a *fresh random subset of k* is deployed on every
 /// prediction. The subset re-randomization is part of the defense — it is
@@ -62,6 +81,12 @@ class VehiGan : public AnomalyDetector {
   void set_thread_pool(std::shared_ptr<util::ThreadPool> pool) { pool_ = std::move(pool); }
   [[nodiscard]] const std::shared_ptr<util::ThreadPool>& thread_pool() const { return pool_; }
 
+  /// Selects the subset-draw mode (see SubsetDraw). Switch before the first
+  /// prediction: changing it mid-stream changes which members later windows
+  /// deploy (but never corrupts state).
+  void set_subset_draw(SubsetDraw mode) { subset_draw_ = mode; }
+  [[nodiscard]] SubsetDraw subset_draw() const { return subset_draw_; }
+
   /// Deterministic scoring with an explicit member subset (used by the
   /// white-box multi-model attacker and by tests).
   float score_with_members(std::span<const float> snapshot,
@@ -74,11 +99,13 @@ class VehiGan : public AnomalyDetector {
   }
 
  private:
-  std::vector<std::size_t> draw_members();
+  std::vector<std::size_t> draw_members(std::span<const float> snapshot);
 
   std::vector<std::shared_ptr<WganDetector>> candidates_;
   std::size_t k_;
+  std::uint64_t seed_;
   util::Rng rng_;
+  SubsetDraw subset_draw_ = SubsetDraw::kSequentialRng;
   std::shared_ptr<util::ThreadPool> pool_;
 };
 

@@ -21,6 +21,7 @@ struct OnlineTelemetry {
   telemetry::Counter& messages_total;
   telemetry::Counter& windows_scored_total;
   telemetry::Counter& reports_total;
+  telemetry::Counter& evictions_total;
   telemetry::Gauge& tracked_vehicles;
 
   static OnlineTelemetry& get() {
@@ -34,6 +35,7 @@ struct OnlineTelemetry {
         reg.counter("vehigan_mbds_messages_total"),
         reg.counter("vehigan_mbds_windows_scored_total"),
         reg.counter("vehigan_mbds_reports_total"),
+        reg.counter("vehigan_mbds_evictions_total"),
         reg.gauge("vehigan_mbds_tracked_vehicles"),
     };
     return tel;
@@ -172,14 +174,29 @@ std::vector<MisbehaviorReport> OnlineMbds::ingest_batch(std::span<const sim::Bsm
   return reports;
 }
 
-void OnlineMbds::evict_stale(double before_time) {
+std::size_t OnlineMbds::evict_stale(double before_time) {
+  std::size_t dropped = 0;
   for (auto it = buffers_.begin(); it != buffers_.end();) {
     if (it->second.last_update_time < before_time) {
       it = buffers_.erase(it);
+      ++dropped;
     } else {
       ++it;
     }
   }
+  evictions_total_ += dropped;
+  OnlineTelemetry& tel = OnlineTelemetry::get();
+  tel.evictions_total.add(dropped);
+  tel.tracked_vehicles.set(static_cast<double>(buffers_.size()));
+  return dropped;
+}
+
+OnlineMbds::Stats OnlineMbds::stats() const {
+  Stats s;
+  s.tracked_vehicles = buffers_.size();
+  for (const auto& [id, buffer] : buffers_) s.buffered_messages += buffer.recent.size();
+  s.evictions_total = evictions_total_;
+  return s;
 }
 
 }  // namespace vehigan::mbds

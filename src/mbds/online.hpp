@@ -18,9 +18,24 @@ namespace vehigan::mbds {
 /// on an OBU or RSU: it consumes raw BSMs vehicle by vehicle, maintains the
 /// most recent w-message snapshot x_v per sender, runs the ensemble on every
 /// update, and emits a MisbehaviorReport whenever s_v > tau_ens.
+///
+/// Memory contract: per-sender state grows with every *distinct* station id
+/// ever ingested and is never released implicitly — under pseudonym churn
+/// (SCMS rotation mints a fresh id every few minutes) the map grows without
+/// bound. Callers owning a long-lived instance MUST run `evict_stale`
+/// periodically; `serve::DetectionService` does this per shard, and
+/// `examples/rsu_monitor` wires it into its replay loop. `stats()` exposes
+/// the live footprint so deployments can alert on unexpected growth.
 class OnlineMbds {
  public:
   using ReportSink = std::function<void(const MisbehaviorReport&)>;
+
+  /// Point-in-time footprint + lifetime eviction tally of this instance.
+  struct Stats {
+    std::size_t tracked_vehicles = 0;   ///< senders with live buffer state
+    std::size_t buffered_messages = 0;  ///< raw BSMs held across all buffers
+    std::uint64_t evictions_total = 0;  ///< buffers dropped by evict_stale
+  };
 
   /// @param station_id      identity of this OBU/RSU (for MBR provenance)
   /// @param detector        the deployed VEHIGAN_m^k ensemble
@@ -52,8 +67,12 @@ class OnlineMbds {
   void set_report_sink(ReportSink sink) { sink_ = std::move(sink); }
 
   /// Drops per-vehicle state not updated since `before_time` (pseudonym
-  /// churn / vehicles leaving range).
-  void evict_stale(double before_time);
+  /// churn / vehicles leaving range). Returns the number of buffers dropped.
+  std::size_t evict_stale(double before_time);
+
+  /// O(tracked_vehicles); meant for periodic sampling, not the per-message
+  /// hot path.
+  [[nodiscard]] Stats stats() const;
 
   [[nodiscard]] std::size_t tracked_vehicles() const { return buffers_.size(); }
   [[nodiscard]] std::size_t window() const { return window_; }
@@ -86,6 +105,7 @@ class OnlineMbds {
   double gap_reset_s_;
   ReportSink sink_;
   std::unordered_map<std::uint32_t, VehicleBuffer> buffers_;
+  std::uint64_t evictions_total_ = 0;
 };
 
 }  // namespace vehigan::mbds

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "serve/config.hpp"
+
+namespace vehigan::serve {
+
+/// Bounded multi-producer / single-consumer mailbox between submit() callers
+/// and one shard worker. Deliberately a mutex + two condvars rather than a
+/// lock-free ring: producers touch the lock for nanoseconds per message, the
+/// consumer takes everything in one critical section per drain cycle, and
+/// the implementation is trivially TSan-provable — the property the soak
+/// test in CI actually certifies.
+///
+/// The overload policy is applied *here*, at admission, so a full queue can
+/// never stall the scoring path (except under kBlock, where stalling the
+/// producer is the point).
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Admission outcome of one push. Exactly one message is "lost" per
+  /// kReplacedOldest (the evicted head) and per kRejected / kClosed (the
+  /// offered message) — callers turn these into exact drop counts.
+  enum class Push {
+    kAccepted,        ///< enqueued into spare capacity
+    kReplacedOldest,  ///< enqueued, evicting the oldest queued item
+    kRejected,        ///< not enqueued: full under kDropNewest
+    kClosed,          ///< not enqueued: queue closed
+  };
+
+  BoundedQueue(std::size_t capacity, OverloadPolicy policy)
+      : capacity_(std::max<std::size_t>(1, capacity)), policy_(policy) {}
+
+  Push push(T value) {
+    std::unique_lock lock(mutex_);
+    if (policy_ == OverloadPolicy::kBlock) {
+      not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    }
+    if (closed_) return Push::kClosed;
+    Push result = Push::kAccepted;
+    if (items_.size() >= capacity_) {
+      if (policy_ == OverloadPolicy::kDropNewest) return Push::kRejected;
+      // kDropOldest (kBlock can't get here: the wait above guarantees room).
+      items_.pop_front();
+      result = Push::kReplacedOldest;
+    }
+    items_.push_back(std::move(value));
+    peak_ = std::max(peak_, items_.size());
+    lock.unlock();
+    not_empty_.notify_one();
+    return result;
+  }
+
+  /// Consumer side: blocks until at least one item is queued (or the queue
+  /// is closed), then moves up to `max_batch` items (0 = all) into `out`.
+  /// Returns the number taken; 0 means closed-and-drained — the consumer's
+  /// termination signal.
+  std::size_t drain_blocking(std::vector<T>& out, std::size_t max_batch = 0) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    return drain_locked(out, max_batch, lock);
+  }
+
+  /// Non-blocking variant: takes whatever is queued right now.
+  std::size_t drain(std::vector<T>& out, std::size_t max_batch = 0) {
+    std::unique_lock lock(mutex_);
+    return drain_locked(out, max_batch, lock);
+  }
+
+  /// Closes the queue: subsequent pushes return kClosed, blocked producers
+  /// wake with kClosed, and the consumer keeps draining until empty.
+  void close() {
+    {
+      const std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::scoped_lock lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t peak_size() const {
+    const std::scoped_lock lock(mutex_);
+    return peak_;
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t drain_locked(std::vector<T>& out, std::size_t max_batch,
+                           std::unique_lock<std::mutex>& lock) {
+    const std::size_t n =
+        max_batch == 0 ? items_.size() : std::min(max_batch, items_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    lock.unlock();
+    if (n > 0) not_full_.notify_all();
+    return n;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  OverloadPolicy policy_;
+  std::size_t peak_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace vehigan::serve

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace vehigan::serve {
+
+/// What a shard's bounded ingress queue does when a producer pushes into a
+/// full queue. Chosen once per service in ServiceConfig.
+enum class OverloadPolicy {
+  kBlock,       ///< backpressure: the producer blocks until the shard drains
+  kDropNewest,  ///< shed the incoming message (tail drop)
+  kDropOldest,  ///< shed the oldest queued message to admit the new one
+};
+
+[[nodiscard]] constexpr const char* to_string(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kBlock: return "block";
+    case OverloadPolicy::kDropNewest: return "drop-newest";
+    case OverloadPolicy::kDropOldest: return "drop-oldest";
+  }
+  return "?";
+}
+
+/// Parses the CLI spelling used by examples and benches; nullopt on unknown.
+[[nodiscard]] inline std::optional<OverloadPolicy> policy_from_string(std::string_view name) {
+  if (name == "block") return OverloadPolicy::kBlock;
+  if (name == "drop-newest") return OverloadPolicy::kDropNewest;
+  if (name == "drop-oldest") return OverloadPolicy::kDropOldest;
+  return std::nullopt;
+}
+
+/// Static configuration of a DetectionService.
+struct ServiceConfig {
+  std::size_t num_shards = 4;        ///< worker threads / state partitions
+  std::size_t queue_capacity = 1024; ///< bounded ingress depth per shard
+  OverloadPolicy policy = OverloadPolicy::kBlock;
+  std::size_t max_batch = 0;         ///< cap messages per drain cycle (0 = drain all)
+
+  // Per-shard OnlineMbds knobs (see mbds::OnlineMbds).
+  std::uint32_t station_id = 0;      ///< reporter id stamped on every MBR
+  double report_cooldown_s = 1.0;
+  double gap_reset_s = 0.25;
+
+  // Staleness sweeps: senders idle for longer than `evict_after_s` (message
+  // time, not wall time) are evicted; sweeps run at most once per
+  // `evict_every_s` of message-time progress. `evict_after_s <= 0` disables
+  // sweeping (then the caller inherits OnlineMbds's unbounded-growth
+  // contract).
+  double evict_after_s = 30.0;
+  double evict_every_s = 5.0;
+};
+
+/// Point-in-time counters of one shard. The invariant the serve tests pin:
+/// after drain()/stop(), enqueued == scored + dropped, exactly — every
+/// message offered to submit() is accounted for once.
+struct ShardStats {
+  std::uint64_t enqueued = 0;   ///< messages offered to this shard
+  std::uint64_t scored = 0;     ///< messages handed to OnlineMbds::ingest_batch
+  std::uint64_t dropped = 0;    ///< messages shed (tail drop, head drop, or post-stop)
+  std::uint64_t reports = 0;    ///< misbehavior reports emitted
+  std::uint64_t batches = 0;    ///< drain cycles that processed >= 1 message
+  std::size_t queue_depth = 0;  ///< current ingress backlog
+  std::size_t queue_peak = 0;   ///< high-water mark of queue_depth
+  std::size_t batch_peak = 0;   ///< largest single coalesced batch
+  std::size_t tracked_vehicles = 0;   ///< live senders in this shard's window state
+  std::size_t buffered_messages = 0;  ///< raw BSMs held in this shard's buffers
+  std::uint64_t evictions = 0;        ///< senders dropped by staleness sweeps
+
+  ShardStats& operator+=(const ShardStats& other) {
+    enqueued += other.enqueued;
+    scored += other.scored;
+    dropped += other.dropped;
+    reports += other.reports;
+    batches += other.batches;
+    queue_depth += other.queue_depth;
+    queue_peak = queue_peak > other.queue_peak ? queue_peak : other.queue_peak;
+    batch_peak = batch_peak > other.batch_peak ? batch_peak : other.batch_peak;
+    tracked_vehicles += other.tracked_vehicles;
+    buffered_messages += other.buffered_messages;
+    evictions += other.evictions;
+    return *this;
+  }
+};
+
+/// Aggregate + per-shard view returned by DetectionService::stats().
+/// total.queue_peak / total.batch_peak are maxima over shards; every other
+/// total field is the sum.
+struct ServiceStats {
+  ShardStats total;
+  std::vector<ShardStats> shards;
+};
+
+}  // namespace vehigan::serve

@@ -1,0 +1,114 @@
+#include "serve/service.hpp"
+
+#include <stdexcept>
+
+#include "telemetry/metrics.hpp"
+#include "util/hash.hpp"
+
+namespace vehigan::serve {
+
+namespace {
+
+struct ServiceTelemetry {
+  telemetry::Gauge& tracked_vehicles;
+  telemetry::Gauge& queue_depth;
+
+  static ServiceTelemetry& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static ServiceTelemetry tel{
+        reg.gauge("vehigan_serve_tracked_vehicles"),
+        reg.gauge("vehigan_serve_queue_depth"),
+    };
+    return tel;
+  }
+};
+
+}  // namespace
+
+DetectionService::DetectionService(const ServiceConfig& config,
+                                   const DetectorFactory& factory,
+                                   features::MinMaxScaler scaler)
+    : config_(config) {
+  if (config_.num_shards == 0) {
+    throw std::invalid_argument("DetectionService: num_shards must be >= 1");
+  }
+  if (config_.queue_capacity == 0) {
+    throw std::invalid_argument("DetectionService: queue_capacity must be >= 1");
+  }
+  if (!factory) throw std::invalid_argument("DetectionService: null detector factory");
+  shards_.reserve(config_.num_shards);
+  for (std::size_t i = 0; i < config_.num_shards; ++i) {
+    auto detector = std::make_unique<mbds::OnlineMbds>(
+        config_.station_id, factory(i), scaler, config_.report_cooldown_s,
+        config_.gap_reset_s);
+    shards_.push_back(std::make_unique<Shard>(i, config_, std::move(detector)));
+  }
+  // Workers start only after every shard exists: emit() never observes a
+  // half-built shard vector.
+  for (auto& shard : shards_) {
+    shard->start([this](const mbds::MisbehaviorReport& report) { emit(report); });
+  }
+}
+
+DetectionService::~DetectionService() { stop(); }
+
+std::size_t DetectionService::shard_of(std::uint32_t station_id) const {
+  util::Fnv1a hash;
+  hash.add_pod(station_id);
+  return hash.value() % shards_.size();
+}
+
+bool DetectionService::submit(const sim::Bsm& message) {
+  return shards_[shard_of(message.vehicle_id)]->submit(message);
+}
+
+std::size_t DetectionService::submit_batch(std::span<const sim::Bsm> messages) {
+  std::size_t admitted = 0;
+  for (const sim::Bsm& message : messages) {
+    if (submit(message)) ++admitted;
+  }
+  return admitted;
+}
+
+void DetectionService::set_report_sink(ReportSink sink) {
+  const std::scoped_lock lock(sink_mutex_);
+  sink_ = std::move(sink);
+}
+
+void DetectionService::emit(const mbds::MisbehaviorReport& report) {
+  // One report at a time, whole-service: "a single ordered sink". Shards
+  // block here only when reports collide, which is rare next to scoring.
+  const std::scoped_lock lock(sink_mutex_);
+  if (sink_) sink_(report);
+}
+
+void DetectionService::drain() {
+  for (auto& shard : shards_) shard->wait_idle();
+}
+
+void DetectionService::stop() {
+  if (stopped_.exchange(true)) return;
+  // Close every queue first so all workers flush their backlogs in
+  // parallel, then join.
+  for (auto& shard : shards_) shard->close();
+  for (auto& shard : shards_) shard->join();
+}
+
+ShardStats DetectionService::shard_stats(std::size_t shard) const {
+  return shards_.at(shard)->stats();
+}
+
+ServiceStats DetectionService::stats() const {
+  ServiceStats stats;
+  stats.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    stats.shards.push_back(shard->stats());
+    stats.total += stats.shards.back();
+  }
+  ServiceTelemetry& tel = ServiceTelemetry::get();
+  tel.tracked_vehicles.set(static_cast<double>(stats.total.tracked_vehicles));
+  tel.queue_depth.set(static_cast<double>(stats.total.queue_depth));
+  return stats;
+}
+
+}  // namespace vehigan::serve

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "features/scaler.hpp"
+#include "mbds/ensemble.hpp"
+#include "mbds/report.hpp"
+#include "serve/config.hpp"
+#include "serve/shard.hpp"
+#include "sim/bsm.hpp"
+
+namespace vehigan::serve {
+
+/// City-scale online detection front end: accepts BSM streams from
+/// arbitrarily many producer threads, hashes each message by sender
+/// station id onto one of N shards (each sender's window state is owned by
+/// exactly one worker — no locks on the scoring path), coalesces every
+/// shard's backlog into one OnlineMbds::ingest_batch call per drain cycle,
+/// and funnels all reports into a single serialized sink.
+///
+/// Ordering guarantee: per sender. If a sender's messages are submitted in
+/// order (from one producer, or externally ordered), its windows are scored
+/// and its reports emitted in that order, for any shard count. Cross-sender
+/// interleaving is unspecified once num_shards > 1. Sink callbacks are
+/// serialized — at most one runs at a time, so the sink needs no internal
+/// locking.
+///
+/// Determinism: with OverloadPolicy::kBlock and num_shards == 1 the service
+/// reproduces sequential OnlineMbds::ingest byte for byte. For shard-count-
+/// invariant per-sender verdicts, build the ensembles with
+/// VehiGan::set_subset_draw(SubsetDraw::kContentKeyed) — then re-sharding
+/// (or re-batching) never changes any sender's report sequence. Both are
+/// pinned by tests/serve_test.cpp.
+class DetectionService {
+ public:
+  using ReportSink = std::function<void(const mbds::MisbehaviorReport&)>;
+  /// Builds the ensemble deployed on one shard. Called once per shard at
+  /// construction; each shard must get its own VehiGan instance (the
+  /// ensemble is stateful and single-threaded by design).
+  using DetectorFactory = std::function<std::shared_ptr<mbds::VehiGan>(std::size_t shard)>;
+
+  DetectionService(const ServiceConfig& config, const DetectorFactory& factory,
+                   features::MinMaxScaler scaler);
+  ~DetectionService();  // stop()s
+
+  DetectionService(const DetectionService&) = delete;
+  DetectionService& operator=(const DetectionService&) = delete;
+
+  /// Thread-safe ingest of one BSM. Returns false iff the offered message
+  /// was shed (kDropNewest tail drop, or submit after stop()). Under kBlock
+  /// this call blocks while the target shard's queue is full.
+  bool submit(const sim::Bsm& message);
+
+  /// Convenience loop over submit(); returns how many were admitted.
+  std::size_t submit_batch(std::span<const sim::Bsm> messages);
+
+  /// Installs the report sink. Callbacks are serialized and arrive in
+  /// per-sender order. Install before the first submit to see every report.
+  void set_report_sink(ReportSink sink);
+
+  /// Blocks until every message accepted so far is settled — scored (and
+  /// its reports delivered to the sink) or dropped. Producers should be
+  /// quiescent while draining; messages submitted concurrently may or may
+  /// not be covered.
+  void drain();
+
+  /// Graceful shutdown: closes all ingress queues, lets every worker flush
+  /// its remaining backlog, then joins. Subsequent submits are counted as
+  /// dropped. Idempotent; the destructor calls it.
+  void stop();
+
+  /// Stable shard assignment of a sender (FNV-1a of the station id).
+  [[nodiscard]] std::size_t shard_of(std::uint32_t station_id) const;
+
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+  [[nodiscard]] ShardStats shard_stats(std::size_t shard) const;
+
+  /// Aggregate + per-shard counters. Also refreshes the service-level
+  /// gauges (vehigan_serve_tracked_vehicles, vehigan_serve_queue_depth) so
+  /// periodic metric dumps observe shard memory and backlog.
+  [[nodiscard]] ServiceStats stats() const;
+
+ private:
+  void emit(const mbds::MisbehaviorReport& report);
+
+  ServiceConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::mutex sink_mutex_;
+  ReportSink sink_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace vehigan::serve

@@ -1,0 +1,177 @@
+#include "serve/shard.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace vehigan::serve {
+
+namespace {
+
+/// Resolved once; shards of every service share the same process-wide
+/// families (per-shard detail lives in ShardStats, not in metric names, to
+/// bound cardinality — same policy as the per-grid-member aggregation).
+struct ServeTelemetry {
+  telemetry::Counter& enqueued_total;
+  telemetry::Counter& scored_total;
+  telemetry::Counter& dropped_total;
+  telemetry::Counter& reports_total;
+  telemetry::Counter& drains_total;
+  telemetry::Counter& evict_sweeps_total;
+  telemetry::Histogram& drain_seconds;
+  telemetry::Gauge& queue_peak;
+  telemetry::Gauge& batch_peak;
+
+  static ServeTelemetry& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static ServeTelemetry tel{
+        reg.counter("vehigan_serve_enqueued_total"),
+        reg.counter("vehigan_serve_scored_total"),
+        reg.counter("vehigan_serve_dropped_total"),
+        reg.counter("vehigan_serve_reports_total"),
+        reg.counter("vehigan_serve_drains_total"),
+        reg.counter("vehigan_serve_evict_sweeps_total"),
+        reg.histogram("vehigan_serve_drain_seconds"),
+        reg.gauge("vehigan_serve_queue_peak_depth"),
+        reg.gauge("vehigan_serve_batch_size_peak"),
+    };
+    return tel;
+  }
+};
+
+}  // namespace
+
+Shard::Shard(std::size_t index, const ServiceConfig& config,
+             std::unique_ptr<mbds::OnlineMbds> detector)
+    : index_(index),
+      config_(config),
+      detector_(std::move(detector)),
+      queue_(config.queue_capacity, config.policy) {}
+
+Shard::~Shard() {
+  close();
+  join();
+}
+
+void Shard::start(ReportFn emit) {
+  emit_ = std::move(emit);
+  worker_ = std::thread([this] { run(); });
+}
+
+void Shard::notify_settled() {
+  // Empty critical section: pairs the counter updates with wait_idle's
+  // predicate check so a waiter can't test-then-sleep across our notify.
+  { const std::scoped_lock lock(idle_mutex_); }
+  idle_cv_.notify_all();
+}
+
+bool Shard::submit(const sim::Bsm& message) {
+  ServeTelemetry& tel = ServeTelemetry::get();
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  tel.enqueued_total.add(1);
+  switch (queue_.push(message)) {
+    case BoundedQueue<sim::Bsm>::Push::kAccepted:
+      return true;
+    case BoundedQueue<sim::Bsm>::Push::kReplacedOldest:
+      // The *evicted* head is the shed message; the offered one is in.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      tel.dropped_total.add(1);
+      notify_settled();
+      return true;
+    case BoundedQueue<sim::Bsm>::Push::kRejected:
+    case BoundedQueue<sim::Bsm>::Push::kClosed:
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      tel.dropped_total.add(1);
+      notify_settled();
+      return false;
+  }
+  return false;
+}
+
+void Shard::wait_idle() {
+  std::unique_lock lock(idle_mutex_);
+  idle_cv_.wait(lock, [&] {
+    return scored_.load(std::memory_order_relaxed) +
+               dropped_.load(std::memory_order_relaxed) >=
+           enqueued_.load(std::memory_order_relaxed);
+  });
+}
+
+void Shard::close() { queue_.close(); }
+
+void Shard::join() {
+  if (worker_.joinable()) worker_.join();
+}
+
+void Shard::run() {
+  ServeTelemetry& tel = ServeTelemetry::get();
+  std::vector<sim::Bsm> batch;
+  double latest_time = -std::numeric_limits<double>::infinity();
+  double last_sweep_time = -std::numeric_limits<double>::infinity();
+  for (;;) {
+    batch.clear();
+    const std::size_t n = queue_.drain_blocking(batch, config_.max_batch);
+    if (n == 0) break;  // closed and fully flushed
+
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t peak = batch_peak_.load(std::memory_order_relaxed);
+    while (n > peak &&
+           !batch_peak_.compare_exchange_weak(peak, n, std::memory_order_relaxed)) {
+    }
+    tel.drains_total.add(1);
+    tel.batch_peak.set_max(static_cast<double>(n));
+    tel.queue_peak.set_max(static_cast<double>(queue_.peak_size()));
+
+    {
+      telemetry::ScopedSpan drain_span(tel.drain_seconds, "serve_drain");
+      const std::vector<mbds::MisbehaviorReport> reports = detector_->ingest_batch(batch);
+      reports_.fetch_add(reports.size(), std::memory_order_relaxed);
+      tel.reports_total.add(reports.size());
+      if (emit_) {
+        for (const mbds::MisbehaviorReport& report : reports) emit_(report);
+      }
+    }
+
+    // Staleness sweep, clocked by message time so replays behave identically
+    // at any wall speed. The cutoff trails the newest message this shard has
+    // seen; senders quiet for evict_after_s lose their window state.
+    for (const sim::Bsm& message : batch) latest_time = std::max(latest_time, message.time);
+    if (config_.evict_after_s > 0 &&
+        latest_time - last_sweep_time >= config_.evict_every_s) {
+      detector_->evict_stale(latest_time - config_.evict_after_s);
+      last_sweep_time = latest_time;
+      tel.evict_sweeps_total.add(1);
+    }
+    const mbds::OnlineMbds::Stats mbds_stats = detector_->stats();
+    tracked_.store(mbds_stats.tracked_vehicles, std::memory_order_relaxed);
+    buffered_.store(mbds_stats.buffered_messages, std::memory_order_relaxed);
+    evictions_.store(mbds_stats.evictions_total, std::memory_order_relaxed);
+
+    // Settle last: wait_idle() returning implies the batch's reports have
+    // already been emitted.
+    tel.scored_total.add(n);
+    scored_.fetch_add(n, std::memory_order_relaxed);
+    notify_settled();
+  }
+}
+
+ShardStats Shard::stats() const {
+  ShardStats s;
+  s.enqueued = enqueued_.load(std::memory_order_relaxed);
+  s.scored = scored_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.reports = reports_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_.size();
+  s.queue_peak = queue_.peak_size();
+  s.batch_peak = batch_peak_.load(std::memory_order_relaxed);
+  s.tracked_vehicles = tracked_.load(std::memory_order_relaxed);
+  s.buffered_messages = buffered_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace vehigan::serve

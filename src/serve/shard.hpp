@@ -1,0 +1,85 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "mbds/online.hpp"
+#include "serve/bounded_queue.hpp"
+#include "serve/config.hpp"
+#include "sim/bsm.hpp"
+
+namespace vehigan::serve {
+
+/// One partition of the service: the sole owner of the per-sender window
+/// state of every station id hashed onto it, so that state needs no locks.
+/// Producers push into the bounded ingress queue; the worker thread drains
+/// the whole backlog, coalesces it into one OnlineMbds::ingest_batch call
+/// per cycle, runs periodic staleness sweeps, and hands reports to the
+/// (service-serialized) emit function.
+class Shard {
+ public:
+  using ReportFn = std::function<void(const mbds::MisbehaviorReport&)>;
+
+  Shard(std::size_t index, const ServiceConfig& config,
+        std::unique_ptr<mbds::OnlineMbds> detector);
+  ~Shard();
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  /// Starts the worker thread. `emit` is invoked from the worker, once per
+  /// report, in per-sender order.
+  void start(ReportFn emit);
+
+  /// Producer-side entry. Counts the message as enqueued, applies the
+  /// overload policy, and returns false iff the *offered* message was shed
+  /// (tail drop or post-stop submit). A head drop under kDropOldest returns
+  /// true — the offered message was admitted; the evicted one is counted in
+  /// dropped.
+  bool submit(const sim::Bsm& message);
+
+  /// Blocks until every message ever offered is settled: scored (including
+  /// its report emission) or dropped. Producers should be quiescent.
+  void wait_idle();
+
+  /// Closes the ingress queue and joins the worker after it flushes the
+  /// remaining backlog. Idempotent.
+  void close();
+  void join();
+
+  [[nodiscard]] ShardStats stats() const;
+  [[nodiscard]] std::size_t index() const { return index_; }
+
+ private:
+  void run();
+  void notify_settled();
+
+  std::size_t index_;
+  ServiceConfig config_;
+  std::unique_ptr<mbds::OnlineMbds> detector_;
+  BoundedQueue<sim::Bsm> queue_;
+  ReportFn emit_;
+  std::thread worker_;
+
+  // Exact-accounting counters: enqueued_ moves on the producer side,
+  // scored_/dropped_ settle each message exactly once. The pair
+  // (idle_mutex_, idle_cv_) only sequences wakeups; the predicate reads the
+  // atomics.
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> scored_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> reports_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::size_t> batch_peak_{0};
+  std::atomic<std::size_t> tracked_{0};
+  std::atomic<std::size_t> buffered_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+};
+
+}  // namespace vehigan::serve

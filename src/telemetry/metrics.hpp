@@ -81,6 +81,19 @@ class Gauge {
     }
   }
 
+  /// Raises the gauge to `v` iff it exceeds the current value — a lock-free
+  /// high-water mark that many threads can fold into one gauge (per-shard
+  /// queue peaks, batch-size peaks). Starts from 0 (or the last reset), so
+  /// negative observations never lower it below the initial 0.
+  void set_max(double v) {
+    if (!enabled()) return;
+    std::uint64_t old = bits_.load(std::memory_order_relaxed);
+    while (std::bit_cast<double>(old) < v &&
+           !bits_.compare_exchange_weak(old, std::bit_cast<std::uint64_t>(v),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
   [[nodiscard]] double value() const {
     return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
   }

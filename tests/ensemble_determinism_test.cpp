@@ -133,6 +133,80 @@ TEST(EnsembleDeterminism, ThreadPoolFanOutDoesNotPerturbDraws) {
   }
 }
 
+// ----------------------------------------------- content-keyed subsets -----
+
+TEST(ContentKeyedSubsets, SubsetIsAPureFunctionOfSeedAndWindowBytes) {
+  // The serving layer's shard-invariance rests on this: the members deployed
+  // on a window must not depend on how many (or whose) windows were scored
+  // before it. Score the same windows in different orders and batchings and
+  // demand identical draws.
+  constexpr std::uint64_t kSeed = 321;
+  util::Rng data(11);
+  const features::WindowSet windows = testing::random_window_set(data, 12, 2, 3);
+
+  VehiGan forward(linear_detectors(6), 2, kSeed);
+  forward.set_subset_draw(SubsetDraw::kContentKeyed);
+  std::vector<std::vector<std::size_t>> expected;
+  for (std::size_t i = 0; i < windows.count(); ++i) {
+    expected.push_back(forward.evaluate(windows.snapshot(i)).members);
+  }
+
+  // Reverse evaluation order.
+  VehiGan reversed(linear_detectors(6), 2, kSeed);
+  reversed.set_subset_draw(SubsetDraw::kContentKeyed);
+  for (std::size_t i = windows.count(); i-- > 0;) {
+    EXPECT_EQ(reversed.evaluate(windows.snapshot(i)).members, expected[i]) << "window " << i;
+  }
+
+  // Batched path.
+  VehiGan batched(linear_detectors(6), 2, kSeed);
+  batched.set_subset_draw(SubsetDraw::kContentKeyed);
+  const std::vector<DetectionResult> results = batched.evaluate_all(windows);
+  ASSERT_EQ(results.size(), windows.count());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].members, expected[i]) << "window " << i;
+  }
+
+  // Re-scoring the same window never advances hidden state.
+  EXPECT_EQ(batched.evaluate(windows.snapshot(0)).members, expected[0]);
+  EXPECT_EQ(batched.evaluate(windows.snapshot(0)).members, expected[0]);
+}
+
+TEST(ContentKeyedSubsets, SeedAndContentBothSelectTheSubset) {
+  util::Rng data(12);
+  const features::WindowSet windows = testing::random_window_set(data, 40, 2, 3);
+
+  VehiGan a(linear_detectors(6), 2, 1);
+  a.set_subset_draw(SubsetDraw::kContentKeyed);
+  VehiGan b(linear_detectors(6), 2, 2);
+  b.set_subset_draw(SubsetDraw::kContentKeyed);
+  // Across many windows, a different seed must change at least one draw and
+  // different windows must not all collapse onto one subset.
+  bool seed_matters = false;
+  std::set<std::vector<std::size_t>> distinct;
+  for (std::size_t i = 0; i < windows.count(); ++i) {
+    const auto sa = a.evaluate(windows.snapshot(i)).members;
+    if (sa != b.evaluate(windows.snapshot(i)).members) seed_matters = true;
+    distinct.insert(sa);
+  }
+  EXPECT_TRUE(seed_matters);
+  EXPECT_GT(distinct.size(), 1U);
+}
+
+TEST(ContentKeyedSubsets, DrawsAreValidKSubsets) {
+  VehiGan ensemble(linear_detectors(5), 3, 7);
+  ensemble.set_subset_draw(SubsetDraw::kContentKeyed);
+  util::Rng data(13);
+  const features::WindowSet windows = testing::random_window_set(data, 50, 2, 3);
+  for (std::size_t i = 0; i < windows.count(); ++i) {
+    const auto subset = ensemble.evaluate(windows.snapshot(i)).members;
+    EXPECT_EQ(subset.size(), 3U);
+    const std::set<std::size_t> unique(subset.begin(), subset.end());
+    EXPECT_EQ(unique.size(), 3U) << "subset has repeated members";
+    for (std::size_t idx : subset) EXPECT_LT(idx, 5U);
+  }
+}
+
 TEST(EnsembleDeterminism, KEqualsMSkipsTheSampler) {
   // With k == m there is nothing to sample; the stream must not advance, so
   // a later k < m draw from a twin with the same seed still matches.

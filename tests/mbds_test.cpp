@@ -412,6 +412,37 @@ TEST(OnlineMbds, EvictStaleWithInterleavedSendersKeepsBoundary) {
   }
 }
 
+TEST(OnlineMbds, StatsReportFootprintAndEvictionTally) {
+  OnlineMbds mbds(1, toy_online_ensemble(1e9), identity_scaler(12));
+  {
+    const OnlineMbds::Stats empty = mbds.stats();
+    EXPECT_EQ(empty.tracked_vehicles, 0U);
+    EXPECT_EQ(empty.buffered_messages, 0U);
+    EXPECT_EQ(empty.evictions_total, 0U);
+  }
+  // Two senders, 3 and 5 buffered messages respectively.
+  for (int i = 0; i < 3; ++i) (void)mbds.ingest(cruise_msg(1, 0.1 * i));
+  for (int i = 0; i < 5; ++i) (void)mbds.ingest(cruise_msg(2, 0.1 * i));
+  OnlineMbds::Stats stats = mbds.stats();
+  EXPECT_EQ(stats.tracked_vehicles, 2U);
+  EXPECT_EQ(stats.buffered_messages, 8U);
+  EXPECT_EQ(stats.evictions_total, 0U);
+
+  // evict_stale returns the per-call count and stats accumulates it.
+  EXPECT_EQ(mbds.evict_stale(10.0), 2U);
+  stats = mbds.stats();
+  EXPECT_EQ(stats.tracked_vehicles, 0U);
+  EXPECT_EQ(stats.buffered_messages, 0U);
+  EXPECT_EQ(stats.evictions_total, 2U);
+  EXPECT_EQ(mbds.evict_stale(10.0), 0U);  // idempotent once empty
+  EXPECT_EQ(mbds.stats().evictions_total, 2U);
+
+  // The tally is lifetime-cumulative across later activity.
+  for (int i = 0; i < 2; ++i) (void)mbds.ingest(cruise_msg(3, 20.0 + 0.1 * i));
+  EXPECT_EQ(mbds.evict_stale(30.0), 1U);
+  EXPECT_EQ(mbds.stats().evictions_total, 3U);
+}
+
 // --------------------------------------------------------- batched online ---
 
 std::shared_ptr<VehiGan> randomized_online_ensemble(std::uint64_t seed) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "net/channel.hpp"
 #include "net/codec.hpp"
 #include "scms/pseudonym.hpp"
@@ -46,6 +49,39 @@ TEST(Channel, EmpiricalReceptionRateMatchesProbability) {
     if (channel.received(0, 0, distance, 0)) ++received;
   }
   EXPECT_NEAR(static_cast<double>(received) / kTrials, expected, 0.03);
+}
+
+TEST(Channel, RangeBoundaryIsInclusiveAndZeroDistanceIsNear) {
+  ChannelConfig cfg;
+  cfg.max_range_m = 300.0;
+  cfg.p_delivery_edge = 0.60;
+  Channel channel(cfg, 1);
+  // Exactly at the cutoff the edge probability still applies (the cutoff is
+  // `>`); the first representable distance beyond it delivers nothing.
+  EXPECT_DOUBLE_EQ(channel.delivery_probability(cfg.max_range_m), cfg.p_delivery_edge);
+  EXPECT_GT(channel.delivery_probability(cfg.max_range_m), 0.0);
+  const double beyond = std::nextafter(cfg.max_range_m, 1e9);
+  EXPECT_DOUBLE_EQ(channel.delivery_probability(beyond), 0.0);
+  EXPECT_DOUBLE_EQ(channel.delivery_probability(0.0), cfg.p_delivery_near);
+}
+
+TEST(Channel, DeliveryProbabilityIsMonotonicNonIncreasingOverTheRamp) {
+  // Property over the whole ramp, for the default channel and a congested
+  // one: moving away never increases delivery probability, and every value
+  // stays a probability.
+  std::vector<ChannelConfig> configs(2);
+  configs[1].p_congestion_loss = 0.35;
+  for (const ChannelConfig& cfg : configs) {
+    Channel channel(cfg, 1);
+    double previous = channel.delivery_probability(0.0);
+    for (double d = 0.0; d <= cfg.max_range_m + 50.0; d += 1.5) {
+      const double p = channel.delivery_probability(d);
+      EXPECT_LE(p, previous + 1e-12) << "distance " << d;
+      EXPECT_GE(p, 0.0) << "distance " << d;
+      EXPECT_LE(p, 1.0) << "distance " << d;
+      previous = p;
+    }
+  }
 }
 
 TEST(Channel, UsesTruePositionNotClaimedPosition) {

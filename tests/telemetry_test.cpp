@@ -67,6 +67,35 @@ TEST(Gauge, SetAddAndNegativeValues) {
   EXPECT_EQ(gauge.value(), 0.0);
 }
 
+TEST(Gauge, SetMaxKeepsTheHighWaterMark) {
+  Gauge gauge;
+  gauge.set_max(3.0);
+  EXPECT_EQ(gauge.value(), 3.0);
+  gauge.set_max(1.5);  // lower: no effect
+  EXPECT_EQ(gauge.value(), 3.0);
+  gauge.set_max(7.25);
+  EXPECT_EQ(gauge.value(), 7.25);
+  gauge.set(-2.0);  // plain set still overwrites
+  gauge.set_max(-5.0);
+  EXPECT_EQ(gauge.value(), -2.0);
+}
+
+TEST(Gauge, ConcurrentSetMaxConvergesToTheGlobalMax) {
+  Gauge gauge;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        gauge.set_max(static_cast<double>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(gauge.value(), static_cast<double>(kThreads * kPerThread - 1));
+}
+
 TEST(Histogram, ConcurrentObservationsKeepExactTotals) {
   Histogram hist;
   constexpr int kThreads = 8;

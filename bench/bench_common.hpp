@@ -19,7 +19,9 @@
 #include "experiments/table_printer.hpp"
 #include "experiments/workspace.hpp"
 #include "metrics/roc.hpp"
+#include "telemetry/chrome_trace.hpp"
 #include "telemetry/exporter.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
@@ -57,6 +59,43 @@ double best_of_ms(int reps, F&& body) {
     best = std::min(best, sw.elapsed_ms());
   }
   return best;
+}
+
+// ------------------------------------------------ tracing / flight box ---
+// Env-driven because google-benchmark owns argv. Call init at the top of
+// main and finish after the runs:
+//   VEHIGAN_TRACE_OUT=<path>     enable per-message causal tracing; write a
+//                                Chrome trace_event JSON timeline at finish
+//   VEHIGAN_TRACE_SAMPLE=<n>     trace 1-in-n senders (default 64)
+//   VEHIGAN_BLACKBOX_OUT=<path>  arm the flight recorder: crash handler +
+//                                dump at finish (and on service drain/stop)
+
+inline void init_observability_from_env() {
+  if (const char* trace_out = std::getenv("VEHIGAN_TRACE_OUT"); trace_out != nullptr) {
+    std::uint32_t sample = 64;
+    if (const char* s = std::getenv("VEHIGAN_TRACE_SAMPLE"); s != nullptr) {
+      sample = static_cast<std::uint32_t>(std::strtoul(s, nullptr, 10));
+    }
+    telemetry::TraceRecorder::global().enable(sample);
+    telemetry::TraceRecorder::global().set_thread_name("bench-main");
+  }
+  if (const char* blackbox = std::getenv("VEHIGAN_BLACKBOX_OUT"); blackbox != nullptr) {
+    telemetry::FlightRecorder::global().set_dump_path(blackbox);
+    telemetry::FlightRecorder::global().install_crash_handler(blackbox);
+  }
+}
+
+inline void finish_observability_from_env() {
+  if (const char* trace_out = std::getenv("VEHIGAN_TRACE_OUT"); trace_out != nullptr) {
+    telemetry::TraceRecorder::global().export_json(trace_out);
+    std::cout << "trace timeline: " << trace_out << " ("
+              << telemetry::TraceRecorder::global().event_count() << " events, "
+              << telemetry::TraceRecorder::global().dropped() << " dropped)\n";
+  }
+  if (std::getenv("VEHIGAN_BLACKBOX_OUT") != nullptr &&
+      telemetry::FlightRecorder::global().dump_if_configured()) {
+    std::cout << "flight recorder dump: " << std::getenv("VEHIGAN_BLACKBOX_OUT") << "\n";
+  }
 }
 
 // ---------------------------------------------------- telemetry sidecar ---

@@ -212,6 +212,7 @@ void bm_serve(benchmark::State& state) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init_observability_from_env();  // VEHIGAN_TRACE_OUT / VEHIGAN_BLACKBOX_OUT
   const std::size_t senders = quick_scale() ? 48 : 64;
   const std::size_t ticks = quick_scale() ? 128 : 640;
   const unsigned hardware = std::thread::hardware_concurrency();
@@ -294,5 +295,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   bench::write_telemetry_sidecar("ext_serve_throughput");
+  bench::finish_observability_from_env();
   return 0;
 }

@@ -16,6 +16,15 @@
 // Usage: city_scale_rsu [attack-name]
 //          [--shards N] [--capacity N] [--policy block|drop-newest|drop-oldest]
 //          [--producers N] [--evict-after seconds] [--metrics-out <path>]
+//          [--trace-out <path>] [--trace-sample N] [--blackbox-out <path>]
+//
+// --trace-out records per-message causal traces (sampled 1-in-N senders via
+// --trace-sample, default 64) and writes a Chrome trace_event JSON timeline
+// at exit: every producer's submit, each shard's drains, and the sampled
+// messages' score/report spans share trace ids across threads. Load it in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. --blackbox-out arms the
+// flight recorder: recent structured events are dumped there on drain/stop
+// and from a SIGSEGV/SIGABRT handler (the service's black box).
 
 #include <atomic>
 #include <iostream>
@@ -31,7 +40,9 @@
 #include "net/channel.hpp"
 #include "serve/config.hpp"
 #include "serve/service.hpp"
+#include "telemetry/chrome_trace.hpp"
 #include "telemetry/exporter.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/stopwatch.hpp"
 #include "vasp/dataset_builder.hpp"
@@ -54,13 +65,17 @@ struct Options {
   std::size_t producers = 4;
   double evict_after_s = 30.0;
   std::string metrics_out;
+  std::string trace_out;
+  std::string blackbox_out;
+  std::uint32_t trace_sample = 64;
 };
 
 int usage() {
   std::cout << "usage: city_scale_rsu [attack-name] [--shards N] [--capacity N]\n"
                "                      [--policy block|drop-newest|drop-oldest]\n"
                "                      [--producers N] [--evict-after seconds]\n"
-               "                      [--metrics-out <path>]\n";
+               "                      [--metrics-out <path>] [--trace-out <path>]\n"
+               "                      [--trace-sample N] [--blackbox-out <path>]\n";
   return 0;
 }
 
@@ -89,11 +104,23 @@ int main(int argc, char** argv) {
       opt.evict_after_s = std::stod(next());
     } else if (arg == "--metrics-out") {
       opt.metrics_out = next();
+    } else if (arg == "--trace-out") {
+      opt.trace_out = next();
+    } else if (arg == "--trace-sample") {
+      opt.trace_sample = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--blackbox-out") {
+      opt.blackbox_out = next();
     } else {
       opt.attack = arg;
     }
   }
   const vasp::AttackSpec& spec = vasp::attack_by_name(opt.attack);
+  if (!opt.trace_out.empty()) telemetry::TraceRecorder::global().enable(opt.trace_sample);
+  if (!opt.blackbox_out.empty()) {
+    auto& blackbox = telemetry::FlightRecorder::global();
+    blackbox.set_dump_path(opt.blackbox_out);  // service dumps on drain/stop
+    blackbox.install_crash_handler(opt.blackbox_out);
+  }
 
   // Training phase (cached): data, WGAN grid, ADS ranking, thresholds.
   experiments::Workspace workspace(experiments::ExperimentConfig::quick());
@@ -175,6 +202,9 @@ int main(int argc, char** argv) {
   std::vector<std::thread> producers;
   for (std::size_t p = 0; p < opt.producers; ++p) {
     producers.emplace_back([&, p] {
+      if (!opt.trace_out.empty()) {
+        telemetry::TraceRecorder::global().set_thread_name("producer-" + std::to_string(p));
+      }
       for (std::size_t s = p; s < received_by_sender.size(); s += opt.producers) {
         for (const sim::Bsm& message : received_by_sender[s]) (void)service.submit(message);
       }
@@ -217,6 +247,15 @@ int main(int argc, char** argv) {
   if (!opt.metrics_out.empty()) {
     dump_metrics(opt.metrics_out);
     std::cout << "telemetry snapshot: " << opt.metrics_out << " (+ .json)\n";
+  }
+  if (!opt.trace_out.empty()) {
+    telemetry::TraceRecorder::global().export_json(opt.trace_out);
+    std::cout << "trace timeline: " << opt.trace_out << " ("
+              << telemetry::TraceRecorder::global().event_count()
+              << " events; load in Perfetto / chrome://tracing)\n";
+  }
+  if (!opt.blackbox_out.empty()) {
+    std::cout << "flight recorder dump: " << opt.blackbox_out << "\n";
   }
   return 0;
 }

@@ -8,6 +8,8 @@
 // reported to the Misbehavior Authority, which revokes repeat offenders.
 //
 // Usage: rsu_monitor [attack-name] [--metrics-out <path>] [--evict-after <s>]
+//                    [--trace-out <path>] [--trace-sample <n>]
+//                    [--blackbox-out <path>]
 //   attack-name     misbehavior to inject (default: RandomHeadingYawRate)
 //   --metrics-out   write the RSU's telemetry snapshot to <path> (Prometheus
 //                   text exposition) and <path>.json, refreshed every ~4
@@ -18,6 +20,14 @@
 //                   RSU runs forever under pseudonym churn, so the replay
 //                   loop demonstrates the periodic evict_stale sweep the
 //                   OnlineMbds memory contract requires.
+//   --trace-out     record per-message causal traces and write a Chrome
+//                   trace_event JSON timeline to <path> at exit — load it in
+//                   Perfetto (ui.perfetto.dev) or chrome://tracing.
+//   --trace-sample  trace 1-in-N senders (default 1 = everyone; production
+//                   services default to 64).
+//   --blackbox-out  keep a flight-recorder ring of recent pipeline events
+//                   and dump it to <path> at exit — and from a
+//                   SIGSEGV/SIGABRT handler, so a crash leaves a post-mortem.
 
 #include <iostream>
 #include <map>
@@ -25,7 +35,9 @@
 
 #include "experiments/workspace.hpp"
 #include "mbds/online.hpp"
+#include "telemetry/chrome_trace.hpp"
 #include "telemetry/exporter.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "vasp/dataset_builder.hpp"
 
@@ -46,6 +58,9 @@ void dump_metrics(const std::string& path) {
 int main(int argc, char** argv) {
   std::string attack_name = "RandomHeadingYawRate";
   std::string metrics_out;
+  std::string trace_out;
+  std::string blackbox_out;
+  unsigned long trace_sample = 1;
   double evict_after_s = 30.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -53,15 +68,31 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (arg == "--evict-after" && i + 1 < argc) {
       evict_after_s = std::stod(argv[++i]);
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (arg == "--trace-sample" && i + 1 < argc) {
+      trace_sample = std::stoul(argv[++i]);
+    } else if (arg == "--blackbox-out" && i + 1 < argc) {
+      blackbox_out = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: rsu_monitor [attack-name] [--metrics-out <path>]"
-                   " [--evict-after <s>]\n";
+                   " [--evict-after <s>] [--trace-out <path>] [--trace-sample <n>]"
+                   " [--blackbox-out <path>]\n";
       return 0;
     } else {
       attack_name = arg;
     }
   }
   const vasp::AttackSpec& spec = vasp::attack_by_name(attack_name);
+  if (!trace_out.empty()) {
+    telemetry::TraceRecorder::global().enable(static_cast<std::uint32_t>(trace_sample));
+    telemetry::TraceRecorder::global().set_thread_name("rsu-replay");
+  }
+  if (!blackbox_out.empty()) {
+    auto& blackbox = telemetry::FlightRecorder::global();
+    blackbox.set_dump_path(blackbox_out);
+    blackbox.install_crash_handler(blackbox_out);
+  }
 
   // Training phase (cached): data, 60-model grid, ADS ranking, thresholds.
   experiments::Workspace workspace(experiments::ExperimentConfig::quick());
@@ -137,6 +168,15 @@ int main(int argc, char** argv) {
   if (!metrics_out.empty()) {
     dump_metrics(metrics_out);
     std::cout << "telemetry snapshot: " << metrics_out << " (+ .json)\n";
+  }
+  if (!trace_out.empty()) {
+    telemetry::TraceRecorder::global().export_json(trace_out);
+    std::cout << "trace timeline: " << trace_out << " ("
+              << telemetry::TraceRecorder::global().event_count()
+              << " events; load in Perfetto / chrome://tracing)\n";
+  }
+  if (!blackbox_out.empty() && telemetry::FlightRecorder::global().dump_if_configured()) {
+    std::cout << "flight recorder dump: " << blackbox_out << "\n";
   }
   return 0;
 }

@@ -1,9 +1,14 @@
 #include "mbds/online.hpp"
 
+#include <bit>
+
 #include "features/feature_engineering.hpp"
 #include "features/series.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace vehigan::mbds {
 
@@ -22,7 +27,12 @@ struct OnlineTelemetry {
   telemetry::Counter& windows_scored_total;
   telemetry::Counter& reports_total;
   telemetry::Counter& evictions_total;
+  telemetry::Counter& score_drift_alarms_total;
   telemetry::Gauge& tracked_vehicles;
+  telemetry::Gauge& score_p50;
+  telemetry::Gauge& score_p95;
+  telemetry::Gauge& score_p99;
+  telemetry::Gauge& flag_rate;
 
   static OnlineTelemetry& get() {
     auto& reg = telemetry::MetricsRegistry::global();
@@ -36,11 +46,26 @@ struct OnlineTelemetry {
         reg.counter("vehigan_mbds_windows_scored_total"),
         reg.counter("vehigan_mbds_reports_total"),
         reg.counter("vehigan_mbds_evictions_total"),
+        reg.counter("vehigan_mbds_score_drift_alarms_total"),
         reg.gauge("vehigan_mbds_tracked_vehicles"),
+        reg.gauge("vehigan_mbds_score_p50"),
+        reg.gauge("vehigan_mbds_score_p95"),
+        reg.gauge("vehigan_mbds_score_p99"),
+        reg.gauge("vehigan_mbds_flag_rate"),
     };
     return tel;
   }
 };
+
+/// Refreshes the score-distribution gauges from the drift monitor. Called
+/// once per ingest()/ingest_batch(), not per window.
+void publish_drift(OnlineTelemetry& tel, const telemetry::ScoreDriftMonitor& monitor) {
+  const auto stats = monitor.stats();
+  tel.score_p50.set(stats.p50);
+  tel.score_p95.set(stats.p95);
+  tel.score_p99.set(stats.p99);
+  tel.flag_rate.set(stats.flag_rate_ewma);
+}
 
 }  // namespace
 
@@ -94,8 +119,30 @@ std::optional<MisbehaviorReport> OnlineMbds::finalize(const sim::Bsm& message,
   report.score = result.score;
   report.threshold = result.threshold;
   report.evidence = std::move(evidence);
+  report.trace_id = telemetry::trace_id_of(message.vehicle_id, message.time);
+  telemetry::FlightRecorder::record(
+      telemetry::FlightEventKind::kReport, message.vehicle_id, report.trace_id,
+      std::bit_cast<std::uint64_t>(static_cast<double>(result.score)));
+  auto& recorder = telemetry::TraceRecorder::global();
+  if (recorder.sampled(message.vehicle_id)) {
+    recorder.record_complete("report", recorder.now_ns(), 0, report.trace_id, "station",
+                             message.vehicle_id);
+  }
   if (sink_) sink_(report);
   return report;
+}
+
+void OnlineMbds::observe_result(const sim::Bsm& message, const DetectionResult& result) {
+  if (!telemetry::enabled()) return;
+  const std::uint64_t trace = telemetry::trace_id_of(message.vehicle_id, message.time);
+  telemetry::FlightRecorder::record(
+      telemetry::FlightEventKind::kScore, message.vehicle_id, trace,
+      std::bit_cast<std::uint64_t>(static_cast<double>(result.score)));
+  telemetry::FlightRecorder::record(telemetry::FlightEventKind::kDecide, message.vehicle_id,
+                                    trace, result.flagged ? 1 : 0);
+  if (drift_.observe(result.score, result.flagged)) {
+    OnlineTelemetry::get().score_drift_alarms_total.add(1);
+  }
 }
 
 std::optional<MisbehaviorReport> OnlineMbds::ingest(const sim::Bsm& message) {
@@ -111,14 +158,24 @@ std::optional<MisbehaviorReport> OnlineMbds::ingest(const sim::Bsm& message) {
   build_span.stop();
 
   telemetry::ScopedSpan score_span(tel.score_seconds, "score");
+  auto& recorder = telemetry::TraceRecorder::global();
+  const bool traced = recorder.sampled(message.vehicle_id);
+  const std::uint64_t score_t0 = traced ? recorder.now_ns() : 0;
   const DetectionResult result = detector_->evaluate(series.values);
+  if (traced) {
+    recorder.record_complete("score", score_t0, recorder.now_ns() - score_t0,
+                             telemetry::trace_id_of(message.vehicle_id, message.time),
+                             "station", message.vehicle_id);
+  }
   score_span.stop();
   tel.windows_scored_total.add(1);
+  observe_result(message, result);
 
   telemetry::ScopedSpan decide_span(tel.decide_seconds, "decide");
   auto report = finalize(message, *buffer, result,
                          {buffer->recent.begin(), buffer->recent.end()});
   if (report) tel.reports_total.add(1);
+  publish_drift(tel, drift_);
   return report;
 }
 
@@ -157,7 +214,22 @@ std::vector<MisbehaviorReport> OnlineMbds::ingest_batch(std::span<const sim::Bsm
   // draws subsets in window (== message) order, so scores and reports are
   // identical to the per-message ingest() loop.
   telemetry::ScopedSpan score_span(tel.score_seconds, "score");
+  auto& recorder = telemetry::TraceRecorder::global();
+  const bool tracing = recorder.enabled();
+  const std::uint64_t score_t0 = tracing ? recorder.now_ns() : 0;
   const std::vector<DetectionResult> results = detector_->evaluate_all(ready);
+  if (tracing) {
+    // One batched GEMM scored every window, so sampled windows share the
+    // batch's (start, duration) but keep their own trace ids: the timeline
+    // shows which messages rode which dispatch.
+    const std::uint64_t score_dur = recorder.now_ns() - score_t0;
+    for (const Pending& p : pending) {
+      const std::uint32_t id = p.message->vehicle_id;
+      if (!recorder.sampled(id)) continue;
+      recorder.record_complete("score", score_t0, score_dur,
+                               telemetry::trace_id_of(id, p.message->time), "station", id);
+    }
+  }
   score_span.stop();
   tel.windows_scored_total.add(pending.size());
 
@@ -165,12 +237,14 @@ std::vector<MisbehaviorReport> OnlineMbds::ingest_batch(std::span<const sim::Bsm
   telemetry::ScopedSpan decide_span(tel.decide_seconds, "decide");
   std::vector<MisbehaviorReport> reports;
   for (std::size_t i = 0; i < pending.size(); ++i) {
+    observe_result(*pending[i].message, results[i]);
     VehicleBuffer& buffer = buffers_[pending[i].message->vehicle_id];
     auto report =
         finalize(*pending[i].message, buffer, results[i], std::move(pending[i].evidence));
     if (report) reports.push_back(std::move(*report));
   }
   tel.reports_total.add(reports.size());
+  publish_drift(tel, drift_);
   return reports;
 }
 
@@ -188,7 +262,13 @@ std::size_t OnlineMbds::evict_stale(double before_time) {
   OnlineTelemetry& tel = OnlineTelemetry::get();
   tel.evictions_total.add(dropped);
   tel.tracked_vehicles.set(static_cast<double>(buffers_.size()));
+  telemetry::FlightRecorder::record(telemetry::FlightEventKind::kEvict, station_id_, 0,
+                                    dropped);
   return dropped;
+}
+
+void OnlineMbds::set_drift_config(telemetry::DriftConfig config) {
+  drift_ = telemetry::ScoreDriftMonitor(config);
 }
 
 OnlineMbds::Stats OnlineMbds::stats() const {

@@ -11,6 +11,7 @@
 #include "features/scaler.hpp"
 #include "mbds/ensemble.hpp"
 #include "mbds/report.hpp"
+#include "telemetry/drift.hpp"
 
 namespace vehigan::mbds {
 
@@ -74,6 +75,16 @@ class OnlineMbds {
   /// hot path.
   [[nodiscard]] Stats stats() const;
 
+  /// Replaces (and resets) the score-drift monitor's tuning. Call before
+  /// the first ingest; changing it mid-stream discards the learned
+  /// baseline. Tests use this to shrink the warmup.
+  void set_drift_config(telemetry::DriftConfig config);
+
+  /// Streaming p50/p95/p99, EWMA drift state, and alarm counts over every
+  /// window this instance has scored (see DESIGN.md Sec. 7). Instances are
+  /// single-threaded (one per shard), so the monitor needs no locking.
+  [[nodiscard]] const telemetry::ScoreDriftMonitor& drift_monitor() const { return drift_; }
+
   [[nodiscard]] std::size_t tracked_vehicles() const { return buffers_.size(); }
   [[nodiscard]] std::size_t window() const { return window_; }
 
@@ -97,6 +108,11 @@ class OnlineMbds {
                                             const DetectionResult& result,
                                             std::vector<sim::Bsm> evidence);
 
+  /// Feeds one scored window into the drift monitor and the flight
+  /// recorder (score + decide events). Called once per window, in message
+  /// order, by both ingest paths.
+  void observe_result(const sim::Bsm& message, const DetectionResult& result);
+
   std::uint32_t station_id_;
   std::shared_ptr<VehiGan> detector_;
   features::MinMaxScaler scaler_;
@@ -106,6 +122,7 @@ class OnlineMbds {
   ReportSink sink_;
   std::unordered_map<std::uint32_t, VehicleBuffer> buffers_;
   std::uint64_t evictions_total_ = 0;
+  telemetry::ScoreDriftMonitor drift_;
 };
 
 }  // namespace vehigan::mbds

@@ -19,6 +19,11 @@ struct MisbehaviorReport {
   float score = 0.0F;              ///< ensembled anomaly score
   double threshold = 0.0;          ///< ensemble threshold at decision time
   std::vector<sim::Bsm> evidence;  ///< the w most recent BSMs of the suspect
+  /// Causal trace id of the BSM that triggered the report
+  /// (telemetry::trace_id_of(suspect_id, time)), so the MA can join a
+  /// verdict back to the serving-side trace timeline. 0 = not recorded
+  /// (e.g. decoded from a pre-trace record).
+  std::uint64_t trace_id = 0;
 };
 
 /// Misbehavior Authority (MA) model: the SCMS component that collects MBRs,

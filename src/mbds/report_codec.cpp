@@ -14,6 +14,18 @@ std::string encode_report(const MisbehaviorReport& report) {
   object["time"] = Json(report.time);
   object["score"] = Json(static_cast<double>(report.score));
   object["threshold"] = Json(report.threshold);
+  if (report.trace_id != 0) {
+    // Hex string, not a JSON number: a u64 does not survive the double
+    // round-trip, and a missing key keeps old decoders working unchanged.
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string hex(16, '0');
+    std::uint64_t v = report.trace_id;
+    for (int i = 15; i >= 0; --i) {
+      hex[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+      v >>= 4;
+    }
+    object["trace"] = Json(std::move(hex));
+  }
   Json::Array evidence;
   for (const auto& m : report.evidence) {
     Json::Object bsm;
@@ -42,6 +54,10 @@ MisbehaviorReport decode_report(const std::string& text) {
   report.time = doc.at("time").as_number();
   report.score = static_cast<float>(doc.at("score").as_number());
   report.threshold = doc.at("threshold").as_number();
+  if (doc.contains("trace")) {
+    // Pre-trace (original v1) records simply lack the key -> trace_id stays 0.
+    report.trace_id = std::stoull(doc.at("trace").as_string(), nullptr, 16);
+  }
   for (const auto& entry : doc.at("evidence").as_array()) {
     sim::Bsm m;
     m.vehicle_id = static_cast<std::uint32_t>(entry.at("id").as_number());

@@ -1,5 +1,6 @@
 #include "mbds/wgan_detector.hpp"
 
+#include "telemetry/chrome_trace.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/math.hpp"
@@ -62,8 +63,17 @@ std::vector<float> WganDetector::score_all(const features::WindowSet& windows) {
   DetectorTelemetry& tel = DetectorTelemetry::get();
   telemetry::ScopedSpan span(tel.score_seconds, "detector_score");
   tel.windows_total.add(windows.count());
+  auto& recorder = telemetry::TraceRecorder::global();
+  const bool tracing = recorder.enabled();
+  const std::uint64_t t0 = tracing ? recorder.now_ns() : 0;
   std::vector<float> scores = raw_score_batch(windows.data, windows.count());
   for (float& s : scores) s = calibrated(s);
+  if (tracing) {
+    // Batch-level (one ensemble member's GEMM pass); per-message trace ids
+    // attach one level up, where OnlineMbds knows the sender of each window.
+    recorder.record_complete("wgan_score_all", t0, recorder.now_ns() - t0, 0, "windows",
+                             windows.count());
+  }
   return scores;
 }
 

@@ -2,7 +2,10 @@
 
 #include <stdexcept>
 
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace_context.hpp"
 #include "util/hash.hpp"
 
 namespace vehigan::serve {
@@ -59,6 +62,19 @@ std::size_t DetectionService::shard_of(std::uint32_t station_id) const {
 }
 
 bool DetectionService::submit(const sim::Bsm& message) {
+  auto& recorder = telemetry::TraceRecorder::global();
+  if (recorder.sampled(message.vehicle_id)) {
+    // Stamped on the producer thread: the trace id born here is recomputed
+    // bit-identically by the shard, OnlineMbds, and the emitted report, so
+    // the exported timeline joins submit -> drain -> score -> report
+    // without widening the queue's element type.
+    const std::uint64_t t0 = recorder.now_ns();
+    const bool admitted = shards_[shard_of(message.vehicle_id)]->submit(message);
+    recorder.record_complete("submit", t0, recorder.now_ns() - t0,
+                             telemetry::trace_id_of(message.vehicle_id, message.time),
+                             "station", message.vehicle_id);
+    return admitted;
+  }
   return shards_[shard_of(message.vehicle_id)]->submit(message);
 }
 
@@ -84,6 +100,9 @@ void DetectionService::emit(const mbds::MisbehaviorReport& report) {
 
 void DetectionService::drain() {
   for (auto& shard : shards_) shard->wait_idle();
+  // Quiescent point: a black-box snapshot here captures every event of the
+  // batches that just settled (no-op unless a dump path is configured).
+  telemetry::FlightRecorder::global().dump_if_configured();
 }
 
 void DetectionService::stop() {
@@ -92,6 +111,7 @@ void DetectionService::stop() {
   // parallel, then join.
   for (auto& shard : shards_) shard->close();
   for (auto& shard : shards_) shard->join();
+  telemetry::FlightRecorder::global().dump_if_configured();
 }
 
 ShardStats DetectionService::shard_stats(std::size_t shard) const {

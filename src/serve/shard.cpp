@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 #include <vector>
 
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace vehigan::serve {
 
@@ -72,17 +76,29 @@ bool Shard::submit(const sim::Bsm& message) {
   ServeTelemetry& tel = ServeTelemetry::get();
   enqueued_.fetch_add(1, std::memory_order_relaxed);
   tel.enqueued_total.add(1);
+  // Flight events land in the *producer's* ring (this is the producer's
+  // call frame); the trace id is the same one every later stage recomputes.
+  const std::uint64_t trace =
+      telemetry::enabled() ? telemetry::trace_id_of(message.vehicle_id, message.time) : 0;
   switch (queue_.push(message)) {
     case BoundedQueue<sim::Bsm>::Push::kAccepted:
+      telemetry::FlightRecorder::record(telemetry::FlightEventKind::kEnqueue,
+                                        message.vehicle_id, trace, index_);
       return true;
     case BoundedQueue<sim::Bsm>::Push::kReplacedOldest:
       // The *evicted* head is the shed message; the offered one is in.
+      telemetry::FlightRecorder::record(telemetry::FlightEventKind::kEnqueue,
+                                        message.vehicle_id, trace, index_);
+      telemetry::FlightRecorder::record(telemetry::FlightEventKind::kDrop,
+                                        message.vehicle_id, trace, index_);
       dropped_.fetch_add(1, std::memory_order_relaxed);
       tel.dropped_total.add(1);
       notify_settled();
       return true;
     case BoundedQueue<sim::Bsm>::Push::kRejected:
     case BoundedQueue<sim::Bsm>::Push::kClosed:
+      telemetry::FlightRecorder::record(telemetry::FlightEventKind::kDrop,
+                                        message.vehicle_id, trace, index_);
       dropped_.fetch_add(1, std::memory_order_relaxed);
       tel.dropped_total.add(1);
       notify_settled();
@@ -108,6 +124,8 @@ void Shard::join() {
 
 void Shard::run() {
   ServeTelemetry& tel = ServeTelemetry::get();
+  auto& recorder = telemetry::TraceRecorder::global();
+  recorder.set_thread_name("shard-" + std::to_string(index_));
   std::vector<sim::Bsm> batch;
   double latest_time = -std::numeric_limits<double>::infinity();
   double last_sweep_time = -std::numeric_limits<double>::infinity();
@@ -115,6 +133,8 @@ void Shard::run() {
     batch.clear();
     const std::size_t n = queue_.drain_blocking(batch, config_.max_batch);
     if (n == 0) break;  // closed and fully flushed
+    telemetry::FlightRecorder::record(telemetry::FlightEventKind::kDrainStart,
+                                      config_.station_id, 0, n);
 
     batches_.fetch_add(1, std::memory_order_relaxed);
     std::size_t peak = batch_peak_.load(std::memory_order_relaxed);
@@ -127,9 +147,17 @@ void Shard::run() {
 
     {
       telemetry::ScopedSpan drain_span(tel.drain_seconds, "serve_drain");
+      const bool tracing = recorder.enabled();
+      const std::uint64_t drain_t0 = tracing ? recorder.now_ns() : 0;
       const std::vector<mbds::MisbehaviorReport> reports = detector_->ingest_batch(batch);
+      if (tracing) {
+        recorder.record_complete("drain", drain_t0, recorder.now_ns() - drain_t0, 0,
+                                 "batch", n);
+      }
       reports_.fetch_add(reports.size(), std::memory_order_relaxed);
       tel.reports_total.add(reports.size());
+      telemetry::FlightRecorder::record(telemetry::FlightEventKind::kDrainEnd,
+                                        config_.station_id, 0, reports.size());
       if (emit_) {
         for (const mbds::MisbehaviorReport& report : reports) emit_(report);
       }
@@ -156,6 +184,8 @@ void Shard::run() {
     scored_.fetch_add(n, std::memory_order_relaxed);
     notify_settled();
   }
+  telemetry::FlightRecorder::record(telemetry::FlightEventKind::kStop, config_.station_id, 0,
+                                    scored_.load(std::memory_order_relaxed));
 }
 
 ShardStats Shard::stats() const {

@@ -1,0 +1,229 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "telemetry/exporter.hpp"
+
+namespace vehigan::telemetry {
+
+namespace {
+
+struct Event {
+  const char* name;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+  std::uint64_t trace_id;
+  const char* arg_name;
+  std::uint64_t arg_value;
+};
+
+struct ThreadBuffer {
+  std::mutex mutex;  ///< uncontended except against export/clear
+  std::vector<Event> events;
+  std::string name;
+  std::uint64_t tid = 0;
+  std::uint64_t dropped = 0;
+};
+
+std::string hex_u64(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// Microseconds with nanosecond precision, the units Chrome expects for
+/// ts/dur. Printed manually so output is locale-independent and exact.
+std::string micros(std::uint64_t ns) {
+  std::string out = std::to_string(ns / 1000);
+  const std::uint64_t rem = ns % 1000;
+  out += '.';
+  out += static_cast<char>('0' + rem / 100);
+  out += static_cast<char>('0' + (rem / 10) % 10);
+  out += static_cast<char>('0' + rem % 10);
+  return out;
+}
+
+void escape_json_into(std::ostringstream& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF] << "0123456789abcdef"[c & 0xF];
+    } else {
+      out << c;
+    }
+  }
+}
+
+}  // namespace
+
+struct TraceRecorder::Impl {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint32_t> sample_every{64};
+  std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+
+  std::mutex registry_mutex;                ///< guards `buffers` growth
+  std::deque<ThreadBuffer> buffers;         ///< stable addresses, never freed
+
+  ThreadBuffer& buffer_for_this_thread() {
+    thread_local ThreadBuffer* cached = nullptr;
+    // A second TraceRecorder never exists (global() singleton), so the
+    // thread-local cache cannot point into a different Impl.
+    if (cached == nullptr) {
+      std::lock_guard<std::mutex> lock(registry_mutex);
+      buffers.emplace_back();
+      buffers.back().tid = buffers.size() - 1;
+      cached = &buffers.back();
+    }
+    return *cached;
+  }
+};
+
+TraceRecorder::TraceRecorder() : impl_(new Impl) {}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::enable(std::uint32_t sample_every) {
+  impl_->sample_every.store(sample_every == 0 ? 1 : sample_every, std::memory_order_relaxed);
+  impl_->enabled.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::disable() { impl_->enabled.store(false, std::memory_order_release); }
+
+bool TraceRecorder::enabled() const { return impl_->enabled.load(std::memory_order_relaxed); }
+
+std::uint32_t TraceRecorder::sample_every() const {
+  return impl_->sample_every.load(std::memory_order_relaxed);
+}
+
+bool TraceRecorder::sampled(std::uint32_t station_id) const {
+  return enabled() && sender_sampled(station_id, sample_every());
+}
+
+std::uint64_t TraceRecorder::now_ns() const {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - impl_->epoch)
+                                        .count());
+}
+
+void TraceRecorder::set_thread_name(std::string name) {
+  ThreadBuffer& buffer = impl_->buffer_for_this_thread();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.name = std::move(name);
+}
+
+void TraceRecorder::record_complete(const char* name, std::uint64_t start_ns,
+                                    std::uint64_t dur_ns, std::uint64_t trace_id,
+                                    const char* arg_name, std::uint64_t arg_value) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = impl_->buffer_for_this_thread();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back(
+      Event{name != nullptr ? name : "?", start_ns, dur_ns, trace_id, arg_name, arg_value});
+}
+
+std::string TraceRecorder::to_json() const {
+  struct Flat {
+    Event event;
+    std::uint64_t tid;
+  };
+  std::vector<Flat> flat;
+  std::vector<std::pair<std::uint64_t, std::string>> names;
+  {
+    std::lock_guard<std::mutex> registry(impl_->registry_mutex);
+    for (ThreadBuffer& buffer : impl_->buffers) {
+      std::lock_guard<std::mutex> lock(buffer.mutex);
+      if (!buffer.name.empty()) names.emplace_back(buffer.tid, buffer.name);
+      for (const Event& event : buffer.events) flat.push_back(Flat{event, buffer.tid});
+    }
+  }
+  std::stable_sort(flat.begin(), flat.end(), [](const Flat& a, const Flat& b) {
+    return a.event.start_ns < b.event.start_ns;
+  });
+
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const auto& [tid, name] : names) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"ph\": \"M\", \"pid\": 1, \"tid\": " << tid
+        << ", \"name\": \"thread_name\", \"args\": {\"name\": \"";
+    escape_json_into(out, name);
+    out << "\"}}";
+  }
+  for (const Flat& f : flat) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"ph\": \"X\", \"pid\": 1, \"tid\": " << f.tid << ", \"name\": \"";
+    escape_json_into(out, f.event.name);
+    out << "\", \"ts\": " << micros(f.event.start_ns) << ", \"dur\": " << micros(f.event.dur_ns)
+        << ", \"args\": {";
+    bool first_arg = true;
+    if (f.event.trace_id != 0) {
+      out << "\"trace\": \"" << hex_u64(f.event.trace_id) << "\"";
+      first_arg = false;
+    }
+    if (f.event.arg_name != nullptr) {
+      if (!first_arg) out << ", ";
+      out << "\"";
+      escape_json_into(out, f.event.arg_name);
+      out << "\": " << f.event.arg_value;
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+void TraceRecorder::export_json(const std::filesystem::path& path) const {
+  write_file_atomic(path, to_json());
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::size_t total = 0;
+  std::lock_guard<std::mutex> registry(impl_->registry_mutex);
+  for (ThreadBuffer& buffer : impl_->buffers) {
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    total += buffer.events.size();
+  }
+  return total;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> registry(impl_->registry_mutex);
+  for (ThreadBuffer& buffer : impl_->buffers) {
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    total += buffer.dropped;
+  }
+  return total;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> registry(impl_->registry_mutex);
+  for (ThreadBuffer& buffer : impl_->buffers) {
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.events.clear();
+    buffer.dropped = 0;
+  }
+}
+
+}  // namespace vehigan::telemetry

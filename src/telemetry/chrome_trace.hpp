@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "telemetry/trace_context.hpp"
+
+namespace vehigan::telemetry {
+
+/// Process-wide recorder of Chrome `trace_event` complete ("X") events, so a
+/// multi-shard drain renders as a cross-thread timeline in Perfetto /
+/// chrome://tracing. Disabled by default; when disabled the hot-path guard
+/// is a single relaxed atomic load. When enabled, call sites additionally
+/// consult `sampled(station_id)` so only 1-in-`sample_every` senders pay for
+/// event capture.
+///
+/// Storage is one append-only buffer per recording thread (registered on
+/// first use, never freed, capped at kMaxEventsPerThread with overflow
+/// counted in dropped()). Appends take the owning buffer's uncontended
+/// mutex — tens of nanoseconds, amortized by sender sampling — which keeps
+/// a concurrent export_json() exact without seqlock machinery; the flight
+/// recorder is the lock-free layer, this one favors lossless JSON export.
+///
+/// Event names are string literals (stored by pointer); args are one trace
+/// id plus one optional named integer. ts/dur derive from steady_clock
+/// relative to the recorder's construction epoch.
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kMaxEventsPerThread = 1 << 16;
+
+  static TraceRecorder& global();
+
+  /// Starts capture. `sample_every` = N traces 1-in-N senders (see
+  /// sender_sampled); 1 traces everyone. Does not clear prior events, so a
+  /// disable/enable cycle accumulates into the same timeline.
+  void enable(std::uint32_t sample_every = 64);
+  void disable();
+  [[nodiscard]] bool enabled() const;
+  [[nodiscard]] std::uint32_t sample_every() const;
+
+  /// True iff capture is on and this sender is in the sampled bucket.
+  [[nodiscard]] bool sampled(std::uint32_t station_id) const;
+
+  /// Nanoseconds since the recorder epoch (steady clock). Valid event
+  /// timestamps must come from here so ts stays consistent across threads.
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  /// Labels the calling thread in the exported timeline (emitted as a
+  /// Chrome "M"/thread_name metadata event). Safe to call repeatedly; the
+  /// last name wins.
+  void set_thread_name(std::string name);
+
+  /// Records a complete event on the calling thread. `name` must be a
+  /// string literal; `trace_id` 0 omits the trace arg; `arg_name` non-null
+  /// attaches one extra integer arg (also literal-lifetime).
+  void record_complete(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
+                       std::uint64_t trace_id, const char* arg_name = nullptr,
+                       std::uint64_t arg_value = 0);
+
+  /// Serializes everything recorded so far as a Chrome trace JSON document
+  /// ({"traceEvents": [...]}) with X events sorted by ts across threads.
+  [[nodiscard]] std::string to_json() const;
+
+  /// to_json() written via tmp+rename (crash-safe, like metric sidecars).
+  void export_json(const std::filesystem::path& path) const;
+
+  /// Total X events currently held across all thread buffers.
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Events discarded because a thread buffer hit kMaxEventsPerThread.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Empties every thread buffer and the drop counter (thread
+  /// registrations and names persist). Test isolation only.
+  void clear();
+
+ private:
+  TraceRecorder();
+  struct Impl;
+  Impl* impl_;  ///< never freed: threads may record during static destruction
+};
+
+}  // namespace vehigan::telemetry

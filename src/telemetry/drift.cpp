@@ -1,0 +1,173 @@
+#include "telemetry/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vehigan::telemetry {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (!(q > 0.0 && q < 1.0)) {
+    throw std::invalid_argument("P2Quantile: q must lie strictly inside (0, 1)");
+  }
+}
+
+void P2Quantile::observe(double x) {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      positions_ = {1, 2, 3, 4, 5};
+      desired_ = {1, 1 + 2 * q_, 1 + 4 * q_, 3 + 2 * q_, 5};
+      rates_ = {0, q_ / 2, q_, (1 + q_) / 2, 1};
+    }
+    return;
+  }
+
+  // Locate the cell k with heights_[k] <= x < heights_[k + 1], widening the
+  // extreme markers when x falls outside the current range.
+  std::size_t k = 0;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += rates_[i];
+  ++count_;
+
+  // Nudge the three interior markers toward their desired positions, with
+  // piecewise-parabolic (P^2) height prediction and a linear fallback when
+  // the parabola would leave the bracketing heights.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double gap = desired_[i] - positions_[i];
+    const bool move_right = gap >= 1 && positions_[i + 1] - positions_[i] > 1;
+    const bool move_left = gap <= -1 && positions_[i - 1] - positions_[i] < -1;
+    if (!move_right && !move_left) continue;
+    const double d = move_right ? 1.0 : -1.0;
+
+    const double parabolic =
+        heights_[i] +
+        d / (positions_[i + 1] - positions_[i - 1]) *
+            ((positions_[i] - positions_[i - 1] + d) * (heights_[i + 1] - heights_[i]) /
+                 (positions_[i + 1] - positions_[i]) +
+             (positions_[i + 1] - positions_[i] - d) * (heights_[i] - heights_[i - 1]) /
+                 (positions_[i] - positions_[i - 1]));
+    if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+      heights_[i] = parabolic;
+    } else {
+      const std::size_t j = d > 0 ? i + 1 : i - 1;
+      heights_[i] += d * (heights_[j] - heights_[i]) / (positions_[j] - positions_[i]);
+    }
+    positions_[i] += d;
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(count_));
+    const double rank = q_ * static_cast<double>(count_);
+    std::size_t index = rank <= 1.0 ? 0 : static_cast<std::size_t>(std::ceil(rank)) - 1;
+    index = std::min(index, static_cast<std::size_t>(count_ - 1));
+    return sorted[index];
+  }
+  return heights_[2];
+}
+
+void P2Quantile::reset() {
+  heights_ = {};
+  positions_ = {};
+  desired_ = {};
+  rates_ = {};
+  count_ = 0;
+}
+
+EwmaDriftDetector::EwmaDriftDetector(DriftConfig config) : config_(config) {
+  config_.warmup = std::max<std::size_t>(config_.warmup, 2);
+  if (!(config_.alpha > 0.0 && config_.alpha <= 1.0)) {
+    throw std::invalid_argument("EwmaDriftDetector: alpha must lie in (0, 1]");
+  }
+}
+
+double EwmaDriftDetector::baseline_sigma() const { return baseline_sigma_; }
+
+bool EwmaDriftDetector::observe(double x) {
+  ++count_;
+  if (count_ <= config_.warmup) {
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    ewma_ = mean_;
+    if (count_ == config_.warmup) {
+      baseline_mean_ = mean_;
+      baseline_sigma_ = std::sqrt(m2_ / static_cast<double>(count_ - 1));
+      baseline_sigma_ = std::max(baseline_sigma_, config_.min_sigma);
+    }
+    return false;
+  }
+
+  ewma_ = (1.0 - config_.alpha) * ewma_ + config_.alpha * x;
+  const double sigma_ewma =
+      baseline_sigma_ * std::sqrt(config_.alpha / (2.0 - config_.alpha));
+  if (std::abs(ewma_ - baseline_mean_) <= config_.z_threshold * sigma_ewma) return false;
+  if (last_alarm_at_ != 0 && count_ - last_alarm_at_ < config_.min_gap) return false;
+  ++alarms_;
+  last_alarm_at_ = count_;
+  return true;
+}
+
+void EwmaDriftDetector::reset() {
+  count_ = 0;
+  alarms_ = 0;
+  last_alarm_at_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+  baseline_mean_ = 0.0;
+  baseline_sigma_ = 0.0;
+  ewma_ = 0.0;
+}
+
+ScoreDriftMonitor::ScoreDriftMonitor(DriftConfig config) : score_(config), flag_rate_(config) {}
+
+bool ScoreDriftMonitor::observe(double score, bool flagged) {
+  ++observations_;
+  p50_.observe(score);
+  p95_.observe(score);
+  p99_.observe(score);
+  const bool score_alarm = score_.observe(score);
+  const bool flag_alarm = flag_rate_.observe(flagged ? 1.0 : 0.0);
+  return score_alarm || flag_alarm;
+}
+
+ScoreDriftMonitor::Stats ScoreDriftMonitor::stats() const {
+  Stats stats;
+  stats.p50 = p50_.value();
+  stats.p95 = p95_.value();
+  stats.p99 = p99_.value();
+  stats.score_ewma = score_.ewma();
+  stats.flag_rate_ewma = flag_rate_.ewma();
+  stats.observations = observations_;
+  stats.score_alarms = score_.alarms();
+  stats.flag_rate_alarms = flag_rate_.alarms();
+  stats.warmed = score_.warmed();
+  return stats;
+}
+
+void ScoreDriftMonitor::reset() {
+  p50_.reset();
+  p95_.reset();
+  p99_.reset();
+  score_.reset();
+  flag_rate_.reset();
+  observations_ = 0;
+}
+
+}  // namespace vehigan::telemetry

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace vehigan::telemetry {
+
+/// P² streaming quantile estimator (Jain & Chlamtac, CACM 1985): tracks one
+/// quantile of an unbounded stream in O(1) memory by maintaining five
+/// markers whose heights are nudged toward their ideal positions with
+/// piecewise-parabolic interpolation. Exact for the first five
+/// observations; a few percent relative error afterwards — plenty for the
+/// p50/p95/p99 score gauges, which exist to make distribution shift
+/// visible, not to certify calibration.
+class P2Quantile {
+ public:
+  /// `q` in (0, 1), e.g. 0.95 for the 95th percentile.
+  explicit P2Quantile(double q);
+
+  void observe(double x);
+
+  /// Current estimate. With fewer than five observations, returns the exact
+  /// sample quantile (0 before any data).
+  [[nodiscard]] double value() const;
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  void reset();
+
+ private:
+  double q_;
+  std::array<double, 5> heights_{};    ///< marker values
+  std::array<double, 5> positions_{};  ///< actual marker positions n_i
+  std::array<double, 5> desired_{};    ///< desired positions n'_i
+  std::array<double, 5> rates_{};      ///< dn'_i per observation
+  std::uint64_t count_ = 0;
+};
+
+/// Tuning for EwmaDriftDetector. Defaults suit per-window ensemble scores
+/// at BSM rates (10 Hz per sender): the baseline freezes after ~26 s of
+/// single-sender traffic and a sustained >= 5 sigma-of-EWMA mean shift
+/// alarms within a few smoothing time constants.
+struct DriftConfig {
+  std::size_t warmup = 256;    ///< observations used to freeze the baseline
+  double alpha = 0.05;         ///< EWMA smoothing factor for the live mean
+  double z_threshold = 5.0;    ///< alarm when |ewma - mu0| > z * sigma_ewma
+  std::size_t min_gap = 256;   ///< observations of cooldown between alarms
+  double min_sigma = 1e-6;     ///< floor on the baseline sigma (degenerate streams)
+};
+
+/// EWMA control chart for mean shift: learns the baseline mean/variance
+/// from the first `warmup` observations (Welford), freezes it, then tracks
+/// an exponentially weighted moving average of the stream and alarms when
+/// it leaves the +-z_threshold * sigma_ewma band, where sigma_ewma =
+/// sigma0 * sqrt(alpha / (2 - alpha)) is the stationary EWMA deviation.
+/// A frozen baseline is the point: under an adaptive attacker the recent
+/// window is exactly what cannot be trusted to define "normal".
+class EwmaDriftDetector {
+ public:
+  explicit EwmaDriftDetector(DriftConfig config = {});
+
+  /// Feeds one observation; returns true iff it raised a drift alarm.
+  bool observe(double x);
+
+  [[nodiscard]] bool warmed() const { return count_ >= config_.warmup; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t alarms() const { return alarms_; }
+  [[nodiscard]] double baseline_mean() const { return baseline_mean_; }
+  [[nodiscard]] double baseline_sigma() const;
+  [[nodiscard]] double ewma() const { return ewma_; }
+  [[nodiscard]] const DriftConfig& config() const { return config_; }
+  void reset();
+
+ private:
+  DriftConfig config_;
+  std::uint64_t count_ = 0;
+  std::uint64_t alarms_ = 0;
+  std::uint64_t last_alarm_at_ = 0;
+  double mean_ = 0.0;  ///< Welford running mean during warmup
+  double m2_ = 0.0;    ///< Welford sum of squared deviations during warmup
+  double baseline_mean_ = 0.0;
+  double baseline_sigma_ = 0.0;
+  double ewma_ = 0.0;
+};
+
+/// Per-detector-stream model observability: streaming p50/p95/p99 of the
+/// ensemble score, an EWMA drift detector on the score mean, and a second
+/// one on the flagged-rate (the label-free AFP-rate proxy: an adversarial
+/// false positive campaign moves the flag rate before anyone inspects
+/// reports). Single-writer by design — OnlineMbds instances are confined
+/// to one shard thread — so there is no internal locking; publication to
+/// gauges/counters happens at the call site.
+class ScoreDriftMonitor {
+ public:
+  struct Stats {
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double score_ewma = 0.0;
+    double flag_rate_ewma = 0.0;
+    std::uint64_t observations = 0;
+    std::uint64_t score_alarms = 0;
+    std::uint64_t flag_rate_alarms = 0;
+    bool warmed = false;
+  };
+
+  explicit ScoreDriftMonitor(DriftConfig config = {});
+
+  /// Feeds one scored window. Returns true iff either the score-mean or the
+  /// flag-rate detector alarmed on this observation.
+  bool observe(double score, bool flagged);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const EwmaDriftDetector& score_detector() const { return score_; }
+  [[nodiscard]] const EwmaDriftDetector& flag_rate_detector() const { return flag_rate_; }
+  void reset();
+
+ private:
+  P2Quantile p50_{0.50};
+  P2Quantile p95_{0.95};
+  P2Quantile p99_{0.99};
+  EwmaDriftDetector score_;
+  EwmaDriftDetector flag_rate_;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace vehigan::telemetry

@@ -1,0 +1,325 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "telemetry/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace vehigan::telemetry {
+
+namespace {
+
+/// One seqlock-protected ring slot. All members are atomics, so concurrent
+/// dump/snapshot readers race benignly (TSan-clean); the seq protocol (odd
+/// while the owning thread writes, 2*index+2 once stable) lets readers
+/// reject torn or recycled slots.
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> mono_ns{0};
+  std::atomic<std::uint64_t> trace_id{0};
+  std::atomic<std::uint64_t> kind_station{0};  ///< kind << 32 | station_id
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct ThreadRing {
+  std::atomic<std::uint64_t> head{0};  ///< next event index for this thread
+  Slot slots[FlightRecorder::kRingCapacity];
+};
+
+// --- async-signal-safe formatting helpers (no allocation, no locale) ---
+
+std::size_t append_str(char* buf, std::size_t pos, std::size_t cap, const char* s) {
+  while (*s != '\0' && pos + 1 < cap) buf[pos++] = *s++;
+  return pos;
+}
+
+std::size_t append_u64(char* buf, std::size_t pos, std::size_t cap, std::uint64_t v) {
+  char digits[20];
+  std::size_t n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0 && pos + 1 < cap) buf[pos++] = digits[--n];
+  return pos;
+}
+
+std::size_t append_hex(char* buf, std::size_t pos, std::size_t cap, std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0 && pos + 1 < cap; shift -= 4) {
+    buf[pos++] = kDigits[(v >> shift) & 0xF];
+  }
+  return pos;
+}
+
+/// Reads one slot consistently. Returns false for torn/recycled slots.
+bool read_slot(const Slot& slot, std::uint64_t index, FlightEvent& out) {
+  const std::uint64_t seq1 = slot.seq.load(std::memory_order_acquire);
+  if (seq1 != 2 * index + 2) return false;
+  out.seq = index;
+  out.mono_ns = slot.mono_ns.load(std::memory_order_relaxed);
+  out.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+  const std::uint64_t ks = slot.kind_station.load(std::memory_order_relaxed);
+  out.kind = static_cast<FlightEventKind>(ks >> 32);
+  out.station_id = static_cast<std::uint32_t>(ks & 0xFFFFFFFFULL);
+  out.value = slot.value.load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return slot.seq.load(std::memory_order_relaxed) == seq1;
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+char g_crash_path[768] = {0};
+
+void crash_signal_handler(int sig) {
+  if (g_crash_path[0] != '\0') FlightRecorder::global().dump(g_crash_path);
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+#endif
+
+}  // namespace
+
+const char* to_string(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kEnqueue: return "enqueue";
+    case FlightEventKind::kDrop: return "drop";
+    case FlightEventKind::kDrainStart: return "drain_start";
+    case FlightEventKind::kDrainEnd: return "drain_end";
+    case FlightEventKind::kScore: return "score";
+    case FlightEventKind::kDecide: return "decide";
+    case FlightEventKind::kReport: return "report";
+    case FlightEventKind::kEvict: return "evict";
+    case FlightEventKind::kStop: return "stop";
+    case FlightEventKind::kMark: return "mark";
+  }
+  return "unknown";
+}
+
+struct FlightRecorder::Impl {
+  std::atomic<bool> enabled{true};
+  std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  std::atomic<ThreadRing*> rings[kMaxThreads] = {};
+  std::atomic<std::size_t> ring_count{0};
+  std::atomic<std::uint64_t> overflow_dropped{0};
+  mutable std::mutex path_mutex;
+  std::string dump_path;
+
+  [[nodiscard]] std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          std::chrono::steady_clock::now() - epoch)
+                                          .count());
+  }
+};
+
+FlightRecorder::FlightRecorder() : impl_(new Impl) {}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::set_enabled(bool on) {
+  impl_->enabled.store(on, std::memory_order_relaxed);
+}
+
+bool FlightRecorder::enabled() const { return impl_->enabled.load(std::memory_order_relaxed); }
+
+void FlightRecorder::record(FlightEventKind kind, std::uint32_t station_id,
+                            std::uint64_t trace_id, std::uint64_t value) {
+  FlightRecorder& self = global();
+  Impl* impl = self.impl_;
+  if (!telemetry::enabled() || !impl->enabled.load(std::memory_order_relaxed)) return;
+
+  thread_local ThreadRing* ring = nullptr;
+  thread_local bool rejected = false;
+  if (ring == nullptr) {
+    if (rejected) {
+      impl->overflow_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const std::size_t index = impl->ring_count.fetch_add(1, std::memory_order_acq_rel);
+    if (index >= kMaxThreads) {
+      rejected = true;
+      impl->overflow_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // Never freed: the ring must stay dumpable after this thread exits so
+    // a post-mortem covers every thread's last seconds.
+    ring = new ThreadRing();
+    impl->rings[index].store(ring, std::memory_order_release);
+  }
+
+  const std::uint64_t h = ring->head.load(std::memory_order_relaxed);
+  Slot& slot = ring->slots[h % kRingCapacity];
+  slot.seq.store(2 * h + 1, std::memory_order_release);  // odd: mid-write
+  slot.mono_ns.store(impl->now_ns(), std::memory_order_relaxed);
+  slot.trace_id.store(trace_id, std::memory_order_relaxed);
+  slot.kind_station.store((static_cast<std::uint64_t>(kind) << 32) | station_id,
+                          std::memory_order_relaxed);
+  slot.value.store(value, std::memory_order_relaxed);
+  slot.seq.store(2 * h + 2, std::memory_order_release);  // even: stable
+  ring->head.store(h + 1, std::memory_order_release);
+}
+
+std::vector<std::vector<FlightEvent>> FlightRecorder::snapshot() const {
+  std::vector<std::vector<FlightEvent>> out;
+  const std::size_t count =
+      std::min(impl_->ring_count.load(std::memory_order_acquire), kMaxThreads);
+  out.resize(count);
+  for (std::size_t r = 0; r < count; ++r) {
+    const ThreadRing* ring = impl_->rings[r].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;  // registration in flight
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t begin = head > kRingCapacity ? head - kRingCapacity : 0;
+    out[r].reserve(static_cast<std::size_t>(head - begin));
+    for (std::uint64_t i = begin; i < head; ++i) {
+      FlightEvent event;
+      if (read_slot(ring->slots[i % kRingCapacity], i, event)) out[r].push_back(event);
+    }
+  }
+  return out;
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+bool FlightRecorder::dump(const char* path) const {
+  if (path == nullptr || path[0] == '\0') return false;
+  char tmp_path[1024];
+  const std::size_t path_len = ::strlen(path);
+  if (path_len + 5 >= sizeof(tmp_path)) return false;
+  std::memcpy(tmp_path, path, path_len);
+  std::memcpy(tmp_path + path_len, ".tmp", 5);
+
+  const int fd = ::open(tmp_path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return false;
+
+  char line[256];
+  std::size_t pos = 0;
+  const std::size_t count =
+      std::min(impl_->ring_count.load(std::memory_order_acquire), kMaxThreads);
+  pos = append_str(line, 0, sizeof(line), "# vehigan flight recorder dump\n# rings=");
+  pos = append_u64(line, pos, sizeof(line), count);
+  pos = append_str(line, pos, sizeof(line), " capacity=");
+  pos = append_u64(line, pos, sizeof(line), kRingCapacity);
+  pos = append_str(line, pos, sizeof(line), "\n");
+  bool ok = ::write(fd, line, pos) == static_cast<ssize_t>(pos);
+
+  for (std::size_t r = 0; ok && r < count; ++r) {
+    const ThreadRing* ring = impl_->rings[r].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t begin = head > kRingCapacity ? head - kRingCapacity : 0;
+    for (std::uint64_t i = begin; ok && i < head; ++i) {
+      FlightEvent event;
+      if (!read_slot(ring->slots[i % kRingCapacity], i, event)) continue;
+      pos = append_str(line, 0, sizeof(line), "t=");
+      pos = append_u64(line, pos, sizeof(line), r);
+      pos = append_str(line, pos, sizeof(line), " seq=");
+      pos = append_u64(line, pos, sizeof(line), event.seq);
+      pos = append_str(line, pos, sizeof(line), " ns=");
+      pos = append_u64(line, pos, sizeof(line), event.mono_ns);
+      pos = append_str(line, pos, sizeof(line), " kind=");
+      pos = append_str(line, pos, sizeof(line), to_string(event.kind));
+      pos = append_str(line, pos, sizeof(line), " station=");
+      pos = append_u64(line, pos, sizeof(line), event.station_id);
+      pos = append_str(line, pos, sizeof(line), " trace=");
+      pos = append_hex(line, pos, sizeof(line), event.trace_id);
+      pos = append_str(line, pos, sizeof(line), " value=");
+      pos = append_u64(line, pos, sizeof(line), event.value);
+      pos = append_str(line, pos, sizeof(line), "\n");
+      ok = ::write(fd, line, pos) == static_cast<ssize_t>(pos);
+    }
+  }
+
+  ok = (::close(fd) == 0) && ok;
+  if (ok) ok = ::rename(tmp_path, path) == 0;
+  return ok;
+}
+
+void FlightRecorder::install_crash_handler(const std::string& path) {
+  const std::size_t n = std::min(path.size(), sizeof(g_crash_path) - 1);
+  std::memcpy(g_crash_path, path.data(), n);
+  g_crash_path[n] = '\0';
+
+  struct sigaction action {};
+  action.sa_handler = crash_signal_handler;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  for (int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE}) {
+    ::sigaction(sig, &action, nullptr);
+  }
+}
+
+#else  // non-POSIX fallback: dump via stdio (no signal handlers to serve)
+
+bool FlightRecorder::dump(const char* path) const {
+  if (path == nullptr || path[0] == '\0') return false;
+  std::FILE* file = std::fopen(path, "wb");
+  if (file == nullptr) return false;
+  const auto rings = snapshot();
+  std::fprintf(file, "# vehigan flight recorder dump\n# rings=%zu capacity=%zu\n", rings.size(),
+               kRingCapacity);
+  for (std::size_t r = 0; r < rings.size(); ++r) {
+    for (const FlightEvent& event : rings[r]) {
+      std::fprintf(file, "t=%zu seq=%llu ns=%llu kind=%s station=%u trace=%016llx value=%llu\n",
+                   r, static_cast<unsigned long long>(event.seq),
+                   static_cast<unsigned long long>(event.mono_ns), to_string(event.kind),
+                   event.station_id, static_cast<unsigned long long>(event.trace_id),
+                   static_cast<unsigned long long>(event.value));
+    }
+  }
+  return std::fclose(file) == 0;
+}
+
+void FlightRecorder::install_crash_handler(const std::string&) {}
+
+#endif
+
+bool FlightRecorder::dump(const std::filesystem::path& path) const {
+  return dump(path.string().c_str());
+}
+
+void FlightRecorder::set_dump_path(std::string path) {
+  std::lock_guard<std::mutex> lock(impl_->path_mutex);
+  impl_->dump_path = std::move(path);
+}
+
+std::string FlightRecorder::dump_path() const {
+  std::lock_guard<std::mutex> lock(impl_->path_mutex);
+  return impl_->dump_path;
+}
+
+bool FlightRecorder::dump_if_configured() const {
+  const std::string path = dump_path();
+  if (path.empty()) return false;
+  return dump(path.c_str());
+}
+
+void FlightRecorder::clear() {
+  const std::size_t count =
+      std::min(impl_->ring_count.load(std::memory_order_acquire), kMaxThreads);
+  for (std::size_t r = 0; r < count; ++r) {
+    ThreadRing* ring = impl_->rings[r].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    // Only head moves: readers scan [head - cap, head), so stale slots with
+    // old generations simply fail the seq check until overwritten.
+    ring->head.store(0, std::memory_order_release);
+    for (Slot& slot : ring->slots) slot.seq.store(0, std::memory_order_release);
+  }
+  impl_->overflow_dropped.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t FlightRecorder::dropped_threads_events() const {
+  return impl_->overflow_dropped.load(std::memory_order_relaxed);
+}
+
+}  // namespace vehigan::telemetry

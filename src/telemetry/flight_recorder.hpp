@@ -1,0 +1,107 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace vehigan::telemetry {
+
+/// What happened at one point of the serving pipeline. Numeric values are
+/// part of the dump format — append only, never renumber.
+enum class FlightEventKind : std::uint32_t {
+  kEnqueue = 0,     ///< message accepted by a shard queue; value = shard index
+  kDrop = 1,        ///< message rejected/replaced under overload; value = shard index
+  kDrainStart = 2,  ///< shard drained a batch; value = batch size
+  kDrainEnd = 3,    ///< batch fully scored; value = reports emitted
+  kScore = 4,       ///< one window scored; value = bit pattern of the double score
+  kDecide = 5,      ///< threshold verdict for one window; value = 1 if flagged
+  kReport = 6,      ///< misbehavior report emitted; value = bit pattern of the score
+  kEvict = 7,       ///< stale-vehicle sweep; value = vehicles evicted
+  kStop = 8,        ///< service/shard shutdown checkpoint; value = scored count
+  kMark = 9,        ///< free-form test/debug marker
+};
+
+[[nodiscard]] const char* to_string(FlightEventKind kind);
+
+/// One decoded flight-recorder entry (the in-ring representation is a
+/// seqlock slot of atomics; this is the stable snapshot view).
+struct FlightEvent {
+  std::uint64_t seq = 0;       ///< per-thread sequence number, 0-based
+  std::uint64_t mono_ns = 0;   ///< steady-clock nanoseconds since recorder epoch
+  FlightEventKind kind = FlightEventKind::kMark;
+  std::uint32_t station_id = 0;
+  std::uint64_t trace_id = 0;  ///< trace_id_of(station, time); 0 = none
+  std::uint64_t value = 0;     ///< kind-specific payload (see enum docs)
+};
+
+/// Black box for the serving pipeline: every thread that records gets a
+/// fixed-size ring of its most recent kRingCapacity events, written
+/// lock-free by the owning thread (a seqlock per slot: odd seq = mid-write,
+/// even = stable) and readable at any time by dump()/snapshot() without
+/// stopping writers — torn slots are simply skipped. Rings live for the
+/// process lifetime (a thread's last seconds stay dumpable after it exits),
+/// registered in a fixed lock-free table so the dump path never takes a
+/// mutex and is async-signal-safe.
+///
+/// Recording is gated on the process-wide telemetry kill switch
+/// (telemetry::enabled()) plus this recorder's own enable flag (on by
+/// default): the black box runs in production paths unless explicitly
+/// silenced, at a cost of one clock read and a handful of relaxed atomic
+/// stores per event.
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kRingCapacity = 2048;  ///< events kept per thread
+  static constexpr std::size_t kMaxThreads = 128;     ///< rings; later threads drop
+
+  static FlightRecorder& global();
+
+  /// Records one event into the calling thread's ring. No-op when the
+  /// telemetry kill switch or this recorder is off.
+  static void record(FlightEventKind kind, std::uint32_t station_id, std::uint64_t trace_id,
+                     std::uint64_t value = 0);
+
+  void set_enabled(bool on);
+  [[nodiscard]] bool enabled() const;
+
+  /// Consistent events per registered ring, oldest first. Slots being
+  /// overwritten concurrently are dropped, never torn. Allocates — not for
+  /// signal handlers; use dump().
+  [[nodiscard]] std::vector<std::vector<FlightEvent>> snapshot() const;
+
+  /// Writes a text dump (one `t=<ring> seq=... ns=... kind=... station=...
+  /// trace=<hex> value=...` line per event) to `<path>.tmp`, then renames
+  /// over `path`. Uses only async-signal-safe calls (open/write/rename,
+  /// manual formatting) so it is legal from SIGSEGV/SIGABRT handlers.
+  /// Returns false if the file could not be written.
+  bool dump(const char* path) const;
+  bool dump(const std::filesystem::path& path) const;
+
+  /// Configures the destination used by dump_if_configured() — wired to
+  /// DetectionService::drain()/stop() — and by install_crash_handler().
+  void set_dump_path(std::string path);
+  [[nodiscard]] std::string dump_path() const;
+  bool dump_if_configured() const;
+
+  /// Installs SIGSEGV/SIGABRT/SIGBUS/SIGFPE handlers that dump the rings to
+  /// `path` and then re-raise with the default disposition, so the process
+  /// still dies with the original signal (exit status preserved for
+  /// supervisors). No-op on non-POSIX builds.
+  void install_crash_handler(const std::string& path);
+
+  /// Resets every ring to empty (heads to zero, slots invalidated) and
+  /// clears drop counters. Callers must ensure no thread is concurrently
+  /// recording. Test isolation only.
+  void clear();
+
+  /// Events not recorded because more than kMaxThreads threads registered.
+  [[nodiscard]] std::uint64_t dropped_threads_events() const;
+
+ private:
+  FlightRecorder();
+  struct Impl;
+  Impl* impl_;  ///< never freed: crash handler may fire during shutdown
+};
+
+}  // namespace vehigan::telemetry

@@ -1,5 +1,6 @@
 #include "telemetry/trace.hpp"
 
+#include <cassert>
 #include <vector>
 
 namespace vehigan::telemetry {
@@ -20,15 +21,25 @@ ScopedSpan::ScopedSpan(Histogram& sink, const char* name) : sink_(nullptr) {
   sink_ = &sink;
   span_stack().push_back(name != nullptr ? name : "?");
   start_ = std::chrono::steady_clock::now();
+#ifndef NDEBUG
+  owner_ = std::this_thread::get_id();
+#endif
 }
 
 ScopedSpan::ScopedSpan(ScopedSpan&& other) noexcept
     : sink_(other.sink_), start_(other.start_) {
+#ifndef NDEBUG
+  owner_ = other.owner_;
+#endif
   other.sink_ = nullptr;
 }
 
 double ScopedSpan::stop() {
   if (sink_ == nullptr) return 0.0;
+#ifndef NDEBUG
+  assert(owner_ == std::this_thread::get_id() &&
+         "ScopedSpan must be stopped on the thread that opened it");
+#endif
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
   sink_->observe(elapsed);

@@ -2,6 +2,9 @@
 
 #include <chrono>
 #include <string>
+#ifndef NDEBUG
+#include <thread>
+#endif
 
 #include "telemetry/metrics.hpp"
 
@@ -17,6 +20,13 @@ namespace vehigan::telemetry {
 /// Hot paths construct spans from a pre-resolved Histogram& (no registry
 /// lookup, no allocation beyond the first push on a fresh thread). `name`
 /// must outlive the span — pass a string literal.
+///
+/// The nesting stack is thread-local, so a span must be stopped (or
+/// destroyed) on the thread that opened it; moving a live span to another
+/// thread would pop a different thread's stack. Debug builds assert this
+/// in stop(). depth()/path() read only the calling thread's stack and,
+/// like the stack itself, are test/debug-only introspection — production
+/// code must not branch on them.
 class ScopedSpan {
  public:
   ScopedSpan(Histogram& sink, const char* name);
@@ -31,7 +41,7 @@ class ScopedSpan {
   /// Subsequent stop() calls and the destructor are no-ops.
   double stop();
 
-  /// Nesting depth of the calling thread's open spans.
+  /// Nesting depth of the calling thread's open spans. Test/debug only.
   [[nodiscard]] static std::size_t depth();
 
   /// Slash-joined names of the calling thread's open spans, outermost
@@ -41,6 +51,9 @@ class ScopedSpan {
  private:
   Histogram* sink_;  ///< nullptr when inactive (disabled or moved-from)
   std::chrono::steady_clock::time_point start_;
+#ifndef NDEBUG
+  std::thread::id owner_;  ///< thread whose stack holds this span's frame
+#endif
 };
 
 /// Convenience factory bound to a registry for cold-path spans where a

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/hash.hpp"
+
+namespace vehigan::telemetry {
+
+/// Identity of one BSM's journey through the serving pipeline. The trace id
+/// is a pure function of the message's origin (station id + transmission
+/// timestamp), so every stage — producer submit, shard drain, ensemble
+/// scoring, report emission — can recompute it locally instead of widening
+/// `sim::Bsm` or the bounded queue's element type. Two stages that saw the
+/// same message therefore stamp the same id without any plumbing between
+/// them, and an offline consumer holding a `MisbehaviorReport` can rejoin it
+/// to the trace timeline from the (suspect_id, time) pair alone.
+///
+/// Span ids distinguish the individual timed sections recorded under one
+/// trace; they are allocated process-wide by the Chrome trace recorder and
+/// carry no semantics beyond uniqueness.
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< 0 = unsampled / absent
+  std::uint64_t span_id = 0;
+
+  [[nodiscard]] bool sampled() const { return trace_id != 0; }
+};
+
+/// Deterministic per-message trace id: FNV-1a over the station id and the
+/// raw IEEE-754 bits of the transmission time. Remapping to 1 keeps 0 free
+/// as the "no trace" sentinel (FNV-1a hits 0 only adversarially).
+[[nodiscard]] inline std::uint64_t trace_id_of(std::uint32_t station_id, double time_s) {
+  util::Fnv1a hash;
+  hash.add_pod(station_id);
+  hash.add_pod(time_s);
+  const std::uint64_t value = hash.value();
+  return value == 0 ? 1 : value;
+}
+
+/// Sender-level sampling: a station is traced iff the FNV-1a hash of its id
+/// falls in the 1-in-`sample_every` bucket. Hash-based (not modulo on the
+/// raw id) so dense id ranges from the simulator don't alias the sampling
+/// pattern, and stable across shards/processes so every stage agrees on
+/// which senders are traced without coordination.
+[[nodiscard]] inline bool sender_sampled(std::uint32_t station_id, std::uint32_t sample_every) {
+  if (sample_every <= 1) return true;
+  util::Fnv1a hash;
+  hash.add_pod(station_id);
+  return hash.value() % sample_every == 0;
+}
+
+}  // namespace vehigan::telemetry

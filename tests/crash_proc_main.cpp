@@ -1,0 +1,52 @@
+// Helper process for the flight-recorder crash-dump test (not a gtest
+// binary). Arms the crash handler at the given path, records a recognizable
+// event pattern, then dies by the requested signal — the parent asserts the
+// post-mortem dump exists and contains the pattern.
+//
+// Usage: crash_proc <dump-path> <segv|abort|none>
+//   segv   raise(SIGSEGV) (signal path without UB, sanitizer-friendly)
+//   abort  std::abort()
+//   none   exit 0 without crashing (the dump must NOT appear)
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/trace_context.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: crash_proc <dump-path> <segv|abort|none>\n";
+    return 2;
+  }
+  const char* dump_path = argv[1];
+  const char* mode = argv[2];
+
+  using vehigan::telemetry::FlightEventKind;
+  using vehigan::telemetry::FlightRecorder;
+
+  FlightRecorder::global().install_crash_handler(dump_path);
+
+  // A recognizable pattern: stations 9000..9099, enqueue+score per message.
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const std::uint32_t station = 9000 + i;
+    const std::uint64_t trace =
+        vehigan::telemetry::trace_id_of(station, 0.1 * static_cast<double>(i));
+    FlightRecorder::record(FlightEventKind::kEnqueue, station, trace, i % 4);
+    FlightRecorder::record(FlightEventKind::kScore, station, trace, i);
+  }
+
+  if (std::strcmp(mode, "segv") == 0) {
+    std::raise(SIGSEGV);  // delivers the real signal without UB under sanitizers
+  } else if (std::strcmp(mode, "abort") == 0) {
+    std::abort();
+  } else if (std::strcmp(mode, "none") == 0) {
+    return 0;
+  } else {
+    std::cerr << "unknown mode: " << mode << "\n";
+    return 2;
+  }
+  return 3;  // unreachable: the signal should have killed us
+}

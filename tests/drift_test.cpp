@@ -1,0 +1,283 @@
+// Online model observability: P² streaming quantiles against exact sample
+// quantiles, the EWMA mean-shift control chart (silent on stationary
+// streams, alarms on an injected shift, cooldown bounds the alarm rate),
+// the ScoreDriftMonitor composite, and the OnlineMbds integration that
+// publishes vehigan_mbds_score_{p50,p95,p99} gauges and bumps
+// vehigan_mbds_score_drift_alarms_total on an injected kinematic shift.
+
+#include "telemetry/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gan/architecture.hpp"
+#include "mbds/ensemble.hpp"
+#include "mbds/online.hpp"
+#include "mbds/wgan_detector.hpp"
+#include "nn/layers.hpp"
+#include "sim/bsm.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace vehigan {
+namespace {
+
+using telemetry::DriftConfig;
+using telemetry::EwmaDriftDetector;
+using telemetry::P2Quantile;
+using telemetry::ScoreDriftMonitor;
+
+// ------------------------------------------------------------ P2Quantile ---
+
+TEST(P2Quantile, ExactForTheFirstFiveObservations) {
+  P2Quantile median(0.5);
+  EXPECT_EQ(median.value(), 0.0) << "no data yet";
+  median.observe(9.0);
+  EXPECT_EQ(median.value(), 9.0);
+  median.observe(1.0);
+  median.observe(5.0);
+  EXPECT_EQ(median.value(), 5.0) << "exact sample median of {1, 5, 9}";
+  P2Quantile p99(0.99);
+  p99.observe(1.0);
+  p99.observe(2.0);
+  p99.observe(3.0);
+  EXPECT_EQ(p99.value(), 3.0) << "upper quantile of a tiny sample is the max";
+}
+
+TEST(P2Quantile, TracksNormalQuantilesWithinAFewPercent) {
+  util::Rng rng(123);
+  P2Quantile p50(0.50), p95(0.95), p99(0.99);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.normal(0.0, 1.0);
+    samples.push_back(x);
+    p50.observe(x);
+    p95.observe(x);
+    p99.observe(x);
+  }
+  std::sort(samples.begin(), samples.end());
+  const auto exact = [&](double q) { return samples[static_cast<std::size_t>(q * 20000)]; };
+  EXPECT_NEAR(p50.value(), exact(0.50), 0.05);
+  EXPECT_NEAR(p95.value(), exact(0.95), 0.10);
+  EXPECT_NEAR(p99.value(), exact(0.99), 0.20);
+  EXPECT_EQ(p50.count(), 20000U);
+}
+
+TEST(P2Quantile, ResetForgetsEverything) {
+  P2Quantile p95(0.95);
+  for (int i = 0; i < 100; ++i) p95.observe(static_cast<double>(i));
+  ASSERT_GT(p95.value(), 0.0);
+  p95.reset();
+  EXPECT_EQ(p95.count(), 0U);
+  EXPECT_EQ(p95.value(), 0.0);
+  p95.observe(7.0);
+  EXPECT_EQ(p95.value(), 7.0);
+}
+
+// ----------------------------------------------------- EwmaDriftDetector ---
+
+DriftConfig fast_config() {
+  DriftConfig config;
+  config.warmup = 100;
+  config.alpha = 0.1;
+  config.z_threshold = 5.0;
+  config.min_gap = 100;
+  return config;
+}
+
+TEST(EwmaDriftDetector, SilentOnAStationaryStream) {
+  EwmaDriftDetector detector(fast_config());
+  util::Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_FALSE(detector.observe(rng.normal(5.0, 1.0)));
+  }
+  EXPECT_TRUE(detector.warmed());
+  EXPECT_EQ(detector.alarms(), 0U);
+  EXPECT_NEAR(detector.baseline_mean(), 5.0, 0.5);
+  EXPECT_NEAR(detector.baseline_sigma(), 1.0, 0.3);
+  EXPECT_NEAR(detector.ewma(), 5.0, 0.5);
+}
+
+TEST(EwmaDriftDetector, AlarmsOnAnInjectedMeanShift) {
+  EwmaDriftDetector detector(fast_config());
+  util::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_FALSE(detector.observe(rng.normal(5.0, 1.0)));
+  // +3 sigma sustained shift: the EWMA band at z=5, alpha=0.1 is
+  // ~5 * sqrt(0.1/1.9) ~ 1.15 sigma wide, so the chart must trip quickly.
+  bool alarmed = false;
+  int ticks_to_alarm = 0;
+  for (int i = 0; i < 200 && !alarmed; ++i) {
+    alarmed = detector.observe(rng.normal(8.0, 1.0));
+    ++ticks_to_alarm;
+  }
+  EXPECT_TRUE(alarmed);
+  EXPECT_LT(ticks_to_alarm, 100) << "a 3-sigma shift should alarm within ~a few time constants";
+  EXPECT_EQ(detector.alarms(), 1U);
+}
+
+TEST(EwmaDriftDetector, CooldownBoundsTheAlarmRate) {
+  EwmaDriftDetector detector(fast_config());
+  util::Rng rng(11);
+  for (int i = 0; i < 500; ++i) ASSERT_FALSE(detector.observe(rng.normal(0.0, 1.0)));
+  constexpr int kShifted = 1000;
+  for (int i = 0; i < kShifted; ++i) detector.observe(rng.normal(10.0, 1.0));
+  EXPECT_GE(detector.alarms(), 1U);
+  // min_gap = 100 observations between alarms -> at most ~1 + 1000/100.
+  EXPECT_LE(detector.alarms(), 1U + kShifted / 100);
+}
+
+TEST(EwmaDriftDetector, ConstantStreamUsesTheSigmaFloor) {
+  // A degenerate (constant-score) baseline has sigma 0; min_sigma keeps the
+  // band finite so a later step change still alarms instead of dividing by
+  // zero or alarming on the baseline itself.
+  DriftConfig config = fast_config();
+  EwmaDriftDetector detector(config);
+  for (int i = 0; i < 300; ++i) EXPECT_FALSE(detector.observe(1.0));
+  EXPECT_EQ(detector.baseline_sigma(), config.min_sigma);
+  bool alarmed = false;
+  for (int i = 0; i < 50 && !alarmed; ++i) alarmed = detector.observe(1.1);
+  EXPECT_TRUE(alarmed);
+}
+
+TEST(EwmaDriftDetector, ResetReturnsToColdStart) {
+  EwmaDriftDetector detector(fast_config());
+  util::Rng rng(3);
+  for (int i = 0; i < 300; ++i) detector.observe(rng.normal(2.0, 1.0));
+  ASSERT_TRUE(detector.warmed());
+  detector.reset();
+  EXPECT_FALSE(detector.warmed());
+  EXPECT_EQ(detector.count(), 0U);
+  EXPECT_EQ(detector.alarms(), 0U);
+}
+
+// ----------------------------------------------------- ScoreDriftMonitor ---
+
+TEST(ScoreDriftMonitor, StationaryStreamPopulatesStatsSilently) {
+  ScoreDriftMonitor monitor(fast_config());
+  util::Rng rng(19);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_FALSE(monitor.observe(rng.normal(-3.0, 0.5), /*flagged=*/false));
+  }
+  const auto stats = monitor.stats();
+  EXPECT_TRUE(stats.warmed);
+  EXPECT_EQ(stats.observations, 2000U);
+  EXPECT_EQ(stats.score_alarms, 0U);
+  EXPECT_EQ(stats.flag_rate_alarms, 0U);
+  EXPECT_NEAR(stats.p50, -3.0, 0.2);
+  EXPECT_GT(stats.p95, stats.p50);
+  EXPECT_GE(stats.p99, stats.p95);
+  EXPECT_NEAR(stats.score_ewma, -3.0, 0.3);
+  EXPECT_NEAR(stats.flag_rate_ewma, 0.0, 1e-9);
+}
+
+TEST(ScoreDriftMonitor, FlagRateSurgeAlarmsWithoutAScoreShift) {
+  // The AFP-rate proxy: scores stay in-distribution, but the flag rate
+  // jumps from 0 to 1 (e.g. an adversarial false-positive campaign).
+  ScoreDriftMonitor monitor(fast_config());
+  util::Rng rng(23);
+  for (int i = 0; i < 1000; ++i) ASSERT_FALSE(monitor.observe(rng.normal(0.0, 1.0), false));
+  bool alarmed = false;
+  for (int i = 0; i < 200 && !alarmed; ++i) {
+    alarmed = monitor.observe(rng.normal(0.0, 1.0), /*flagged=*/true);
+  }
+  EXPECT_TRUE(alarmed);
+  const auto stats = monitor.stats();
+  EXPECT_GE(stats.flag_rate_alarms, 1U);
+  EXPECT_EQ(stats.score_alarms, 0U) << "the score chart must not be the one that fired";
+}
+
+// -------------------------------------------- OnlineMbds integration -------
+// Cheap linear critics (serve_test fixtures): score is linear in the window
+// features, so a speed step injects a clean mean shift into the score
+// stream while a steady cruise is near-constant (sigma floor regime).
+
+features::MinMaxScaler identity_scaler(std::size_t width = 12) {
+  features::Series s;
+  s.width = width;
+  for (std::size_t c = 0; c < width; ++c) s.values.push_back(0.0F);
+  for (std::size_t c = 0; c < width; ++c) s.values.push_back(1.0F);
+  features::MinMaxScaler scaler;
+  scaler.fit({s});
+  return scaler;
+}
+
+std::shared_ptr<mbds::VehiGan> make_ensemble() {
+  std::vector<std::shared_ptr<mbds::WganDetector>> detectors;
+  for (std::size_t i = 0; i < 2; ++i) {
+    gan::TrainedWgan model;
+    model.config.id = static_cast<int>(i);
+    model.config.window = 10;
+    model.config.width = 12;
+    model.discriminator.add<nn::Flatten>();
+    auto& dense = model.discriminator.add<nn::Dense>(120, 1);
+    dense.weights().assign(120, -(1.0F + 0.5F * static_cast<float>(i)));
+    dense.bias() = {0.0F};
+    auto det = std::make_shared<mbds::WganDetector>(std::move(model));
+    det->set_threshold(-1e9);
+    detectors.push_back(std::move(det));
+  }
+  auto ensemble = std::make_shared<mbds::VehiGan>(detectors, /*k=*/1, /*seed=*/5);
+  ensemble->set_subset_draw(mbds::SubsetDraw::kContentKeyed);
+  return ensemble;
+}
+
+sim::Bsm cruise_msg(std::uint32_t id, double t, double speed) {
+  sim::Bsm m;
+  m.vehicle_id = id;
+  m.time = t;
+  m.speed = speed;
+  m.x = speed * t;
+  m.y = static_cast<double>(id);
+  m.heading = 0.0;
+  return m;
+}
+
+TEST(OnlineMbdsDrift, GaugesPopulateAndInjectedShiftBumpsTheAlarmCounter) {
+  telemetry::set_enabled(true);
+  auto& registry = telemetry::MetricsRegistry::global();
+  const std::uint64_t alarms_before =
+      registry.counter("vehigan_mbds_score_drift_alarms_total").value();
+
+  mbds::OnlineMbds mbds(42, make_ensemble(), identity_scaler(),
+                        /*report_cooldown=*/0.25, /*gap_reset_s=*/1.0);
+  DriftConfig config;
+  config.warmup = 40;
+  config.alpha = 0.2;
+  config.z_threshold = 5.0;
+  config.min_gap = 40;
+  mbds.set_drift_config(config);
+
+  // Steady cruise past warmup: near-constant scores, no alarms.
+  int tick = 0;
+  for (; tick < 100; ++tick) {
+    (void)mbds.ingest(cruise_msg(1, 0.1 * tick, 10.0));
+  }
+  const auto warm_stats = mbds.drift_monitor().stats();
+  ASSERT_TRUE(warm_stats.warmed) << "100 ticks must complete > warmup windows";
+  EXPECT_EQ(warm_stats.score_alarms, 0U);
+  EXPECT_EQ(registry.counter("vehigan_mbds_score_drift_alarms_total").value(), alarms_before);
+
+  // Kinematic step: 10 m/s -> 80 m/s moves every window feature, shifting
+  // the linear critics' score mean far outside the frozen baseline band.
+  for (; tick < 200; ++tick) {
+    (void)mbds.ingest(cruise_msg(1, 0.1 * tick, 80.0));
+  }
+  const auto shifted_stats = mbds.drift_monitor().stats();
+  EXPECT_GE(shifted_stats.score_alarms, 1U) << "injected shift must alarm";
+  EXPECT_GT(registry.counter("vehigan_mbds_score_drift_alarms_total").value(), alarms_before);
+
+  // The score gauges reflect the monitor's quantile estimates.
+  EXPECT_EQ(registry.gauge("vehigan_mbds_score_p50").value(), shifted_stats.p50);
+  EXPECT_EQ(registry.gauge("vehigan_mbds_score_p95").value(), shifted_stats.p95);
+  EXPECT_EQ(registry.gauge("vehigan_mbds_score_p99").value(), shifted_stats.p99);
+  EXPECT_GE(shifted_stats.p99, shifted_stats.p50);
+  EXPECT_GT(shifted_stats.observations, 100U);
+}
+
+}  // namespace
+}  // namespace vehigan

@@ -1,0 +1,279 @@
+// Flight recorder: seqlock ring exactness (wraparound, concurrent writers
+// under TSan), on-demand/async-signal-safe dumps, and the crash post-mortem
+// via a real child process dying by SIGSEGV/SIGABRT (the cache_proc
+// helper-process pattern).
+#include "telemetry/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__)
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_context.hpp"
+
+namespace vehigan {
+namespace {
+
+namespace fs = std::filesystem;
+using telemetry::FlightEvent;
+using telemetry::FlightEventKind;
+using telemetry::FlightRecorder;
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::set_enabled(true);
+    FlightRecorder::global().set_enabled(true);
+    FlightRecorder::global().clear();
+    root_ = fs::temp_directory_path() / "vehigan_flight_recorder_test" /
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override {
+    FlightRecorder::global().set_dump_path("");
+    FlightRecorder::global().clear();
+    fs::remove_all(root_);
+  }
+
+  fs::path root_;
+};
+
+/// All consistent events for one station, across every registered ring.
+std::vector<FlightEvent> events_for_station(std::uint32_t station) {
+  std::vector<FlightEvent> out;
+  for (const auto& ring : FlightRecorder::global().snapshot()) {
+    for (const FlightEvent& event : ring) {
+      if (event.station_id == station) out.push_back(event);
+    }
+  }
+  return out;
+}
+
+TEST_F(FlightRecorderTest, RecordAndSnapshotRoundTrip) {
+  const std::uint32_t station = 5100;
+  const std::uint64_t trace = telemetry::trace_id_of(station, 12.5);
+  FlightRecorder::record(FlightEventKind::kEnqueue, station, trace, 3);
+  FlightRecorder::record(FlightEventKind::kScore, station, trace, 77);
+  FlightRecorder::record(FlightEventKind::kDecide, station, trace, 1);
+
+  const auto events = events_for_station(station);
+  ASSERT_EQ(events.size(), 3U);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kEnqueue);
+  EXPECT_EQ(events[0].value, 3U);
+  EXPECT_EQ(events[1].kind, FlightEventKind::kScore);
+  EXPECT_EQ(events[1].value, 77U);
+  EXPECT_EQ(events[2].kind, FlightEventKind::kDecide);
+  EXPECT_EQ(events[2].value, 1U);
+  for (const FlightEvent& event : events) EXPECT_EQ(event.trace_id, trace);
+  // Monotonic stamps and sequence numbers, in recording order.
+  EXPECT_LE(events[0].mono_ns, events[1].mono_ns);
+  EXPECT_LE(events[1].mono_ns, events[2].mono_ns);
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_LT(events[1].seq, events[2].seq);
+}
+
+TEST_F(FlightRecorderTest, WraparoundKeepsOnlyTheMostRecentCapacityEvents) {
+  const std::uint32_t station = 5200;
+  constexpr std::uint64_t kExtra = 100;
+  constexpr std::uint64_t kTotal = FlightRecorder::kRingCapacity + kExtra;
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    FlightRecorder::record(FlightEventKind::kMark, station, 0, i);
+  }
+  const auto events = events_for_station(station);
+  ASSERT_EQ(events.size(), FlightRecorder::kRingCapacity);
+  // The first kExtra events were overwritten; survivors keep value == seq.
+  EXPECT_EQ(events.front().seq, kExtra);
+  EXPECT_EQ(events.back().seq, kTotal - 1);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, kExtra + i);
+    EXPECT_EQ(events[i].value, events[i].seq) << "torn or misattributed slot";
+  }
+}
+
+TEST_F(FlightRecorderTest, ConcurrentWritersStaySelfConsistentUnderSnapshots) {
+  // Each writer thread owns its ring; value == seq is a per-ring invariant
+  // that any torn read would break. A snapshot thread hammers the rings
+  // while writers run (the TSan bar), then a final quiescent snapshot
+  // checks exactness.
+  constexpr std::size_t kWriters = 4;
+  constexpr std::uint64_t kEvents = 1500;  // < capacity: nothing overwritten
+  static_assert(kEvents < FlightRecorder::kRingCapacity);
+  const std::uint32_t base_station = 5300;
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load()) {
+      for (const auto& ring : FlightRecorder::global().snapshot()) {
+        for (const FlightEvent& event : ring) {
+          if (event.station_id < base_station ||
+              event.station_id >= base_station + kWriters) {
+            continue;
+          }
+          EXPECT_EQ(event.value, event.seq) << "torn slot surfaced by snapshot";
+          EXPECT_EQ(event.kind, FlightEventKind::kMark);
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      const auto station = static_cast<std::uint32_t>(base_station + w);
+      for (std::uint64_t i = 0; i < kEvents; ++i) {
+        FlightRecorder::record(FlightEventKind::kMark, station, w + 1, i);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true);
+  reader.join();
+
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    const auto events = events_for_station(static_cast<std::uint32_t>(base_station + w));
+    ASSERT_EQ(events.size(), kEvents) << "writer " << w << " lost events";
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      EXPECT_EQ(events[i].seq, i);
+      EXPECT_EQ(events[i].value, i);
+      EXPECT_EQ(events[i].trace_id, w + 1);
+    }
+  }
+}
+
+TEST_F(FlightRecorderTest, KillSwitchAndRecorderDisableSilenceRecording) {
+  const std::uint32_t station = 5400;
+  telemetry::set_enabled(false);
+  FlightRecorder::record(FlightEventKind::kMark, station, 0, 1);
+  telemetry::set_enabled(true);
+  FlightRecorder::global().set_enabled(false);
+  FlightRecorder::record(FlightEventKind::kMark, station, 0, 2);
+  FlightRecorder::global().set_enabled(true);
+  EXPECT_TRUE(events_for_station(station).empty());
+  FlightRecorder::record(FlightEventKind::kMark, station, 0, 3);
+  EXPECT_EQ(events_for_station(station).size(), 1U);
+}
+
+TEST_F(FlightRecorderTest, DumpWritesParseableAtomicFile) {
+  const std::uint32_t station = 5500;
+  const std::uint64_t trace = telemetry::trace_id_of(station, 1.0);
+  FlightRecorder::record(FlightEventKind::kEnqueue, station, trace, 2);
+  FlightRecorder::record(FlightEventKind::kReport, station, trace, 9);
+
+  const fs::path path = root_ / "blackbox.txt";
+  ASSERT_TRUE(FlightRecorder::global().dump(path));
+  ASSERT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(root_ / "blackbox.txt.tmp")) << "tmp file not renamed away";
+
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "# vehigan flight recorder dump");
+  std::size_t enqueue_lines = 0, report_lines = 0;
+  const std::string station_token = "station=" + std::to_string(station);
+  while (std::getline(in, line)) {
+    if (line.find(station_token) == std::string::npos) continue;
+    if (line.find("kind=enqueue") != std::string::npos) ++enqueue_lines;
+    if (line.find("kind=report") != std::string::npos) ++report_lines;
+    EXPECT_NE(line.find("trace="), std::string::npos);
+    EXPECT_NE(line.find("ns="), std::string::npos);
+  }
+  EXPECT_EQ(enqueue_lines, 1U);
+  EXPECT_EQ(report_lines, 1U);
+}
+
+TEST_F(FlightRecorderTest, DumpIfConfiguredUsesTheArmedPath) {
+  EXPECT_FALSE(FlightRecorder::global().dump_if_configured()) << "no path armed yet";
+  const fs::path path = root_ / "armed.txt";
+  FlightRecorder::global().set_dump_path(path.string());
+  FlightRecorder::record(FlightEventKind::kStop, 5600, 0, 42);
+  EXPECT_TRUE(FlightRecorder::global().dump_if_configured());
+  EXPECT_TRUE(fs::exists(path));
+}
+
+#if defined(__unix__)
+
+fs::path helper_path() {
+  // The helper binary is built next to this test executable.
+  return fs::read_symlink("/proc/self/exe").parent_path() / "crash_proc";
+}
+
+pid_t spawn(const std::vector<std::string>& args) {
+  std::vector<const char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const auto& a : args) argv.push_back(a.c_str());
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(argv[0], const_cast<char* const*>(argv.data()));
+    _exit(127);  // exec failed
+  }
+  return pid;
+}
+
+int wait_exit_code(pid_t pid) {
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class CrashDumpTest : public FlightRecorderTest {
+ protected:
+  void SetUp() override {
+    FlightRecorderTest::SetUp();
+    ASSERT_TRUE(fs::exists(helper_path()))
+        << helper_path() << " missing — build the crash_proc target";
+  }
+
+  void expect_post_mortem(const std::string& mode, int expected_signal) {
+    const fs::path dump = root_ / (mode + ".dump");
+    const pid_t pid = spawn({helper_path().string(), dump.string(), mode});
+    ASSERT_GT(pid, 0);
+    EXPECT_EQ(wait_exit_code(pid), -expected_signal)
+        << "helper must die by the original signal after dumping";
+    ASSERT_TRUE(fs::exists(dump)) << "no post-mortem dump from the " << mode << " handler";
+    const std::string text = slurp(dump);
+    EXPECT_NE(text.find("# vehigan flight recorder dump"), std::string::npos);
+    EXPECT_NE(text.find("station=9000"), std::string::npos);
+    EXPECT_NE(text.find("station=9099"), std::string::npos);
+    EXPECT_NE(text.find("kind=enqueue"), std::string::npos);
+    EXPECT_NE(text.find("kind=score"), std::string::npos);
+  }
+};
+
+TEST_F(CrashDumpTest, SigsegvLeavesPostMortemDump) { expect_post_mortem("segv", SIGSEGV); }
+
+TEST_F(CrashDumpTest, SigabrtLeavesPostMortemDump) { expect_post_mortem("abort", SIGABRT); }
+
+TEST_F(CrashDumpTest, CleanExitLeavesNoDump) {
+  const fs::path dump = root_ / "none.dump";
+  const pid_t pid = spawn({helper_path().string(), dump.string(), "none"});
+  ASSERT_GT(pid, 0);
+  EXPECT_EQ(wait_exit_code(pid), 0);
+  EXPECT_FALSE(fs::exists(dump));
+}
+
+#endif  // __unix__
+
+}  // namespace
+}  // namespace vehigan

@@ -12,6 +12,7 @@ MisbehaviorReport sample_report() {
   report.time = 17.3;
   report.score = 6.25F;
   report.threshold = 4.75;
+  report.trace_id = 0xDEADBEEFCAFE1234ULL;
   for (int i = 0; i < 11; ++i) {
     sim::Bsm m;
     m.vehicle_id = 42;
@@ -35,6 +36,7 @@ TEST(ReportCodec, RoundTripsAllFields) {
   EXPECT_DOUBLE_EQ(decoded.time, original.time);
   EXPECT_FLOAT_EQ(decoded.score, original.score);
   EXPECT_DOUBLE_EQ(decoded.threshold, original.threshold);
+  EXPECT_EQ(decoded.trace_id, original.trace_id);
   ASSERT_EQ(decoded.evidence.size(), original.evidence.size());
   for (std::size_t i = 0; i < original.evidence.size(); ++i) {
     EXPECT_DOUBLE_EQ(decoded.evidence[i].x, original.evidence[i].x);
@@ -56,6 +58,19 @@ TEST(ReportCodec, EmptyEvidenceIsAllowed) {
   const MisbehaviorReport decoded = decode_report(encode_report(report));
   EXPECT_EQ(decoded.suspect_id, 7U);
   EXPECT_TRUE(decoded.evidence.empty());
+}
+
+TEST(ReportCodec, LegacyRecordsWithoutTraceKeyStillDecode) {
+  // Wire records written before tracing existed carry no "trace" key; they
+  // must decode with trace_id == 0 (the "not recorded" sentinel).
+  MisbehaviorReport pre_trace = sample_report();
+  pre_trace.trace_id = 0;
+  const std::string wire = encode_report(pre_trace);
+  EXPECT_EQ(wire.find("\"trace\""), std::string::npos)
+      << "trace_id 0 must not be serialized, keeping old readers byte-compatible";
+  const MisbehaviorReport decoded = decode_report(wire);
+  EXPECT_EQ(decoded.trace_id, 0U);
+  EXPECT_EQ(decoded.suspect_id, 42U);
 }
 
 TEST(ReportCodec, RejectsWrongVersionAndGarbage) {

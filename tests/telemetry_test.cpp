@@ -16,6 +16,7 @@
 #include "gan/architecture.hpp"
 #include "mbds/online.hpp"
 #include "nn/layers.hpp"
+#include "telemetry/chrome_trace.hpp"
 #include "telemetry/exporter.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -530,8 +531,16 @@ TEST(OverheadGuard, InstrumentationCostsUnderFivePercentOnIngestBatch) {
   const auto run_once = [&] {
     for (const auto& tick : ticks) (void)monitor.ingest_batch(tick);
   };
+  // The instrumented variant carries the full observability stack: metrics,
+  // flight-recorder events (on whenever telemetry is), and per-message
+  // causal tracing at the production sampling rate of 1-in-64 senders.
   const auto timed = [&](bool instrumented) {
     set_enabled(instrumented);
+    if (instrumented) {
+      TraceRecorder::global().enable(/*sample_every=*/64);
+    } else {
+      TraceRecorder::global().disable();
+    }
     double best = std::numeric_limits<double>::infinity();
     for (int trial = 0; trial < 7; ++trial) {
       util::Stopwatch sw;
@@ -547,6 +556,8 @@ TEST(OverheadGuard, InstrumentationCostsUnderFivePercentOnIngestBatch) {
   const double instrumented = timed(true);
   const double baseline = timed(false);
   set_enabled(true);
+  TraceRecorder::global().disable();
+  TraceRecorder::global().clear();
 
   ASSERT_GT(baseline, 0.0);
   const double overhead = instrumented / baseline - 1.0;

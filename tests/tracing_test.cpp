@@ -1,0 +1,299 @@
+// Per-message causal tracing: trace-id determinism, hash-based sender
+// sampling, the Chrome trace_event recorder/exporter (validated by an inline
+// parser over the emitted JSON), and the end-to-end bar — a two-shard
+// DetectionService run whose exported timeline contains complete X events
+// from >= 2 distinct shard threads sharing per-message trace ids from the
+// producer's "submit" span through "score" to the emitted report.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "data/json.hpp"
+#include "gan/architecture.hpp"
+#include "mbds/ensemble.hpp"
+#include "mbds/report.hpp"
+#include "mbds/wgan_detector.hpp"
+#include "nn/layers.hpp"
+#include "serve/config.hpp"
+#include "serve/service.hpp"
+#include "sim/bsm.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_context.hpp"
+
+namespace vehigan {
+namespace {
+
+using telemetry::TraceRecorder;
+
+class TracingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::set_enabled(true);
+    TraceRecorder::global().disable();
+    TraceRecorder::global().clear();
+  }
+  void TearDown() override {
+    TraceRecorder::global().disable();
+    TraceRecorder::global().clear();
+  }
+};
+
+// ------------------------------------------------------------ trace ids ----
+
+TEST_F(TracingTest, TraceIdIsDeterministicNonZeroAndKeyedOnBothFields) {
+  const std::uint64_t id = telemetry::trace_id_of(17, 1.5);
+  EXPECT_EQ(id, telemetry::trace_id_of(17, 1.5)) << "must be a pure function";
+  EXPECT_NE(id, 0U);
+  EXPECT_NE(id, telemetry::trace_id_of(18, 1.5)) << "station id must matter";
+  EXPECT_NE(id, telemetry::trace_id_of(17, 1.6)) << "timestamp must matter";
+}
+
+TEST_F(TracingTest, SenderSamplingIsStableAndRoughlyOneInN) {
+  for (std::uint32_t id = 0; id < 100; ++id) {
+    EXPECT_TRUE(telemetry::sender_sampled(id, 1)) << "sample_every=1 traces everyone";
+    EXPECT_TRUE(telemetry::sender_sampled(id, 0)) << "0 behaves like 1, not div-by-zero";
+  }
+  constexpr std::uint32_t kIds = 100000;
+  constexpr std::uint32_t kEvery = 64;
+  std::size_t sampled = 0;
+  for (std::uint32_t id = 0; id < kIds; ++id) {
+    const bool hit = telemetry::sender_sampled(id, kEvery);
+    EXPECT_EQ(hit, telemetry::sender_sampled(id, kEvery)) << "must be stable per sender";
+    if (hit) ++sampled;
+  }
+  // 1-in-64 over 100k dense ids: expect ~1562; allow generous hash slack.
+  const double fraction = static_cast<double>(sampled) / kIds;
+  EXPECT_GT(fraction, 1.0 / (2.0 * kEvery));
+  EXPECT_LT(fraction, 2.0 / kEvery);
+}
+
+// ---------------------------------------------------- recorder mechanics ---
+
+TEST_F(TracingTest, DisabledRecorderCapturesNothingAndSamplesNobody) {
+  ASSERT_FALSE(TraceRecorder::global().enabled());
+  EXPECT_FALSE(TraceRecorder::global().sampled(7));
+  TraceRecorder::global().record_complete("noise", 0, 10, 1);
+  EXPECT_EQ(TraceRecorder::global().event_count(), 0U);
+}
+
+TEST_F(TracingTest, RecorderCapturesEventsAndThreadNames) {
+  auto& recorder = TraceRecorder::global();
+  recorder.enable(/*sample_every=*/1);
+  EXPECT_TRUE(recorder.sampled(7));
+  recorder.set_thread_name("test-main");
+  const std::uint64_t t0 = recorder.now_ns();
+  recorder.record_complete("alpha", t0, 1500, telemetry::trace_id_of(7, 0.1), "station", 7);
+  recorder.record_complete("beta", t0 + 2000, 500, 0);
+  EXPECT_EQ(recorder.event_count(), 2U);
+
+  const data::Json doc = data::Json::parse(recorder.to_json());
+  const auto& events = doc.at("traceEvents").as_array();
+  bool saw_thread_name = false;
+  bool saw_alpha = false;
+  for (const data::Json& event : events) {
+    const std::string ph = event.at("ph").as_string();
+    if (ph == "M") {
+      if (event.at("name").as_string() == "thread_name" &&
+          event.at("args").at("name").as_string() == "test-main") {
+        saw_thread_name = true;
+      }
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    if (event.at("name").as_string() != "alpha") continue;
+    saw_alpha = true;
+    EXPECT_DOUBLE_EQ(event.at("dur").as_number(), 1.5);  // 1500 ns = 1.5 us
+    const std::string trace = event.at("args").at("trace").as_string();
+    EXPECT_EQ(trace.size(), 16U) << "trace ids export as 16-hex-digit strings";
+    EXPECT_EQ(std::stoull(trace, nullptr, 16), telemetry::trace_id_of(7, 0.1));
+    EXPECT_DOUBLE_EQ(event.at("args").at("station").as_number(), 7.0);
+  }
+  EXPECT_TRUE(saw_thread_name);
+  EXPECT_TRUE(saw_alpha);
+
+  recorder.clear();
+  EXPECT_EQ(recorder.event_count(), 0U);
+}
+
+// --------------------------------------------------- inline JSON validator -
+// The same checks CI applies to the bench-produced trace.json. Returns the
+// parsed pieces so the end-to-end test can make its causal assertions.
+
+struct ValidatedTrace {
+  /// trace-id sets per event name (events without a trace arg contribute 0).
+  std::map<std::string, std::set<std::uint64_t>> traces_by_name;
+  /// distinct tids per event name.
+  std::map<std::string, std::set<int>> tids_by_name;
+  /// tid -> thread name from the "M" metadata events.
+  std::map<int, std::string> thread_names;
+  std::size_t x_events = 0;
+};
+
+ValidatedTrace validate_chrome_trace(const std::string& json) {
+  ValidatedTrace out;
+  const data::Json doc = data::Json::parse(json);  // throws on malformed JSON
+  const auto& events = doc.at("traceEvents").as_array();
+  double last_ts = -1.0;
+  for (const data::Json& event : events) {
+    const std::string ph = event.at("ph").as_string();
+    const int tid = static_cast<int>(event.at("tid").as_number());
+    if (ph == "M") {
+      EXPECT_EQ(event.at("name").as_string(), "thread_name");
+      out.thread_names[tid] = event.at("args").at("name").as_string();
+      continue;
+    }
+    EXPECT_EQ(ph, "X") << "only complete and metadata events are emitted";
+    const std::string name = event.at("name").as_string();
+    const double ts = event.at("ts").as_number();
+    const double dur = event.at("dur").as_number();
+    EXPECT_GE(ts, last_ts) << "X events must be sorted by ts for stream consumers";
+    last_ts = ts;
+    EXPECT_GE(dur, 0.0);
+    std::uint64_t trace = 0;
+    if (event.at("args").contains("trace")) {
+      const std::string hex = event.at("args").at("trace").as_string();
+      EXPECT_EQ(hex.size(), 16U);
+      trace = std::stoull(hex, nullptr, 16);
+      EXPECT_NE(trace, 0U);
+    }
+    out.traces_by_name[name].insert(trace);
+    out.tids_by_name[name].insert(tid);
+    ++out.x_events;
+  }
+  return out;
+}
+
+// ----------------------------------- end-to-end service timeline fixtures --
+// Minimal copies of the serve_test fixtures: identity scaler + cheap linear
+// critics that flag every complete window.
+
+features::MinMaxScaler identity_scaler(std::size_t width = 12) {
+  features::Series s;
+  s.width = width;
+  for (std::size_t c = 0; c < width; ++c) s.values.push_back(0.0F);
+  for (std::size_t c = 0; c < width; ++c) s.values.push_back(1.0F);
+  features::MinMaxScaler scaler;
+  scaler.fit({s});
+  return scaler;
+}
+
+std::shared_ptr<mbds::VehiGan> make_ensemble(std::uint64_t seed) {
+  std::vector<std::shared_ptr<mbds::WganDetector>> detectors;
+  for (std::size_t i = 0; i < 2; ++i) {
+    gan::TrainedWgan model;
+    model.config.id = static_cast<int>(i);
+    model.config.window = 10;
+    model.config.width = 12;
+    model.discriminator.add<nn::Flatten>();
+    auto& dense = model.discriminator.add<nn::Dense>(120, 1);
+    dense.weights().assign(120, -(1.0F + 0.5F * static_cast<float>(i)));
+    dense.bias() = {0.0F};
+    auto det = std::make_shared<mbds::WganDetector>(std::move(model));
+    det->set_threshold(-1e9);  // flag every complete window
+    detectors.push_back(std::move(det));
+  }
+  auto ensemble = std::make_shared<mbds::VehiGan>(detectors, /*k=*/1, seed);
+  ensemble->set_subset_draw(mbds::SubsetDraw::kContentKeyed);
+  return ensemble;
+}
+
+std::vector<sim::Bsm> multi_sender_stream(std::size_t senders, std::size_t ticks,
+                                          std::uint32_t first_id = 1) {
+  std::vector<sim::Bsm> stream;
+  stream.reserve(senders * ticks);
+  for (std::size_t t = 0; t < ticks; ++t) {
+    for (std::size_t v = 0; v < senders; ++v) {
+      sim::Bsm m;
+      m.vehicle_id = first_id + static_cast<std::uint32_t>(v);
+      m.time = 0.1 * static_cast<double>(t);
+      m.speed = 10.0 + static_cast<double>(v);
+      m.x = m.speed * m.time;
+      m.y = static_cast<double>(m.vehicle_id);
+      m.heading = 0.0;
+      stream.push_back(m);
+    }
+  }
+  return stream;
+}
+
+TEST_F(TracingTest, TwoShardServiceTimelineJoinsSubmitToScoreToReport) {
+  auto& recorder = TraceRecorder::global();
+  recorder.enable(/*sample_every=*/1);  // trace every sender
+  recorder.set_thread_name("producer-0");
+
+  serve::ServiceConfig config;
+  config.num_shards = 2;
+  config.queue_capacity = 256;
+  config.policy = serve::OverloadPolicy::kBlock;
+  config.station_id = 42;
+  config.report_cooldown_s = 0.25;
+  config.gap_reset_s = 1.0;
+  config.evict_after_s = 0.0;
+
+  // Enough senders that both shards see traffic (FNV-1a assignment).
+  const auto stream = multi_sender_stream(/*senders=*/8, /*ticks=*/40);
+  std::vector<mbds::MisbehaviorReport> reports;
+  {
+    serve::DetectionService service(
+        config, [&](std::size_t) { return make_ensemble(7); }, identity_scaler());
+    std::set<std::size_t> shards_hit;
+    for (std::uint32_t id = 1; id <= 8; ++id) shards_hit.insert(service.shard_of(id));
+    ASSERT_EQ(shards_hit.size(), 2U) << "fixture must exercise both shards";
+    service.set_report_sink([&](const mbds::MisbehaviorReport& r) { reports.push_back(r); });
+    for (const sim::Bsm& message : stream) ASSERT_TRUE(service.submit(message));
+    service.drain();
+    service.stop();
+  }
+  ASSERT_FALSE(reports.empty());
+
+  // Every emitted report carries the recomputable per-message trace id.
+  for (const mbds::MisbehaviorReport& report : reports) {
+    EXPECT_EQ(report.trace_id, telemetry::trace_id_of(report.suspect_id, report.time));
+  }
+
+  const ValidatedTrace trace = validate_chrome_trace(recorder.to_json());
+  ASSERT_GT(trace.x_events, 0U);
+
+  // Complete X events from >= 2 distinct shard threads.
+  ASSERT_TRUE(trace.tids_by_name.count("drain"));
+  EXPECT_GE(trace.tids_by_name.at("drain").size(), 2U)
+      << "drain spans must come from two distinct shard threads";
+  std::set<std::string> shard_names;
+  for (const auto& [tid, name] : trace.thread_names) {
+    if (name.rfind("shard-", 0) == 0) shard_names.insert(name);
+  }
+  EXPECT_GE(shard_names.size(), 2U) << "both shard threads must self-label";
+
+  // Causal join: per-message trace ids recorded at submit (producer thread)
+  // reappear on the score spans (shard threads) and on the reports.
+  ASSERT_TRUE(trace.traces_by_name.count("submit"));
+  ASSERT_TRUE(trace.traces_by_name.count("score"));
+  const auto& submit_ids = trace.traces_by_name.at("submit");
+  const auto& score_ids = trace.traces_by_name.at("score");
+  std::size_t joined = 0;
+  for (std::uint64_t id : score_ids) joined += submit_ids.count(id);
+  EXPECT_GT(joined, 0U) << "no trace id flowed from submit to score";
+  // Submit and score happened on different threads.
+  std::set<int> submit_tids = trace.tids_by_name.at("submit");
+  std::set<int> score_tids = trace.tids_by_name.at("score");
+  for (int tid : submit_tids) EXPECT_EQ(score_tids.count(tid), 0U)
+      << "scoring must happen on shard threads, not the producer";
+
+  // Report spans carry the ids of actually-emitted reports.
+  ASSERT_TRUE(trace.traces_by_name.count("report"));
+  std::set<std::uint64_t> report_ids;
+  for (const auto& report : reports) report_ids.insert(report.trace_id);
+  std::size_t matched = 0;
+  for (std::uint64_t id : trace.traces_by_name.at("report")) matched += report_ids.count(id);
+  EXPECT_GT(matched, 0U);
+}
+
+}  // namespace
+}  // namespace vehigan

@@ -1,0 +1,221 @@
+// Extension — the declarative scenario slate, end to end through the
+// serving stack.
+//
+// Each scenario (synthetic ScenarioEngine compilations plus one VeReMi
+// round-trip replay) is fed tick by tick into a sharded
+// serve::DetectionService; the score-sink tap joins every scored window with
+// the scenario's ground-truth labels. One CSV row per scenario:
+//
+//   auroc          window scores vs. sender labels through the full pipeline
+//   p99_drain_ms   p99 of the per-shard drain cycle during this scenario
+//   drop_rate      dropped / enqueued (kBlock here, so 0 unless overloaded)
+//   drift_alarms   score/flag-rate drift alarms raised by the shard monitors
+//
+// plus message/sender/attacker counts, reports, evictions, and throughput.
+// The full table lands in bench_results/ext_scenarios.csv with a telemetry
+// sidecar. VEHIGAN_SCENARIO_SLATE=smoke runs a 3-scenario subset
+// (grid-cruise, sybil-ghost, adaptive-prober) for CI.
+//
+// The ensembles are random-weight paper critics (m=4, k=2, content-keyed):
+// the slate measures the harness — labeled-stream compilation, sharded
+// serving, label joining — not detection quality, which the trained-grid
+// table benches own. Thresholds flag every complete window so the report
+// path runs and the adaptive prober faces real flagging pressure.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "data/veremi.hpp"
+#include "experiments/table_printer.hpp"
+#include "features/scaler.hpp"
+#include "gan/architecture.hpp"
+#include "mbds/ensemble.hpp"
+#include "mbds/wgan_detector.hpp"
+#include "scenario/config.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/veremi_replay.hpp"
+#include "serve/config.hpp"
+#include "sim/traffic_sim.hpp"
+#include "util/csv.hpp"
+#include "vasp/attack_types.hpp"
+#include "vasp/dataset_builder.hpp"
+
+using namespace vehigan;
+
+namespace {
+
+constexpr std::size_t kEnsembleM = 4;
+constexpr std::size_t kEnsembleK = 2;
+
+bool smoke_slate() {
+  const char* slate = std::getenv("VEHIGAN_SCENARIO_SLATE");
+  return slate != nullptr && std::string(slate) == "smoke";
+}
+
+std::vector<std::shared_ptr<mbds::WganDetector>> grid_critics(std::size_t m) {
+  std::vector<std::shared_ptr<mbds::WganDetector>> detectors;
+  util::Rng rng(2024);
+  for (std::size_t i = 0; i < m; ++i) {
+    gan::WganConfig config;
+    config.id = static_cast<int>(i);
+    config.layers = 6 + static_cast<int>(i % 3);
+    gan::TrainedWgan model;
+    model.config = config;
+    model.discriminator = gan::build_discriminator(config, rng);
+    auto det = std::make_shared<mbds::WganDetector>(std::move(model));
+    det->set_calibration(0.0, 1.0);
+    det->set_threshold(-1e9);  // flag every complete window (see header)
+    detectors.push_back(std::move(det));
+  }
+  return detectors;
+}
+
+std::shared_ptr<mbds::VehiGan> serving_ensemble() {
+  auto ensemble = std::make_shared<mbds::VehiGan>(grid_critics(kEnsembleM), kEnsembleK, 99);
+  ensemble->set_subset_draw(mbds::SubsetDraw::kContentKeyed);
+  return ensemble;
+}
+
+features::MinMaxScaler identity_scaler() {
+  features::Series s;
+  s.width = 12;
+  for (std::size_t c = 0; c < 12; ++c) s.values.push_back(0.0F);
+  for (std::size_t c = 0; c < 12; ++c) s.values.push_back(1.0F);
+  features::MinMaxScaler scaler;
+  scaler.fit({s});
+  return scaler;
+}
+
+scenario::RunnerOptions runner_options() {
+  scenario::RunnerOptions options;
+  options.service.num_shards = 2;
+  options.service.queue_capacity = 1024;
+  options.service.policy = serve::OverloadPolicy::kBlock;
+  options.service.report_cooldown_s = 1.0;
+  options.service.evict_after_s = 5.0;  // arrival gaps actually trigger sweeps
+  options.service.evict_every_s = 1.0;
+  options.drain_every_ticks = 8;  // settle in bursts, not one giant backlog
+  return options;
+}
+
+/// The VeReMi leg of the slate: synthesize a small fleet, inject one attack
+/// cohort VASP-style, export it in the real VeReMi JSON-lines dialect,
+/// re-import through VeremiReplaySource, and serve it. Timestamps are
+/// rebased to an absolute clock (7 h into the day) — the configuration that
+/// used to break wall-clock eviction.
+scenario::ScenarioOutcome run_veremi_replay(const scenario::RunnerOptions& options) {
+  sim::TrafficSimConfig sim_cfg;
+  sim_cfg.duration_s = 40.0;
+  sim_cfg.num_platoons = 4;
+  sim_cfg.vehicles_per_platoon = 4;
+  sim_cfg.seed = 77;
+  sim::BsmDataset benign = sim::TrafficSimulator(sim_cfg).run();
+  for (sim::VehicleTrace& trace : benign.traces) {
+    for (sim::Bsm& message : trace.messages) message.time += 25200.0;
+  }
+  const vasp::AttackSpec& spec = vasp::attack_by_name("ConstantPositionOffset");
+  vasp::ScenarioOptions scenario_options;
+  scenario_options.malicious_fraction = 0.25;
+  scenario_options.seed = 78;
+  const vasp::MisbehaviorDataset dataset =
+      vasp::build_scenario(benign, spec, scenario_options);
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "vehigan_bench_ext_scenarios";
+  std::filesystem::create_directories(dir);
+  const data::VeremiExport files = data::write_veremi(dataset, spec.index, dir, "replay");
+  scenario::VeremiReplaySource source(files);
+  const scenario::ScenarioOutcome outcome = scenario::run_scenario(
+      source, "veremi-replay", options, [](std::size_t) { return serving_ensemble(); },
+      identity_scaler());
+  std::filesystem::remove_all(dir);
+  return outcome;
+}
+
+void bm_compile(benchmark::State& state) {
+  const std::vector<scenario::ScenarioConfig> slate = scenario::builtin_slate();
+  const scenario::ScenarioConfig& config = slate[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    scenario::ScenarioEngine engine(config);
+    benchmark::DoNotOptimize(engine.tick_count());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init_observability_from_env();
+  const bool smoke = smoke_slate();
+  const scenario::RunnerOptions options = runner_options();
+
+  std::cout << "=== Scenario slate through the sharded serving stack ===\n"
+            << "ensemble m=" << kEnsembleM << " k=" << kEnsembleK << " (content-keyed, "
+            << "random weights: this measures the harness, not detection quality), "
+            << options.service.num_shards << " shards\n"
+            << "slate: " << (smoke ? "smoke (3 scenarios)" : "full (6 builtin + VeReMi replay)")
+            << "\n\n";
+
+  std::vector<scenario::ScenarioOutcome> outcomes;
+  for (const scenario::ScenarioConfig& config : scenario::builtin_slate()) {
+    if (smoke && config.name != "grid-cruise" && config.name != "sybil-ghost" &&
+        config.name != "adaptive-prober") {
+      continue;
+    }
+    scenario::ScenarioEngine engine(config);
+    outcomes.push_back(scenario::run_scenario(
+        engine, config.name, options, [](std::size_t) { return serving_ensemble(); },
+        identity_scaler()));
+  }
+  if (!smoke) outcomes.push_back(run_veremi_replay(options));
+
+  experiments::TablePrinter table({"scenario", "messages", "senders", "attackers", "auroc",
+                                   "p99 drain ms", "drop rate", "drift alarms", "reports",
+                                   "evictions", "msgs/sec"});
+  for (const scenario::ScenarioOutcome& o : outcomes) {
+    table.add_row({o.name, std::to_string(o.messages), std::to_string(o.senders),
+                   std::to_string(o.attackers), experiments::TablePrinter::format(o.auroc, 4),
+                   experiments::TablePrinter::format(o.p99_drain_ms, 3),
+                   experiments::TablePrinter::format(o.drop_rate, 4),
+                   std::to_string(o.drift_alarms), std::to_string(o.reports),
+                   std::to_string(o.evictions),
+                   experiments::TablePrinter::format(o.msgs_per_sec, 0)});
+  }
+  table.print();
+
+  std::filesystem::create_directories("bench_results");
+  util::CsvWriter csv("bench_results/ext_scenarios.csv");
+  csv.write_row({"scenario", "messages", "senders", "attackers", "windows_scored", "auroc",
+                 "p99_drain_ms", "drop_rate", "drift_alarms", "reports", "evictions",
+                 "msgs_per_sec"});
+  for (const scenario::ScenarioOutcome& o : outcomes) {
+    csv.write_row({o.name, std::to_string(o.messages), std::to_string(o.senders),
+                   std::to_string(o.attackers), std::to_string(o.windows_scored),
+                   experiments::TablePrinter::format(o.auroc, 4),
+                   experiments::TablePrinter::format(o.p99_drain_ms, 4),
+                   experiments::TablePrinter::format(o.drop_rate, 4),
+                   std::to_string(o.drift_alarms), std::to_string(o.reports),
+                   std::to_string(o.evictions),
+                   experiments::TablePrinter::format(o.msgs_per_sec, 1)});
+  }
+  std::cout << "\nrows written to bench_results/ext_scenarios.csv\n\n";
+
+  benchmark::RegisterBenchmark("scenario/compile", bm_compile)
+      ->Arg(0)  // grid-cruise
+      ->Arg(4)  // sybil-ghost
+      ->Unit(benchmark::kMillisecond)
+      ->MinTime(0.1);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  bench::write_telemetry_sidecar("ext_scenarios");
+  bench::finish_observability_from_env();
+  return 0;
+}

@@ -133,17 +133,15 @@ int main(int argc, char** argv) {
   std::cout << "replaying " << air.size() << " BSMs from " << live.traces.size()
             << " vehicles (" << live.malicious_count() << " attackers, " << attack_name
             << ")\n";
+  // Periodic staleness sweeps (the OnlineMbds memory contract): vehicles
+  // quiet for evict_after_s simulated seconds lose their window state. The
+  // sweep clock is message time, so the replay behaves like the live RSU.
+  monitor.set_eviction_policy({evict_after_s, /*evict_every_s=*/2.0});
   double next_dump = 0.0;
-  double next_sweep = 0.0;
   std::size_t evicted = 0;
   for (const auto& [time, message] : air) {
     (void)monitor.ingest(*message);
-    // Periodic staleness sweep (the OnlineMbds memory contract): vehicles
-    // quiet for evict_after_s simulated seconds lose their window state.
-    if (evict_after_s > 0.0 && time >= next_sweep) {
-      evicted += monitor.evict_stale(time - evict_after_s);
-      next_sweep = time + 2.0;  // ~every 2 sim-seconds
-    }
+    evicted += monitor.advance_time(time).evicted;
     if (!metrics_out.empty() && time >= next_dump) {
       dump_metrics(metrics_out);  // periodic scrape point, ~every 4 sim-seconds
       next_dump = time + 4.0;

@@ -28,7 +28,22 @@ Json bsm_to_json(const sim::Bsm& m) {
   return Json(std::move(object));
 }
 
+/// Rejection path for corrupt trace files: every parse/shape failure is
+/// rethrown with the file and 1-based line it came from, so a truncated
+/// download or a hand-edited trace fails loudly and locatably instead of
+/// importing garbage windows.
+[[noreturn]] void fail_record(const std::filesystem::path& file, std::size_t lineno,
+                              const std::string& what) {
+  throw std::runtime_error("read_veremi: " + file.string() + ":" + std::to_string(lineno) +
+                           ": malformed record: " + what);
+}
+
 sim::Bsm json_to_bsm(const Json& record) {
+  for (const char* key : {"sendTime", "sender", "pos", "spd", "acl", "hed"}) {
+    if (!record.contains(key)) {
+      throw std::runtime_error(std::string("missing field \"") + key + "\"");
+    }
+  }
   sim::Bsm m;
   m.vehicle_id = static_cast<std::uint32_t>(record.at("sender").as_number());
   m.time = record.at("sendTime").as_number();
@@ -82,12 +97,23 @@ VeremiImport read_veremi(const VeremiExport& files) {
   if (!messages) throw std::runtime_error("read_veremi: cannot open " + files.messages.string());
   std::map<std::uint32_t, sim::VehicleTrace> by_sender;
   std::string line;
+  std::size_t lineno = 0;
   while (std::getline(messages, line)) {
+    ++lineno;
     if (line.empty()) continue;
-    const sim::Bsm m = json_to_bsm(Json::parse(line));
-    auto& trace = by_sender[m.vehicle_id];
-    trace.vehicle_id = m.vehicle_id;
-    trace.messages.push_back(m);
+    try {
+      const Json record = Json::parse(line);
+      // Real VeReMi receiver logs interleave type-2 GPS self-reports with
+      // the type-3 BSMs; only the latter are channel messages. A truncated
+      // file fails here too: its cut-off final line is not valid JSON.
+      if (record.contains("type") && record.at("type").as_number() != 3.0) continue;
+      const sim::Bsm m = json_to_bsm(record);
+      auto& trace = by_sender[m.vehicle_id];
+      trace.vehicle_id = m.vehicle_id;
+      trace.messages.push_back(m);
+    } catch (const std::exception& error) {
+      fail_record(files.messages, lineno, error.what());
+    }
   }
   for (auto& [sender, trace] : by_sender) result.dataset.traces.push_back(std::move(trace));
 
@@ -95,11 +121,20 @@ VeremiImport read_veremi(const VeremiExport& files) {
   if (!truth) {
     throw std::runtime_error("read_veremi: cannot open " + files.ground_truth.string());
   }
+  lineno = 0;
   while (std::getline(truth, line)) {
+    ++lineno;
     if (line.empty()) continue;
-    const Json record = Json::parse(line);
-    result.attacker_type[static_cast<std::uint32_t>(record.at("sender").as_number())] =
-        static_cast<int>(record.at("attackerType").as_number());
+    try {
+      const Json record = Json::parse(line);
+      if (!record.contains("sender") || !record.contains("attackerType")) {
+        throw std::runtime_error("ground-truth record needs \"sender\" and \"attackerType\"");
+      }
+      result.attacker_type[static_cast<std::uint32_t>(record.at("sender").as_number())] =
+          static_cast<int>(record.at("attackerType").as_number());
+    } catch (const std::exception& error) {
+      fail_record(files.ground_truth, lineno, error.what());
+    }
   }
   return result;
 }

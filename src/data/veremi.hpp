@@ -35,6 +35,15 @@ VeremiExport write_veremi(const vasp::MisbehaviorDataset& scenario, int attack_i
 
 /// Reads the dialect back: the dataset grouped per sender plus the label map
 /// sender -> attackerType (0 = honest).
+///
+/// Tolerance/rejection contract (pinned by tests/data_test.cpp fixtures):
+///  * unknown keys (rcvTime, senderPseudo, messageID, ...) are ignored, so
+///    real VeReMi receiver logs import as-is;
+///  * records with a "type" other than 3 (e.g. type-2 GPS self-reports) are
+///    skipped — they are not channel messages;
+///  * a malformed or truncated line, a missing required field, or a
+///    short pos/spd/acl/hed vector throws std::runtime_error carrying
+///    "<file>:<line>: malformed record: ..." so corrupt traces fail loudly.
 struct VeremiImport {
   sim::BsmDataset dataset;
   std::map<std::uint32_t, int> attacker_type;

@@ -133,6 +133,7 @@ std::optional<MisbehaviorReport> OnlineMbds::finalize(const sim::Bsm& message,
 }
 
 void OnlineMbds::observe_result(const sim::Bsm& message, const DetectionResult& result) {
+  if (score_sink_) score_sink_(message, result);
   if (!telemetry::enabled()) return;
   const std::uint64_t trace = telemetry::trace_id_of(message.vehicle_id, message.time);
   telemetry::FlightRecorder::record(
@@ -246,6 +247,29 @@ std::vector<MisbehaviorReport> OnlineMbds::ingest_batch(std::span<const sim::Bsm
   tel.reports_total.add(reports.size());
   publish_drift(tel, drift_);
   return reports;
+}
+
+void OnlineMbds::set_eviction_policy(EvictionPolicy policy) {
+  eviction_policy_ = policy;
+  replay_clock_ = -1e18;
+  last_sweep_time_ = -1e18;
+}
+
+OnlineMbds::SweepResult OnlineMbds::advance_time(double message_time) {
+  if (message_time > replay_clock_) replay_clock_ = message_time;
+  SweepResult result;
+  if (eviction_policy_.evict_after_s <= 0.0) return result;
+  // First call seeds the cadence without sweeping: nothing can be stale
+  // before the stream's clock has spanned evict_after_s of message time.
+  if (last_sweep_time_ <= -1e18) {
+    last_sweep_time_ = replay_clock_;
+    return result;
+  }
+  if (replay_clock_ - last_sweep_time_ < eviction_policy_.evict_every_s) return result;
+  result.swept = true;
+  result.evicted = evict_stale(replay_clock_ - eviction_policy_.evict_after_s);
+  last_sweep_time_ = replay_clock_;
+  return result;
 }
 
 std::size_t OnlineMbds::evict_stale(double before_time) {

@@ -30,12 +30,34 @@ namespace vehigan::mbds {
 class OnlineMbds {
  public:
   using ReportSink = std::function<void(const MisbehaviorReport&)>;
+  /// Observer of every scored window (flagged or not), invoked once per
+  /// window in message order with the triggering BSM and the full ensemble
+  /// verdict. This is the label-joining tap the scenario harness uses to
+  /// compute AUROC through the serving stack: reports only exist for flagged
+  /// windows, but AUROC needs the scores of both classes.
+  using ScoreSink = std::function<void(const sim::Bsm&, const DetectionResult&)>;
 
   /// Point-in-time footprint + lifetime eviction tally of this instance.
   struct Stats {
     std::size_t tracked_vehicles = 0;   ///< senders with live buffer state
     std::size_t buffered_messages = 0;  ///< raw BSMs held across all buffers
     std::uint64_t evictions_total = 0;  ///< buffers dropped by evict_stale
+  };
+
+  /// Message-time staleness sweeping for long-lived replay/serving owners.
+  /// BSM streams carry their own clock (VeReMi traces have *absolute*
+  /// timestamps), so sweeps are driven by `advance_time` — never by wall
+  /// time: a trace replayed at 1000x wall speed evicts exactly the same
+  /// senders at exactly the same stream positions as a live run would.
+  struct EvictionPolicy {
+    double evict_after_s = 0.0;  ///< idle threshold in message time; <= 0 disables
+    double evict_every_s = 5.0;  ///< min message-time progress between sweeps
+  };
+
+  /// Outcome of one advance_time call.
+  struct SweepResult {
+    bool swept = false;        ///< a sweep ran (cadence was due)
+    std::size_t evicted = 0;   ///< buffers dropped by that sweep
   };
 
   /// @param station_id      identity of this OBU/RSU (for MBR provenance)
@@ -66,6 +88,23 @@ class OnlineMbds {
   std::vector<MisbehaviorReport> ingest_batch(std::span<const sim::Bsm> messages);
 
   void set_report_sink(ReportSink sink) { sink_ = std::move(sink); }
+
+  /// Observes every scored window. Called from `observe_result`, so it runs
+  /// once per window in message order on both ingest paths — installing one
+  /// cannot perturb detection results or report sequences.
+  void set_score_sink(ScoreSink sink) { score_sink_ = std::move(sink); }
+
+  /// Installs (and resets) the message-time sweep policy consumed by
+  /// `advance_time`. Does not affect explicit `evict_stale` calls.
+  void set_eviction_policy(EvictionPolicy policy);
+  [[nodiscard]] const EvictionPolicy& eviction_policy() const { return eviction_policy_; }
+
+  /// Advances the replay clock to `message_time` (monotonic max — late or
+  /// reordered batches never move it backwards) and runs an `evict_stale`
+  /// sweep when the policy's cadence is due. Call after ingesting each
+  /// message/batch with the newest timestamp seen; a no-op when
+  /// `evict_after_s <= 0`.
+  SweepResult advance_time(double message_time);
 
   /// Drops per-vehicle state not updated since `before_time` (pseudonym
   /// churn / vehicles leaving range). Returns the number of buffers dropped.
@@ -120,9 +159,13 @@ class OnlineMbds {
   double cooldown_;
   double gap_reset_s_;
   ReportSink sink_;
+  ScoreSink score_sink_;
   std::unordered_map<std::uint32_t, VehicleBuffer> buffers_;
   std::uint64_t evictions_total_ = 0;
   telemetry::ScoreDriftMonitor drift_;
+  EvictionPolicy eviction_policy_;
+  double replay_clock_ = -1e18;     ///< newest message time seen by advance_time
+  double last_sweep_time_ = -1e18;  ///< replay-clock value at the last sweep
 };
 
 }  // namespace vehigan::mbds

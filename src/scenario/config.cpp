@@ -1,0 +1,254 @@
+#include "scenario/config.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "vasp/attack_types.hpp"
+
+namespace vehigan::scenario {
+
+namespace {
+
+using data::Json;
+
+/// Schema guard: a typoed knob must fail the load, not silently revert to
+/// its default under a benchmark.
+void reject_unknown_keys(const Json& object, const char* where,
+                         std::initializer_list<const char*> known) {
+  const std::set<std::string> allowed(known.begin(), known.end());
+  for (const auto& [key, value] : object.as_object()) {
+    if (!allowed.contains(key)) {
+      throw std::runtime_error(std::string("scenario config: unknown key \"") + key +
+                               "\" in " + where);
+    }
+  }
+}
+
+double number_or(const Json& object, const char* key, double fallback) {
+  return object.contains(key) ? object.at(key).as_number() : fallback;
+}
+
+ArrivalPattern arrival_pattern_from_string(const std::string& name) {
+  if (name == "immediate") return ArrivalPattern::kImmediate;
+  if (name == "uniform") return ArrivalPattern::kUniform;
+  if (name == "rush-hour") return ArrivalPattern::kRushHour;
+  throw std::runtime_error("scenario config: unknown arrival pattern \"" + name + "\"");
+}
+
+CohortMode cohort_mode_from_string(const std::string& name) {
+  if (name == "persistent") return CohortMode::kPersistent;
+  if (name == "sybil") return CohortMode::kSybil;
+  if (name == "adaptive") return CohortMode::kAdaptive;
+  throw std::runtime_error("scenario config: unknown cohort mode \"" + name + "\"");
+}
+
+ArrivalConfig arrival_from_json(const Json& doc) {
+  reject_unknown_keys(doc, "arrival", {"pattern", "peak_time_s", "sigma_s"});
+  ArrivalConfig arrival;
+  if (doc.contains("pattern")) {
+    arrival.pattern = arrival_pattern_from_string(doc.at("pattern").as_string());
+  }
+  arrival.peak_time_s = number_or(doc, "peak_time_s", arrival.peak_time_s);
+  arrival.sigma_s = number_or(doc, "sigma_s", arrival.sigma_s);
+  return arrival;
+}
+
+GpsDegradedZone zone_from_json(const Json& doc) {
+  reject_unknown_keys(doc, "gps_degraded[]",
+                      {"x_min", "x_max", "y_min", "y_max", "pos_sigma_scale", "dropout_p"});
+  GpsDegradedZone zone;
+  zone.x_min = number_or(doc, "x_min", zone.x_min);
+  zone.x_max = number_or(doc, "x_max", zone.x_max);
+  zone.y_min = number_or(doc, "y_min", zone.y_min);
+  zone.y_max = number_or(doc, "y_max", zone.y_max);
+  zone.pos_sigma_scale = number_or(doc, "pos_sigma_scale", zone.pos_sigma_scale);
+  zone.dropout_p = number_or(doc, "dropout_p", zone.dropout_p);
+  return zone;
+}
+
+AttackerCohort cohort_from_json(const Json& doc) {
+  reject_unknown_keys(doc, "attackers[]",
+                      {"attack", "count", "mode", "start_time_s", "probe_period_s",
+                       "backoff", "recover"});
+  AttackerCohort cohort;
+  if (doc.contains("attack")) cohort.attack = doc.at("attack").as_string();
+  cohort.count = static_cast<int>(number_or(doc, "count", cohort.count));
+  if (doc.contains("mode")) cohort.mode = cohort_mode_from_string(doc.at("mode").as_string());
+  cohort.start_time_s = number_or(doc, "start_time_s", cohort.start_time_s);
+  cohort.probe_period_s = number_or(doc, "probe_period_s", cohort.probe_period_s);
+  cohort.backoff = number_or(doc, "backoff", cohort.backoff);
+  cohort.recover = number_or(doc, "recover", cohort.recover);
+  // Fail at load time, not mid-compile: the name must be in the matrix
+  // (Sybil cohorts fabricate whole trajectories and ignore it).
+  if (cohort.mode != CohortMode::kSybil) (void)vasp::attack_by_name(cohort.attack);
+  return cohort;
+}
+
+sim::RoadNetworkConfig map_from_json(const Json& doc) {
+  reject_unknown_keys(doc, "map", {"grid_cols", "grid_rows", "block_length_m"});
+  sim::RoadNetworkConfig map;
+  map.grid_cols = static_cast<int>(number_or(doc, "grid_cols", map.grid_cols));
+  map.grid_rows = static_cast<int>(number_or(doc, "grid_rows", map.grid_rows));
+  map.block_length_m = number_or(doc, "block_length_m", map.block_length_m);
+  return map;
+}
+
+}  // namespace
+
+ScenarioConfig scenario_from_json(const Json& doc) {
+  reject_unknown_keys(doc, "scenario",
+                      {"name", "seed", "duration_s", "dt_s", "platoons",
+                       "vehicles_per_platoon", "map", "arrival", "gps_degraded",
+                       "attackers"});
+  ScenarioConfig config;
+  if (doc.contains("name")) config.name = doc.at("name").as_string();
+  config.seed = static_cast<std::uint64_t>(number_or(doc, "seed", 1.0));
+  config.duration_s = number_or(doc, "duration_s", config.duration_s);
+  config.dt_s = number_or(doc, "dt_s", config.dt_s);
+  config.num_platoons = static_cast<int>(number_or(doc, "platoons", config.num_platoons));
+  config.vehicles_per_platoon =
+      static_cast<int>(number_or(doc, "vehicles_per_platoon", config.vehicles_per_platoon));
+  if (doc.contains("map")) config.map = map_from_json(doc.at("map"));
+  if (doc.contains("arrival")) config.arrival = arrival_from_json(doc.at("arrival"));
+  if (doc.contains("gps_degraded")) {
+    for (const Json& zone : doc.at("gps_degraded").as_array()) {
+      config.gps_zones.push_back(zone_from_json(zone));
+    }
+  }
+  if (doc.contains("attackers")) {
+    for (const Json& cohort : doc.at("attackers").as_array()) {
+      config.cohorts.push_back(cohort_from_json(cohort));
+    }
+  }
+  return config;
+}
+
+data::Json scenario_to_json(const ScenarioConfig& config) {
+  Json::Object root;
+  root["name"] = Json(config.name);
+  root["seed"] = Json(static_cast<double>(config.seed));
+  root["duration_s"] = Json(config.duration_s);
+  root["dt_s"] = Json(config.dt_s);
+  root["platoons"] = Json(config.num_platoons);
+  root["vehicles_per_platoon"] = Json(config.vehicles_per_platoon);
+
+  Json::Object map;
+  map["grid_cols"] = Json(config.map.grid_cols);
+  map["grid_rows"] = Json(config.map.grid_rows);
+  map["block_length_m"] = Json(config.map.block_length_m);
+  root["map"] = Json(std::move(map));
+
+  Json::Object arrival;
+  arrival["pattern"] = Json(to_string(config.arrival.pattern));
+  arrival["peak_time_s"] = Json(config.arrival.peak_time_s);
+  arrival["sigma_s"] = Json(config.arrival.sigma_s);
+  root["arrival"] = Json(std::move(arrival));
+
+  Json::Array zones;
+  for (const GpsDegradedZone& zone : config.gps_zones) {
+    Json::Object z;
+    z["x_min"] = Json(zone.x_min);
+    z["x_max"] = Json(zone.x_max);
+    z["y_min"] = Json(zone.y_min);
+    z["y_max"] = Json(zone.y_max);
+    z["pos_sigma_scale"] = Json(zone.pos_sigma_scale);
+    z["dropout_p"] = Json(zone.dropout_p);
+    zones.push_back(Json(std::move(z)));
+  }
+  root["gps_degraded"] = Json(std::move(zones));
+
+  Json::Array cohorts;
+  for (const AttackerCohort& cohort : config.cohorts) {
+    Json::Object c;
+    c["attack"] = Json(cohort.attack);
+    c["count"] = Json(cohort.count);
+    c["mode"] = Json(to_string(cohort.mode));
+    c["start_time_s"] = Json(cohort.start_time_s);
+    c["probe_period_s"] = Json(cohort.probe_period_s);
+    c["backoff"] = Json(cohort.backoff);
+    c["recover"] = Json(cohort.recover);
+    cohorts.push_back(Json(std::move(c)));
+  }
+  root["attackers"] = Json(std::move(cohorts));
+  return Json(std::move(root));
+}
+
+ScenarioConfig scenario_from_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("scenario config: cannot open " + path.string());
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return scenario_from_json(Json::parse(text.str()));
+  } catch (const std::exception& error) {
+    throw std::runtime_error("scenario config: " + path.string() + ": " + error.what());
+  }
+}
+
+std::vector<ScenarioConfig> builtin_slate() {
+  std::vector<ScenarioConfig> slate;
+
+  {  // Baseline: calm grid cruising with one classic persistent attacker.
+    ScenarioConfig c;
+    c.name = "grid-cruise";
+    c.seed = 11;
+    c.cohorts.push_back({.attack = "HighYawRate", .count = 2,
+                         .mode = CohortMode::kPersistent, .start_time_s = 5.0});
+    slate.push_back(c);
+  }
+  {  // Rush hour: platoons surge in around the burst peak; load spikes.
+    ScenarioConfig c;
+    c.name = "rush-hour-burst";
+    c.seed = 22;
+    c.num_platoons = 10;
+    c.arrival = {ArrivalPattern::kRushHour, /*peak_time_s=*/20.0, /*sigma_s=*/8.0};
+    c.cohorts.push_back({.attack = "RandomPosition", .count = 3,
+                         .mode = CohortMode::kPersistent, .start_time_s = 10.0});
+    slate.push_back(c);
+  }
+  {  // Urban canyon: a corridor of degraded GNSS crossing the grid center.
+    ScenarioConfig c;
+    c.name = "gps-degraded-corridor";
+    c.seed = 33;
+    c.gps_zones.push_back({.x_min = 300.0, .x_max = 620.0, .y_min = 0.0, .y_max = 960.0,
+                           .pos_sigma_scale = 6.0, .dropout_p = 0.15});
+    c.cohorts.push_back({.attack = "ConstantPositionOffset", .count = 2,
+                         .mode = CohortMode::kPersistent, .start_time_s = 8.0});
+    slate.push_back(c);
+  }
+  {  // Dense platooning: long tight platoons, staggered uniform arrivals.
+    ScenarioConfig c;
+    c.name = "platoon-dense";
+    c.seed = 44;
+    c.num_platoons = 4;
+    c.vehicles_per_platoon = 8;
+    c.arrival.pattern = ArrivalPattern::kUniform;
+    c.cohorts.push_back({.attack = "HighSpeed", .count = 2,
+                         .mode = CohortMode::kPersistent, .start_time_s = 12.0});
+    slate.push_back(c);
+  }
+  {  // Sybil collusion: six fresh identities broadcast one coordinated ghost.
+    ScenarioConfig c;
+    c.name = "sybil-ghost";
+    c.seed = 55;
+    c.cohorts.push_back({.count = 6, .mode = CohortMode::kSybil, .start_time_s = 10.0});
+    slate.push_back(c);
+  }
+  {  // Adaptive prober: backs its magnitudes off whenever it gets flagged,
+     // trying to ride under the detector (and the PR-5 drift monitors).
+    ScenarioConfig c;
+    c.name = "adaptive-prober";
+    c.seed = 66;
+    c.cohorts.push_back({.attack = "ConstantSpeedOffset", .count = 2,
+                         .mode = CohortMode::kAdaptive, .start_time_s = 5.0,
+                         .probe_period_s = 2.0, .backoff = 0.5, .recover = 1.15});
+    slate.push_back(c);
+  }
+  return slate;
+}
+
+}  // namespace vehigan::scenario

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "data/json.hpp"
+#include "sim/road_network.hpp"
+#include "vasp/injector.hpp"
+
+namespace vehigan::scenario {
+
+/// When the platoons of a scenario enter the network. The simulator runs
+/// every platoon from t=0; the engine time-shifts whole platoons afterwards,
+/// which preserves the IDM interactions *within* each platoon exactly
+/// (platoons are mutually independent by construction).
+enum class ArrivalPattern {
+  kImmediate,  ///< everyone on the road at t=0
+  kUniform,    ///< arrivals spread uniformly over the first half of the run
+  kRushHour,   ///< Gaussian arrival burst around peak_time_s
+};
+
+[[nodiscard]] constexpr const char* to_string(ArrivalPattern pattern) {
+  switch (pattern) {
+    case ArrivalPattern::kImmediate: return "immediate";
+    case ArrivalPattern::kUniform: return "uniform";
+    case ArrivalPattern::kRushHour: return "rush-hour";
+  }
+  return "?";
+}
+
+struct ArrivalConfig {
+  ArrivalPattern pattern = ArrivalPattern::kImmediate;
+  double peak_time_s = 0.0;  ///< rush-hour burst center [s]
+  double sigma_s = 30.0;     ///< rush-hour burst width [s]
+};
+
+/// An axis-aligned region of degraded GNSS reception (urban canyon, tunnel
+/// approach). Honest messages sent from inside a zone either drop out
+/// entirely or carry inflated position noise — the benign failure mode a
+/// robust detector must not confuse with misbehavior.
+struct GpsDegradedZone {
+  double x_min = 0.0, x_max = 0.0;
+  double y_min = 0.0, y_max = 0.0;
+  double pos_sigma_scale = 4.0;  ///< multiplier on the base position sigma
+  double dropout_p = 0.0;        ///< per-message loss probability inside
+};
+
+enum class CohortMode {
+  kPersistent,  ///< classic VASP attacker: every transmitted message mutated
+  kSybil,       ///< coordinated ghost-vehicle collusion under fresh identities
+  kAdaptive,    ///< probes detector verdicts and backs off to stay undetected
+};
+
+[[nodiscard]] constexpr const char* to_string(CohortMode mode) {
+  switch (mode) {
+    case CohortMode::kPersistent: return "persistent";
+    case CohortMode::kSybil: return "sybil";
+    case CohortMode::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+/// The attackerType label used for Sybil ghosts. The paper's matrix covers
+/// single-transmitter attacks 1-35; coordinated ghost collusion is this
+/// repo's extension, labeled one past the matrix.
+inline constexpr int kSybilAttackerType = 36;
+
+/// A group of attackers sharing one strategy.
+struct AttackerCohort {
+  std::string attack = "HighYawRate";  ///< attack_matrix name; unused by kSybil
+  int count = 1;                       ///< attackers (or ghost identities for kSybil)
+  CohortMode mode = CohortMode::kPersistent;
+  double start_time_s = 0.0;           ///< attack onset [s]
+
+  // kAdaptive: every probe_period_s of stream time the attacker checks
+  // whether the detector flagged it since the last probe. Flagged -> the
+  // attack magnitude scale is multiplied by `backoff`; clean -> it creeps
+  // back up by `recover` (capped at 1). scale=1 is the full attack, scale=0
+  // is honest behavior.
+  double probe_period_s = 2.0;
+  double backoff = 0.5;
+  double recover = 1.15;
+};
+
+/// A complete declarative scenario: compiled by ScenarioEngine into a
+/// deterministic labeled BSM stream (see DESIGN.md Sec. 9 for the schema).
+/// Everything stochastic derives from `seed` — same config + same seed is
+/// byte-identical, across runs and processes.
+struct ScenarioConfig {
+  std::string name = "scenario";
+  std::uint64_t seed = 1;
+  double duration_s = 60.0;
+  double dt_s = 0.1;
+  int num_platoons = 6;
+  int vehicles_per_platoon = 4;
+  sim::RoadNetworkConfig map;
+  ArrivalConfig arrival;
+  std::vector<GpsDegradedZone> gps_zones;
+  std::vector<AttackerCohort> cohorts;
+  vasp::AttackParams attack_params;  ///< magnitudes shared by every cohort
+};
+
+/// JSON (de)serialization of the declarative schema. Unknown keys are
+/// rejected loudly (a typoed knob silently reverting to its default would
+/// invalidate a benchmark); missing keys take their defaults.
+[[nodiscard]] ScenarioConfig scenario_from_json(const data::Json& doc);
+[[nodiscard]] data::Json scenario_to_json(const ScenarioConfig& config);
+[[nodiscard]] ScenarioConfig scenario_from_file(const std::filesystem::path& path);
+
+/// The built-in synthetic slate used by bench_ext_scenarios and the smoke
+/// tests: six scenarios spanning calm cruising, rush-hour load, degraded
+/// GNSS, dense platooning, Sybil collusion, and an adaptive prober.
+[[nodiscard]] std::vector<ScenarioConfig> builtin_slate();
+
+}  // namespace vehigan::scenario

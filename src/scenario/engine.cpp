@@ -1,0 +1,280 @@
+#include "scenario/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/noise.hpp"
+#include "sim/road_network.hpp"
+#include "sim/traffic_sim.hpp"
+#include "util/math.hpp"
+#include "vasp/attack_types.hpp"
+
+namespace vehigan::scenario {
+
+namespace {
+
+bool inside(const GpsDegradedZone& zone, const sim::Bsm& message) {
+  return message.x >= zone.x_min && message.x <= zone.x_max && message.y >= zone.y_min &&
+         message.y <= zone.y_max;
+}
+
+}  // namespace
+
+ScenarioEngine::ScenarioEngine(ScenarioConfig config) : config_(std::move(config)) {
+  if (config_.dt_s <= 0.0) throw std::invalid_argument("ScenarioEngine: dt_s must be > 0");
+  if (config_.vehicles_per_platoon <= 0) {
+    throw std::invalid_argument("ScenarioEngine: vehicles_per_platoon must be >= 1");
+  }
+  compile();
+}
+
+void ScenarioEngine::compile() {
+  // 1. Benign IDM traffic on the grid. The simulator's own seed is the
+  // scenario seed; every additional draw below comes from decorrelated
+  // split() children with fixed salts, so adding a cohort or a zone never
+  // perturbs the other layers' streams.
+  sim::TrafficSimConfig sim_cfg;
+  sim_cfg.duration_s = config_.duration_s;
+  sim_cfg.dt_s = config_.dt_s;
+  sim_cfg.num_platoons = config_.num_platoons;
+  sim_cfg.vehicles_per_platoon = config_.vehicles_per_platoon;
+  sim_cfg.network = config_.map;
+  sim_cfg.seed = config_.seed;
+  sim::BsmDataset fleet = sim::TrafficSimulator(sim_cfg).run();
+
+  const util::Rng master(config_.seed);
+
+  // 2. Arrival shaping: platoons are mutually independent, so a whole-platoon
+  // time shift preserves all IDM interactions. Shifts are quantized to the
+  // tick grid to keep the stream tick-aligned.
+  util::Rng arrival_rng = master.split(1);
+  std::vector<double> platoon_shift(static_cast<std::size_t>(config_.num_platoons), 0.0);
+  for (double& shift : platoon_shift) {
+    double s = 0.0;
+    switch (config_.arrival.pattern) {
+      case ArrivalPattern::kImmediate:
+        break;
+      case ArrivalPattern::kUniform:
+        s = arrival_rng.uniform(0.0, 0.5 * config_.duration_s);
+        break;
+      case ArrivalPattern::kRushHour:
+        s = util::clamp(arrival_rng.normal(config_.arrival.peak_time_s, config_.arrival.sigma_s),
+                        0.0, 0.75 * config_.duration_s);
+        break;
+    }
+    shift = std::round(s / config_.dt_s) * config_.dt_s;
+  }
+  const auto vpp = static_cast<std::uint32_t>(config_.vehicles_per_platoon);
+  for (sim::VehicleTrace& trace : fleet.traces) {
+    // TrafficSimulator assigns ids sequentially per platoon starting at 1.
+    const std::size_t platoon =
+        std::min<std::size_t>((trace.vehicle_id - 1) / vpp, platoon_shift.size() - 1);
+    if (platoon_shift[platoon] == 0.0) continue;
+    for (sim::Bsm& message : trace.messages) message.time += platoon_shift[platoon];
+  }
+
+  // 3a. Persistent/adaptive cohorts claim distinct existing vehicles.
+  for (const sim::VehicleTrace& trace : fleet.traces) attacker_type_[trace.vehicle_id] = 0;
+  std::vector<std::uint32_t> available;
+  available.reserve(fleet.traces.size());
+  for (const sim::VehicleTrace& trace : fleet.traces) available.push_back(trace.vehicle_id);
+  std::sort(available.begin(), available.end());
+  util::Rng pick_rng = master.split(2);
+  struct Claim {
+    std::uint32_t vehicle_id;
+    std::size_t cohort;
+    std::size_t member;
+  };
+  std::vector<Claim> claims;
+  for (std::size_t i = 0; i < config_.cohorts.size(); ++i) {
+    const AttackerCohort& cohort = config_.cohorts[i];
+    if (cohort.mode == CohortMode::kSybil) continue;
+    const vasp::AttackSpec spec = vasp::attack_by_name(cohort.attack);
+    for (int j = 0; j < cohort.count; ++j) {
+      if (available.empty()) {
+        throw std::runtime_error("ScenarioEngine: more attackers than vehicles in \"" +
+                                 config_.name + "\"");
+      }
+      const std::size_t at = pick_rng.index(available.size());
+      const std::uint32_t id = available[at];
+      available.erase(available.begin() + static_cast<std::ptrdiff_t>(at));
+      attacker_type_[id] = spec.index;
+      claims.push_back({id, i, static_cast<std::size_t>(j)});
+    }
+  }
+
+  // 4. Channel impairments on honest traffic. Attacker fields are fabricated,
+  // not measured, so degraded GNSS does not touch them.
+  if (!config_.gps_zones.empty()) {
+    util::Rng zone_rng = master.split(3);
+    const double base_sigma = sim_cfg.noise.pos_sigma;
+    for (sim::VehicleTrace& trace : fleet.traces) {
+      if (attacker_type_.at(trace.vehicle_id) != 0) continue;
+      std::vector<sim::Bsm> kept;
+      kept.reserve(trace.messages.size());
+      for (sim::Bsm message : trace.messages) {
+        const GpsDegradedZone* hit = nullptr;
+        for (const GpsDegradedZone& zone : config_.gps_zones) {
+          if (inside(zone, message)) {
+            hit = &zone;
+            break;
+          }
+        }
+        if (hit != nullptr) {
+          if (zone_rng.bernoulli(hit->dropout_p)) continue;
+          const double extra = base_sigma * std::max(0.0, hit->pos_sigma_scale - 1.0);
+          message.x += zone_rng.normal(0.0, extra);
+          message.y += zone_rng.normal(0.0, extra);
+        }
+        kept.push_back(message);
+      }
+      trace.messages = std::move(kept);
+    }
+  }
+
+  // 3b. Bake persistent attacks into the stream / arm adaptive injectors.
+  // Streaming application (not attack_trace) so the cohort's start_time_s
+  // gives a clean onset: the attacker drives honestly, then turns.
+  for (const Claim& claim : claims) {
+    const AttackerCohort& cohort = config_.cohorts[claim.cohort];
+    const vasp::AttackSpec spec = vasp::attack_by_name(cohort.attack);
+    util::Rng injector_rng = master.split(1000 + 64 * claim.cohort + claim.member);
+    vasp::MisbehaviorInjector injector(spec, config_.attack_params, injector_rng);
+    if (cohort.mode == CohortMode::kAdaptive) {
+      AdaptiveState state{std::move(injector), {}, cohort.start_time_s,
+                          cohort.probe_period_s, cohort.backoff, cohort.recover,
+                          /*scale=*/1.0, /*next_probe_time=*/0.0, /*last_time=*/0.0,
+                          /*started=*/false, /*last_flag_count=*/0};
+      adaptive_.emplace(claim.vehicle_id, std::move(state));
+      continue;
+    }
+    for (sim::VehicleTrace& trace : fleet.traces) {
+      if (trace.vehicle_id != claim.vehicle_id) continue;
+      vasp::MisbehaviorInjector::TraceContext ctx;
+      bool started = false;
+      double last_time = 0.0;
+      for (sim::Bsm& message : trace.messages) {
+        if (message.time < cohort.start_time_s) continue;
+        if (!started) {
+          ctx = injector.begin(message.time);
+          started = true;
+          last_time = message.time;
+        }
+        injector.apply_message(message, ctx, message.time - last_time);
+        last_time = message.time;
+      }
+      break;
+    }
+  }
+
+  // 3c. Sybil cohorts: fresh identities colluding on one ghost trajectory.
+  std::uint32_t next_id = 0;
+  for (const auto& [id, type] : attacker_type_) next_id = std::max(next_id, id);
+  ++next_id;
+  for (std::size_t i = 0; i < config_.cohorts.size(); ++i) {
+    const AttackerCohort& cohort = config_.cohorts[i];
+    if (cohort.mode != CohortMode::kSybil) continue;
+    util::Rng ghost_rng = master.split(4000 + i);
+    const sim::RoadNetwork network(config_.map);
+    const sim::Route route = network.random_route(ghost_rng, 400.0);
+    const double speed = route.speed_limit;
+    const double start = std::round(cohort.start_time_s / config_.dt_s) * config_.dt_s;
+    for (int j = 0; j < cohort.count; ++j) {
+      sim::VehicleTrace ghost;
+      ghost.vehicle_id = next_id++;
+      attacker_type_[ghost.vehicle_id] = kSybilAttackerType;
+      // Each colluding identity reports the shared ghost with its own small
+      // constant offset + independent sensor noise — consistent enough to
+      // corroborate each other, distinct enough to look like many vehicles.
+      const double dx = ghost_rng.normal(0.0, 2.0);
+      const double dy = ghost_rng.normal(0.0, 2.0);
+      for (double t = start; t <= config_.duration_s + 1e-9; t += config_.dt_s) {
+        const double arc = speed * (t - start);
+        if (arc > route.path.total_length()) break;
+        const sim::Pose pose = route.path.pose_at(arc);
+        sim::Bsm truth;
+        truth.vehicle_id = ghost.vehicle_id;
+        truth.time = std::round(t / config_.dt_s) * config_.dt_s;
+        truth.x = pose.x + dx;
+        truth.y = pose.y + dy;
+        truth.speed = speed;
+        truth.accel = 0.0;
+        truth.heading = pose.heading;
+        truth.yaw_rate = pose.curvature * speed;
+        ghost.messages.push_back(sim_cfg.noise.apply(truth, ghost_rng));
+      }
+      fleet.traces.push_back(std::move(ghost));
+    }
+  }
+
+  // 5. Compile the tick-major schedule: every message lands in its tick
+  // bucket; within a tick, (time, station id) ordering makes the wire order
+  // deterministic and sharding-friendly.
+  double max_time = 0.0;
+  for (const sim::VehicleTrace& trace : fleet.traces) {
+    for (const sim::Bsm& message : trace.messages) max_time = std::max(max_time, message.time);
+  }
+  ticks_.assign(static_cast<std::size_t>(std::llround(max_time / config_.dt_s)) + 1, {});
+  for (const sim::VehicleTrace& trace : fleet.traces) {
+    for (const sim::Bsm& message : trace.messages) {
+      const auto tick = static_cast<std::size_t>(std::llround(message.time / config_.dt_s));
+      ticks_[tick].push_back(message);
+    }
+  }
+  for (std::vector<sim::Bsm>& tick : ticks_) {
+    std::sort(tick.begin(), tick.end(), [](const sim::Bsm& a, const sim::Bsm& b) {
+      return a.time != b.time ? a.time < b.time : a.vehicle_id < b.vehicle_id;
+    });
+  }
+}
+
+void ScenarioEngine::apply_adaptive(sim::Bsm& message, AdaptiveState& state) {
+  if (message.time < state.attack_start) return;
+  if (feedback_ && message.time >= state.next_probe_time) {
+    const std::uint64_t flags = feedback_(message.vehicle_id);
+    if (flags > state.last_flag_count) {
+      state.scale *= state.backoff;  // caught since last probe: back off hard
+    } else {
+      // Clean since last probe: creep back toward the full attack. The
+      // additive epsilon lets a fully backed-off attacker re-emerge.
+      state.scale = std::min(1.0, state.scale * state.recover + 1e-3);
+    }
+    state.last_flag_count = flags;
+    state.next_probe_time = message.time + state.probe_period;
+  }
+  const double dt = state.started ? message.time - state.last_time : 0.0;
+  if (!state.started) {
+    state.ctx = state.injector.begin(message.time);
+    state.started = true;
+  }
+  state.last_time = message.time;
+
+  sim::Bsm attacked = message;
+  state.injector.apply_message(attacked, state.ctx, dt);
+  // Blend the transmitted message between honest (scale 0) and the full
+  // attack (scale 1); angles blend along the shortest arc.
+  const double w = state.scale;
+  message.x += w * (attacked.x - message.x);
+  message.y += w * (attacked.y - message.y);
+  message.speed = std::max(0.0, message.speed + w * (attacked.speed - message.speed));
+  message.accel += w * (attacked.accel - message.accel);
+  message.heading = util::wrap_angle(message.heading +
+                                     w * util::angle_diff(attacked.heading, message.heading));
+  message.yaw_rate += w * (attacked.yaw_rate - message.yaw_rate);
+}
+
+bool ScenarioEngine::next(std::vector<sim::Bsm>& out) {
+  out.clear();
+  if (cursor_ >= ticks_.size()) return false;
+  out = ticks_[cursor_++];
+  if (!adaptive_.empty()) {
+    for (sim::Bsm& message : out) {
+      const auto it = adaptive_.find(message.vehicle_id);
+      if (it != adaptive_.end()) apply_adaptive(message, it->second);
+    }
+  }
+  return true;
+}
+
+}  // namespace vehigan::scenario

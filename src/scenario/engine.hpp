@@ -1,0 +1,80 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "scenario/config.hpp"
+#include "scenario/source.hpp"
+#include "util/rng.hpp"
+#include "vasp/injector.hpp"
+
+namespace vehigan::scenario {
+
+/// Compiles a declarative ScenarioConfig into a deterministic labeled BSM
+/// stream (the top half of the testing pipeline the paper drives with
+/// SUMO/VASP traces). The compilation pipeline:
+///
+///   1. benign IDM traffic on the grid map (TrafficSimulator, config seed);
+///   2. arrival shaping — whole platoons are time-shifted per the arrival
+///      pattern (platoons are mutually independent, so shifting preserves
+///      every IDM interaction exactly);
+///   3. cohort selection — persistent/adaptive cohorts claim distinct
+///      existing vehicles; Sybil cohorts mint fresh station ids broadcasting
+///      one shared ghost trajectory with per-identity offsets;
+///   4. channel impairments — honest messages inside a GPS-degraded zone
+///      drop out or get inflated position noise (attacker messages are
+///      untouched: their fields are fabricated, not measured);
+///   5. persistent attacks are baked into the stream; adaptive attacks are
+///      applied at emission time so the magnitude scale can react to
+///      detector feedback.
+///
+/// Every random draw derives from Rng(config.seed) via fixed split salts, so
+/// the stream is a pure function of (config, seed): byte-identical across
+/// processes (pinned by tests/scenario_test.cpp). With a feedback oracle
+/// installed, emission additionally depends on the oracle's answers — and
+/// nothing else.
+class ScenarioEngine : public ScenarioSource {
+ public:
+  explicit ScenarioEngine(ScenarioConfig config);
+
+  bool next(std::vector<sim::Bsm>& out) override;
+  [[nodiscard]] const std::map<std::uint32_t, int>& attacker_type() const override {
+    return attacker_type_;
+  }
+  [[nodiscard]] bool wants_feedback() const override { return !adaptive_.empty(); }
+  void set_feedback(Feedback feedback) override { feedback_ = std::move(feedback); }
+
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t tick_count() const { return ticks_.size(); }
+
+  /// Restarts emission from tick 0. Adaptive state (magnitude scales, probe
+  /// clocks) is NOT reset; use a fresh engine for an independent replay.
+  void rewind() { cursor_ = 0; }
+
+ private:
+  /// Emission-time state of one adaptive attacker.
+  struct AdaptiveState {
+    vasp::MisbehaviorInjector injector;
+    vasp::MisbehaviorInjector::TraceContext ctx;
+    double attack_start = 0.0;
+    double probe_period = 2.0;
+    double backoff = 0.5;
+    double recover = 1.15;
+    double scale = 1.0;          ///< current magnitude (1 = full attack)
+    double next_probe_time = 0.0;
+    double last_time = 0.0;
+    bool started = false;
+    std::uint64_t last_flag_count = 0;
+  };
+
+  void compile();
+  void apply_adaptive(sim::Bsm& message, AdaptiveState& state);
+
+  ScenarioConfig config_;
+  std::map<std::uint32_t, int> attacker_type_;
+  std::vector<std::vector<sim::Bsm>> ticks_;
+  std::unordered_map<std::uint32_t, AdaptiveState> adaptive_;
+  Feedback feedback_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace vehigan::scenario

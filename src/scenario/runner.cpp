@@ -1,0 +1,141 @@
+#include "scenario/runner.hpp"
+
+#include <array>
+#include <chrono>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/roc.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace vehigan::scenario {
+
+namespace {
+
+using Buckets = std::array<std::uint64_t, telemetry::Histogram::kBuckets>;
+
+Buckets capture(const telemetry::Histogram& histogram) {
+  Buckets buckets{};
+  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] = histogram.bucket_count(i);
+  return buckets;
+}
+
+/// p99 in ms of the observations recorded between two captures: the upper
+/// bound of the bucket holding the ceil-99% rank (lower bound for the
+/// unbounded overflow bucket). Histograms are process-global, so the delta
+/// isolates this run from whatever ran before it in the same process.
+double p99_ms(const Buckets& before, const Buckets& after) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) total += after[i] - before[i];
+  if (total == 0) return 0.0;
+  const std::uint64_t rank = (total * 99 + 99) / 100;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    cumulative += after[i] - before[i];
+    if (cumulative >= rank) {
+      if (i >= telemetry::Histogram::kFiniteBuckets) {
+        return telemetry::Histogram::bucket_lower_bound(i) * 1000.0;
+      }
+      return telemetry::Histogram::bucket_upper_bound(i) * 1000.0;
+    }
+  }
+  return 0.0;
+}
+
+/// Per-shard score log. Each shard's sink calls arrive only from that
+/// shard's worker thread, so per-shard vectors need no locking; they are
+/// merged after the service has stopped.
+struct ShardScores {
+  std::vector<std::pair<std::uint32_t, float>> scores;  ///< (sender, window score)
+  std::unordered_map<std::uint32_t, std::uint64_t> flag_counts;
+};
+
+}  // namespace
+
+ScenarioOutcome run_scenario(ScenarioSource& source, const std::string& name,
+                             const RunnerOptions& options,
+                             const serve::DetectionService::DetectorFactory& factory,
+                             const features::MinMaxScaler& scaler) {
+  ScenarioOutcome outcome;
+  outcome.name = name;
+
+  std::vector<ShardScores> shard_scores(options.service.num_shards);
+  serve::DetectionService service(
+      options.service, factory, scaler,
+      [&shard_scores](std::size_t shard, const sim::Bsm& message,
+                      const mbds::DetectionResult& result) {
+        ShardScores& log = shard_scores[shard];
+        log.scores.emplace_back(message.vehicle_id, result.score);
+        if (result.flagged) ++log.flag_counts[message.vehicle_id];
+      });
+
+  // Adaptive sources probe cumulative per-station flag counts. The runner
+  // drains before every tick in that mode, so the shard workers are idle
+  // whenever this closure reads their logs.
+  const bool feedback_mode = source.wants_feedback();
+  if (feedback_mode) {
+    source.set_feedback([&shard_scores, &service](std::uint32_t station) {
+      const ShardScores& log = shard_scores[service.shard_of(station)];
+      const auto it = log.flag_counts.find(station);
+      return it == log.flag_counts.end() ? std::uint64_t{0} : it->second;
+    });
+  }
+
+  auto& drain_hist =
+      telemetry::MetricsRegistry::global().histogram("vehigan_serve_drain_seconds");
+  const Buckets before = capture(drain_hist);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<sim::Bsm> tick;
+  std::size_t tick_index = 0;
+  while (source.next(tick)) {
+    if (feedback_mode) service.drain();
+    outcome.messages += tick.size();
+    (void)service.submit_batch(tick);
+    ++tick_index;
+    if (options.drain_every_ticks != 0 && tick_index % options.drain_every_ticks == 0) {
+      service.drain();
+    }
+  }
+  service.drain();
+  outcome.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  service.stop();
+
+  const serve::ServiceStats stats = service.stats();
+  outcome.p99_drain_ms = p99_ms(before, capture(drain_hist));
+  outcome.drop_rate = stats.total.enqueued == 0
+                          ? 0.0
+                          : static_cast<double>(stats.total.dropped) /
+                                static_cast<double>(stats.total.enqueued);
+  outcome.reports = stats.total.reports;
+  outcome.evictions = stats.total.evictions;
+  outcome.drift_alarms = stats.total.drift_alarms;
+  outcome.msgs_per_sec = outcome.wall_seconds > 0.0
+                             ? static_cast<double>(outcome.messages) / outcome.wall_seconds
+                             : 0.0;
+
+  // Join scores with ground truth: a window is positive iff its sender is a
+  // labeled attacker. auroc() returns 0.5 when either class is empty (a
+  // benign-only scenario is a calibration run, not a failure).
+  const std::map<std::uint32_t, int>& labels = source.attacker_type();
+  outcome.senders = labels.size();
+  for (const auto& [sender, type] : labels) {
+    if (type != 0) ++outcome.attackers;
+  }
+  std::vector<float> negatives;
+  std::vector<float> positives;
+  for (const ShardScores& log : shard_scores) {
+    outcome.windows_scored += log.scores.size();
+    for (const auto& [sender, score] : log.scores) {
+      const auto it = labels.find(sender);
+      const bool malicious = it != labels.end() && it->second != 0;
+      (malicious ? positives : negatives).push_back(score);
+    }
+  }
+  outcome.auroc = metrics::auroc(negatives, positives);
+  return outcome;
+}
+
+}  // namespace vehigan::scenario

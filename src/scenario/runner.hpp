@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "features/scaler.hpp"
+#include "scenario/source.hpp"
+#include "serve/service.hpp"
+
+namespace vehigan::scenario {
+
+/// How the runner feeds a source through a DetectionService.
+struct RunnerOptions {
+  serve::ServiceConfig service;
+  /// Settle the pipeline (DetectionService::drain) every N ticks so latency
+  /// accumulates in realistic bursts instead of one giant backlog. 0 = only
+  /// the final drain. Sources that want_feedback() are drained before every
+  /// tick regardless, so adaptive probes read a quiescent detector (making
+  /// the whole run deterministic given the detector).
+  std::size_t drain_every_ticks = 0;
+};
+
+/// End-to-end result of one scenario run through the serving stack.
+struct ScenarioOutcome {
+  std::string name;
+  std::size_t messages = 0;        ///< messages emitted by the source
+  std::size_t senders = 0;         ///< distinct station ids labeled
+  std::size_t attackers = 0;       ///< labeled malicious senders
+  std::size_t windows_scored = 0;  ///< score-sink observations
+  double auroc = 0.5;              ///< window scores vs. sender ground truth
+  double p99_drain_ms = 0.0;       ///< p99 shard drain latency during this run
+  double drop_rate = 0.0;          ///< dropped / enqueued
+  std::uint64_t reports = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t drift_alarms = 0;
+  double wall_seconds = 0.0;
+  double msgs_per_sec = 0.0;
+};
+
+/// Feeds the source tick by tick through a DetectionService built from
+/// `options.service` + the given detector factory/scaler, joins the score
+/// stream with the source's ground-truth labels, and reports per-scenario
+/// AUROC / latency / drop-rate / drift-alarm counts. The AUROC tap is the
+/// DetectionService score sink, so "positive" scores are windows of labeled
+/// attackers as actually scored by the sharded pipeline — dropped messages
+/// simply contribute no windows.
+[[nodiscard]] ScenarioOutcome run_scenario(
+    ScenarioSource& source, const std::string& name, const RunnerOptions& options,
+    const serve::DetectionService::DetectorFactory& factory,
+    const features::MinMaxScaler& scaler);
+
+}  // namespace vehigan::scenario

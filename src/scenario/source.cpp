@@ -1,0 +1,13 @@
+#include "scenario/source.hpp"
+
+namespace vehigan::scenario {
+
+LabeledStream drain_all(ScenarioSource& source) {
+  LabeledStream stream;
+  std::vector<sim::Bsm> tick;
+  while (source.next(tick)) stream.ticks.push_back(tick);
+  stream.attacker_type = source.attacker_type();
+  return stream;
+}
+
+}  // namespace vehigan::scenario

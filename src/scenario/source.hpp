@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sim/bsm.hpp"
+
+namespace vehigan::scenario {
+
+/// A fully materialized labeled stream: one message vector per tick (ticks
+/// may be empty — nobody transmitted) plus the sender -> attackerType label
+/// map (0 = honest, 1-35 = attack matrix, 36 = Sybil ghost).
+struct LabeledStream {
+  std::vector<std::vector<sim::Bsm>> ticks;
+  std::map<std::uint32_t, int> attacker_type;
+
+  [[nodiscard]] std::size_t message_count() const {
+    std::size_t n = 0;
+    for (const auto& tick : ticks) n += tick.size();
+    return n;
+  }
+};
+
+/// A tick-clocked producer of labeled BSM traffic. Both the synthetic
+/// ScenarioEngine and VeremiReplaySource implement this, so the runner,
+/// benches, and tests drive either through the identical code path.
+///
+/// Determinism contract: without feedback installed, the emitted stream is a
+/// pure function of the source's construction inputs (config + seed, or the
+/// trace files) — byte-identical across processes. With feedback, it is a
+/// pure function of those inputs plus the feedback values returned.
+class ScenarioSource {
+ public:
+  /// Cumulative "times the detector flagged this station" oracle, probed by
+  /// adaptive attackers. Cumulative (not since-last-probe) so probing is
+  /// idempotent and the caller needs no per-attacker state.
+  using Feedback = std::function<std::uint64_t(std::uint32_t station_id)>;
+
+  virtual ~ScenarioSource() = default;
+
+  /// Emits the next tick into `out` (cleared first). Returns false when the
+  /// stream is exhausted; a true return with an empty `out` is a quiet tick,
+  /// not the end.
+  virtual bool next(std::vector<sim::Bsm>& out) = 0;
+
+  /// Ground-truth labels for every sender this source will ever emit.
+  [[nodiscard]] virtual const std::map<std::uint32_t, int>& attacker_type() const = 0;
+
+  /// True when this source probes detector verdicts (adaptive cohorts). The
+  /// runner must then settle the pipeline (DetectionService::drain) before
+  /// each next() call so feedback reads a quiescent detector.
+  [[nodiscard]] virtual bool wants_feedback() const { return false; }
+
+  /// Installs the verdict oracle. Default: ignored.
+  virtual void set_feedback(Feedback feedback) { (void)feedback; }
+};
+
+/// Runs a source to exhaustion. Convenience for tests and offline tools;
+/// the serving path feeds ticks incrementally instead.
+[[nodiscard]] LabeledStream drain_all(ScenarioSource& source);
+
+}  // namespace vehigan::scenario

@@ -1,0 +1,59 @@
+#include "scenario/veremi_replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vehigan::scenario {
+
+VeremiReplaySource::VeremiReplaySource(const data::VeremiExport& files, double dt_s) {
+  build(data::read_veremi(files), dt_s);
+}
+
+VeremiReplaySource::VeremiReplaySource(const data::VeremiImport& import, double dt_s) {
+  build(import, dt_s);
+}
+
+void VeremiReplaySource::build(const data::VeremiImport& import, double dt_s) {
+  if (dt_s <= 0.0) throw std::invalid_argument("VeremiReplaySource: dt_s must be > 0");
+  attacker_type_ = import.attacker_type;
+  // Senders present in the message log but absent from the ground truth are
+  // conservatively labeled honest — real VeReMi ground-truth files only list
+  // a subset of senders in some releases.
+  double min_time = std::numeric_limits<double>::infinity();
+  double max_time = -std::numeric_limits<double>::infinity();
+  for (const sim::VehicleTrace& trace : import.dataset.traces) {
+    attacker_type_.try_emplace(trace.vehicle_id, 0);
+    for (const sim::Bsm& message : trace.messages) {
+      min_time = std::min(min_time, message.time);
+      max_time = std::max(max_time, message.time);
+    }
+  }
+  if (!std::isfinite(min_time)) return;  // empty trace: zero ticks
+  start_time_ = min_time;
+
+  // Tick k covers [start + k*dt, start + (k+1)*dt): the replay advances on
+  // the trace's own absolute clock.
+  const auto tick_of = [&](double time) {
+    return static_cast<std::size_t>(std::floor((time - min_time) / dt_s + 1e-9));
+  };
+  ticks_.assign(tick_of(max_time) + 1, {});
+  for (const sim::VehicleTrace& trace : import.dataset.traces) {
+    for (const sim::Bsm& message : trace.messages) ticks_[tick_of(message.time)].push_back(message);
+  }
+  for (std::vector<sim::Bsm>& tick : ticks_) {
+    std::sort(tick.begin(), tick.end(), [](const sim::Bsm& a, const sim::Bsm& b) {
+      return a.time != b.time ? a.time < b.time : a.vehicle_id < b.vehicle_id;
+    });
+  }
+}
+
+bool VeremiReplaySource::next(std::vector<sim::Bsm>& out) {
+  out.clear();
+  if (cursor_ >= ticks_.size()) return false;
+  out = ticks_[cursor_++];
+  return true;
+}
+
+}  // namespace vehigan::scenario

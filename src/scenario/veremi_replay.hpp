@@ -1,0 +1,41 @@
+#pragma once
+
+#include "data/veremi.hpp"
+#include "scenario/source.hpp"
+
+namespace vehigan::scenario {
+
+/// Replays a parsed VeReMi trace pair through the ScenarioSource interface,
+/// so recorded real-format datasets drive the exact same serving path as the
+/// synthetic engine. VeReMi timestamps are absolute simulation times (e.g.
+/// 25200.0 = 7 h into the day); ticks are sliced on the trace's own clock
+/// starting at its earliest message — nothing is rebased, which is what
+/// makes the message-time eviction fix observable end to end.
+class VeremiReplaySource : public ScenarioSource {
+ public:
+  /// Loads `<stem>.json` / `<stem>.gt.json` (throws on malformed traces,
+  /// see data::read_veremi) and slices the global time-sorted schedule into
+  /// `dt_s` ticks.
+  explicit VeremiReplaySource(const data::VeremiExport& files, double dt_s = 0.1);
+
+  /// Replays an already-imported dataset (e.g. a write_veremi round trip).
+  explicit VeremiReplaySource(const data::VeremiImport& import, double dt_s = 0.1);
+
+  bool next(std::vector<sim::Bsm>& out) override;
+  [[nodiscard]] const std::map<std::uint32_t, int>& attacker_type() const override {
+    return attacker_type_;
+  }
+
+  [[nodiscard]] std::size_t tick_count() const { return ticks_.size(); }
+  [[nodiscard]] double start_time() const { return start_time_; }
+
+ private:
+  void build(const data::VeremiImport& import, double dt_s);
+
+  std::map<std::uint32_t, int> attacker_type_;
+  std::vector<std::vector<sim::Bsm>> ticks_;
+  double start_time_ = 0.0;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace vehigan::scenario

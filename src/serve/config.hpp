@@ -69,6 +69,7 @@ struct ShardStats {
   std::size_t tracked_vehicles = 0;   ///< live senders in this shard's window state
   std::size_t buffered_messages = 0;  ///< raw BSMs held in this shard's buffers
   std::uint64_t evictions = 0;        ///< senders dropped by staleness sweeps
+  std::uint64_t drift_alarms = 0;     ///< drift-monitor alarms (score + flag-rate)
 
   ShardStats& operator+=(const ShardStats& other) {
     enqueued += other.enqueued;
@@ -82,6 +83,7 @@ struct ShardStats {
     tracked_vehicles += other.tracked_vehicles;
     buffered_messages += other.buffered_messages;
     evictions += other.evictions;
+    drift_alarms += other.drift_alarms;
     return *this;
   }
 };

@@ -30,7 +30,7 @@ struct ServiceTelemetry {
 
 DetectionService::DetectionService(const ServiceConfig& config,
                                    const DetectorFactory& factory,
-                                   features::MinMaxScaler scaler)
+                                   features::MinMaxScaler scaler, ScoreSink score_sink)
     : config_(config) {
   if (config_.num_shards == 0) {
     throw std::invalid_argument("DetectionService: num_shards must be >= 1");
@@ -44,6 +44,12 @@ DetectionService::DetectionService(const ServiceConfig& config,
     auto detector = std::make_unique<mbds::OnlineMbds>(
         config_.station_id, factory(i), scaler, config_.report_cooldown_s,
         config_.gap_reset_s);
+    if (score_sink) {
+      detector->set_score_sink(
+          [score_sink, i](const sim::Bsm& message, const mbds::DetectionResult& result) {
+            score_sink(i, message, result);
+          });
+    }
     shards_.push_back(std::make_unique<Shard>(i, config_, std::move(detector)));
   }
   // Workers start only after every shard exists: emit() never observes a

@@ -44,9 +44,17 @@ class DetectionService {
   /// construction; each shard must get its own VehiGan instance (the
   /// ensemble is stateful and single-threaded by design).
   using DetectorFactory = std::function<std::shared_ptr<mbds::VehiGan>(std::size_t shard)>;
+  /// Optional observer of every scored window (flagged or not). Invoked on
+  /// the owning shard's worker thread, once per window, in that sender's
+  /// message order; sinks for *different* shards run concurrently, so a
+  /// shared sink must either be thread-safe or keep per-shard state. This is
+  /// how the scenario harness joins ground-truth labels to raw scores for
+  /// AUROC — reports alone only cover the flagged class.
+  using ScoreSink =
+      std::function<void(std::size_t shard, const sim::Bsm&, const mbds::DetectionResult&)>;
 
   DetectionService(const ServiceConfig& config, const DetectorFactory& factory,
-                   features::MinMaxScaler scaler);
+                   features::MinMaxScaler scaler, ScoreSink score_sink = nullptr);
   ~DetectionService();  // stop()s
 
   DetectionService(const DetectionService&) = delete;

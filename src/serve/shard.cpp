@@ -53,7 +53,9 @@ Shard::Shard(std::size_t index, const ServiceConfig& config,
     : index_(index),
       config_(config),
       detector_(std::move(detector)),
-      queue_(config.queue_capacity, config.policy) {}
+      queue_(config.queue_capacity, config.policy) {
+  detector_->set_eviction_policy({config.evict_after_s, config.evict_every_s});
+}
 
 Shard::~Shard() {
   close();
@@ -128,7 +130,6 @@ void Shard::run() {
   recorder.set_thread_name("shard-" + std::to_string(index_));
   std::vector<sim::Bsm> batch;
   double latest_time = -std::numeric_limits<double>::infinity();
-  double last_sweep_time = -std::numeric_limits<double>::infinity();
   for (;;) {
     batch.clear();
     const std::size_t n = queue_.drain_blocking(batch, config_.max_batch);
@@ -164,19 +165,19 @@ void Shard::run() {
     }
 
     // Staleness sweep, clocked by message time so replays behave identically
-    // at any wall speed. The cutoff trails the newest message this shard has
-    // seen; senders quiet for evict_after_s lose their window state.
+    // at any wall speed (VeReMi traces carry absolute timestamps). OnlineMbds
+    // owns the replay clock and cadence; the cutoff trails the newest message
+    // this shard has seen, so senders quiet for evict_after_s lose their
+    // window state regardless of how fast the stream is fed.
     for (const sim::Bsm& message : batch) latest_time = std::max(latest_time, message.time);
-    if (config_.evict_after_s > 0 &&
-        latest_time - last_sweep_time >= config_.evict_every_s) {
-      detector_->evict_stale(latest_time - config_.evict_after_s);
-      last_sweep_time = latest_time;
-      tel.evict_sweeps_total.add(1);
-    }
+    if (detector_->advance_time(latest_time).swept) tel.evict_sweeps_total.add(1);
     const mbds::OnlineMbds::Stats mbds_stats = detector_->stats();
     tracked_.store(mbds_stats.tracked_vehicles, std::memory_order_relaxed);
     buffered_.store(mbds_stats.buffered_messages, std::memory_order_relaxed);
     evictions_.store(mbds_stats.evictions_total, std::memory_order_relaxed);
+    const auto drift = detector_->drift_monitor().stats();
+    drift_alarms_.store(drift.score_alarms + drift.flag_rate_alarms,
+                        std::memory_order_relaxed);
 
     // Settle last: wait_idle() returning implies the batch's reports have
     // already been emitted.
@@ -201,6 +202,7 @@ ShardStats Shard::stats() const {
   s.tracked_vehicles = tracked_.load(std::memory_order_relaxed);
   s.buffered_messages = buffered_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.drift_alarms = drift_alarms_.load(std::memory_order_relaxed);
   return s;
 }
 

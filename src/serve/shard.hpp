@@ -78,6 +78,7 @@ class Shard {
   std::atomic<std::size_t> tracked_{0};
   std::atomic<std::size_t> buffered_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> drift_alarms_{0};
   std::mutex idle_mutex_;
   std::condition_variable idle_cv_;
 };

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 #include "data/json.hpp"
 #include "data/veremi.hpp"
@@ -160,6 +162,139 @@ TEST(Veremi, NegativeAccelerationSurvivesVectorRoundTrip) {
   const VeremiExport files = write_veremi(scenario, 0, dir, "brake");
   const VeremiImport imported = read_veremi(files);
   EXPECT_NEAR(imported.dataset.traces[0].messages[0].accel, -3.0, 1e-6);
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------- veremi golden-file fixtures ----
+//
+// Checked-in real-format traces (VeReMi-Extension receiver-log dialect with
+// rcvTime/senderPseudo/messageID/noise fields and interleaved type-2 GPS
+// self-reports). These pin the parser's reconstruction math and its
+// rejection paths against files that never change.
+
+std::filesystem::path fixture(const std::string& name) {
+  return std::filesystem::path(VEHIGAN_TEST_FIXTURES_DIR) / name;
+}
+
+TEST(VeremiGolden, BenignFixtureReconstructsFieldsExactly) {
+  const VeremiImport imported =
+      read_veremi({fixture("veremi_benign.json"), fixture("veremi_benign.gt.json")});
+
+  // Two type-3 senders; the two type-2 GPS self-reports are skipped.
+  ASSERT_EQ(imported.dataset.traces.size(), 2U);
+  ASSERT_EQ(imported.attacker_type.size(), 2U);
+  EXPECT_EQ(imported.attacker_type.at(101), 0);
+  EXPECT_EQ(imported.attacker_type.at(102), 0);
+
+  const auto& s101 = imported.dataset.traces[0];
+  ASSERT_EQ(s101.vehicle_id, 101U);
+  ASSERT_EQ(s101.messages.size(), 3U);
+  const sim::Bsm& first = s101.messages[0];
+  EXPECT_DOUBLE_EQ(first.time, 25200.0);
+  EXPECT_DOUBLE_EQ(first.x, 100.0);
+  EXPECT_DOUBLE_EQ(first.y, 200.0);
+  // spd [3,4] -> speed hypot = 5; hed [0.6,0.8] -> heading atan2(0.8,0.6);
+  // acl [0.6,0.8] aligned with heading -> accel +|acl| = +1.
+  EXPECT_DOUBLE_EQ(first.speed, 5.0);
+  EXPECT_DOUBLE_EQ(first.heading, std::atan2(0.8, 0.6));
+  EXPECT_DOUBLE_EQ(first.accel, 1.0);
+  EXPECT_DOUBLE_EQ(first.yaw_rate, 0.02);
+  EXPECT_DOUBLE_EQ(s101.messages[2].time, 25200.2);
+  EXPECT_DOUBLE_EQ(s101.messages[2].x, 100.6);
+
+  const auto& s102 = imported.dataset.traces[1];
+  ASSERT_EQ(s102.vehicle_id, 102U);
+  ASSERT_EQ(s102.messages.size(), 3U);
+  const sim::Bsm& braking = s102.messages[0];
+  // spd [-5,12] -> speed 13; hed [-5,12] (non-unit, direction only) ->
+  // heading atan2(12,-5); acl [1.25,-3] opposes the heading -> accel
+  // -hypot(1.25,3) = -3.25; no yaw field -> 0.
+  EXPECT_DOUBLE_EQ(braking.speed, 13.0);
+  EXPECT_DOUBLE_EQ(braking.heading, std::atan2(12.0, -5.0));
+  EXPECT_DOUBLE_EQ(braking.accel, -3.25);
+  EXPECT_DOUBLE_EQ(braking.yaw_rate, 0.0);
+}
+
+TEST(VeremiGolden, AttackFixtureCarriesLabels) {
+  const VeremiImport imported =
+      read_veremi({fixture("veremi_attack.json"), fixture("veremi_attack.gt.json")});
+  ASSERT_EQ(imported.dataset.traces.size(), 2U);
+  EXPECT_EQ(imported.attacker_type.at(201), 0);
+  EXPECT_EQ(imported.attacker_type.at(202), 16);  // ConstantPosition cohort
+  // The attacker's trace really is a frozen position with a live kinematic
+  // story — exactly the inconsistency the detector keys on.
+  const auto& attacker = imported.dataset.traces[1];
+  ASSERT_EQ(attacker.vehicle_id, 202U);
+  for (const sim::Bsm& m : attacker.messages) {
+    EXPECT_DOUBLE_EQ(m.x, 500.0);
+    EXPECT_DOUBLE_EQ(m.y, 500.0);
+    EXPECT_DOUBLE_EQ(m.speed, 15.0);
+  }
+}
+
+TEST(VeremiGolden, MalformedLineIsRejectedWithFileAndLineContext) {
+  try {
+    read_veremi({fixture("veremi_malformed.json"), fixture("veremi_benign.gt.json")});
+    FAIL() << "malformed line should throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("veremi_malformed.json:2:"), std::string::npos) << what;
+    EXPECT_NE(what.find("malformed record"), std::string::npos) << what;
+  }
+}
+
+TEST(VeremiGolden, TruncatedFileIsRejectedAtTheCutLine) {
+  try {
+    read_veremi({fixture("veremi_truncated.json"), fixture("veremi_benign.gt.json")});
+    FAIL() << "truncated file should throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("veremi_truncated.json:3:"), std::string::npos) << what;
+  }
+}
+
+TEST(VeremiGolden, GroundTruthMissingLabelFieldIsRejected) {
+  try {
+    read_veremi({fixture("veremi_attack.json"), fixture("veremi_bad_truth.gt.json")});
+    FAIL() << "label record without attackerType should throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("veremi_bad_truth.gt.json:2:"), std::string::npos) << what;
+  }
+}
+
+TEST(Veremi, MissingRequiredFieldNamesTheField) {
+  const auto dir = std::filesystem::temp_directory_path() / "vehigan_veremi_missing";
+  std::filesystem::create_directories(dir);
+  VeremiExport files{dir / "m.json", dir / "m.gt.json"};
+  {
+    std::ofstream m(files.messages);
+    m << R"({"type":3,"sendTime":1.0,"sender":5,"pos":[1,2,0],"acl":[0,0,0],"hed":[1,0,0]})"
+      << "\n";  // no "spd"
+    std::ofstream gt(files.ground_truth);
+    gt << R"({"sender":5,"attackerType":0})" << "\n";
+  }
+  try {
+    read_veremi(files);
+    FAIL() << "missing spd should throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("\"spd\""), std::string::npos) << error.what();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Veremi, ShortPositionVectorIsRejected) {
+  const auto dir = std::filesystem::temp_directory_path() / "vehigan_veremi_shortpos";
+  std::filesystem::create_directories(dir);
+  VeremiExport files{dir / "m.json", dir / "m.gt.json"};
+  {
+    std::ofstream m(files.messages);
+    m << R"({"type":3,"sendTime":1.0,"sender":5,"pos":[1],)"
+      << R"("spd":[3,0,0],"acl":[0,0,0],"hed":[1,0,0]})" << "\n";
+    std::ofstream gt(files.ground_truth);
+    gt << R"({"sender":5,"attackerType":0})" << "\n";
+  }
+  EXPECT_THROW(read_veremi(files), std::runtime_error);
   std::filesystem::remove_all(dir);
 }
 

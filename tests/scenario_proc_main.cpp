@@ -1,0 +1,69 @@
+// Non-gtest helper for the cross-process scenario determinism test: compiles
+// one builtin-slate scenario (selected by name) with a seed override, drains
+// the full labeled stream, and writes an FNV-1a digest of every emitted
+// message byte plus the label map to the result file. Two runs of this
+// binary with the same (name, seed) must produce identical digests — the
+// "byte-identical across two process runs" half of the determinism contract
+// that an in-process double-construction test cannot prove (it would share
+// ASLR, allocator state, and any accidental global).
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "scenario/config.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/source.hpp"
+#include "util/hash.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vehigan;
+  if (argc != 4) {
+    std::cerr << "usage: scenario_proc <scenario-name> <seed> <result-file>\n";
+    return 2;
+  }
+  const std::string name = argv[1];
+  const auto seed = static_cast<std::uint64_t>(std::strtoull(argv[2], nullptr, 10));
+
+  scenario::ScenarioConfig config;
+  bool found = false;
+  for (const scenario::ScenarioConfig& candidate : scenario::builtin_slate()) {
+    if (candidate.name == name) {
+      config = candidate;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    std::cerr << "scenario_proc: unknown builtin scenario \"" << name << "\"\n";
+    return 2;
+  }
+  config.seed = seed;
+
+  scenario::ScenarioEngine engine(std::move(config));
+  const scenario::LabeledStream stream = scenario::drain_all(engine);
+
+  util::Fnv1a digest;
+  for (const std::vector<sim::Bsm>& tick : stream.ticks) {
+    digest.add_pod(tick.size());
+    for (const sim::Bsm& m : tick) {
+      digest.add_pod(m.vehicle_id);
+      digest.add_pod(m.time);
+      digest.add_pod(m.x);
+      digest.add_pod(m.y);
+      digest.add_pod(m.speed);
+      digest.add_pod(m.accel);
+      digest.add_pod(m.heading);
+      digest.add_pod(m.yaw_rate);
+    }
+  }
+  for (const auto& [sender, type] : stream.attacker_type) {
+    digest.add_pod(sender);
+    digest.add_pod(type);
+  }
+
+  std::ofstream out(argv[3]);
+  out << "hash=" << digest.hex() << " messages=" << stream.message_count() << "\n";
+  return out ? 0 : 1;
+}

@@ -1,0 +1,585 @@
+// Scenario-subsystem suite: the determinism contract (a compiled stream is a
+// pure function of (config, seed) — byte-identical in-process AND across two
+// real process runs via the scenario_proc helper), the declarative JSON
+// schema round trip, the behavior of each compilation layer (arrival
+// shaping, GPS-degraded zones, persistent/Sybil/adaptive cohorts), VeReMi
+// replay through the common ScenarioSource interface, and the end-to-end
+// bar: scenario traffic through a 1-shard DetectionService reproduces
+// sequential OnlineMbds::ingest byte for byte. This file runs under TSan in
+// CI alongside serve_test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#if defined(__unix__)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "data/veremi.hpp"
+#include "features/scaler.hpp"
+#include "gan/architecture.hpp"
+#include "mbds/ensemble.hpp"
+#include "mbds/online.hpp"
+#include "mbds/report.hpp"
+#include "mbds/wgan_detector.hpp"
+#include "nn/layers.hpp"
+#include "scenario/config.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/source.hpp"
+#include "scenario/veremi_replay.hpp"
+#include "serve/config.hpp"
+#include "serve/service.hpp"
+#include "sim/bsm.hpp"
+#include "vasp/attack_types.hpp"
+
+namespace vehigan::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ----------------------------------------------------------- fixtures ------
+
+fs::path fixture(const std::string& name) {
+  return fs::path(VEHIGAN_TEST_FIXTURES_DIR) / name;
+}
+
+/// Small-but-real scenario: 2 platoons x 3 vehicles, 12 s at 10 Hz. Enough
+/// traffic for complete detector windows, fast enough to compile many times.
+ScenarioConfig small_config() {
+  ScenarioConfig config;
+  config.name = "test-small";
+  config.seed = 7;
+  config.duration_s = 12.0;
+  config.dt_s = 0.1;
+  config.num_platoons = 2;
+  config.vehicles_per_platoon = 3;
+  return config;
+}
+
+AttackerCohort persistent_cohort(const std::string& attack, int count, double start) {
+  AttackerCohort cohort;
+  cohort.attack = attack;
+  cohort.count = count;
+  cohort.mode = CohortMode::kPersistent;
+  cohort.start_time_s = start;
+  return cohort;
+}
+
+bool bsm_equal(const sim::Bsm& a, const sim::Bsm& b) {
+  return a.vehicle_id == b.vehicle_id && a.time == b.time && a.x == b.x && a.y == b.y &&
+         a.speed == b.speed && a.accel == b.accel && a.heading == b.heading &&
+         a.yaw_rate == b.yaw_rate;
+}
+
+bool streams_equal(const LabeledStream& a, const LabeledStream& b) {
+  if (a.attacker_type != b.attacker_type) return false;
+  if (a.ticks.size() != b.ticks.size()) return false;
+  for (std::size_t t = 0; t < a.ticks.size(); ++t) {
+    if (a.ticks[t].size() != b.ticks[t].size()) return false;
+    for (std::size_t i = 0; i < a.ticks[t].size(); ++i) {
+      if (!bsm_equal(a.ticks[t][i], b.ticks[t][i])) return false;
+    }
+  }
+  return true;
+}
+
+features::MinMaxScaler identity_scaler(std::size_t width = 12) {
+  features::Series s;
+  s.width = width;
+  for (std::size_t c = 0; c < width; ++c) s.values.push_back(0.0F);
+  for (std::size_t c = 0; c < width; ++c) s.values.push_back(1.0F);
+  features::MinMaxScaler scaler;
+  scaler.fit({s});
+  return scaler;
+}
+
+/// Cheap linear critics flagging every complete window — reports are the
+/// observable the equivalence bar compares (same fixture as serve_test).
+std::vector<std::shared_ptr<mbds::WganDetector>> linear_detectors(std::size_t m) {
+  std::vector<std::shared_ptr<mbds::WganDetector>> detectors;
+  for (std::size_t i = 0; i < m; ++i) {
+    gan::TrainedWgan model;
+    model.config.id = static_cast<int>(i);
+    model.config.window = 10;
+    model.config.width = 12;
+    model.discriminator.add<nn::Flatten>();
+    auto& dense = model.discriminator.add<nn::Dense>(120, 1);
+    dense.weights().assign(120, -(1.0F + 0.5F * static_cast<float>(i)));
+    dense.bias() = {0.0F};
+    auto det = std::make_shared<mbds::WganDetector>(std::move(model));
+    det->set_threshold(-1e9);
+    detectors.push_back(std::move(det));
+  }
+  return detectors;
+}
+
+std::shared_ptr<mbds::VehiGan> make_ensemble(std::uint64_t seed, std::size_t m,
+                                             std::size_t k, mbds::SubsetDraw draw) {
+  auto ensemble = std::make_shared<mbds::VehiGan>(linear_detectors(m), k, seed);
+  ensemble->set_subset_draw(draw);
+  return ensemble;
+}
+
+// ------------------------------------------- determinism: in-process -------
+
+TEST(ScenarioDeterminism, SameConfigAndSeedCompilesByteIdenticalStreams) {
+  ScenarioConfig config = small_config();
+  config.cohorts.push_back(persistent_cohort("HighYawRate", 1, 2.0));
+  GpsDegradedZone zone;
+  zone.x_min = 0.0;
+  zone.x_max = 200.0;
+  zone.y_min = -50.0;
+  zone.y_max = 50.0;
+  zone.pos_sigma_scale = 5.0;
+  zone.dropout_p = 0.1;
+  config.gps_zones.push_back(zone);
+
+  ScenarioEngine first(config);
+  ScenarioEngine second(config);
+  const LabeledStream a = drain_all(first);
+  const LabeledStream b = drain_all(second);
+  ASSERT_GT(a.message_count(), 0U);
+  EXPECT_TRUE(streams_equal(a, b));
+}
+
+TEST(ScenarioDeterminism, DistinctSeedsCompileDistinctStreams) {
+  ScenarioConfig config = small_config();
+  ScenarioEngine first(config);
+  config.seed = config.seed + 1;
+  ScenarioEngine second(config);
+  const LabeledStream a = drain_all(first);
+  const LabeledStream b = drain_all(second);
+  ASSERT_GT(a.message_count(), 0U);
+  ASSERT_GT(b.message_count(), 0U);
+  EXPECT_FALSE(streams_equal(a, b));
+}
+
+// ------------------------------------------ determinism: cross-process -----
+
+#if defined(__unix__)
+
+fs::path helper_path() {
+  return fs::read_symlink("/proc/self/exe").parent_path() / "scenario_proc";
+}
+
+pid_t spawn(const std::vector<std::string>& args) {
+  std::vector<const char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const auto& a : args) argv.push_back(a.c_str());
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(argv[0], const_cast<char* const*>(argv.data()));
+    _exit(127);
+  }
+  return pid;
+}
+
+int wait_exit_code(pid_t pid) {
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+std::string run_helper(const std::string& scenario, std::uint64_t seed, const fs::path& dir,
+                       const std::string& tag) {
+  const fs::path result = dir / (tag + ".txt");
+  const pid_t pid =
+      spawn({helper_path().string(), scenario, std::to_string(seed), result.string()});
+  EXPECT_GT(pid, 0);
+  EXPECT_EQ(wait_exit_code(pid), 0);
+  std::ifstream in(result);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line.rfind("hash=", 0), 0U) << "bad helper output: " << line;
+  return line;
+}
+
+TEST(ScenarioDeterminism, TwoProcessRunsProduceIdenticalStreams) {
+  ASSERT_TRUE(fs::exists(helper_path()))
+      << helper_path() << " missing — build the scenario_proc target";
+  const fs::path dir = fs::temp_directory_path() / "vehigan_scenario_determinism";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  // sybil-ghost exercises the IDM sim, cohort picks, ghost-route draws, and
+  // sensor noise; identical digests mean every one of those draws replayed.
+  const std::string a = run_helper("sybil-ghost", 55, dir, "a");
+  const std::string b = run_helper("sybil-ghost", 55, dir, "b");
+  EXPECT_EQ(a, b);
+  const std::string c = run_helper("sybil-ghost", 56, dir, "c");
+  EXPECT_NE(a, c);
+
+  const std::string d = run_helper("gps-degraded-corridor", 33, dir, "d");
+  const std::string e = run_helper("gps-degraded-corridor", 33, dir, "e");
+  EXPECT_EQ(d, e);
+  fs::remove_all(dir);
+}
+
+#endif  // __unix__
+
+// ------------------------------------------------------- JSON schema -------
+
+TEST(ScenarioConfigJson, BuiltinSlateRoundTripsThroughJson) {
+  const std::vector<ScenarioConfig> slate = builtin_slate();
+  ASSERT_EQ(slate.size(), 6U);
+  std::set<std::string> names;
+  for (const ScenarioConfig& config : slate) {
+    names.insert(config.name);
+    const ScenarioConfig back = scenario_from_json(scenario_to_json(config));
+    EXPECT_EQ(back.name, config.name);
+    EXPECT_EQ(back.seed, config.seed);
+    EXPECT_EQ(back.duration_s, config.duration_s);
+    EXPECT_EQ(back.num_platoons, config.num_platoons);
+    EXPECT_EQ(back.gps_zones.size(), config.gps_zones.size());
+    ASSERT_EQ(back.cohorts.size(), config.cohorts.size());
+    for (std::size_t i = 0; i < config.cohorts.size(); ++i) {
+      EXPECT_EQ(back.cohorts[i].attack, config.cohorts[i].attack);
+      EXPECT_EQ(back.cohorts[i].count, config.cohorts[i].count);
+      EXPECT_EQ(back.cohorts[i].mode, config.cohorts[i].mode);
+      EXPECT_EQ(back.cohorts[i].start_time_s, config.cohorts[i].start_time_s);
+    }
+  }
+  EXPECT_EQ(names.size(), 6U) << "builtin scenario names must be distinct";
+  // The slate covers the three cohort modes the bench CSV must span.
+  bool has_sybil = false;
+  bool has_adaptive = false;
+  for (const ScenarioConfig& config : slate) {
+    for (const AttackerCohort& cohort : config.cohorts) {
+      has_sybil = has_sybil || cohort.mode == CohortMode::kSybil;
+      has_adaptive = has_adaptive || cohort.mode == CohortMode::kAdaptive;
+    }
+  }
+  EXPECT_TRUE(has_sybil);
+  EXPECT_TRUE(has_adaptive);
+}
+
+TEST(ScenarioConfigJson, UnknownKeyIsRejectedLoudly) {
+  data::Json::Object doc = scenario_to_json(small_config()).as_object();
+  doc["durationn_s"] = data::Json(3.0);  // typoed knob
+  EXPECT_THROW((void)scenario_from_json(data::Json(doc)), std::runtime_error);
+}
+
+TEST(ScenarioConfigJson, UnknownAttackNameIsRejectedAtLoadTime) {
+  ScenarioConfig config = small_config();
+  config.cohorts.push_back(persistent_cohort("NotARealAttack", 1, 0.0));
+  const data::Json doc = scenario_to_json(config);
+  EXPECT_THROW((void)scenario_from_json(doc), std::exception);
+}
+
+// ------------------------------------------------- compilation layers ------
+
+TEST(ScenarioEngine, RejectsInvalidConfigs) {
+  ScenarioConfig bad_dt = small_config();
+  bad_dt.dt_s = 0.0;
+  EXPECT_THROW(ScenarioEngine{bad_dt}, std::invalid_argument);
+  ScenarioConfig too_many = small_config();
+  too_many.cohorts.push_back(persistent_cohort("HighYawRate", 100, 0.0));
+  EXPECT_THROW(ScenarioEngine{too_many}, std::runtime_error);
+}
+
+TEST(ScenarioEngine, PersistentCohortLabelsExactlyItsClaimedVehicles) {
+  ScenarioConfig config = small_config();
+  config.cohorts.push_back(persistent_cohort("RandomPosition", 2, 3.0));
+  ScenarioEngine engine(config);
+  std::size_t attackers = 0;
+  for (const auto& [sender, type] : engine.attacker_type()) {
+    if (type != 0) {
+      ++attackers;
+      EXPECT_EQ(type, vasp::attack_by_name("RandomPosition").index);
+    }
+  }
+  EXPECT_EQ(attackers, 2U);
+  EXPECT_EQ(engine.attacker_type().size(), 6U);  // 2 platoons x 3 vehicles
+  EXPECT_FALSE(engine.wants_feedback());
+}
+
+TEST(ScenarioEngine, ArrivalShapingDelaysWholePlatoonsWithoutLosingMessages) {
+  ScenarioConfig immediate = small_config();
+  ScenarioEngine at_once(immediate);
+  const LabeledStream base = drain_all(at_once);
+  ASSERT_FALSE(base.ticks.empty());
+
+  ScenarioConfig staggered = small_config();
+  staggered.arrival.pattern = ArrivalPattern::kUniform;
+  ScenarioEngine spread(staggered);
+  const LabeledStream shifted = drain_all(spread);
+  ASSERT_FALSE(shifted.ticks.empty());
+
+  // Shifting delays whole platoons: nothing is dropped, every vehicle's
+  // first transmission moves later (or stays put), and at least one platoon
+  // actually moved.
+  EXPECT_EQ(shifted.message_count(), base.message_count());
+  const auto first_times = [](const LabeledStream& stream) {
+    std::map<std::uint32_t, double> first;
+    for (const auto& tick : stream.ticks) {
+      for (const sim::Bsm& m : tick) first.try_emplace(m.vehicle_id, m.time);
+    }
+    return first;
+  };
+  const std::map<std::uint32_t, double> base_first = first_times(base);
+  const std::map<std::uint32_t, double> shifted_first = first_times(shifted);
+  ASSERT_EQ(base_first.size(), 6U);  // 2 platoons x 3 vehicles
+  ASSERT_EQ(shifted_first.size(), 6U);
+  std::size_t delayed = 0;
+  for (const auto& [vehicle, t0] : base_first) {
+    const double t1 = shifted_first.at(vehicle);
+    EXPECT_GE(t1, t0) << "vehicle " << vehicle;
+    if (t1 > t0) ++delayed;
+  }
+  EXPECT_GT(delayed, 0U);
+  EXPECT_GT(shifted.ticks.size(), base.ticks.size());
+}
+
+TEST(ScenarioEngine, GpsDegradedZoneDropsAndPerturbsOnlyHonestTraffic) {
+  ScenarioConfig clean = small_config();
+  clean.cohorts.push_back(persistent_cohort("ConstantPositionOffset", 1, 0.0));
+  ScenarioConfig degraded = clean;
+  GpsDegradedZone zone;  // covers everything: every honest message is inside
+  zone.x_min = -1e6;
+  zone.x_max = 1e6;
+  zone.y_min = -1e6;
+  zone.y_max = 1e6;
+  zone.pos_sigma_scale = 6.0;
+  zone.dropout_p = 0.25;
+  degraded.gps_zones.push_back(zone);
+
+  ScenarioEngine clean_engine(clean);
+  ScenarioEngine degraded_engine(degraded);
+  const LabeledStream before = drain_all(clean_engine);
+  const LabeledStream after = drain_all(degraded_engine);
+
+  std::uint32_t attacker = 0;
+  for (const auto& [sender, type] : after.attacker_type) {
+    if (type != 0) attacker = sender;
+  }
+  ASSERT_NE(attacker, 0U);
+
+  std::size_t honest_before = 0;
+  std::size_t honest_after = 0;
+  std::size_t attacker_before = 0;
+  std::size_t attacker_after = 0;
+  for (const auto& tick : before.ticks) {
+    for (const sim::Bsm& m : tick) (m.vehicle_id == attacker ? attacker_before : honest_before)++;
+  }
+  for (const auto& tick : after.ticks) {
+    for (const sim::Bsm& m : tick) (m.vehicle_id == attacker ? attacker_after : honest_after)++;
+  }
+  // Dropout sheds a visible share of honest traffic; attacker messages are
+  // fabricated, not measured, so the zone never touches them.
+  EXPECT_LT(honest_after, honest_before);
+  EXPECT_GT(honest_after, honest_before / 2);
+  EXPECT_EQ(attacker_after, attacker_before);
+}
+
+TEST(ScenarioEngine, SybilCohortMintsFreshColludingIdentities) {
+  ScenarioConfig config = small_config();
+  AttackerCohort sybil;
+  sybil.mode = CohortMode::kSybil;
+  sybil.count = 4;
+  sybil.start_time_s = 2.0;
+  config.cohorts.push_back(sybil);
+  ScenarioEngine engine(config);
+  const LabeledStream stream = drain_all(engine);
+
+  std::vector<std::uint32_t> ghosts;
+  for (const auto& [sender, type] : stream.attacker_type) {
+    if (type == kSybilAttackerType) ghosts.push_back(sender);
+  }
+  ASSERT_EQ(ghosts.size(), 4U);
+  for (const std::uint32_t ghost : ghosts) EXPECT_GT(ghost, 6U);  // fresh ids, not fleet ids
+
+  // The colluders transmit and report nearby positions (one shared ghost
+  // trajectory with small per-identity offsets): at any common tick, all
+  // ghost positions should agree to within a few meters.
+  std::size_t compared = 0;
+  for (const auto& tick : stream.ticks) {
+    std::vector<const sim::Bsm*> present;
+    for (const sim::Bsm& m : tick) {
+      if (stream.attacker_type.at(m.vehicle_id) == kSybilAttackerType) present.push_back(&m);
+    }
+    if (present.size() < 2) continue;
+    for (std::size_t i = 1; i < present.size(); ++i) {
+      const double dx = present[i]->x - present[0]->x;
+      const double dy = present[i]->y - present[0]->y;
+      EXPECT_LT(std::hypot(dx, dy), 25.0);
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 0U);
+}
+
+TEST(ScenarioEngine, AdaptiveAttackerBacksOffWhenFlaggedAndAttacksWhenClean) {
+  ScenarioConfig config = small_config();
+  AttackerCohort adaptive;
+  adaptive.attack = "ConstantPositionOffset";
+  adaptive.count = 1;
+  adaptive.mode = CohortMode::kAdaptive;
+  adaptive.start_time_s = 1.0;
+  adaptive.probe_period_s = 1.0;
+  adaptive.backoff = 0.3;
+  adaptive.recover = 1.05;
+  config.cohorts.push_back(adaptive);
+
+  // Benign twin: same config minus the cohort. Traffic generation uses
+  // decorrelated rng splits, so honest trajectories are identical and the
+  // attacker's benign twin is its own unattacked trace.
+  ScenarioConfig benign_config = small_config();
+  ScenarioEngine benign_engine(benign_config);
+  const LabeledStream benign = drain_all(benign_engine);
+
+  ScenarioEngine never_flagged(config);
+  ASSERT_TRUE(never_flagged.wants_feedback());
+  never_flagged.set_feedback([](std::uint32_t) { return std::uint64_t{0}; });
+
+  ScenarioEngine always_flagged(config);
+  std::uint64_t calls = 0;
+  always_flagged.set_feedback([&calls](std::uint32_t) { return ++calls; });
+
+  const LabeledStream bold = drain_all(never_flagged);
+  const LabeledStream timid = drain_all(always_flagged);
+
+  std::uint32_t attacker = 0;
+  for (const auto& [sender, type] : bold.attacker_type) {
+    if (type != 0) attacker = sender;
+  }
+  ASSERT_NE(attacker, 0U);
+
+  std::map<double, const sim::Bsm*> benign_by_time;
+  for (const auto& tick : benign.ticks) {
+    for (const sim::Bsm& m : tick) {
+      if (m.vehicle_id == attacker) benign_by_time[m.time] = &m;
+    }
+  }
+  const auto deviation = [&](const LabeledStream& stream) {
+    double total = 0.0;
+    for (const auto& tick : stream.ticks) {
+      for (const sim::Bsm& m : tick) {
+        if (m.vehicle_id != attacker) continue;
+        const auto it = benign_by_time.find(m.time);
+        if (it == benign_by_time.end()) continue;
+        total += std::hypot(m.x - it->second->x, m.y - it->second->y);
+      }
+    }
+    return total;
+  };
+
+  const double bold_deviation = deviation(bold);
+  const double timid_deviation = deviation(timid);
+  // Never flagged -> the scale stays at 1 and the full position offset is
+  // transmitted. Flagged at every probe -> the scale decays geometrically
+  // and the transmitted trace hugs the benign one.
+  EXPECT_GT(bold_deviation, 0.0);
+  EXPECT_LT(timid_deviation, 0.5 * bold_deviation);
+}
+
+// ---------------------------------------------------- VeReMi replay --------
+
+TEST(VeremiReplay, FixtureTraceReplaysThroughTheSourceInterface) {
+  data::VeremiExport files;
+  files.messages = fixture("veremi_attack.json");
+  files.ground_truth = fixture("veremi_attack.gt.json");
+  VeremiReplaySource source(files);
+
+  EXPECT_EQ(source.attacker_type().at(201), 0);
+  EXPECT_EQ(source.attacker_type().at(202), 16);
+  EXPECT_DOUBLE_EQ(source.start_time(), 36000.0);
+
+  const LabeledStream stream = drain_all(source);
+  EXPECT_EQ(stream.message_count(), 6U);
+  ASSERT_EQ(stream.ticks.size(), 3U);
+  for (const auto& tick : stream.ticks) {
+    ASSERT_EQ(tick.size(), 2U);  // both senders transmit every 100 ms
+    EXPECT_EQ(tick[0].vehicle_id, 201U);
+    EXPECT_EQ(tick[1].vehicle_id, 202U);
+  }
+  // Absolute VeReMi clock is preserved on the messages themselves.
+  EXPECT_DOUBLE_EQ(stream.ticks.front().front().time, 36000.0);
+}
+
+TEST(VeremiReplay, GapsBecomeQuietTicksAndUnlabeledSendersAreHonest) {
+  data::VeremiImport import;
+  sim::VehicleTrace trace;
+  trace.vehicle_id = 7;
+  sim::Bsm m;
+  m.vehicle_id = 7;
+  m.time = 25200.0;
+  trace.messages.push_back(m);
+  m.time = 25200.5;  // 400 ms of radio silence in between
+  trace.messages.push_back(m);
+  import.dataset.traces.push_back(trace);
+  // No ground-truth entry for sender 7: conservatively honest.
+
+  VeremiReplaySource source(import);
+  EXPECT_EQ(source.attacker_type().at(7), 0);
+  std::vector<sim::Bsm> tick;
+  std::vector<std::size_t> sizes;
+  while (source.next(tick)) sizes.push_back(tick.size());
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 0, 0, 0, 0, 1}));
+}
+
+// ------------------------------------- end-to-end serving equivalence ------
+
+TEST(ScenarioEquivalence, OneShardServiceMatchesSequentialIngestForScenarioTraffic) {
+  constexpr std::uint64_t kSeed = 41;
+  ScenarioConfig config = small_config();
+  config.cohorts.push_back(persistent_cohort("HighSpeed", 2, 2.0));
+  ScenarioEngine engine(config);
+  const LabeledStream stream = drain_all(engine);
+  std::vector<sim::Bsm> flat;
+  flat.reserve(stream.message_count());
+  for (const auto& tick : stream.ticks) flat.insert(flat.end(), tick.begin(), tick.end());
+  ASSERT_GT(flat.size(), 100U);
+
+  // Reference: plain sequential OnlineMbds::ingest in wire order.
+  mbds::OnlineMbds reference(42, make_ensemble(kSeed, 2, 1, mbds::SubsetDraw::kSequentialRng),
+                             identity_scaler(), /*report_cooldown=*/0.25,
+                             /*gap_reset_s=*/1.0);
+  std::vector<mbds::MisbehaviorReport> expected;
+  for (const sim::Bsm& message : flat) {
+    if (auto r = reference.ingest(message)) expected.push_back(std::move(*r));
+  }
+  ASSERT_FALSE(expected.empty());
+
+  serve::ServiceConfig service_config;
+  service_config.num_shards = 1;
+  service_config.queue_capacity = 256;
+  service_config.policy = serve::OverloadPolicy::kBlock;
+  service_config.station_id = 42;
+  service_config.report_cooldown_s = 0.25;
+  service_config.gap_reset_s = 1.0;
+  service_config.evict_after_s = 0.0;  // keep detector state identical
+  serve::DetectionService service(
+      service_config,
+      [&](std::size_t) { return make_ensemble(kSeed, 2, 1, mbds::SubsetDraw::kSequentialRng); },
+      identity_scaler());
+  std::vector<mbds::MisbehaviorReport> actual;
+  service.set_report_sink([&](const mbds::MisbehaviorReport& r) { actual.push_back(r); });
+  for (const sim::Bsm& message : flat) EXPECT_TRUE(service.submit(message));
+  service.stop();
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    SCOPED_TRACE("report " + std::to_string(i));
+    EXPECT_EQ(actual[i].suspect_id, expected[i].suspect_id);
+    EXPECT_EQ(actual[i].time, expected[i].time);
+    EXPECT_EQ(actual[i].score, expected[i].score);  // byte-identical, not near
+    EXPECT_EQ(actual[i].threshold, expected[i].threshold);
+  }
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.total.enqueued, flat.size());
+  EXPECT_EQ(stats.total.scored, flat.size());
+  EXPECT_EQ(stats.total.dropped, 0U);
+}
+
+}  // namespace
+}  // namespace vehigan::scenario

@@ -471,6 +471,80 @@ TEST(DetectionService, StalenessSweepEvictsQuietSenders) {
   service.stop();
 }
 
+TEST(OnlineMbdsEviction, AdvanceTimeSweepsOnTheMessageClockNotWallTime) {
+  mbds::OnlineMbds monitor(1, make_ensemble(2, 2, 1, mbds::SubsetDraw::kContentKeyed),
+                           identity_scaler());
+  monitor.set_eviction_policy({/*evict_after_s=*/1.0, /*evict_every_s=*/0.5});
+  // Absolute VeReMi-style clock, 7 h into the day. The whole replay takes
+  // microseconds of wall time; only message time may drive the sweeps.
+  const auto first = monitor.advance_time(25200.0);
+  EXPECT_FALSE(first.swept);  // first call seeds the cadence, never sweeps
+  for (int i = 0; i < 10; ++i) {
+    (void)monitor.ingest(cruise_msg(1, 25200.0 + 0.1 * i));
+    (void)monitor.advance_time(25200.0 + 0.1 * i);
+  }
+  EXPECT_EQ(monitor.tracked_vehicles(), 1U);
+
+  // Sender 2 arrives after a 5 s gap in message time: the very next due
+  // sweep's cutoff (latest - evict_after) passes sender 1's last update.
+  (void)monitor.ingest(cruise_msg(2, 25205.0));
+  const auto sweep = monitor.advance_time(25205.0);
+  EXPECT_TRUE(sweep.swept);
+  EXPECT_EQ(sweep.evicted, 1U);
+  EXPECT_EQ(monitor.tracked_vehicles(), 1U);  // only sender 2 remains
+
+  // The replay clock is a monotonic max: a late, reordered timestamp never
+  // rewinds it (and therefore never re-arms an already-run sweep).
+  const auto stale = monitor.advance_time(25204.0);
+  EXPECT_FALSE(stale.swept);
+  EXPECT_EQ(monitor.stats().evictions_total, 1U);
+}
+
+TEST(OnlineMbdsEviction, DisabledPolicyNeverSweeps) {
+  mbds::OnlineMbds monitor(1, make_ensemble(2, 2, 1, mbds::SubsetDraw::kContentKeyed),
+                           identity_scaler());
+  monitor.set_eviction_policy({/*evict_after_s=*/0.0, /*evict_every_s=*/0.5});
+  for (int i = 0; i < 10; ++i) {
+    (void)monitor.ingest(cruise_msg(1, 0.1 * i));
+    EXPECT_FALSE(monitor.advance_time(0.1 * i).swept);
+  }
+  (void)monitor.ingest(cruise_msg(2, 100.0));
+  EXPECT_FALSE(monitor.advance_time(100.0).swept);
+  EXPECT_EQ(monitor.tracked_vehicles(), 2U);
+}
+
+TEST(DetectionService, StalenessSweepFollowsAbsoluteTraceTimestamps) {
+  // Regression: eviction used to be anchored at an implicit t=0, so a trace
+  // carrying absolute timestamps (every VeReMi log does) would evict every
+  // sender on the first sweep. The sweep clock must ride the stream's own
+  // time base: a time-gapped trace evicts exactly the lapsed senders.
+  ServiceConfig config;
+  config.num_shards = 1;
+  config.policy = OverloadPolicy::kBlock;
+  config.evict_after_s = 1.0;
+  config.evict_every_s = 0.5;
+  DetectionService service(
+      config, [&](std::size_t) { return make_ensemble(2, 2, 1, mbds::SubsetDraw::kContentKeyed); },
+      identity_scaler());
+  // Senders 1 and 2 talk at t in [25200.0, 25200.9] on the absolute clock.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(service.submit(cruise_msg(1, 25200.0 + 0.1 * i)));
+    EXPECT_TRUE(service.submit(cruise_msg(2, 25200.0 + 0.1 * i)));
+  }
+  service.drain();
+  EXPECT_EQ(service.stats().total.tracked_vehicles, 2U);
+  // Sender 2 keeps talking across a 5 s gap; sender 1 goes quiet. Only the
+  // lapsed sender may be swept.
+  for (int i = 0; i <= 10; ++i) {
+    EXPECT_TRUE(service.submit(cruise_msg(2, 25205.0 + 0.1 * i)));
+  }
+  service.drain();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.total.tracked_vehicles, 1U);
+  EXPECT_GE(stats.total.evictions, 1U);
+  service.stop();
+}
+
 // ------------------------------------------------------ sharding & sink ----
 
 TEST(DetectionService, ShardAssignmentIsStableAndSpreadsSenders) {

@@ -3,19 +3,29 @@
 // Drives a synthetic multi-sender 10 Hz BSM stream from 4 producer threads
 // through the sharded detection service and measures sustained ingest
 // throughput (msgs/sec, submit through drain) and the p99 of the per-shard
-// drain cycle (dequeue -> ingest_batch -> report emission), read from the
+// drain cycle (dequeue -> ingest_batch -> report publish), read from the
 // vehigan_serve_drain_seconds histogram deltas:
 //
-//   shard sweep    1 / 2 / 4 / 8 shards under kBlock (lossless backpressure)
-//   policy sweep   block / drop-newest / drop-oldest at 4 shards with
-//                  deliberately tiny queues, showing what each policy trades:
-//                  block keeps every message (throughput set by the slowest
-//                  shard), the drop policies shed load to hold latency
+//   core matrix    shard sweep 1 / 2 / 4 / 8 under kBlock, repeated at every
+//                  core budget in {1, 2, 4, 8} (clamped to this host's
+//                  affinity mask via sched_setaffinity) — the scaling curve:
+//                  each row's speedup is relative to the 1-shard run at the
+//                  SAME budget, so parallelism and sharding overhead are
+//                  separated honestly. hardware_threads records the budget
+//                  actually in effect, never a wish.
+//   pinned         4 shards with shard-to-core affinity (pin_shards), full
+//                  core budget, against the unpinned 4-shard row
+//   policy sweep   block / drop-newest / drop-oldest / fair-shed at 4 shards
+//                  with deliberately tiny queues, showing what each policy
+//                  trades: block keeps every message (throughput set by the
+//                  slowest shard), the drop policies shed load to hold
+//                  latency, fair-shed sheds from the heaviest senders
 //
 // The full table is exported to bench_results/ext_serve_throughput.csv with
-// a telemetry sidecar. Expectation: >= 1.8x msgs/sec from 1 -> 4 shards on
-// >= 4 hardware threads (shards scale with cores; on fewer cores the sweep
-// still documents the overhead of sharding without parallelism).
+// a telemetry sidecar. Expectation: msgs/sec increases monotonically from
+// 1 -> 4 shards at a >= 4-core budget (target >= 2.5x at 4 shards); at a
+// 1-core budget the sweep documents the overhead of sharding without
+// parallelism instead.
 //
 // No trained workspace needed: throughput depends only on the architecture,
 // so the ensembles are random-weight paper critics (m=4, k=2), content-keyed
@@ -32,6 +42,10 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 #include "bench_common.hpp"
 #include "experiments/table_printer.hpp"
@@ -116,6 +130,41 @@ std::vector<sim::Bsm> producer_stream(std::uint32_t first_id, std::size_t sender
     }
   }
   return stream;
+}
+
+// ----------------------------------------------------- core-budget knobs ---
+
+/// Cores this process may run on right now (the CI runner or container mask,
+/// not the machine's nominal core count).
+std::vector<int> allowed_cores() {
+  std::vector<int> cores;
+#if defined(__linux__)
+  cpu_set_t mask;
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+      if (CPU_ISSET(cpu, &mask)) cores.push_back(cpu);
+    }
+  }
+#endif
+  if (cores.empty()) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    for (int cpu = 0; cpu < static_cast<int>(hw == 0 ? 1 : hw); ++cpu) cores.push_back(cpu);
+  }
+  return cores;
+}
+
+/// Restricts this thread (and every thread it spawns afterwards — shard
+/// workers and producers inherit the mask) to the first `budget` allowed
+/// cores. Returns the budget actually applied.
+std::size_t apply_core_budget(const std::vector<int>& cores, std::size_t budget) {
+  const std::size_t n = std::min(budget, cores.size());
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  for (std::size_t i = 0; i < n; ++i) CPU_SET(cores[i], &mask);
+  if (sched_setaffinity(0, sizeof(mask), &mask) != 0) return cores.size();
+#endif
+  return n;
 }
 
 // ------------------------------------------- p99 from histogram deltas -----
@@ -215,53 +264,93 @@ int main(int argc, char** argv) {
   bench::init_observability_from_env();  // VEHIGAN_TRACE_OUT / VEHIGAN_BLACKBOX_OUT
   const std::size_t senders = quick_scale() ? 48 : 64;
   const std::size_t ticks = quick_scale() ? 128 : 640;
-  const unsigned hardware = std::thread::hardware_concurrency();
+  const std::vector<int> cores = allowed_cores();
 
   std::cout << "=== DetectionService throughput: msgs/sec and p99 drain latency ===\n"
             << "ensemble m=" << kEnsembleM << " k=" << kEnsembleK << " (content-keyed), "
             << senders << " senders x " << ticks << " ticks, " << kProducers
-            << " producers (" << hardware << " hardware threads)\n\n";
+            << " producers (" << cores.size() << " cores in the affinity mask)\n\n";
 
   struct Row {
     std::string sweep;
     std::size_t shards;
     serve::OverloadPolicy policy;
     std::size_t capacity;
+    bool pinned;
+    std::size_t budget;  ///< core budget in effect (the honest thread count)
     RunResult result;
+    double speedup;  ///< vs the 1-shard run at the same core budget
   };
   std::vector<Row> rows;
 
-  // Shard sweep: lossless backpressure, capacity out of the way.
-  for (std::size_t shards : {1UL, 2UL, 4UL, 8UL}) {
+  // Core matrix: the shard sweep repeated at each emulated core budget.
+  // Budgets beyond this host's mask are skipped, not faked.
+  std::vector<std::size_t> budgets;
+  for (std::size_t b : {1UL, 2UL, 4UL, 8UL}) {
+    if (b <= cores.size()) budgets.push_back(b);
+  }
+  if (budgets.empty() || budgets.back() != cores.size()) budgets.push_back(cores.size());
+
+  for (std::size_t budget : budgets) {
+    const std::size_t effective = apply_core_budget(cores, budget);
+    double baseline = 0.0;
+    for (std::size_t shards : {1UL, 2UL, 4UL, 8UL}) {
+      serve::ServiceConfig config;
+      config.num_shards = shards;
+      config.queue_capacity = 1024;
+      config.policy = serve::OverloadPolicy::kBlock;
+      const RunResult result = run_config(config, senders, ticks);
+      if (shards == 1) baseline = result.msgs_per_sec;
+      rows.push_back({"shards", shards, config.policy, config.queue_capacity,
+                      /*pinned=*/false, effective, result,
+                      baseline > 0.0 ? result.msgs_per_sec / baseline : 1.0});
+    }
+  }
+  apply_core_budget(cores, cores.size());  // restore the full mask
+
+  // Pinned run: 4 shards with shard-to-core affinity at the full budget,
+  // comparable against the unpinned 4-shard row of the same budget above.
+  {
     serve::ServiceConfig config;
-    config.num_shards = shards;
+    config.num_shards = 4;
     config.queue_capacity = 1024;
     config.policy = serve::OverloadPolicy::kBlock;
-    rows.push_back({"shards", shards, config.policy, config.queue_capacity,
-                    run_config(config, senders, ticks)});
+    config.pin_shards = true;
+    double baseline = 0.0;
+    for (const Row& row : rows) {
+      if (row.sweep == "shards" && row.shards == 1 && row.budget == cores.size()) {
+        baseline = row.result.msgs_per_sec;
+      }
+    }
+    const RunResult result = run_config(config, senders, ticks);
+    rows.push_back({"pinned", 4, config.policy, config.queue_capacity, /*pinned=*/true,
+                    cores.size(), result,
+                    baseline > 0.0 ? result.msgs_per_sec / baseline : 1.0});
   }
-  const double baseline = rows[0].result.msgs_per_sec;
 
   // Policy sweep: 4 shards, queues 16 deep so overload actually happens.
   for (serve::OverloadPolicy policy :
        {serve::OverloadPolicy::kBlock, serve::OverloadPolicy::kDropNewest,
-        serve::OverloadPolicy::kDropOldest}) {
+        serve::OverloadPolicy::kDropOldest, serve::OverloadPolicy::kFairShed}) {
     serve::ServiceConfig config;
     config.num_shards = 4;
     config.queue_capacity = 16;
     config.policy = policy;
-    rows.push_back({"policy", 4, policy, config.queue_capacity,
-                    run_config(config, senders, ticks)});
+    rows.push_back({"policy", 4, policy, config.queue_capacity, /*pinned=*/false,
+                    cores.size(), run_config(config, senders, ticks), 0.0});
   }
 
   experiments::TablePrinter table(
-      {"sweep", "shards", "policy", "capacity", "msgs/sec", "speedup", "p99 drain ms",
-       "dropped", "reports"});
+      {"sweep", "cores", "shards", "policy", "capacity", "pinned", "msgs/sec", "speedup",
+       "p99 drain ms", "dropped", "reports"});
   for (const Row& row : rows) {
-    table.add_row({row.sweep, std::to_string(row.shards), serve::to_string(row.policy),
-                   std::to_string(row.capacity),
+    table.add_row({row.sweep, std::to_string(row.budget), std::to_string(row.shards),
+                   serve::to_string(row.policy), std::to_string(row.capacity),
+                   row.pinned ? "yes" : "no",
                    experiments::TablePrinter::format(row.result.msgs_per_sec, 0),
-                   experiments::TablePrinter::format(row.result.msgs_per_sec / baseline, 2) + "x",
+                   row.speedup > 0.0
+                       ? experiments::TablePrinter::format(row.speedup, 2) + "x"
+                       : "-",
                    experiments::TablePrinter::format(row.result.p99_drain_ms, 3),
                    std::to_string(row.result.dropped), std::to_string(row.result.reports)});
   }
@@ -271,20 +360,20 @@ int main(int argc, char** argv) {
   util::CsvWriter csv("bench_results/ext_serve_throughput.csv");
   csv.write_row({"sweep", "shards", "policy", "queue_capacity", "producers", "messages",
                  "msgs_per_sec", "speedup_vs_1shard", "p99_drain_ms", "dropped", "reports",
-                 "hardware_threads"});
+                 "pinned", "adaptive_batch", "hardware_threads"});
   for (const Row& row : rows) {
     csv.write_row({row.sweep, std::to_string(row.shards), serve::to_string(row.policy),
                    std::to_string(row.capacity), std::to_string(kProducers),
                    std::to_string(row.result.messages),
                    experiments::TablePrinter::format(row.result.msgs_per_sec, 1),
-                   experiments::TablePrinter::format(row.result.msgs_per_sec / baseline, 3),
+                   experiments::TablePrinter::format(row.speedup, 3),
                    experiments::TablePrinter::format(row.result.p99_drain_ms, 4),
                    std::to_string(row.result.dropped), std::to_string(row.result.reports),
-                   std::to_string(hardware)});
+                   row.pinned ? "1" : "0", "1", std::to_string(row.budget)});
   }
   std::cout << "\nrows written to bench_results/ext_serve_throughput.csv\n"
-            << "(the >= 1.8x 1->4 shard target assumes >= 4 hardware threads; "
-            << "this host has " << hardware << ")\n\n";
+            << "(the >= 2.5x 1->4 shard target applies to the >= 4-core budget rows; "
+            << "this host's mask has " << cores.size() << " cores)\n\n";
 
   benchmark::RegisterBenchmark("serve/shards", bm_serve)
       ->Arg(1)

@@ -62,6 +62,7 @@ struct Options {
   std::size_t shards = 4;
   std::size_t capacity = 1024;
   serve::OverloadPolicy policy = serve::OverloadPolicy::kBlock;
+  bool pin_shards = false;
   std::size_t producers = 4;
   double evict_after_s = 30.0;
   std::string metrics_out;
@@ -72,8 +73,8 @@ struct Options {
 
 int usage() {
   std::cout << "usage: city_scale_rsu [attack-name] [--shards N] [--capacity N]\n"
-               "                      [--policy block|drop-newest|drop-oldest]\n"
-               "                      [--producers N] [--evict-after seconds]\n"
+               "                      [--policy block|drop-newest|drop-oldest|fair-shed]\n"
+               "                      [--pin] [--producers N] [--evict-after seconds]\n"
                "                      [--metrics-out <path>] [--trace-out <path>]\n"
                "                      [--trace-sample N] [--blackbox-out <path>]\n";
   return 0;
@@ -94,10 +95,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--policy") {
       const auto parsed = serve::policy_from_string(next());
       if (!parsed) {
-        std::cerr << "unknown --policy (use block|drop-newest|drop-oldest)\n";
+        std::cerr << "unknown --policy (use block|drop-newest|drop-oldest|fair-shed)\n";
         return 1;
       }
       opt.policy = *parsed;
+    } else if (arg == "--pin") {
+      opt.pin_shards = true;
     } else if (arg == "--producers") {
       opt.producers = std::max<std::size_t>(1, std::stoul(next()));
     } else if (arg == "--evict-after") {
@@ -171,6 +174,7 @@ int main(int argc, char** argv) {
   config.station_id = 1001;
   config.report_cooldown_s = 1.0;
   config.evict_after_s = opt.evict_after_s;
+  config.pin_shards = opt.pin_shards;
   serve::DetectionService service(
       config,
       [&](std::size_t) {
@@ -191,7 +195,8 @@ int main(int argc, char** argv) {
   });
 
   std::cout << "deployed " << opt.shards << "-shard service (" << to_string(opt.policy)
-            << ", capacity " << opt.capacity << "), " << opt.producers
+            << ", capacity " << opt.capacity << (opt.pin_shards ? ", pinned" : "")
+            << "), " << opt.producers
             << " producers\nreplaying " << received << "/" << transmitted
             << " received BSMs from " << live.traces.size() << " vehicles ("
             << live.malicious_count() << " attackers, " << opt.attack << ")\n";

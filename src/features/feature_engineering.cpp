@@ -12,9 +12,16 @@ const std::array<std::string_view, kNumFeatures>& feature_names() {
 
 FeatureSeries extract_features(const sim::VehicleTrace& trace) {
   FeatureSeries series;
+  extract_features_into(trace, series);
+  return series;
+}
+
+void extract_features_into(const sim::VehicleTrace& trace, FeatureSeries& series) {
   series.vehicle_id = trace.vehicle_id;
+  series.rows.clear();
+  series.times.clear();
   const auto& msgs = trace.messages;
-  if (msgs.size() < 2) return series;
+  if (msgs.size() < 2) return;
   series.rows.reserve(msgs.size() - 1);
   series.times.reserve(msgs.size() - 1);
 
@@ -40,7 +47,6 @@ FeatureSeries extract_features(const sim::VehicleTrace& trace) {
     series.rows.push_back(row);
     series.times.push_back(cur.time);
   }
-  return series;
 }
 
 }  // namespace vehigan::features

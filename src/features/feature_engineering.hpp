@@ -52,4 +52,10 @@ struct FeatureSeries {
 /// detection signal.
 FeatureSeries extract_features(const sim::VehicleTrace& trace);
 
+/// Allocation-reusing variant: clears and refills `out` (its vectors keep
+/// their capacity across calls), producing exactly the same rows as
+/// extract_features. This is the serving hot path — one call per completed
+/// window per drain cycle — where per-call vector churn is measurable.
+void extract_features_into(const sim::VehicleTrace& trace, FeatureSeries& out);
+
 }  // namespace vehigan::features

@@ -4,13 +4,18 @@ namespace vehigan::features {
 
 Series to_series(const FeatureSeries& fs) {
   Series s;
+  to_series_into(fs, s);
+  return s;
+}
+
+void to_series_into(const FeatureSeries& fs, Series& s) {
   s.vehicle_id = fs.vehicle_id;
   s.width = kNumFeatures;
+  s.values.clear();
   s.values.reserve(fs.rows.size() * kNumFeatures);
   for (const auto& row : fs.rows) {
     s.values.insert(s.values.end(), row.begin(), row.end());
   }
-  return s;
 }
 
 Series extract_raw_series(const sim::VehicleTrace& trace) {

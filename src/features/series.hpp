@@ -35,6 +35,10 @@ struct Series {
 /// Converts an engineered FeatureSeries into the generic Series format.
 Series to_series(const FeatureSeries& fs);
 
+/// Allocation-reusing variant of to_series: clears and refills `out`,
+/// keeping its value buffer's capacity across calls (serving hot path).
+void to_series_into(const FeatureSeries& fs, Series& out);
+
 /// Extracts the *raw* field series {x, y, speed, accel, heading, yaw_rate}
 /// for one vehicle, aligned with the engineered series (the first message is
 /// dropped so row r corresponds to the same BSM in both representations).

@@ -34,6 +34,14 @@ struct WindowSet {
 
   void append(std::span<const float> snapshot_data, std::uint32_t vehicle_id);
 
+  /// Drops every window but keeps the shape and the buffers' capacity —
+  /// lets long-lived owners (the serving drain loop) rebuild the set each
+  /// cycle without reallocating.
+  void clear() {
+    data.clear();
+    vehicle_ids.clear();
+  }
+
   /// Keeps every k-th window (deterministic subsampling used to bound the
   /// single-core training cost; windows of one vehicle are highly
   /// overlapping, so subsampling loses little information).

@@ -95,19 +95,19 @@ OnlineMbds::VehicleBuffer* OnlineMbds::buffer_message(const sim::Bsm& message) {
   return buffer.recent.size() < window_ + 1 ? nullptr : &buffer;
 }
 
-features::Series OnlineMbds::snapshot_series(const VehicleBuffer& buffer) const {
-  sim::VehicleTrace mini;
-  mini.vehicle_id = buffer.recent.front().vehicle_id;
-  mini.messages.assign(buffer.recent.begin(), buffer.recent.end());
-  features::Series series = to_series(features::extract_features(mini));
-  scaler_.transform(series);
-  return series;
+const features::Series& OnlineMbds::snapshot_series(const VehicleBuffer& buffer) {
+  trace_scratch_.vehicle_id = buffer.recent.front().vehicle_id;
+  trace_scratch_.messages.assign(buffer.recent.begin(), buffer.recent.end());
+  features::extract_features_into(trace_scratch_, feature_scratch_);
+  features::to_series_into(feature_scratch_, series_scratch_);
+  scaler_.transform(series_scratch_);
+  return series_scratch_;
 }
 
 std::optional<MisbehaviorReport> OnlineMbds::finalize(const sim::Bsm& message,
                                                       VehicleBuffer& buffer,
                                                       const DetectionResult& result,
-                                                      std::vector<sim::Bsm> evidence) {
+                                                      std::span<const sim::Bsm> evidence) {
   if (!result.flagged) return std::nullopt;
   if (message.time - buffer.last_report_time < cooldown_) return std::nullopt;
   buffer.last_report_time = message.time;
@@ -118,7 +118,7 @@ std::optional<MisbehaviorReport> OnlineMbds::finalize(const sim::Bsm& message,
   report.time = message.time;
   report.score = result.score;
   report.threshold = result.threshold;
-  report.evidence = std::move(evidence);
+  report.evidence.assign(evidence.begin(), evidence.end());
   report.trace_id = telemetry::trace_id_of(message.vehicle_id, message.time);
   telemetry::FlightRecorder::record(
       telemetry::FlightEventKind::kReport, message.vehicle_id, report.trace_id,
@@ -173,43 +173,55 @@ std::optional<MisbehaviorReport> OnlineMbds::ingest(const sim::Bsm& message) {
   observe_result(message, result);
 
   telemetry::ScopedSpan decide_span(tel.decide_seconds, "decide");
-  auto report = finalize(message, *buffer, result,
-                         {buffer->recent.begin(), buffer->recent.end()});
+  // trace_scratch_ still holds this window's messages (snapshot_series
+  // filled it and the buffer has not advanced since) — it doubles as the
+  // contiguous evidence staging, so nothing is copied unless a report fires.
+  auto report = finalize(message, *buffer, result, trace_scratch_.messages);
   if (report) tel.reports_total.add(1);
   publish_drift(tel, drift_);
   return report;
 }
 
 std::vector<MisbehaviorReport> OnlineMbds::ingest_batch(std::span<const sim::Bsm> messages) {
+  std::vector<MisbehaviorReport> out;
+  (void)ingest_batch(messages, out);
+  return out;
+}
+
+std::size_t OnlineMbds::ingest_batch(std::span<const sim::Bsm> messages,
+                                     std::vector<MisbehaviorReport>& out) {
   OnlineTelemetry& tel = OnlineTelemetry::get();
   telemetry::ScopedSpan batch_span(tel.ingest_batch_seconds, "ingest_batch");
   tel.messages_total.add(messages.size());
 
   // Phase 1: buffer every message in arrival order, collecting each window
-  // that completes. Evidence is copied at completion time: a later message
-  // from the same vehicle in this batch advances the deque.
-  struct Pending {
-    const sim::Bsm* message;
-    std::vector<sim::Bsm> evidence;
-  };
-  std::vector<Pending> pending;
-  features::WindowSet ready;
+  // that completes. Evidence is copied into the arena at completion time: a
+  // later message from the same vehicle in this batch advances the deque.
+  // All three scratch structures reuse their capacity from previous batches.
+  std::vector<PendingWindow>& pending = pending_scratch_;
+  features::WindowSet& ready = ready_scratch_;
+  pending.clear();
+  ready.clear();
+  evidence_arena_.clear();
   {
     telemetry::ScopedSpan build_span(tel.window_build_seconds, "window_build");
     for (const sim::Bsm& message : messages) {
       VehicleBuffer* buffer = buffer_message(message);
       if (buffer == nullptr) continue;
-      const features::Series series = snapshot_series(*buffer);
+      const features::Series& series = snapshot_series(*buffer);
       if (ready.count() == 0) {
         ready.window = window_;
         ready.width = series.width;
       }
       ready.append(series.values, message.vehicle_id);
-      pending.push_back({&message, {buffer->recent.begin(), buffer->recent.end()}});
+      const std::size_t offset = evidence_arena_.size();
+      evidence_arena_.insert(evidence_arena_.end(), buffer->recent.begin(),
+                             buffer->recent.end());
+      pending.push_back({&message, offset, buffer->recent.size()});
     }
   }
   tel.tracked_vehicles.set(static_cast<double>(buffers_.size()));
-  if (pending.empty()) return {};
+  if (pending.empty()) return 0;
 
   // Phase 2: one batched ensemble dispatch for the whole tick. evaluate_all
   // draws subsets in window (== message) order, so scores and reports are
@@ -224,7 +236,7 @@ std::vector<MisbehaviorReport> OnlineMbds::ingest_batch(std::span<const sim::Bsm
     // batch's (start, duration) but keep their own trace ids: the timeline
     // shows which messages rode which dispatch.
     const std::uint64_t score_dur = recorder.now_ns() - score_t0;
-    for (const Pending& p : pending) {
+    for (const PendingWindow& p : pending) {
       const std::uint32_t id = p.message->vehicle_id;
       if (!recorder.sampled(id)) continue;
       recorder.record_complete("score", score_t0, score_dur,
@@ -236,17 +248,21 @@ std::vector<MisbehaviorReport> OnlineMbds::ingest_batch(std::span<const sim::Bsm
 
   // Phase 3: apply flag + cooldown decisions in message order.
   telemetry::ScopedSpan decide_span(tel.decide_seconds, "decide");
-  std::vector<MisbehaviorReport> reports;
+  std::size_t emitted = 0;
   for (std::size_t i = 0; i < pending.size(); ++i) {
     observe_result(*pending[i].message, results[i]);
     VehicleBuffer& buffer = buffers_[pending[i].message->vehicle_id];
-    auto report =
-        finalize(*pending[i].message, buffer, results[i], std::move(pending[i].evidence));
-    if (report) reports.push_back(std::move(*report));
+    const std::span<const sim::Bsm> evidence{
+        evidence_arena_.data() + pending[i].evidence_offset, pending[i].evidence_len};
+    auto report = finalize(*pending[i].message, buffer, results[i], evidence);
+    if (report) {
+      out.push_back(std::move(*report));
+      ++emitted;
+    }
   }
-  tel.reports_total.add(reports.size());
+  tel.reports_total.add(emitted);
   publish_drift(tel, drift_);
-  return reports;
+  return emitted;
 }
 
 void OnlineMbds::set_eviction_policy(EvictionPolicy policy) {

@@ -8,7 +8,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "features/feature_engineering.hpp"
 #include "features/scaler.hpp"
+#include "features/series.hpp"
+#include "features/windows.hpp"
 #include "mbds/ensemble.hpp"
 #include "mbds/report.hpp"
 #include "telemetry/drift.hpp"
@@ -87,6 +90,16 @@ class OnlineMbds {
   /// per tick instead of one per vehicle.
   std::vector<MisbehaviorReport> ingest_batch(std::span<const sim::Bsm> messages);
 
+  /// Allocation-reusing variant for long-lived owners (the serving drain
+  /// loop): appends this batch's reports to `out` (not cleared) and returns
+  /// how many were appended. All window scratch — pending-window list,
+  /// batched WindowSet, evidence staging — lives in member buffers whose
+  /// capacity persists across calls, so a steady-state drain cycle performs
+  /// no per-batch vector allocations of its own. Results are identical to
+  /// the returning overload.
+  std::size_t ingest_batch(std::span<const sim::Bsm> messages,
+                           std::vector<MisbehaviorReport>& out);
+
   void set_report_sink(ReportSink sink) { sink_ = std::move(sink); }
 
   /// Observes every scored window. Called from `observe_result`, so it runs
@@ -138,14 +151,17 @@ class OnlineMbds {
   /// complete window (window_+1 consecutive messages).
   VehicleBuffer* buffer_message(const sim::Bsm& message);
 
-  /// Extracts + scales the engineered feature window from a full buffer.
-  [[nodiscard]] features::Series snapshot_series(const VehicleBuffer& buffer) const;
+  /// Extracts + scales the engineered feature window from a full buffer
+  /// into the member scratch Series (returned by reference; valid until the
+  /// next call). Reuses trace/feature/series scratch capacity.
+  const features::Series& snapshot_series(const VehicleBuffer& buffer);
 
   /// Applies the flag + cooldown decision for one scored window; emits the
-  /// report (and sink callback) when it fires.
+  /// report (and sink callback) when it fires. `evidence` is only copied
+  /// into the report when the decision actually fires.
   std::optional<MisbehaviorReport> finalize(const sim::Bsm& message, VehicleBuffer& buffer,
                                             const DetectionResult& result,
-                                            std::vector<sim::Bsm> evidence);
+                                            std::span<const sim::Bsm> evidence);
 
   /// Feeds one scored window into the drift monitor and the flight
   /// recorder (score + decide events). Called once per window, in message
@@ -161,6 +177,22 @@ class OnlineMbds {
   ReportSink sink_;
   ScoreSink score_sink_;
   std::unordered_map<std::uint32_t, VehicleBuffer> buffers_;
+
+  /// One batch-in-flight window scratch, reused across ingest/ingest_batch
+  /// calls (capacity persists; contents are transient). Instances are
+  /// single-threaded, so plain members suffice.
+  struct PendingWindow {
+    const sim::Bsm* message = nullptr;
+    std::size_t evidence_offset = 0;  ///< into evidence_arena_
+    std::size_t evidence_len = 0;
+  };
+  std::vector<PendingWindow> pending_scratch_;
+  features::WindowSet ready_scratch_;
+  std::vector<sim::Bsm> evidence_arena_;
+  sim::VehicleTrace trace_scratch_;
+  features::FeatureSeries feature_scratch_;
+  features::Series series_scratch_;
+
   std::uint64_t evictions_total_ = 0;
   telemetry::ScoreDriftMonitor drift_;
   EvictionPolicy eviction_policy_;

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
+#include <optional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -26,31 +30,89 @@ template <typename T>
 class BoundedQueue {
  public:
   /// Admission outcome of one push. Exactly one message is "lost" per
-  /// kReplacedOldest (the evicted head) and per kRejected / kClosed (the
-  /// offered message) — callers turn these into exact drop counts.
+  /// kReplacedOldest / kReplacedHeaviest (the evicted element, surfaced in
+  /// PushResult::evicted) and per kRejected / kClosed (the offered message)
+  /// — callers turn these into exact drop counts and attribute each drop to
+  /// the element that was actually shed.
   enum class Push {
-    kAccepted,        ///< enqueued into spare capacity
-    kReplacedOldest,  ///< enqueued, evicting the oldest queued item
-    kRejected,        ///< not enqueued: full under kDropNewest
-    kClosed,          ///< not enqueued: queue closed
+    kAccepted,          ///< enqueued into spare capacity
+    kReplacedOldest,    ///< enqueued, evicting the oldest queued item
+    kReplacedHeaviest,  ///< enqueued, evicting the heaviest sender's oldest item
+    kRejected,          ///< not enqueued: full under kDropNewest, or the
+                        ///< offered sender is the heaviest under kFairShed
+    kClosed,            ///< not enqueued: queue closed
   };
 
-  BoundedQueue(std::size_t capacity, OverloadPolicy policy)
-      : capacity_(std::max<std::size_t>(1, capacity)), policy_(policy) {}
+  /// Outcome plus the evicted element (engaged iff outcome is one of the
+  /// kReplaced* values), so drops are attributed to the message that was
+  /// actually lost, not the one that displaced it.
+  struct PushResult {
+    Push outcome = Push::kAccepted;
+    std::optional<T> evicted;
+  };
 
-  Push push(T value) {
+  /// Maps an element to its sender, used only by kFairShed to keep
+  /// per-sender queue occupancy counts. A fair-shed queue without a key
+  /// function degrades to kDropOldest.
+  using KeyFn = std::function<std::uint32_t(const T&)>;
+
+  BoundedQueue(std::size_t capacity, OverloadPolicy policy, KeyFn key = nullptr)
+      : capacity_(std::max<std::size_t>(1, capacity)),
+        policy_(policy == OverloadPolicy::kFairShed && !key ? OverloadPolicy::kDropOldest
+                                                            : policy),
+        key_(std::move(key)) {}
+
+  PushResult push(T value) {
     std::unique_lock lock(mutex_);
     if (policy_ == OverloadPolicy::kBlock) {
       not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
     }
-    if (closed_) return Push::kClosed;
-    Push result = Push::kAccepted;
+    if (closed_) return {Push::kClosed, std::nullopt};
+    PushResult result;
     if (items_.size() >= capacity_) {
-      if (policy_ == OverloadPolicy::kDropNewest) return Push::kRejected;
-      // kDropOldest (kBlock can't get here: the wait above guarantees room).
-      items_.pop_front();
-      result = Push::kReplacedOldest;
+      switch (policy_) {
+        case OverloadPolicy::kDropNewest:
+          return {Push::kRejected, std::nullopt};
+        case OverloadPolicy::kDropOldest:
+          result.outcome = Push::kReplacedOldest;
+          result.evicted = std::move(items_.front());
+          items_.pop_front();
+          break;
+        case OverloadPolicy::kFairShed: {
+          // Shed from the sender holding the most queued messages. When the
+          // offered sender is (one of) the heaviest, admitting it by evicting
+          // someone else would only entrench the imbalance — tail-drop the
+          // offer instead. Under perfectly uniform occupancy this reduces to
+          // drop-newest, which is the fair outcome: every sender already has
+          // an equal share of the queue.
+          const std::uint32_t offered = key_(value);
+          const auto heaviest = heaviest_sender();
+          const std::size_t offered_count =
+              counts_.count(offered) ? counts_.at(offered) : 0;
+          if (offered_count >= heaviest.second) return {Push::kRejected, std::nullopt};
+          for (auto it = items_.begin(); it != items_.end(); ++it) {
+            if (key_(*it) == heaviest.first) {
+              result.outcome = Push::kReplacedHeaviest;
+              result.evicted = std::move(*it);
+              items_.erase(it);
+              if (--counts_[heaviest.first] == 0) counts_.erase(heaviest.first);
+              break;
+            }
+          }
+          if (!result.evicted) {  // defensive: count map out of sync
+            const std::uint32_t head = key_(items_.front());
+            if (--counts_[head] == 0) counts_.erase(head);
+            result.outcome = Push::kReplacedOldest;
+            result.evicted = std::move(items_.front());
+            items_.pop_front();
+          }
+          break;
+        }
+        case OverloadPolicy::kBlock:
+          break;  // unreachable: the wait above guarantees room
+      }
     }
+    if (policy_ == OverloadPolicy::kFairShed) ++counts_[key_(value)];
     items_.push_back(std::move(value));
     peak_ = std::max(peak_, items_.size());
     lock.unlock();
@@ -103,11 +165,28 @@ class BoundedQueue {
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  private:
+  /// (sender, count) with the most queued messages; ties break toward the
+  /// smallest sender id so shedding is deterministic. Pre: counts_ nonempty.
+  [[nodiscard]] std::pair<std::uint32_t, std::size_t> heaviest_sender() const {
+    std::pair<std::uint32_t, std::size_t> best{0, 0};
+    for (const auto& [sender, count] : counts_) {
+      if (count > best.second || (count == best.second && sender < best.first) ||
+          best.second == 0) {
+        best = {sender, count};
+      }
+    }
+    return best;
+  }
+
   std::size_t drain_locked(std::vector<T>& out, std::size_t max_batch,
                            std::unique_lock<std::mutex>& lock) {
     const std::size_t n =
         max_batch == 0 ? items_.size() : std::min(max_batch, items_.size());
     for (std::size_t i = 0; i < n; ++i) {
+      if (policy_ == OverloadPolicy::kFairShed) {
+        const std::uint32_t sender = key_(items_.front());
+        if (--counts_[sender] == 0) counts_.erase(sender);
+      }
       out.push_back(std::move(items_.front()));
       items_.pop_front();
     }
@@ -122,6 +201,8 @@ class BoundedQueue {
   std::deque<T> items_;
   std::size_t capacity_;
   OverloadPolicy policy_;
+  KeyFn key_;
+  std::unordered_map<std::uint32_t, std::size_t> counts_;  ///< kFairShed only
   std::size_t peak_ = 0;
   bool closed_ = false;
 };

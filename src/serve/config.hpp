@@ -14,6 +14,11 @@ enum class OverloadPolicy {
   kBlock,       ///< backpressure: the producer blocks until the shard drains
   kDropNewest,  ///< shed the incoming message (tail drop)
   kDropOldest,  ///< shed the oldest queued message to admit the new one
+  kFairShed,    ///< shed the oldest queued message of the *heaviest* sender
+                ///< (per-sender fair admission control; an offered message
+                ///< from the heaviest sender itself is tail-dropped instead,
+                ///< so no single chatty/Sybil sender can monopolize a full
+                ///< queue or starve quieter senders out of it)
 };
 
 [[nodiscard]] constexpr const char* to_string(OverloadPolicy policy) {
@@ -21,6 +26,7 @@ enum class OverloadPolicy {
     case OverloadPolicy::kBlock: return "block";
     case OverloadPolicy::kDropNewest: return "drop-newest";
     case OverloadPolicy::kDropOldest: return "drop-oldest";
+    case OverloadPolicy::kFairShed: return "fair-shed";
   }
   return "?";
 }
@@ -30,6 +36,7 @@ enum class OverloadPolicy {
   if (name == "block") return OverloadPolicy::kBlock;
   if (name == "drop-newest") return OverloadPolicy::kDropNewest;
   if (name == "drop-oldest") return OverloadPolicy::kDropOldest;
+  if (name == "fair-shed") return OverloadPolicy::kFairShed;
   return std::nullopt;
 }
 
@@ -39,6 +46,24 @@ struct ServiceConfig {
   std::size_t queue_capacity = 1024; ///< bounded ingress depth per shard
   OverloadPolicy policy = OverloadPolicy::kBlock;
   std::size_t max_batch = 0;         ///< cap messages per drain cycle (0 = drain all)
+
+  // Adaptive drain batch sizing: each shard adjusts its per-cycle batch cap
+  // toward `target_drain_ms` of drain latency (halve when a cycle runs over
+  // budget, double when a saturated cycle finishes well under), bounded by
+  // [min_batch, max_batch-or-queue_capacity]. Keeps p99 drain latency flat
+  // under backlog spikes instead of letting one giant coalesced batch
+  // monopolize the worker. Correctness is batch-size invariant (the batch
+  // path consumes ensemble state in message order), so this only moves
+  // latency/throughput trade-offs. Set false to restore fixed `max_batch`.
+  bool adaptive_batch = true;
+  double target_drain_ms = 5.0;      ///< drain-cycle latency budget
+  std::size_t min_batch = 32;        ///< adaptive floor (also the cold-start step)
+
+  // Pins shard worker i to core i % hardware_concurrency
+  // (pthread_setaffinity_np; no-op off Linux or on failure). Off by default:
+  // pinning helps dedicated many-core serving hosts and hurts oversubscribed
+  // ones, so it is an explicit deployment decision.
+  bool pin_shards = false;
 
   // Per-shard OnlineMbds knobs (see mbds::OnlineMbds).
   std::uint32_t station_id = 0;      ///< reporter id stamped on every MBR
@@ -66,6 +91,7 @@ struct ShardStats {
   std::size_t queue_depth = 0;  ///< current ingress backlog
   std::size_t queue_peak = 0;   ///< high-water mark of queue_depth
   std::size_t batch_peak = 0;   ///< largest single coalesced batch
+  std::size_t batch_limit = 0;  ///< current adaptive drain cap (0 = unlimited)
   std::size_t tracked_vehicles = 0;   ///< live senders in this shard's window state
   std::size_t buffered_messages = 0;  ///< raw BSMs held in this shard's buffers
   std::uint64_t evictions = 0;        ///< senders dropped by staleness sweeps
@@ -80,6 +106,7 @@ struct ShardStats {
     queue_depth += other.queue_depth;
     queue_peak = queue_peak > other.queue_peak ? queue_peak : other.queue_peak;
     batch_peak = batch_peak > other.batch_peak ? batch_peak : other.batch_peak;
+    batch_limit = batch_limit > other.batch_limit ? batch_limit : other.batch_limit;
     tracked_vehicles += other.tracked_vehicles;
     buffered_messages += other.buffered_messages;
     evictions += other.evictions;

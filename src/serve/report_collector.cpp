@@ -1,0 +1,108 @@
+#include "serve/report_collector.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <limits>
+
+namespace vehigan::serve {
+
+ReportCollector::ReportCollector(std::size_t lanes) {
+  lanes_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) lanes_.push_back(std::make_unique<Lane>());
+  worker_ = std::thread([this] { run(); });
+}
+
+ReportCollector::~ReportCollector() { stop(); }
+
+void ReportCollector::set_sink(Sink sink) {
+  const std::scoped_lock lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+void ReportCollector::publish(std::size_t lane, std::vector<mbds::MisbehaviorReport>& batch) {
+  if (batch.empty()) return;
+  const std::size_t n = batch.size();
+  {
+    Lane& l = *lanes_[lane];
+    const std::scoped_lock lane_lock(l.mutex);
+    l.pending.insert(l.pending.end(), std::make_move_iterator(batch.begin()),
+                     std::make_move_iterator(batch.end()));
+  }
+  batch.clear();  // elements moved out; capacity stays with the shard
+  {
+    const std::scoped_lock lock(mutex_);
+    published_ += n;
+  }
+  wake_.notify_one();
+}
+
+void ReportCollector::flush() {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t target = published_;
+  settled_.wait(lock, [&] { return delivered_ >= target; });
+}
+
+void ReportCollector::stop() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void ReportCollector::run() {
+  // Per-lane staging swapped out of the lanes each sweep; indices track the
+  // k-way merge position. Reused across sweeps to avoid churn.
+  std::vector<std::vector<mbds::MisbehaviorReport>> staged(lanes_.size());
+  std::vector<std::size_t> heads(lanes_.size(), 0);
+  for (;;) {
+    Sink sink;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [&] { return stopping_ || delivered_ < published_; });
+      if (stopping_ && delivered_ >= published_) return;
+      sink = sink_;
+    }
+
+    // Sweep: take every lane's backlog in one short lock each.
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      Lane& lane = *lanes_[i];
+      staged[i].clear();
+      heads[i] = 0;
+      {
+        const std::scoped_lock lane_lock(lane.mutex);
+        staged[i].swap(lane.pending);
+      }
+      total += staged[i].size();
+    }
+    if (total == 0) continue;  // raced with a publisher mid-update; rewait
+
+    // k-way merge by report time (ties toward the lower lane index). Lanes
+    // are consumed FIFO, so per-sender order — all of a sender's reports
+    // live in one lane — is preserved exactly.
+    for (std::size_t delivered = 0; delivered < total; ++delivered) {
+      std::size_t best = lanes_.size();
+      double best_time = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < lanes_.size(); ++i) {
+        if (heads[i] >= staged[i].size()) continue;
+        const double t = staged[i][heads[i]].time;
+        if (best == lanes_.size() || t < best_time) {
+          best = i;
+          best_time = t;
+        }
+      }
+      const mbds::MisbehaviorReport& report = staged[best][heads[best]++];
+      if (sink) sink(report);
+    }
+
+    {
+      const std::scoped_lock lock(mutex_);
+      delivered_ += total;
+    }
+    settled_.notify_all();
+  }
+}
+
+}  // namespace vehigan::serve

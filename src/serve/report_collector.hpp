@@ -1,0 +1,86 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mbds/report.hpp"
+
+namespace vehigan::serve {
+
+/// Shard-local report sinks plus a k-way merge: each shard publishes its
+/// drain cycle's reports into its own lane (one short uncontended lock per
+/// *cycle*, not per report), and a single collector thread merges the lanes
+/// by report time and delivers to the user sink.
+///
+/// This replaces the PR-4 design of a single service-wide sink mutex taken
+/// once per report from inside every shard's drain loop — the first
+/// serialization point that capped sharded throughput: with N shards
+/// flagging heavily, every worker queued on one mutex (and on however long
+/// the user's sink callback ran) in its scoring path. Here shards never
+/// block on the sink or on each other; the sink's cost lands on the
+/// collector thread.
+///
+/// Guarantees preserved from the single-sink design:
+/// - **Serialized sink.** Only the collector thread invokes the sink — at
+///   most one callback at a time, so sinks still need no internal locking.
+/// - **Per-sender order.** A sender's reports are produced by exactly one
+///   shard, in message order, and a lane is drained FIFO; the merge only
+///   interleaves *across* lanes (by report time, ties toward the lower
+///   lane), so per-sender report sequences are byte-identical to the
+///   single-sink service for any shard count.
+/// - **Flush semantics.** flush() blocks until everything published before
+///   the call has been delivered; DetectionService::drain()/stop() call it,
+///   so "drained" still implies "reports delivered".
+class ReportCollector {
+ public:
+  using Sink = std::function<void(const mbds::MisbehaviorReport&)>;
+
+  explicit ReportCollector(std::size_t lanes);
+  ~ReportCollector();  // stop()s
+
+  ReportCollector(const ReportCollector&) = delete;
+  ReportCollector& operator=(const ReportCollector&) = delete;
+
+  /// Installs the delivery sink. Install before the first publish to see
+  /// every report.
+  void set_sink(Sink sink);
+
+  /// Moves `batch`'s reports into lane `lane` (elements are moved out;
+  /// the vector itself is left empty with capacity intact for reuse by the
+  /// shard's drain loop). Called from shard worker threads.
+  void publish(std::size_t lane, std::vector<mbds::MisbehaviorReport>& batch);
+
+  /// Blocks until every report published before this call has been handed
+  /// to the sink.
+  void flush();
+
+  /// flush(), then joins the collector thread. Idempotent; publishes after
+  /// stop() are delivered by nobody (callers stop shards first).
+  void stop();
+
+ private:
+  struct Lane {
+    std::mutex mutex;
+    std::vector<mbds::MisbehaviorReport> pending;
+  };
+
+  void run();
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+
+  std::mutex mutex_;  ///< guards sink_, counters, stopping_
+  std::condition_variable wake_;     ///< publisher -> collector
+  std::condition_variable settled_;  ///< collector -> flush() waiters
+  Sink sink_;
+  std::uint64_t published_ = 0;
+  std::uint64_t delivered_ = 0;
+  bool stopping_ = false;
+  std::thread worker_;
+};
+
+}  // namespace vehigan::serve

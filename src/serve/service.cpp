@@ -39,6 +39,7 @@ DetectionService::DetectionService(const ServiceConfig& config,
     throw std::invalid_argument("DetectionService: queue_capacity must be >= 1");
   }
   if (!factory) throw std::invalid_argument("DetectionService: null detector factory");
+  collector_ = std::make_unique<ReportCollector>(config_.num_shards);
   shards_.reserve(config_.num_shards);
   for (std::size_t i = 0; i < config_.num_shards; ++i) {
     auto detector = std::make_unique<mbds::OnlineMbds>(
@@ -52,10 +53,14 @@ DetectionService::DetectionService(const ServiceConfig& config,
     }
     shards_.push_back(std::make_unique<Shard>(i, config_, std::move(detector)));
   }
-  // Workers start only after every shard exists: emit() never observes a
-  // half-built shard vector.
-  for (auto& shard : shards_) {
-    shard->start([this](const mbds::MisbehaviorReport& report) { emit(report); });
+  // Each shard publishes its drain cycle's reports into its own collector
+  // lane; the collector thread merges lanes and drives the user sink. The
+  // collector exists before any worker starts, so no publish can race
+  // construction.
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->start([this, i](std::vector<mbds::MisbehaviorReport>& batch) {
+      collector_->publish(i, batch);
+    });
   }
 }
 
@@ -93,19 +98,16 @@ std::size_t DetectionService::submit_batch(std::span<const sim::Bsm> messages) {
 }
 
 void DetectionService::set_report_sink(ReportSink sink) {
-  const std::scoped_lock lock(sink_mutex_);
-  sink_ = std::move(sink);
-}
-
-void DetectionService::emit(const mbds::MisbehaviorReport& report) {
-  // One report at a time, whole-service: "a single ordered sink". Shards
-  // block here only when reports collide, which is rare next to scoring.
-  const std::scoped_lock lock(sink_mutex_);
-  if (sink_) sink_(report);
+  collector_->set_sink(std::move(sink));
 }
 
 void DetectionService::drain() {
+  // Settle every shard first (reports published to the lanes), then wait
+  // for the collector to hand everything published to the sink — so
+  // "drained" still implies "reports delivered", as under the old
+  // single-mutex sink.
   for (auto& shard : shards_) shard->wait_idle();
+  collector_->flush();
   // Quiescent point: a black-box snapshot here captures every event of the
   // batches that just settled (no-op unless a dump path is configured).
   telemetry::FlightRecorder::global().dump_if_configured();
@@ -114,9 +116,11 @@ void DetectionService::drain() {
 void DetectionService::stop() {
   if (stopped_.exchange(true)) return;
   // Close every queue first so all workers flush their backlogs in
-  // parallel, then join.
+  // parallel, then join; only then stop the collector so every published
+  // report is delivered before shutdown completes.
   for (auto& shard : shards_) shard->close();
   for (auto& shard : shards_) shard->join();
+  collector_->stop();
   telemetry::FlightRecorder::global().dump_if_configured();
 }
 

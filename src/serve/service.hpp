@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -12,6 +11,7 @@
 #include "mbds/ensemble.hpp"
 #include "mbds/report.hpp"
 #include "serve/config.hpp"
+#include "serve/report_collector.hpp"
 #include "serve/shard.hpp"
 #include "sim/bsm.hpp"
 
@@ -22,7 +22,9 @@ namespace vehigan::serve {
 /// station id onto one of N shards (each sender's window state is owned by
 /// exactly one worker — no locks on the scoring path), coalesces every
 /// shard's backlog into one OnlineMbds::ingest_batch call per drain cycle,
-/// and funnels all reports into a single serialized sink.
+/// and publishes each cycle's reports into a shard-local lane merged by a
+/// dedicated collector thread into a single serialized sink (see
+/// ReportCollector — shards never block on the sink or on each other).
 ///
 /// Ordering guarantee: per sender. If a sender's messages are submitted in
 /// order (from one producer, or externally ordered), its windows are scored
@@ -97,12 +99,11 @@ class DetectionService {
   [[nodiscard]] ServiceStats stats() const;
 
  private:
-  void emit(const mbds::MisbehaviorReport& report);
-
   ServiceConfig config_;
+  // Declared before shards_ on purpose: shards are destroyed first (their
+  // workers stop publishing), then the collector flushes and joins.
+  std::unique_ptr<ReportCollector> collector_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::mutex sink_mutex_;
-  ReportSink sink_;
   std::atomic<bool> stopped_{false};
 };
 

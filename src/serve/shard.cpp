@@ -1,9 +1,15 @@
 #include "serve/shard.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <string>
 #include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/flight_recorder.hpp"
@@ -28,6 +34,7 @@ struct ServeTelemetry {
   telemetry::Histogram& drain_seconds;
   telemetry::Gauge& queue_peak;
   telemetry::Gauge& batch_peak;
+  telemetry::Gauge& batch_limit;
 
   static ServeTelemetry& get() {
     auto& reg = telemetry::MetricsRegistry::global();
@@ -41,10 +48,27 @@ struct ServeTelemetry {
         reg.histogram("vehigan_serve_drain_seconds"),
         reg.gauge("vehigan_serve_queue_peak_depth"),
         reg.gauge("vehigan_serve_batch_size_peak"),
+        reg.gauge("vehigan_serve_batch_limit"),
     };
     return tel;
   }
 };
+
+/// Pins the calling thread to one core (round-robin by shard index). Best
+/// effort: failures (restricted affinity masks, exotic schedulers) are
+/// ignored — the thread simply stays on the process mask.
+void pin_to_core(std::size_t index) {
+#if defined(__linux__)
+  unsigned cores = std::thread::hardware_concurrency();
+  if (cores == 0) cores = 1;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(index % cores), &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)index;
+#endif
+}
 
 }  // namespace
 
@@ -53,7 +77,8 @@ Shard::Shard(std::size_t index, const ServiceConfig& config,
     : index_(index),
       config_(config),
       detector_(std::move(detector)),
-      queue_(config.queue_capacity, config.policy) {
+      queue_(config.queue_capacity, config.policy,
+             [](const sim::Bsm& message) { return message.vehicle_id; }) {
   detector_->set_eviction_policy({config.evict_after_s, config.evict_every_s});
 }
 
@@ -62,8 +87,8 @@ Shard::~Shard() {
   join();
 }
 
-void Shard::start(ReportFn emit) {
-  emit_ = std::move(emit);
+void Shard::start(PublishFn publish) {
+  publish_ = std::move(publish);
   worker_ = std::thread([this] { run(); });
 }
 
@@ -80,23 +105,31 @@ bool Shard::submit(const sim::Bsm& message) {
   tel.enqueued_total.add(1);
   // Flight events land in the *producer's* ring (this is the producer's
   // call frame); the trace id is the same one every later stage recomputes.
+  const bool traced = telemetry::enabled();
   const std::uint64_t trace =
-      telemetry::enabled() ? telemetry::trace_id_of(message.vehicle_id, message.time) : 0;
-  switch (queue_.push(message)) {
+      traced ? telemetry::trace_id_of(message.vehicle_id, message.time) : 0;
+  auto result = queue_.push(message);
+  switch (result.outcome) {
     case BoundedQueue<sim::Bsm>::Push::kAccepted:
       telemetry::FlightRecorder::record(telemetry::FlightEventKind::kEnqueue,
                                         message.vehicle_id, trace, index_);
       return true;
     case BoundedQueue<sim::Bsm>::Push::kReplacedOldest:
-      // The *evicted* head is the shed message; the offered one is in.
+    case BoundedQueue<sim::Bsm>::Push::kReplacedHeaviest: {
+      // The *evicted* message is the shed one; the offered one is in. The
+      // drop event must therefore carry the evicted message's identity and
+      // trace id, or the flight recorder pins the loss on the wrong sender.
+      const sim::Bsm& evicted = *result.evicted;
       telemetry::FlightRecorder::record(telemetry::FlightEventKind::kEnqueue,
                                         message.vehicle_id, trace, index_);
-      telemetry::FlightRecorder::record(telemetry::FlightEventKind::kDrop,
-                                        message.vehicle_id, trace, index_);
+      telemetry::FlightRecorder::record(
+          telemetry::FlightEventKind::kDrop, evicted.vehicle_id,
+          traced ? telemetry::trace_id_of(evicted.vehicle_id, evicted.time) : 0, index_);
       dropped_.fetch_add(1, std::memory_order_relaxed);
       tel.dropped_total.add(1);
       notify_settled();
       return true;
+    }
     case BoundedQueue<sim::Bsm>::Push::kRejected:
     case BoundedQueue<sim::Bsm>::Push::kClosed:
       telemetry::FlightRecorder::record(telemetry::FlightEventKind::kDrop,
@@ -124,15 +157,38 @@ void Shard::join() {
   if (worker_.joinable()) worker_.join();
 }
 
+void Shard::refresh_detector_stats() {
+  const mbds::OnlineMbds::Stats mbds_stats = detector_->stats();
+  tracked_.store(mbds_stats.tracked_vehicles, std::memory_order_relaxed);
+  buffered_.store(mbds_stats.buffered_messages, std::memory_order_relaxed);
+  evictions_.store(mbds_stats.evictions_total, std::memory_order_relaxed);
+  const auto drift = detector_->drift_monitor().stats();
+  drift_alarms_.store(drift.score_alarms + drift.flag_rate_alarms,
+                      std::memory_order_relaxed);
+}
+
 void Shard::run() {
   ServeTelemetry& tel = ServeTelemetry::get();
   auto& recorder = telemetry::TraceRecorder::global();
   recorder.set_thread_name("shard-" + std::to_string(index_));
+  if (config_.pin_shards) pin_to_core(index_);
+
+  // Adaptive drain sizing: `limit` is the per-cycle batch cap, walked
+  // between min_batch and the hard cap toward the drain-latency budget.
+  // Fixed `max_batch` semantics are preserved when adaptation is off.
+  const std::size_t hard_cap =
+      config_.max_batch > 0 ? config_.max_batch : config_.queue_capacity;
+  const std::size_t min_batch =
+      std::max<std::size_t>(1, std::min(config_.min_batch, hard_cap));
+  std::size_t limit = config_.adaptive_batch ? hard_cap : config_.max_batch;
+  batch_limit_.store(limit, std::memory_order_relaxed);
+
   std::vector<sim::Bsm> batch;
+  std::vector<mbds::MisbehaviorReport> reports;
   double latest_time = -std::numeric_limits<double>::infinity();
   for (;;) {
     batch.clear();
-    const std::size_t n = queue_.drain_blocking(batch, config_.max_batch);
+    const std::size_t n = queue_.drain_blocking(batch, limit);
     if (n == 0) break;  // closed and fully flushed
     telemetry::FlightRecorder::record(telemetry::FlightEventKind::kDrainStart,
                                       config_.station_id, 0, n);
@@ -146,11 +202,14 @@ void Shard::run() {
     tel.batch_peak.set_max(static_cast<double>(n));
     tel.queue_peak.set_max(static_cast<double>(queue_.peak_size()));
 
+    double drain_ms = 0.0;
     {
       telemetry::ScopedSpan drain_span(tel.drain_seconds, "serve_drain");
       const bool tracing = recorder.enabled();
+      const auto cycle_t0 = std::chrono::steady_clock::now();
       const std::uint64_t drain_t0 = tracing ? recorder.now_ns() : 0;
-      const std::vector<mbds::MisbehaviorReport> reports = detector_->ingest_batch(batch);
+      reports.clear();
+      (void)detector_->ingest_batch(batch, reports);
       if (tracing) {
         recorder.record_complete("drain", drain_t0, recorder.now_ns() - drain_t0, 0,
                                  "batch", n);
@@ -159,9 +218,22 @@ void Shard::run() {
       tel.reports_total.add(reports.size());
       telemetry::FlightRecorder::record(telemetry::FlightEventKind::kDrainEnd,
                                         config_.station_id, 0, reports.size());
-      if (emit_) {
-        for (const mbds::MisbehaviorReport& report : reports) emit_(report);
+      // One publish per cycle: the collector moves the elements out and the
+      // vector's capacity stays here. The worker never blocks on the user
+      // sink — delivery happens on the collector thread.
+      if (publish_ && !reports.empty()) publish_(reports);
+      drain_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - cycle_t0)
+                     .count();
+    }
+    if (config_.adaptive_batch) {
+      if (drain_ms > config_.target_drain_ms) {
+        limit = std::max(min_batch, limit / 2);
+      } else if (n >= limit && drain_ms < 0.5 * config_.target_drain_ms) {
+        limit = std::min(hard_cap, limit * 2);
       }
+      batch_limit_.store(limit, std::memory_order_relaxed);
+      tel.batch_limit.set(static_cast<double>(limit));
     }
 
     // Staleness sweep, clocked by message time so replays behave identically
@@ -171,20 +243,19 @@ void Shard::run() {
     // window state regardless of how fast the stream is fed.
     for (const sim::Bsm& message : batch) latest_time = std::max(latest_time, message.time);
     if (detector_->advance_time(latest_time).swept) tel.evict_sweeps_total.add(1);
-    const mbds::OnlineMbds::Stats mbds_stats = detector_->stats();
-    tracked_.store(mbds_stats.tracked_vehicles, std::memory_order_relaxed);
-    buffered_.store(mbds_stats.buffered_messages, std::memory_order_relaxed);
-    evictions_.store(mbds_stats.evictions_total, std::memory_order_relaxed);
-    const auto drift = detector_->drift_monitor().stats();
-    drift_alarms_.store(drift.score_alarms + drift.flag_rate_alarms,
-                        std::memory_order_relaxed);
 
-    // Settle last: wait_idle() returning implies the batch's reports have
-    // already been emitted.
+    // Settle last, with the detector gauges already snapshotted:
+    // wait_idle() returning implies the batch's reports have been published
+    // and stats() observes post-sweep values.
+    refresh_detector_stats();
     tel.scored_total.add(n);
     scored_.fetch_add(n, std::memory_order_relaxed);
     notify_settled();
   }
+  // Exit edge (queue closed and flushed): one final snapshot so stats()
+  // after stop() reflects the detector's terminal state even if the last
+  // cycle was a pure close wakeup.
+  refresh_detector_stats();
   telemetry::FlightRecorder::record(telemetry::FlightEventKind::kStop, config_.station_id, 0,
                                     scored_.load(std::memory_order_relaxed));
 }
@@ -199,6 +270,7 @@ ShardStats Shard::stats() const {
   s.queue_depth = queue_.size();
   s.queue_peak = queue_.peak_size();
   s.batch_peak = batch_peak_.load(std::memory_order_relaxed);
+  s.batch_limit = batch_limit_.load(std::memory_order_relaxed);
   s.tracked_vehicles = tracked_.load(std::memory_order_relaxed);
   s.buffered_messages = buffered_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);

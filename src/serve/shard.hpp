@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "mbds/online.hpp"
 #include "serve/bounded_queue.hpp"
@@ -17,12 +18,17 @@ namespace vehigan::serve {
 /// One partition of the service: the sole owner of the per-sender window
 /// state of every station id hashed onto it, so that state needs no locks.
 /// Producers push into the bounded ingress queue; the worker thread drains
-/// the whole backlog, coalesces it into one OnlineMbds::ingest_batch call
-/// per cycle, runs periodic staleness sweeps, and hands reports to the
-/// (service-serialized) emit function.
+/// a bounded backlog per cycle (adaptively sized toward the configured
+/// drain-latency budget), coalesces it into one OnlineMbds::ingest_batch
+/// call, runs periodic staleness sweeps, and publishes the cycle's reports
+/// in one call to the (shard-local, collector-merged) publish function —
+/// the worker never blocks on the sink or on other shards.
 class Shard {
  public:
-  using ReportFn = std::function<void(const mbds::MisbehaviorReport&)>;
+  /// Hands one drain cycle's reports downstream. The callee moves the
+  /// elements out and leaves the vector empty (capacity intact), so the
+  /// shard reuses the same buffer every cycle.
+  using PublishFn = std::function<void(std::vector<mbds::MisbehaviorReport>&)>;
 
   Shard(std::size_t index, const ServiceConfig& config,
         std::unique_ptr<mbds::OnlineMbds> detector);
@@ -31,19 +37,22 @@ class Shard {
   Shard(const Shard&) = delete;
   Shard& operator=(const Shard&) = delete;
 
-  /// Starts the worker thread. `emit` is invoked from the worker, once per
-  /// report, in per-sender order.
-  void start(ReportFn emit);
+  /// Starts the worker thread. `publish` is invoked from the worker, once
+  /// per drain cycle that produced reports, in per-sender order.
+  void start(PublishFn publish);
 
   /// Producer-side entry. Counts the message as enqueued, applies the
   /// overload policy, and returns false iff the *offered* message was shed
-  /// (tail drop or post-stop submit). A head drop under kDropOldest returns
-  /// true — the offered message was admitted; the evicted one is counted in
-  /// dropped.
+  /// (tail drop or post-stop submit). An eviction under kDropOldest /
+  /// kFairShed returns true — the offered message was admitted; the evicted
+  /// one is counted in dropped (and its flight-recorder drop event carries
+  /// the *evicted* message's identity).
   bool submit(const sim::Bsm& message);
 
-  /// Blocks until every message ever offered is settled: scored (including
-  /// its report emission) or dropped. Producers should be quiescent.
+  /// Blocks until every message ever offered is settled: scored (its
+  /// reports published downstream) or dropped. Producers should be
+  /// quiescent. Report *delivery* to the user sink is the collector's
+  /// flush() — DetectionService::drain() sequences both.
   void wait_idle();
 
   /// Closes the ingress queue and joins the worker after it flushes the
@@ -57,12 +66,17 @@ class Shard {
  private:
   void run();
   void notify_settled();
+  /// Snapshots detector-owned gauges (tracked/buffered/evictions/alarms)
+  /// into the atomics stats() reads. Worker thread only; called after every
+  /// batch *and* on every idle/exit edge so stats() never reports pre-sweep
+  /// values once the queue is quiet.
+  void refresh_detector_stats();
 
   std::size_t index_;
   ServiceConfig config_;
   std::unique_ptr<mbds::OnlineMbds> detector_;
   BoundedQueue<sim::Bsm> queue_;
-  ReportFn emit_;
+  PublishFn publish_;
   std::thread worker_;
 
   // Exact-accounting counters: enqueued_ moves on the producer side,
@@ -75,6 +89,7 @@ class Shard {
   std::atomic<std::uint64_t> reports_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::size_t> batch_peak_{0};
+  std::atomic<std::size_t> batch_limit_{0};
   std::atomic<std::size_t> tracked_{0};
   std::atomic<std::size_t> buffered_{0};
   std::atomic<std::uint64_t> evictions_{0};

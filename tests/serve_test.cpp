@@ -1,10 +1,12 @@
-// Serving-layer suite: BoundedQueue admission semantics, the two
-// DetectionService correctness bars (1-shard/kBlock byte-identity with
-// sequential OnlineMbds::ingest; N-shard per-sender equivalence under
-// content-keyed subset draws), the exact-accounting invariant
-// enqueued == scored + dropped under a multi-producer drop-oldest soak
-// (this file is also run under TSan in CI), staleness sweeps, and the
-// serialized report sink.
+// Serving-layer suite: BoundedQueue admission semantics (including fair-shed
+// and evicted-element surfacing), the two DetectionService correctness bars
+// (1-shard/kBlock byte-identity with sequential OnlineMbds::ingest; N-shard
+// per-sender equivalence under content-keyed subset draws — now through
+// shard-local report lanes and the collector's k-way merge), the
+// exact-accounting invariant enqueued == scored + dropped under
+// multi-producer drop-oldest and fair-shed soaks (this file is also run
+// under TSan in CI), staleness sweeps, flight-recorder drop attribution,
+// adaptive batch sizing, shard pinning, and the serialized report sink.
 
 #include <gtest/gtest.h>
 
@@ -25,7 +27,9 @@
 #include "serve/bounded_queue.hpp"
 #include "serve/config.hpp"
 #include "serve/service.hpp"
+#include "serve/shard.hpp"
 #include "sim/bsm.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "test_utils.hpp"
 
 namespace vehigan::serve {
@@ -35,9 +39,9 @@ namespace {
 
 TEST(BoundedQueue, DropNewestRejectsWhenFull) {
   BoundedQueue<int> q(2, OverloadPolicy::kDropNewest);
-  EXPECT_EQ(q.push(1), BoundedQueue<int>::Push::kAccepted);
-  EXPECT_EQ(q.push(2), BoundedQueue<int>::Push::kAccepted);
-  EXPECT_EQ(q.push(3), BoundedQueue<int>::Push::kRejected);
+  EXPECT_EQ(q.push(1).outcome, BoundedQueue<int>::Push::kAccepted);
+  EXPECT_EQ(q.push(2).outcome, BoundedQueue<int>::Push::kAccepted);
+  EXPECT_EQ(q.push(3).outcome, BoundedQueue<int>::Push::kRejected);
   std::vector<int> out;
   EXPECT_EQ(q.drain(out), 2U);
   EXPECT_EQ(out, (std::vector<int>{1, 2}));
@@ -47,10 +51,82 @@ TEST(BoundedQueue, DropOldestEvictsTheHead) {
   BoundedQueue<int> q(2, OverloadPolicy::kDropOldest);
   (void)q.push(1);
   (void)q.push(2);
-  EXPECT_EQ(q.push(3), BoundedQueue<int>::Push::kReplacedOldest);
+  EXPECT_EQ(q.push(3).outcome, BoundedQueue<int>::Push::kReplacedOldest);
   std::vector<int> out;
   EXPECT_EQ(q.drain(out), 2U);
   EXPECT_EQ(out, (std::vector<int>{2, 3}));  // 1 was shed
+}
+
+TEST(BoundedQueue, PushSurfacesTheEvictedElement) {
+  // The evicted element must come back to the caller so drops can be
+  // attributed to the message actually lost (the flight-recorder bug this
+  // pins down: drop events used to carry the *offered* message's identity).
+  BoundedQueue<int> q(2, OverloadPolicy::kDropOldest);
+  EXPECT_FALSE(q.push(1).evicted.has_value());
+  EXPECT_FALSE(q.push(2).evicted.has_value());
+  const auto result = q.push(3);
+  EXPECT_EQ(result.outcome, BoundedQueue<int>::Push::kReplacedOldest);
+  ASSERT_TRUE(result.evicted.has_value());
+  EXPECT_EQ(*result.evicted, 1);  // the head, not the offer
+}
+
+TEST(BoundedQueue, FairShedEvictsTheHeaviestSender) {
+  // Key = value / 10: sender 1 holds {10, 11, 12}, sender 2 holds {20}.
+  BoundedQueue<int> q(4, OverloadPolicy::kFairShed,
+                      [](const int& v) { return static_cast<std::uint32_t>(v / 10); });
+  for (int v : {10, 11, 12, 20}) EXPECT_EQ(q.push(v).outcome, BoundedQueue<int>::Push::kAccepted);
+  // Sender 3 offers into a full queue: the heaviest sender (1) loses its
+  // oldest message; sender 2's lone message survives.
+  const auto result = q.push(30);
+  EXPECT_EQ(result.outcome, BoundedQueue<int>::Push::kReplacedHeaviest);
+  ASSERT_TRUE(result.evicted.has_value());
+  EXPECT_EQ(*result.evicted, 10);
+  std::vector<int> out;
+  EXPECT_EQ(q.drain(out), 4U);
+  EXPECT_EQ(out, (std::vector<int>{11, 12, 20, 30}));
+}
+
+TEST(BoundedQueue, FairShedRejectsWhenTheOfferedSenderIsHeaviest) {
+  BoundedQueue<int> q(3, OverloadPolicy::kFairShed,
+                      [](const int& v) { return static_cast<std::uint32_t>(v / 10); });
+  for (int v : {10, 11, 20}) (void)q.push(v);
+  // Sender 1 already holds the most queue slots: admitting a fourth by
+  // evicting someone else would entrench the imbalance — tail-drop instead.
+  const auto result = q.push(12);
+  EXPECT_EQ(result.outcome, BoundedQueue<int>::Push::kRejected);
+  EXPECT_FALSE(result.evicted.has_value());
+  std::vector<int> out;
+  EXPECT_EQ(q.drain(out), 3U);
+  EXPECT_EQ(out, (std::vector<int>{10, 11, 20}));
+}
+
+TEST(BoundedQueue, FairShedCountsSurviveDrainCycles) {
+  // Occupancy counts must shrink as the consumer drains, or fair-shed would
+  // punish senders for messages that already left the queue.
+  BoundedQueue<int> q(2, OverloadPolicy::kFairShed,
+                      [](const int& v) { return static_cast<std::uint32_t>(v / 10); });
+  (void)q.push(10);
+  (void)q.push(11);
+  std::vector<int> out;
+  EXPECT_EQ(q.drain(out), 2U);  // sender 1's count drops back to zero
+  (void)q.push(20);
+  (void)q.push(21);
+  // Queue full with only sender 2 queued: sender 1 offers and the heaviest
+  // (sender 2) loses its oldest — sender 1's drained history is forgotten.
+  const auto result = q.push(12);
+  EXPECT_EQ(result.outcome, BoundedQueue<int>::Push::kReplacedHeaviest);
+  ASSERT_TRUE(result.evicted.has_value());
+  EXPECT_EQ(*result.evicted, 20);
+}
+
+TEST(BoundedQueue, FairShedWithoutAKeyDegradesToDropOldest) {
+  BoundedQueue<int> q(2, OverloadPolicy::kFairShed);
+  (void)q.push(1);
+  (void)q.push(2);
+  const auto result = q.push(3);
+  EXPECT_EQ(result.outcome, BoundedQueue<int>::Push::kReplacedOldest);
+  ASSERT_TRUE(result.evicted.has_value());
+  EXPECT_EQ(*result.evicted, 1);
 }
 
 TEST(BoundedQueue, BlockPolicyWaitsForTheConsumer) {
@@ -58,7 +134,7 @@ TEST(BoundedQueue, BlockPolicyWaitsForTheConsumer) {
   (void)q.push(1);
   std::atomic<bool> second_admitted{false};
   std::thread producer([&] {
-    EXPECT_EQ(q.push(2), BoundedQueue<int>::Push::kAccepted);
+    EXPECT_EQ(q.push(2).outcome, BoundedQueue<int>::Push::kAccepted);
     second_admitted.store(true);
   });
   // The producer must be blocked until we drain; poll briefly to let it
@@ -80,7 +156,7 @@ TEST(BoundedQueue, CloseWakesABlockedProducerWithClosed) {
   // Nothing drains until after close(), so the queue stays full: whether the
   // producer blocks first or observes closed_ directly, the push must come
   // back kClosed.
-  std::thread producer([&] { EXPECT_EQ(q.push(2), BoundedQueue<int>::Push::kClosed); });
+  std::thread producer([&] { EXPECT_EQ(q.push(2).outcome, BoundedQueue<int>::Push::kClosed); });
   q.close();
   producer.join();
   // The consumer still flushes the backlog, then reads the closed signal.
@@ -88,7 +164,7 @@ TEST(BoundedQueue, CloseWakesABlockedProducerWithClosed) {
   EXPECT_EQ(q.drain_blocking(out), 1U);
   EXPECT_EQ(out, (std::vector<int>{1}));
   EXPECT_EQ(q.drain_blocking(out), 0U);
-  EXPECT_EQ(q.push(3), BoundedQueue<int>::Push::kClosed);
+  EXPECT_EQ(q.push(3).outcome, BoundedQueue<int>::Push::kClosed);
 }
 
 TEST(BoundedQueue, CloseWakesABlockedConsumer) {
@@ -118,8 +194,8 @@ TEST(BoundedQueue, TracksPeakDepthAndHonorsMaxBatch) {
 TEST(BoundedQueue, CapacityIsClampedToAtLeastOne) {
   BoundedQueue<int> q(0, OverloadPolicy::kDropNewest);
   EXPECT_EQ(q.capacity(), 1U);
-  EXPECT_EQ(q.push(1), BoundedQueue<int>::Push::kAccepted);
-  EXPECT_EQ(q.push(2), BoundedQueue<int>::Push::kRejected);
+  EXPECT_EQ(q.push(1).outcome, BoundedQueue<int>::Push::kAccepted);
+  EXPECT_EQ(q.push(2).outcome, BoundedQueue<int>::Push::kRejected);
 }
 
 // ----------------------------------------------------------- fixtures ------
@@ -264,12 +340,14 @@ TEST(DetectionService, OneShardBlockIsByteIdenticalToSequentialIngest) {
 using PerSender = std::map<std::uint32_t, std::vector<mbds::MisbehaviorReport>>;
 
 PerSender run_sharded(std::size_t shards, const std::vector<sim::Bsm>& stream,
-                      std::uint64_t seed) {
+                      std::uint64_t seed, bool pin_shards = false) {
   // Content-keyed subset draws make each window's member subset a pure
   // function of (seed, window bytes) — the property that lets verdicts
   // survive re-sharding. All shards share the same base seed.
+  ServiceConfig config = equivalence_config(shards);
+  config.pin_shards = pin_shards;
   DetectionService service(
-      equivalence_config(shards),
+      config,
       [&](std::size_t) { return make_ensemble(seed, 5, 2, mbds::SubsetDraw::kContentKeyed); },
       identity_scaler());
   PerSender per_sender;
@@ -290,7 +368,10 @@ TEST(DetectionService, ShardCountDoesNotChangePerSenderReportSequences) {
   for (const auto& [sender, reports] : one) total += reports.size();
   ASSERT_GT(total, 0U);
 
-  for (std::size_t shards : {2UL, 4UL}) {
+  // {2, 4, 8} shards: with 8 senders the 8-shard case exercises near-one-
+  // sender-per-lane merging through the collector — the configuration where
+  // a merge bug would reorder the most aggressively.
+  for (std::size_t shards : {2UL, 4UL, 8UL}) {
     SCOPED_TRACE("shards=" + std::to_string(shards));
     const PerSender sharded = run_sharded(shards, stream, kSeed);
     ASSERT_EQ(sharded.size(), one.size());
@@ -303,6 +384,29 @@ TEST(DetectionService, ShardCountDoesNotChangePerSenderReportSequences) {
                              "sender " + std::to_string(sender) + " report " +
                                  std::to_string(i));
       }
+    }
+  }
+}
+
+TEST(DetectionService, PinnedShardsPreservePerSenderEquivalence) {
+  // Core affinity is a placement hint, never a semantic change: a pinned
+  // 4-shard service must produce the same per-sender report sequences as
+  // the unpinned 1-shard reference (on a 1-core host every shard pins to
+  // core 0, which also exercises the degenerate mask).
+  constexpr std::uint64_t kSeed = 77;
+  const auto stream = multi_sender_stream(/*senders=*/6, /*ticks=*/30);
+  const PerSender reference = run_sharded(1, stream, kSeed, /*pin_shards=*/false);
+  ASSERT_FALSE(reference.empty());
+  const PerSender pinned = run_sharded(4, stream, kSeed, /*pin_shards=*/true);
+  ASSERT_EQ(pinned.size(), reference.size());
+  for (const auto& [sender, expected] : reference) {
+    const auto it = pinned.find(sender);
+    ASSERT_NE(it, pinned.end()) << "sender " << sender;
+    ASSERT_EQ(it->second.size(), expected.size()) << "sender " << sender;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      expect_reports_equal(it->second[i], expected[i],
+                           "sender " + std::to_string(sender) + " report " +
+                               std::to_string(i));
     }
   }
 }
@@ -368,6 +472,53 @@ TEST(DetectionService, MultiProducerDropOldestSoakAccountsForEveryMessage) {
   const ServiceStats final_stats = service.stats();
   EXPECT_EQ(final_stats.total.enqueued, total_offered);
   EXPECT_EQ(final_stats.total.scored + final_stats.total.dropped, total_offered);
+}
+
+TEST(DetectionService, MultiProducerFairShedSoakAccountsForEveryMessage) {
+  // Same exactness bar as the drop-oldest soak, under the fair-shed
+  // admission path (per-sender occupancy counts, heaviest-sender eviction,
+  // tail-drop of heaviest offers): enqueued == scored + dropped, exactly.
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kSendersPerProducer = 8;
+  constexpr std::size_t kTicks = 160;  // 4 * 8 * 160 = 5120 messages
+  ServiceConfig config;
+  config.num_shards = 4;
+  config.queue_capacity = 32;
+  config.policy = OverloadPolicy::kFairShed;
+  config.report_cooldown_s = 1.0;
+  config.gap_reset_s = 1.0;
+  config.evict_after_s = 30.0;
+  config.evict_every_s = 5.0;
+  DetectionService service(
+      config, [&](std::size_t) { return make_ensemble(5, 2, 1, mbds::SubsetDraw::kContentKeyed); },
+      identity_scaler());
+  std::atomic<std::uint64_t> reports_seen{0};
+  service.set_report_sink([&](const mbds::MisbehaviorReport&) { reports_seen.fetch_add(1); });
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      const auto stream = multi_sender_stream(
+          kSendersPerProducer, kTicks,
+          static_cast<std::uint32_t>(2000 + p * kSendersPerProducer));
+      for (const sim::Bsm& message : stream) (void)service.submit(message);
+    });
+  }
+  for (auto& t : producers) t.join();
+  const std::size_t total_offered = kProducers * kSendersPerProducer * kTicks;
+
+  service.drain();
+  const ServiceStats after_drain = service.stats();
+  EXPECT_EQ(after_drain.total.enqueued, total_offered);
+  EXPECT_EQ(after_drain.total.scored + after_drain.total.dropped, total_offered);
+  for (std::size_t s = 0; s < after_drain.shards.size(); ++s) {
+    const ShardStats& shard = after_drain.shards[s];
+    EXPECT_EQ(shard.scored + shard.dropped, shard.enqueued) << "shard " << s;
+    EXPECT_EQ(shard.queue_depth, 0U) << "shard " << s;
+    EXPECT_LE(shard.queue_peak, config.queue_capacity) << "shard " << s;
+  }
+  EXPECT_EQ(after_drain.total.reports, reports_seen.load());
+  service.stop();
 }
 
 TEST(DetectionService, BlockPolicyLosesNothingEvenWithTinyQueues) {
@@ -545,6 +696,115 @@ TEST(DetectionService, StalenessSweepFollowsAbsoluteTraceTimestamps) {
   service.stop();
 }
 
+// --------------------------------------------- flight-recorder attribution -
+
+TEST(ShardFlightEvents, DropEventCarriesTheEvictedMessageIdentity) {
+  // Regression: under kDropOldest a full queue evicts the *head*, but the
+  // drop flight event used to be stamped with the *offered* message's
+  // station id and trace id — post-incident triage would blame the sender
+  // that got in, not the one that lost data. A Shard that is never
+  // start()ed keeps its queue full, making the eviction deterministic.
+  telemetry::FlightRecorder::global().clear();
+  ServiceConfig config;
+  config.num_shards = 1;
+  config.queue_capacity = 2;
+  config.policy = OverloadPolicy::kDropOldest;
+  auto detector = std::make_unique<mbds::OnlineMbds>(
+      42, make_ensemble(1, 2, 1, mbds::SubsetDraw::kContentKeyed), identity_scaler());
+  Shard shard(0, config, std::move(detector));
+  EXPECT_TRUE(shard.submit(cruise_msg(7, 0.0)));
+  EXPECT_TRUE(shard.submit(cruise_msg(9, 0.1)));
+  // Queue full: sender 7's message (the oldest) is evicted to admit 11's.
+  EXPECT_TRUE(shard.submit(cruise_msg(11, 0.2)));
+  const ShardStats stats = shard.stats();
+  EXPECT_EQ(stats.enqueued, 3U);
+  EXPECT_EQ(stats.dropped, 1U);
+
+  std::size_t drops_for_evicted = 0;
+  std::size_t drops_for_offered = 0;
+  for (const auto& ring : telemetry::FlightRecorder::global().snapshot()) {
+    for (const telemetry::FlightEvent& event : ring) {
+      if (event.kind != telemetry::FlightEventKind::kDrop) continue;
+      if (event.station_id == 7) ++drops_for_evicted;
+      if (event.station_id == 11) ++drops_for_offered;
+    }
+  }
+  EXPECT_EQ(drops_for_evicted, 1U);  // the message actually lost
+  EXPECT_EQ(drops_for_offered, 0U);  // the admitted offer is not a drop
+}
+
+// ---------------------------------------------------- gauge freshness ------
+
+TEST(DetectionService, DetectorGaugesAreFreshAfterStop) {
+  // Regression for gauge staleness: tracked_/buffered_/evictions_ were only
+  // refreshed inside the drain loop, so a stats() call after the worker went
+  // idle (or exited) could report pre-sweep values. The worker now
+  // re-snapshots after every batch and on the exit edge, so the sweep run by
+  // the *final* batch is visible through stats() after stop() with no
+  // drain() in between.
+  ServiceConfig config;
+  config.num_shards = 1;
+  config.policy = OverloadPolicy::kBlock;
+  config.evict_after_s = 1.0;
+  config.evict_every_s = 0.5;
+  DetectionService service(
+      config, [&](std::size_t) { return make_ensemble(2, 2, 1, mbds::SubsetDraw::kContentKeyed); },
+      identity_scaler());
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(service.submit(cruise_msg(1, 0.1 * i)));
+  // Settle phase 1 so the sweep cadence is seeded before the gap (the first
+  // advance_time call never sweeps).
+  service.drain();
+  // Sender 2 arrives across a 5 s gap: the final batch's sweep evicts
+  // sender 1. No drain() after it — stop() must surface the post-sweep state.
+  for (int i = 0; i <= 10; ++i) EXPECT_TRUE(service.submit(cruise_msg(2, 5.0 + 0.1 * i)));
+  service.stop();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.total.tracked_vehicles, 1U);  // only sender 2 remains
+  EXPECT_GE(stats.total.evictions, 1U);
+}
+
+// ------------------------------------------------- adaptive batch sizing ---
+
+TEST(DetectionService, AdaptiveBatchLimitStaysWithinConfiguredBounds) {
+  ServiceConfig config;
+  config.num_shards = 2;
+  config.queue_capacity = 64;
+  config.policy = OverloadPolicy::kBlock;
+  config.evict_after_s = 0.0;
+  ASSERT_TRUE(config.adaptive_batch);  // the default
+  DetectionService service(
+      config, [&](std::size_t) { return make_ensemble(4, 2, 1, mbds::SubsetDraw::kContentKeyed); },
+      identity_scaler());
+  const auto stream = multi_sender_stream(8, 50);
+  for (const sim::Bsm& message : stream) EXPECT_TRUE(service.submit(message));
+  service.drain();
+  const ServiceStats stats = service.stats();
+  for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+    // The adaptive cap walks between min_batch and queue_capacity (max_batch
+    // is 0 = uncapped); it must never leave that band and never hit zero.
+    EXPECT_GE(stats.shards[s].batch_limit, 1U) << "shard " << s;
+    EXPECT_LE(stats.shards[s].batch_limit, config.queue_capacity) << "shard " << s;
+  }
+  EXPECT_EQ(stats.total.scored, stream.size());
+  service.stop();
+}
+
+TEST(DetectionService, FixedBatchModeReportsAnUnlimitedBatchLimit) {
+  ServiceConfig config;
+  config.num_shards = 1;
+  config.policy = OverloadPolicy::kBlock;
+  config.adaptive_batch = false;
+  config.max_batch = 0;  // 0 = drain everything queued, the legacy default
+  config.evict_after_s = 0.0;
+  DetectionService service(
+      config, [&](std::size_t) { return make_ensemble(4, 2, 1, mbds::SubsetDraw::kContentKeyed); },
+      identity_scaler());
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(service.submit(cruise_msg(1, 0.1 * i)));
+  service.drain();
+  EXPECT_EQ(service.stats().total.batch_limit, 0U);  // 0 = unlimited
+  service.stop();
+}
+
 // ------------------------------------------------------ sharding & sink ----
 
 TEST(DetectionService, ShardAssignmentIsStableAndSpreadsSenders) {
@@ -611,6 +871,7 @@ TEST(ServiceStatsAggregation, TotalsSumCountersAndMaxPeaks) {
   b.scored = 7;
   b.queue_peak = 9;
   b.batch_peak = 2;
+  b.batch_limit = 128;
   b.tracked_vehicles = 1;
   ShardStats total;
   total += a;
@@ -620,12 +881,13 @@ TEST(ServiceStatsAggregation, TotalsSumCountersAndMaxPeaks) {
   EXPECT_EQ(total.dropped, 2U);
   EXPECT_EQ(total.queue_peak, 9U);   // max, not sum
   EXPECT_EQ(total.batch_peak, 3U);   // max, not sum
+  EXPECT_EQ(total.batch_limit, 128U);  // max, not sum
   EXPECT_EQ(total.tracked_vehicles, 5U);
 }
 
 TEST(OverloadPolicyNames, RoundTrip) {
   for (OverloadPolicy policy : {OverloadPolicy::kBlock, OverloadPolicy::kDropNewest,
-                                OverloadPolicy::kDropOldest}) {
+                                OverloadPolicy::kDropOldest, OverloadPolicy::kFairShed}) {
     const auto parsed = policy_from_string(to_string(policy));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, policy);

@@ -22,6 +22,8 @@
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/exporter.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/statusz.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
@@ -69,6 +71,11 @@ double best_of_ms(int reps, F&& body) {
 //   VEHIGAN_TRACE_SAMPLE=<n>     trace 1-in-n senders (default 64)
 //   VEHIGAN_BLACKBOX_OUT=<path>  arm the flight recorder: crash handler +
 //                                dump at finish (and on service drain/stop)
+//   VEHIGAN_PROFILE_OUT=<path>   start the sampling CPU profiler; write a
+//                                collapsed-stack (flamegraph) sidecar at
+//                                finish (<path>.chrome.json alongside)
+//   VEHIGAN_PROFILE_HZ=<n>       sampling rate (default 99)
+//   VEHIGAN_STATUSZ_OUT=<path>   write a statusz ops snapshot at finish
 
 inline void init_observability_from_env() {
   if (const char* trace_out = std::getenv("VEHIGAN_TRACE_OUT"); trace_out != nullptr) {
@@ -83,6 +90,18 @@ inline void init_observability_from_env() {
     telemetry::FlightRecorder::global().set_dump_path(blackbox);
     telemetry::FlightRecorder::global().install_crash_handler(blackbox);
   }
+  if (std::getenv("VEHIGAN_PROFILE_OUT") != nullptr) {
+    std::uint32_t hz = telemetry::Profiler::kDefaultHz;
+    if (const char* s = std::getenv("VEHIGAN_PROFILE_HZ"); s != nullptr) {
+      hz = static_cast<std::uint32_t>(std::strtoul(s, nullptr, 10));
+    }
+    if (!telemetry::Profiler::global().start(hz)) {
+      std::cerr << "warning: VEHIGAN_PROFILE_OUT set but profiler failed to start\n";
+    }
+  }
+  if (const char* statusz = std::getenv("VEHIGAN_STATUSZ_OUT"); statusz != nullptr) {
+    telemetry::Statusz::global().set_dump_path(statusz);
+  }
 }
 
 inline void finish_observability_from_env() {
@@ -95,6 +114,21 @@ inline void finish_observability_from_env() {
   if (std::getenv("VEHIGAN_BLACKBOX_OUT") != nullptr &&
       telemetry::FlightRecorder::global().dump_if_configured()) {
     std::cout << "flight recorder dump: " << std::getenv("VEHIGAN_BLACKBOX_OUT") << "\n";
+  }
+  if (const char* profile_out = std::getenv("VEHIGAN_PROFILE_OUT");
+      profile_out != nullptr) {
+    auto& profiler = telemetry::Profiler::global();
+    profiler.stop();
+    const auto acc = profiler.accounting();
+    profiler.write_collapsed(profile_out);
+    profiler.write_chrome_trace(std::string(profile_out) + ".chrome.json");
+    std::cout << "cpu profile: " << profile_out << " (" << acc.kept << " samples kept, "
+              << (acc.overwritten + acc.torn + acc.lane_overflow) << " dropped)\n";
+  }
+  if (const char* statusz = std::getenv("VEHIGAN_STATUSZ_OUT"); statusz != nullptr) {
+    if (telemetry::Statusz::global().write(statusz)) {
+      std::cout << "statusz snapshot: " << statusz << "\n";
+    }
   }
 }
 

@@ -17,6 +17,14 @@
 //          [--shards N] [--capacity N] [--policy block|drop-newest|drop-oldest]
 //          [--producers N] [--evict-after seconds] [--metrics-out <path>]
 //          [--trace-out <path>] [--trace-sample N] [--blackbox-out <path>]
+//          [--statusz-out <path>] [--profile-out <path>] [--profile-hz N]
+//
+// --statusz-out arms the one-page ops snapshot: dumped on the service's
+// drain/stop (and cached for the crash handler), so after a run or a crash
+// the shard table, drop attribution, utilization, latency anatomy, and hot
+// stacks are all in one file. --profile-out runs the sampling CPU profiler
+// across all shard workers + the collector and writes a collapsed-stack
+// profile (flamegraph.pl-ready, plus <path>.chrome.json for Perfetto).
 //
 // --trace-out records per-message causal traces (sampled 1-in-N senders via
 // --trace-sample, default 64) and writes a Chrome trace_event JSON timeline
@@ -44,6 +52,8 @@
 #include "telemetry/exporter.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/statusz.hpp"
 #include "util/stopwatch.hpp"
 #include "vasp/dataset_builder.hpp"
 
@@ -68,7 +78,10 @@ struct Options {
   std::string metrics_out;
   std::string trace_out;
   std::string blackbox_out;
+  std::string statusz_out;
+  std::string profile_out;
   std::uint32_t trace_sample = 64;
+  std::uint32_t profile_hz = telemetry::Profiler::kDefaultHz;
 };
 
 int usage() {
@@ -76,7 +89,9 @@ int usage() {
                "                      [--policy block|drop-newest|drop-oldest|fair-shed]\n"
                "                      [--pin] [--producers N] [--evict-after seconds]\n"
                "                      [--metrics-out <path>] [--trace-out <path>]\n"
-               "                      [--trace-sample N] [--blackbox-out <path>]\n";
+               "                      [--trace-sample N] [--blackbox-out <path>]\n"
+               "                      [--statusz-out <path>] [--profile-out <path>]\n"
+               "                      [--profile-hz N]\n";
   return 0;
 }
 
@@ -113,6 +128,12 @@ int main(int argc, char** argv) {
       opt.trace_sample = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--blackbox-out") {
       opt.blackbox_out = next();
+    } else if (arg == "--statusz-out") {
+      opt.statusz_out = next();
+    } else if (arg == "--profile-out") {
+      opt.profile_out = next();
+    } else if (arg == "--profile-hz") {
+      opt.profile_hz = static_cast<std::uint32_t>(std::stoul(next()));
     } else {
       opt.attack = arg;
     }
@@ -123,6 +144,13 @@ int main(int argc, char** argv) {
     auto& blackbox = telemetry::FlightRecorder::global();
     blackbox.set_dump_path(opt.blackbox_out);  // service dumps on drain/stop
     blackbox.install_crash_handler(opt.blackbox_out);
+  }
+  // Armed before the service exists so its drain()/stop() dumps land here.
+  if (!opt.statusz_out.empty()) telemetry::Statusz::global().set_dump_path(opt.statusz_out);
+  // Started before the service so every shard worker + the collector attach
+  // while the profiler is already running.
+  if (!opt.profile_out.empty() && !telemetry::Profiler::global().start(opt.profile_hz)) {
+    std::cerr << "warning: --profile-out given but the profiler failed to start\n";
   }
 
   // Training phase (cached): data, WGAN grid, ADS ranking, thresholds.
@@ -261,6 +289,19 @@ int main(int argc, char** argv) {
   }
   if (!opt.blackbox_out.empty()) {
     std::cout << "flight recorder dump: " << opt.blackbox_out << "\n";
+  }
+  if (!opt.profile_out.empty()) {
+    auto& profiler = telemetry::Profiler::global();
+    profiler.stop();
+    const auto acc = profiler.accounting();
+    profiler.write_collapsed(opt.profile_out);
+    profiler.write_chrome_trace(opt.profile_out + ".chrome.json");
+    std::cout << "cpu profile: " << opt.profile_out << " (" << acc.kept
+              << " samples across shards + collector; feed to flamegraph.pl)\n";
+  }
+  if (!opt.statusz_out.empty()) {
+    // drain()/stop() already dumped; this just tells the operator where.
+    std::cout << "statusz snapshot: " << opt.statusz_out << " (+ .json)\n";
   }
   return 0;
 }

@@ -9,7 +9,8 @@
 //
 // Usage: rsu_monitor [attack-name] [--metrics-out <path>] [--evict-after <s>]
 //                    [--trace-out <path>] [--trace-sample <n>]
-//                    [--blackbox-out <path>]
+//                    [--blackbox-out <path>] [--statusz-out <path>]
+//                    [--profile-out <path>] [--profile-hz <n>]
 //   attack-name     misbehavior to inject (default: RandomHeadingYawRate)
 //   --metrics-out   write the RSU's telemetry snapshot to <path> (Prometheus
 //                   text exposition) and <path>.json, refreshed every ~4
@@ -28,6 +29,14 @@
 //   --blackbox-out  keep a flight-recorder ring of recent pipeline events
 //                   and dump it to <path> at exit — and from a
 //                   SIGSEGV/SIGABRT handler, so a crash leaves a post-mortem.
+//   --statusz-out   write the statusz ops snapshot (text + <path>.json) to
+//                   <path>, refreshed every ~4 simulated seconds alongside
+//                   --metrics-out and once at exit; the crash handler reuses
+//                   the last refresh as a cached post-mortem.
+//   --profile-out   run the sampling CPU profiler for the whole replay and
+//                   write a collapsed-stack (flamegraph.pl-ready) profile to
+//                   <path> at exit, plus <path>.chrome.json for Perfetto.
+//   --profile-hz    sampling rate per thread (default 99).
 
 #include <iostream>
 #include <map>
@@ -39,6 +48,8 @@
 #include "telemetry/exporter.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/statusz.hpp"
 #include "vasp/dataset_builder.hpp"
 
 using namespace vehigan;
@@ -60,7 +71,10 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   std::string blackbox_out;
+  std::string statusz_out;
+  std::string profile_out;
   unsigned long trace_sample = 1;
+  unsigned long profile_hz = telemetry::Profiler::kDefaultHz;
   double evict_after_s = 30.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -74,10 +88,17 @@ int main(int argc, char** argv) {
       trace_sample = std::stoul(argv[++i]);
     } else if (arg == "--blackbox-out" && i + 1 < argc) {
       blackbox_out = argv[++i];
+    } else if (arg == "--statusz-out" && i + 1 < argc) {
+      statusz_out = argv[++i];
+    } else if (arg == "--profile-out" && i + 1 < argc) {
+      profile_out = argv[++i];
+    } else if (arg == "--profile-hz" && i + 1 < argc) {
+      profile_hz = std::stoul(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: rsu_monitor [attack-name] [--metrics-out <path>]"
                    " [--evict-after <s>] [--trace-out <path>] [--trace-sample <n>]"
-                   " [--blackbox-out <path>]\n";
+                   " [--blackbox-out <path>] [--statusz-out <path>]"
+                   " [--profile-out <path>] [--profile-hz <n>]\n";
       return 0;
     } else {
       attack_name = arg;
@@ -92,6 +113,11 @@ int main(int argc, char** argv) {
     auto& blackbox = telemetry::FlightRecorder::global();
     blackbox.set_dump_path(blackbox_out);
     blackbox.install_crash_handler(blackbox_out);
+  }
+  if (!statusz_out.empty()) telemetry::Statusz::global().set_dump_path(statusz_out);
+  if (!profile_out.empty() &&
+      !telemetry::Profiler::global().start(static_cast<std::uint32_t>(profile_hz))) {
+    std::cerr << "warning: --profile-out given but the profiler failed to start\n";
   }
 
   // Training phase (cached): data, 60-model grid, ADS ranking, thresholds.
@@ -142,8 +168,10 @@ int main(int argc, char** argv) {
   for (const auto& [time, message] : air) {
     (void)monitor.ingest(*message);
     evicted += monitor.advance_time(time).evicted;
-    if (!metrics_out.empty() && time >= next_dump) {
-      dump_metrics(metrics_out);  // periodic scrape point, ~every 4 sim-seconds
+    if (time >= next_dump && (!metrics_out.empty() || !statusz_out.empty())) {
+      // Periodic scrape point, ~every 4 sim-seconds.
+      if (!metrics_out.empty()) dump_metrics(metrics_out);
+      (void)telemetry::Statusz::global().dump_if_configured();
       next_dump = time + 4.0;
     }
   }
@@ -175,6 +203,19 @@ int main(int argc, char** argv) {
   }
   if (!blackbox_out.empty() && telemetry::FlightRecorder::global().dump_if_configured()) {
     std::cout << "flight recorder dump: " << blackbox_out << "\n";
+  }
+  if (!profile_out.empty()) {
+    auto& profiler = telemetry::Profiler::global();
+    profiler.stop();
+    const auto acc = profiler.accounting();
+    profiler.write_collapsed(profile_out);
+    profiler.write_chrome_trace(profile_out + ".chrome.json");
+    std::cout << "cpu profile: " << profile_out << " (" << acc.kept
+              << " samples; feed to flamegraph.pl, or load the .chrome.json in"
+                 " Perfetto)\n";
+  }
+  if (!statusz_out.empty() && telemetry::Statusz::global().dump_if_configured()) {
+    std::cout << "statusz snapshot: " << statusz_out << " (+ .json)\n";
   }
   return 0;
 }

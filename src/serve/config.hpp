@@ -96,6 +96,16 @@ struct ShardStats {
   std::size_t buffered_messages = 0;  ///< raw BSMs held in this shard's buffers
   std::uint64_t evictions = 0;        ///< senders dropped by staleness sweeps
   std::uint64_t drift_alarms = 0;     ///< drift-monitor alarms (score + flag-rate)
+  std::uint64_t busy_ns = 0;          ///< worker ns spent dequeue -> settle
+  std::uint64_t blocked_ns = 0;       ///< worker ns blocked waiting for ingress
+
+  /// busy / (busy + blocked); 0.0 until the worker has recorded either
+  /// (e.g. telemetry disabled, or the worker never ran).
+  [[nodiscard]] double busy_fraction() const {
+    const std::uint64_t denom = busy_ns + blocked_ns;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(busy_ns) / static_cast<double>(denom);
+  }
 
   ShardStats& operator+=(const ShardStats& other) {
     enqueued += other.enqueued;
@@ -111,6 +121,8 @@ struct ShardStats {
     buffered_messages += other.buffered_messages;
     evictions += other.evictions;
     drift_alarms += other.drift_alarms;
+    busy_ns += other.busy_ns;
+    blocked_ns += other.blocked_ns;
     return *this;
   }
 };

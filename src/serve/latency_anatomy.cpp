@@ -1,0 +1,140 @@
+#include "serve/latency_anatomy.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <string>
+
+#include "telemetry/exporter.hpp"
+#include "telemetry/statusz.hpp"
+
+namespace vehigan::serve {
+
+namespace {
+
+using telemetry::Histogram;
+
+/// Approximate quantile from the log-linear buckets: upper bound of the
+/// bucket containing the q-th observation (worst-case 25 % relative error,
+/// same resolution the Prometheus exporter offers).
+double approx_quantile(const Histogram& h, double q) {
+  const std::uint64_t total = h.count();
+  if (total == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    cumulative += h.bucket_count(i);
+    if (cumulative > target) return Histogram::bucket_upper_bound(i);
+  }
+  return Histogram::bucket_upper_bound(Histogram::kBuckets - 1);
+}
+
+void stage_row(telemetry::StatuszWriter& w, const char* stage, const Histogram& h) {
+  const std::uint64_t n = h.count();
+  const double mean = n > 0 ? h.sum() / static_cast<double>(n) : 0.0;
+  w.line(std::string(stage) + " count=" + std::to_string(n) +
+         " sum_s=" + telemetry::format_double(h.sum()) +
+         " mean_s=" + telemetry::format_double(mean) +
+         " p50_s=" + telemetry::format_double(approx_quantile(h, 0.50)) +
+         " p99_s=" + telemetry::format_double(approx_quantile(h, 0.99)));
+}
+
+}  // namespace
+
+LatencyAnatomy::LatencyAnatomy()
+    : queue_wait_seconds(
+          telemetry::MetricsRegistry::global().histogram("vehigan_serve_queue_wait_seconds")),
+      assembly_seconds(telemetry::MetricsRegistry::global().histogram(
+          "vehigan_serve_drain_assembly_seconds")),
+      compute_seconds(
+          telemetry::MetricsRegistry::global().histogram("vehigan_serve_compute_seconds")),
+      cycle_seconds(
+          telemetry::MetricsRegistry::global().histogram("vehigan_serve_cycle_seconds")),
+      e2e_seconds(
+          telemetry::MetricsRegistry::global().histogram("vehigan_serve_e2e_seconds")),
+      merge_seconds(telemetry::MetricsRegistry::global().histogram(
+          "vehigan_serve_report_merge_seconds")) {
+  worst_.reserve(kExemplars);
+  telemetry::Statusz::global().register_section("anatomy", [this](telemetry::StatuszWriter& w) {
+    stage_row(w, "queue_wait", queue_wait_seconds);
+    stage_row(w, "drain_assembly", assembly_seconds);
+    stage_row(w, "compute", compute_seconds);
+    stage_row(w, "cycle", cycle_seconds);
+    // Inner compute stages recorded by OnlineMbds; shown here so the whole
+    // queue-wait -> assembly -> window-build -> score -> decide -> merge
+    // decomposition reads off one section.
+    auto& reg = telemetry::MetricsRegistry::global();
+    stage_row(w, "window_build", reg.histogram("vehigan_mbds_window_build_seconds"));
+    stage_row(w, "score", reg.histogram("vehigan_mbds_score_seconds"));
+    stage_row(w, "decide", reg.histogram("vehigan_mbds_decide_seconds"));
+    stage_row(w, "e2e", e2e_seconds);
+    stage_row(w, "report_merge", merge_seconds);
+    for (const Exemplar& e : exemplars()) {
+      w.line("exemplar e2e_s=" + telemetry::format_double(e.seconds) +
+             " trace_id=" + std::to_string(e.trace_id) +
+             " station=" + std::to_string(e.station_id) +
+             " shard=" + std::to_string(e.shard));
+    }
+  });
+}
+
+LatencyAnatomy& LatencyAnatomy::global() {
+  static LatencyAnatomy* anatomy = new LatencyAnatomy();  // leaked: process lifetime
+  return *anatomy;
+}
+
+std::uint64_t LatencyAnatomy::now_ns() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - epoch)
+                      .count();
+  // 0 means "unstamped"; the first tick of the epoch maps to 1.
+  return static_cast<std::uint64_t>(ns) + 1;
+}
+
+void LatencyAnatomy::offer_exemplar(double seconds, std::uint64_t trace_id,
+                                    std::uint32_t station_id, std::uint32_t shard) {
+  // Fast reject: once the reservoir is full, only latencies above the
+  // current admission floor can change it.
+  const double floor = std::bit_cast<double>(floor_bits_.load(std::memory_order_relaxed));
+  if (seconds <= floor) return;
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (worst_.size() < kExemplars) {
+    worst_.push_back({seconds, trace_id, station_id, shard});
+    if (worst_.size() < kExemplars) return;  // floor stays 0 until full
+  } else {
+    auto weakest = std::min_element(
+        worst_.begin(), worst_.end(),
+        [](const Exemplar& a, const Exemplar& b) { return a.seconds < b.seconds; });
+    if (seconds <= weakest->seconds) return;  // raced past the fast path
+    *weakest = {seconds, trace_id, station_id, shard};
+  }
+  const double new_floor =
+      std::min_element(worst_.begin(), worst_.end(),
+                       [](const Exemplar& a, const Exemplar& b) {
+                         return a.seconds < b.seconds;
+                       })
+          ->seconds;
+  floor_bits_.store(std::bit_cast<std::uint64_t>(new_floor), std::memory_order_relaxed);
+}
+
+std::vector<LatencyAnatomy::Exemplar> LatencyAnatomy::exemplars() const {
+  std::vector<Exemplar> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out = worst_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Exemplar& a, const Exemplar& b) { return a.seconds > b.seconds; });
+  return out;
+}
+
+void LatencyAnatomy::reset_exemplars() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  worst_.clear();
+  floor_bits_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace vehigan::serve

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace vehigan::serve {
+
+/// Serving latency anatomy: decomposes per-message end-to-end latency into
+/// the stages an operator can actually act on. All stamps come from one
+/// steady clock (now_ns(), measured from a process-local epoch), so the
+/// stage identity is exact per message:
+///
+///   e2e = queue_wait + compute                       (same three stamps)
+///
+/// with per-*cycle* stages nested inside compute:
+///
+///   t_submit  --queue_wait-->  t_dequeue  --compute-->  t_settle
+///                                  |-- assembly --| (drain/batch build)
+///                                  |------------ cycle -------------|
+///
+/// window-build / score / decide inside the cycle come from the existing
+/// OnlineMbds histograms (vehigan_mbds_window_build_seconds, ...); the
+/// report collector adds merge (lane publish -> sink delivery). The
+/// anatomy test asserts these reconcile: sum(e2e) == sum(queue_wait) +
+/// sum(compute) to float tolerance, and the nested stages stay contained.
+///
+/// Histograms live in the global MetricsRegistry (so exporters and the
+/// statusz "anatomy" section see them); this class just resolves them once
+/// and carries the p99 exemplar reservoir (worst-K end-to-end latencies
+/// with their PR-5 trace ids) that histograms can't.
+class LatencyAnatomy {
+ public:
+  static constexpr std::size_t kExemplars = 8;  ///< worst-K kept
+
+  static LatencyAnatomy& global();
+
+  /// Steady-clock ns since the first call in this process. 0 is reserved
+  /// for "unstamped" (telemetry disabled at submit time), so the first real
+  /// stamp is remapped to 1.
+  static std::uint64_t now_ns();
+
+  telemetry::Histogram& queue_wait_seconds;  ///< submit -> shard dequeue
+  telemetry::Histogram& assembly_seconds;    ///< dequeue -> batch assembled (per cycle)
+  telemetry::Histogram& compute_seconds;     ///< dequeue -> scored+reported (per msg)
+  telemetry::Histogram& cycle_seconds;       ///< dequeue -> settle (per drain cycle)
+  telemetry::Histogram& e2e_seconds;         ///< submit -> settle (per msg)
+  telemetry::Histogram& merge_seconds;       ///< report publish -> sink delivery
+
+  /// One worst-case end-to-end latency with enough identity to chase it
+  /// through the flight recorder / Chrome trace.
+  struct Exemplar {
+    double seconds = 0.0;
+    std::uint64_t trace_id = 0;
+    std::uint32_t station_id = 0;
+    std::uint32_t shard = 0;
+  };
+
+  /// Offers a latency to the worst-K reservoir. Fast path is one relaxed
+  /// load against the current floor — only candidates that would displace
+  /// an entry take the mutex.
+  void offer_exemplar(double seconds, std::uint64_t trace_id,
+                      std::uint32_t station_id, std::uint32_t shard);
+
+  /// Worst-first copy of the reservoir.
+  [[nodiscard]] std::vector<Exemplar> exemplars() const;
+
+  void reset_exemplars();
+
+ private:
+  LatencyAnatomy();
+
+  mutable std::mutex mutex_;
+  std::vector<Exemplar> worst_;                    ///< unsorted reservoir
+  std::atomic<std::uint64_t> floor_bits_{0};       ///< bit_cast of admission floor
+};
+
+}  // namespace vehigan::serve

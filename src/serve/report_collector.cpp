@@ -4,6 +4,11 @@
 #include <iterator>
 #include <limits>
 
+#include "serve/latency_anatomy.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
+
 namespace vehigan::serve {
 
 ReportCollector::ReportCollector(std::size_t lanes) {
@@ -22,11 +27,15 @@ void ReportCollector::set_sink(Sink sink) {
 void ReportCollector::publish(std::size_t lane, std::vector<mbds::MisbehaviorReport>& batch) {
   if (batch.empty()) return;
   const std::size_t n = batch.size();
+  // One clock read per publish; every report in the batch shares it.
+  const std::uint64_t publish_ns =
+      telemetry::enabled() ? LatencyAnatomy::now_ns() : 0;
   {
     Lane& l = *lanes_[lane];
     const std::scoped_lock lane_lock(l.mutex);
     l.pending.insert(l.pending.end(), std::make_move_iterator(batch.begin()),
                      std::make_move_iterator(batch.end()));
+    l.pending_ns.resize(l.pending.size(), publish_ns);
   }
   batch.clear();  // elements moved out; capacity stays with the shard
   {
@@ -52,28 +61,37 @@ void ReportCollector::stop() {
 }
 
 void ReportCollector::run() {
+  telemetry::TraceRecorder::global().set_thread_name("collector");
+  telemetry::Profiler::attach_current_thread();
+  LatencyAnatomy& anatomy = LatencyAnatomy::global();
   // Per-lane staging swapped out of the lanes each sweep; indices track the
   // k-way merge position. Reused across sweeps to avoid churn.
   std::vector<std::vector<mbds::MisbehaviorReport>> staged(lanes_.size());
+  std::vector<std::vector<std::uint64_t>> staged_ns(lanes_.size());
   std::vector<std::size_t> heads(lanes_.size(), 0);
   for (;;) {
     Sink sink;
+    const std::uint64_t t_idle = telemetry::enabled() ? LatencyAnatomy::now_ns() : 0;
     {
       std::unique_lock lock(mutex_);
       wake_.wait(lock, [&] { return stopping_ || delivered_ < published_; });
       if (stopping_ && delivered_ >= published_) return;
       sink = sink_;
     }
+    const std::uint64_t t_wake = t_idle != 0 ? LatencyAnatomy::now_ns() : 0;
+    if (t_idle != 0) idle_ns_.fetch_add(t_wake - t_idle, std::memory_order_relaxed);
 
     // Sweep: take every lane's backlog in one short lock each.
     std::size_t total = 0;
     for (std::size_t i = 0; i < lanes_.size(); ++i) {
       Lane& lane = *lanes_[i];
       staged[i].clear();
+      staged_ns[i].clear();
       heads[i] = 0;
       {
         const std::scoped_lock lane_lock(lane.mutex);
         staged[i].swap(lane.pending);
+        staged_ns[i].swap(lane.pending_ns);
       }
       total += staged[i].size();
     }
@@ -93,8 +111,17 @@ void ReportCollector::run() {
           best_time = t;
         }
       }
-      const mbds::MisbehaviorReport& report = staged[best][heads[best]++];
+      const std::size_t at = heads[best]++;
+      const mbds::MisbehaviorReport& report = staged[best][at];
       if (sink) sink(report);
+      const std::uint64_t publish_ns = staged_ns[best][at];
+      if (publish_ns != 0) {
+        anatomy.merge_seconds.observe(
+            static_cast<double>(LatencyAnatomy::now_ns() - publish_ns) * 1e-9);
+      }
+    }
+    if (t_wake != 0) {
+      busy_ns_.fetch_add(LatencyAnatomy::now_ns() - t_wake, std::memory_order_relaxed);
     }
 
     {
@@ -103,6 +130,13 @@ void ReportCollector::run() {
     }
     settled_.notify_all();
   }
+}
+
+double ReportCollector::busy_fraction() const {
+  const std::uint64_t busy = busy_ns_.load(std::memory_order_relaxed);
+  const std::uint64_t idle = idle_ns_.load(std::memory_order_relaxed);
+  const std::uint64_t denom = busy + idle;
+  return denom == 0 ? 0.0 : static_cast<double>(busy) / static_cast<double>(denom);
 }
 
 }  // namespace vehigan::serve

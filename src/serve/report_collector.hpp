@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -63,15 +64,26 @@ class ReportCollector {
   /// stop() are delivered by nobody (callers stop shards first).
   void stop();
 
+  /// busy / (busy + idle) of the collector thread, where busy covers
+  /// sweep+merge+sink and idle the wake_ wait. 0.0 before the first sweep
+  /// or while telemetry is disabled (no clock reads then).
+  [[nodiscard]] double busy_fraction() const;
+
  private:
   struct Lane {
     std::mutex mutex;
     std::vector<mbds::MisbehaviorReport> pending;
+    /// Publish stamp (LatencyAnatomy clock, 0 = unstamped) per pending
+    /// report, kept index-parallel to `pending` — the merge latency is
+    /// delivery time minus this.
+    std::vector<std::uint64_t> pending_ns;
   };
 
   void run();
 
   std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<std::uint64_t> busy_ns_{0};
+  std::atomic<std::uint64_t> idle_ns_{0};
 
   std::mutex mutex_;  ///< guards sink_, counters, stopping_
   std::condition_variable wake_;     ///< publisher -> collector

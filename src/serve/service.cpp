@@ -1,10 +1,14 @@
 #include "serve/service.hpp"
 
 #include <stdexcept>
+#include <string>
 
+#include "serve/latency_anatomy.hpp"
 #include "telemetry/chrome_trace.hpp"
+#include "telemetry/exporter.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/statusz.hpp"
 #include "telemetry/trace_context.hpp"
 #include "util/hash.hpp"
 
@@ -15,16 +19,32 @@ namespace {
 struct ServiceTelemetry {
   telemetry::Gauge& tracked_vehicles;
   telemetry::Gauge& queue_depth;
+  telemetry::Gauge& shard_busy_fraction;
+  telemetry::Gauge& collector_busy_fraction;
 
   static ServiceTelemetry& get() {
     auto& reg = telemetry::MetricsRegistry::global();
     static ServiceTelemetry tel{
         reg.gauge("vehigan_serve_tracked_vehicles"),
         reg.gauge("vehigan_serve_queue_depth"),
+        reg.gauge("vehigan_serve_shard_busy_fraction"),
+        reg.gauge("vehigan_serve_collector_busy_fraction"),
     };
     return tel;
   }
 };
+
+void shard_statusz_row(telemetry::StatuszWriter& w, std::size_t index,
+                       const ShardStats& s) {
+  w.line("shard[" + std::to_string(index) + "] enq=" + std::to_string(s.enqueued) +
+         " scored=" + std::to_string(s.scored) + " dropped=" + std::to_string(s.dropped) +
+         " reports=" + std::to_string(s.reports) + " depth=" + std::to_string(s.queue_depth) +
+         " peak=" + std::to_string(s.queue_peak) +
+         " batch_limit=" + std::to_string(s.batch_limit) +
+         " tracked=" + std::to_string(s.tracked_vehicles) +
+         " drift_alarms=" + std::to_string(s.drift_alarms) +
+         " busy=" + telemetry::format_double(s.busy_fraction()));
+}
 
 }  // namespace
 
@@ -62,9 +82,35 @@ DetectionService::DetectionService(const ServiceConfig& config,
       collector_->publish(i, batch);
     });
   }
+  // Instantiating the anatomy here (not lazily on the first scored message)
+  // guarantees its statusz section exists whenever a service does.
+  (void)LatencyAnatomy::global();
+  statusz_section_ = telemetry::Statusz::global().register_section(
+      "serve", [this](telemetry::StatuszWriter& w) {
+        const ServiceStats snapshot = stats();
+        w.kv("shards", static_cast<std::uint64_t>(shards_.size()));
+        w.kv("policy", to_string(config_.policy));
+        w.kv("queue_capacity", static_cast<std::uint64_t>(config_.queue_capacity));
+        w.kv("enqueued", snapshot.total.enqueued);
+        w.kv("scored", snapshot.total.scored);
+        w.kv("dropped", snapshot.total.dropped);
+        w.kv("reports", snapshot.total.reports);
+        w.kv("queue_depth", static_cast<std::uint64_t>(snapshot.total.queue_depth));
+        w.kv("drift_alarms", snapshot.total.drift_alarms);
+        w.kv("busy_fraction", snapshot.total.busy_fraction());
+        w.kv("collector_busy_fraction", collector_->busy_fraction());
+        for (std::size_t i = 0; i < snapshot.shards.size(); ++i) {
+          shard_statusz_row(w, i, snapshot.shards[i]);
+        }
+      });
 }
 
-DetectionService::~DetectionService() { stop(); }
+DetectionService::~DetectionService() {
+  // Unregister before stop(): once this returns no render can reach the
+  // shards, and explicit drain()/stop() calls earlier still saw the section.
+  telemetry::Statusz::global().unregister_section(statusz_section_);
+  stop();
+}
 
 std::size_t DetectionService::shard_of(std::uint32_t station_id) const {
   util::Fnv1a hash;
@@ -111,6 +157,7 @@ void DetectionService::drain() {
   // Quiescent point: a black-box snapshot here captures every event of the
   // batches that just settled (no-op unless a dump path is configured).
   telemetry::FlightRecorder::global().dump_if_configured();
+  telemetry::Statusz::global().dump_if_configured();
 }
 
 void DetectionService::stop() {
@@ -122,6 +169,7 @@ void DetectionService::stop() {
   for (auto& shard : shards_) shard->join();
   collector_->stop();
   telemetry::FlightRecorder::global().dump_if_configured();
+  telemetry::Statusz::global().dump_if_configured();
 }
 
 ShardStats DetectionService::shard_stats(std::size_t shard) const {
@@ -138,6 +186,8 @@ ServiceStats DetectionService::stats() const {
   ServiceTelemetry& tel = ServiceTelemetry::get();
   tel.tracked_vehicles.set(static_cast<double>(stats.total.tracked_vehicles));
   tel.queue_depth.set(static_cast<double>(stats.total.queue_depth));
+  tel.shard_busy_fraction.set(stats.total.busy_fraction());
+  tel.collector_busy_fraction.set(collector_->busy_fraction());
   return stats;
 }
 

@@ -105,6 +105,7 @@ class DetectionService {
   std::unique_ptr<ReportCollector> collector_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> stopped_{false};
+  std::uint64_t statusz_section_ = 0;  ///< "serve" section handle
 };
 
 }  // namespace vehigan::serve

@@ -11,9 +11,11 @@
 #include <sched.h>
 #endif
 
+#include "serve/latency_anatomy.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"
 #include "telemetry/trace_context.hpp"
 
@@ -78,7 +80,7 @@ Shard::Shard(std::size_t index, const ServiceConfig& config,
       config_(config),
       detector_(std::move(detector)),
       queue_(config.queue_capacity, config.policy,
-             [](const sim::Bsm& message) { return message.vehicle_id; }) {
+             [](const StampedBsm& stamped) { return stamped.msg.vehicle_id; }) {
   detector_->set_eviction_policy({config.evict_after_s, config.evict_every_s});
 }
 
@@ -108,18 +110,20 @@ bool Shard::submit(const sim::Bsm& message) {
   const bool traced = telemetry::enabled();
   const std::uint64_t trace =
       traced ? telemetry::trace_id_of(message.vehicle_id, message.time) : 0;
-  auto result = queue_.push(message);
+  // The submit stamp rides the queue: the drain loop joins it with its own
+  // dequeue/settle stamps into queue-wait and end-to-end histograms.
+  auto result = queue_.push({message, traced ? LatencyAnatomy::now_ns() : 0});
   switch (result.outcome) {
-    case BoundedQueue<sim::Bsm>::Push::kAccepted:
+    case BoundedQueue<StampedBsm>::Push::kAccepted:
       telemetry::FlightRecorder::record(telemetry::FlightEventKind::kEnqueue,
                                         message.vehicle_id, trace, index_);
       return true;
-    case BoundedQueue<sim::Bsm>::Push::kReplacedOldest:
-    case BoundedQueue<sim::Bsm>::Push::kReplacedHeaviest: {
+    case BoundedQueue<StampedBsm>::Push::kReplacedOldest:
+    case BoundedQueue<StampedBsm>::Push::kReplacedHeaviest: {
       // The *evicted* message is the shed one; the offered one is in. The
       // drop event must therefore carry the evicted message's identity and
       // trace id, or the flight recorder pins the loss on the wrong sender.
-      const sim::Bsm& evicted = *result.evicted;
+      const sim::Bsm& evicted = result.evicted->msg;
       telemetry::FlightRecorder::record(telemetry::FlightEventKind::kEnqueue,
                                         message.vehicle_id, trace, index_);
       telemetry::FlightRecorder::record(
@@ -130,8 +134,8 @@ bool Shard::submit(const sim::Bsm& message) {
       notify_settled();
       return true;
     }
-    case BoundedQueue<sim::Bsm>::Push::kRejected:
-    case BoundedQueue<sim::Bsm>::Push::kClosed:
+    case BoundedQueue<StampedBsm>::Push::kRejected:
+    case BoundedQueue<StampedBsm>::Push::kClosed:
       telemetry::FlightRecorder::record(telemetry::FlightEventKind::kDrop,
                                         message.vehicle_id, trace, index_);
       dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -169,8 +173,10 @@ void Shard::refresh_detector_stats() {
 
 void Shard::run() {
   ServeTelemetry& tel = ServeTelemetry::get();
+  LatencyAnatomy& anatomy = LatencyAnatomy::global();
   auto& recorder = telemetry::TraceRecorder::global();
   recorder.set_thread_name("shard-" + std::to_string(index_));
+  telemetry::Profiler::attach_current_thread();
   if (config_.pin_shards) pin_to_core(index_);
 
   // Adaptive drain sizing: `limit` is the per-cycle batch cap, walked
@@ -183,12 +189,20 @@ void Shard::run() {
   std::size_t limit = config_.adaptive_batch ? hard_cap : config_.max_batch;
   batch_limit_.store(limit, std::memory_order_relaxed);
 
-  std::vector<sim::Bsm> batch;
+  std::vector<StampedBsm> batch;
+  std::vector<sim::Bsm> bsms;  // unwrapped view handed to the detector
   std::vector<mbds::MisbehaviorReport> reports;
   double latest_time = -std::numeric_limits<double>::infinity();
   for (;;) {
     batch.clear();
+    // Anatomy stamps: three clock reads per *cycle* (block start, dequeue,
+    // settle), none per message — gated entirely on the telemetry switch.
+    const std::uint64_t t_block = telemetry::enabled() ? LatencyAnatomy::now_ns() : 0;
     const std::size_t n = queue_.drain_blocking(batch, limit);
+    const std::uint64_t t_dequeue = t_block != 0 ? LatencyAnatomy::now_ns() : 0;
+    if (t_block != 0) {
+      blocked_ns_.fetch_add(t_dequeue - t_block, std::memory_order_relaxed);
+    }
     if (n == 0) break;  // closed and fully flushed
     telemetry::FlightRecorder::record(telemetry::FlightEventKind::kDrainStart,
                                       config_.station_id, 0, n);
@@ -202,6 +216,15 @@ void Shard::run() {
     tel.batch_peak.set_max(static_cast<double>(n));
     tel.queue_peak.set_max(static_cast<double>(queue_.peak_size()));
 
+    // Drain assembly: unwrap the stamped batch into the contiguous Bsm view
+    // the detector ingests.
+    bsms.clear();
+    for (const StampedBsm& stamped : batch) bsms.push_back(stamped.msg);
+    if (t_dequeue != 0) {
+      anatomy.assembly_seconds.observe(
+          static_cast<double>(LatencyAnatomy::now_ns() - t_dequeue) * 1e-9);
+    }
+
     double drain_ms = 0.0;
     {
       telemetry::ScopedSpan drain_span(tel.drain_seconds, "serve_drain");
@@ -209,7 +232,7 @@ void Shard::run() {
       const auto cycle_t0 = std::chrono::steady_clock::now();
       const std::uint64_t drain_t0 = tracing ? recorder.now_ns() : 0;
       reports.clear();
-      (void)detector_->ingest_batch(batch, reports);
+      (void)detector_->ingest_batch(bsms, reports);
       if (tracing) {
         recorder.record_complete("drain", drain_t0, recorder.now_ns() - drain_t0, 0,
                                  "batch", n);
@@ -241,13 +264,35 @@ void Shard::run() {
     // owns the replay clock and cadence; the cutoff trails the newest message
     // this shard has seen, so senders quiet for evict_after_s lose their
     // window state regardless of how fast the stream is fed.
-    for (const sim::Bsm& message : batch) latest_time = std::max(latest_time, message.time);
+    for (const sim::Bsm& message : bsms) latest_time = std::max(latest_time, message.time);
     if (detector_->advance_time(latest_time).swept) tel.evict_sweeps_total.add(1);
 
     // Settle last, with the detector gauges already snapshotted:
     // wait_idle() returning implies the batch's reports have been published
     // and stats() observes post-sweep values.
     refresh_detector_stats();
+    if (t_dequeue != 0) {
+      const std::uint64_t t_settle = LatencyAnatomy::now_ns();
+      busy_ns_.fetch_add(t_settle - t_dequeue, std::memory_order_relaxed);
+      const double cycle_s = static_cast<double>(t_settle - t_dequeue) * 1e-9;
+      anatomy.cycle_seconds.observe(cycle_s);
+      // Per-message anatomy from the shared stamps. The identity
+      // e2e == queue_wait + compute holds exactly per message (all three
+      // derive from submit_ns / t_dequeue / t_settle), which the anatomy
+      // test exploits to reconcile the histograms.
+      for (const StampedBsm& stamped : batch) {
+        if (stamped.submit_ns == 0 || stamped.submit_ns > t_dequeue) continue;
+        const double queue_wait_s =
+            static_cast<double>(t_dequeue - stamped.submit_ns) * 1e-9;
+        anatomy.queue_wait_seconds.observe(queue_wait_s);
+        anatomy.compute_seconds.observe(cycle_s);
+        anatomy.e2e_seconds.observe(queue_wait_s + cycle_s);
+        anatomy.offer_exemplar(
+            queue_wait_s + cycle_s,
+            telemetry::trace_id_of(stamped.msg.vehicle_id, stamped.msg.time),
+            stamped.msg.vehicle_id, static_cast<std::uint32_t>(index_));
+      }
+    }
     tel.scored_total.add(n);
     scored_.fetch_add(n, std::memory_order_relaxed);
     notify_settled();
@@ -275,6 +320,8 @@ ShardStats Shard::stats() const {
   s.buffered_messages = buffered_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.drift_alarms = drift_alarms_.load(std::memory_order_relaxed);
+  s.busy_ns = busy_ns_.load(std::memory_order_relaxed);
+  s.blocked_ns = blocked_ns_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -15,6 +15,16 @@
 
 namespace vehigan::serve {
 
+/// Queue element: the message plus its submit-time stamp (LatencyAnatomy
+/// clock, 0 = unstamped because telemetry was disabled at submit). The stamp
+/// must ride the queue — unlike trace ids it cannot be recomputed later, and
+/// it is what turns the drain loop's cycle timings into per-message
+/// queue-wait / end-to-end latency.
+struct StampedBsm {
+  sim::Bsm msg;
+  std::uint64_t submit_ns = 0;
+};
+
 /// One partition of the service: the sole owner of the per-sender window
 /// state of every station id hashed onto it, so that state needs no locks.
 /// Producers push into the bounded ingress queue; the worker thread drains
@@ -75,7 +85,7 @@ class Shard {
   std::size_t index_;
   ServiceConfig config_;
   std::unique_ptr<mbds::OnlineMbds> detector_;
-  BoundedQueue<sim::Bsm> queue_;
+  BoundedQueue<StampedBsm> queue_;
   PublishFn publish_;
   std::thread worker_;
 
@@ -94,6 +104,11 @@ class Shard {
   std::atomic<std::size_t> buffered_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> drift_alarms_{0};
+  // Worker utilization: busy covers dequeue -> settle, blocked covers the
+  // drain_blocking wait. busy / (busy + blocked) is the shard's busy
+  // fraction (stays 0 while telemetry is disabled — no clock reads then).
+  std::atomic<std::uint64_t> busy_ns_{0};
+  std::atomic<std::uint64_t> blocked_ns_{0};
   std::mutex idle_mutex_;
   std::condition_variable idle_cv_;
 };

@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "telemetry/metrics.hpp"
+#include "telemetry/statusz.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <csignal>
@@ -81,6 +82,10 @@ char g_crash_path[768] = {0};
 
 void crash_signal_handler(int sig) {
   if (g_crash_path[0] != '\0') FlightRecorder::global().dump(g_crash_path);
+  // Statusz rendering is not signal-safe, but its last pre-rendered snapshot
+  // is: write it next to the flight-recorder post-mortem (no-op unless a
+  // statusz dump path is armed).
+  (void)Statusz::crash_dump_cached();
   ::signal(sig, SIG_DFL);
   ::raise(sig);
 }
@@ -253,6 +258,10 @@ void FlightRecorder::install_crash_handler(const std::string& path) {
   struct sigaction action {};
   action.sa_handler = crash_signal_handler;
   ::sigemptyset(&action.sa_mask);
+  // Block the profiler's SIGPROF while the crash handler runs: a sampling
+  // tick landing mid-post-mortem would interleave with the dump writes (and
+  // sample a dying thread to no benefit).
+  ::sigaddset(&action.sa_mask, SIGPROF);
   action.sa_flags = 0;
   for (int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE}) {
     ::sigaction(sig, &action, nullptr);

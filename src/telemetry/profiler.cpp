@@ -1,0 +1,597 @@
+#include "telemetry/profiler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "telemetry/exporter.hpp"
+
+#if defined(__linux__)
+#include <dlfcn.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cxxabi.h>
+#include <ucontext.h>
+
+// Older glibc spells the SIGEV_THREAD_ID target field without the macro.
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+#endif
+
+namespace vehigan::telemetry {
+
+namespace {
+
+/// One seqlock-protected sample slot: the owning thread's signal handler is
+/// the only writer (SIGPROF is thread-directed), readers skip torn slots by
+/// the same odd/even-seq protocol as the flight recorder.
+struct SampleSlot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> mono_ns{0};
+  std::atomic<std::uint32_t> depth{0};
+  std::atomic<std::uintptr_t> pcs[Profiler::kMaxFrames] = {};
+};
+
+/// Per-thread sample ring plus the stack bounds the handler's frame-pointer
+/// walk is clamped to. Bounds are plain fields: written by the owning
+/// thread at (re)attach, before any timer targets it, and read only from
+/// that thread's own signal handler. Lanes are never freed — a dead
+/// thread's samples stay dumpable — and are recycled to new threads through
+/// a free list.
+struct Lane {
+  std::atomic<std::uint64_t> head{0};       ///< samples ever pushed here
+  std::atomic<std::uint64_t> truncated{0};  ///< samples cut at kMaxFrames
+  std::uintptr_t stack_lo = 0;
+  std::uintptr_t stack_hi = 0;
+  SampleSlot slots[Profiler::kRingCapacity];
+};
+
+thread_local Lane* t_lane = nullptr;
+thread_local std::size_t t_lane_index = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+struct Profiler::Impl {
+  std::atomic<bool> running{false};
+  std::atomic<std::uint32_t> hz{0};
+  std::uint64_t epoch_ns = 0;  ///< CLOCK_MONOTONIC at construction
+
+  std::atomic<Lane*> lanes[kMaxLanes] = {};
+  std::atomic<std::size_t> lane_count{0};
+  std::atomic<std::uint64_t> lane_overflow{0};
+
+  /// Timer bookkeeping per lane; cold path only (attach/detach/start/stop),
+  /// all under reg_mutex. The signal handler never touches this.
+  struct Owner {
+    long tid = 0;
+    bool alive = false;
+    bool armed = false;
+#if defined(__linux__)
+    timer_t timer{};
+#endif
+  };
+  std::mutex reg_mutex;
+  Owner owners[kMaxLanes];
+  std::vector<std::size_t> free_lanes;
+};
+
+namespace {
+
+Profiler::Impl* g_impl = nullptr;  ///< set once at construction, never freed
+
+std::uint64_t monotonic_ns() {
+#if defined(__linux__)
+  struct timespec ts {};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
+
+/// Async-signal-safe ring push shared by the SIGPROF handler and the
+/// synthetic-record test seam. Single writer per lane.
+void push_sample(Lane* lane, const std::uintptr_t* pcs, std::size_t depth,
+                 std::uint64_t mono_ns) {
+  const std::uint64_t h = lane->head.load(std::memory_order_relaxed);
+  SampleSlot& slot = lane->slots[h % Profiler::kRingCapacity];
+  slot.seq.store(2 * h + 1, std::memory_order_release);  // odd: mid-write
+  slot.mono_ns.store(mono_ns, std::memory_order_relaxed);
+  slot.depth.store(static_cast<std::uint32_t>(depth), std::memory_order_relaxed);
+  for (std::size_t i = 0; i < depth; ++i) {
+    slot.pcs[i].store(pcs[i], std::memory_order_relaxed);
+  }
+  slot.seq.store(2 * h + 2, std::memory_order_release);  // even: stable
+  lane->head.store(h + 1, std::memory_order_release);
+}
+
+/// Reads one sample consistently; false for torn/recycled slots.
+bool read_sample(const SampleSlot& slot, std::uint64_t index, Profiler::Sample& out) {
+  const std::uint64_t seq1 = slot.seq.load(std::memory_order_acquire);
+  if (seq1 != 2 * index + 2) return false;
+  out.mono_ns = slot.mono_ns.load(std::memory_order_relaxed);
+  const std::uint32_t depth =
+      std::min<std::uint32_t>(slot.depth.load(std::memory_order_relaxed),
+                              static_cast<std::uint32_t>(Profiler::kMaxFrames));
+  out.frames.resize(depth);
+  for (std::uint32_t i = 0; i < depth; ++i) {
+    out.frames[i] = slot.pcs[i].load(std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return slot.seq.load(std::memory_order_relaxed) == seq1;
+}
+
+#if defined(__linux__)
+
+long current_tid() { return static_cast<long>(::syscall(SYS_gettid)); }
+
+/// Anchor recorded when the interrupted context yields no walkable PC (e.g.
+/// sanitizer trampolines hand the handler a zeroed ucontext). Exported so
+/// dladdr names it in the profile instead of a bare hex address.
+extern "C" void vehigan_profiler_unresolved_frame() {}
+
+/// SIGPROF handler: capture PC + frame-pointer chain from the interrupted
+/// context into the calling thread's own lane. Signal-safety: thread_local
+/// reads, bounded pointer walk with explicit stack-limit checks,
+/// clock_gettime, relaxed/release atomic stores, errno save/restore — no
+/// allocation, locks, or symbolization (those run offline at dump time).
+/// Uninstrumented under sanitizers: the walk reads raw stack words that are
+/// legal saved-frame slots but can sit inside ASan redzones, and TSan's
+/// interceptors are not async-signal-safe.
+#if defined(__clang__) || defined(__GNUC__)
+__attribute__((no_sanitize("address", "thread", "undefined")))
+#endif
+void profiler_signal_handler(int /*sig*/, siginfo_t* /*info*/, void* context) {
+  Lane* lane = t_lane;
+  Profiler::Impl* impl = g_impl;
+  if (lane == nullptr || impl == nullptr) return;
+  const int saved_errno = errno;
+
+  std::uintptr_t pcs[Profiler::kMaxFrames];
+  std::size_t depth = 0;
+  std::uintptr_t pc = 0;
+  std::uintptr_t fp = 0;
+#if defined(__x86_64__)
+  const auto* uc = static_cast<const ucontext_t*>(context);
+  pc = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+  fp = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
+#elif defined(__aarch64__)
+  const auto* uc = static_cast<const ucontext_t*>(context);
+  pc = static_cast<std::uintptr_t>(uc->uc_mcontext.pc);
+  fp = static_cast<std::uintptr_t>(uc->uc_mcontext.regs[29]);
+#else
+  (void)context;
+#endif
+  if (pc != 0) pcs[depth++] = pc;
+  // Frame-pointer chain: [fp] = caller's fp, [fp+8] = return address. Every
+  // dereference is clamped to this thread's stack and the chain must move
+  // strictly toward the stack base, so a corrupt frame ends the walk instead
+  // of faulting inside a signal handler.
+  while (depth < Profiler::kMaxFrames && fp >= lane->stack_lo &&
+         fp + 2 * sizeof(std::uintptr_t) <= lane->stack_hi &&
+         (fp & (sizeof(std::uintptr_t) - 1)) == 0) {
+    const auto* frame = reinterpret_cast<const std::uintptr_t*>(fp);
+    const std::uintptr_t ret = frame[1];
+    const std::uintptr_t next = frame[0];
+    if (ret < 0x1000) break;
+    pcs[depth++] = ret;
+    if (next <= fp) break;
+    fp = next;
+  }
+  if (depth == 0) {
+    pcs[depth++] = reinterpret_cast<std::uintptr_t>(&vehigan_profiler_unresolved_frame);
+  }
+  if (depth == Profiler::kMaxFrames) {
+    lane->truncated.fetch_add(1, std::memory_order_relaxed);
+  }
+  push_sample(lane, pcs, depth, monotonic_ns() - impl->epoch_ns);
+  errno = saved_errno;
+}
+
+/// Captures the calling thread's stack bounds. Not signal-safe (glibc may
+/// read /proc/self/maps for the main thread) — which is exactly why it runs
+/// at attach time, never in the handler.
+void current_stack_bounds(std::uintptr_t& lo, std::uintptr_t& hi) {
+  lo = 0;
+  hi = 0;
+  pthread_attr_t attr;
+  if (::pthread_getattr_np(::pthread_self(), &attr) != 0) return;
+  void* addr = nullptr;
+  std::size_t size = 0;
+  if (::pthread_attr_getstack(&attr, &addr, &size) == 0) {
+    lo = reinterpret_cast<std::uintptr_t>(addr);
+    hi = lo + size;
+  }
+  ::pthread_attr_destroy(&attr);
+}
+
+/// Arms a per-thread CPU-time timer for lane `index`. reg_mutex held.
+/// timer_create with SIGEV_THREAD_ID may be issued from any thread, so
+/// start() can arm every already-attached thread without their cooperation.
+void arm_locked(Profiler::Impl* impl, std::size_t index) {
+  Profiler::Impl::Owner& owner = impl->owners[index];
+  if (!owner.alive || owner.armed) return;
+  struct sigevent sev {};
+  sev.sigev_notify = SIGEV_THREAD_ID;
+  sev.sigev_signo = SIGPROF;
+  sev.sigev_notify_thread_id = static_cast<pid_t>(owner.tid);
+  if (::timer_create(CLOCK_THREAD_CPUTIME_ID, &sev, &owner.timer) != 0) return;
+  const std::uint32_t hz = impl->hz.load(std::memory_order_relaxed);
+  const long interval_ns =
+      std::max(100000L, static_cast<long>(1000000000ULL / std::max(1u, hz)));
+  struct itimerspec its {};
+  its.it_interval.tv_nsec = interval_ns;
+  its.it_value.tv_nsec = interval_ns;
+  if (::timer_settime(owner.timer, 0, &its, nullptr) != 0) {
+    ::timer_delete(owner.timer);
+    return;
+  }
+  owner.armed = true;
+}
+
+void disarm_locked(Profiler::Impl* impl, std::size_t index) {
+  Profiler::Impl::Owner& owner = impl->owners[index];
+  if (!owner.armed) return;
+  ::timer_delete(owner.timer);
+  owner.armed = false;
+}
+
+#else  // !__linux__
+
+long current_tid() { return 0; }
+void current_stack_bounds(std::uintptr_t& lo, std::uintptr_t& hi) { lo = hi = 0; }
+void arm_locked(Profiler::Impl*, std::size_t) {}
+void disarm_locked(Profiler::Impl*, std::size_t) {}
+
+#endif
+
+/// Thread-exit hook: releases the lane (ring contents stay readable) and
+/// deletes this thread's timer so SIGPROF never targets a dead tid.
+void detach_current_thread() {
+  Profiler::Impl* impl = g_impl;
+  if (impl == nullptr || t_lane == nullptr) return;
+  const std::lock_guard<std::mutex> lock(impl->reg_mutex);
+  disarm_locked(impl, t_lane_index);
+  impl->owners[t_lane_index].alive = false;
+  impl->owners[t_lane_index].tid = 0;
+  impl->free_lanes.push_back(t_lane_index);
+  t_lane = nullptr;
+  t_lane_index = static_cast<std::size_t>(-1);
+}
+
+struct LaneGuard {
+  ~LaneGuard() { detach_current_thread(); }
+};
+
+std::size_t append_hex_str(std::string& out, std::uintptr_t v) {
+  char buf[2 + 2 * sizeof(v) + 1];
+  std::snprintf(buf, sizeof(buf), "%llx", static_cast<unsigned long long>(v));
+  out += buf;
+  return out.size();
+}
+
+}  // namespace
+
+Profiler::Profiler() : impl_(new Impl) {
+  impl_->epoch_ns = monotonic_ns();
+  g_impl = impl_;
+}
+
+Profiler& Profiler::global() {
+  static Profiler profiler;
+  return profiler;
+}
+
+void Profiler::attach_current_thread() {
+  if (t_lane != nullptr) return;
+  Impl* impl = global().impl_;
+  std::uintptr_t lo = 0;
+  std::uintptr_t hi = 0;
+  current_stack_bounds(lo, hi);
+
+  const std::lock_guard<std::mutex> lock(impl->reg_mutex);
+  std::size_t index;
+  if (!impl->free_lanes.empty()) {
+    index = impl->free_lanes.back();
+    impl->free_lanes.pop_back();
+  } else {
+    index = impl->lane_count.load(std::memory_order_relaxed);
+    if (index >= kMaxLanes) {
+      impl->lane_overflow.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // Never freed: samples must stay dumpable after the thread exits.
+    impl->lanes[index].store(new Lane(), std::memory_order_release);
+    impl->lane_count.store(index + 1, std::memory_order_release);
+  }
+  Lane* lane = impl->lanes[index].load(std::memory_order_acquire);
+  lane->stack_lo = lo;
+  lane->stack_hi = hi;
+  impl->owners[index].tid = current_tid();
+  impl->owners[index].alive = true;
+  impl->owners[index].armed = false;
+  t_lane = lane;
+  t_lane_index = index;
+  thread_local LaneGuard guard;
+  (void)guard;
+  if (impl->running.load(std::memory_order_relaxed)) arm_locked(impl, index);
+}
+
+bool Profiler::start(std::uint32_t hz) {
+#if !defined(__linux__)
+  (void)hz;
+  return false;
+#else
+  if (hz == 0) return false;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->reg_mutex);
+    if (impl_->running.load(std::memory_order_relaxed)) return false;
+    struct sigaction action {};
+    action.sa_sigaction = profiler_signal_handler;
+    ::sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_SIGINFO | SA_RESTART;
+    if (::sigaction(SIGPROF, &action, nullptr) != 0) return false;
+    impl_->hz.store(hz, std::memory_order_relaxed);
+    impl_->running.store(true, std::memory_order_relaxed);
+    const std::size_t count =
+        std::min(impl_->lane_count.load(std::memory_order_acquire), kMaxLanes);
+    for (std::size_t i = 0; i < count; ++i) arm_locked(impl_, i);
+  }
+  attach_current_thread();  // takes reg_mutex itself; arms the caller
+  return true;
+#endif
+}
+
+void Profiler::stop() {
+  const std::lock_guard<std::mutex> lock(impl_->reg_mutex);
+  if (!impl_->running.load(std::memory_order_relaxed)) return;
+  impl_->running.store(false, std::memory_order_relaxed);
+  const std::size_t count =
+      std::min(impl_->lane_count.load(std::memory_order_acquire), kMaxLanes);
+  for (std::size_t i = 0; i < count; ++i) disarm_locked(impl_, i);
+}
+
+bool Profiler::running() const { return impl_->running.load(std::memory_order_relaxed); }
+
+std::uint32_t Profiler::hz() const { return impl_->hz.load(std::memory_order_relaxed); }
+
+void Profiler::record_synthetic(std::span<const std::uintptr_t> frames) {
+  attach_current_thread();
+  if (t_lane == nullptr) {
+    impl_->lane_overflow.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::uintptr_t pcs[kMaxFrames];
+  const std::size_t depth = std::min(frames.size(), kMaxFrames);
+  std::copy_n(frames.begin(), depth, pcs);
+  if (depth == kMaxFrames && frames.size() >= kMaxFrames) {
+    t_lane->truncated.fetch_add(1, std::memory_order_relaxed);
+  }
+  push_sample(t_lane, pcs, depth, monotonic_ns() - impl_->epoch_ns);
+}
+
+Profiler::Snapshot Profiler::snapshot() const {
+  Snapshot snap;
+  const std::size_t count =
+      std::min(impl_->lane_count.load(std::memory_order_acquire), kMaxLanes);
+  snap.accounting.lane_overflow = impl_->lane_overflow.load(std::memory_order_relaxed);
+  snap.accounting.total = snap.accounting.lane_overflow;
+  for (std::size_t r = 0; r < count; ++r) {
+    const Lane* lane = impl_->lanes[r].load(std::memory_order_acquire);
+    if (lane == nullptr) continue;  // registration in flight
+    LaneSnapshot out;
+    out.lane = r;
+    const std::uint64_t head = lane->head.load(std::memory_order_acquire);
+    const std::uint64_t begin = head > kRingCapacity ? head - kRingCapacity : 0;
+    snap.accounting.total += head;
+    snap.accounting.overwritten += begin;
+    snap.accounting.truncated += lane->truncated.load(std::memory_order_relaxed);
+    out.samples.reserve(static_cast<std::size_t>(head - begin));
+    for (std::uint64_t i = begin; i < head; ++i) {
+      Sample sample;
+      if (read_sample(lane->slots[i % kRingCapacity], i, sample)) {
+        out.samples.push_back(std::move(sample));
+      } else {
+        ++snap.accounting.torn;
+      }
+    }
+    snap.accounting.kept += out.samples.size();
+    snap.lanes.push_back(std::move(out));
+  }
+  return snap;
+}
+
+Profiler::Accounting Profiler::accounting() const { return snapshot().accounting; }
+
+void Profiler::clear() {
+  const std::size_t count =
+      std::min(impl_->lane_count.load(std::memory_order_acquire), kMaxLanes);
+  for (std::size_t r = 0; r < count; ++r) {
+    Lane* lane = impl_->lanes[r].load(std::memory_order_acquire);
+    if (lane == nullptr) continue;
+    lane->head.store(0, std::memory_order_release);
+    lane->truncated.store(0, std::memory_order_relaxed);
+    for (SampleSlot& slot : lane->slots) slot.seq.store(0, std::memory_order_release);
+  }
+  impl_->lane_overflow.store(0, std::memory_order_relaxed);
+}
+
+std::string Profiler::symbolize(std::uintptr_t pc) {
+#if defined(__linux__)
+  Dl_info info{};
+  if (::dladdr(reinterpret_cast<void*>(pc), &info) != 0 && info.dli_sname != nullptr) {
+    int status = -1;
+    char* demangled = abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    std::string name = (status == 0 && demangled != nullptr) ? demangled : info.dli_sname;
+    std::free(demangled);
+    return name;
+  }
+  if (info.dli_fname != nullptr) {
+    const char* base = std::strrchr(info.dli_fname, '/');
+    std::string out = base != nullptr ? base + 1 : info.dli_fname;
+    out += "+0x";
+    append_hex_str(out, pc - reinterpret_cast<std::uintptr_t>(info.dli_fbase));
+    return out;
+  }
+#endif
+  std::string out = "0x";
+  append_hex_str(out, pc);
+  return out;
+}
+
+std::vector<Profiler::CollapsedStack> Profiler::collapsed() const {
+  const Snapshot snap = snapshot();
+  // Symbolization cache: hot profiles repeat a handful of PCs thousands of
+  // times; dladdr + demangling per occurrence would dominate dump time.
+  std::unordered_map<std::uintptr_t, std::string> names;
+  auto name_of = [&](std::uintptr_t pc) -> const std::string& {
+    auto it = names.find(pc);
+    if (it == names.end()) it = names.emplace(pc, symbolize(pc)).first;
+    return it->second;
+  };
+  std::map<std::string, std::uint64_t> folded;
+  std::string key;
+  for (const LaneSnapshot& lane : snap.lanes) {
+    for (const Sample& sample : lane.samples) {
+      key.clear();
+      // Samples store frames leaf-first; folded format is root-first.
+      // Caller frames hold *return* addresses — symbolize pc-1 so a call
+      // that ends a function doesn't get attributed to the next symbol.
+      for (std::size_t i = sample.frames.size(); i-- > 0;) {
+        const std::uintptr_t pc = i == 0 ? sample.frames[i] : sample.frames[i] - 1;
+        if (!key.empty()) key += ';';
+        key += name_of(pc);
+      }
+      if (!key.empty()) ++folded[key];
+    }
+  }
+  std::vector<CollapsedStack> out;
+  out.reserve(folded.size());
+  for (auto& [stack, n] : folded) out.push_back({stack, n});
+  std::sort(out.begin(), out.end(), [](const CollapsedStack& a, const CollapsedStack& b) {
+    return a.count != b.count ? a.count > b.count : a.stack < b.stack;
+  });
+  return out;
+}
+
+bool Profiler::write_collapsed(const std::filesystem::path& path) const {
+  std::string body;
+  for (const CollapsedStack& stack : collapsed()) {
+    body += stack.stack;
+    body += ' ';
+    body += std::to_string(stack.count);
+    body += '\n';
+  }
+  write_file_atomic(path, body);  // throws on failure
+  return true;
+}
+
+bool Profiler::parse_collapsed_line(std::string_view line, CollapsedStack& out) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  const std::size_t space = line.rfind(' ');
+  if (space == std::string_view::npos || space == 0 || space + 1 >= line.size()) {
+    return false;
+  }
+  const std::string_view count_str = line.substr(space + 1);
+  std::uint64_t count = 0;
+  for (char c : count_str) {
+    if (c < '0' || c > '9') return false;
+    count = count * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  const std::string_view stack = line.substr(0, space);
+  // Every ';'-separated frame must be nonempty.
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t sep = stack.find(';', begin);
+    const std::string_view frame =
+        stack.substr(begin, sep == std::string_view::npos ? sep : sep - begin);
+    if (frame.empty()) return false;
+    if (sep == std::string_view::npos) break;
+    begin = sep + 1;
+  }
+  out.stack = std::string(stack);
+  out.count = count;
+  return true;
+}
+
+bool Profiler::write_chrome_trace(const std::filesystem::path& path) const {
+  const Snapshot snap = snapshot();
+  std::unordered_map<std::uintptr_t, std::string> names;
+  auto name_of = [&](std::uintptr_t pc) -> const std::string& {
+    auto it = names.find(pc);
+    if (it == names.end()) it = names.emplace(pc, symbolize(pc)).first;
+    return it->second;
+  };
+  auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  };
+
+  // stackFrames is a trie keyed by (parent, name); each sample references
+  // its leaf frame id.
+  std::map<std::pair<std::uint64_t, std::string>, std::uint64_t> frame_ids;
+  std::string frames_json;
+  std::string samples_json;
+  std::string meta_json;
+  bool first_sample = true;
+  for (const LaneSnapshot& lane : snap.lanes) {
+    if (!meta_json.empty()) meta_json += ',';
+    meta_json += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(lane.lane + 1) +
+                 ",\"name\":\"thread_name\",\"args\":{\"name\":\"profiler-lane-" +
+                 std::to_string(lane.lane) + "\"}}";
+    for (const Sample& sample : lane.samples) {
+      std::uint64_t parent = 0;  // 0 = root sentinel (no "parent" key emitted)
+      for (std::size_t i = sample.frames.size(); i-- > 0;) {
+        const std::uintptr_t pc = i == 0 ? sample.frames[i] : sample.frames[i] - 1;
+        const std::string& name = name_of(pc);
+        auto [it, inserted] =
+            frame_ids.emplace(std::make_pair(parent, name), frame_ids.size() + 1);
+        if (inserted) {
+          if (!frames_json.empty()) frames_json += ',';
+          frames_json += "\"" + std::to_string(it->second) + "\":{\"name\":\"" +
+                         escape(name) + "\"";
+          if (parent != 0) frames_json += ",\"parent\":\"" + std::to_string(parent) + "\"";
+          frames_json += "}";
+        }
+        parent = it->second;
+      }
+      if (parent == 0) continue;
+      if (!first_sample) samples_json += ',';
+      first_sample = false;
+      samples_json += "{\"cpu\":0,\"tid\":" + std::to_string(lane.lane + 1) +
+                      ",\"ts\":" + std::to_string(sample.mono_ns / 1000.0) +
+                      ",\"name\":\"cpu_profile\",\"sf\":" + std::to_string(parent) +
+                      ",\"weight\":1}";
+    }
+  }
+  const std::string body = "{\"traceEvents\":[" + meta_json + "],\"stackFrames\":{" +
+                           frames_json + "},\"samples\":[" + samples_json + "]}\n";
+  write_file_atomic(path, body);  // throws on failure
+  return true;
+}
+
+}  // namespace vehigan::telemetry

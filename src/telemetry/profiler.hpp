@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vehigan::telemetry {
+
+/// Always-available in-process sampling CPU profiler.
+///
+/// Each registered thread gets a POSIX per-thread CPU-time timer
+/// (timer_create(CLOCK_THREAD_CPUTIME_ID) delivering SIGPROF to that thread
+/// only), so sampling cost is proportional to CPU actually burned — idle
+/// threads cost nothing. The signal handler walks the frame-pointer chain
+/// from the interrupted context (the build compiles with
+/// -fno-omit-frame-pointer for exactly this) and appends the raw PC stack
+/// into the calling thread's fixed seqlock ring — the same single-writer
+/// slot protocol as the flight recorder, so dump()/snapshot() readers never
+/// stop the handler and torn slots are skipped, never misread.
+///
+/// Signal-safety contract (DESIGN.md Sec. 7): the handler touches only its
+/// own thread's ring (thread_local pointer, plain and atomic stores), reads
+/// CLOCK_MONOTONIC, saves/restores errno, and never allocates, locks, or
+/// symbolizes. Everything expensive — dladdr symbolization, demangling,
+/// aggregation into collapsed stacks — happens offline at dump time on a
+/// normal thread.
+///
+/// Accounting is exact: every SIGPROF tick that lands in a ring advances
+/// that lane's head, so dropped-by-overwrite = head - readable; samples shed
+/// because the lane table was full, and slots torn mid-read, are counted
+/// separately. total == kept + overwritten + torn + lane_overflow always
+/// holds for a quiescent profiler.
+///
+/// Threads opt in via attach_current_thread() (shard workers, the report
+/// collector, and thread-pool workers do; start() attaches the caller).
+/// Lanes are recycled through a free list when threads exit, so services
+/// that churn worker threads (bench sweeps) don't exhaust the fixed table.
+class Profiler {
+ public:
+  static constexpr std::size_t kMaxFrames = 32;    ///< frames kept per sample
+  static constexpr std::size_t kRingCapacity = 4096;  ///< samples per lane
+  static constexpr std::size_t kMaxLanes = 64;     ///< concurrent profiled threads
+  static constexpr std::uint32_t kDefaultHz = 99;  ///< default sampling rate
+
+  static Profiler& global();
+
+  /// Registers the calling thread for sampling (idempotent per thread).
+  /// Captures the thread's stack bounds — pthread introspection is not
+  /// signal-safe, so it must happen here, not in the handler — and arms a
+  /// per-thread timer if the profiler is running. Safe to call
+  /// unconditionally from worker loops; costs one thread_local check when
+  /// already attached.
+  static void attach_current_thread();
+
+  /// Starts sampling every attached thread (and attaches the caller) at
+  /// `hz`. Returns false (and changes nothing) if already running, hz == 0,
+  /// or the platform has no per-thread CPU timers.
+  bool start(std::uint32_t hz = kDefaultHz);
+
+  /// Disarms and deletes every timer. Samples already in the rings stay
+  /// readable. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const;
+  [[nodiscard]] std::uint32_t hz() const;
+
+  /// One decoded sample: program counters leaf-first (frames[0] is the
+  /// interrupted PC, frames.back() the outermost caller).
+  struct Sample {
+    std::uint64_t mono_ns = 0;  ///< steady-clock ns since profiler epoch
+    std::vector<std::uintptr_t> frames;
+  };
+
+  struct LaneSnapshot {
+    std::size_t lane = 0;
+    std::vector<Sample> samples;  ///< oldest first
+  };
+
+  /// Exact sample accounting; see class comment. Totals are consistent for
+  /// a stopped profiler (concurrent sampling can advance heads mid-read).
+  struct Accounting {
+    std::uint64_t total = 0;          ///< ticks that reached a ring + lane overflow
+    std::uint64_t kept = 0;           ///< samples readable in the rings
+    std::uint64_t overwritten = 0;    ///< lost to ring wraparound
+    std::uint64_t torn = 0;           ///< skipped mid-write during this read
+    std::uint64_t lane_overflow = 0;  ///< ticks shed: > kMaxLanes threads
+    std::uint64_t truncated = 0;      ///< kept samples cut at kMaxFrames
+  };
+
+  struct Snapshot {
+    std::vector<LaneSnapshot> lanes;
+    Accounting accounting;
+  };
+
+  /// Consistent view of every lane. Allocates — not for signal handlers.
+  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] Accounting accounting() const;
+
+  /// Best-effort symbol for a PC: demangled function name via dladdr, else
+  /// "module+0xoff", else "0xaddr". Allocates; offline use only.
+  [[nodiscard]] static std::string symbolize(std::uintptr_t pc);
+
+  /// One aggregated stack in flamegraph "folded" form: frames root-first
+  /// joined by ';' (demangled names may contain spaces — flamegraph tools
+  /// split the count off the *last* space, and so does our parser).
+  struct CollapsedStack {
+    std::string stack;
+    std::uint64_t count = 0;
+  };
+
+  /// Aggregates + symbolizes every readable sample, sorted by count
+  /// descending. Caller frames are symbolized at pc-1 (the return address
+  /// points past the call site).
+  [[nodiscard]] std::vector<CollapsedStack> collapsed() const;
+
+  /// Writes collapsed stacks ("stack count\n" per line, nothing else — the
+  /// file feeds flamegraph.pl / speedscope directly). Atomic via tmp+rename.
+  bool write_collapsed(const std::filesystem::path& path) const;
+
+  /// Writes a Chrome trace with "stackFrames" + "samples" (the sampling
+  /// profiler format Perfetto and chrome://tracing render as a CPU profile
+  /// track per lane).
+  bool write_chrome_trace(const std::filesystem::path& path) const;
+
+  /// Parses one collapsed-stack line into (stack, count); false if the line
+  /// is not well-formed. The inverse of write_collapsed's formatting, used
+  /// by tests and by offline tooling that re-aggregates sidecars.
+  static bool parse_collapsed_line(std::string_view line, CollapsedStack& out);
+
+  /// Test-only seam: records a fabricated sample (frames leaf-first)
+  /// through the same ring path as the signal handler, attaching the
+  /// calling thread if needed. Lets tests exercise wraparound accounting
+  /// without burning minutes of CPU.
+  void record_synthetic(std::span<const std::uintptr_t> frames);
+
+  /// Drops every recorded sample and zeroes the accounting (lanes stay
+  /// attached). Callers must ensure sampling is stopped. Test isolation.
+  void clear();
+
+  /// Public only so the file-local signal handler and timer helpers in
+  /// profiler.cpp can name it; not part of the API.
+  struct Impl;
+
+ private:
+  Profiler();
+  Impl* impl_;  ///< never freed: the handler may fire during shutdown
+};
+
+}  // namespace vehigan::telemetry

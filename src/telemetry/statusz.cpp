@@ -1,0 +1,334 @@
+#include "telemetry/statusz.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+
+#include "telemetry/exporter.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#endif
+
+namespace vehigan::telemetry {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ crash cache ---
+// Double-buffered pre-rendered text snapshot: refresh writes the inactive
+// buffer then publishes its index, so the crash handler always reads a
+// complete rendering. Writers are serialized by the statusz mutex; the
+// handler only loads + write()s.
+
+constexpr std::size_t kCrashCacheCap = 64 * 1024;
+char g_cache[2][kCrashCacheCap];
+std::atomic<std::uint32_t> g_cache_len[2] = {};
+std::atomic<int> g_cache_which{-1};
+char g_statusz_crash_path[768] = {0};
+
+}  // namespace
+
+// ---------------------------------------------------------- StatuszWriter ---
+
+void StatuszWriter::kv(std::string_view key, std::string_view value) {
+  text_.append(key).append(": ").append(value).append("\n");
+  if (!json_members_.empty()) json_members_ += ',';
+  json_members_ += "\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+}
+
+void StatuszWriter::kv(std::string_view key, double value) {
+  const std::string formatted = format_double(value);
+  text_.append(key).append(": ").append(formatted).append("\n");
+  if (!json_members_.empty()) json_members_ += ',';
+  // format_double emits valid JSON numbers except for non-finite values.
+  const bool finite = formatted.find_first_not_of("0123456789+-.eE") == std::string::npos;
+  json_members_ += "\"" + json_escape(key) + "\":";
+  json_members_ += finite ? formatted : "\"" + formatted + "\"";
+}
+
+void StatuszWriter::kv(std::string_view key, std::uint64_t value) {
+  const std::string formatted = std::to_string(value);
+  text_.append(key).append(": ").append(formatted).append("\n");
+  if (!json_members_.empty()) json_members_ += ',';
+  json_members_ += "\"" + json_escape(key) + "\":" + formatted;
+}
+
+void StatuszWriter::kv(std::string_view key, bool value) {
+  const char* formatted = value ? "true" : "false";
+  text_.append(key).append(": ").append(formatted).append("\n");
+  if (!json_members_.empty()) json_members_ += ',';
+  json_members_ += "\"" + json_escape(key) + "\":" + formatted;
+}
+
+void StatuszWriter::line(std::string_view text) {
+  text_.append(text).append("\n");
+  lines_.emplace_back(text);
+}
+
+// ------------------------------------------------------------------ Statusz ---
+
+struct Statusz::Impl {
+  struct Section {
+    std::uint64_t id = 0;
+    std::string name;
+    SectionFn fn;
+  };
+  /// One mutex serializes registration, unregistration, and rendering, so
+  /// unregister_section returning guarantees the callback is quiescent.
+  std::mutex mutex;
+  std::vector<Section> sections;
+  std::uint64_t next_id = 1;
+  std::string dump_path;
+
+  /// Renders into whichever of `text`/`json` is non-null. Caller holds mutex.
+  void render(std::string* text, std::string* json);
+};
+
+Statusz::Statusz() : impl_(new Impl) {
+  // Built-in sections; subsystems above telemetry register their own.
+  register_section("profiler", [](StatuszWriter& w) {
+    Profiler& profiler = Profiler::global();
+    const Profiler::Accounting acc = profiler.accounting();
+    w.kv("running", profiler.running());
+    w.kv("hz", static_cast<std::uint64_t>(profiler.hz()));
+    w.kv("samples_total", acc.total);
+    w.kv("samples_kept", acc.kept);
+    w.kv("dropped_overwritten", acc.overwritten);
+    w.kv("dropped_torn", acc.torn);
+    w.kv("dropped_lane_overflow", acc.lane_overflow);
+    w.kv("truncated_stacks", acc.truncated);
+    const auto stacks = profiler.collapsed();
+    const std::size_t top = std::min<std::size_t>(stacks.size(), 5);
+    for (std::size_t i = 0; i < top; ++i) {
+      std::string stack = stacks[i].stack;
+      if (stack.size() > 240) stack = "..." + stack.substr(stack.size() - 237);
+      w.line("hot[" + std::to_string(i) + "] " + std::to_string(stacks[i].count) + "x " +
+             stack);
+    }
+  });
+  register_section("flight_recorder", [](StatuszWriter& w) {
+    const FlightRecorder& recorder = FlightRecorder::global();
+    const auto rings = recorder.snapshot();
+    std::size_t events = 0;
+    for (const auto& ring : rings) events += ring.size();
+    w.kv("enabled", recorder.enabled());
+    w.kv("rings", static_cast<std::uint64_t>(rings.size()));
+    w.kv("events_readable", static_cast<std::uint64_t>(events));
+    w.kv("dropped_threads_events", recorder.dropped_threads_events());
+    w.kv("dump_path", recorder.dump_path());
+  });
+  register_section("metrics", [](StatuszWriter& w) {
+    const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+    w.kv("enabled", telemetry::enabled());
+    w.kv("counters", static_cast<std::uint64_t>(snap.counters.size()));
+    w.kv("gauges", static_cast<std::uint64_t>(snap.gauges.size()));
+    w.kv("histograms", static_cast<std::uint64_t>(snap.histograms.size()));
+    for (const auto& [name, value] : snap.counters) {
+      // The ops-triage counters inline; everything else stays in the
+      // Prometheus/JSON exporters.
+      if (name.rfind("vehigan_serve_", 0) == 0 ||
+          name == "vehigan_mbds_score_drift_alarms_total") {
+        w.kv(name, value);
+      }
+    }
+  });
+}
+
+Statusz& Statusz::global() {
+  static Statusz* statusz = new Statusz();  // leaked: see class comment
+  return *statusz;
+}
+
+std::uint64_t Statusz::register_section(std::string name, SectionFn fn) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const std::uint64_t id = impl_->next_id++;
+  impl_->sections.push_back({id, std::move(name), std::move(fn)});
+  return id;
+}
+
+void Statusz::unregister_section(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& sections = impl_->sections;
+  sections.erase(std::remove_if(sections.begin(), sections.end(),
+                                [id](const Impl::Section& s) { return s.id == id; }),
+                 sections.end());
+}
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Stores rendered text into the inactive crash buffer and publishes it.
+/// Caller holds the statusz mutex (serializes writers).
+void cache_locked(const std::string& text) {
+  const int current = g_cache_which.load(std::memory_order_relaxed);
+  const int next = current == 0 ? 1 : 0;
+  const std::size_t n = std::min(text.size(), kCrashCacheCap);
+  std::memcpy(g_cache[next], text.data(), n);
+  g_cache_len[next].store(static_cast<std::uint32_t>(n), std::memory_order_release);
+  g_cache_which.store(next, std::memory_order_release);
+}
+
+}  // namespace
+
+void Statusz::Impl::render(std::string* text, std::string* json) {
+  const std::uint64_t now = steady_now_ns();
+  if (text != nullptr) {
+    *text = "# vehigan statusz\nmono_ns: " + std::to_string(now) + "\n";
+  }
+  if (json != nullptr) {
+    *json = "{\"mono_ns\":" + std::to_string(now) + ",\"sections\":{";
+  }
+  bool first = true;
+  for (const auto& section : sections) {
+    StatuszWriter writer;
+    try {
+      section.fn(writer);
+    } catch (const std::exception& e) {
+      writer.line(std::string("section error: ") + e.what());
+    } catch (...) {
+      writer.line("section error: unknown");
+    }
+    if (text != nullptr) {
+      text->append("\n[").append(section.name).append("]\n").append(writer.text_);
+    }
+    if (json != nullptr) {
+      if (!first) *json += ',';
+      *json += "\"" + json_escape(section.name) + "\":{" + writer.json_members_;
+      if (!writer.lines_.empty()) {
+        if (!writer.json_members_.empty()) *json += ',';
+        *json += "\"lines\":[";
+        for (std::size_t i = 0; i < writer.lines_.size(); ++i) {
+          if (i > 0) *json += ',';
+          *json += "\"" + json_escape(writer.lines_[i]) + "\"";
+        }
+        *json += "]";
+      }
+      *json += "}";
+    }
+    first = false;
+  }
+  if (json != nullptr) *json += "}}\n";
+}
+
+std::string Statusz::render_text() {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::string text;
+  impl_->render(&text, nullptr);
+  return text;
+}
+
+std::string Statusz::render_json() {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::string json;
+  impl_->render(nullptr, &json);
+  return json;
+}
+
+bool Statusz::write(const std::filesystem::path& path) {
+  std::string text;
+  std::string json;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->render(&text, &json);
+    cache_locked(text);
+  }
+  try {
+    write_file_atomic(path, text);
+    std::filesystem::path json_path = path;
+    json_path += ".json";
+    write_file_atomic(json_path, json);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+void Statusz::refresh_crash_cache() {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::string text;
+  impl_->render(&text, nullptr);
+  cache_locked(text);
+}
+
+void Statusz::set_dump_path(std::string path) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->dump_path = std::move(path);
+  const std::size_t n =
+      std::min(impl_->dump_path.size(), sizeof(g_statusz_crash_path) - 1);
+  std::memcpy(g_statusz_crash_path, impl_->dump_path.data(), n);
+  g_statusz_crash_path[n] = '\0';
+}
+
+std::string Statusz::dump_path() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->dump_path;
+}
+
+bool Statusz::dump_if_configured() {
+  const std::string path = dump_path();
+  if (path.empty()) return false;
+  return write(path);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+bool Statusz::crash_dump_cached() {
+  if (g_statusz_crash_path[0] == '\0') return false;
+  const int which = g_cache_which.load(std::memory_order_acquire);
+  if (which < 0) return false;
+  const std::uint32_t len = g_cache_len[which].load(std::memory_order_acquire);
+
+  char tmp_path[1024];
+  const std::size_t path_len = ::strlen(g_statusz_crash_path);
+  if (path_len + 5 >= sizeof(tmp_path)) return false;
+  std::memcpy(tmp_path, g_statusz_crash_path, path_len);
+  std::memcpy(tmp_path + path_len, ".tmp", 5);
+
+  const int fd = ::open(tmp_path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  static const char kHeader[] = "# dumped from crash handler (cached snapshot)\n";
+  bool ok = ::write(fd, kHeader, sizeof(kHeader) - 1) ==
+            static_cast<ssize_t>(sizeof(kHeader) - 1);
+  ok = ok && ::write(fd, g_cache[which], len) == static_cast<ssize_t>(len);
+  ok = (::close(fd) == 0) && ok;
+  if (ok) ok = ::rename(tmp_path, g_statusz_crash_path) == 0;
+  return ok;
+}
+
+#else
+
+bool Statusz::crash_dump_cached() { return false; }
+
+#endif
+
+}  // namespace vehigan::telemetry

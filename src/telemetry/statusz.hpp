@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vehigan::telemetry {
+
+/// Sink handed to each statusz section provider. One kv()/line() call adds
+/// the entry to *both* renderings: the human text dump ("key: value" lines)
+/// and the JSON object for that section (lines land in a "lines" array, so
+/// the JSON stays mechanically valid no matter what a section emits).
+class StatuszWriter {
+ public:
+  void kv(std::string_view key, std::string_view value);
+  void kv(std::string_view key, const char* value) { kv(key, std::string_view(value)); }
+  void kv(std::string_view key, double value);
+  void kv(std::string_view key, std::uint64_t value);
+  void kv(std::string_view key, bool value);
+  /// Free-form row (per-shard tables, hot stacks, exemplars).
+  void line(std::string_view text);
+
+ private:
+  friend class Statusz;
+  std::string text_;
+  std::string json_members_;
+  std::vector<std::string> lines_;
+};
+
+/// One-stop ops snapshot: a single human-readable text (and machine JSON)
+/// dump of everything an operator asks first — shards, queue depths, batch
+/// limits, drop attribution, drift alarms, utilization, profiler accounting
+/// and top-K hot stacks. Subsystems *register sections* (DetectionService
+/// registers "serve", the latency anatomy registers "anatomy") so the
+/// telemetry layer never depends on the layers it reports on; built-in
+/// sections cover the profiler, the flight recorder, and the metrics
+/// registry.
+///
+/// Dump points: periodically from rsu_monitor / city_scale_rsu, on
+/// DetectionService::drain()/stop() via dump_if_configured(), and — because
+/// rendering allocates and is *not* async-signal-safe — from the crash
+/// handler via a pre-rendered cache: every write()/refresh_crash_cache()
+/// stores the rendered text in a fixed double-buffered static buffer, and
+/// crash_dump_cached() (called by the flight-recorder crash handler, next
+/// to the flight-recorder post-mortem) writes that last snapshot with
+/// open/write/rename only.
+class Statusz {
+ public:
+  using SectionFn = std::function<void(StatuszWriter&)>;
+
+  static Statusz& global();
+
+  /// Registers a named section; returns a handle for unregister_section.
+  /// The callback runs under the statusz mutex on whatever thread renders —
+  /// it must be thread-safe and must not call back into Statusz.
+  std::uint64_t register_section(std::string name, SectionFn fn);
+
+  /// Removes a section. Blocks until no in-flight render can still call the
+  /// callback, so callers may free captured state immediately after.
+  void unregister_section(std::uint64_t id);
+
+  [[nodiscard]] std::string render_text();
+  [[nodiscard]] std::string render_json();
+
+  /// Renders once, writes text to `path` and JSON to `path`.json (atomic
+  /// tmp+rename), and refreshes the crash cache with the same snapshot.
+  bool write(const std::filesystem::path& path);
+
+  /// Configures the destination used by dump_if_configured() and arms the
+  /// crash-handler path (a fixed char buffer the handler can read).
+  void set_dump_path(std::string path);
+  [[nodiscard]] std::string dump_path() const;
+  bool dump_if_configured();
+
+  /// Re-renders into the fixed crash buffer without touching disk.
+  void refresh_crash_cache();
+
+  /// Async-signal-safe: writes the most recently cached snapshot to the
+  /// armed dump path (open/write/rename only, a "# dumped from crash
+  /// handler" header prepended). No-op (false) when no path is armed or
+  /// nothing has been cached. Called by the flight-recorder crash handler.
+  static bool crash_dump_cached();
+
+ private:
+  Statusz();
+  struct Impl;
+  Impl* impl_;  ///< never freed: the crash path may fire during shutdown
+};
+
+}  // namespace vehigan::telemetry

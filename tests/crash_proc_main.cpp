@@ -3,22 +3,30 @@
 // event pattern, then dies by the requested signal — the parent asserts the
 // post-mortem dump exists and contains the pattern.
 //
-// Usage: crash_proc <dump-path> <segv|abort|none>
-//   segv   raise(SIGSEGV) (signal path without UB, sanitizer-friendly)
-//   abort  std::abort()
-//   none   exit 0 without crashing (the dump must NOT appear)
+// Usage: crash_proc <dump-path> <segv|abort|none|segv-profiled>
+//   segv           raise(SIGSEGV) (signal path without UB, sanitizer-friendly)
+//   abort          std::abort()
+//   none           exit 0 without crashing (the dump must NOT appear)
+//   segv-profiled  start the sampling profiler at high Hz, arm a statusz
+//                  dump at <dump-path>.statusz, burn CPU so SIGPROF fires,
+//                  then raise(SIGSEGV) — the parent asserts both the
+//                  flight-recorder dump AND the cached statusz snapshot
+//                  survive a crash that races live profiling
 
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string>
 
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/statusz.hpp"
 #include "telemetry/trace_context.hpp"
 
 int main(int argc, char** argv) {
   if (argc != 3) {
-    std::cerr << "usage: crash_proc <dump-path> <segv|abort|none>\n";
+    std::cerr << "usage: crash_proc <dump-path> <segv|abort|none|segv-profiled>\n";
     return 2;
   }
   const char* dump_path = argv[1];
@@ -40,6 +48,24 @@ int main(int argc, char** argv) {
 
   if (std::strcmp(mode, "segv") == 0) {
     std::raise(SIGSEGV);  // delivers the real signal without UB under sanitizers
+  } else if (std::strcmp(mode, "segv-profiled") == 0) {
+    // Crash while SIGPROF is live: the crash handler blocks SIGPROF, dumps
+    // the flight recorder, and writes the *cached* statusz snapshot (the
+    // refresh below renders it; rendering itself is not signal-safe).
+    vehigan::telemetry::Statusz::global().set_dump_path(std::string(dump_path) +
+                                                        ".statusz");
+    if (!vehigan::telemetry::Profiler::global().start(1000)) {
+      std::cerr << "profiler failed to start\n";
+      return 2;
+    }
+    // Burn CPU until samples actually land, so the crash genuinely races
+    // live profiling instead of an idle timer.
+    volatile double sink = 0.0;
+    while (vehigan::telemetry::Profiler::global().accounting().total < 10) {
+      for (int i = 0; i < 1000000; ++i) sink = sink + static_cast<double>(i) * 1e-9;
+    }
+    vehigan::telemetry::Statusz::global().refresh_crash_cache();
+    std::raise(SIGSEGV);
   } else if (std::strcmp(mode, "abort") == 0) {
     std::abort();
   } else if (std::strcmp(mode, "none") == 0) {

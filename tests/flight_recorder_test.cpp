@@ -265,6 +265,30 @@ TEST_F(CrashDumpTest, SigsegvLeavesPostMortemDump) { expect_post_mortem("segv", 
 
 TEST_F(CrashDumpTest, SigabrtLeavesPostMortemDump) { expect_post_mortem("abort", SIGABRT); }
 
+// Satellite of the profiler PR: a SIGSEGV landing *while the sampling
+// profiler is firing SIGPROF* must still leave a parseable flight-recorder
+// post-mortem AND the cached statusz snapshot (the crash handler blocks
+// SIGPROF and writes the pre-rendered statusz with open/write/rename only).
+TEST_F(CrashDumpTest, SigsegvWhileProfilingLeavesBothDumps) {
+  const fs::path dump = root_ / "profiled.dump";
+  const fs::path statusz = root_ / "profiled.dump.statusz";
+  const pid_t pid = spawn({helper_path().string(), dump.string(), "segv-profiled"});
+  ASSERT_GT(pid, 0);
+  EXPECT_EQ(wait_exit_code(pid), -SIGSEGV)
+      << "helper must die by the original signal after dumping";
+  ASSERT_TRUE(fs::exists(dump)) << "no flight-recorder post-mortem while profiling";
+  const std::string text = slurp(dump);
+  EXPECT_NE(text.find("# vehigan flight recorder dump"), std::string::npos);
+  EXPECT_NE(text.find("station=9000"), std::string::npos);
+  EXPECT_NE(text.find("kind=enqueue"), std::string::npos);
+  ASSERT_TRUE(fs::exists(statusz)) << "no statusz crash dump while profiling";
+  const std::string snap = slurp(statusz);
+  EXPECT_NE(snap.find("# dumped from crash handler"), std::string::npos);
+  EXPECT_NE(snap.find("# vehigan statusz"), std::string::npos);
+  EXPECT_NE(snap.find("[profiler]"), std::string::npos);
+  EXPECT_NE(snap.find("running: true"), std::string::npos);
+}
+
 TEST_F(CrashDumpTest, CleanExitLeavesNoDump) {
   const fs::path dump = root_ / "none.dump";
   const pid_t pid = spawn({helper_path().string(), dump.string(), "none"});

@@ -1,0 +1,214 @@
+// Latency-anatomy tests: the exemplar reservoir, and the headline
+// reconciliation bar from the issue — drive the real serving stack with 4
+// producers and assert the stage histograms add back up to the end-to-end
+// latency (sum(e2e) == sum(queue_wait) + sum(compute) to float tolerance,
+// counts exactly equal to messages scored, nested stages contained).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "features/scaler.hpp"
+#include "gan/architecture.hpp"
+#include "mbds/online.hpp"
+#include "nn/layers.hpp"
+#include "serve/latency_anatomy.hpp"
+#include "serve/service.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace vehigan::serve {
+namespace {
+
+TEST(LatencyAnatomyClock, NowNsIsMonotonicAndNeverZero) {
+  const std::uint64_t a = LatencyAnatomy::now_ns();
+  const std::uint64_t b = LatencyAnatomy::now_ns();
+  EXPECT_GT(a, 0U) << "0 is reserved for 'unstamped'";
+  EXPECT_GE(b, a);
+}
+
+TEST(LatencyAnatomyExemplars, ReservoirKeepsTheWorstKWorstFirst) {
+  LatencyAnatomy& anatomy = LatencyAnatomy::global();
+  anatomy.reset_exemplars();
+
+  // 20 candidates, seconds = 1..20: only the top kExemplars survive.
+  for (std::uint32_t i = 1; i <= 20; ++i) {
+    anatomy.offer_exemplar(static_cast<double>(i), /*trace_id=*/100 + i,
+                           /*station_id=*/i, /*shard=*/i % 4);
+  }
+  const auto worst = anatomy.exemplars();
+  ASSERT_EQ(worst.size(), LatencyAnatomy::kExemplars);
+  for (std::size_t i = 0; i < worst.size(); ++i) {
+    EXPECT_DOUBLE_EQ(worst[i].seconds, static_cast<double>(20 - i)) << "worst-first";
+    EXPECT_EQ(worst[i].trace_id, 100U + (20 - i)) << "identity rides along";
+  }
+
+  // Below-floor candidates are rejected without displacing anything.
+  anatomy.offer_exemplar(0.5, 999, 999, 0);
+  EXPECT_EQ(anatomy.exemplars().back().seconds, 13.0);
+
+  anatomy.reset_exemplars();
+  EXPECT_TRUE(anatomy.exemplars().empty());
+  // After a reset the floor must drop back so new (smaller) latencies enter.
+  anatomy.offer_exemplar(0.25, 7, 7, 0);
+  ASSERT_EQ(anatomy.exemplars().size(), 1U);
+  EXPECT_DOUBLE_EQ(anatomy.exemplars()[0].seconds, 0.25);
+}
+
+// ------------------------------------------------ serving reconciliation ---
+
+features::MinMaxScaler identity_scaler(std::size_t width = 12) {
+  features::Series s;
+  s.width = width;
+  for (std::size_t c = 0; c < width; ++c) s.values.push_back(0.0F);
+  for (std::size_t c = 0; c < width; ++c) s.values.push_back(1.0F);
+  features::MinMaxScaler scaler;
+  scaler.fit({s});
+  return scaler;
+}
+
+std::shared_ptr<mbds::VehiGan> make_ensemble(std::uint64_t seed) {
+  std::vector<std::shared_ptr<mbds::WganDetector>> detectors;
+  for (std::size_t i = 0; i < 2; ++i) {
+    gan::TrainedWgan model;
+    model.config.id = static_cast<int>(i);
+    model.config.window = 10;
+    model.config.width = 12;
+    model.discriminator.add<nn::Flatten>();
+    auto& dense = model.discriminator.add<nn::Dense>(120, 1);
+    dense.weights().assign(120, -(1.0F + 0.5F * static_cast<float>(i)));
+    dense.bias() = {0.0F};
+    auto det = std::make_shared<mbds::WganDetector>(std::move(model));
+    det->set_threshold(-1e9);  // flag every complete window
+    detectors.push_back(std::move(det));
+  }
+  auto ensemble = std::make_shared<mbds::VehiGan>(detectors, /*k=*/1, seed);
+  ensemble->set_subset_draw(mbds::SubsetDraw::kContentKeyed);
+  return ensemble;
+}
+
+struct StageDelta {
+  telemetry::Histogram& hist;
+  std::uint64_t count0;
+  double sum0;
+
+  explicit StageDelta(const char* name)
+      : hist(telemetry::MetricsRegistry::global().histogram(name)),
+        count0(hist.count()),
+        sum0(hist.sum()) {}
+
+  [[nodiscard]] std::uint64_t count() const { return hist.count() - count0; }
+  [[nodiscard]] double sum() const { return hist.sum() - sum0; }
+};
+
+TEST(LatencyAnatomyReconciliation, StageHistogramsAddUpToEndToEndLatency) {
+  telemetry::set_enabled(true);  // stamps are gated on the telemetry switch
+  LatencyAnatomy& anatomy = LatencyAnatomy::global();
+  anatomy.reset_exemplars();
+
+  StageDelta queue_wait("vehigan_serve_queue_wait_seconds");
+  StageDelta assembly("vehigan_serve_drain_assembly_seconds");
+  StageDelta compute("vehigan_serve_compute_seconds");
+  StageDelta cycle("vehigan_serve_cycle_seconds");
+  StageDelta e2e("vehigan_serve_e2e_seconds");
+  StageDelta merge("vehigan_serve_report_merge_seconds");
+  StageDelta window_build("vehigan_mbds_window_build_seconds");
+  StageDelta score("vehigan_mbds_score_seconds");
+  StageDelta decide("vehigan_mbds_decide_seconds");
+
+  ServiceConfig config;
+  config.num_shards = 2;
+  config.queue_capacity = 128;
+  config.policy = OverloadPolicy::kBlock;  // lose nothing: every message is stamped
+  config.station_id = 42;
+  config.report_cooldown_s = 0.25;
+  config.gap_reset_s = 1e9;
+  config.evict_after_s = 0.0;
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kSendersPerProducer = 4;
+  constexpr std::size_t kTicks = 50;
+  constexpr std::size_t kMessages = kProducers * kSendersPerProducer * kTicks;
+  std::atomic<std::size_t> reports{0};
+  ServiceStats stats;
+  {
+    DetectionService service(
+        config, [&](std::size_t) { return make_ensemble(7); }, identity_scaler());
+    service.set_report_sink([&](const mbds::MisbehaviorReport&) { ++reports; });
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (std::size_t t = 0; t < kTicks; ++t) {
+          for (std::size_t v = 0; v < kSendersPerProducer; ++v) {
+            sim::Bsm m;
+            m.vehicle_id = static_cast<std::uint32_t>(1 + p * kSendersPerProducer + v);
+            m.time = 0.1 * static_cast<double>(t);
+            m.speed = 10.0;
+            m.x = m.speed * m.time;
+            m.y = static_cast<double>(m.vehicle_id);
+            ASSERT_TRUE(service.submit(m));
+          }
+        }
+      });
+    }
+    for (auto& t : producers) t.join();
+    service.drain();
+    stats = service.stats();
+    service.stop();
+  }
+  ASSERT_EQ(stats.total.scored, kMessages);
+  ASSERT_GT(reports.load(), 0U);
+
+  // Counts: every scored message contributes exactly one observation to each
+  // per-message stage; every non-empty drain cycle contributes one to each
+  // per-cycle stage.
+  EXPECT_EQ(e2e.count(), kMessages);
+  EXPECT_EQ(queue_wait.count(), kMessages);
+  EXPECT_EQ(compute.count(), kMessages);
+  EXPECT_EQ(cycle.count(), stats.total.batches);
+  EXPECT_EQ(assembly.count(), stats.total.batches);
+
+  // The headline identity, from the shared stamps: e2e == queue_wait +
+  // compute per message, so the sums reconcile to float rounding.
+  ASSERT_GT(e2e.sum(), 0.0);
+  EXPECT_NEAR(e2e.sum(), queue_wait.sum() + compute.sum(), 1e-9 + 1e-9 * e2e.sum());
+
+  // Containment: batch assembly happens inside its cycle; a message's
+  // compute charge is its whole cycle, and every observed cycle carries at
+  // least one message.
+  EXPECT_LE(assembly.sum(), cycle.sum() * 1.0000001 + 1e-9);
+  EXPECT_LE(cycle.sum(), compute.sum() * 1.0000001 + 1e-9);
+  // The detector's inner stages (window build / score / decide) run on the
+  // shard thread inside the cycle, so their time is bounded by cycle time.
+  // Moderate tolerance: the inner spans come from their own clock reads.
+  EXPECT_LE(window_build.sum() + score.sum() + decide.sum(), cycle.sum() * 1.05 + 1e-3);
+
+  // Reports flowed through the collector, each merge delivery measured from
+  // its publish stamp.
+  EXPECT_GE(merge.count(), 1U);
+  EXPECT_GT(merge.sum(), 0.0);
+
+  // Exemplars: worst-K populated, worst-first, carrying chaseable identity.
+  const auto worst = anatomy.exemplars();
+  ASSERT_FALSE(worst.empty());
+  for (std::size_t i = 1; i < worst.size(); ++i) {
+    EXPECT_LE(worst[i].seconds, worst[i - 1].seconds);
+  }
+  EXPECT_GT(worst[0].seconds, 0.0);
+  EXPECT_NE(worst[0].trace_id, 0U) << "exemplars must carry a chaseable trace id";
+
+  // Utilization gauges: fractions are sane and the shards did real work.
+  ASSERT_FALSE(stats.shards.empty());
+  for (const ShardStats& shard : stats.shards) {
+    EXPECT_GE(shard.busy_fraction(), 0.0);
+    EXPECT_LE(shard.busy_fraction(), 1.0);
+  }
+  EXPECT_GT(stats.total.busy_ns, 0U);
+  EXPECT_GT(stats.total.busy_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace vehigan::serve

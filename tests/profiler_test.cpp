@@ -1,0 +1,336 @@
+// Sampling-profiler tests: start/stop lifecycle, exact wraparound
+// accounting through the synthetic seam, the collapsed-stack format and its
+// parser, real SIGPROF sampling with symbolized frames, and a high-Hz soak
+// over the concurrent serving stack (the test TSan/ASan CI runs to prove
+// the handler races nothing).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/json.hpp"
+#include "features/scaler.hpp"
+#include "gan/architecture.hpp"
+#include "mbds/online.hpp"
+#include "nn/layers.hpp"
+#include "serve/service.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
+
+namespace vehigan::telemetry {
+
+// Exported (the build links with -rdynamic) so dladdr can name it: the
+// real-sampling test asserts this exact frame shows up in the profile.
+// noinline + volatile sink keep the optimizer from folding the loop away.
+extern "C" __attribute__((noinline)) double vehigan_profiler_test_burn(long iters) {
+  volatile double sink = 0.0;
+  for (long i = 0; i < iters; ++i) sink = sink + static_cast<double>(i) * 1e-9;
+  return sink;
+}
+
+namespace {
+
+/// Every test leaves the global profiler stopped and empty.
+struct ProfilerTest : ::testing::Test {
+  void SetUp() override {
+    Profiler::global().stop();
+    Profiler::global().clear();
+  }
+  void TearDown() override {
+    Profiler::global().stop();
+    Profiler::global().clear();
+  }
+};
+
+std::filesystem::path temp_path(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() / "vehigan_profiler_test";
+  std::filesystem::create_directories(dir);
+  return dir / name;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ------------------------------------------------------------ lifecycle ---
+
+TEST_F(ProfilerTest, StartIsExclusiveAndStopIsIdempotent) {
+  auto& profiler = Profiler::global();
+  EXPECT_FALSE(profiler.running());
+  EXPECT_FALSE(profiler.start(0)) << "hz == 0 must be rejected";
+  EXPECT_FALSE(profiler.running());
+
+  ASSERT_TRUE(profiler.start(250));
+  EXPECT_TRUE(profiler.running());
+  EXPECT_EQ(profiler.hz(), 250U);
+  EXPECT_FALSE(profiler.start(99)) << "second start must fail, not re-arm";
+  EXPECT_EQ(profiler.hz(), 250U) << "failed start must not change the rate";
+
+  profiler.stop();
+  EXPECT_FALSE(profiler.running());
+  profiler.stop();  // idempotent
+  EXPECT_FALSE(profiler.running());
+
+  ASSERT_TRUE(profiler.start(99)) << "stop must allow a fresh start";
+  EXPECT_EQ(profiler.hz(), 99U);
+}
+
+// ----------------------------------------------------------- accounting ---
+
+TEST_F(ProfilerTest, SyntheticWraparoundAccountingIsExact) {
+  auto& profiler = Profiler::global();
+  const std::array<std::uintptr_t, 3> frames = {0x3000, 0x2000, 0x1000};
+
+  constexpr std::uint64_t kExtra = 100;
+  for (std::uint64_t i = 0; i < Profiler::kRingCapacity + kExtra; ++i) {
+    profiler.record_synthetic(frames);
+  }
+
+  const Profiler::Accounting acc = profiler.accounting();
+  EXPECT_EQ(acc.total, Profiler::kRingCapacity + kExtra);
+  EXPECT_EQ(acc.kept, Profiler::kRingCapacity);
+  EXPECT_EQ(acc.overwritten, kExtra) << "wraparound losses must be counted exactly";
+  EXPECT_EQ(acc.torn, 0U) << "no concurrent writer, so no torn slots";
+  EXPECT_EQ(acc.lane_overflow, 0U);
+  EXPECT_EQ(acc.total, acc.kept + acc.overwritten + acc.torn + acc.lane_overflow);
+
+  // The readable samples carry the frames verbatim, leaf-first.
+  const Profiler::Snapshot snap = profiler.snapshot();
+  ASSERT_FALSE(snap.lanes.empty());
+  std::size_t readable = 0;
+  for (const auto& lane : snap.lanes) readable += lane.samples.size();
+  EXPECT_EQ(readable, Profiler::kRingCapacity);
+  const Profiler::Sample& sample = snap.lanes.front().samples.front();
+  ASSERT_EQ(sample.frames.size(), 3U);
+  EXPECT_EQ(sample.frames[0], 0x3000U);
+  EXPECT_EQ(sample.frames[2], 0x1000U);
+}
+
+TEST_F(ProfilerTest, DeepStacksTruncateAtMaxFramesAndAreCounted) {
+  auto& profiler = Profiler::global();
+  std::vector<std::uintptr_t> deep(Profiler::kMaxFrames + 10);
+  for (std::size_t i = 0; i < deep.size(); ++i) deep[i] = 0x1000 + i;
+  profiler.record_synthetic(deep);
+
+  const Profiler::Accounting acc = profiler.accounting();
+  EXPECT_EQ(acc.kept, 1U);
+  EXPECT_EQ(acc.truncated, 1U);
+  const Profiler::Snapshot snap = profiler.snapshot();
+  ASSERT_EQ(snap.lanes.front().samples.front().frames.size(), Profiler::kMaxFrames);
+}
+
+TEST_F(ProfilerTest, ClearDropsSamplesAndZeroesAccounting) {
+  auto& profiler = Profiler::global();
+  const std::array<std::uintptr_t, 1> frames = {0x1234};
+  for (int i = 0; i < 10; ++i) profiler.record_synthetic(frames);
+  ASSERT_EQ(profiler.accounting().kept, 10U);
+
+  profiler.clear();
+  const Profiler::Accounting acc = profiler.accounting();
+  EXPECT_EQ(acc.total, 0U);
+  EXPECT_EQ(acc.kept, 0U);
+  EXPECT_EQ(acc.overwritten, 0U);
+  EXPECT_TRUE(profiler.collapsed().empty());
+}
+
+// ------------------------------------------------------ collapsed format ---
+
+TEST_F(ProfilerTest, ParseCollapsedLineRoundTripsAndRejectsMalformedInput) {
+  Profiler::CollapsedStack out;
+
+  ASSERT_TRUE(Profiler::parse_collapsed_line("main;foo;bar 42", out));
+  EXPECT_EQ(out.stack, "main;foo;bar");
+  EXPECT_EQ(out.count, 42U);
+
+  // Demangled C++ names contain spaces: the count splits off the LAST space.
+  ASSERT_TRUE(Profiler::parse_collapsed_line(
+      "main;std::vector<int, std::allocator<int> >::push_back(int const&) 7", out));
+  EXPECT_EQ(out.stack, "main;std::vector<int, std::allocator<int> >::push_back(int const&)");
+  EXPECT_EQ(out.count, 7U);
+
+  EXPECT_FALSE(Profiler::parse_collapsed_line("", out));
+  EXPECT_FALSE(Profiler::parse_collapsed_line("no-count-here", out));
+  EXPECT_FALSE(Profiler::parse_collapsed_line("stack ", out)) << "empty count";
+  EXPECT_FALSE(Profiler::parse_collapsed_line("stack 12x", out)) << "non-numeric count";
+  EXPECT_FALSE(Profiler::parse_collapsed_line(" 42", out)) << "empty stack";
+  EXPECT_FALSE(Profiler::parse_collapsed_line(";; 5", out)) << "empty frames";
+}
+
+TEST_F(ProfilerTest, SyntheticSamplesAggregateIntoSortedCollapsedStacks) {
+  auto& profiler = Profiler::global();
+  const std::array<std::uintptr_t, 2> hot = {0x2000, 0x1000};
+  const std::array<std::uintptr_t, 2> cold = {0x3000, 0x1000};
+  for (int i = 0; i < 5; ++i) profiler.record_synthetic(hot);
+  profiler.record_synthetic(cold);
+
+  const auto stacks = profiler.collapsed();
+  ASSERT_EQ(stacks.size(), 2U);
+  EXPECT_EQ(stacks[0].count, 5U) << "sorted by count descending";
+  EXPECT_EQ(stacks[1].count, 1U);
+
+  const auto path = temp_path("synthetic.collapsed");
+  ASSERT_TRUE(profiler.write_collapsed(path));
+  std::istringstream lines(slurp(path));
+  std::string line;
+  std::size_t parsed = 0;
+  std::uint64_t total = 0;
+  Profiler::CollapsedStack parsed_stack;
+  while (std::getline(lines, line)) {
+    ASSERT_TRUE(Profiler::parse_collapsed_line(line, parsed_stack)) << line;
+    ++parsed;
+    total += parsed_stack.count;
+  }
+  EXPECT_EQ(parsed, 2U);
+  EXPECT_EQ(total, 6U) << "every kept sample lands in exactly one folded line";
+}
+
+// --------------------------------------------------------- real sampling ---
+
+TEST_F(ProfilerTest, RealSamplingCapturesAndSymbolizesTheBurnFrame) {
+  auto& profiler = Profiler::global();
+  ASSERT_TRUE(profiler.start(/*hz=*/997)) << "per-thread CPU timers unavailable";
+
+  // Burn CPU on this (attached) thread until enough ticks landed. The timer
+  // counts thread CPU time, so wall-clock stalls can't starve it forever.
+  volatile double sink = 0.0;
+  for (int spins = 0; profiler.accounting().total < 25 && spins < 20000; ++spins) {
+    sink = sink + vehigan_profiler_test_burn(200000);
+  }
+  profiler.stop();
+
+  const Profiler::Accounting acc = profiler.accounting();
+  ASSERT_GT(acc.total, 0U) << "no SIGPROF tick ever landed";
+  EXPECT_EQ(acc.total, acc.kept + acc.overwritten + acc.torn + acc.lane_overflow);
+
+  bool saw_burn = false;
+  for (const auto& stack : profiler.collapsed()) {
+    if (stack.stack.find("vehigan_profiler_test_burn") != std::string::npos) {
+      saw_burn = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_burn) << "the burn function must appear in a symbolized stack";
+
+  // Both export formats stay machine-readable.
+  const auto folded = temp_path("real.collapsed");
+  ASSERT_TRUE(profiler.write_collapsed(folded));
+  std::istringstream lines(slurp(folded));
+  std::string line;
+  Profiler::CollapsedStack parsed;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_TRUE(Profiler::parse_collapsed_line(line, parsed)) << line;
+    ++n;
+  }
+  EXPECT_GT(n, 0U);
+
+  const auto chrome = temp_path("real.chrome.json");
+  ASSERT_TRUE(profiler.write_chrome_trace(chrome));
+  const data::Json doc = data::Json::parse(slurp(chrome));  // throws if malformed
+  EXPECT_GT(doc.at("samples").as_array().size(), 0U);
+  EXPECT_TRUE(doc.contains("stackFrames"));
+}
+
+// --------------------------------------------------------- high-Hz soak ---
+// The serving stack under live profiling: 4 producers, 2 shards + the
+// report collector, SIGPROF ticking at ~1 kHz per busy thread. Under TSan
+// this is the data-race proof for the handler/ring/snapshot protocol; in
+// plain builds it is a crash/accounting soak.
+
+features::MinMaxScaler identity_scaler(std::size_t width = 12) {
+  features::Series s;
+  s.width = width;
+  for (std::size_t c = 0; c < width; ++c) s.values.push_back(0.0F);
+  for (std::size_t c = 0; c < width; ++c) s.values.push_back(1.0F);
+  features::MinMaxScaler scaler;
+  scaler.fit({s});
+  return scaler;
+}
+
+std::shared_ptr<mbds::VehiGan> make_ensemble(std::uint64_t seed) {
+  std::vector<std::shared_ptr<mbds::WganDetector>> detectors;
+  for (std::size_t i = 0; i < 2; ++i) {
+    gan::TrainedWgan model;
+    model.config.id = static_cast<int>(i);
+    model.config.window = 10;
+    model.config.width = 12;
+    model.discriminator.add<nn::Flatten>();
+    auto& dense = model.discriminator.add<nn::Dense>(120, 1);
+    dense.weights().assign(120, -(1.0F + 0.5F * static_cast<float>(i)));
+    dense.bias() = {0.0F};
+    auto det = std::make_shared<mbds::WganDetector>(std::move(model));
+    det->set_threshold(-1e9);  // flag every complete window
+    detectors.push_back(std::move(det));
+  }
+  auto ensemble = std::make_shared<mbds::VehiGan>(detectors, /*k=*/1, seed);
+  ensemble->set_subset_draw(mbds::SubsetDraw::kContentKeyed);
+  return ensemble;
+}
+
+TEST_F(ProfilerTest, HighHzSoakOverFourProducerServeWorkload) {
+  auto& profiler = Profiler::global();
+  ASSERT_TRUE(profiler.start(/*hz=*/997));
+
+  serve::ServiceConfig config;
+  config.num_shards = 2;
+  config.queue_capacity = 128;
+  config.policy = serve::OverloadPolicy::kBlock;  // lose nothing: exact accounting
+  config.station_id = 42;
+  config.report_cooldown_s = 0.25;
+  config.gap_reset_s = 1e9;
+  config.evict_after_s = 0.0;
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kSendersPerProducer = 4;
+  constexpr std::size_t kTicks = 60;
+  std::atomic<std::size_t> reports{0};
+  {
+    serve::DetectionService service(
+        config, [&](std::size_t) { return make_ensemble(7); }, identity_scaler());
+    service.set_report_sink([&](const mbds::MisbehaviorReport&) { ++reports; });
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        Profiler::attach_current_thread();
+        for (std::size_t t = 0; t < kTicks; ++t) {
+          for (std::size_t v = 0; v < kSendersPerProducer; ++v) {
+            sim::Bsm m;
+            m.vehicle_id = static_cast<std::uint32_t>(1 + p * kSendersPerProducer + v);
+            m.time = 0.1 * static_cast<double>(t);
+            m.speed = 10.0;
+            m.x = m.speed * m.time;
+            m.y = static_cast<double>(m.vehicle_id);
+            ASSERT_TRUE(service.submit(m));
+          }
+        }
+      });
+    }
+    for (auto& t : producers) t.join();
+    service.drain();
+    // Snapshot concurrently with live sampling: readers must never block or
+    // misread the handler (seqlock skips, counted as torn).
+    (void)profiler.snapshot();
+    service.stop();
+  }
+  EXPECT_GT(reports.load(), 0U);
+
+  profiler.stop();
+  const Profiler::Accounting acc = profiler.accounting();
+  EXPECT_EQ(acc.total, acc.kept + acc.overwritten + acc.torn + acc.lane_overflow)
+      << "exact accounting must survive concurrent multi-thread sampling";
+}
+
+}  // namespace
+}  // namespace vehigan::telemetry

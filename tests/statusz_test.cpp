@@ -1,0 +1,161 @@
+// Statusz tests: section registry lifecycle, well-formed text and JSON
+// renderings (built-in sections included), atomic file writes, and the
+// crash-cache path the flight-recorder signal handler uses.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "data/json.hpp"
+#include "serve/latency_anatomy.hpp"
+#include "telemetry/statusz.hpp"
+
+namespace vehigan::telemetry {
+namespace {
+
+std::filesystem::path temp_path(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() / "vehigan_statusz_test";
+  std::filesystem::create_directories(dir);
+  return dir / name;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Statusz is a process-wide singleton: every test disarms the dump path and
+/// removes its sections so the next test (and the crash cache) start clean.
+struct StatuszTest : ::testing::Test {
+  void TearDown() override { Statusz::global().set_dump_path(""); }
+};
+
+TEST_F(StatuszTest, BuiltInSectionsRenderInTextAndJson) {
+  (void)serve::LatencyAnatomy::global();  // registers the "anatomy" section
+  const std::string text = Statusz::global().render_text();
+  EXPECT_EQ(text.rfind("# vehigan statusz", 0), 0U) << "text dump must self-identify";
+  EXPECT_NE(text.find("mono_ns:"), std::string::npos);
+  EXPECT_NE(text.find("[profiler]"), std::string::npos);
+  EXPECT_NE(text.find("[flight_recorder]"), std::string::npos);
+  EXPECT_NE(text.find("[metrics]"), std::string::npos);
+  EXPECT_NE(text.find("[anatomy]"), std::string::npos)
+      << "LatencyAnatomy registers its section on first use";
+
+  const data::Json doc = data::Json::parse(Statusz::global().render_json());
+  EXPECT_GE(doc.at("mono_ns").as_number(), 0.0);
+  const data::Json& sections = doc.at("sections");
+  EXPECT_TRUE(sections.contains("profiler"));
+  EXPECT_TRUE(sections.contains("flight_recorder"));
+  EXPECT_TRUE(sections.contains("metrics"));
+}
+
+TEST_F(StatuszTest, RegisteredSectionAppearsAndUnregisterRemovesIt) {
+  auto& statusz = Statusz::global();
+  const std::uint64_t id = statusz.register_section("unit_test", [](StatuszWriter& w) {
+    w.kv("answer", std::uint64_t{42});
+    w.kv("ratio", 0.25);
+    w.kv("armed", true);
+    w.line("row 1 free-form");
+  });
+
+  const std::string text = statusz.render_text();
+  EXPECT_NE(text.find("[unit_test]"), std::string::npos);
+  EXPECT_NE(text.find("answer: 42"), std::string::npos);
+  EXPECT_NE(text.find("armed: true"), std::string::npos);
+  EXPECT_NE(text.find("row 1 free-form"), std::string::npos);
+
+  const data::Json doc = data::Json::parse(statusz.render_json());
+  const data::Json& section = doc.at("sections").at("unit_test");
+  EXPECT_DOUBLE_EQ(section.at("answer").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(section.at("ratio").as_number(), 0.25);
+  const auto& lines = section.at("lines").as_array();
+  ASSERT_EQ(lines.size(), 1U);
+  EXPECT_EQ(lines[0].as_string(), "row 1 free-form");
+
+  statusz.unregister_section(id);
+  EXPECT_EQ(statusz.render_text().find("[unit_test]"), std::string::npos);
+}
+
+TEST_F(StatuszTest, ThrowingSectionDoesNotPoisonTheDump) {
+  auto& statusz = Statusz::global();
+  const std::uint64_t id = statusz.register_section(
+      "faulty", [](StatuszWriter&) { throw std::runtime_error("broken provider"); });
+
+  const std::string text = statusz.render_text();
+  EXPECT_NE(text.find("[faulty]"), std::string::npos);
+  EXPECT_NE(text.find("section error:"), std::string::npos);
+  EXPECT_NE(text.find("[metrics]"), std::string::npos)
+      << "sections after the faulty one must still render";
+  EXPECT_NO_THROW((void)data::Json::parse(statusz.render_json()));
+
+  statusz.unregister_section(id);
+}
+
+TEST_F(StatuszTest, SectionValuesNeedEscapingStayValidJson) {
+  auto& statusz = Statusz::global();
+  const std::uint64_t id = statusz.register_section("escapes", [](StatuszWriter& w) {
+    w.kv("quote", "say \"hi\"\\path\n");
+    w.line("tab\there");
+  });
+  // Quotes and backslashes are escaped; control characters are flattened to
+  // spaces (they would corrupt the line-oriented text rendering too).
+  const data::Json doc = data::Json::parse(statusz.render_json());
+  EXPECT_EQ(doc.at("sections").at("escapes").at("quote").as_string(), "say \"hi\"\\path ");
+  EXPECT_EQ(doc.at("sections").at("escapes").at("lines").as_array()[0].as_string(),
+            "tab here");
+  statusz.unregister_section(id);
+}
+
+TEST_F(StatuszTest, WriteProducesTextAndJsonFiles) {
+  const auto path = temp_path("snapshot.statusz");
+  ASSERT_TRUE(Statusz::global().write(path));
+
+  const std::string text = slurp(path);
+  EXPECT_EQ(text.rfind("# vehigan statusz", 0), 0U);
+  EXPECT_NE(text.find("[profiler]"), std::string::npos);
+
+  const std::string json = slurp(path.string() + ".json");
+  ASSERT_FALSE(json.empty());
+  EXPECT_NO_THROW((void)data::Json::parse(json));
+}
+
+TEST_F(StatuszTest, DumpIfConfiguredIsANoopWithoutAPath) {
+  Statusz::global().set_dump_path("");
+  EXPECT_FALSE(Statusz::global().dump_if_configured());
+}
+
+TEST_F(StatuszTest, DumpIfConfiguredWritesTheArmedPath) {
+  const auto path = temp_path("configured.statusz");
+  std::filesystem::remove(path);
+  Statusz::global().set_dump_path(path.string());
+  EXPECT_EQ(Statusz::global().dump_path(), path.string());
+  ASSERT_TRUE(Statusz::global().dump_if_configured());
+  EXPECT_NE(slurp(path).find("# vehigan statusz"), std::string::npos);
+}
+
+TEST_F(StatuszTest, CrashDumpIsANoopWithoutAnArmedPath) {
+  Statusz::global().set_dump_path("");
+  EXPECT_FALSE(Statusz::crash_dump_cached());
+}
+
+TEST_F(StatuszTest, CrashDumpWritesTheCachedSnapshotWithHeader) {
+  const auto path = temp_path("crash.statusz");
+  std::filesystem::remove(path);
+  Statusz::global().set_dump_path(path.string());
+  Statusz::global().refresh_crash_cache();
+
+  ASSERT_TRUE(Statusz::crash_dump_cached());
+  const std::string dumped = slurp(path);
+  EXPECT_EQ(dumped.rfind("# dumped from crash handler", 0), 0U)
+      << "the post-mortem must say it is a cached snapshot";
+  EXPECT_NE(dumped.find("# vehigan statusz"), std::string::npos);
+  EXPECT_NE(dumped.find("[profiler]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vehigan::telemetry

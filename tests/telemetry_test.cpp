@@ -19,6 +19,7 @@
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/exporter.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -532,14 +533,17 @@ TEST(OverheadGuard, InstrumentationCostsUnderFivePercentOnIngestBatch) {
     for (const auto& tick : ticks) (void)monitor.ingest_batch(tick);
   };
   // The instrumented variant carries the full observability stack: metrics,
-  // flight-recorder events (on whenever telemetry is), and per-message
-  // causal tracing at the production sampling rate of 1-in-64 senders.
+  // flight-recorder events (on whenever telemetry is), per-message causal
+  // tracing at the production sampling rate of 1-in-64 senders, and the
+  // sampling CPU profiler ticking at the default 99 Hz.
   const auto timed = [&](bool instrumented) {
     set_enabled(instrumented);
     if (instrumented) {
       TraceRecorder::global().enable(/*sample_every=*/64);
+      (void)Profiler::global().start(/*hz=*/99);
     } else {
       TraceRecorder::global().disable();
+      Profiler::global().stop();
     }
     double best = std::numeric_limits<double>::infinity();
     for (int trial = 0; trial < 7; ++trial) {
@@ -558,6 +562,8 @@ TEST(OverheadGuard, InstrumentationCostsUnderFivePercentOnIngestBatch) {
   set_enabled(true);
   TraceRecorder::global().disable();
   TraceRecorder::global().clear();
+  Profiler::global().stop();
+  Profiler::global().clear();
 
   ASSERT_GT(baseline, 0.0);
   const double overhead = instrumented / baseline - 1.0;

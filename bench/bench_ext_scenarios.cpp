@@ -111,6 +111,31 @@ scenario::RunnerOptions runner_options() {
 /// re-import through VeremiReplaySource, and serve it. Timestamps are
 /// rebased to an absolute clock (7 h into the day) — the configuration that
 /// used to break wall-clock eviction.
+/// Audit-ledger destination: `--ledger-out=BASE` (or VEHIGAN_LEDGER_OUT)
+/// writes one verdict ledger per scenario at `BASE.<scenario>`, so ledgerq
+/// record counts are verifiable per run.
+std::string ledger_base_from(int& argc, char** argv) {
+  std::string base;
+  if (const char* env = std::getenv("VEHIGAN_LEDGER_OUT")) base = env;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    constexpr const char* kFlag = "--ledger-out=";
+    if (arg.rfind(kFlag, 0) == 0) {
+      base = arg.substr(std::string(kFlag).size());
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    }
+  }
+  return base;
+}
+
+scenario::RunnerOptions with_ledger(scenario::RunnerOptions options,
+                                    const std::string& base, const std::string& name) {
+  if (!base.empty()) options.service.ledger_path = base + "." + name;
+  return options;
+}
+
 scenario::ScenarioOutcome run_veremi_replay(const scenario::RunnerOptions& options) {
   sim::TrafficSimConfig sim_cfg;
   sim_cfg.duration_s = 40.0;
@@ -155,6 +180,7 @@ int main(int argc, char** argv) {
   bench::init_observability_from_env();
   const bool smoke = smoke_slate();
   const scenario::RunnerOptions options = runner_options();
+  const std::string ledger_base = ledger_base_from(argc, argv);
 
   std::cout << "=== Scenario slate through the sharded serving stack ===\n"
             << "ensemble m=" << kEnsembleM << " k=" << kEnsembleK << " (content-keyed, "
@@ -171,17 +197,23 @@ int main(int argc, char** argv) {
     }
     scenario::ScenarioEngine engine(config);
     outcomes.push_back(scenario::run_scenario(
-        engine, config.name, options, [](std::size_t) { return serving_ensemble(); },
-        identity_scaler()));
+        engine, config.name, with_ledger(options, ledger_base, config.name),
+        [](std::size_t) { return serving_ensemble(); }, identity_scaler()));
   }
-  if (!smoke) outcomes.push_back(run_veremi_replay(options));
+  if (!smoke) {
+    outcomes.push_back(run_veremi_replay(with_ledger(options, ledger_base, "veremi-replay")));
+  }
+  if (!ledger_base.empty()) {
+    std::cout << "verdict ledgers written to " << ledger_base << ".<scenario>\n\n";
+  }
 
   experiments::TablePrinter table({"scenario", "messages", "senders", "attackers", "auroc",
-                                   "p99 drain ms", "drop rate", "drift alarms", "reports",
-                                   "evictions", "msgs/sec"});
+                                   "online auroc", "p99 drain ms", "drop rate",
+                                   "drift alarms", "reports", "evictions", "msgs/sec"});
   for (const scenario::ScenarioOutcome& o : outcomes) {
     table.add_row({o.name, std::to_string(o.messages), std::to_string(o.senders),
                    std::to_string(o.attackers), experiments::TablePrinter::format(o.auroc, 4),
+                   experiments::TablePrinter::format(o.online_auroc, 4),
                    experiments::TablePrinter::format(o.p99_drain_ms, 3),
                    experiments::TablePrinter::format(o.drop_rate, 4),
                    std::to_string(o.drift_alarms), std::to_string(o.reports),
@@ -193,12 +225,15 @@ int main(int argc, char** argv) {
   std::filesystem::create_directories("bench_results");
   util::CsvWriter csv("bench_results/ext_scenarios.csv");
   csv.write_row({"scenario", "messages", "senders", "attackers", "windows_scored", "auroc",
-                 "p99_drain_ms", "drop_rate", "drift_alarms", "reports", "evictions",
-                 "msgs_per_sec"});
+                 "online_auroc", "online_precision", "online_recall", "p99_drain_ms",
+                 "drop_rate", "drift_alarms", "reports", "evictions", "msgs_per_sec"});
   for (const scenario::ScenarioOutcome& o : outcomes) {
     csv.write_row({o.name, std::to_string(o.messages), std::to_string(o.senders),
                    std::to_string(o.attackers), std::to_string(o.windows_scored),
                    experiments::TablePrinter::format(o.auroc, 4),
+                   experiments::TablePrinter::format(o.online_auroc, 4),
+                   experiments::TablePrinter::format(o.online_precision, 4),
+                   experiments::TablePrinter::format(o.online_recall, 4),
                    experiments::TablePrinter::format(o.p99_drain_ms, 4),
                    experiments::TablePrinter::format(o.drop_rate, 4),
                    std::to_string(o.drift_alarms), std::to_string(o.reports),

@@ -210,8 +210,15 @@ struct RunResult {
 
 RunResult run_config(const serve::ServiceConfig& config, std::size_t senders,
                      std::size_t ticks) {
+  serve::ServiceConfig effective = config;
+  // VEHIGAN_LEDGER_OUT: route every verdict through the audit ledger so the
+  // bench doubles as a ledger write-path stressor. Each run_config truncates
+  // the file, so the surviving ledger covers exactly the last run.
+  if (const char* ledger = std::getenv("VEHIGAN_LEDGER_OUT")) {
+    effective.ledger_path = ledger;
+  }
   serve::DetectionService service(
-      config, [](std::size_t) { return serving_ensemble(); }, identity_scaler());
+      effective, [](std::size_t) { return serving_ensemble(); }, identity_scaler());
   std::atomic<std::uint64_t> reports{0};
   service.set_report_sink([&](const mbds::MisbehaviorReport&) { reports.fetch_add(1); });
 

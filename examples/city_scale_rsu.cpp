@@ -18,6 +18,10 @@
 //          [--producers N] [--evict-after seconds] [--metrics-out <path>]
 //          [--trace-out <path>] [--trace-sample N] [--blackbox-out <path>]
 //          [--statusz-out <path>] [--profile-out <path>] [--profile-hz N]
+//          [--ledger-out <path>]
+//
+// --ledger-out appends every verdict (and per-sender score summaries) to a
+// crash-safe audit ledger; inspect it afterwards with the ledgerq tool.
 //
 // --statusz-out arms the one-page ops snapshot: dumped on the service's
 // drain/stop (and cached for the crash handler), so after a run or a crash
@@ -35,9 +39,12 @@
 // and from a SIGSEGV/SIGABRT handler (the service's black box).
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -80,8 +87,40 @@ struct Options {
   std::string blackbox_out;
   std::string statusz_out;
   std::string profile_out;
+  std::string ledger_out;
   std::uint32_t trace_sample = 64;
   std::uint32_t profile_hz = telemetry::Profiler::kDefaultHz;
+};
+
+/// Wall-clock periodic statusz dumper: refreshes the ops snapshot every
+/// `period` even when the pipeline is wedged (drain-time dumps only fire at
+/// quiescent points), so after a hang the on-disk page is at most one
+/// period old. The dump itself renders under the section mutex and is safe
+/// against concurrent shard/collector activity.
+class PeriodicStatusz {
+ public:
+  explicit PeriodicStatusz(std::chrono::milliseconds period)
+      : thread_([this, period] {
+          std::unique_lock<std::mutex> lock(mutex_);
+          while (!stop_cv_.wait_for(lock, period, [this] { return stopping_; })) {
+            telemetry::Statusz::global().dump_if_configured();
+          }
+        }) {}
+
+  ~PeriodicStatusz() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    stop_cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
 };
 
 int usage() {
@@ -91,7 +130,7 @@ int usage() {
                "                      [--metrics-out <path>] [--trace-out <path>]\n"
                "                      [--trace-sample N] [--blackbox-out <path>]\n"
                "                      [--statusz-out <path>] [--profile-out <path>]\n"
-               "                      [--profile-hz N]\n";
+               "                      [--profile-hz N] [--ledger-out <path>]\n";
   return 0;
 }
 
@@ -134,6 +173,8 @@ int main(int argc, char** argv) {
       opt.profile_out = next();
     } else if (arg == "--profile-hz") {
       opt.profile_hz = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--ledger-out") {
+      opt.ledger_out = next();
     } else {
       opt.attack = arg;
     }
@@ -146,7 +187,14 @@ int main(int argc, char** argv) {
     blackbox.install_crash_handler(opt.blackbox_out);
   }
   // Armed before the service exists so its drain()/stop() dumps land here.
-  if (!opt.statusz_out.empty()) telemetry::Statusz::global().set_dump_path(opt.statusz_out);
+  // The periodic dumper refreshes the page every ~4 s of wall clock on top
+  // of the quiescent-point dumps, so a wedged pipeline still leaves a
+  // recent snapshot behind.
+  std::unique_ptr<PeriodicStatusz> periodic_statusz;
+  if (!opt.statusz_out.empty()) {
+    telemetry::Statusz::global().set_dump_path(opt.statusz_out);
+    periodic_statusz = std::make_unique<PeriodicStatusz>(std::chrono::milliseconds(4000));
+  }
   // Started before the service so every shard worker + the collector attach
   // while the profiler is already running.
   if (!opt.profile_out.empty() && !telemetry::Profiler::global().start(opt.profile_hz)) {
@@ -203,6 +251,7 @@ int main(int argc, char** argv) {
   config.report_cooldown_s = 1.0;
   config.evict_after_s = opt.evict_after_s;
   config.pin_shards = opt.pin_shards;
+  config.ledger_path = opt.ledger_out;
   serve::DetectionService service(
       config,
       [&](std::size_t) {
@@ -302,6 +351,12 @@ int main(int argc, char** argv) {
   if (!opt.statusz_out.empty()) {
     // drain()/stop() already dumped; this just tells the operator where.
     std::cout << "statusz snapshot: " << opt.statusz_out << " (+ .json)\n";
+  }
+  if (!opt.ledger_out.empty() && service.ledger() != nullptr) {
+    const serve::VerdictLedger::Stats ls = service.ledger()->stats();
+    std::cout << "verdict ledger: " << opt.ledger_out << " (" << ls.verdicts
+              << " verdicts, " << ls.summaries << " summaries, " << ls.bytes_written
+              << " bytes; query with ledgerq)\n";
   }
   return 0;
 }

@@ -1,0 +1,171 @@
+// ledgerq — query the verdict audit ledger: "why was suspect X flagged?"
+//
+// Decodes a ledger written by serve::VerdictLedger (e.g. city_scale_rsu
+// --ledger-out, or bench_ext_scenarios --ledger-out=BASE) and reconstructs
+// the decision context of its verdicts: score vs. threshold, the exact
+// evidence window (the BSMs the detector saw), the provenance hash of the
+// model weights that scored it, inter-critic disagreement, and the trace id
+// that joins the verdict to Perfetto timelines and flight-recorder dumps.
+//
+// Usage: ledgerq <ledger-file> [mode]
+//   (no mode)        overview: record counts + per-suspect verdict tallies
+//   --suspect <id>   every verdict against that station, with evidence,
+//                    plus the sender's score summaries (what "normal" was)
+//   --trace <hex>    the verdict(s) carrying that trace id
+//   --summaries      every per-sender score summary record
+//   --stats          one machine-greppable line (CI validation):
+//                    verdicts=N summaries=M unknown=U torn_tail=0|1 ...
+//
+// The reader is torn-tail tolerant: after a crash the intact prefix decodes
+// normally and --stats reports torn_tail=1 with the reason.
+
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+
+#include "mbds/provenance.hpp"
+#include "serve/verdict_ledger.hpp"
+
+using namespace vehigan;
+
+namespace {
+
+int usage() {
+  std::cout << "usage: ledgerq <ledger-file> [--suspect <id> | --trace <hex> |"
+               " --summaries | --stats]\n";
+  return 2;
+}
+
+void print_verdict(const mbds::MisbehaviorReport& report) {
+  std::cout << "verdict t=" << report.time << "s suspect=" << report.suspect_id
+            << " reporter=" << report.reporter_id << "\n"
+            << "  score=" << report.score << " threshold=" << report.threshold
+            << " (exceeded by " << report.score - report.threshold << ")\n"
+            << "  model=" << mbds::provenance_hex(report.model_hash)
+            << " critic_spread=" << report.critic_spread
+            << " trace=" << mbds::provenance_hex(report.trace_id) << "\n"
+            << "  evidence: " << report.evidence.size() << " BSMs\n";
+  for (const sim::Bsm& m : report.evidence) {
+    std::cout << "    t=" << m.time << " pos=(" << m.x << "," << m.y << ")"
+              << " v=" << m.speed << " a=" << m.accel << " hdg=" << m.heading
+              << " yaw=" << m.yaw_rate << "\n";
+  }
+}
+
+void print_summary(const serve::SenderSummary& s) {
+  const double mean = s.windows == 0 ? 0.0 : s.score_sum / static_cast<double>(s.windows);
+  std::cout << "summary sender=" << s.sender << " windows=" << s.windows
+            << " flagged=" << s.flagged << " t=[" << s.first_time << "," << s.last_time
+            << "] score min/mean/max=" << s.score_min << "/" << mean << "/" << s.score_max
+            << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string path = argv[1];
+  std::string mode = argc > 2 ? argv[2] : "";
+  std::string operand = argc > 3 ? argv[3] : "";
+  if ((mode == "--suspect" || mode == "--trace") && operand.empty()) return usage();
+
+  serve::LedgerReadResult ledger;
+  try {
+    ledger = serve::read_ledger(path);
+  } catch (const std::exception& e) {
+    std::cerr << "ledgerq: " << e.what() << "\n";
+    return 1;
+  }
+
+  if (mode == "--stats") {
+    std::set<std::uint64_t> models;
+    for (const auto& record : ledger.records) {
+      if (record.type == serve::LedgerRecord::Type::kVerdict) {
+        models.insert(record.report.model_hash);
+      }
+    }
+    std::cout << "verdicts=" << ledger.verdicts << " summaries=" << ledger.summaries
+              << " unknown=" << ledger.unknown << " torn_tail=" << (ledger.torn_tail ? 1 : 0)
+              << " intact_bytes=" << ledger.intact_bytes << " models=";
+    bool first = true;
+    for (const std::uint64_t hash : models) {
+      if (!first) std::cout << ",";
+      std::cout << mbds::provenance_hex(hash);
+      first = false;
+    }
+    if (models.empty()) std::cout << "-";
+    if (ledger.torn_tail) std::cout << " tail_error=\"" << ledger.tail_error << "\"";
+    std::cout << "\n";
+    return 0;
+  }
+
+  if (mode == "--summaries") {
+    for (const auto& record : ledger.records) {
+      if (record.type == serve::LedgerRecord::Type::kSummary) print_summary(record.summary);
+    }
+    return 0;
+  }
+
+  if (mode == "--suspect") {
+    const auto suspect = static_cast<std::uint32_t>(std::stoul(operand));
+    std::size_t hits = 0;
+    for (const auto& record : ledger.records) {
+      if (record.type == serve::LedgerRecord::Type::kVerdict &&
+          record.report.suspect_id == suspect) {
+        print_verdict(record.report);
+        ++hits;
+      }
+    }
+    for (const auto& record : ledger.records) {
+      if (record.type == serve::LedgerRecord::Type::kSummary &&
+          record.summary.sender == suspect) {
+        print_summary(record.summary);
+      }
+    }
+    std::cout << hits << " verdict(s) against suspect " << suspect << "\n";
+    return hits == 0 ? 1 : 0;
+  }
+
+  if (mode == "--trace") {
+    const std::uint64_t trace = std::stoull(operand, nullptr, 16);
+    std::size_t hits = 0;
+    for (const auto& record : ledger.records) {
+      if (record.type == serve::LedgerRecord::Type::kVerdict &&
+          record.report.trace_id == trace) {
+        print_verdict(record.report);
+        ++hits;
+      }
+    }
+    std::cout << hits << " verdict(s) with trace " << operand << "\n";
+    return hits == 0 ? 1 : 0;
+  }
+
+  if (!mode.empty()) return usage();
+
+  // Overview: counts + per-suspect tallies.
+  std::map<std::uint32_t, std::size_t> per_suspect;
+  std::set<std::uint64_t> models;
+  for (const auto& record : ledger.records) {
+    if (record.type == serve::LedgerRecord::Type::kVerdict) {
+      ++per_suspect[record.report.suspect_id];
+      models.insert(record.report.model_hash);
+    }
+  }
+  std::cout << path << ": " << ledger.verdicts << " verdicts, " << ledger.summaries
+            << " summaries";
+  if (ledger.unknown != 0) std::cout << ", " << ledger.unknown << " unknown records";
+  if (ledger.torn_tail) {
+    std::cout << " (torn tail: " << ledger.tail_error << "; intact prefix decoded)";
+  }
+  std::cout << "\n";
+  for (const std::uint64_t hash : models) {
+    std::cout << "model " << mbds::provenance_hex(hash) << "\n";
+  }
+  for (const auto& [suspect, count] : per_suspect) {
+    std::cout << "suspect " << suspect << ": " << count
+              << " verdict(s)  (ledgerq " << path << " --suspect " << suspect << ")\n";
+  }
+  return 0;
+}

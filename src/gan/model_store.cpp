@@ -185,7 +185,11 @@ TrainedWgan load_wgan(const fs::path& path) {
 
   if (magic == kMagicV1) {
     try {
-      return load_v1_body(in);
+      TrainedWgan model = load_v1_body(in);
+      // v1 files carry no checksum; re-serialize so a legacy load still
+      // reports the same provenance hash its v2 re-save would store.
+      model.content_hash = content_hash(model);
+      return model;
     } catch (const CorruptCheckpoint&) {
       throw;
     } catch (const std::exception& e) {
@@ -243,7 +247,18 @@ TrainedWgan load_wgan(const fs::path& path) {
   if (ps.peek() != std::istringstream::traits_type::eof()) {
     corrupt(path, "payload has trailing bytes");
   }
+  // The stored checksum just proved itself against the payload bytes, so it
+  // IS the content hash — no re-serialization needed on the load path.
+  model.content_hash = stored_checksum;
   return model;
+}
+
+std::uint64_t content_hash(const TrainedWgan& model) {
+  util::Fnv1a checksum;
+  checksum.add(serialize_metadata(model))
+      .add(serialize_network(model.generator))
+      .add(serialize_network(model.discriminator));
+  return checksum.value();
 }
 
 }  // namespace vehigan::gan

@@ -42,4 +42,11 @@ void save_wgan(const TrainedWgan& model, const std::filesystem::path& path);
 /// (v2), i.e. the loaded weights are provably the saved weights.
 TrainedWgan load_wgan(const std::filesystem::path& path);
 
+/// FNV-1a 64 of the model's serialized payload — the exact checksum
+/// save_wgan writes into (and load_wgan verifies against) a v2 checkpoint,
+/// so hashing an in-memory model and loading its saved file agree. This is
+/// the provenance identity threaded through WganDetector/VehiGan into
+/// MisbehaviorReport.model_hash and the verdict ledger.
+[[nodiscard]] std::uint64_t content_hash(const TrainedWgan& model);
+
 }  // namespace vehigan::gan

@@ -48,6 +48,11 @@ struct TrainedWgan {
   nn::Sequential generator;
   nn::Sequential discriminator;
   std::vector<EpochStats> history;
+  /// FNV-1a 64 of the model's serialized payload (config + history + both
+  /// networks) — identical to the v2 checkpoint checksum, so a loaded model
+  /// carries the exact hash stored in its file. 0 = not yet computed (e.g.
+  /// fresh from the trainer); gan::content_hash() / WganDetector fill it in.
+  std::uint64_t content_hash = 0;
 };
 
 /// Trains one WGAN on benign window snapshots.

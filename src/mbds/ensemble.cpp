@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "mbds/provenance.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/hash.hpp"
@@ -40,6 +41,12 @@ VehiGan::VehiGan(std::vector<std::shared_ptr<WganDetector>> candidates, std::siz
   if (k_ == 0 || k_ > candidates_.size()) {
     throw std::invalid_argument("VehiGan: k must be in [1, m]");
   }
+  util::Fnv1a hash;
+  hash.add_pod(candidates_.size());
+  hash.add_pod(k_);
+  for (const auto& candidate : candidates_) hash.add_pod(candidate->model().content_hash);
+  provenance_hash_ = hash.value();
+  ModelProvenance::global().register_ensemble(*this);
 }
 
 std::string VehiGan::name() const {
@@ -80,11 +87,26 @@ float VehiGan::score(std::span<const float> snapshot) {
 DetectionResult VehiGan::evaluate(std::span<const float> snapshot) {
   DetectionResult result;
   result.members = draw_members(snapshot);
-  result.score = score_with_members(snapshot, result.members);
+  // Per-member scores are kept (not just their mean) so the ensemble-health
+  // tap sees per-critic distributions and disagreement for free. The
+  // ensemble score accumulates in drawn-member order, exactly as
+  // score_with_members does, so scores stay bit-identical to score().
+  result.member_scores.reserve(result.members.size());
+  double sum = 0.0;
   double tau = 0.0;
-  for (std::size_t idx : result.members) tau += candidates_[idx]->threshold();
-  result.threshold = tau / static_cast<double>(result.members.size());
+  for (std::size_t idx : result.members) {
+    const float s = candidates_[idx]->score(snapshot);
+    result.member_scores.push_back(s);
+    sum += s;
+    tau += candidates_[idx]->threshold();
+  }
+  const auto k = static_cast<double>(result.members.size());
+  result.score = static_cast<float>(sum / k);
+  result.threshold = tau / k;
   result.flagged = result.score > result.threshold;
+  const auto [lo, hi] =
+      std::minmax_element(result.member_scores.begin(), result.member_scores.end());
+  result.spread = *hi - *lo;
   return result;
 }
 
@@ -161,16 +183,22 @@ std::vector<DetectionResult> VehiGan::evaluate_all(const features::WindowSet& wi
   for (std::size_t i = 0; i < n; ++i) {
     DetectionResult& result = results[i];
     result.members = std::move(subsets[i]);
+    result.member_scores.reserve(result.members.size());
     double sum = 0.0;
     double tau = 0.0;
     for (std::size_t idx : result.members) {
-      sum += scores[idx][cursor[idx]++];
+      const float s = scores[idx][cursor[idx]++];
+      result.member_scores.push_back(s);
+      sum += s;
       tau += candidates_[idx]->threshold();
     }
     const auto k = static_cast<double>(result.members.size());
     result.score = static_cast<float>(sum / k);
     result.threshold = tau / k;
     result.flagged = result.score > result.threshold;
+    const auto [lo, hi] =
+        std::minmax_element(result.member_scores.begin(), result.member_scores.end());
+    result.spread = *hi - *lo;
   }
   return results;
 }

@@ -15,6 +15,14 @@ struct DetectionResult {
   double threshold = 0.0;   ///< mean threshold of the k deployed members
   bool flagged = false;     ///< score > threshold
   std::vector<std::size_t> members;  ///< candidate indices used
+  /// Calibrated per-member scores, index-parallel to `members`. The ensemble
+  /// score is their mean; the per-member view feeds the ensemble-health tap
+  /// (per-critic distributions, inter-critic disagreement) without a second
+  /// forward pass.
+  std::vector<float> member_scores;
+  /// Inter-critic disagreement of this prediction's k-subset:
+  /// max(member_scores) - min(member_scores). 0 when k == 1.
+  float spread = 0.0F;
 };
 
 /// How the per-prediction k-subset is drawn. The choice changes *which*
@@ -98,11 +106,19 @@ class VehiGan : public AnomalyDetector {
     return candidates_;
   }
 
+  /// Provenance identity of the deployed ensemble: FNV-1a over (m, k) and
+  /// every candidate's checkpoint content hash *in candidate order*.
+  /// Computed once at construction; stamped into MisbehaviorReport.model_hash
+  /// so a verdict names exactly the weights that produced it. Two shards
+  /// built from the same candidate list report the same hash.
+  [[nodiscard]] std::uint64_t provenance_hash() const { return provenance_hash_; }
+
  private:
   std::vector<std::size_t> draw_members(std::span<const float> snapshot);
 
   std::vector<std::shared_ptr<WganDetector>> candidates_;
   std::size_t k_;
+  std::uint64_t provenance_hash_ = 0;
   std::uint64_t seed_;
   util::Rng rng_;
   SubsetDraw subset_draw_ = SubsetDraw::kSequentialRng;

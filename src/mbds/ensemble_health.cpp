@@ -1,0 +1,174 @@
+#include "mbds/ensemble_health.hpp"
+
+#include <bit>
+#include <string>
+
+#include "telemetry/exporter.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/statusz.hpp"
+
+namespace vehigan::mbds {
+
+namespace {
+
+void add_double(std::atomic<std::uint64_t>& bits, double delta) {
+  std::uint64_t old = bits.load(std::memory_order_relaxed);
+  while (!bits.compare_exchange_weak(
+      old, std::bit_cast<std::uint64_t>(std::bit_cast<double>(old) + delta),
+      std::memory_order_relaxed)) {
+  }
+}
+
+void max_double(std::atomic<std::uint64_t>& bits, double v) {
+  std::uint64_t old = bits.load(std::memory_order_relaxed);
+  while (std::bit_cast<double>(old) < v &&
+         !bits.compare_exchange_weak(old, std::bit_cast<std::uint64_t>(v),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void min_double(std::atomic<std::uint64_t>& bits, double v) {
+  std::uint64_t old = bits.load(std::memory_order_relaxed);
+  while (std::bit_cast<double>(old) > v &&
+         !bits.compare_exchange_weak(old, std::bit_cast<std::uint64_t>(v),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+EnsembleHealth& EnsembleHealth::global() {
+  static EnsembleHealth health;
+  return health;
+}
+
+EnsembleHealth::EnsembleHealth() {
+  // Seed min/max so the first observation wins both races.
+  for (Slot& slot : slots_) {
+    slot.min_bits.store(std::bit_cast<std::uint64_t>(1e300), std::memory_order_relaxed);
+    slot.max_bits.store(std::bit_cast<std::uint64_t>(-1e300), std::memory_order_relaxed);
+  }
+  statusz_section_ = telemetry::Statusz::global().register_section(
+      "ensemble", [this](telemetry::StatuszWriter& w) {
+        const Snapshot snap = snapshot();
+        w.kv("windows", snap.windows);
+        w.kv("critics", static_cast<std::uint64_t>(snap.critics.size()));
+        w.kv("spread_mean", snap.spread_mean);
+        w.kv("spread_max", snap.spread_max);
+        if (snap.overflow != 0) w.kv("overflow_members", snap.overflow);
+        for (std::size_t i = 0; i < snap.critics.size(); ++i) {
+          const CriticStats& c = snap.critics[i];
+          if (c.contributions == 0) continue;
+          w.line("critic[" + std::to_string(i) +
+                 "] windows=" + std::to_string(c.contributions) +
+                 " mean=" + telemetry::format_double(c.mean) +
+                 " min=" + telemetry::format_double(c.min) +
+                 " max=" + telemetry::format_double(c.max));
+        }
+      });
+}
+
+void EnsembleHealth::observe(const DetectionResult& result) {
+  if (result.member_scores.size() != result.members.size() || result.members.empty()) return;
+  windows_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t j = 0; j < result.members.size(); ++j) {
+    const std::size_t idx = result.members[j];
+    if (idx >= kMaxCritics) {
+      overflow_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const auto score = static_cast<double>(result.member_scores[j]);
+    Slot& slot = slots_[idx];
+    slot.count.fetch_add(1, std::memory_order_relaxed);
+    add_double(slot.sum_bits, score);
+    min_double(slot.min_bits, score);
+    max_double(slot.max_bits, score);
+  }
+  const auto spread = static_cast<double>(result.spread);
+  spread_count_.fetch_add(1, std::memory_order_relaxed);
+  add_double(spread_sum_bits_, spread);
+  max_double(spread_max_bits_, spread);
+}
+
+void EnsembleHealth::publish_metrics() {
+  // One publisher at a time; a concurrent caller's refresh is redundant.
+  if (publishing_.exchange(true, std::memory_order_acquire)) return;
+  // Handles cached across calls: the registry lookup (mutex) runs once per
+  // live slot for the process lifetime, then refreshes are plain stores.
+  struct CriticGauges {
+    telemetry::Gauge* contributions = nullptr;
+    telemetry::Gauge* mean = nullptr;
+    telemetry::Gauge* min = nullptr;
+    telemetry::Gauge* max = nullptr;
+  };
+  static CriticGauges cache[kMaxCritics];
+  auto& reg = telemetry::MetricsRegistry::global();
+  static telemetry::Gauge& spread_mean = reg.gauge("vehigan_mbds_critic_spread_mean");
+  static telemetry::Gauge& spread_max = reg.gauge("vehigan_mbds_critic_spread_max");
+
+  const Snapshot snap = snapshot();
+  for (std::size_t i = 0; i < snap.critics.size(); ++i) {
+    const CriticStats& c = snap.critics[i];
+    if (c.contributions == 0) continue;
+    CriticGauges& g = cache[i];
+    if (g.contributions == nullptr) {
+      const std::string prefix = "vehigan_mbds_critic_" + std::to_string(i);
+      g.contributions = &reg.gauge(prefix + "_contributions");
+      g.mean = &reg.gauge(prefix + "_score_mean");
+      g.min = &reg.gauge(prefix + "_score_min");
+      g.max = &reg.gauge(prefix + "_score_max");
+    }
+    g.contributions->set(static_cast<double>(c.contributions));
+    g.mean->set(c.mean);
+    g.min->set(c.min);
+    g.max->set(c.max);
+  }
+  spread_mean.set(snap.spread_mean);
+  spread_max.set(snap.spread_max);
+  publishing_.store(false, std::memory_order_release);
+}
+
+EnsembleHealth::Snapshot EnsembleHealth::snapshot() const {
+  Snapshot snap;
+  snap.windows = windows_.load(std::memory_order_relaxed);
+  snap.overflow = overflow_.load(std::memory_order_relaxed);
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < kMaxCritics; ++i) {
+    if (slots_[i].count.load(std::memory_order_relaxed) != 0) live = i + 1;
+  }
+  snap.critics.resize(live);
+  for (std::size_t i = 0; i < live; ++i) {
+    const Slot& slot = slots_[i];
+    CriticStats& c = snap.critics[i];
+    c.contributions = slot.count.load(std::memory_order_relaxed);
+    if (c.contributions == 0) continue;
+    c.mean = std::bit_cast<double>(slot.sum_bits.load(std::memory_order_relaxed)) /
+             static_cast<double>(c.contributions);
+    c.min = std::bit_cast<double>(slot.min_bits.load(std::memory_order_relaxed));
+    c.max = std::bit_cast<double>(slot.max_bits.load(std::memory_order_relaxed));
+  }
+  const std::uint64_t spreads = spread_count_.load(std::memory_order_relaxed);
+  if (spreads != 0) {
+    snap.spread_mean =
+        std::bit_cast<double>(spread_sum_bits_.load(std::memory_order_relaxed)) /
+        static_cast<double>(spreads);
+    snap.spread_max = std::bit_cast<double>(spread_max_bits_.load(std::memory_order_relaxed));
+  }
+  return snap;
+}
+
+void EnsembleHealth::reset() {
+  for (Slot& slot : slots_) {
+    slot.count.store(0, std::memory_order_relaxed);
+    slot.sum_bits.store(0, std::memory_order_relaxed);
+    slot.min_bits.store(std::bit_cast<std::uint64_t>(1e300), std::memory_order_relaxed);
+    slot.max_bits.store(std::bit_cast<std::uint64_t>(-1e300), std::memory_order_relaxed);
+  }
+  windows_.store(0, std::memory_order_relaxed);
+  overflow_.store(0, std::memory_order_relaxed);
+  spread_sum_bits_.store(0, std::memory_order_relaxed);
+  spread_count_.store(0, std::memory_order_relaxed);
+  spread_max_bits_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace vehigan::mbds

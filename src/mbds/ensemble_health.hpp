@@ -1,0 +1,94 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "mbds/ensemble.hpp"
+
+namespace vehigan::mbds {
+
+/// Process-wide ensemble-health accumulator: per-critic score
+/// distributions, per-critic contribution counts, and inter-critic
+/// disagreement (the spread of each prediction's k-subset), fed from
+/// OnlineMbds's score path (observe_result) on every scored window. Pure
+/// observation — it reads DetectionResult.member_scores, which the ensemble
+/// computes anyway, so installing it cannot perturb verdicts.
+///
+/// Slots are indexed by *candidate index within the ensemble*. Every shard
+/// of a service deploys the same candidate list, so slot i aggregates the
+/// same critic across shards; distinct ensembles sharing a process fold by
+/// rank (statusz's "models" section disambiguates which ensembles are
+/// live). observe() is a handful of relaxed atomic RMWs per member — cheap
+/// enough to sit inside the <5% telemetry overhead guard.
+///
+/// Exported metrics (refreshed by publish_metrics, called on OnlineMbds's
+/// once-per-batch drift cadence):
+///   vehigan_mbds_critic_<i>_contributions  windows critic i scored (gauge)
+///   vehigan_mbds_critic_<i>_score_mean/_min/_max
+///   vehigan_mbds_critic_spread_mean / _max  inter-critic disagreement
+class EnsembleHealth {
+ public:
+  /// Slots for per-critic accounting; grid ensembles top out at m = 60.
+  /// Members beyond this index are tallied in Snapshot::overflow.
+  static constexpr std::size_t kMaxCritics = 64;
+
+  /// Point-in-time per-critic aggregate.
+  struct CriticStats {
+    std::uint64_t contributions = 0;  ///< windows this critic helped score
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  struct Snapshot {
+    std::vector<CriticStats> critics;  ///< index = candidate index; trailing empty slots trimmed
+    std::uint64_t windows = 0;         ///< predictions observed
+    std::uint64_t overflow = 0;        ///< member observations beyond kMaxCritics
+    double spread_mean = 0.0;          ///< mean k-subset disagreement
+    double spread_max = 0.0;           ///< worst disagreement seen
+  };
+
+  static EnsembleHealth& global();
+
+  EnsembleHealth(const EnsembleHealth&) = delete;
+  EnsembleHealth& operator=(const EnsembleHealth&) = delete;
+
+  /// Folds one prediction in. Thread-safe, lock-free; a no-op for results
+  /// without member scores (hand-built test fixtures).
+  void observe(const DetectionResult& result);
+
+  /// Refreshes the vehigan_mbds_critic_* gauges from the accumulators.
+  /// Thread-safe; concurrent callers skip instead of queuing (it is a
+  /// refresh, not a delta).
+  void publish_metrics();
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Zeroes every accumulator. Callers must ensure no concurrent observe().
+  /// Test isolation only.
+  void reset();
+
+ private:
+  EnsembleHealth();
+
+  /// All-atomic so observe() never takes a lock. Sum/min/max are double bit
+  /// patterns updated by relaxed CAS (the Gauge::add idiom).
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_bits{0};
+    std::atomic<std::uint64_t> min_bits{0};
+    std::atomic<std::uint64_t> max_bits{0};
+  };
+
+  Slot slots_[kMaxCritics];
+  std::atomic<std::uint64_t> windows_{0};
+  std::atomic<std::uint64_t> overflow_{0};
+  std::atomic<std::uint64_t> spread_sum_bits_{0};
+  std::atomic<std::uint64_t> spread_count_{0};
+  std::atomic<std::uint64_t> spread_max_bits_{0};
+  std::atomic<bool> publishing_{false};
+  std::uint64_t statusz_section_ = 0;
+};
+
+}  // namespace vehigan::mbds

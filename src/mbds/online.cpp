@@ -4,6 +4,7 @@
 
 #include "features/feature_engineering.hpp"
 #include "features/series.hpp"
+#include "mbds/ensemble_health.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
@@ -57,14 +58,16 @@ struct OnlineTelemetry {
   }
 };
 
-/// Refreshes the score-distribution gauges from the drift monitor. Called
-/// once per ingest()/ingest_batch(), not per window.
+/// Refreshes the score-distribution gauges from the drift monitor (and the
+/// ensemble-health critic gauges, which share the cadence). Called once per
+/// ingest()/ingest_batch(), not per window.
 void publish_drift(OnlineTelemetry& tel, const telemetry::ScoreDriftMonitor& monitor) {
   const auto stats = monitor.stats();
   tel.score_p50.set(stats.p50);
   tel.score_p95.set(stats.p95);
   tel.score_p99.set(stats.p99);
   tel.flag_rate.set(stats.flag_rate_ewma);
+  if (telemetry::enabled()) EnsembleHealth::global().publish_metrics();
 }
 
 }  // namespace
@@ -120,6 +123,8 @@ std::optional<MisbehaviorReport> OnlineMbds::finalize(const sim::Bsm& message,
   report.threshold = result.threshold;
   report.evidence.assign(evidence.begin(), evidence.end());
   report.trace_id = telemetry::trace_id_of(message.vehicle_id, message.time);
+  report.model_hash = detector_->provenance_hash();
+  report.critic_spread = result.spread;
   telemetry::FlightRecorder::record(
       telemetry::FlightEventKind::kReport, message.vehicle_id, report.trace_id,
       std::bit_cast<std::uint64_t>(static_cast<double>(result.score)));
@@ -135,6 +140,7 @@ std::optional<MisbehaviorReport> OnlineMbds::finalize(const sim::Bsm& message,
 void OnlineMbds::observe_result(const sim::Bsm& message, const DetectionResult& result) {
   if (score_sink_) score_sink_(message, result);
   if (!telemetry::enabled()) return;
+  EnsembleHealth::global().observe(result);
   const std::uint64_t trace = telemetry::trace_id_of(message.vehicle_id, message.time);
   telemetry::FlightRecorder::record(
       telemetry::FlightEventKind::kScore, message.vehicle_id, trace,

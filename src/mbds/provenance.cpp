@@ -1,0 +1,78 @@
+#include "mbds/provenance.hpp"
+
+#include "mbds/ensemble.hpp"
+#include "telemetry/exporter.hpp"
+#include "telemetry/statusz.hpp"
+
+namespace vehigan::mbds {
+
+std::string provenance_hex(std::uint64_t hash) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string hex(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    hex[static_cast<std::size_t>(i)] = kDigits[hash & 0xF];
+    hash >>= 4;
+  }
+  return hex;
+}
+
+ModelProvenance& ModelProvenance::global() {
+  static ModelProvenance provenance;
+  return provenance;
+}
+
+ModelProvenance::ModelProvenance() {
+  statusz_section_ = telemetry::Statusz::global().register_section(
+      "models", [this](telemetry::StatuszWriter& w) {
+        const std::vector<EnsembleInfo> ensembles = snapshot();
+        w.kv("ensembles", static_cast<std::uint64_t>(ensembles.size()));
+        for (const EnsembleInfo& e : ensembles) {
+          w.line("ensemble[" + provenance_hex(e.hash) + "] name=" + e.name +
+                 " m=" + std::to_string(e.m) + " k=" + std::to_string(e.k) +
+                 " instances=" + std::to_string(e.instances));
+          for (std::size_t i = 0; i < e.candidates.size(); ++i) {
+            const CandidateInfo& c = e.candidates[i];
+            w.line("  candidate[" + std::to_string(i) + "] name=" + c.name +
+                   " hash=" + provenance_hex(c.content_hash) +
+                   " threshold=" + telemetry::format_double(c.threshold));
+          }
+        }
+      });
+}
+
+void ModelProvenance::register_ensemble(const VehiGan& ensemble) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EnsembleInfo& info = ensembles_[ensemble.provenance_hash()];
+  ++info.instances;
+  if (info.instances > 1) return;  // identical build already described
+  info.hash = ensemble.provenance_hash();
+  info.name = ensemble.name();
+  info.m = ensemble.m();
+  info.k = ensemble.k();
+  info.candidates.reserve(ensemble.candidates().size());
+  for (const auto& candidate : ensemble.candidates()) {
+    info.candidates.push_back({candidate->name(), candidate->model().content_hash,
+                               candidate->threshold()});
+  }
+}
+
+ModelProvenance::EnsembleInfo ModelProvenance::lookup(std::uint64_t hash) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = ensembles_.find(hash);
+  return it == ensembles_.end() ? EnsembleInfo{} : it->second;
+}
+
+std::vector<ModelProvenance::EnsembleInfo> ModelProvenance::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<EnsembleInfo> out;
+  out.reserve(ensembles_.size());
+  for (const auto& [hash, info] : ensembles_) out.push_back(info);
+  return out;
+}
+
+void ModelProvenance::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ensembles_.clear();
+}
+
+}  // namespace vehigan::mbds

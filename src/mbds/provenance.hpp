@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vehigan::mbds {
+
+class VehiGan;
+
+/// Process-wide registry of every deployed ensemble's provenance: which
+/// candidate checkpoints (by content hash) a VehiGan was built from, its
+/// (m, k), and how many instances share that identity (a sharded service
+/// constructs one per shard). VehiGan registers itself at construction, so
+/// the statusz "models" section lists exactly the weights that can have
+/// produced any MisbehaviorReport.model_hash seen downstream — the lookup
+/// side of the verdict ledger's provenance stamp.
+class ModelProvenance {
+ public:
+  struct CandidateInfo {
+    std::string name;                ///< WganConfig::name()
+    std::uint64_t content_hash = 0;  ///< checkpoint payload hash
+    double threshold = 0.0;          ///< calibrated threshold at registration
+  };
+
+  struct EnsembleInfo {
+    std::uint64_t hash = 0;  ///< VehiGan::provenance_hash()
+    std::string name;        ///< "VehiGAN_m<m>_k<k>"
+    std::size_t m = 0;
+    std::size_t k = 0;
+    std::uint64_t instances = 0;  ///< constructions sharing this identity
+    std::vector<CandidateInfo> candidates;
+  };
+
+  static ModelProvenance& global();
+
+  ModelProvenance(const ModelProvenance&) = delete;
+  ModelProvenance& operator=(const ModelProvenance&) = delete;
+
+  /// Records one ensemble construction, deduplicated by provenance hash
+  /// (identical builds only bump `instances`). Called from the VehiGan
+  /// constructor; cold path, mutex-guarded.
+  void register_ensemble(const VehiGan& ensemble);
+
+  /// Provenance of a known ensemble hash; empty-name EnsembleInfo when the
+  /// hash was never registered in this process.
+  [[nodiscard]] EnsembleInfo lookup(std::uint64_t hash) const;
+
+  [[nodiscard]] std::vector<EnsembleInfo> snapshot() const;
+
+  /// Drops every registration. Test isolation only.
+  void reset();
+
+ private:
+  ModelProvenance();
+
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, EnsembleInfo> ensembles_;
+  std::uint64_t statusz_section_ = 0;
+};
+
+/// 16-digit lowercase hex of a provenance/content/trace hash — the shared
+/// spelling across report_codec, statusz, ledgerq, and the trace timelines.
+[[nodiscard]] std::string provenance_hex(std::uint64_t hash);
+
+}  // namespace vehigan::mbds

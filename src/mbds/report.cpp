@@ -1,15 +1,51 @@
 #include "mbds/report.hpp"
 
+#include <algorithm>
+
 namespace vehigan::mbds {
 
 bool MisbehaviorAuthority::submit(const MisbehaviorReport& report) {
   reports_.push_back(report);
+  apply_retention();
   const std::size_t count = ++counts_[report.suspect_id];
   if (count >= quota_ && !revoked_.contains(report.suspect_id)) {
     revoked_.insert(report.suspect_id);
     return true;
   }
   return false;
+}
+
+void MisbehaviorAuthority::set_retention(RetentionPolicy policy) {
+  if (policy.max_reports != 0 && policy.max_evidence_reports != 0) {
+    policy.max_evidence_reports = std::min(policy.max_evidence_reports, policy.max_reports);
+  }
+  retention_ = policy;
+  apply_retention();
+}
+
+void MisbehaviorAuthority::apply_retention() {
+  // Evidence first: strip BSM payloads from the oldest reports until only
+  // the newest max_evidence_reports still carry theirs. The verdict fields
+  // (suspect, score, threshold, model hash, trace) stay queryable.
+  if (retention_.max_evidence_reports != 0) {
+    while (reports_.size() - evidence_begin_ > retention_.max_evidence_reports) {
+      MisbehaviorReport& oldest = reports_[evidence_begin_++];
+      if (!oldest.evidence.empty()) {
+        oldest.evidence.clear();
+        oldest.evidence.shrink_to_fit();
+        ++evidence_dropped_;
+      }
+    }
+  }
+  // Then whole records. counts_/revoked_ are deliberately untouched:
+  // revocation is driven by the per-suspect tally, not the stored log.
+  if (retention_.max_reports != 0) {
+    while (reports_.size() > retention_.max_reports) {
+      reports_.pop_front();
+      if (evidence_begin_ > 0) --evidence_begin_;
+      ++reports_dropped_;
+    }
+  }
 }
 
 std::size_t MisbehaviorAuthority::report_count(std::uint32_t vehicle_id) const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <set>
 #include <vector>
@@ -24,13 +25,38 @@ struct MisbehaviorReport {
   /// verdict back to the serving-side trace timeline. 0 = not recorded
   /// (e.g. decoded from a pre-trace record).
   std::uint64_t trace_id = 0;
+  /// Provenance of the decision: VehiGan::provenance_hash() of the ensemble
+  /// that scored this window (FNV-1a over m, k, and every candidate's
+  /// checkpoint content hash). 0 = not recorded (legacy record).
+  std::uint64_t model_hash = 0;
+  /// Inter-critic disagreement of the flagging prediction's k-subset
+  /// (DetectionResult::spread). 0 when not recorded or k == 1.
+  float critic_spread = 0.0F;
 };
 
 /// Misbehavior Authority (MA) model: the SCMS component that collects MBRs,
 /// investigates, and revokes credentials by putting repeat offenders on the
 /// certificate revocation list (CRL).
+///
+/// Memory contract: by default every submitted report (evidence included)
+/// is retained forever — fine for bounded simulations, unbounded for a
+/// long-lived authority fed by a serving stack. `set_retention` caps the
+/// stored log; revocation counting is kept in a separate per-suspect map
+/// that retention never touches, so is_revoked / report_count behave
+/// identically at any cap.
 class MisbehaviorAuthority {
  public:
+  /// Retention cap on the stored report log. Evidence is dropped first:
+  /// only the newest `max_evidence_reports` retained reports keep their BSM
+  /// evidence payloads (the memory hog — ~700 bytes/report vs. ~50 for the
+  /// verdict fields); beyond `max_reports` the oldest report records are
+  /// dropped entirely. 0 = unbounded (the legacy default) for either knob;
+  /// max_evidence_reports is clamped to max_reports when both are set.
+  struct RetentionPolicy {
+    std::size_t max_reports = 0;
+    std::size_t max_evidence_reports = 0;
+  };
+
   /// @param revocation_quota distinct reports required before revocation;
   ///        a small quota > 1 tolerates isolated false positives.
   explicit MisbehaviorAuthority(std::size_t revocation_quota = 3)
@@ -39,17 +65,35 @@ class MisbehaviorAuthority {
   /// Files a report; returns true if this report triggered revocation.
   bool submit(const MisbehaviorReport& report);
 
+  /// Installs the retention cap and applies it to the already-stored log.
+  void set_retention(RetentionPolicy policy);
+  [[nodiscard]] const RetentionPolicy& retention() const { return retention_; }
+  /// Reports whose evidence was stripped by retention (lifetime tally).
+  [[nodiscard]] std::uint64_t evidence_dropped() const { return evidence_dropped_; }
+  /// Report records dropped entirely by retention (lifetime tally).
+  [[nodiscard]] std::uint64_t reports_dropped() const { return reports_dropped_; }
+
   [[nodiscard]] bool is_revoked(std::uint32_t vehicle_id) const {
     return revoked_.contains(vehicle_id);
   }
 
   [[nodiscard]] const std::set<std::uint32_t>& revocation_list() const { return revoked_; }
   [[nodiscard]] std::size_t report_count(std::uint32_t vehicle_id) const;
-  [[nodiscard]] const std::vector<MisbehaviorReport>& reports() const { return reports_; }
+  [[nodiscard]] const std::deque<MisbehaviorReport>& reports() const { return reports_; }
 
  private:
+  void apply_retention();
+
   std::size_t quota_;
-  std::vector<MisbehaviorReport> reports_;
+  RetentionPolicy retention_;
+  std::deque<MisbehaviorReport> reports_;
+  /// Index into reports_ of the oldest report that still holds evidence
+  /// (everything before it was stripped). Monotone per-element: evidence is
+  /// stripped oldest-first and never restored, so this cursor only needs to
+  /// advance as old entries fall off the front.
+  std::size_t evidence_begin_ = 0;
+  std::uint64_t evidence_dropped_ = 0;
+  std::uint64_t reports_dropped_ = 0;
   std::map<std::uint32_t, std::size_t> counts_;
   std::set<std::uint32_t> revoked_;
 };

@@ -6,6 +6,20 @@ namespace vehigan::mbds {
 
 using data::Json;
 
+namespace {
+
+std::string hex_u64(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string hex(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    hex[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return hex;
+}
+
+}  // namespace
+
 std::string encode_report(const MisbehaviorReport& report) {
   Json::Object object;
   object["version"] = Json(1);
@@ -14,17 +28,13 @@ std::string encode_report(const MisbehaviorReport& report) {
   object["time"] = Json(report.time);
   object["score"] = Json(static_cast<double>(report.score));
   object["threshold"] = Json(report.threshold);
-  if (report.trace_id != 0) {
-    // Hex string, not a JSON number: a u64 does not survive the double
-    // round-trip, and a missing key keeps old decoders working unchanged.
-    static constexpr char kDigits[] = "0123456789abcdef";
-    std::string hex(16, '0');
-    std::uint64_t v = report.trace_id;
-    for (int i = 15; i >= 0; --i) {
-      hex[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
-      v >>= 4;
-    }
-    object["trace"] = Json(std::move(hex));
+  if (report.trace_id != 0) object["trace"] = Json(hex_u64(report.trace_id));
+  // Same hex-string treatment as the trace id (a u64 does not survive the
+  // JSON double round-trip), and the same legacy contract: the key is absent
+  // when unrecorded, so pre-provenance decoders never see it.
+  if (report.model_hash != 0) object["model"] = Json(hex_u64(report.model_hash));
+  if (report.critic_spread != 0.0F) {
+    object["spread"] = Json(static_cast<double>(report.critic_spread));
   }
   Json::Array evidence;
   for (const auto& m : report.evidence) {
@@ -57,6 +67,13 @@ MisbehaviorReport decode_report(const std::string& text) {
   if (doc.contains("trace")) {
     // Pre-trace (original v1) records simply lack the key -> trace_id stays 0.
     report.trace_id = std::stoull(doc.at("trace").as_string(), nullptr, 16);
+  }
+  if (doc.contains("model")) {
+    // Pre-provenance records lack the key -> model_hash stays 0.
+    report.model_hash = std::stoull(doc.at("model").as_string(), nullptr, 16);
+  }
+  if (doc.contains("spread")) {
+    report.critic_spread = static_cast<float>(doc.at("spread").as_number());
   }
   for (const auto& entry : doc.at("evidence").as_array()) {
     sim::Bsm m;

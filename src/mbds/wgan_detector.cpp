@@ -1,5 +1,6 @@
 #include "mbds/wgan_detector.hpp"
 
+#include "gan/model_store.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -28,7 +29,12 @@ struct DetectorTelemetry {
 
 }  // namespace
 
-WganDetector::WganDetector(gan::TrainedWgan model) : model_(std::move(model)) {}
+WganDetector::WganDetector(gan::TrainedWgan model) : model_(std::move(model)) {
+  // Checkpoint-loaded models arrive with the stored checksum already in
+  // place; in-memory models (trainer output, test fixtures) get hashed here
+  // so every deployed critic carries a provenance identity.
+  if (model_.content_hash == 0) model_.content_hash = gan::content_hash(model_);
+}
 
 float WganDetector::raw_score(std::span<const float> snapshot) {
   // s(x) = -D(x): the critic outputs higher values for real-looking inputs.

@@ -8,6 +8,7 @@
 
 #include "metrics/roc.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/quality.hpp"
 
 namespace vehigan::scenario {
 
@@ -61,13 +62,25 @@ ScenarioOutcome run_scenario(ScenarioSource& source, const std::string& name,
   outcome.name = name;
 
   std::vector<ShardScores> shard_scores(options.service.num_shards);
+  // Online quality tap: label each window as it is scored (the label map is
+  // complete before the first tick — ScenarioSource contract) and fold it
+  // into the streaming monitor. Lock-free after warmup, so concurrent shard
+  // sinks are fine.
+  telemetry::QualityMonitor quality;
+  std::unordered_map<std::uint32_t, bool> malicious;
+  for (const auto& [sender, type] : source.attacker_type()) {
+    malicious.emplace(sender, type != 0);
+  }
   serve::DetectionService service(
       options.service, factory, scaler,
-      [&shard_scores](std::size_t shard, const sim::Bsm& message,
-                      const mbds::DetectionResult& result) {
+      [&shard_scores, &quality, &malicious](std::size_t shard, const sim::Bsm& message,
+                                            const mbds::DetectionResult& result) {
         ShardScores& log = shard_scores[shard];
         log.scores.emplace_back(message.vehicle_id, result.score);
         if (result.flagged) ++log.flag_counts[message.vehicle_id];
+        const auto it = malicious.find(message.vehicle_id);
+        quality.observe(result.score, it != malicious.end() && it->second,
+                        result.flagged);
       });
 
   // Adaptive sources probe cumulative per-station flag counts. The runner
@@ -135,6 +148,12 @@ ScenarioOutcome run_scenario(ScenarioSource& source, const std::string& name,
     }
   }
   outcome.auroc = metrics::auroc(negatives, positives);
+
+  quality.publish_metrics();  // vehigan_quality_* gauges reflect this run
+  const telemetry::QualityMonitor::Snapshot online = quality.snapshot();
+  outcome.online_auroc = online.auroc;
+  outcome.online_precision = online.precision;
+  outcome.online_recall = online.recall;
   return outcome;
 }
 

@@ -27,7 +27,13 @@ struct ScenarioOutcome {
   std::size_t senders = 0;         ///< distinct station ids labeled
   std::size_t attackers = 0;       ///< labeled malicious senders
   std::size_t windows_scored = 0;  ///< score-sink observations
-  double auroc = 0.5;              ///< window scores vs. sender ground truth
+  double auroc = 0.5;              ///< window scores vs. sender ground truth (exact, post-run)
+  /// Streaming estimates from telemetry::QualityMonitor, computed online
+  /// during the run (no retained score stream). online_auroc tracks `auroc`
+  /// to within the monitor's binning error (pinned <= 0.02 by tests).
+  double online_auroc = 0.5;
+  double online_precision = 0.0;  ///< TP / flagged at the deployed threshold
+  double online_recall = 0.0;     ///< TP / labeled-positive windows
   double p99_drain_ms = 0.0;       ///< p99 shard drain latency during this run
   double drop_rate = 0.0;          ///< dropped / enqueued
   std::uint64_t reports = 0;

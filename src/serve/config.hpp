@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -77,6 +78,13 @@ struct ServiceConfig {
   // contract).
   double evict_after_s = 30.0;
   double evict_every_s = 5.0;
+
+  // Verdict audit ledger (serve/verdict_ledger.hpp). When `ledger_path` is
+  // non-empty the service appends every emitted MisbehaviorReport to a
+  // crash-safe binary ledger at that path (plus per-sender score summaries
+  // at each drain/stop), rotating files past `ledger_rotate_bytes`.
+  std::string ledger_path;
+  std::size_t ledger_rotate_bytes = 64ULL << 20;
 };
 
 /// Point-in-time counters of one shard. The invariant the serve tests pin:

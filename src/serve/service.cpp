@@ -1,5 +1,6 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -59,19 +60,51 @@ DetectionService::DetectionService(const ServiceConfig& config,
     throw std::invalid_argument("DetectionService: queue_capacity must be >= 1");
   }
   if (!factory) throw std::invalid_argument("DetectionService: null detector factory");
+  if (!config_.ledger_path.empty()) {
+    ledger_ = std::make_unique<VerdictLedger>(VerdictLedger::Options{
+        .path = config_.ledger_path, .rotate_bytes = config_.ledger_rotate_bytes});
+    summaries_.resize(config_.num_shards);
+  }
   collector_ = std::make_unique<ReportCollector>(config_.num_shards);
   shards_.reserve(config_.num_shards);
   for (std::size_t i = 0; i < config_.num_shards; ++i) {
     auto detector = std::make_unique<mbds::OnlineMbds>(
         config_.station_id, factory(i), scaler, config_.report_cooldown_s,
         config_.gap_reset_s);
-    if (score_sink) {
+    if (ledger_) {
+      // Summary tap runs on the owning shard's worker (per-window, in that
+      // sender's message order), then chains the caller's sink unchanged.
+      detector->set_score_sink([this, score_sink, i](const sim::Bsm& message,
+                                                     const mbds::DetectionResult& result) {
+        SenderSummary& summary = summaries_[i][message.vehicle_id];
+        if (summary.windows == 0) {
+          summary.sender = message.vehicle_id;
+          summary.first_time = message.time;
+          summary.score_min = result.score;
+          summary.score_max = result.score;
+        }
+        ++summary.windows;
+        if (result.flagged) ++summary.flagged;
+        summary.last_time = message.time;
+        summary.score_min = std::min(summary.score_min, static_cast<double>(result.score));
+        summary.score_max = std::max(summary.score_max, static_cast<double>(result.score));
+        summary.score_sum += static_cast<double>(result.score);
+        if (score_sink) score_sink(i, message, result);
+      });
+    } else if (score_sink) {
       detector->set_score_sink(
           [score_sink, i](const sim::Bsm& message, const mbds::DetectionResult& result) {
             score_sink(i, message, result);
           });
     }
     shards_.push_back(std::make_unique<Shard>(i, config_, std::move(detector)));
+  }
+  // With a ledger every collector-delivered report is appended before the
+  // user sink sees it; the collector serializes sink calls, so ledger
+  // appends are uncontended.
+  if (ledger_) {
+    collector_->set_sink(
+        [this](const mbds::MisbehaviorReport& report) { ledger_->append_report(report); });
   }
   // Each shard publishes its drain cycle's reports into its own collector
   // lane; the collector thread merges lanes and drives the user sink. The
@@ -99,6 +132,15 @@ DetectionService::DetectionService(const ServiceConfig& config,
         w.kv("drift_alarms", snapshot.total.drift_alarms);
         w.kv("busy_fraction", snapshot.total.busy_fraction());
         w.kv("collector_busy_fraction", collector_->busy_fraction());
+        if (ledger_) {
+          const VerdictLedger::Stats ls = ledger_->stats();
+          w.line("ledger path=" + ledger_->path().string() +
+                 " verdicts=" + std::to_string(ls.verdicts) +
+                 " summaries=" + std::to_string(ls.summaries) +
+                 " bytes=" + std::to_string(ls.bytes_written) +
+                 " rotations=" + std::to_string(ls.rotations) +
+                 " write_errors=" + std::to_string(ls.write_errors));
+        }
         for (std::size_t i = 0; i < snapshot.shards.size(); ++i) {
           shard_statusz_row(w, i, snapshot.shards[i]);
         }
@@ -144,7 +186,25 @@ std::size_t DetectionService::submit_batch(std::span<const sim::Bsm> messages) {
 }
 
 void DetectionService::set_report_sink(ReportSink sink) {
+  if (ledger_) {
+    collector_->set_sink(
+        [this, sink = std::move(sink)](const mbds::MisbehaviorReport& report) {
+          ledger_->append_report(report);
+          if (sink) sink(report);
+        });
+    return;
+  }
   collector_->set_sink(std::move(sink));
+}
+
+void DetectionService::flush_summaries() {
+  for (auto& shard_summaries : summaries_) {
+    for (const auto& [sender, summary] : shard_summaries) {
+      ledger_->append_summary(summary);
+    }
+    // Clear so each flushed summary covers exactly one inter-drain window.
+    shard_summaries.clear();
+  }
 }
 
 void DetectionService::drain() {
@@ -154,6 +214,10 @@ void DetectionService::drain() {
   // single-mutex sink.
   for (auto& shard : shards_) shard->wait_idle();
   collector_->flush();
+  if (ledger_) {
+    flush_summaries();  // shards idle: summary maps are quiescent
+    ledger_->flush();
+  }
   // Quiescent point: a black-box snapshot here captures every event of the
   // batches that just settled (no-op unless a dump path is configured).
   telemetry::FlightRecorder::global().dump_if_configured();
@@ -168,6 +232,10 @@ void DetectionService::stop() {
   for (auto& shard : shards_) shard->close();
   for (auto& shard : shards_) shard->join();
   collector_->stop();
+  if (ledger_) {
+    flush_summaries();  // workers joined: summary maps are quiescent
+    ledger_->flush();
+  }
   telemetry::FlightRecorder::global().dump_if_configured();
   telemetry::Statusz::global().dump_if_configured();
 }

@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "features/scaler.hpp"
@@ -13,6 +14,7 @@
 #include "serve/config.hpp"
 #include "serve/report_collector.hpp"
 #include "serve/shard.hpp"
+#include "serve/verdict_ledger.hpp"
 #include "sim/bsm.hpp"
 
 namespace vehigan::serve {
@@ -98,8 +100,20 @@ class DetectionService {
   /// periodic metric dumps observe shard memory and backlog.
   [[nodiscard]] ServiceStats stats() const;
 
+  /// The verdict audit ledger, or nullptr when config.ledger_path is empty.
+  [[nodiscard]] const VerdictLedger* ledger() const { return ledger_.get(); }
+
  private:
+  /// Drain-time flush of the per-shard sender summaries into the ledger as
+  /// type-2 records. Callers must hold the shard-idle happens-before edge
+  /// (wait_idle()/join()) — the summary maps are shard-thread-owned.
+  void flush_summaries();
+
   ServiceConfig config_;
+  std::unique_ptr<VerdictLedger> ledger_;
+  /// Per-shard sender -> running summary, written only by that shard's
+  /// worker (score-sink callback), read/cleared at drain/stop quiescence.
+  std::vector<std::unordered_map<std::uint32_t, SenderSummary>> summaries_;
   // Declared before shards_ on purpose: shards are destroyed first (their
   // workers stop publishing), then the collector flushes and joins.
   std::unique_ptr<ReportCollector> collector_;

@@ -1,0 +1,442 @@
+#include "serve/verdict_ledger.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/hash.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define VEHIGAN_LEDGER_POSIX 1
+#else
+#include <cstdio>
+#endif
+
+namespace vehigan::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char kMagic[] = "vehigan-ledger-v1";
+constexpr std::size_t kMagicLen = sizeof(kMagic) - 1;
+/// Staged records the crash hook can write; also the flush watermark.
+constexpr std::size_t kStagingCapacity = 256 * 1024;
+/// A verdict carries ~a dozen BSMs; anything past this is a corrupt length.
+constexpr std::uint32_t kMaxBody = 16 * 1024 * 1024;
+
+// --- little-endian POD append/read (host LE assumed, as in nn::io) ---
+
+template <typename T>
+void put(std::string& out, T v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+/// Bounds-checked cursor over a decoded file; get() returns false instead
+/// of throwing so the reader can stop at a torn tail.
+struct Cursor {
+  const char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  template <typename T>
+  bool get(T& out) {
+    if (size - pos < sizeof(T)) return false;
+    std::memcpy(&out, data + pos, sizeof(T));
+    pos += sizeof(T);
+    return true;
+  }
+};
+
+std::string encode_verdict(const mbds::MisbehaviorReport& report) {
+  std::string body;
+  body.reserve(64 + report.evidence.size() * sizeof(double) * 8);
+  put<std::uint8_t>(body, static_cast<std::uint8_t>(LedgerRecord::Type::kVerdict));
+  put<std::uint32_t>(body, report.reporter_id);
+  put<std::uint32_t>(body, report.suspect_id);
+  put<double>(body, report.time);
+  put<float>(body, report.score);
+  put<double>(body, report.threshold);
+  put<std::uint64_t>(body, report.trace_id);
+  put<std::uint64_t>(body, report.model_hash);
+  put<float>(body, report.critic_spread);
+  put<std::uint32_t>(body, static_cast<std::uint32_t>(report.evidence.size()));
+  for (const sim::Bsm& m : report.evidence) {
+    put<std::uint32_t>(body, m.vehicle_id);
+    put<double>(body, m.time);
+    put<double>(body, m.x);
+    put<double>(body, m.y);
+    put<double>(body, m.speed);
+    put<double>(body, m.accel);
+    put<double>(body, m.heading);
+    put<double>(body, m.yaw_rate);
+  }
+  return body;
+}
+
+std::string encode_summary(const SenderSummary& summary) {
+  std::string body;
+  put<std::uint8_t>(body, static_cast<std::uint8_t>(LedgerRecord::Type::kSummary));
+  put<std::uint32_t>(body, summary.sender);
+  put<std::uint64_t>(body, summary.windows);
+  put<std::uint64_t>(body, summary.flagged);
+  put<double>(body, summary.first_time);
+  put<double>(body, summary.last_time);
+  put<double>(body, summary.score_min);
+  put<double>(body, summary.score_max);
+  put<double>(body, summary.score_sum);
+  return body;
+}
+
+bool decode_verdict(Cursor& c, mbds::MisbehaviorReport& report) {
+  std::uint32_t evidence_count = 0;
+  if (!c.get(report.reporter_id) || !c.get(report.suspect_id) || !c.get(report.time) ||
+      !c.get(report.score) || !c.get(report.threshold) || !c.get(report.trace_id) ||
+      !c.get(report.model_hash) || !c.get(report.critic_spread) || !c.get(evidence_count)) {
+    return false;
+  }
+  constexpr std::size_t kBsmBytes = sizeof(std::uint32_t) + 7 * sizeof(double);
+  if (evidence_count > (c.size - c.pos) / kBsmBytes) return false;
+  report.evidence.resize(evidence_count);
+  for (sim::Bsm& m : report.evidence) {
+    if (!c.get(m.vehicle_id) || !c.get(m.time) || !c.get(m.x) || !c.get(m.y) ||
+        !c.get(m.speed) || !c.get(m.accel) || !c.get(m.heading) || !c.get(m.yaw_rate)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool decode_summary(Cursor& c, SenderSummary& summary) {
+  return c.get(summary.sender) && c.get(summary.windows) && c.get(summary.flagged) &&
+         c.get(summary.first_time) && c.get(summary.last_time) && c.get(summary.score_min) &&
+         c.get(summary.score_max) && c.get(summary.score_sum);
+}
+
+std::string file_header() {
+  std::string header;
+  put<std::uint64_t>(header, kMagicLen);
+  header.append(kMagic, kMagicLen);
+  return header;
+}
+
+// --- platform file primitives ---
+
+#ifdef VEHIGAN_LEDGER_POSIX
+
+int open_trunc(const fs::path& path) {
+  return ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) return false;
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void close_file(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+#else  // non-POSIX fallback: cstdio, no async-signal-safe crash flush
+
+// FILE* handles are kept in a registry indexed by the int handle the class
+// stores, so both platform branches share the same member type.
+std::vector<std::FILE*>& file_registry() {
+  static std::vector<std::FILE*> g_files;
+  return g_files;
+}
+
+int open_trunc(const fs::path& path) {
+  std::FILE* file = std::fopen(path.string().c_str(), "wb");
+  if (file == nullptr) return -1;
+  file_registry().push_back(file);
+  return static_cast<int>(file_registry().size() - 1);
+}
+
+std::FILE*& file_of(int fd) { return file_registry().at(static_cast<std::size_t>(fd)); }
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  return std::fwrite(data, 1, size, file_of(fd)) == size;
+}
+
+void close_file(int fd) {
+  if (fd >= 0 && file_of(fd) != nullptr) {
+    std::fclose(file_of(fd));
+    file_of(fd) = nullptr;
+  }
+}
+
+#endif
+
+// --- crash-hook table: fixed slots, claimed/released lock-free ---
+
+constexpr std::size_t kMaxLiveLedgers = 16;
+std::atomic<VerdictLedger*> g_live_ledgers[kMaxLiveLedgers] = {};
+
+void ledger_crash_hook() {
+  for (auto& slot : g_live_ledgers) {
+    VerdictLedger* ledger = slot.load(std::memory_order_acquire);
+    if (ledger != nullptr) ledger->crash_flush();
+  }
+}
+
+struct LedgerTelemetry {
+  telemetry::Counter& records_total;
+  telemetry::Counter& flushes_total;
+  telemetry::Counter& rotations_total;
+  telemetry::Counter& write_errors_total;
+
+  static LedgerTelemetry& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static LedgerTelemetry tel{
+        reg.counter("vehigan_ledger_records_total"),
+        reg.counter("vehigan_ledger_flushes_total"),
+        reg.counter("vehigan_ledger_rotations_total"),
+        reg.counter("vehigan_ledger_write_errors_total"),
+    };
+    return tel;
+  }
+};
+
+}  // namespace
+
+VerdictLedger::VerdictLedger(Options options) : options_(std::move(options)) {
+  staging_.resize(kStagingCapacity);  // fixed: the crash hook reads data() lock-free
+  fd_ = open_trunc(options_.path);
+  if (fd_ < 0) {
+    throw std::runtime_error("VerdictLedger: cannot create " + options_.path.string());
+  }
+  const std::string header = file_header();
+  if (!write_all(fd_, header.data(), header.size())) {
+    close_file(fd_);
+    throw std::runtime_error("VerdictLedger: cannot write header to " +
+                             options_.path.string());
+  }
+  file_bytes_ = header.size();
+  stats_.bytes_written = header.size();
+
+  for (std::size_t i = 0; i < kMaxLiveLedgers; ++i) {
+    VerdictLedger* expected = nullptr;
+    if (g_live_ledgers[i].compare_exchange_strong(expected, this,
+                                                  std::memory_order_acq_rel)) {
+      crash_slot_ = i;
+      break;
+    }
+  }
+  static bool hook_registered =
+      telemetry::FlightRecorder::register_crash_hook(&ledger_crash_hook);
+  (void)hook_registered;
+}
+
+VerdictLedger::~VerdictLedger() {
+  // Deregister before tearing down: once the slot is clear the crash hook
+  // can no longer reach this instance mid-destruction.
+  if (crash_slot_ != SIZE_MAX) {
+    g_live_ledgers[crash_slot_].store(nullptr, std::memory_order_release);
+  }
+  flush();
+  std::lock_guard<std::mutex> lock(mutex_);
+  close_file(fd_);
+  fd_ = -1;
+}
+
+void VerdictLedger::append_record(std::uint8_t type, const std::string& body) {
+  (void)type;
+  std::lock_guard<std::mutex> lock(mutex_);
+  scratch_.clear();
+  put<std::uint32_t>(scratch_, static_cast<std::uint32_t>(body.size()));
+  scratch_.append(body);
+  put<std::uint64_t>(scratch_, util::Fnv1a().add(body).value());
+
+  std::size_t staged = staged_published_.load(std::memory_order_relaxed);
+  if (staged + scratch_.size() > staging_.size()) {
+    flush_locked();
+    staged = 0;
+  }
+  if (scratch_.size() > staging_.size()) {
+    // A record bigger than the whole staging buffer (oversized evidence
+    // window) goes straight to the file.
+    if (!write_all(fd_, scratch_.data(), scratch_.size())) {
+      ++stats_.write_errors;
+      LedgerTelemetry::get().write_errors_total.add(1);
+      return;
+    }
+    file_bytes_ += scratch_.size();
+    stats_.bytes_written += scratch_.size();
+    rotate_locked();
+    return;
+  }
+  std::memcpy(staging_.data() + staged, scratch_.data(), scratch_.size());
+  // Publish the new complete-record boundary only after the bytes are in
+  // place: the crash hook writes exactly [0, staged_published_).
+  staged_published_.store(staged + scratch_.size(), std::memory_order_release);
+}
+
+void VerdictLedger::append_report(const mbds::MisbehaviorReport& report) {
+  append_record(static_cast<std::uint8_t>(LedgerRecord::Type::kVerdict),
+                encode_verdict(report));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.verdicts;
+  }
+  LedgerTelemetry::get().records_total.add(1);
+}
+
+void VerdictLedger::append_summary(const SenderSummary& summary) {
+  append_record(static_cast<std::uint8_t>(LedgerRecord::Type::kSummary),
+                encode_summary(summary));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.summaries;
+  }
+  LedgerTelemetry::get().records_total.add(1);
+}
+
+void VerdictLedger::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flush_locked();
+  rotate_locked();
+}
+
+void VerdictLedger::flush_locked() {
+  const std::size_t staged = staged_published_.load(std::memory_order_relaxed);
+  if (staged == 0 || fd_ < 0) return;
+  // The flushing_ flag fences the crash hook out while these bytes are
+  // mid-write: double-writing them from the hook would duplicate records.
+  flushing_.store(true, std::memory_order_release);
+  const bool ok = write_all(fd_, staging_.data(), staged);
+  staged_published_.store(0, std::memory_order_relaxed);
+  flushing_.store(false, std::memory_order_release);
+  if (!ok) {
+    ++stats_.write_errors;
+    LedgerTelemetry::get().write_errors_total.add(1);
+    return;
+  }
+  file_bytes_ += staged;
+  stats_.bytes_written += staged;
+  LedgerTelemetry::get().flushes_total.add(1);
+}
+
+void VerdictLedger::rotate_locked() {
+  if (options_.rotate_bytes == 0 || file_bytes_ <= options_.rotate_bytes) return;
+  close_file(fd_);
+  fd_ = -1;
+  fs::path rotated = options_.path;
+  rotated += "." + std::to_string(stats_.rotations + 1);
+  std::error_code ec;
+  fs::rename(options_.path, rotated, ec);  // best effort; reopen regardless
+  fd_ = open_trunc(options_.path);
+  if (fd_ < 0) {
+    ++stats_.write_errors;
+    LedgerTelemetry::get().write_errors_total.add(1);
+    return;
+  }
+  const std::string header = file_header();
+  if (!write_all(fd_, header.data(), header.size())) {
+    ++stats_.write_errors;
+    LedgerTelemetry::get().write_errors_total.add(1);
+  }
+  file_bytes_ = header.size();
+  ++stats_.rotations;
+  LedgerTelemetry::get().rotations_total.add(1);
+}
+
+VerdictLedger::Stats VerdictLedger::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void VerdictLedger::crash_flush() noexcept {
+#ifdef VEHIGAN_LEDGER_POSIX
+  if (flushing_.load(std::memory_order_acquire)) return;
+  const std::size_t staged = staged_published_.load(std::memory_order_acquire);
+  if (staged == 0 || fd_ < 0) return;
+  // Raw ::write only — no locks, no allocation, no stdio. A concurrent
+  // append can at worst be publishing a longer prefix; the one read above
+  // covers complete records by construction.
+  (void)write_all(fd_, staging_.data(), staged);
+#endif
+}
+
+LedgerReadResult read_ledger(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_ledger: cannot open " + path.string());
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  LedgerReadResult result;
+  Cursor c{bytes.data(), bytes.size()};
+  std::uint64_t magic_len = 0;
+  if (!c.get(magic_len) || magic_len != kMagicLen || bytes.size() - c.pos < kMagicLen ||
+      std::memcmp(bytes.data() + c.pos, kMagic, kMagicLen) != 0) {
+    throw std::runtime_error("read_ledger: " + path.string() + " is not a vehigan ledger");
+  }
+  c.pos += kMagicLen;
+  result.intact_bytes = c.pos;
+
+  while (c.pos < c.size) {
+    std::uint32_t body_len = 0;
+    if (!c.get(body_len)) {
+      result.torn_tail = true;
+      result.tail_error = "torn record header";
+      break;
+    }
+    if (body_len == 0 || body_len > kMaxBody) {
+      result.torn_tail = true;
+      result.tail_error = "implausible record length";
+      break;
+    }
+    if (c.size - c.pos < body_len + sizeof(std::uint64_t)) {
+      result.torn_tail = true;
+      result.tail_error = "torn record body";
+      break;
+    }
+    const char* body = c.data + c.pos;
+    std::uint64_t stored = 0;
+    std::memcpy(&stored, body + body_len, sizeof(stored));
+    if (util::Fnv1a().add_bytes(body, body_len).value() != stored) {
+      result.torn_tail = true;
+      result.tail_error = "record checksum mismatch";
+      break;
+    }
+    Cursor rc{body, body_len};
+    std::uint8_t type = 0;
+    (void)rc.get(type);  // body_len >= 1 checked above
+    LedgerRecord record;
+    bool ok = false;
+    if (type == static_cast<std::uint8_t>(LedgerRecord::Type::kVerdict)) {
+      record.type = LedgerRecord::Type::kVerdict;
+      ok = decode_verdict(rc, record.report);
+      if (ok) ++result.verdicts;
+    } else if (type == static_cast<std::uint8_t>(LedgerRecord::Type::kSummary)) {
+      record.type = LedgerRecord::Type::kSummary;
+      ok = decode_summary(rc, record.summary);
+      if (ok) ++result.summaries;
+    } else {
+      // Checksum-valid record of a future writer: skip, keep scanning.
+      ++result.unknown;
+      c.pos += body_len + sizeof(std::uint64_t);
+      result.intact_bytes = c.pos;
+      continue;
+    }
+    if (!ok || rc.pos != rc.size) {
+      result.torn_tail = true;
+      result.tail_error = "record body does not parse";
+      break;
+    }
+    result.records.push_back(std::move(record));
+    c.pos += body_len + sizeof(std::uint64_t);
+    result.intact_bytes = c.pos;
+  }
+  return result;
+}
+
+}  // namespace vehigan::serve

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mbds/report.hpp"
+
+namespace vehigan::serve {
+
+/// Per-sender score summary over one inter-drain window: the "what was
+/// normal for this sender" context a verdict audit needs next to the
+/// flagged windows themselves. Written as type-2 ledger records at every
+/// DetectionService::drain()/stop().
+struct SenderSummary {
+  std::uint32_t sender = 0;
+  std::uint64_t windows = 0;  ///< windows scored for this sender
+  std::uint64_t flagged = 0;  ///< windows over threshold
+  double first_time = 0.0;    ///< message time of the first scored window
+  double last_time = 0.0;
+  double score_min = 0.0;
+  double score_max = 0.0;
+  double score_sum = 0.0;  ///< mean = score_sum / windows
+};
+
+/// One decoded ledger record.
+struct LedgerRecord {
+  enum class Type : std::uint8_t {
+    kVerdict = 1,  ///< a MisbehaviorReport as delivered by the collector
+    kSummary = 2,  ///< per-sender score summary for one drain window
+  };
+  Type type = Type::kVerdict;
+  mbds::MisbehaviorReport report;  ///< valid when type == kVerdict
+  SenderSummary summary;           ///< valid when type == kSummary
+};
+
+/// Outcome of read_ledger: every intact prefix record, plus what (if
+/// anything) stopped the scan. A torn tail is expected after a crash — the
+/// reader never throws for it.
+struct LedgerReadResult {
+  std::vector<LedgerRecord> records;
+  std::uint64_t verdicts = 0;
+  std::uint64_t summaries = 0;
+  std::uint64_t unknown = 0;     ///< valid-checksum records of a future type (skipped)
+  std::uint64_t intact_bytes = 0;  ///< file prefix covered by decoded records
+  bool torn_tail = false;
+  std::string tail_error;  ///< why the scan stopped early (empty when clean)
+};
+
+/// Crash-safe append-only audit log of every verdict the serving stack
+/// emits ("accountable misbehavior reports", paper Sec. I/III-F), in the
+/// spirit of the model-store v2 format: a length-prefixed magic header,
+/// then length-prefixed FNV-1a-checksummed binary records
+///
+///   [u32 body_len][body: u8 type + fields][u64 fnv1a(body)]
+///
+/// so a reader can trust any record whose checksum matches and stop cleanly
+/// at a torn tail (partial write, crash, byte flip). See DESIGN.md Sec. 10
+/// for the field layout.
+///
+/// Write path: appends stage into a fixed in-memory buffer under a mutex
+/// (called only from the collector thread and from drain-time summary
+/// flushes, so the lock is uncontended); flush() — wired to
+/// DetectionService::drain()/stop() — writes the staged bytes out. Crash
+/// path: the staged prefix length is published atomically, and an
+/// async-signal-safe crash hook (FlightRecorder::register_crash_hook)
+/// ::write()s that prefix raw, so even a SIGSEGV mid-run loses at most the
+/// record being encoded. Opening truncates: one ledger file per run, with
+/// size-based rotation renaming filled files to `<path>.1`, `<path>.2`, ...
+/// (newest records always live at `<path>`).
+class VerdictLedger {
+ public:
+  struct Options {
+    std::filesystem::path path;
+    /// Rotate after the current file exceeds this many bytes (0 = never).
+    std::size_t rotate_bytes = 64ULL << 20;
+  };
+
+  struct Stats {
+    std::uint64_t verdicts = 0;
+    std::uint64_t summaries = 0;
+    std::uint64_t bytes_written = 0;  ///< flushed to the current file
+    std::uint64_t rotations = 0;
+    std::uint64_t write_errors = 0;
+  };
+
+  /// Opens (truncating) `options.path` and registers the crash hook.
+  /// Throws std::runtime_error when the file cannot be created.
+  explicit VerdictLedger(Options options);
+  ~VerdictLedger();  ///< flush() + close; deregisters from the crash table
+
+  VerdictLedger(const VerdictLedger&) = delete;
+  VerdictLedger& operator=(const VerdictLedger&) = delete;
+
+  void append_report(const mbds::MisbehaviorReport& report);
+  void append_summary(const SenderSummary& summary);
+
+  /// Writes every staged record to the file and applies rotation. Called by
+  /// DetectionService::drain()/stop(); safe from any thread.
+  void flush();
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const std::filesystem::path& path() const { return options_.path; }
+
+  /// Async-signal-safe best-effort flush of the staged prefix, for crash
+  /// hooks only: no locks, no allocation; skips when a regular flush is
+  /// mid-write (those bytes are already on their way out).
+  void crash_flush() noexcept;
+
+ private:
+  void append_record(std::uint8_t type, const std::string& body);
+  void flush_locked();
+  void rotate_locked();
+
+  Options options_;
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  std::vector<char> staging_;
+  /// Bytes of staging_ forming complete records — the only prefix the crash
+  /// hook may write. Stored atomically so the (lock-free) hook reads a
+  /// record boundary, never a half-encoded tail.
+  std::atomic<std::size_t> staged_published_{0};
+  std::atomic<bool> flushing_{false};
+  std::uint64_t file_bytes_ = 0;  ///< bytes flushed to the *current* file
+  std::string scratch_;           ///< per-append encode buffer (capacity reused)
+  Stats stats_;
+  std::size_t crash_slot_ = SIZE_MAX;  ///< index in the global crash table
+};
+
+/// Decodes a ledger file, tolerating a torn tail: returns every record
+/// whose length/checksum framing validates, in file order, and reports why
+/// the scan stopped. Throws std::runtime_error only when the file cannot be
+/// opened or its header is not a vehigan ledger.
+[[nodiscard]] LedgerReadResult read_ledger(const std::filesystem::path& path);
+
+}  // namespace vehigan::serve

@@ -77,6 +77,13 @@ bool read_slot(const Slot& slot, std::uint64_t index, FlightEvent& out) {
   return slot.seq.load(std::memory_order_relaxed) == seq1;
 }
 
+// Fixed lock-free crash-hook table: slots are claimed by bumping the count
+// *after* the pointer store, so the handler never sees a half-registered
+// entry. Hooks are process-lifetime (no unregistration) — the handler may
+// fire at any instant, including during static destruction.
+std::atomic<FlightRecorder::CrashHook> g_crash_hooks[FlightRecorder::kMaxCrashHooks] = {};
+std::atomic<std::size_t> g_crash_hook_count{0};
+
 #if defined(__unix__) || defined(__APPLE__)
 char g_crash_path[768] = {0};
 
@@ -86,6 +93,7 @@ void crash_signal_handler(int sig) {
   // is: write it next to the flight-recorder post-mortem (no-op unless a
   // statusz dump path is armed).
   (void)Statusz::crash_dump_cached();
+  FlightRecorder::run_crash_hooks();
   ::signal(sig, SIG_DFL);
   ::raise(sig);
 }
@@ -311,6 +319,26 @@ bool FlightRecorder::dump_if_configured() const {
   const std::string path = dump_path();
   if (path.empty()) return false;
   return dump(path.c_str());
+}
+
+bool FlightRecorder::register_crash_hook(CrashHook hook) {
+  if (hook == nullptr) return false;
+  const std::size_t index = g_crash_hook_count.fetch_add(1, std::memory_order_acq_rel);
+  if (index >= kMaxCrashHooks) {
+    g_crash_hook_count.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  g_crash_hooks[index].store(hook, std::memory_order_release);
+  return true;
+}
+
+void FlightRecorder::run_crash_hooks() {
+  const std::size_t count =
+      std::min(g_crash_hook_count.load(std::memory_order_acquire), kMaxCrashHooks);
+  for (std::size_t i = 0; i < count; ++i) {
+    const CrashHook hook = g_crash_hooks[i].load(std::memory_order_acquire);
+    if (hook != nullptr) hook();
+  }
 }
 
 void FlightRecorder::clear() {

@@ -90,6 +90,25 @@ class FlightRecorder {
   /// supervisors). No-op on non-POSIX builds.
   void install_crash_handler(const std::string& path);
 
+  /// A hook the crash handler runs after the ring dump (and the cached
+  /// statusz snapshot). MUST be async-signal-safe: plain function pointer,
+  /// no allocation, no locks — the verdict ledger registers one to write
+  /// its staged-but-unflushed records before the process dies.
+  using CrashHook = void (*)();
+
+  /// Registers `hook` into a fixed lock-free table (at most kMaxCrashHooks;
+  /// returns false when full or hook is null). Hooks run in registration
+  /// order whenever the installed crash handler fires, whether or not a
+  /// flight-recorder dump path is configured. Hooks cannot be unregistered
+  /// — register a process-lifetime trampoline that consults its own state.
+  static bool register_crash_hook(CrashHook hook);
+  static constexpr std::size_t kMaxCrashHooks = 8;
+
+  /// Runs every registered hook, exactly as the crash handler would.
+  /// Exposed so tests (and non-POSIX builds) can exercise hook behavior
+  /// without dying by signal.
+  static void run_crash_hooks();
+
   /// Resets every ring to empty (heads to zero, slots invalidated) and
   /// clears drop counters. Callers must ensure no thread is concurrently
   /// recording. Test isolation only.

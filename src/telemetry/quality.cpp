@@ -1,0 +1,183 @@
+#include "telemetry/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/metrics.hpp"
+
+namespace vehigan::telemetry {
+
+namespace {
+
+/// Exact Mann-Whitney AUROC over (score, positive) pairs, 0.5 tie credit —
+/// the same statistic metrics::auroc computes, restated over the warmup
+/// buffer so the monitor has no dependency on the metrics library.
+double exact_auroc(std::vector<std::pair<float, bool>>& obs) {
+  std::uint64_t positives = 0;
+  for (const auto& [score, positive] : obs) positives += positive ? 1 : 0;
+  const std::uint64_t negatives = obs.size() - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  std::sort(obs.begin(), obs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  double u = 0.0;
+  std::uint64_t neg_below = 0;
+  std::size_t i = 0;
+  while (i < obs.size()) {
+    std::size_t j = i;
+    std::uint64_t group_pos = 0;
+    std::uint64_t group_neg = 0;
+    while (j < obs.size() && obs[j].first == obs[i].first) {
+      (obs[j].second ? group_pos : group_neg) += 1;
+      ++j;
+    }
+    u += static_cast<double>(group_pos) *
+         (static_cast<double>(neg_below) + 0.5 * static_cast<double>(group_neg));
+    neg_below += group_neg;
+    i = j;
+  }
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+struct QualityGauges {
+  Gauge& auroc;
+  Gauge& precision;
+  Gauge& recall;
+  Gauge& positives;
+  Gauge& negatives;
+  Gauge& flagged;
+
+  static QualityGauges& get() {
+    auto& reg = MetricsRegistry::global();
+    static QualityGauges gauges{
+        reg.gauge("vehigan_quality_auroc"),     reg.gauge("vehigan_quality_precision"),
+        reg.gauge("vehigan_quality_recall"),    reg.gauge("vehigan_quality_positives"),
+        reg.gauge("vehigan_quality_negatives"), reg.gauge("vehigan_quality_flagged"),
+    };
+    return gauges;
+  }
+};
+
+}  // namespace
+
+QualityMonitor::QualityMonitor(Options options) : options_(options) {
+  if (options_.warmup == 0) options_.warmup = 1;
+  warmup_.reserve(options_.warmup);
+}
+
+std::size_t QualityMonitor::bin_of(float score) const {
+  const double s = static_cast<double>(score);
+  if (!(s >= lo_)) return 0;  // below range, and NaN
+  if (s >= hi_) return kBins + 1;
+  const auto bin =
+      static_cast<std::size_t>((s - lo_) / (hi_ - lo_) * static_cast<double>(kBins));
+  return 1 + std::min(bin, kBins - 1);
+}
+
+void QualityMonitor::freeze_bins_locked() {
+  float lo = warmup_.front().score;
+  float hi = lo;
+  for (const Obs& obs : warmup_) {
+    lo = std::min(lo, obs.score);
+    hi = std::max(hi, obs.score);
+  }
+  double margin = (static_cast<double>(hi) - static_cast<double>(lo)) * options_.margin_fraction;
+  if (margin <= 0.0) margin = 1e-6;  // constant warmup scores still get a range
+  lo_ = static_cast<double>(lo) - margin;
+  hi_ = static_cast<double>(hi) + margin;
+  for (const Obs& obs : warmup_) {
+    (obs.positive ? pos_bins_ : neg_bins_)[bin_of(obs.score)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  warmup_.clear();
+  warmup_.shrink_to_fit();
+  binned_.store(true, std::memory_order_release);
+}
+
+void QualityMonitor::observe(float score, bool positive, bool flagged) {
+  (positive ? positives_ : negatives_).fetch_add(1, std::memory_order_relaxed);
+  if (flagged) {
+    (positive ? flagged_positives_ : flagged_negatives_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!binned_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!binned_.load(std::memory_order_relaxed)) {
+      warmup_.push_back(Obs{score, positive});
+      if (warmup_.size() >= options_.warmup) freeze_bins_locked();
+      return;
+    }
+    // Lost the freeze race: fall through to the binned path.
+  }
+  (positive ? pos_bins_ : neg_bins_)[bin_of(score)].fetch_add(1,
+                                                              std::memory_order_relaxed);
+}
+
+QualityMonitor::Snapshot QualityMonitor::snapshot() const {
+  Snapshot snap;
+  snap.positives = positives_.load(std::memory_order_relaxed);
+  snap.negatives = negatives_.load(std::memory_order_relaxed);
+  snap.flagged_positives = flagged_positives_.load(std::memory_order_relaxed);
+  snap.flagged_negatives = flagged_negatives_.load(std::memory_order_relaxed);
+  const std::uint64_t flagged_total = snap.flagged_positives + snap.flagged_negatives;
+  snap.precision = flagged_total == 0 ? 0.0
+                                      : static_cast<double>(snap.flagged_positives) /
+                                            static_cast<double>(flagged_total);
+  snap.recall = snap.positives == 0 ? 0.0
+                                    : static_cast<double>(snap.flagged_positives) /
+                                          static_cast<double>(snap.positives);
+  snap.binned = binned_.load(std::memory_order_acquire);
+  if (!snap.binned) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<float, bool>> obs;
+    obs.reserve(warmup_.size());
+    for (const Obs& o : warmup_) obs.emplace_back(o.score, o.positive);
+    snap.auroc = exact_auroc(obs);
+    return snap;
+  }
+  // Histogram rank-sum: every score inside a bin ties with every other.
+  double u = 0.0;
+  std::uint64_t positives = 0;
+  std::uint64_t negatives = 0;
+  std::uint64_t neg_below = 0;
+  for (std::size_t b = 0; b < kAllBins; ++b) {
+    const std::uint64_t pos = pos_bins_[b].load(std::memory_order_relaxed);
+    const std::uint64_t neg = neg_bins_[b].load(std::memory_order_relaxed);
+    u += static_cast<double>(pos) *
+         (static_cast<double>(neg_below) + 0.5 * static_cast<double>(neg));
+    neg_below += neg;
+    positives += pos;
+    negatives += neg;
+  }
+  snap.auroc = (positives == 0 || negatives == 0)
+                   ? 0.5
+                   : u / (static_cast<double>(positives) * static_cast<double>(negatives));
+  return snap;
+}
+
+void QualityMonitor::publish_metrics() const {
+  const Snapshot snap = snapshot();
+  QualityGauges& gauges = QualityGauges::get();
+  gauges.auroc.set(snap.auroc);
+  gauges.precision.set(snap.precision);
+  gauges.recall.set(snap.recall);
+  gauges.positives.set(static_cast<double>(snap.positives));
+  gauges.negatives.set(static_cast<double>(snap.negatives));
+  gauges.flagged.set(static_cast<double>(snap.flagged_positives + snap.flagged_negatives));
+}
+
+void QualityMonitor::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  binned_.store(false, std::memory_order_relaxed);
+  warmup_.clear();
+  warmup_.reserve(options_.warmup);
+  lo_ = 0.0;
+  hi_ = 1.0;
+  for (auto& bin : pos_bins_) bin.store(0, std::memory_order_relaxed);
+  for (auto& bin : neg_bins_) bin.store(0, std::memory_order_relaxed);
+  positives_.store(0, std::memory_order_relaxed);
+  negatives_.store(0, std::memory_order_relaxed);
+  flagged_positives_.store(0, std::memory_order_relaxed);
+  flagged_negatives_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace vehigan::telemetry

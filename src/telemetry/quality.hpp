@@ -1,0 +1,90 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace vehigan::telemetry {
+
+/// Streaming detection-quality monitor: online AUROC and
+/// precision/recall-at-threshold over a labeled score stream, computed
+/// without retaining the stream.
+///
+/// The first `Options::warmup` observations are buffered exactly (snapshots
+/// over the buffer are the exact Mann-Whitney AUROC); once the buffer
+/// fills, the observed score range (plus a margin) is frozen into kBins
+/// fixed bins per label, the buffer is replayed into them, and every later
+/// observe() is two relaxed atomic increments — safe from concurrent shard
+/// workers, no locks on the hot path. AUROC over the bins is the rank-sum
+/// with full tie credit inside a bin, so its error is bounded by the
+/// per-bin mass (<= 1/kBins of the range per bin; well inside 0.02 for
+/// unimodal score distributions).
+///
+/// "Positive" is caller-defined (the scenario runner uses ground-truth
+/// attacker labels); "flagged" is the detector's at-threshold verdict, so
+/// precision/recall reflect the deployed operating point, not a sweep.
+struct QualityOptions {
+  std::size_t warmup = 512;       ///< exact observations before binning
+  double margin_fraction = 0.25;  ///< bin-range padding beyond warmup min/max
+};
+
+class QualityMonitor {
+ public:
+  static constexpr std::size_t kBins = 512;
+
+  using Options = QualityOptions;
+
+  struct Snapshot {
+    std::uint64_t positives = 0;          ///< labeled-positive windows observed
+    std::uint64_t negatives = 0;
+    std::uint64_t flagged_positives = 0;  ///< true positives at threshold
+    std::uint64_t flagged_negatives = 0;  ///< false positives at threshold
+    double auroc = 0.5;     ///< 0.5 when either class is empty
+    double precision = 0.0; ///< TP / (TP + FP); 0 when nothing flagged
+    double recall = 0.0;    ///< TP / P; 0 when no positives
+    bool binned = false;    ///< false while still in the exact warmup phase
+  };
+
+  explicit QualityMonitor(Options options = Options());
+
+  /// Records one scored window. Thread-safe; lock-free after warmup.
+  void observe(float score, bool positive, bool flagged);
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Writes the snapshot into the vehigan_quality_* gauges (auroc,
+  /// precision, recall, positives, negatives, flagged).
+  void publish_metrics() const;
+
+  /// Back to an empty warmup phase. Callers must be quiescent.
+  void reset();
+
+ private:
+  /// +2: index 0 catches scores below the frozen range, kBins+1 above it.
+  static constexpr std::size_t kAllBins = kBins + 2;
+
+  [[nodiscard]] std::size_t bin_of(float score) const;
+  void freeze_bins_locked();
+
+  struct Obs {
+    float score;
+    bool positive;
+  };
+
+  Options options_;
+  mutable std::mutex mutex_;       ///< guards warmup_ and the freeze
+  std::vector<Obs> warmup_;
+  std::atomic<bool> binned_{false};
+  double lo_ = 0.0;  ///< written once under mutex_ before binned_ is released
+  double hi_ = 1.0;
+  std::array<std::atomic<std::uint64_t>, kAllBins> pos_bins_{};
+  std::array<std::atomic<std::uint64_t>, kAllBins> neg_bins_{};
+  std::atomic<std::uint64_t> positives_{0};
+  std::atomic<std::uint64_t> negatives_{0};
+  std::atomic<std::uint64_t> flagged_positives_{0};
+  std::atomic<std::uint64_t> flagged_negatives_{0};
+};
+
+}  // namespace vehigan::telemetry

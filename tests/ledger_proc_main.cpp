@@ -1,0 +1,90 @@
+// Helper process for the verdict-ledger crash tests (not a gtest binary).
+// Writes ledger records and then dies the requested way — the parent
+// asserts the surviving file decodes to the expected intact prefix.
+//
+// Usage: ledger_proc <ledger-path> <mode>
+//   crash   install the crash handler, append 5 verdicts WITHOUT flushing,
+//           raise(SIGSEGV): the crash hook must write the staged records,
+//           so the parent expects all 5 back from the dead process
+//   spin    append + flush one verdict per iteration forever, printing one
+//           'r' line after each flush; the parent SIGKILLs mid-write and
+//           expects a readable intact prefix (>= the records acknowledged)
+
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#if defined(__unix__)
+#include <unistd.h>
+#endif
+
+#include "mbds/report.hpp"
+#include "serve/verdict_ledger.hpp"
+#include "telemetry/flight_recorder.hpp"
+
+namespace {
+
+vehigan::mbds::MisbehaviorReport make_report(std::uint32_t i) {
+  vehigan::mbds::MisbehaviorReport report;
+  report.reporter_id = 1001;
+  report.suspect_id = 7000 + i;
+  report.time = 0.1 * static_cast<double>(i);
+  report.score = 1.5F + static_cast<float>(i);
+  report.threshold = 0.25;
+  report.trace_id = 0xABCD0000ULL + i;
+  report.model_hash = 0xFEEDFACE12345678ULL;
+  report.critic_spread = 0.125F;
+  for (std::uint32_t j = 0; j < 3; ++j) {
+    vehigan::sim::Bsm m;
+    m.vehicle_id = report.suspect_id;
+    m.time = report.time + 0.1 * j;
+    m.x = 10.0 * j;
+    m.y = 5.0;
+    m.speed = 12.5;
+    report.evidence.push_back(m);
+  }
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: ledger_proc <ledger-path> <crash|spin>\n";
+    return 2;
+  }
+  const std::string path = argv[1];
+  const char* mode = argv[2];
+
+  // The crash handler is what runs the ledger's crash hook; its own dump
+  // path is irrelevant here, so point it next to the ledger.
+  vehigan::telemetry::FlightRecorder::global().install_crash_handler(path + ".blackbox");
+
+  vehigan::serve::VerdictLedger ledger(
+      vehigan::serve::VerdictLedger::Options{.path = path, .rotate_bytes = 0});
+
+  if (std::strcmp(mode, "crash") == 0) {
+    for (std::uint32_t i = 0; i < 5; ++i) ledger.append_report(make_report(i));
+    // No flush: the records exist only in the staging buffer. The SIGSEGV
+    // handler must run the crash hook, which writes the staged prefix.
+    std::raise(SIGSEGV);
+    return 3;  // unreachable
+  }
+  if (std::strcmp(mode, "spin") == 0) {
+    // First line is our pid: the parent SIGKILLs us directly (pkill -f would
+    // also match the popen shell wrapping this process).
+#if defined(__unix__)
+    std::cout << ::getpid() << std::endl;
+#else
+    std::cout << 0 << std::endl;
+#endif
+    for (std::uint32_t i = 0;; ++i) {
+      ledger.append_report(make_report(i));
+      ledger.flush();
+      std::cout << "r" << std::endl;  // endl: the parent reads acknowledgements live
+    }
+  }
+  std::cerr << "unknown mode: " << mode << "\n";
+  return 2;
+}

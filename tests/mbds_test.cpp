@@ -226,6 +226,66 @@ TEST(MisbehaviorAuthority, RevokesAfterQuota) {
   EXPECT_EQ(authority.revocation_list().size(), 1U);
 }
 
+TEST(MisbehaviorAuthority, RetentionDropsEvidenceFirstAndNeverForgetsCounts) {
+  MisbehaviorAuthority authority(3);
+  // Evidence is stripped before whole report records are dropped, and the
+  // per-suspect counters / revocation list survive both.
+  authority.set_retention({.max_reports = 4, .max_evidence_reports = 2});
+
+  auto report_for = [](std::uint32_t suspect, std::uint32_t seq) {
+    MisbehaviorReport report;
+    report.suspect_id = suspect;
+    report.time = static_cast<double>(seq);
+    sim::Bsm m;
+    m.vehicle_id = suspect;
+    m.time = report.time;
+    report.evidence.assign(10, m);
+    return report;
+  };
+
+  for (std::uint32_t i = 0; i < 8; ++i) authority.submit(report_for(42, i));
+
+  // The log itself is capped at 4 records, newest 2 with evidence.
+  ASSERT_EQ(authority.reports().size(), 4U);
+  EXPECT_EQ(authority.reports_dropped(), 4U);
+  EXPECT_GE(authority.evidence_dropped(), 2U);
+  for (std::size_t i = 0; i < authority.reports().size(); ++i) {
+    const bool keeps_evidence = i >= authority.reports().size() - 2;
+    EXPECT_EQ(!authority.reports()[i].evidence.empty(), keeps_evidence)
+        << "report " << i << " of " << authority.reports().size();
+  }
+  // Newest-first ordering of survivors: times 4..7 remain.
+  EXPECT_DOUBLE_EQ(authority.reports().front().time, 4.0);
+  EXPECT_DOUBLE_EQ(authority.reports().back().time, 7.0);
+
+  // The accountability surface is untouched by retention.
+  EXPECT_EQ(authority.report_count(42), 8U);
+  EXPECT_TRUE(authority.is_revoked(42));
+  EXPECT_EQ(authority.revocation_list().size(), 1U);
+}
+
+TEST(MisbehaviorAuthority, RetentionAppliesToTheBacklogWhenInstalledLate) {
+  MisbehaviorAuthority authority(100);
+  MisbehaviorReport report;
+  report.suspect_id = 9;
+  sim::Bsm m;
+  m.vehicle_id = 9;
+  report.evidence.assign(5, m);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    report.time = static_cast<double>(i);
+    authority.submit(report);
+  }
+  ASSERT_EQ(authority.reports().size(), 10U);
+
+  authority.set_retention({.max_reports = 3, .max_evidence_reports = 1});
+  EXPECT_EQ(authority.reports().size(), 3U);
+  EXPECT_EQ(authority.reports_dropped(), 7U);
+  EXPECT_TRUE(authority.reports()[0].evidence.empty());
+  EXPECT_TRUE(authority.reports()[1].evidence.empty());
+  EXPECT_EQ(authority.reports()[2].evidence.size(), 5U);
+  EXPECT_EQ(authority.report_count(9), 10U);
+}
+
 TEST(MisbehaviorAuthority, TracksSuspectsIndependently) {
   MisbehaviorAuthority authority(2);
   MisbehaviorReport a;

@@ -1,0 +1,224 @@
+// Tests for the model-provenance chain: gan::content_hash (checkpoint
+// identity), WganDetector hash fill-in, VehiGan::provenance_hash,
+// the ModelProvenance registry, EnsembleHealth, and the "models" /
+// "ensemble" statusz sections they register.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gan/model_store.hpp"
+#include "gan/wgan.hpp"
+#include "mbds/ensemble.hpp"
+#include "mbds/ensemble_health.hpp"
+#include "mbds/provenance.hpp"
+#include "mbds/wgan_detector.hpp"
+#include "nn/layers.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/statusz.hpp"
+
+namespace vehigan {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Tiny hand-built linear critic (no training): enough structure for the
+/// checkpoint serializer and the detector forward pass.
+gan::TrainedWgan linear_model(int id, float weight) {
+  gan::TrainedWgan model;
+  model.config.id = id;
+  model.config.window = 10;
+  model.config.width = 12;
+  model.discriminator.add<nn::Flatten>();
+  auto& dense = model.discriminator.add<nn::Dense>(120, 1);
+  dense.weights().assign(120, weight);
+  dense.bias() = {0.0F};
+  return model;
+}
+
+std::vector<std::shared_ptr<mbds::WganDetector>> linear_detectors(std::size_t m) {
+  std::vector<std::shared_ptr<mbds::WganDetector>> detectors;
+  for (std::size_t i = 0; i < m; ++i) {
+    auto det = std::make_shared<mbds::WganDetector>(
+        linear_model(static_cast<int>(i), -(1.0F + 0.5F * static_cast<float>(i))));
+    det->set_threshold(0.25 * static_cast<double>(i));
+    detectors.push_back(std::move(det));
+  }
+  return detectors;
+}
+
+class ScratchDir {
+ public:
+  ScratchDir() : path_(fs::temp_directory_path() / "vehigan_provenance_test") {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() { fs::remove_all(path_); }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+TEST(ContentHash, IsDeterministicAndWeightSensitive) {
+  const gan::TrainedWgan a = linear_model(3, -1.0F);
+  const gan::TrainedWgan b = linear_model(3, -1.0F);
+  const std::uint64_t ha = gan::content_hash(a);
+  EXPECT_NE(ha, 0U);
+  EXPECT_EQ(ha, gan::content_hash(b)) << "identical models must hash identically";
+
+  gan::TrainedWgan c = linear_model(3, -1.0F);
+  dynamic_cast<nn::Dense&>(c.discriminator.layer(1)).weights()[7] += 1e-3F;
+  EXPECT_NE(gan::content_hash(c), ha) << "one perturbed weight must change the hash";
+
+  const gan::TrainedWgan d = linear_model(4, -1.0F);
+  EXPECT_NE(gan::content_hash(d), ha) << "config identity is part of the hash";
+}
+
+TEST(ContentHash, SurvivesTheCheckpointRoundTrip) {
+  ScratchDir dir;
+  const fs::path path = dir.path() / "model.vgan";
+  gan::TrainedWgan model = linear_model(11, -2.5F);
+  const std::uint64_t expected = gan::content_hash(model);
+  gan::save_wgan(model, path);
+  const gan::TrainedWgan loaded = gan::load_wgan(path);
+  EXPECT_EQ(loaded.content_hash, expected)
+      << "a loaded model must carry the exact hash stored in its checkpoint";
+  EXPECT_EQ(gan::content_hash(loaded), expected);
+}
+
+TEST(WganDetector, FillsTheContentHashOnConstruction) {
+  gan::TrainedWgan model = linear_model(5, -1.5F);
+  ASSERT_EQ(model.content_hash, 0U);  // fresh from the "trainer"
+  const std::uint64_t expected = gan::content_hash(model);
+  mbds::WganDetector detector(std::move(model));
+  EXPECT_EQ(detector.model().content_hash, expected);
+
+  // An already-stamped model (checkpoint load) is passed through untouched.
+  gan::TrainedWgan stamped = linear_model(5, -1.5F);
+  stamped.content_hash = 0x1234ULL;
+  mbds::WganDetector detector2(std::move(stamped));
+  EXPECT_EQ(detector2.model().content_hash, 0x1234ULL);
+}
+
+TEST(VehiGanProvenance, HashIsStableAcrossInstancesAndSensitiveToShape) {
+  auto detectors = linear_detectors(4);
+  mbds::VehiGan a(detectors, 2, 99);
+  mbds::VehiGan b(detectors, 2, 99);
+  EXPECT_NE(a.provenance_hash(), 0U);
+  EXPECT_EQ(a.provenance_hash(), b.provenance_hash());
+
+  mbds::VehiGan different_k(detectors, 3, 99);
+  EXPECT_NE(different_k.provenance_hash(), a.provenance_hash());
+
+  mbds::VehiGan fewer(linear_detectors(3), 2, 99);
+  EXPECT_NE(fewer.provenance_hash(), a.provenance_hash());
+}
+
+TEST(ModelProvenanceRegistry, DescribesEnsemblesAndCountsInstances) {
+  auto& registry = mbds::ModelProvenance::global();
+  registry.reset();
+
+  auto detectors = linear_detectors(3);
+  mbds::VehiGan ensemble(detectors, 2, 7);
+  const std::uint64_t hash = ensemble.provenance_hash();
+
+  const auto info = registry.lookup(hash);
+  EXPECT_EQ(info.hash, hash);
+  EXPECT_EQ(info.name, ensemble.name());
+  EXPECT_EQ(info.m, 3U);
+  EXPECT_EQ(info.k, 2U);
+  EXPECT_EQ(info.instances, 1U);
+  ASSERT_EQ(info.candidates.size(), 3U);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(info.candidates[i].name, detectors[i]->name());
+    EXPECT_EQ(info.candidates[i].content_hash, detectors[i]->model().content_hash);
+    EXPECT_DOUBLE_EQ(info.candidates[i].threshold, detectors[i]->threshold());
+  }
+
+  // A second identical build only bumps the instance count.
+  mbds::VehiGan twin(detectors, 2, 7);
+  EXPECT_EQ(registry.lookup(hash).instances, 2U);
+  EXPECT_EQ(registry.snapshot().size(), 1U);
+
+  // Unknown hashes come back empty, not fatal.
+  EXPECT_TRUE(registry.lookup(0xFFFF0000FFFF0000ULL).name.empty());
+}
+
+TEST(ModelProvenanceRegistry, HexSpellingIsThe16DigitLowercaseForm) {
+  EXPECT_EQ(mbds::provenance_hex(0), "0000000000000000");
+  EXPECT_EQ(mbds::provenance_hex(0xDEADBEEFULL), "00000000deadbeef");
+  EXPECT_EQ(mbds::provenance_hex(0xFEEDFACE12345678ULL), "feedface12345678");
+}
+
+TEST(EnsembleHealthTap, FoldsPerCriticDistributionsAndSpread) {
+  auto& health = mbds::EnsembleHealth::global();
+  health.reset();
+
+  mbds::DetectionResult r1;
+  r1.members = {0, 2};
+  r1.member_scores = {1.0F, 3.0F};
+  r1.spread = 2.0F;
+  mbds::DetectionResult r2;
+  r2.members = {2};
+  r2.member_scores = {5.0F};
+  r2.spread = 0.0F;
+  health.observe(r1);
+  health.observe(r2);
+
+  const auto snap = health.snapshot();
+  EXPECT_EQ(snap.windows, 2U);
+  ASSERT_EQ(snap.critics.size(), 3U);  // highest live index is 2
+  EXPECT_EQ(snap.critics[0].contributions, 1U);
+  EXPECT_DOUBLE_EQ(snap.critics[0].mean, 1.0);
+  EXPECT_EQ(snap.critics[1].contributions, 0U);
+  EXPECT_EQ(snap.critics[2].contributions, 2U);
+  EXPECT_DOUBLE_EQ(snap.critics[2].mean, 4.0);
+  EXPECT_DOUBLE_EQ(snap.critics[2].min, 3.0);
+  EXPECT_DOUBLE_EQ(snap.critics[2].max, 5.0);
+  EXPECT_DOUBLE_EQ(snap.spread_mean, 1.0);
+  EXPECT_DOUBLE_EQ(snap.spread_max, 2.0);
+
+  // Hand-built results without member scores are ignored, not fatal.
+  health.observe(mbds::DetectionResult{});
+  EXPECT_EQ(health.snapshot().windows, 2U);
+
+  vehigan::telemetry::set_enabled(true);
+  health.publish_metrics();
+  auto& reg = telemetry::MetricsRegistry::global();
+  EXPECT_DOUBLE_EQ(reg.gauge("vehigan_mbds_critic_spread_mean").value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("vehigan_mbds_critic_spread_max").value(), 2.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("vehigan_mbds_critic_2_contributions").value(), 2.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("vehigan_mbds_critic_2_score_mean").value(), 4.0);
+
+  health.reset();
+  EXPECT_EQ(health.snapshot().windows, 0U);
+  EXPECT_TRUE(health.snapshot().critics.empty());
+}
+
+TEST(ProvenanceStatusz, ModelsAndEnsembleSectionsRender) {
+  auto& provenance = mbds::ModelProvenance::global();
+  auto& health = mbds::EnsembleHealth::global();
+  provenance.reset();
+  health.reset();
+
+  mbds::VehiGan ensemble(linear_detectors(2), 1, 13);
+  mbds::DetectionResult result;
+  result.members = {1};
+  result.member_scores = {2.5F};
+  result.spread = 0.0F;
+  health.observe(result);
+
+  const std::string text = telemetry::Statusz::global().render_text();
+  EXPECT_NE(text.find("[models]"), std::string::npos);
+  EXPECT_NE(text.find(mbds::provenance_hex(ensemble.provenance_hash())), std::string::npos)
+      << "the registered ensemble's provenance hash must appear in statusz";
+  EXPECT_NE(text.find("[ensemble]"), std::string::npos);
+  EXPECT_NE(text.find("spread_mean"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vehigan

@@ -13,6 +13,8 @@ MisbehaviorReport sample_report() {
   report.score = 6.25F;
   report.threshold = 4.75;
   report.trace_id = 0xDEADBEEFCAFE1234ULL;
+  report.model_hash = 0xFEEDFACE12345678ULL;
+  report.critic_spread = 0.375F;
   for (int i = 0; i < 11; ++i) {
     sim::Bsm m;
     m.vehicle_id = 42;
@@ -37,6 +39,8 @@ TEST(ReportCodec, RoundTripsAllFields) {
   EXPECT_FLOAT_EQ(decoded.score, original.score);
   EXPECT_DOUBLE_EQ(decoded.threshold, original.threshold);
   EXPECT_EQ(decoded.trace_id, original.trace_id);
+  EXPECT_EQ(decoded.model_hash, original.model_hash);
+  EXPECT_FLOAT_EQ(decoded.critic_spread, original.critic_spread);
   ASSERT_EQ(decoded.evidence.size(), original.evidence.size());
   for (std::size_t i = 0; i < original.evidence.size(); ++i) {
     EXPECT_DOUBLE_EQ(decoded.evidence[i].x, original.evidence[i].x);
@@ -71,6 +75,33 @@ TEST(ReportCodec, LegacyRecordsWithoutTraceKeyStillDecode) {
   const MisbehaviorReport decoded = decode_report(wire);
   EXPECT_EQ(decoded.trace_id, 0U);
   EXPECT_EQ(decoded.suspect_id, 42U);
+}
+
+TEST(ReportCodec, LegacyRecordsWithoutProvenanceKeysStillDecode) {
+  // Records written before model provenance existed carry no "model" /
+  // "spread" keys; they must decode with the "not recorded" sentinels. The
+  // encoder keeps that byte-compatibility by omitting zero-valued keys.
+  MisbehaviorReport pre_provenance = sample_report();
+  pre_provenance.model_hash = 0;
+  pre_provenance.critic_spread = 0.0F;
+  const std::string wire = encode_report(pre_provenance);
+  EXPECT_EQ(wire.find("\"model\""), std::string::npos);
+  EXPECT_EQ(wire.find("\"spread\""), std::string::npos);
+  const MisbehaviorReport decoded = decode_report(wire);
+  EXPECT_EQ(decoded.model_hash, 0U);
+  EXPECT_FLOAT_EQ(decoded.critic_spread, 0.0F);
+  EXPECT_EQ(decoded.suspect_id, 42U);
+}
+
+TEST(ReportCodec, ModelHashRoundTripsThroughTheHexSpelling) {
+  // The wire form spells the hash as 16 lowercase hex digits — the shared
+  // spelling with statusz and ledgerq — and must round-trip bit-exactly,
+  // including hashes with a high top nibble.
+  MisbehaviorReport report = sample_report();
+  report.model_hash = 0xF00DFACE00000001ULL;
+  const std::string wire = encode_report(report);
+  EXPECT_NE(wire.find("\"model\":\"f00dface00000001\""), std::string::npos) << wire;
+  EXPECT_EQ(decode_report(wire).model_hash, 0xF00DFACE00000001ULL);
 }
 
 TEST(ReportCodec, RejectsWrongVersionAndGarbage) {

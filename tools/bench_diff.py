@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Compare two bench_ext_serve_throughput.csv runs and flag regressions.
+
+Usage: bench_diff.py BASELINE.csv CANDIDATE.csv [--threshold PCT]
+
+Rows are joined on their configuration key (sweep, shards, policy,
+queue_capacity, producers, pinned, hardware_threads) and compared on
+msgs_per_sec. A row whose candidate throughput is more than --threshold
+percent (default 20) below the baseline is a regression.
+
+Exit status: 0 when no regression, 1 when at least one row regressed,
+2 on malformed input. CI runs this warn-only (continue-on-error): bench
+numbers on shared runners are noisy, so the report is advisory — a human
+reads the table before believing it.
+"""
+
+import argparse
+import csv
+import sys
+
+KEY_FIELDS = ("sweep", "shards", "policy", "queue_capacity", "producers",
+              "pinned", "hardware_threads")
+METRIC = "msgs_per_sec"
+
+
+def load(path):
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    if not rows:
+        sys.exit(f"bench_diff: {path}: no data rows")
+    table = {}
+    for row in rows:
+        try:
+            key = tuple(row[k] for k in KEY_FIELDS)
+            value = float(row[METRIC])
+        except (KeyError, ValueError) as err:
+            sys.exit(f"bench_diff: {path}: bad row {row}: {err}")
+        table[key] = value
+    return table
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=20.0,
+                        help="regression threshold in percent (default 20)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        sys.exit("bench_diff: the two runs share no configuration rows")
+
+    regressions = []
+    print(f"{'configuration':<60} {'baseline':>12} {'candidate':>12} {'delta':>8}")
+    for key in shared:
+        b, c = base[key], cand[key]
+        delta = 0.0 if b == 0 else (c - b) / b * 100.0
+        label = " ".join(f"{k}={v}" for k, v in zip(KEY_FIELDS, key))
+        flag = ""
+        if delta < -args.threshold:
+            regressions.append((label, b, c, delta))
+            flag = "  << REGRESSION"
+        print(f"{label:<60} {b:>12.1f} {c:>12.1f} {delta:>+7.1f}%{flag}")
+
+    only_base = set(base) - set(cand)
+    only_cand = set(cand) - set(base)
+    if only_base:
+        print(f"note: {len(only_base)} row(s) only in baseline (ignored)")
+    if only_cand:
+        print(f"note: {len(only_cand)} row(s) only in candidate (ignored)")
+
+    if regressions:
+        print(f"\n{len(regressions)} row(s) regressed more than "
+              f"{args.threshold:.0f}% on {METRIC}:")
+        for label, b, c, delta in regressions:
+            print(f"  {label}: {b:.1f} -> {c:.1f} ({delta:+.1f}%)")
+        return 1
+    print(f"\nno regression beyond {args.threshold:.0f}% across "
+          f"{len(shared)} shared row(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
